@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test vet bench fuzz report cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/proxy/
+
+bench:
+	$(GO) test -bench=. -benchmem -run NONE .
+
+fuzz:
+	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/x86/
+	$(GO) test -fuzz=FuzzScan -fuzztime=30s ./internal/core/
+
+report:
+	$(GO) run ./cmd/melbench -exp all | tee report.txt
+
+cover:
+	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f report.txt cover.out test_output.txt bench_output.txt

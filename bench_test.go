@@ -1,0 +1,317 @@
+package textmel
+
+// One benchmark per table/figure of the paper (see DESIGN.md's
+// experiment index), plus micro-benchmarks of the hot paths. The figure
+// benchmarks run reduced workloads per iteration so `go test -bench=.`
+// completes quickly; `cmd/melbench` regenerates the full-size artifacts.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/mel"
+	"repro/internal/melmodel"
+	"repro/internal/x86"
+)
+
+// benchSeed keeps benchmark workloads deterministic.
+const benchSeed = experiments.DefaultSeed
+
+// BenchmarkFig1VaryN regenerates E1 (Figure 1 left) per iteration.
+func BenchmarkFig1VaryN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1VaryN(io.Discard, 300, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1VaryP regenerates E2 (Figure 1 right) per iteration.
+func BenchmarkFig1VaryP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1VaryP(io.Discard, 300, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChiSquare regenerates E3 (Section 3.3 contingency table).
+func BenchmarkChiSquare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ChiSquare(io.Discard, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThresholdApprox regenerates E4 (Section 3.2).
+func BenchmarkThresholdApprox(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ApproxCheck(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2IsoError regenerates E5 (Figure 2).
+func BenchmarkFig2IsoError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3MELHistogram regenerates E6 (Figure 3) at reduced scale.
+func BenchmarkFig3MELHistogram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3Detect(io.Discard, benchSeed, 10, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParamEstimation regenerates E7 (Section 5.2).
+func BenchmarkParamEstimation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Params(io.Discard, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetection regenerates E8 (Section 5.3) at reduced scale.
+func BenchmarkDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3Detect(io.Discard, benchSeed, 8, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Evaluation.FalseNegatives != 0 || res.Evaluation.FalsePositives != 0 {
+			b.Fatalf("detection regressed: %+v", res.Evaluation)
+		}
+	}
+}
+
+// BenchmarkSignatureScan regenerates E9 (Section 5.1 AV experiment).
+func BenchmarkSignatureScan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AVScan(io.Discard, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBinaryWorms regenerates E10 (Section 4.1).
+func BenchmarkBinaryWorms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BinaryWorms(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAPEVsDAWN regenerates E11 (Section 6) at reduced scale.
+func BenchmarkAPEVsDAWN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.APEComparison(io.Discard, benchSeed, 5, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkXORDomain regenerates E12 (Figure 4).
+func BenchmarkXORDomain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.XORDomain(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPAYLEvasion regenerates E13 (blending extension).
+func BenchmarkPAYLEvasion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PAYLEvasion(io.Discard, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuleAblation regenerates E14 (rule-set ablation).
+func BenchmarkRuleAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RuleAblation(io.Discard, benchSeed, 5, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlphaSweep regenerates E15 (sensitivity sweep).
+func BenchmarkAlphaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AlphaSweep(io.Discard, benchSeed, 5, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStyleAblation regenerates E16 (decrypter shapes).
+func BenchmarkStyleAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.StyleAblation(io.Discard, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSizeSweep regenerates E17 (input-size scaling).
+func BenchmarkSizeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SizeSweep(io.Discard, benchSeed, 3, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExploitChain regenerates E18 (end-to-end exploit chain).
+func BenchmarkExploitChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExploitChain(io.Discard, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the hot paths ---
+
+// BenchmarkDecode measures raw IA-32 decode throughput on benign text.
+func BenchmarkDecode(b *testing.B) {
+	cases, err := BenignDataset(benchSeed, 1, 4000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := cases[0].Data
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pos := 0
+		for pos < len(data) {
+			inst, err := x86.Decode(data, pos)
+			if err != nil {
+				break
+			}
+			pos += inst.Len
+		}
+	}
+}
+
+// BenchmarkMELScanSequential measures detector-grade MEL measurement
+// throughput on a 4 KB benign case (the per-request cost of deployment).
+func BenchmarkMELScanSequential(b *testing.B) {
+	cases, err := BenignDataset(benchSeed, 1, 4000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := mel.NewEngine(mel.DAWN())
+	b.SetBytes(int64(len(cases[0].Data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Scan(cases[0].Data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMELScanAllPaths measures the literal all-paths exploration —
+// the ablation cost DESIGN.md calls out.
+func BenchmarkMELScanAllPaths(b *testing.B) {
+	cases, err := BenignDataset(benchSeed, 1, 4000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := mel.NewEngineMode(mel.DAWN(), mel.ModeAllPaths)
+	b.SetBytes(int64(len(cases[0].Data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Scan(cases[0].Data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMELScanAPERules measures the APE rule set's cost on the same
+// input (fewer invalidations -> longer paths -> more work), the runtime
+// half of the Section 6 comparison.
+func BenchmarkMELScanAPERules(b *testing.B) {
+	cases, err := BenignDataset(benchSeed, 1, 4000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := mel.NewEngineMode(mel.APE(), mel.ModeAllPaths)
+	b.SetBytes(int64(len(cases[0].Data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Scan(cases[0].Data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectorScan measures the full detector pipeline (estimate,
+// threshold, scan) per 4 KB payload.
+func BenchmarkDetectorScan(b *testing.B) {
+	det, err := NewDetector()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases, err := BenignDataset(benchSeed, 1, 4000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(cases[0].Data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Scan(cases[0].Data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWormGeneration measures text-worm encoding cost.
+func BenchmarkWormGeneration(b *testing.B) {
+	payload := ShellcodeCorpus()[0].Code
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeWorm(payload, WormOptions{Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThresholdDerivation measures the closed-form τ computation.
+func BenchmarkThresholdDerivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := melmodel.Threshold(0.01, 1540, 0.227); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEmulatorWormRun measures full worm execution in the emulator.
+func BenchmarkEmulatorWormRun(b *testing.B) {
+	worm, err := EncodeWorm(ShellcodeCorpus()[0].Code, WormOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := VerifyWormSpawnsShell(worm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok {
+			b.Fatal("worm failed")
+		}
+	}
+}

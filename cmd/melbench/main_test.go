@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestSingleExperiments(t *testing.T) {
+	// Quick experiments that are cheap enough to run individually.
+	for _, exp := range []string{"approx", "fig2", "xor"} {
+		var out bytes.Buffer
+		if err := run([]string{"-exp", exp}, &out); err != nil {
+			t.Errorf("%s: %v", exp, err)
+		}
+		if out.Len() == 0 {
+			t.Errorf("%s produced no output", exp)
+		}
+	}
+}
+
+func TestDetectAlias(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "detect", "-cases", "5", "-worms", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "detection:") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestReducedFig1(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig1p", "-rounds", "200"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "total variation distance") {
+		t.Errorf("output missing TV line")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "bogus"}, io.Discard); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}, io.Discard); err == nil {
+		t.Error("bad flag should fail")
+	}
+}
+
+func TestAblationExperiments(t *testing.T) {
+	for _, exp := range []string{"binary", "rules", "alpha", "styles", "sizes"} {
+		var out bytes.Buffer
+		if err := run([]string{"-exp", exp, "-cases", "8", "-worms", "8", "-rounds", "100"}, &out); err != nil {
+			t.Errorf("%s: %v", exp, err)
+		}
+		if !strings.Contains(out.String(), "ablation") && exp != "binary" {
+			t.Errorf("%s output missing section header:\n%.200s", exp, out.String())
+		}
+	}
+}

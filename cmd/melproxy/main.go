@@ -1,0 +1,98 @@
+// Command melproxy runs an inline MEL-scanning TCP proxy: client traffic
+// is forwarded to the upstream while the client-to-upstream byte stream
+// is scanned in overlapping windows; flagged connections are logged and,
+// with -block, severed.
+//
+//	melproxy -listen 127.0.0.1:8080 -upstream 127.0.0.1:80 -block
+//	melproxy -listen :2525 -upstream mail.internal:25 -profile corp.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+
+	"repro/internal/core"
+	"repro/internal/proxy"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "melproxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("melproxy", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:8080", "listen address")
+	upstream := fs.String("upstream", "", "upstream address (required)")
+	alpha := fs.Float64("alpha", 0.01, "false-positive bound")
+	window := fs.Int("window", core.DefaultWindow, "scan window bytes")
+	stride := fs.Int("stride", core.DefaultStride, "scan window stride")
+	block := fs.Bool("block", false, "sever flagged connections")
+	profilePath := fs.String("profile", "", "calibration profile (JSON)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *upstream == "" {
+		return fmt.Errorf("-upstream is required")
+	}
+
+	var det *core.Detector
+	if *profilePath != "" {
+		f, err := os.Open(*profilePath)
+		if err != nil {
+			return err
+		}
+		prof, err := core.ReadProfile(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		det, err = core.NewFromProfile(prof)
+		if err != nil {
+			return err
+		}
+	} else {
+		d, err := core.New(core.WithAlpha(*alpha))
+		if err != nil {
+			return err
+		}
+		det = d
+	}
+
+	p, err := proxy.New(proxy.Config{
+		Detector: det,
+		Upstream: *upstream,
+		Window:   *window,
+		Stride:   *stride,
+		Block:    *block,
+		Logf:     log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("melproxy: %s -> %s (window %d/%d, block=%v)",
+		ln.Addr(), *upstream, *window, *stride, *block)
+
+	// Graceful shutdown on interrupt.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	errCh := make(chan error, 1)
+	go func() { errCh <- p.Serve(ln) }()
+	select {
+	case <-sig:
+		log.Printf("melproxy: shutting down (%d alerts recorded)", len(p.Alerts()))
+		return p.Close()
+	case err := <-errCh:
+		return err
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMissingUpstream(t *testing.T) {
+	if err := run([]string{"-listen", "127.0.0.1:0"}); err == nil {
+		t.Error("missing upstream should fail")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}
+
+func TestBadProfile(t *testing.T) {
+	if err := run([]string{"-upstream", "127.0.0.1:1", "-profile", "/nonexistent"}); err == nil {
+		t.Error("missing profile should fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-upstream", "127.0.0.1:1", "-profile", bad}); err == nil {
+		t.Error("corrupt profile should fail")
+	}
+}
+
+func TestBadAlpha(t *testing.T) {
+	if err := run([]string{"-upstream", "127.0.0.1:1", "-alpha", "2"}); err == nil {
+		t.Error("alpha out of range should fail")
+	}
+}
+
+func TestBadListenAddress(t *testing.T) {
+	if err := run([]string{"-upstream", "127.0.0.1:1", "-listen", "256.0.0.1:bad"}); err == nil {
+		t.Error("unparseable listen address should fail")
+	}
+}
+
+func TestBadStride(t *testing.T) {
+	if err := run([]string{"-upstream", "127.0.0.1:1", "-window", "10", "-stride", "20"}); err == nil {
+		t.Error("stride > window should fail")
+	}
+}

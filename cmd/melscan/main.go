@@ -1,0 +1,187 @@
+// Command melscan scans files (or stdin) with the auto-threshold MEL
+// detector and prints a verdict per input:
+//
+//	melscan [-alpha 0.01] [-rules dawn|ape] [-v] file...
+//	cat payload | melscan
+//
+// Exit status is 2 when any input is flagged malicious, 1 on error, and
+// 0 otherwise (the conventional grep-style contract for filters).
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/mel"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "melscan:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("melscan", flag.ContinueOnError)
+	alpha := fs.Float64("alpha", 0.01, "false-positive bound")
+	rules := fs.String("rules", "dawn", "invalidity rules: dawn, dawn-stateless, ape")
+	verbose := fs.Bool("v", false, "print model parameters with each verdict")
+	trace := fs.Bool("trace", false, "disassemble the flagged execution path")
+	stream := fs.Bool("stream", false, "scan inputs as streams in overlapping windows")
+	calibrate := fs.String("calibrate", "", "calibrate from this benign training file")
+	profileIn := fs.String("profile", "", "load a calibration profile (JSON)")
+	profileOut := fs.String("save-profile", "", "write the calibration profile (JSON) and exit")
+	window := fs.Int("window", core.DefaultWindow, "stream window size (with -stream)")
+	stride := fs.Int("stride", core.DefaultStride, "stream window stride (with -stream)")
+	if err := fs.Parse(args); err != nil {
+		return 1, err
+	}
+
+	var ruleSet mel.Rules
+	switch *rules {
+	case "dawn":
+		ruleSet = mel.DAWN()
+	case "dawn-stateless":
+		ruleSet = mel.DAWNStateless()
+	case "ape":
+		ruleSet = mel.APE()
+	default:
+		return 1, fmt.Errorf("unknown rule set %q", *rules)
+	}
+
+	var det *core.Detector
+	if *profileIn != "" {
+		f, err := os.Open(*profileIn)
+		if err != nil {
+			return 1, err
+		}
+		profile, err := core.ReadProfile(f)
+		f.Close()
+		if err != nil {
+			return 1, err
+		}
+		det, err = core.NewFromProfile(profile)
+		if err != nil {
+			return 1, err
+		}
+	} else {
+		d, err := core.New(core.WithAlpha(*alpha), core.WithRules(ruleSet))
+		if err != nil {
+			return 1, err
+		}
+		det = d
+	}
+	if *calibrate != "" {
+		training, err := os.ReadFile(*calibrate)
+		if err != nil {
+			return 1, err
+		}
+		if err := det.Calibrate(training); err != nil {
+			return 1, err
+		}
+	}
+	if *profileOut != "" {
+		profile, err := det.ExportProfile()
+		if err != nil {
+			return 1, err
+		}
+		f, err := os.Create(*profileOut)
+		if err != nil {
+			return 1, err
+		}
+		if _, err := profile.WriteTo(f); err != nil {
+			f.Close()
+			return 1, err
+		}
+		if err := f.Close(); err != nil {
+			return 1, err
+		}
+		fmt.Fprintf(stdout, "profile written to %s\n", *profileOut)
+		return 0, nil
+	}
+
+	type input struct {
+		name string
+		data []byte
+	}
+	var inputs []input
+	if fs.NArg() == 0 {
+		data, err := io.ReadAll(stdin)
+		if err != nil {
+			return 1, fmt.Errorf("read stdin: %w", err)
+		}
+		inputs = append(inputs, input{name: "(stdin)", data: data})
+	}
+	for _, name := range fs.Args() {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return 1, err
+		}
+		inputs = append(inputs, input{name: name, data: data})
+	}
+
+	flagged := false
+	if *stream {
+		for _, in := range inputs {
+			alerts, err := det.ScanStream(bytes.NewReader(in.data), *window, *stride)
+			if err != nil {
+				return 1, fmt.Errorf("%s: %w", in.name, err)
+			}
+			if len(alerts) == 0 {
+				fmt.Fprintf(stdout, "%-40s CLEAN     (%d bytes, window %d/%d)\n",
+					in.name, len(in.data), *window, *stride)
+				continue
+			}
+			flagged = true
+			for _, a := range alerts {
+				fmt.Fprintf(stdout, "%-40s MALICIOUS window@%-8d mel=%-5d tau=%.1f\n",
+					in.name, a.Offset, a.Verdict.MEL, a.Verdict.Threshold)
+			}
+		}
+		if flagged {
+			return 2, nil
+		}
+		return 0, nil
+	}
+	for _, in := range inputs {
+		v, err := det.Scan(in.data)
+		if err != nil {
+			return 1, fmt.Errorf("%s: %w", in.name, err)
+		}
+		verdict := "BENIGN"
+		if v.Malicious {
+			verdict = "MALICIOUS"
+			flagged = true
+		}
+		kind := "binary"
+		if v.TextOnly {
+			kind = "text"
+		}
+		fmt.Fprintf(stdout, "%-40s %-9s mel=%-5d tau=%-7.1f %s\n",
+			in.name, verdict, v.MEL, v.Threshold, kind)
+		if *verbose {
+			fmt.Fprintf(stdout, "  n=%d p=%.3f (io=%.3f seg=%.3f) E[len]=%.2f start=%d\n",
+				v.Params.N, v.Params.P, v.Params.PIO, v.Params.PWrongSeg,
+				v.Params.EInstrLen, v.BestStart)
+		}
+		if *trace && v.Malicious {
+			eng := mel.NewEngine(ruleSet)
+			steps, err := eng.Trace(in.data, v.BestStart)
+			if err != nil {
+				return 1, fmt.Errorf("%s: trace: %w", in.name, err)
+			}
+			fmt.Fprint(stdout, mel.FormatTrace(steps, 24))
+		}
+	}
+	if flagged {
+		return 2, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/encoder"
+	"repro/internal/shellcode"
+)
+
+func writeTemp(t *testing.T, name string, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestScanBenignFile(t *testing.T) {
+	cases, err := corpus.Dataset(1, 1, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeTemp(t, "benign.txt", cases[0].Data)
+	var out bytes.Buffer
+	code, err := run([]string{path}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit code %d for benign input", code)
+	}
+	if !strings.Contains(out.String(), "BENIGN") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestScanWormFile(t *testing.T) {
+	w, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeTemp(t, "worm.txt", w.Bytes)
+	var out bytes.Buffer
+	code, err := run([]string{"-v", path}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Errorf("exit code %d for malicious input, want 2", code)
+	}
+	if !strings.Contains(out.String(), "MALICIOUS") || !strings.Contains(out.String(), "n=") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestScanStdin(t *testing.T) {
+	cases, err := corpus.Dataset(2, 1, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	code, err := run(nil, bytes.NewReader(cases[0].Data), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit code %d", code)
+	}
+	if !strings.Contains(out.String(), "(stdin)") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestRuleSelection(t *testing.T) {
+	cases, err := corpus.Dataset(3, 1, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeTemp(t, "b.txt", cases[0].Data)
+	for _, rules := range []string{"dawn", "dawn-stateless", "ape"} {
+		var out bytes.Buffer
+		if _, err := run([]string{"-rules", rules, path}, strings.NewReader(""), &out); err != nil {
+			t.Errorf("rules %s: %v", rules, err)
+		}
+	}
+	if _, err := run([]string{"-rules", "bogus", path}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Error("bogus rule set should fail")
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	if _, err := run([]string{"/nonexistent/file"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestEmptyStdin(t *testing.T) {
+	if _, err := run(nil, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Error("empty stdin should fail (empty payload)")
+	}
+}
+
+func TestStreamMode(t *testing.T) {
+	w, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases, err := corpus.Dataset(9, 3, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream []byte
+	stream = append(stream, cases[0].Data...)
+	stream = append(stream, w.Bytes...)
+	stream = append(stream, cases[1].Data...)
+	path := writeTemp(t, "stream.bin", stream)
+
+	var out bytes.Buffer
+	code, err := run([]string{"-stream", "-window", "2048", "-stride", "512", path}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Errorf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(out.String(), "window@") {
+		t.Errorf("output: %s", out.String())
+	}
+
+	// A clean stream exits 0 and reports CLEAN.
+	cleanPath := writeTemp(t, "clean.bin", corpus.Concat(cases))
+	out.Reset()
+	code, err = run([]string{"-stream", cleanPath}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 || !strings.Contains(out.String(), "CLEAN") {
+		t.Errorf("clean stream: code=%d output=%s", code, out.String())
+	}
+}
+
+func TestProfileWorkflow(t *testing.T) {
+	// Calibrate from a training file, save the profile, reload it, scan.
+	cases, err := corpus.Dataset(21, 5, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	training := writeTemp(t, "train.txt", corpus.Concat(cases))
+	profile := filepath.Join(t.TempDir(), "profile.json")
+
+	var out bytes.Buffer
+	code, err := run([]string{"-calibrate", training, "-save-profile", profile},
+		strings.NewReader(""), &out)
+	if err != nil || code != 0 {
+		t.Fatalf("save profile: code=%d err=%v", code, err)
+	}
+	if _, err := os.Stat(profile); err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wormFile := writeTemp(t, "worm.txt", w.Bytes)
+	out.Reset()
+	code, err = run([]string{"-profile", profile, wormFile}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 || !strings.Contains(out.String(), "MALICIOUS") {
+		t.Errorf("profile scan: code=%d output=%s", code, out.String())
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	if _, err := run([]string{"-profile", "/nonexistent"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Error("missing profile should fail")
+	}
+	bad := writeTemp(t, "bad.json", []byte("{"))
+	if _, err := run([]string{"-profile", bad}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Error("corrupt profile should fail")
+	}
+	if _, err := run([]string{"-calibrate", "/nonexistent"}, strings.NewReader("x"), &bytes.Buffer{}); err == nil {
+		t.Error("missing training file should fail")
+	}
+}

@@ -1,0 +1,117 @@
+// Command textworm converts binary shellcode into a pure-text worm
+// (rix/Eller-style) and verifies it in the built-in IA-32 emulator:
+//
+//	textworm -payload execve -sled 64 -seed 1 -o worm.txt
+//	textworm -in shellcode.bin -o worm.txt
+//	textworm -list
+//
+// The output is keyboard-enterable (bytes 0x20-0x7E only); -verify runs
+// the worm in the emulator and reports whether it spawns a shell.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/emu"
+	"repro/internal/encoder"
+	"repro/internal/shellcode"
+	"repro/internal/x86"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "textworm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("textworm", flag.ContinueOnError)
+	payloadName := fs.String("payload", "execve", "built-in payload name (see -list)")
+	inFile := fs.String("in", "", "read raw shellcode from file instead of a built-in")
+	outFile := fs.String("o", "", "write the worm to this file (default stdout)")
+	sled := fs.Int("sled", 64, "padding sled length in bytes")
+	seed := fs.Uint64("seed", 1, "generation seed (diversifies worms)")
+	verify := fs.Bool("verify", true, "execute the worm in the emulator")
+	list := fs.Bool("list", false, "list built-in payloads and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, sc := range shellcode.Corpus() {
+			fmt.Fprintf(stdout, "%-16s %4d bytes  %s\n", sc.Name, len(sc.Code), sc.Description)
+		}
+		return nil
+	}
+
+	var payload []byte
+	if *inFile != "" {
+		data, err := os.ReadFile(*inFile)
+		if err != nil {
+			return err
+		}
+		payload = data
+	} else {
+		for _, sc := range shellcode.Corpus() {
+			if sc.Name == *payloadName {
+				payload = sc.Code
+				break
+			}
+		}
+		if payload == nil {
+			return fmt.Errorf("unknown payload %q (try -list)", *payloadName)
+		}
+	}
+
+	worm, err := encoder.Encode(payload, encoder.Options{SledLen: *sled, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "payload: %d bytes -> worm: %d bytes (sled %d, decrypter %d, region %d)\n",
+		len(payload), len(worm.Bytes), worm.SledLen, worm.DecrypterLen, worm.RegionLen)
+	fmt.Fprintf(stdout, "execution path: %d instructions (MEL lower bound)\n", worm.Instructions)
+
+	if *verify {
+		ok, err := verifyWorm(worm)
+		if err != nil {
+			return fmt.Errorf("verify: %w", err)
+		}
+		fmt.Fprintf(stdout, "emulator verification: shell spawned = %v\n", ok)
+		if !ok {
+			return fmt.Errorf("generated worm failed verification")
+		}
+	}
+
+	if *outFile != "" {
+		if err := os.WriteFile(*outFile, worm.Bytes, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "written to %s\n", *outFile)
+	} else {
+		fmt.Fprintf(stdout, "---- worm (text) ----\n%s\n", worm.Bytes)
+	}
+	return nil
+}
+
+func verifyWorm(w *encoder.Worm) (bool, error) {
+	mem, err := emu.NewMemory(emu.DefaultBase, 1<<16)
+	if err != nil {
+		return false, err
+	}
+	cpu, err := emu.New(mem)
+	if err != nil {
+		return false, err
+	}
+	start := mem.Base() + 0x4000
+	if err := mem.Load(start, w.Bytes); err != nil {
+		return false, err
+	}
+	cpu.EIP = start
+	cpu.SetReg(x86.ESP, start-uint32(w.ESPDelta))
+	out := cpu.Run(1 << 20)
+	return out.ShellSpawned(), nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/shellcode"
+	"repro/internal/textins"
+)
+
+func TestListPayloads(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range shellcode.Corpus() {
+		if !strings.Contains(out.String(), sc.Name) {
+			t.Errorf("list missing %s", sc.Name)
+		}
+	}
+}
+
+func TestGenerateAndVerify(t *testing.T) {
+	outFile := filepath.Join(t.TempDir(), "worm.txt")
+	var out bytes.Buffer
+	if err := run([]string{"-payload", "execve", "-seed", "7", "-o", outFile}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "shell spawned = true") {
+		t.Errorf("output: %s", out.String())
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !textins.IsTextStream(data) {
+		t.Error("written worm is not pure text")
+	}
+}
+
+func TestGenerateFromFile(t *testing.T) {
+	in := filepath.Join(t.TempDir(), "sc.bin")
+	if err := os.WriteFile(in, shellcode.SetuidExecve().Code, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-in", in}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "shell spawned = true") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestUnknownPayload(t *testing.T) {
+	if err := run([]string{"-payload", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown payload should fail")
+	}
+}
+
+func TestStdoutWormIsText(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-payload", "execve", "-sled", "32"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "---- worm (text) ----") {
+		t.Errorf("output: %s", out.String())
+	}
+}

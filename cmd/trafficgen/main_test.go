@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func TestStats(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-stats", "-cases", "10", "-len", "2000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"text mass", "I/O char mass", "prefix mass"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stats output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestWriteDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	var out bytes.Buffer
+	if err := run([]string{"-cases", "10", "-len", "500", "-dir", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 10 {
+		t.Fatalf("wrote %d files", len(entries))
+	}
+	kinds := map[string]bool{}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != 500 {
+			t.Errorf("%s has %d bytes", e.Name(), len(data))
+		}
+		parts := strings.Split(strings.TrimSuffix(e.Name(), ".txt"), "-")
+		kinds[parts[len(parts)-1]] = true
+	}
+	for _, k := range []string{"html", "http", "email"} {
+		if !kinds[k] {
+			t.Errorf("no %s case written (kinds: %v)", k, kinds)
+		}
+	}
+}
+
+func TestStdoutOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-cases", "2", "-len", "300"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() < 600 {
+		t.Errorf("stdout output only %d bytes", out.Len())
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	if err := run([]string{"-cases", "0"}, &bytes.Buffer{}); err == nil {
+		t.Error("zero cases should fail")
+	}
+}
+
+func TestKindName(t *testing.T) {
+	if kindName(corpus.CaseHTML) != "html" || kindName(corpus.CaseHTTPRequests) != "http" ||
+		kindName(corpus.CaseEmail) != "email" || kindName(corpus.CaseKind(99)) != "unknown" {
+		t.Error("kind names wrong")
+	}
+}

@@ -1,0 +1,71 @@
+package textmel_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// ExampleNewDetector scans a payload with the auto-threshold detector.
+func ExampleNewDetector() {
+	det, err := textmel.NewDetector(textmel.WithAlpha(0.01))
+	if err != nil {
+		log.Fatal(err)
+	}
+	verdict, err := det.Scan([]byte("GET /research/index.html HTTP/1.1"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("malicious:", verdict.Malicious)
+	// Output: malicious: false
+}
+
+// ExampleEncodeWorm converts binary shellcode to a pure-text worm and
+// verifies it functions.
+func ExampleEncodeWorm() {
+	payload := textmel.ShellcodeCorpus()[0] // classic execve /bin//sh
+	worm, err := textmel.EncodeWorm(payload.Code, textmel.WormOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spawned, err := textmel.VerifyWormSpawnsShell(worm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	allText := true
+	for _, b := range worm.Bytes {
+		if b < 0x20 || b > 0x7E {
+			allText = false
+		}
+	}
+	fmt.Println("pure text:", allText)
+	fmt.Println("spawns shell:", spawned)
+	// Output:
+	// pure text: true
+	// spawns shell: true
+}
+
+// ExampleThreshold derives the paper's operating threshold.
+func ExampleThreshold() {
+	tau, err := textmel.Threshold(0.01, 1540, 0.227)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tau = %.2f\n", tau)
+	// Output: tau = 40.61
+}
+
+// ExampleEstimateParams derives n and p from character frequencies with
+// no disassembly, per Section 5.2.
+func ExampleEstimateParams() {
+	params, err := textmel.EstimateParams(textmel.EnglishFrequencies(), 4000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("instructions estimated:", params.N > 1000 && params.N < 2000)
+	fmt.Println("p in the paper's band:", params.P > 0.15 && params.P < 0.3)
+	// Output:
+	// instructions estimated: true
+	// p in the paper's band: true
+}

@@ -1,0 +1,155 @@
+// modelplot: emit the data series behind Figures 1, 2 and 3 as
+// whitespace-separated columns ready for gnuplot/matplotlib, one file
+// per figure, into -dir (default ./plotdata).
+//
+//	go run ./examples/modelplot -dir plotdata
+//	gnuplot> plot "plotdata/fig1_varyn.dat" using 1:2 with lines
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	dir := flag.String("dir", "plotdata", "output directory")
+	rounds := flag.Int("rounds", 5000, "Monte-Carlo rounds")
+	flag.Parse()
+	if err := run(*dir, *rounds); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(dir string, rounds int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	// Figure 1 (both panels): columns MEL, model-PMF, monte-carlo-PMF,
+	// one block per (n, p).
+	for _, panel := range []struct {
+		file   string
+		sweeps []struct {
+			n int
+			p float64
+		}
+	}{
+		{"fig1_varyn.dat", []struct {
+			n int
+			p float64
+		}{{1000, 0.175}, {5000, 0.175}, {10000, 0.175}}},
+		{"fig1_varyp.dat", []struct {
+			n int
+			p float64
+		}{{1500, 0.125}, {1500, 0.175}, {1500, 0.300}}},
+	} {
+		var sb strings.Builder
+		for _, s := range panel.sweeps {
+			emp, err := textmel.MonteCarloPMF(textmel.MonteCarloConfig{
+				N: s.n, P: s.p, Rounds: rounds, Seed: 1,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(&sb, "# n=%d p=%.3f\n# MEL model montecarlo\n", s.n, s.p)
+			for x := 0; x < len(emp)+30; x++ {
+				model, err := textmel.MELPMF(x, s.n, s.p)
+				if err != nil {
+					return err
+				}
+				e := 0.0
+				if x < len(emp) {
+					e = emp[x]
+				}
+				if model > 1e-6 || e > 0 {
+					fmt.Fprintf(&sb, "%d %.6f %.6f\n", x, model, e)
+				}
+			}
+			sb.WriteString("\n\n")
+		}
+		if err := write(dir, panel.file, sb.String()); err != nil {
+			return err
+		}
+	}
+
+	// Figure 2: iso-error line, columns p tau.
+	curve, err := textmel.IsoErrorCurve(0.01, 1540, 0.01, 0.60, 0.01)
+	if err != nil {
+		return err
+	}
+	var sb strings.Builder
+	sb.WriteString("# p tau (alpha=0.01, n=1540)\n")
+	for _, pt := range curve {
+		fmt.Fprintf(&sb, "%.3f %.3f\n", pt.P, pt.Tau)
+	}
+	if err := write(dir, "fig2_isoerror.dat", sb.String()); err != nil {
+		return err
+	}
+
+	// Figure 3: MEL frequency of benign cases vs text worms, columns
+	// MEL count, two blocks.
+	det, err := textmel.NewDetector()
+	if err != nil {
+		return err
+	}
+	benign, err := textmel.BenignDataset(3, 60, 4000)
+	if err != nil {
+		return err
+	}
+	benignCounts := map[int]int{}
+	for _, c := range benign {
+		v, err := det.Scan(c.Data)
+		if err != nil {
+			return err
+		}
+		benignCounts[v.MEL]++
+	}
+	wormCounts := map[int]int{}
+	for i := 0; i < 60; i++ {
+		w, err := textmel.EncodeWorm(textmel.ShellcodeCorpus()[i%3].Code,
+			textmel.WormOptions{Seed: uint64(i), SledLen: 40 + i})
+		if err != nil {
+			return err
+		}
+		v, err := det.Scan(w.Bytes)
+		if err != nil {
+			return err
+		}
+		wormCounts[v.MEL]++
+	}
+	sb.Reset()
+	sb.WriteString("# benign MEL count\n")
+	writeCounts(&sb, benignCounts)
+	sb.WriteString("\n\n# malicious MEL count\n")
+	writeCounts(&sb, wormCounts)
+	if err := write(dir, "fig3_melfreq.dat", sb.String()); err != nil {
+		return err
+	}
+
+	fmt.Printf("wrote fig1_varyn.dat fig1_varyp.dat fig2_isoerror.dat fig3_melfreq.dat to %s/\n", dir)
+	return nil
+}
+
+func writeCounts(sb *strings.Builder, counts map[int]int) {
+	maxV := 0
+	for v := range counts {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	for v := 0; v <= maxV; v++ {
+		if c := counts[v]; c > 0 {
+			fmt.Fprintf(sb, "%d %d\n", v, c)
+		}
+	}
+}
+
+func write(dir, name, content string) error {
+	return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
+}

@@ -1,0 +1,198 @@
+// Package ape implements the Abstract Payload Execution worm detector of
+// Toth & Kruegel (RAID 2002) as the paper's Section 6 baseline. APE
+// differs from the DAWN-style detector on exactly the axes the paper
+// lists: it pseudo-executes from random sample positions rather than
+// every offset, its invalid-instruction definition is narrow (incorrect
+// opcode or illegal memory address — no I/O rule, no segment rule, no
+// register tracking), and its MEL threshold is obtained experimentally
+// from training data instead of from a model.
+package ape
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/mel"
+	"repro/internal/stats"
+)
+
+// Default configuration values.
+const (
+	// DefaultSamples is the number of random start positions per payload.
+	DefaultSamples = 64
+	// DefaultThreshold is APE's published default MEL threshold when no
+	// training data is supplied (Toth & Kruegel used 35).
+	DefaultThreshold = 35
+)
+
+// Detector is an APE-style sampled MEL detector.
+type Detector struct {
+	engine    *mel.Engine
+	samples   int
+	threshold int
+	rng       *stats.RNG
+	trained   bool
+}
+
+// Option configures the detector.
+type Option func(*Detector) error
+
+// WithSamples sets how many random positions are pseudo-executed.
+func WithSamples(n int) Option {
+	return func(d *Detector) error {
+		if n <= 0 {
+			return errors.New("ape: samples must be positive")
+		}
+		d.samples = n
+		return nil
+	}
+}
+
+// WithThreshold sets the experimental MEL threshold directly.
+func WithThreshold(t int) Option {
+	return func(d *Detector) error {
+		if t <= 0 {
+			return errors.New("ape: threshold must be positive")
+		}
+		d.threshold = t
+		d.trained = true
+		return nil
+	}
+}
+
+// WithSeed seeds the position sampler.
+func WithSeed(seed uint64) Option {
+	return func(d *Detector) error {
+		d.rng = stats.NewRNG(seed)
+		return nil
+	}
+}
+
+// New builds an APE detector with the narrow APE rule set and all-paths
+// exploration (APE follows both branch arms).
+func New(opts ...Option) (*Detector, error) {
+	d := &Detector{
+		engine:    mel.NewEngineMode(mel.APE(), mel.ModeAllPaths),
+		samples:   DefaultSamples,
+		threshold: DefaultThreshold,
+		rng:       stats.NewRNG(0x0A9E),
+	}
+	for _, opt := range opts {
+		if err := opt(d); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Train sets the threshold experimentally: the maximum MEL observed on
+// benign training payloads plus a safety margin — the procedure the
+// paper criticizes as potentially biased by the training set.
+func (d *Detector) Train(benign [][]byte, margin int) error {
+	if len(benign) == 0 {
+		return errors.New("ape: no training data")
+	}
+	if margin < 0 {
+		return errors.New("ape: negative margin")
+	}
+	best := 0
+	for i, b := range benign {
+		m, err := d.sampleMEL(b)
+		if err != nil {
+			return fmt.Errorf("ape: training payload %d: %w", i, err)
+		}
+		if m > best {
+			best = m
+		}
+	}
+	d.threshold = best + margin
+	d.trained = true
+	return nil
+}
+
+// TrainQuantile sets the threshold at a quantile of the benign MEL
+// distribution (e.g. 0.99) instead of the maximum.
+func (d *Detector) TrainQuantile(benign [][]byte, q float64) error {
+	if len(benign) == 0 {
+		return errors.New("ape: no training data")
+	}
+	if q <= 0 || q > 1 {
+		return errors.New("ape: quantile out of (0, 1]")
+	}
+	mels := make([]int, 0, len(benign))
+	for i, b := range benign {
+		m, err := d.sampleMEL(b)
+		if err != nil {
+			return fmt.Errorf("ape: training payload %d: %w", i, err)
+		}
+		mels = append(mels, m)
+	}
+	sort.Ints(mels)
+	idx := int(q*float64(len(mels))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(mels) {
+		idx = len(mels) - 1
+	}
+	d.threshold = mels[idx]
+	d.trained = true
+	return nil
+}
+
+// Threshold returns the operating threshold.
+func (d *Detector) Threshold() int { return d.threshold }
+
+// Trained reports whether the threshold came from data (vs the default).
+func (d *Detector) Trained() bool { return d.trained }
+
+// Verdict is an APE scan result.
+type Verdict struct {
+	// Malicious is true when the sampled MEL exceeds the threshold.
+	Malicious bool
+	// MEL is the maximum over the sampled positions.
+	MEL int
+	// Positions is how many start offsets were pseudo-executed.
+	Positions int
+}
+
+// Scan samples random start positions and pseudo-executes from each.
+func (d *Detector) Scan(payload []byte) (Verdict, error) {
+	m, err := d.sampleMEL(payload)
+	if err != nil {
+		return Verdict{}, err
+	}
+	pos := d.samples
+	if pos > len(payload) {
+		pos = len(payload)
+	}
+	return Verdict{Malicious: m > d.threshold, MEL: m, Positions: pos}, nil
+}
+
+// sampleMEL runs the engine from sampled offsets only.
+func (d *Detector) sampleMEL(payload []byte) (int, error) {
+	if len(payload) == 0 {
+		return 0, errors.New("ape: empty payload")
+	}
+	// Choose distinct random offsets; when the payload is small, use all.
+	if d.samples >= len(payload) {
+		res, err := d.engine.Scan(payload)
+		if err != nil {
+			return 0, err
+		}
+		return res.MEL, nil
+	}
+	best := 0
+	for i := 0; i < d.samples; i++ {
+		off := d.rng.Intn(len(payload))
+		m, err := d.engine.ScanFrom(payload, off)
+		if err != nil {
+			return 0, err
+		}
+		if m > best {
+			best = m
+		}
+	}
+	return best, nil
+}

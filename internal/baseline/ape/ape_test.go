@@ -1,0 +1,182 @@
+package ape
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/encoder"
+	"repro/internal/shellcode"
+)
+
+func benign(t *testing.T, seed uint64, n int) [][]byte {
+	t.Helper()
+	cases, err := corpus.Dataset(seed, n, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]byte, len(cases))
+	for i, c := range cases {
+		out[i] = c.Data
+	}
+	return out
+}
+
+func TestOptions(t *testing.T) {
+	if _, err := New(WithSamples(0)); err == nil {
+		t.Error("samples=0 should fail")
+	}
+	if _, err := New(WithThreshold(0)); err == nil {
+		t.Error("threshold=0 should fail")
+	}
+	d, err := New(WithThreshold(50), WithSamples(10), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Threshold() != 50 || !d.Trained() {
+		t.Errorf("threshold=%d trained=%v", d.Threshold(), d.Trained())
+	}
+}
+
+func TestScanValidation(t *testing.T) {
+	d, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Scan(nil); err == nil {
+		t.Error("empty payload should fail")
+	}
+}
+
+func TestDetectsSledWorm(t *testing.T) {
+	// APE was built for sled worms and must catch them.
+	d, err := New(WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sled := shellcode.SledWorm(500)
+	v, err := d.Scan(sled.Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Malicious {
+		t.Errorf("sled worm evaded APE: MEL=%d threshold=%d", v.MEL, d.Threshold())
+	}
+}
+
+func TestMissesRegisterSpringWorm(t *testing.T) {
+	// Section 4.1: modern sled-less worms evade APE.
+	d, err := New(WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spring := shellcode.RegisterSpringWorm(0x8048000, 0x7F)
+	v, err := d.Scan(spring.Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Malicious {
+		t.Errorf("register-spring worm flagged by APE: MEL=%d", v.MEL)
+	}
+}
+
+// TestIneffectiveOnText is the Section 6 result: trained on benign text,
+// APE's experimentally derived threshold is so high (benign text MEL is
+// huge under its narrow rules) that text worms slip under it.
+func TestIneffectiveOnText(t *testing.T) {
+	d, err := New(WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Train(benign(t, 8, 15), 1); err != nil {
+		t.Fatal(err)
+	}
+	if d.Threshold() < 100 {
+		t.Errorf("APE text-trained threshold = %d; expected far above DAWN's 40", d.Threshold())
+	}
+	missed := 0
+	const worms = 10
+	for i := 0; i < worms; i++ {
+		w, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: uint64(i), SledLen: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := d.Scan(w.Bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Malicious {
+			missed++
+		}
+	}
+	if missed == 0 {
+		t.Error("APE caught every text worm; the paper found it ineffective on text")
+	}
+	t.Logf("APE missed %d/%d text worms at threshold %d", missed, worms, d.Threshold())
+}
+
+func TestTrainValidation(t *testing.T) {
+	d, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Train(nil, 1); err == nil {
+		t.Error("empty training should fail")
+	}
+	if err := d.Train(benign(t, 1, 2), -1); err == nil {
+		t.Error("negative margin should fail")
+	}
+	if err := d.TrainQuantile(nil, 0.9); err == nil {
+		t.Error("empty quantile training should fail")
+	}
+	if err := d.TrainQuantile(benign(t, 1, 2), 0); err == nil {
+		t.Error("q=0 should fail")
+	}
+	if err := d.TrainQuantile(benign(t, 1, 2), 1.5); err == nil {
+		t.Error("q>1 should fail")
+	}
+}
+
+func TestTrainQuantile(t *testing.T) {
+	d, err := New(WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := benign(t, 9, 10)
+	if err := d.TrainQuantile(data, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	median := d.Threshold()
+	if err := d.TrainQuantile(data, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if d.Threshold() < median {
+		t.Errorf("max quantile threshold %d below median %d", d.Threshold(), median)
+	}
+}
+
+func TestSamplingBoundsWork(t *testing.T) {
+	// Sampled MEL is a lower bound on the full-scan MEL.
+	dSampled, err := New(WithSamples(8), WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := benign(t, 10, 1)[0]
+	vSampled, err := dSampled.Scan(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dFull, err := New(WithSamples(len(payload) + 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vFull, err := dFull.Scan(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vSampled.MEL > vFull.MEL {
+		t.Errorf("sampled MEL %d exceeds full MEL %d", vSampled.MEL, vFull.MEL)
+	}
+	if vSampled.Positions != 8 {
+		t.Errorf("positions = %d", vSampled.Positions)
+	}
+}

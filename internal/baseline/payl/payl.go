@@ -1,0 +1,152 @@
+// Package payl implements a PAYL-style 1-gram payload anomaly detector
+// (Wang & Stolfo, RAID 2004) and the Kolesnikov-Lee blending attack the
+// paper cites against it (Section 1): a worm padded with bytes matching
+// the benign byte-frequency profile slides under PAYL's distance
+// threshold while its MEL stays high.
+package payl
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// SmoothingFactor is PAYL's variance smoothing constant.
+const SmoothingFactor = 0.001
+
+// Model is a trained 1-gram profile: per-byte mean and standard
+// deviation of relative frequencies over benign payloads.
+type Model struct {
+	mean      [256]float64
+	std       [256]float64
+	threshold float64
+	trained   bool
+}
+
+// Train fits the profile and sets the threshold at the maximum benign
+// training distance times (1 + slack).
+func Train(benign [][]byte, slack float64) (*Model, error) {
+	if len(benign) < 2 {
+		return nil, errors.New("payl: need at least 2 training payloads")
+	}
+	if slack < 0 {
+		return nil, errors.New("payl: negative slack")
+	}
+	freqs := make([][256]float64, 0, len(benign))
+	for _, b := range benign {
+		if len(b) == 0 {
+			return nil, errors.New("payl: empty training payload")
+		}
+		freqs = append(freqs, relFreq(b))
+	}
+	m := &Model{}
+	for v := 0; v < 256; v++ {
+		var sum float64
+		for _, f := range freqs {
+			sum += f[v]
+		}
+		m.mean[v] = sum / float64(len(freqs))
+	}
+	for v := 0; v < 256; v++ {
+		var ss float64
+		for _, f := range freqs {
+			d := f[v] - m.mean[v]
+			ss += d * d
+		}
+		m.std[v] = math.Sqrt(ss / float64(len(freqs)-1))
+	}
+	var maxDist float64
+	for _, b := range benign {
+		if d := m.Distance(b); d > maxDist {
+			maxDist = d
+		}
+	}
+	m.threshold = maxDist * (1 + slack)
+	m.trained = true
+	return m, nil
+}
+
+// Threshold returns the operating threshold.
+func (m *Model) Threshold() float64 { return m.threshold }
+
+// Distance returns the simplified Mahalanobis distance of the payload's
+// 1-gram profile from the model:
+// Σ_v |f_v - μ_v| / (σ_v + α).
+func (m *Model) Distance(payload []byte) float64 {
+	if len(payload) == 0 {
+		return math.Inf(1)
+	}
+	f := relFreq(payload)
+	var d float64
+	for v := 0; v < 256; v++ {
+		d += math.Abs(f[v]-m.mean[v]) / (m.std[v] + SmoothingFactor)
+	}
+	return d
+}
+
+// Verdict is a PAYL scan result.
+type Verdict struct {
+	Malicious bool
+	Distance  float64
+}
+
+// Scan flags payloads whose distance exceeds the trained threshold.
+func (m *Model) Scan(payload []byte) (Verdict, error) {
+	if !m.trained {
+		return Verdict{}, errors.New("payl: model not trained")
+	}
+	if len(payload) == 0 {
+		return Verdict{}, errors.New("payl: empty payload")
+	}
+	d := m.Distance(payload)
+	return Verdict{Malicious: d > m.threshold, Distance: d}, nil
+}
+
+func relFreq(b []byte) [256]float64 {
+	var f [256]float64
+	for _, v := range b {
+		f[v]++
+	}
+	n := float64(len(b))
+	for i := range f {
+		f[i] /= n
+	}
+	return f
+}
+
+// Blend pads the payload with filler bytes drawn from the target byte
+// distribution until the combined 1-gram profile approaches it — the
+// Kolesnikov-Lee polymorphic-blending construction. The filler is
+// appended after the payload (in a real exploit it rides in unused
+// buffer space), is restricted to text bytes so the channel stays
+// keyboard-enterable, and is sized at padFactor times the payload
+// length.
+func Blend(payload []byte, target [256]float64, padFactor int, seed uint64) ([]byte, error) {
+	if len(payload) == 0 {
+		return nil, errors.New("payl: empty payload")
+	}
+	if padFactor < 1 {
+		return nil, errors.New("payl: padFactor must be >= 1")
+	}
+	// Build the text-restricted sampling distribution.
+	var weights []float64
+	var values []byte
+	for v := 0x20; v <= 0x7E; v++ {
+		if target[v] > 0 {
+			weights = append(weights, target[v])
+			values = append(values, byte(v))
+		}
+	}
+	if len(values) == 0 {
+		return nil, errors.New("payl: target distribution has no text mass")
+	}
+	rng := stats.NewRNG(seed)
+	padLen := len(payload) * padFactor
+	out := make([]byte, 0, len(payload)+padLen)
+	out = append(out, payload...)
+	for i := 0; i < padLen; i++ {
+		out = append(out, values[rng.WeightedChoice(weights)])
+	}
+	return out, nil
+}

@@ -1,0 +1,202 @@
+package payl
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/encoder"
+	"repro/internal/shellcode"
+	"repro/internal/textins"
+)
+
+func benignPayloads(t *testing.T, seed uint64, n int) [][]byte {
+	t.Helper()
+	cases, err := corpus.Dataset(seed, n, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]byte, len(cases))
+	for i, c := range cases {
+		out[i] = c.Data
+	}
+	return out
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, 0.1); err == nil {
+		t.Error("empty training should fail")
+	}
+	if _, err := Train([][]byte{{1}}, 0.1); err == nil {
+		t.Error("single payload should fail")
+	}
+	if _, err := Train([][]byte{{1}, nil}, 0.1); err == nil {
+		t.Error("empty member should fail")
+	}
+	if _, err := Train(benignPayloads(t, 1, 3), -1); err == nil {
+		t.Error("negative slack should fail")
+	}
+}
+
+func TestScanValidation(t *testing.T) {
+	m, err := Train(benignPayloads(t, 2, 5), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Scan(nil); err == nil {
+		t.Error("empty payload should fail")
+	}
+	var untrained Model
+	if _, err := untrained.Scan([]byte("x")); err == nil {
+		t.Error("untrained model should fail")
+	}
+}
+
+func TestBenignPassesMalwareFlagged(t *testing.T) {
+	train := benignPayloads(t, 3, 30)
+	m, err := Train(train, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Held-out benign traffic stays under threshold.
+	held := benignPayloads(t, 99, 10)
+	fp := 0
+	for _, b := range held {
+		v, err := m.Scan(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Malicious {
+			fp++
+		}
+	}
+	if fp > 2 {
+		t.Errorf("PAYL flagged %d/10 held-out benign cases", fp)
+	}
+	// Binary shellcode deviates wildly from the text profile.
+	v, err := m.Scan(shellcode.Execve().Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Malicious {
+		t.Errorf("binary shellcode distance %v under threshold %v", v.Distance, m.Threshold())
+	}
+	// An unblended text worm also deviates (its byte mix is codes, not
+	// prose).
+	w, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err = m.Scan(w.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Malicious {
+		t.Errorf("raw text worm distance %v under threshold %v", v.Distance, m.Threshold())
+	}
+}
+
+// TestBlendingEvadesPAYLButNotMEL reproduces the paper's Section 1
+// argument via Kolesnikov-Lee blending: pad the text worm with benign-
+// profile filler until PAYL passes it, then show the MEL detector still
+// flags it.
+func TestBlendingEvadesPAYLButNotMEL(t *testing.T) {
+	train := benignPayloads(t, 5, 30)
+	m, err := Train(train, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := corpus.Frequencies(corpus.Concat(mustCases(t, 5, 30)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blended, err := Blend(w.Bytes, target, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !textins.IsTextStream(blended) {
+		t.Fatal("blended payload must stay pure text")
+	}
+
+	vPAYL, err := m.Scan(blended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vPAYL.Malicious {
+		t.Fatalf("blending failed: distance %v still above threshold %v",
+			vPAYL.Distance, m.Threshold())
+	}
+
+	det, err := core.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vMEL, err := det.Scan(blended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vMEL.Malicious {
+		t.Errorf("MEL detector missed the blended worm (MEL=%d τ=%v)", vMEL.MEL, vMEL.Threshold)
+	}
+}
+
+func mustCases(t *testing.T, seed uint64, n int) []corpus.Case {
+	t.Helper()
+	cases, err := corpus.Dataset(seed, n, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cases
+}
+
+func TestDistanceProperties(t *testing.T) {
+	train := benignPayloads(t, 8, 10)
+	m, err := Train(train, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distance to a training member is at most the pre-slack maximum.
+	maxTrain := 0.0
+	for _, b := range train {
+		if d := m.Distance(b); d > maxTrain {
+			maxTrain = d
+		}
+	}
+	if maxTrain > m.Threshold() {
+		t.Errorf("training max %v exceeds threshold %v", maxTrain, m.Threshold())
+	}
+	if !math.IsInf(m.Distance(nil), 1) {
+		t.Error("distance of empty payload should be +Inf")
+	}
+}
+
+func TestBlendValidation(t *testing.T) {
+	var target [256]float64
+	target['a'] = 1
+	if _, err := Blend(nil, target, 2, 1); err == nil {
+		t.Error("empty payload should fail")
+	}
+	if _, err := Blend([]byte("x"), target, 0, 1); err == nil {
+		t.Error("padFactor=0 should fail")
+	}
+	var binaryOnly [256]float64
+	binaryOnly[0x01] = 1
+	if _, err := Blend([]byte("x"), binaryOnly, 2, 1); err == nil {
+		t.Error("target without text mass should fail")
+	}
+	out, err := Blend([]byte("xy"), target, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2+6 {
+		t.Errorf("blended length %d, want 8", len(out))
+	}
+	if string(out[:2]) != "xy" {
+		t.Error("payload must be preserved as prefix")
+	}
+}

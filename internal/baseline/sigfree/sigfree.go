@@ -1,0 +1,204 @@
+// Package sigfree implements a SigFree-like detector (Wang et al.,
+// USENIX Security 2006), the Section 4.2 contrast point. Where MEL
+// counts every valid instruction, SigFree counts only "useful"
+// instructions — those that participate in data flow — so padding-style
+// filler does not inflate the score. The paper notes SigFree usually
+// keeps its text-malware path disabled for performance; this
+// implementation keeps it on and exposes the toggle.
+package sigfree
+
+import (
+	"errors"
+
+	"repro/internal/textins"
+	"repro/internal/x86"
+)
+
+// DefaultThreshold is the useful-instruction count above which a payload
+// is flagged. SigFree's published threshold is 15 for its full data-flow
+// anomaly counter; this implementation's simplified def-use counter is
+// deliberately conservative, so its operating point is calibrated lower.
+const DefaultThreshold = 3
+
+// Detector counts useful instructions in the most-useful execution chain.
+type Detector struct {
+	threshold int
+	// SkipText mirrors SigFree's default of bypassing pure-text input to
+	// protect throughput (Section 2's warning); off by default here.
+	SkipText bool
+}
+
+// New builds a detector; non-positive threshold takes the default.
+func New(threshold int) *Detector {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	return &Detector{threshold: threshold}
+}
+
+// Threshold returns the operating threshold.
+func (d *Detector) Threshold() int { return d.threshold }
+
+// Verdict is a SigFree scan result.
+type Verdict struct {
+	// Malicious is true when Useful exceeds the threshold.
+	Malicious bool
+	// Useful is the maximum useful-instruction count over start offsets.
+	Useful int
+	// Skipped is true when the text bypass suppressed analysis.
+	Skipped bool
+}
+
+// Scan counts useful instructions along the fall-through chain from
+// every offset. An instruction is useful when it defines a register or
+// memory that a later instruction in the same chain reads — approximated
+// here with a def-use pairing over registers plus all memory writes.
+func (d *Detector) Scan(payload []byte) (Verdict, error) {
+	if len(payload) == 0 {
+		return Verdict{}, errors.New("sigfree: empty payload")
+	}
+	if d.SkipText && textins.IsTextStream(payload) {
+		return Verdict{Skipped: true}, nil
+	}
+	best := 0
+	for off := 0; off < len(payload); off++ {
+		if u := usefulFrom(payload, off); u > best {
+			best = u
+		}
+	}
+	return Verdict{Malicious: best > d.threshold, Useful: best}, nil
+}
+
+// usefulFrom walks the linear chain at off and counts the data-flow
+// evidence SigFree looks for: reads of registers that were defined
+// earlier in the same chain, and memory writes through such registers.
+// Reads of never-defined registers, and writes through them, are noise
+// (benign text produces them constantly) and count for nothing. The
+// chain ends at any instruction that would abort execution (undefined
+// opcode, privileged/I/O instruction) or transfer control away.
+func usefulFrom(code []byte, off int) int {
+	type defSite struct {
+		reg  x86.Reg
+		used bool
+	}
+	var defs []defSite
+	defined := func(r x86.Reg) bool {
+		if r == x86.ESP {
+			return true // the stack pointer is always live
+		}
+		for i := range defs {
+			if defs[i].reg == r {
+				return true
+			}
+		}
+		return false
+	}
+	useful := 0
+	pos := off
+	steps := 0
+	for pos < len(code) && steps < 4096 {
+		inst, err := x86.Decode(code, pos)
+		if err != nil || inst.Flags.Has(x86.FlagUndefined) ||
+			inst.Flags.Has(x86.FlagIO) || inst.Flags.Has(x86.FlagPrivileged) {
+			break
+		}
+		steps++
+		// An instruction is useful when it consumes a value the chain
+		// defined (reads a defined register, or writes memory through a
+		// defined pointer).
+		consumes := false
+		for _, r := range readRegs(&inst) {
+			if r != x86.ESP && defined(r) {
+				consumes = true
+				break
+			}
+		}
+		if inst.MemWrite && inst.MemBase != x86.RegNone && defined(inst.MemBase) {
+			consumes = true
+		}
+		if consumes {
+			useful++
+		}
+		// New defs.
+		if r, ok := writeReg(&inst); ok {
+			defs = append(defs, defSite{reg: r})
+		}
+		// Software interrupts return to the next instruction; all other
+		// control transfers end the statically known chain.
+		if inst.IsBranch() && !inst.Flags.Has(x86.FlagInt) {
+			break
+		}
+		pos += inst.Len
+	}
+	return useful
+}
+
+// readRegs lists registers the instruction reads (address-forming and
+// explicit register sources).
+func readRegs(inst *x86.Inst) []x86.Reg {
+	var out []x86.Reg
+	if inst.MemAccess {
+		if inst.MemBase != x86.RegNone {
+			out = append(out, inst.MemBase)
+		}
+		if inst.MemIndex != x86.RegNone {
+			out = append(out, inst.MemIndex)
+		}
+	}
+	if inst.HasModRM && inst.Mod == 3 {
+		out = append(out, x86.Reg(inst.RM))
+	}
+	switch inst.Op {
+	case x86.OpPUSH:
+		if !inst.HasModRM && !inst.TwoByte && inst.Opcode >= 0x50 && inst.Opcode <= 0x57 {
+			out = append(out, x86.Reg(inst.Opcode&7))
+		}
+	case x86.OpINC, x86.OpDEC:
+		if !inst.HasModRM && !inst.TwoByte {
+			out = append(out, x86.Reg(inst.Opcode&7))
+		}
+	case x86.OpMOV:
+		if inst.Opcode == 0x88 || inst.Opcode == 0x89 {
+			out = append(out, x86.Reg(inst.RegField)) // store source
+		}
+	case x86.OpINT:
+		out = append(out, x86.EAX, x86.EBX, x86.ECX, x86.EDX)
+	}
+	return out
+}
+
+// writeReg returns the register the instruction defines, if any.
+func writeReg(inst *x86.Inst) (x86.Reg, bool) {
+	switch inst.Op {
+	case x86.OpPOP:
+		if !inst.HasModRM && !inst.TwoByte && inst.Opcode >= 0x58 && inst.Opcode <= 0x5F {
+			return x86.Reg(inst.Opcode & 7), true
+		}
+	case x86.OpMOV:
+		if inst.Opcode >= 0xB0 && inst.Opcode <= 0xBF {
+			return x86.Reg(inst.Opcode & 7), true
+		}
+		if inst.Opcode == 0x8B || inst.Opcode == 0x8A {
+			return x86.Reg(inst.RegField), true
+		}
+		if (inst.Opcode == 0x88 || inst.Opcode == 0x89) && inst.Mod == 3 {
+			return x86.Reg(inst.RM), true // register-to-register store form
+		}
+	case x86.OpINC, x86.OpDEC:
+		if !inst.HasModRM && !inst.TwoByte {
+			return x86.Reg(inst.Opcode & 7), true
+		}
+	case x86.OpLEA, x86.OpMOVZX, x86.OpMOVSX, x86.OpIMUL:
+		if inst.HasModRM {
+			return x86.Reg(inst.RegField), true
+		}
+	case x86.OpXOR, x86.OpSUB, x86.OpADD, x86.OpAND, x86.OpOR:
+		if inst.HasModRM && inst.Mod == 3 {
+			return x86.Reg(inst.RM), true
+		}
+		if !inst.HasModRM && inst.ImmSize > 0 {
+			return x86.EAX, true // accumulator-immediate forms
+		}
+	}
+	return 0, false
+}

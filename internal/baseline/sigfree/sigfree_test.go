@@ -1,0 +1,131 @@
+package sigfree
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/encoder"
+	"repro/internal/shellcode"
+)
+
+func TestDefaults(t *testing.T) {
+	d := New(0)
+	if d.Threshold() != DefaultThreshold {
+		t.Errorf("threshold = %d", d.Threshold())
+	}
+	d = New(25)
+	if d.Threshold() != 25 {
+		t.Errorf("threshold = %d", d.Threshold())
+	}
+}
+
+func TestScanValidation(t *testing.T) {
+	d := New(0)
+	if _, err := d.Scan(nil); err == nil {
+		t.Error("empty payload should fail")
+	}
+}
+
+func TestTextBypassToggle(t *testing.T) {
+	// Section 2: SigFree usually bypasses text input. With the toggle on,
+	// pure-text worms sail through unanalyzed.
+	d := New(0)
+	d.SkipText = true
+	w, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Scan(w.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Skipped || v.Malicious {
+		t.Errorf("text bypass should skip analysis: %+v", v)
+	}
+	// Binary input is still analyzed.
+	v, err = d.Scan(shellcode.Execve().Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Skipped {
+		t.Error("binary input must not be skipped")
+	}
+}
+
+func TestDetectsBinaryShellcode(t *testing.T) {
+	d := New(0)
+	for _, sc := range shellcode.Corpus() {
+		if !sc.SpawnsShell {
+			// The exit/write payloads are deliberately tiny (3-5 useful
+			// instructions); even real SigFree needs enough data flow to
+			// anomalize. Only shell-spawning payloads are must-catch.
+			continue
+		}
+		v, err := d.Scan(sc.Code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Malicious {
+			t.Errorf("%s: useful=%d below threshold %d", sc.Name, v.Useful, d.Threshold())
+		}
+	}
+}
+
+func TestDetectsTextWormWhenEnabled(t *testing.T) {
+	// With text analysis on, the decrypter's heavy def-use chains and
+	// memory writes push the useful count over the threshold.
+	d := New(0)
+	w, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Scan(w.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Malicious {
+		t.Errorf("text worm useful count = %d, threshold %d", v.Useful, d.Threshold())
+	}
+}
+
+func TestBenignTextLowUsefulCount(t *testing.T) {
+	cases, err := corpus.Dataset(6, 10, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(0)
+	flagged := 0
+	for _, c := range cases {
+		v, err := d.Scan(c.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Malicious {
+			flagged++
+		}
+	}
+	// Useful-instruction counting is noisier than MEL on text; require
+	// only that it does not flag everything.
+	if flagged == len(cases) {
+		t.Errorf("sigfree flagged all %d benign cases", flagged)
+	}
+	t.Logf("sigfree flagged %d/%d benign cases", flagged, len(cases))
+}
+
+func TestUsefulCountMonotonicity(t *testing.T) {
+	// Appending an unrelated valid suffix cannot reduce the best count.
+	base := shellcode.Execve().Code
+	d := New(0)
+	v1, err := d.Scan(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	longer := append(append([]byte{}, base...), 0x90, 0x90, 0x90)
+	v2, err := d.Scan(longer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Useful < v1.Useful {
+		t.Errorf("useful count dropped from %d to %d after appending nops", v1.Useful, v2.Useful)
+	}
+}

@@ -1,0 +1,99 @@
+// Package signature implements a byte-signature scanner over the binary
+// shellcode corpus — the stand-in for the commercial AV of Section 5.1.
+// The experiment it supports: the scanner flags every binary shellcode
+// (whose signatures it knows) and none of their text re-encodings, which
+// share no byte signatures with the originals.
+package signature
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+// MinSignatureLen is the shortest allowed signature.
+const MinSignatureLen = 4
+
+// Signature is one named byte pattern.
+type Signature struct {
+	Name    string
+	Pattern []byte
+}
+
+// DB is a signature database.
+type DB struct {
+	sigs []Signature
+}
+
+// NewDB builds a database from explicit signatures.
+func NewDB(sigs []Signature) (*DB, error) {
+	db := &DB{}
+	for i, s := range sigs {
+		if len(s.Pattern) < MinSignatureLen {
+			return nil, fmt.Errorf("signature %d (%s): pattern shorter than %d bytes",
+				i, s.Name, MinSignatureLen)
+		}
+		db.sigs = append(db.sigs, Signature{
+			Name:    s.Name,
+			Pattern: append([]byte(nil), s.Pattern...),
+		})
+	}
+	return db, nil
+}
+
+// FromSamples extracts signatures from known-malicious samples, the way
+// AV vendors fingerprint corpora: a distinctive slice from the head and
+// one from the tail of each sample.
+func FromSamples(names []string, samples [][]byte, sigLen int) (*DB, error) {
+	if len(names) != len(samples) {
+		return nil, errors.New("signature: names/samples length mismatch")
+	}
+	if sigLen < MinSignatureLen {
+		return nil, fmt.Errorf("signature: sigLen %d below minimum %d", sigLen, MinSignatureLen)
+	}
+	var sigs []Signature
+	for i, s := range samples {
+		if len(s) < sigLen {
+			return nil, fmt.Errorf("signature: sample %q shorter than sigLen", names[i])
+		}
+		sigs = append(sigs, Signature{
+			Name:    names[i] + ".head",
+			Pattern: s[:sigLen],
+		})
+		sigs = append(sigs, Signature{
+			Name:    names[i] + ".tail",
+			Pattern: s[len(s)-sigLen:],
+		})
+	}
+	return NewDB(sigs)
+}
+
+// Size returns the number of signatures.
+func (db *DB) Size() int { return len(db.sigs) }
+
+// Match is one signature hit.
+type Match struct {
+	Name   string
+	Offset int
+}
+
+// Scan returns every signature match in the payload.
+func (db *DB) Scan(payload []byte) []Match {
+	var out []Match
+	for _, sig := range db.sigs {
+		if off := bytes.Index(payload, sig.Pattern); off >= 0 {
+			out = append(out, Match{Name: sig.Name, Offset: off})
+		}
+	}
+	return out
+}
+
+// Infected reports whether any signature matches.
+func (db *DB) Infected(payload []byte) bool {
+	for _, sig := range db.sigs {
+		if bytes.Contains(payload, sig.Pattern) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,119 @@
+package signature
+
+import (
+	"testing"
+
+	"repro/internal/encoder"
+	"repro/internal/shellcode"
+)
+
+func corpusDB(t *testing.T) *DB {
+	t.Helper()
+	scs := shellcode.Corpus()
+	names := make([]string, len(scs))
+	samples := make([][]byte, len(scs))
+	for i, sc := range scs {
+		names[i] = sc.Name
+		samples[i] = sc.Code
+	}
+	db, err := FromSamples(names, samples, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestNewDBValidation(t *testing.T) {
+	if _, err := NewDB([]Signature{{Name: "x", Pattern: []byte{1, 2}}}); err == nil {
+		t.Error("short pattern should fail")
+	}
+	db, err := NewDB([]Signature{{Name: "x", Pattern: []byte{1, 2, 3, 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Size() != 1 {
+		t.Errorf("size = %d", db.Size())
+	}
+}
+
+func TestFromSamplesValidation(t *testing.T) {
+	if _, err := FromSamples([]string{"a"}, nil, 8); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := FromSamples([]string{"a"}, [][]byte{{1, 2, 3}}, 2); err == nil {
+		t.Error("tiny sigLen should fail")
+	}
+	if _, err := FromSamples([]string{"a"}, [][]byte{{1, 2, 3}}, 8); err == nil {
+		t.Error("sample shorter than sigLen should fail")
+	}
+}
+
+func TestSignatureIsolation(t *testing.T) {
+	// DB must copy patterns so later mutation cannot corrupt it.
+	pattern := []byte{1, 2, 3, 4, 5}
+	db, err := NewDB([]Signature{{Name: "x", Pattern: pattern}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern[0] = 99
+	if !db.Infected([]byte{0, 1, 2, 3, 4, 5, 6}) {
+		t.Error("mutated caller slice corrupted the DB")
+	}
+}
+
+// TestBinaryCaughtTextMissed is the Section 5.1 AV experiment: the
+// scanner flags all binary shellcodes and none of their text encodings.
+func TestBinaryCaughtTextMissed(t *testing.T) {
+	db := corpusDB(t)
+	for _, sc := range shellcode.Corpus() {
+		if !db.Infected(sc.Code) {
+			t.Errorf("binary %s not flagged", sc.Name)
+		}
+		w, err := encoder.Encode(sc.Code, encoder.Options{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if db.Infected(w.Bytes) {
+			t.Errorf("text encoding of %s matched a binary signature", sc.Name)
+		}
+	}
+}
+
+func TestScanReportsOffsets(t *testing.T) {
+	db := corpusDB(t)
+	payload := append(make([]byte, 100), shellcode.Execve().Code...)
+	matches := db.Scan(payload)
+	if len(matches) == 0 {
+		t.Fatal("no matches on embedded shellcode")
+	}
+	found := false
+	for _, m := range matches {
+		if m.Name == "execve.head" && m.Offset == 100 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected execve.head at offset 100, got %+v", matches)
+	}
+}
+
+func TestCleanPayload(t *testing.T) {
+	db := corpusDB(t)
+	if db.Infected([]byte("GET /index.html HTTP/1.1")) {
+		t.Error("benign request flagged")
+	}
+	if matches := db.Scan(nil); len(matches) != 0 {
+		t.Error("empty payload matched")
+	}
+}
+
+func TestVariantsShareSignatures(t *testing.T) {
+	// Diversified variants still embed the base payloads, so the scanner
+	// catches them — signatures work fine on un-re-encoded binaries.
+	db := corpusDB(t)
+	for _, v := range shellcode.Variants(5, 10) {
+		if !db.Infected(v.Code) {
+			t.Errorf("variant %s missed", v.Name)
+		}
+	}
+}

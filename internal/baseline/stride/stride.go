@@ -1,0 +1,102 @@
+// Package stride implements a STRIDE-like polymorphic-sled detector
+// (Akritidis et al., IFIP SEC 2005), the second binary-worm baseline of
+// Section 4.1. STRIDE's insight: a sled must be executable from EVERY
+// byte offset within some window (the exploit cannot control where the
+// corrupted pointer lands), so it slides a window over the payload and
+// reports a sled when all offsets in the window begin valid execution
+// chains of sufficient length.
+package stride
+
+import (
+	"errors"
+
+	"repro/internal/mel"
+)
+
+// DefaultWindow is the sled-length window STRIDE checks (bytes).
+const DefaultWindow = 30
+
+// DefaultMinRun is the minimum valid-instruction chain from each offset.
+const DefaultMinRun = 4
+
+// Detector is a sliding-window sled detector.
+type Detector struct {
+	engine *mel.Engine
+	window int
+	minRun int
+}
+
+// New builds a detector. window is the sled window in bytes, minRun the
+// minimum valid chain per offset; non-positive values take the defaults.
+func New(window, minRun int) *Detector {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	if minRun <= 0 {
+		minRun = DefaultMinRun
+	}
+	return &Detector{
+		engine: mel.NewEngineMode(mel.APE(), mel.ModeAllPaths),
+		window: window,
+		minRun: minRun,
+	}
+}
+
+// Verdict is a sled-detection result.
+type Verdict struct {
+	// SledFound is true when some window executes from every offset.
+	SledFound bool
+	// Position is the start of the first qualifying window.
+	Position int
+	// Coverage is the best fraction of offsets in any window that began
+	// qualifying chains (1.0 when SledFound).
+	Coverage float64
+}
+
+// Scan slides the window across the payload.
+func (d *Detector) Scan(payload []byte) (Verdict, error) {
+	if len(payload) == 0 {
+		return Verdict{}, errors.New("stride: empty payload")
+	}
+	if len(payload) < d.window {
+		return Verdict{}, nil
+	}
+	// Precompute per-offset valid-chain lengths once.
+	runs := make([]int, len(payload))
+	for off := range payload {
+		m, err := d.engine.ScanFrom(payload, off)
+		if err != nil {
+			return Verdict{}, err
+		}
+		runs[off] = m
+	}
+	qualifying := make([]int, len(payload)) // 1 when runs[off] >= minRun
+	for off, r := range runs {
+		if r >= d.minRun {
+			qualifying[off] = 1
+		}
+	}
+	// Sliding sum of qualifying offsets.
+	sum := 0
+	for i := 0; i < d.window; i++ {
+		sum += qualifying[i]
+	}
+	best, bestPos := sum, 0
+	if sum == d.window {
+		return Verdict{SledFound: true, Position: 0, Coverage: 1}, nil
+	}
+	for start := 1; start+d.window <= len(payload); start++ {
+		sum += qualifying[start+d.window-1] - qualifying[start-1]
+		if sum > best {
+			best, bestPos = sum, start
+		}
+		if sum == d.window {
+			return Verdict{SledFound: true, Position: start, Coverage: 1}, nil
+		}
+	}
+	return Verdict{
+		SledFound: false,
+		Position:  bestPos,
+		Coverage:  float64(best) / float64(d.window),
+	}, nil
+}

@@ -1,0 +1,117 @@
+package stride
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/shellcode"
+)
+
+func TestDefaults(t *testing.T) {
+	d := New(0, 0)
+	if d.window != DefaultWindow || d.minRun != DefaultMinRun {
+		t.Errorf("defaults not applied: %d %d", d.window, d.minRun)
+	}
+}
+
+func TestEmptyAndShortPayloads(t *testing.T) {
+	d := New(30, 4)
+	if _, err := d.Scan(nil); err == nil {
+		t.Error("empty payload should fail")
+	}
+	v, err := d.Scan([]byte{0x90, 0x90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.SledFound {
+		t.Error("payload shorter than window cannot contain a sled")
+	}
+}
+
+func TestDetectsNOPSled(t *testing.T) {
+	d := New(30, 4)
+	sled := shellcode.SledWorm(300)
+	v, err := d.Scan(sled.Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.SledFound {
+		t.Errorf("NOP sled not found: coverage=%v at %d", v.Coverage, v.Position)
+	}
+	if v.Position > 270 {
+		t.Errorf("sled found at %d, expected near the start", v.Position)
+	}
+}
+
+func TestMissesRegisterSpringWorm(t *testing.T) {
+	d := New(30, 4)
+	spring := shellcode.RegisterSpringWorm(0x8048000, 0x7F)
+	v, err := d.Scan(spring.Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.SledFound {
+		t.Error("register-spring worm has no sled; STRIDE should miss it")
+	}
+}
+
+func TestTextSledTrips(t *testing.T) {
+	// A text padding sled ('A' repeated) is executable from every offset,
+	// so STRIDE fires on it — text streams look sled-like to binary worm
+	// detectors, part of why they are the wrong tool for text channels.
+	data := make([]byte, 200)
+	for i := range data {
+		data[i] = 'A' // inc ecx
+	}
+	d := New(30, 4)
+	v, err := d.Scan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.SledFound {
+		t.Error("uniform text run should register as a sled surface")
+	}
+}
+
+func TestBenignBinaryNoise(t *testing.T) {
+	// Dense invalid opcodes break the every-offset property.
+	data := make([]byte, 300)
+	for i := range data {
+		if i%3 == 0 {
+			data[i] = 0x0F // escape into mostly-undefined territory
+			if i+1 < len(data) {
+				data[i+1] = 0xFF // undefined two-byte opcode
+			}
+		} else {
+			data[i] = 0xCC // int3 (invalid under APE rules)
+		}
+	}
+	d := New(30, 4)
+	v, err := d.Scan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.SledFound {
+		t.Errorf("garbage should not contain a sled (coverage %v)", v.Coverage)
+	}
+	if v.Coverage >= 1 {
+		t.Error("coverage should be under 1 for garbage")
+	}
+}
+
+func TestCoverageBounds(t *testing.T) {
+	cases, err := corpus.Dataset(4, 3, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(30, 4)
+	for _, c := range cases {
+		v, err := d.Scan(c.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Coverage < 0 || v.Coverage > 1 {
+			t.Errorf("coverage out of range: %v", v.Coverage)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package core assembles the paper's deployable artifact: a text-malware
+// detector whose MEL threshold is derived automatically from character
+// frequencies and a user-chosen false-positive bound α — "easily
+// deployable, signature-free, requires no parameter tuning, has user-
+// configurable detection sensitivity" (Section 7).
+//
+// The detector is calibrated once, from a pre-set character-frequency
+// table or a benign training sample (Section 5.2 allows either), and
+// then scans payloads: estimate n from the payload size, take p from the
+// calibration, derive τ(α, n, p), measure the payload's MEL by
+// pseudo-execution, and flag it if MEL > τ.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/corpus"
+	"repro/internal/mel"
+	"repro/internal/melmodel"
+	"repro/internal/textins"
+)
+
+// Configuration errors.
+var (
+	ErrBadAlpha      = errors.New("core: alpha must be in (0, 1)")
+	ErrNotCalibrated = errors.New("core: detector not calibrated")
+	ErrEmptyPayload  = errors.New("core: empty payload")
+)
+
+// Detector is a MEL-threshold text-malware detector.
+type Detector struct {
+	alpha    float64
+	rules    mel.Rules
+	mode     mel.Mode
+	engine   *mel.Engine
+	freq     [256]float64
+	perInput bool
+	ready    bool
+}
+
+// Option configures a Detector.
+type Option func(*Detector) error
+
+// WithAlpha sets the false-positive bound α (default 0.01, the paper's
+// setting).
+func WithAlpha(alpha float64) Option {
+	return func(d *Detector) error {
+		if alpha <= 0 || alpha >= 1 {
+			return ErrBadAlpha
+		}
+		d.alpha = alpha
+		return nil
+	}
+}
+
+// WithRules overrides the invalidity rules (default: the full DAWN set).
+func WithRules(rules mel.Rules) Option {
+	return func(d *Detector) error {
+		d.rules = rules
+		return nil
+	}
+}
+
+// WithMode overrides the scan mode (default: sequential, the
+// model-faithful measurement).
+func WithMode(mode mel.Mode) Option {
+	return func(d *Detector) error {
+		d.mode = mode
+		return nil
+	}
+}
+
+// WithPresetFrequencies calibrates from a pre-set character table, e.g.
+// corpus.EnglishFreq().
+func WithPresetFrequencies(freq [256]float64) Option {
+	return func(d *Detector) error {
+		d.freq = freq
+		d.ready = true
+		return nil
+	}
+}
+
+// WithPerInputCalibration estimates p from each scanned payload's own
+// character frequencies (the paper's "linear sweep of the input
+// character stream" fallback). Note that this hands the attacker control
+// over p: a worm built from characters that the rules never invalidate
+// drives its own threshold up. Prefer preset or training calibration for
+// adversarial settings.
+func WithPerInputCalibration() Option {
+	return func(d *Detector) error {
+		d.perInput = true
+		d.ready = true
+		return nil
+	}
+}
+
+// New builds a detector. Without a calibration option it defaults to the
+// English-prose preset table.
+func New(opts ...Option) (*Detector, error) {
+	d := &Detector{
+		alpha: 0.01,
+		rules: mel.DAWN(),
+		mode:  mel.ModeSequential,
+	}
+	for _, opt := range opts {
+		if err := opt(d); err != nil {
+			return nil, err
+		}
+	}
+	if !d.ready {
+		d.freq = corpus.EnglishFreq()
+		d.ready = true
+	}
+	d.engine = mel.NewEngineMode(d.rules, d.mode)
+	return d, nil
+}
+
+// Calibrate sets the frequency table from a benign training sample.
+func (d *Detector) Calibrate(training []byte) error {
+	freq, err := corpus.Frequencies(training)
+	if err != nil {
+		return fmt.Errorf("calibrate: %w", err)
+	}
+	d.freq = freq
+	d.perInput = false
+	d.ready = true
+	return nil
+}
+
+// Alpha returns the configured false-positive bound.
+func (d *Detector) Alpha() float64 { return d.alpha }
+
+// Verdict is the result of scanning one payload.
+type Verdict struct {
+	// Malicious is true when MEL exceeds the derived threshold.
+	Malicious bool
+	// MEL is the measured maximum executable length.
+	MEL int
+	// Threshold is the derived τ for this payload's size.
+	Threshold float64
+	// Params are the model parameters used for the threshold.
+	Params melmodel.Params
+	// TextOnly reports whether the payload is pure keyboard-enterable
+	// text (the channel the detector is designed for).
+	TextOnly bool
+	// BestStart is the offset where the longest path begins.
+	BestStart int
+}
+
+// Scan analyzes one payload.
+func (d *Detector) Scan(payload []byte) (Verdict, error) {
+	if d == nil || d.engine == nil {
+		return Verdict{}, ErrNotCalibrated
+	}
+	if len(payload) == 0 {
+		return Verdict{}, ErrEmptyPayload
+	}
+	freq := d.freq
+	if d.perInput {
+		f, err := corpus.Frequencies(payload)
+		if err != nil {
+			return Verdict{}, fmt.Errorf("scan: %w", err)
+		}
+		freq = f
+	}
+	params, err := melmodel.Estimate(freq, len(payload))
+	if err != nil {
+		return Verdict{}, fmt.Errorf("scan: estimate parameters: %w", err)
+	}
+	tau, err := melmodel.Threshold(d.alpha, params.N, params.P)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("scan: derive threshold: %w", err)
+	}
+	res, err := d.engine.Scan(payload)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("scan: %w", err)
+	}
+	return Verdict{
+		Malicious: float64(res.MEL) > tau,
+		MEL:       res.MEL,
+		Threshold: tau,
+		Params:    params,
+		TextOnly:  textins.IsTextStream(payload),
+		BestStart: res.BestStart,
+	}, nil
+}
+
+// ScanAll scans a batch and returns the verdicts.
+func (d *Detector) ScanAll(payloads [][]byte) ([]Verdict, error) {
+	out := make([]Verdict, 0, len(payloads))
+	for i, p := range payloads {
+		v, err := d.Scan(p)
+		if err != nil {
+			return nil, fmt.Errorf("payload %d: %w", i, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Evaluation summarizes detection quality over labelled batches.
+type Evaluation struct {
+	TruePositives  int
+	FalsePositives int
+	TrueNegatives  int
+	FalseNegatives int
+}
+
+// FalsePositiveRate returns FP / (FP + TN), or 0 when undefined.
+func (e Evaluation) FalsePositiveRate() float64 {
+	if e.FalsePositives+e.TrueNegatives == 0 {
+		return 0
+	}
+	return float64(e.FalsePositives) / float64(e.FalsePositives+e.TrueNegatives)
+}
+
+// FalseNegativeRate returns FN / (FN + TP), or 0 when undefined.
+func (e Evaluation) FalseNegativeRate() float64 {
+	if e.FalseNegatives+e.TruePositives == 0 {
+		return 0
+	}
+	return float64(e.FalseNegatives) / float64(e.FalseNegatives+e.TruePositives)
+}
+
+// Evaluate scans benign and malicious batches and tabulates the
+// confusion counts — the Section 5.3 experiment shape.
+func (d *Detector) Evaluate(benign, malicious [][]byte) (Evaluation, error) {
+	var ev Evaluation
+	for i, p := range benign {
+		v, err := d.Scan(p)
+		if err != nil {
+			return ev, fmt.Errorf("benign %d: %w", i, err)
+		}
+		if v.Malicious {
+			ev.FalsePositives++
+		} else {
+			ev.TrueNegatives++
+		}
+	}
+	for i, p := range malicious {
+		v, err := d.Scan(p)
+		if err != nil {
+			return ev, fmt.Errorf("malicious %d: %w", i, err)
+		}
+		if v.Malicious {
+			ev.TruePositives++
+		} else {
+			ev.FalseNegatives++
+		}
+	}
+	return ev, nil
+}

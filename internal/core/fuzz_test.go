@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzScan drives the full detector pipeline with arbitrary payloads: it
+// must never panic and its verdict fields must be internally consistent.
+func FuzzScan(f *testing.F) {
+	f.Add([]byte("GET /index.html HTTP/1.1"))
+	f.Add([]byte{0x90, 0x90, 0xCD, 0x80})
+	f.Add([]byte("TYQX----hAAAA^h@@@@_!q !y 1A "))
+	f.Add(make([]byte, 64))
+	det, err := New()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := det.Scan(data)
+		if err != nil {
+			if len(data) != 0 {
+				t.Fatalf("scan error on non-empty payload: %v", err)
+			}
+			return
+		}
+		if v.MEL < 0 || v.MEL > len(data) {
+			t.Fatalf("MEL %d out of range for %d bytes", v.MEL, len(data))
+		}
+		if v.Threshold <= 0 {
+			t.Fatalf("non-positive threshold %v", v.Threshold)
+		}
+		if v.Malicious != (float64(v.MEL) > v.Threshold) {
+			t.Fatal("verdict inconsistent with MEL and threshold")
+		}
+		if v.BestStart < 0 || v.BestStart >= len(data) {
+			t.Fatalf("best start %d out of range", v.BestStart)
+		}
+	})
+}

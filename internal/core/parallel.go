@@ -1,0 +1,90 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ScanBatch scans payloads concurrently with a bounded worker pool and
+// returns verdicts in input order. The detector is safe for concurrent
+// Scan calls (its configuration is immutable after New/Calibrate; each
+// scan allocates its own engine state). workers <= 0 selects
+// GOMAXPROCS. The context cancels outstanding work; the first error
+// (scan failure or cancellation) is returned and remaining work is
+// abandoned.
+func (d *Detector) ScanBatch(ctx context.Context, payloads [][]byte, workers int) ([]Verdict, error) {
+	if d == nil || d.engine == nil {
+		return nil, ErrNotCalibrated
+	}
+	if ctx == nil {
+		return nil, errors.New("core: nil context")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(payloads) {
+		workers = len(payloads)
+	}
+	if len(payloads) == 0 {
+		return nil, nil
+	}
+
+	type job struct{ idx int }
+	jobs := make(chan job)
+	verdicts := make([]Verdict, len(payloads))
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				v, err := d.Scan(payloads[j.idx])
+				if err != nil {
+					fail(fmt.Errorf("payload %d: %w", j.idx, err))
+					return
+				}
+				verdicts[j.idx] = v
+			}
+		}()
+	}
+
+	// Feed jobs until done or cancelled.
+	feed := func() {
+		defer close(jobs)
+		for i := range payloads {
+			select {
+			case jobs <- job{idx: i}:
+			case <-cctx.Done():
+				return
+			}
+		}
+	}
+	feed()
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return verdicts, nil
+}

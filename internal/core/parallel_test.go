@@ -1,0 +1,93 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestScanBatchMatchesSequential(t *testing.T) {
+	d := buildDetector(t)
+	batch := benignCases(t, 61, 12)
+	batch = append(batch, wormCases(t, 4)...)
+
+	seq, err := d.ScanAll(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := d.ScanBatch(context.Background(), batch, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("length %d vs %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if par[i].MEL != seq[i].MEL || par[i].Malicious != seq[i].Malicious {
+			t.Errorf("payload %d: parallel %+v vs sequential %+v", i, par[i], seq[i])
+		}
+	}
+}
+
+func TestScanBatchWorkerDefaults(t *testing.T) {
+	d := buildDetector(t)
+	batch := benignCases(t, 62, 3)
+	// workers <= 0 → GOMAXPROCS; workers > len → clamped.
+	for _, workers := range []int{0, -1, 100} {
+		vs, err := d.ScanBatch(context.Background(), batch, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(vs) != len(batch) {
+			t.Fatalf("workers=%d: %d verdicts", workers, len(vs))
+		}
+	}
+}
+
+func TestScanBatchEmpty(t *testing.T) {
+	d := buildDetector(t)
+	vs, err := d.ScanBatch(context.Background(), nil, 4)
+	if err != nil || vs != nil {
+		t.Errorf("empty batch: %v, %v", vs, err)
+	}
+}
+
+func TestScanBatchPropagatesError(t *testing.T) {
+	d := buildDetector(t)
+	batch := benignCases(t, 63, 4)
+	batch[2] = nil // empty payload → scan error
+	if _, err := d.ScanBatch(context.Background(), batch, 2); err == nil {
+		t.Error("batch with empty payload should fail")
+	}
+}
+
+func TestScanBatchCancellation(t *testing.T) {
+	d := buildDetector(t)
+	// A big batch with an already-cancelled context must return promptly
+	// with the context error.
+	batch := benignCases(t, 64, 50)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := d.ScanBatch(ctx, batch, 2)
+	if err == nil {
+		t.Error("cancelled context should fail")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancellation did not short-circuit")
+	}
+}
+
+func TestScanBatchNilContext(t *testing.T) {
+	d := buildDetector(t)
+	if _, err := d.ScanBatch(nil, benignCases(t, 65, 1), 1); err == nil { //nolint:staticcheck
+		t.Error("nil context should fail")
+	}
+}
+
+func TestScanBatchNilDetector(t *testing.T) {
+	var d *Detector
+	if _, err := d.ScanBatch(context.Background(), nil, 1); err == nil {
+		t.Error("nil detector should fail")
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/mel"
+	"repro/internal/x86"
+)
+
+// Profile is the serializable calibration state of a detector: the
+// character-frequency table and operating configuration. Deployments
+// calibrate once on representative traffic, persist the profile, and
+// load it on every sensor (Section 5.2's pre-set table, made concrete).
+type Profile struct {
+	// Version guards the on-disk format.
+	Version int `json:"version"`
+	// Alpha is the false-positive bound.
+	Alpha float64 `json:"alpha"`
+	// Frequencies is the character table, indexed by byte value.
+	Frequencies []float64 `json:"frequencies"`
+	// Rules captures the invalidity-rule configuration.
+	Rules ProfileRules `json:"rules"`
+	// AllPaths selects the all-paths scan mode when true.
+	AllPaths bool `json:"allPaths"`
+}
+
+// ProfileRules is the serializable form of mel.Rules.
+type ProfileRules struct {
+	InvalidateIO           bool  `json:"invalidateIO"`
+	InvalidatePrivileged   bool  `json:"invalidatePrivileged"`
+	WrongSegs              []int `json:"wrongSegs"`
+	InvalidateExplicitAddr bool  `json:"invalidateExplicitAddr"`
+	TrackRegisterInit      bool  `json:"trackRegisterInit"`
+	InvalidateInterrupts   bool  `json:"invalidateInterrupts"`
+	InvalidateFarTransfers bool  `json:"invalidateFarTransfers"`
+}
+
+// profileVersion is the current format version.
+const profileVersion = 1
+
+// ErrBadProfile reports an unusable serialized profile.
+var ErrBadProfile = errors.New("core: invalid profile")
+
+// ExportProfile captures the detector's calibration. It fails for
+// per-input-calibrated detectors, which have no stable table to export.
+func (d *Detector) ExportProfile() (*Profile, error) {
+	if d == nil || !d.ready {
+		return nil, ErrNotCalibrated
+	}
+	if d.perInput {
+		return nil, errors.New("core: per-input detectors have no profile")
+	}
+	p := &Profile{
+		Version:     profileVersion,
+		Alpha:       d.alpha,
+		Frequencies: make([]float64, 256),
+		AllPaths:    d.mode == mel.ModeAllPaths,
+		Rules: ProfileRules{
+			InvalidateIO:           d.rules.InvalidateIO,
+			InvalidatePrivileged:   d.rules.InvalidatePrivileged,
+			InvalidateExplicitAddr: d.rules.InvalidateExplicitAddr,
+			TrackRegisterInit:      d.rules.TrackRegisterInit,
+			InvalidateInterrupts:   d.rules.InvalidateInterrupts,
+			InvalidateFarTransfers: d.rules.InvalidateFarTransfers,
+		},
+	}
+	copy(p.Frequencies, d.freq[:])
+	for seg, wrong := range d.rules.WrongSegs {
+		if wrong {
+			p.Rules.WrongSegs = append(p.Rules.WrongSegs, int(seg))
+		}
+	}
+	return p, nil
+}
+
+// Validate checks the profile's invariants.
+func (p *Profile) Validate() error {
+	if p.Version != profileVersion {
+		return fmt.Errorf("%w: version %d", ErrBadProfile, p.Version)
+	}
+	if p.Alpha <= 0 || p.Alpha >= 1 {
+		return fmt.Errorf("%w: alpha %v", ErrBadProfile, p.Alpha)
+	}
+	if len(p.Frequencies) != 256 {
+		return fmt.Errorf("%w: %d frequency entries", ErrBadProfile, len(p.Frequencies))
+	}
+	var sum float64
+	for i, v := range p.Frequencies {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: frequency[%d] = %v", ErrBadProfile, i, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("%w: frequencies sum to %v", ErrBadProfile, sum)
+	}
+	for _, s := range p.Rules.WrongSegs {
+		if s < int(x86.SegES) || s > int(x86.SegGS) {
+			return fmt.Errorf("%w: segment %d", ErrBadProfile, s)
+		}
+	}
+	return nil
+}
+
+// NewFromProfile builds a detector from a validated profile.
+func NewFromProfile(p *Profile) (*Detector, error) {
+	if p == nil {
+		return nil, ErrBadProfile
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rules := mel.Rules{
+		InvalidateIO:           p.Rules.InvalidateIO,
+		InvalidatePrivileged:   p.Rules.InvalidatePrivileged,
+		InvalidateExplicitAddr: p.Rules.InvalidateExplicitAddr,
+		TrackRegisterInit:      p.Rules.TrackRegisterInit,
+		InvalidateInterrupts:   p.Rules.InvalidateInterrupts,
+		InvalidateFarTransfers: p.Rules.InvalidateFarTransfers,
+	}
+	if len(p.Rules.WrongSegs) > 0 {
+		rules.WrongSegs = make(map[x86.Seg]bool, len(p.Rules.WrongSegs))
+		for _, s := range p.Rules.WrongSegs {
+			rules.WrongSegs[x86.Seg(s)] = true
+		}
+	}
+	mode := mel.ModeSequential
+	if p.AllPaths {
+		mode = mel.ModeAllPaths
+	}
+	var freq [256]float64
+	copy(freq[:], p.Frequencies)
+	return New(
+		WithAlpha(p.Alpha),
+		WithRules(rules),
+		WithMode(mode),
+		WithPresetFrequencies(freq),
+	)
+}
+
+// WriteTo serializes the profile as JSON.
+func (p *Profile) WriteTo(w io.Writer) (int64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	enc, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return 0, fmt.Errorf("core: encode profile: %w", err)
+	}
+	n, err := w.Write(append(enc, '\n'))
+	return int64(n), err
+}
+
+// ReadProfile deserializes and validates a profile.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	var p Profile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadProfile, err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func TestProfileRoundTrip(t *testing.T) {
+	d := buildDetector(t, WithAlpha(0.02))
+	if err := d.Calibrate(corpus.Concat(mustDataset(t, 71, 10, 4000))); err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.ExportProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewFromProfile(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verdicts must be identical.
+	payloads := benignCases(t, 72, 5)
+	payloads = append(payloads, wormCases(t, 2)...)
+	for i, pl := range payloads {
+		v1, err := d.Scan(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := d2.Scan(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v1.MEL != v2.MEL || v1.Malicious != v2.Malicious || v1.Threshold != v2.Threshold {
+			t.Errorf("payload %d: original %+v vs restored %+v", i, v1, v2)
+		}
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	d := buildDetector(t)
+	p, err := d.ExportProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := *p
+	cases := []struct {
+		name   string
+		mutate func(*Profile)
+	}{
+		{"bad version", func(p *Profile) { p.Version = 99 }},
+		{"bad alpha", func(p *Profile) { p.Alpha = 0 }},
+		{"short table", func(p *Profile) { p.Frequencies = p.Frequencies[:100] }},
+		{"negative frequency", func(p *Profile) {
+			p.Frequencies = append([]float64(nil), good.Frequencies...)
+			p.Frequencies[0] = -1
+		}},
+		{"unnormalized", func(p *Profile) {
+			p.Frequencies = make([]float64, 256)
+			p.Frequencies[0] = 0.5
+		}},
+		{"bad segment", func(p *Profile) { p.Rules.WrongSegs = []int{99} }},
+	}
+	for _, c := range cases {
+		bad := good
+		bad.Frequencies = append([]float64(nil), good.Frequencies...)
+		bad.Rules.WrongSegs = append([]int(nil), good.Rules.WrongSegs...)
+		c.mutate(&bad)
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%s: validation should fail", c.name)
+		}
+		if _, err := NewFromProfile(&bad); err == nil {
+			t.Errorf("%s: NewFromProfile should fail", c.name)
+		}
+	}
+	if _, err := NewFromProfile(nil); err == nil {
+		t.Error("nil profile should fail")
+	}
+}
+
+func TestProfileExportRestrictions(t *testing.T) {
+	var nilDet *Detector
+	if _, err := nilDet.ExportProfile(); err == nil {
+		t.Error("nil detector should fail")
+	}
+	perInput := buildDetector(t, WithPerInputCalibration())
+	if _, err := perInput.ExportProfile(); err == nil {
+		t.Error("per-input detector should fail to export")
+	}
+}
+
+func TestReadProfileGarbage(t *testing.T) {
+	if _, err := ReadProfile(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := ReadProfile(strings.NewReader(`{"version":1}`)); err == nil {
+		t.Error("incomplete profile should fail")
+	}
+}

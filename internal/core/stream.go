@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Streaming defaults.
+const (
+	// DefaultWindow is the stream scanning window (the paper's case
+	// size).
+	DefaultWindow = 4096
+	// DefaultStride is the window advance; windows overlap by
+	// DefaultWindow - DefaultStride bytes so a worm straddling a window
+	// boundary is still seen whole.
+	DefaultStride = 2048
+)
+
+// StreamAlert reports one flagged window of a stream.
+type StreamAlert struct {
+	// Offset is the window's byte offset within the stream.
+	Offset int64
+	// Verdict is the scan result for the window.
+	Verdict Verdict
+}
+
+// StreamScanner applies the detector to a byte stream in overlapping
+// windows — the deployable, per-connection form of the detector
+// ("easily deployable", Section 7). It is not safe for concurrent use;
+// create one scanner per stream.
+type StreamScanner struct {
+	det    *Detector
+	window int
+	stride int
+
+	buf    []byte
+	offset int64
+	alerts []StreamAlert
+}
+
+// NewStreamScanner wraps a detector. Non-positive window/stride take the
+// defaults; stride must not exceed window.
+func NewStreamScanner(det *Detector, window, stride int) (*StreamScanner, error) {
+	if det == nil {
+		return nil, errors.New("core: nil detector")
+	}
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	if stride <= 0 {
+		stride = DefaultStride
+	}
+	if stride > window {
+		return nil, fmt.Errorf("core: stride %d exceeds window %d", stride, window)
+	}
+	return &StreamScanner{
+		det:    det,
+		window: window,
+		stride: stride,
+		buf:    make([]byte, 0, 2*window),
+	}, nil
+}
+
+// Write feeds stream bytes; full windows are scanned as they complete.
+// Write never blocks on detection results — collect them with Alerts.
+func (s *StreamScanner) Write(p []byte) (int, error) {
+	s.buf = append(s.buf, p...)
+	for len(s.buf) >= s.window {
+		v, err := s.det.Scan(s.buf[:s.window])
+		if err != nil {
+			return len(p), fmt.Errorf("window at %d: %w", s.offset, err)
+		}
+		if v.Malicious {
+			s.alerts = append(s.alerts, StreamAlert{Offset: s.offset, Verdict: v})
+		}
+		s.buf = s.buf[s.stride:]
+		s.offset += int64(s.stride)
+	}
+	return len(p), nil
+}
+
+// Flush scans the trailing partial window (if any). Call once at end of
+// stream.
+func (s *StreamScanner) Flush() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	v, err := s.det.Scan(s.buf)
+	if err != nil {
+		return fmt.Errorf("final window at %d: %w", s.offset, err)
+	}
+	if v.Malicious {
+		s.alerts = append(s.alerts, StreamAlert{Offset: s.offset, Verdict: v})
+	}
+	s.buf = s.buf[:0]
+	return nil
+}
+
+// Alerts returns the flagged windows so far (a copy).
+func (s *StreamScanner) Alerts() []StreamAlert {
+	out := make([]StreamAlert, len(s.alerts))
+	copy(out, s.alerts)
+	return out
+}
+
+// ScanStream is the convenience form: consume the whole reader and
+// return the alerts.
+func (d *Detector) ScanStream(r io.Reader, window, stride int) ([]StreamAlert, error) {
+	s, err := NewStreamScanner(d, window, stride)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := io.Copy(s, r); err != nil {
+		return nil, err
+	}
+	if err := s.Flush(); err != nil {
+		return nil, err
+	}
+	return s.Alerts(), nil
+}
+
+var _ io.Writer = (*StreamScanner)(nil)

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/encoder"
+	"repro/internal/shellcode"
+)
+
+func streamDetector(t *testing.T) *Detector {
+	t.Helper()
+	d, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestStreamScannerValidation(t *testing.T) {
+	d := streamDetector(t)
+	if _, err := NewStreamScanner(nil, 0, 0); err == nil {
+		t.Error("nil detector should fail")
+	}
+	if _, err := NewStreamScanner(d, 100, 200); err == nil {
+		t.Error("stride > window should fail")
+	}
+	s, err := NewStreamScanner(d, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.window != DefaultWindow || s.stride != DefaultStride {
+		t.Errorf("defaults not applied: %d %d", s.window, s.stride)
+	}
+}
+
+func TestBenignStreamNoAlerts(t *testing.T) {
+	d := streamDetector(t)
+	cases, err := corpus.Dataset(51, 8, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := corpus.Concat(cases)
+	alerts, err := d.ScanStream(bytes.NewReader(stream), 4096, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 0 {
+		t.Errorf("benign stream raised %d alerts: %+v", len(alerts), alerts[0].Verdict)
+	}
+}
+
+func TestWormMidStreamCaught(t *testing.T) {
+	d := streamDetector(t)
+	cases, err := corpus.Dataset(52, 6, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: 77, SledLen: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splice the worm into the middle of benign traffic, deliberately
+	// not aligned to any window boundary.
+	var stream []byte
+	stream = append(stream, corpus.Concat(cases[:3])...)
+	stream = append(stream, []byte("X-Data: ")...)
+	wormOffset := len(stream)
+	stream = append(stream, w.Bytes...)
+	stream = append(stream, corpus.Concat(cases[3:])...)
+
+	alerts, err := d.ScanStream(bytes.NewReader(stream), 4096, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) == 0 {
+		t.Fatal("worm in mid-stream not detected")
+	}
+	// At least one alert's window must cover the worm.
+	covered := false
+	for _, a := range alerts {
+		if a.Offset <= int64(wormOffset) && int64(wormOffset) < a.Offset+4096 {
+			covered = true
+		}
+		if !a.Verdict.Malicious {
+			t.Error("non-malicious verdict in alerts")
+		}
+	}
+	if !covered {
+		t.Errorf("no alert window covers the worm at %d: %+v", wormOffset, alerts)
+	}
+}
+
+func TestStreamFlushCatchesTail(t *testing.T) {
+	d := streamDetector(t)
+	w, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: 5, SledLen: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The worm arrives at the very end, shorter than a full window.
+	s, err := NewStreamScanner(d, 4096, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write(w.Bytes); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Alerts()) != 0 {
+		t.Fatal("partial window scanned before Flush")
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Alerts()) != 1 {
+		t.Fatalf("flush alerts = %d, want 1", len(s.Alerts()))
+	}
+	// Flush twice is a no-op.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Alerts()) != 1 {
+		t.Error("double flush duplicated the alert")
+	}
+}
+
+func TestStreamChunkedWrites(t *testing.T) {
+	// Byte-at-a-time delivery must give identical alerts to one-shot.
+	d := streamDetector(t)
+	cases, err := corpus.Dataset(53, 2, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream []byte
+	stream = append(stream, cases[0].Data...)
+	stream = append(stream, w.Bytes...)
+	stream = append(stream, cases[1].Data...)
+
+	oneShot, err := d.ScanStream(bytes.NewReader(stream), 2048, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStreamScanner(d, 2048, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range stream {
+		if _, err := s.Write([]byte{b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	chunked := s.Alerts()
+	if len(oneShot) != len(chunked) {
+		t.Fatalf("one-shot %d alerts vs chunked %d", len(oneShot), len(chunked))
+	}
+	for i := range oneShot {
+		if oneShot[i].Offset != chunked[i].Offset {
+			t.Errorf("alert %d offset %d vs %d", i, oneShot[i].Offset, chunked[i].Offset)
+		}
+	}
+}
+
+func TestAlertsReturnsCopy(t *testing.T) {
+	d := streamDetector(t)
+	s, err := NewStreamScanner(d, 1024, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.Alerts()
+	if len(a) != 0 {
+		t.Fatal("fresh scanner has alerts")
+	}
+	a = append(a, StreamAlert{Offset: 99})
+	if len(s.Alerts()) != 0 {
+		t.Error("caller mutation leaked into scanner state")
+	}
+}

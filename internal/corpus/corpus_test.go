@@ -1,0 +1,259 @@
+package corpus
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/textins"
+)
+
+func TestFrequenciesBasics(t *testing.T) {
+	freq, err := Frequencies([]byte("aab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(freq['a']-2.0/3) > 1e-12 || math.Abs(freq['b']-1.0/3) > 1e-12 {
+		t.Errorf("freq a=%v b=%v", freq['a'], freq['b'])
+	}
+	if _, err := Frequencies(nil); err == nil {
+		t.Error("empty data should error")
+	}
+}
+
+func TestFrequenciesSumToOne(t *testing.T) {
+	g := NewGenerator(1)
+	data := []byte(g.HTMLPage(10000))
+	freq, err := Frequencies(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range freq {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("frequencies sum to %v", sum)
+	}
+}
+
+func TestMassHelpers(t *testing.T) {
+	var freq [256]float64
+	freq['l'], freq['m'], freq['n'], freq['o'] = 0.05, 0.02, 0.06, 0.07
+	freq['.'], freq['d'], freq['e'] = 0.01, 0.03, 0.10
+	freq['f'], freq['g'] = 0.02, 0.02
+	if got := IOMass(freq); math.Abs(got-0.20) > 1e-12 {
+		t.Errorf("IOMass = %v", got)
+	}
+	if got := PrefixMass(freq); math.Abs(got-0.18) > 1e-12 {
+		t.Errorf("PrefixMass = %v", got)
+	}
+	if got := WrongSegMass(freq); math.Abs(got-0.14) > 1e-12 {
+		t.Errorf("WrongSegMass = %v", got)
+	}
+	if got := Mass(freq, []byte{'l', '.'}); math.Abs(got-0.06) > 1e-12 {
+		t.Errorf("Mass = %v", got)
+	}
+}
+
+func TestEnglishFreqShape(t *testing.T) {
+	freq := EnglishFreq()
+	var sum float64
+	for _, v := range freq {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("EnglishFreq sums to %v", sum)
+	}
+	if TextMass(freq) < 0.999 {
+		t.Errorf("EnglishFreq text mass = %v, want ~1", TextMass(freq))
+	}
+	// 'e' must be the most frequent letter.
+	for b := byte('a'); b <= 'z'; b++ {
+		if b != 'e' && freq[b] > freq['e'] {
+			t.Errorf("freq[%c]=%v exceeds freq[e]=%v", b, freq[b], freq['e'])
+		}
+	}
+	// The paper-relevant masses must be in realistic bands.
+	if io := IOMass(freq); io < 0.10 || io > 0.25 {
+		t.Errorf("IOMass = %v, want within [0.10, 0.25] (paper: 0.185)", io)
+	}
+	if z := PrefixMass(freq); z < 0.08 || z > 0.25 {
+		t.Errorf("PrefixMass = %v, want within [0.08, 0.25] (paper: 0.16)", z)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	var freq [256]float64
+	freq['a'], freq['b'] = 3, 1
+	norm, err := Normalize(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm['a'] != 0.75 || norm['b'] != 0.25 {
+		t.Errorf("normalize: a=%v b=%v", norm['a'], norm['b'])
+	}
+	var zero [256]float64
+	if _, err := Normalize(zero); err == nil {
+		t.Error("zero table should error")
+	}
+	freq['c'] = -1
+	if _, err := Normalize(freq); err == nil {
+		t.Error("negative entry should error")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator(5).HTMLPage(2000)
+	b := NewGenerator(5).HTMLPage(2000)
+	if a != b {
+		t.Error("same seed produced different pages")
+	}
+	c := NewGenerator(6).HTMLPage(2000)
+	if a == c {
+		t.Error("different seeds produced identical pages")
+	}
+}
+
+func TestSentenceShape(t *testing.T) {
+	g := NewGenerator(2)
+	s := g.Sentence(5)
+	if len(s) == 0 {
+		t.Fatal("empty sentence")
+	}
+	first := s[0]
+	if first < 'A' || first > 'Z' {
+		t.Errorf("sentence not capitalized: %q", s)
+	}
+	last := s[len(s)-1]
+	if last != '.' && last != '?' && last != '!' {
+		t.Errorf("sentence lacks terminal punctuation: %q", s)
+	}
+	if got := g.Sentence(0); len(got) == 0 {
+		t.Error("Sentence(0) should clamp to one word")
+	}
+}
+
+func TestParagraphLength(t *testing.T) {
+	g := NewGenerator(3)
+	p := g.Paragraph(500)
+	if len(p) < 500 || len(p) > 800 {
+		t.Errorf("paragraph length %d, want roughly 500", len(p))
+	}
+}
+
+func TestHTTPRequestIsText(t *testing.T) {
+	g := NewGenerator(4)
+	req := g.HTTPRequest()
+	if len(req) < 100 {
+		t.Errorf("request too short: %q", req)
+	}
+	for _, b := range []byte(req) {
+		if b != '\r' && b != '\n' && (b < 0x20 || b > 0x7E) {
+			t.Errorf("non-text byte %#x in request", b)
+		}
+	}
+}
+
+func TestDatasetShape(t *testing.T) {
+	cases, err := Dataset(1, 100, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 100 {
+		t.Fatalf("got %d cases", len(cases))
+	}
+	kinds := map[CaseKind]int{}
+	for i, c := range cases {
+		if len(c.Data) != 4000 {
+			t.Fatalf("case %d has %d bytes", i, len(c.Data))
+		}
+		if !textins.IsTextStream(c.Data) {
+			t.Fatalf("case %d contains non-text bytes", i)
+		}
+		kinds[c.Kind]++
+	}
+	if kinds[CaseHTML] == 0 || kinds[CaseHTTPRequests] == 0 || kinds[CaseEmail] == 0 {
+		t.Errorf("dataset missing a traffic kind: %v", kinds)
+	}
+}
+
+func TestDatasetValidation(t *testing.T) {
+	if _, err := Dataset(1, 0, 100); err == nil {
+		t.Error("zero count should fail")
+	}
+	if _, err := Dataset(1, 1, 0); err == nil {
+		t.Error("zero caseLen should fail")
+	}
+}
+
+// TestDatasetCharacterStatistics verifies the substitution claim in
+// DESIGN.md: the synthetic corpus reproduces the character masses the
+// paper's parameter estimation rests on.
+func TestDatasetCharacterStatistics(t *testing.T) {
+	cases, err := Dataset(7, 100, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq, err := Frequencies(Concat(cases))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm := TextMass(freq); tm < 0.9999 {
+		t.Errorf("text mass %v, want 1 (pure text corpus)", tm)
+	}
+	// The paper measured IO mass 0.185 and prefix mass z = 0.16 on its
+	// traffic; an English/HTML mix should land in the same bands.
+	if io := IOMass(freq); io < 0.12 || io > 0.24 {
+		t.Errorf("IO mass = %v, want in [0.12, 0.24] (paper: 0.185)", io)
+	}
+	if z := PrefixMass(freq); z < 0.10 || z > 0.22 {
+		t.Errorf("prefix mass z = %v, want in [0.10, 0.22] (paper: 0.16)", z)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	cases := []Case{
+		{Kind: CaseHTML, Data: []byte("ab")},
+		{Kind: CaseEmail, Data: []byte("cd")},
+	}
+	if got := string(Concat(cases)); got != "abcd" {
+		t.Errorf("Concat = %q", got)
+	}
+	if got := Concat(nil); len(got) != 0 {
+		t.Errorf("Concat(nil) = %v", got)
+	}
+}
+
+func TestEmailBody(t *testing.T) {
+	g := NewGenerator(9)
+	body := g.EmailBody(800)
+	if len(body) < 700 {
+		t.Errorf("email body %d bytes", len(body))
+	}
+}
+
+func TestURLStream(t *testing.T) {
+	g := NewGenerator(12)
+	s := g.URLStream(2000)
+	if len(s) < 2000 {
+		t.Errorf("URL stream %d bytes", len(s))
+	}
+	if !strings.Contains(s, "http://") || !strings.Contains(s, "?") {
+		t.Errorf("URL stream shape wrong: %.120s", s)
+	}
+}
+
+func TestDatasetIncludesURLKind(t *testing.T) {
+	cases, err := Dataset(2, 20, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[CaseKind]int{}
+	for _, c := range cases {
+		kinds[c.Kind]++
+	}
+	if kinds[CaseURLStream] == 0 {
+		t.Errorf("no URL-stream cases: %v", kinds)
+	}
+}

@@ -1,0 +1,130 @@
+// Package corpus generates the benign text datasets of Section 5.1 —
+// synthetic web traffic with English-like character statistics — and the
+// character-frequency machinery of Section 5.2. The paper's own method
+// needs only the input length and the character frequency table, so a
+// generator that matches those statistics exercises exactly the same
+// code paths as the authors' 0.5 MB Ethereal capture.
+package corpus
+
+import (
+	"errors"
+)
+
+// Frequencies computes the empirical character distribution of data as a
+// probability per byte value.
+func Frequencies(data []byte) ([256]float64, error) {
+	var freq [256]float64
+	if len(data) == 0 {
+		return freq, errors.New("corpus: empty data")
+	}
+	for _, b := range data {
+		freq[b]++
+	}
+	n := float64(len(data))
+	for i := range freq {
+		freq[i] /= n
+	}
+	return freq, nil
+}
+
+// Mass sums the probability of the given byte values under freq.
+func Mass(freq [256]float64, bytes []byte) float64 {
+	var sum float64
+	for _, b := range bytes {
+		sum += freq[b]
+	}
+	return sum
+}
+
+// TextMass returns the probability that a byte is keyboard-enterable.
+func TextMass(freq [256]float64) float64 {
+	var sum float64
+	for b := 0x20; b <= 0x7E; b++ {
+		sum += freq[b]
+	}
+	return sum
+}
+
+// IOMass returns the probability mass of the privileged I/O opcode
+// characters 'l', 'm', 'n', 'o' — the first component of the paper's p.
+func IOMass(freq [256]float64) float64 {
+	return freq['l'] + freq['m'] + freq['n'] + freq['o']
+}
+
+// PrefixMass returns the probability mass of the eight text prefix
+// characters — the paper's z (≈ 0.16 for their traffic).
+func PrefixMass(freq [256]float64) float64 {
+	return freq[0x26] + freq[0x2E] + freq[0x36] + freq[0x3E] +
+		freq[0x64] + freq[0x65] + freq[0x66] + freq[0x67]
+}
+
+// WrongSegMass returns the probability mass of the segment-override
+// characters the detector treats as faulting (CS/ES/FS/GS: '.', '&',
+// 'd', 'e').
+func WrongSegMass(freq [256]float64) float64 {
+	return freq[0x2E] + freq[0x26] + freq[0x64] + freq[0x65]
+}
+
+// EnglishFreq returns a reference character distribution for English
+// prose carried over HTTP (letters weighted by standard English letter
+// frequencies, lower- and upper-case, with space, digits, punctuation and
+// light markup). It is the pre-set table Section 5.2 allows using when no
+// sample is available.
+func EnglishFreq() [256]float64 {
+	var freq [256]float64
+	// Standard English letter frequencies (fraction of letters).
+	letters := map[byte]float64{
+		'a': 8.167, 'b': 1.492, 'c': 2.782, 'd': 4.253, 'e': 12.702,
+		'f': 2.228, 'g': 2.015, 'h': 6.094, 'i': 6.966, 'j': 0.153,
+		'k': 0.772, 'l': 4.025, 'm': 2.406, 'n': 6.749, 'o': 7.507,
+		'p': 1.929, 'q': 0.095, 'r': 5.987, 's': 6.327, 't': 9.056,
+		'u': 2.758, 'v': 0.978, 'w': 2.360, 'x': 0.150, 'y': 1.974,
+		'z': 0.074,
+	}
+	// Budget: 74% lower-case letters, 4% upper-case, 15% space, 3%
+	// digits, 4% punctuation/markup.
+	var letterTotal float64
+	for _, v := range letters {
+		letterTotal += v
+	}
+	for b, v := range letters {
+		freq[b] = 0.74 * v / letterTotal
+		freq[b-('a'-'A')] += 0.04 * v / letterTotal
+	}
+	freq[' '] = 0.15
+	for d := byte('0'); d <= '9'; d++ {
+		freq[d] = 0.003
+	}
+	punct := []byte{'.', ',', ';', ':', '\'', '"', '!', '?', '-', '(', ')',
+		'/', '<', '>', '=', '&', '%', '+', '_', '#', '@', '~', '*', '[', ']'}
+	for _, p := range punct {
+		freq[p] += 0.04 / float64(len(punct))
+	}
+	// Normalize exactly.
+	var total float64
+	for _, v := range freq {
+		total += v
+	}
+	for i := range freq {
+		freq[i] /= total
+	}
+	return freq
+}
+
+// Normalize scales freq to sum to 1; it fails on a zero table.
+func Normalize(freq [256]float64) ([256]float64, error) {
+	var total float64
+	for _, v := range freq {
+		if v < 0 {
+			return freq, errors.New("corpus: negative frequency")
+		}
+		total += v
+	}
+	if total == 0 {
+		return freq, errors.New("corpus: zero frequency table")
+	}
+	for i := range freq {
+		freq[i] /= total
+	}
+	return freq, nil
+}

@@ -1,0 +1,254 @@
+package corpus
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// vocabulary is a weighted common-English word list. Word sampling (as
+// opposed to independent letter sampling) keeps digraph structure
+// realistic while the aggregate letter frequencies track English.
+var vocabulary = []struct {
+	word   string
+	weight float64
+}{
+	{"the", 7.14}, {"of", 4.16}, {"and", 3.04}, {"to", 2.60}, {"in", 2.27},
+	{"a", 2.06}, {"is", 1.13}, {"that", 1.08}, {"for", 0.88}, {"it", 0.77},
+	{"as", 0.77}, {"was", 0.74}, {"with", 0.70}, {"be", 0.65}, {"by", 0.63},
+	{"on", 0.62}, {"not", 0.61}, {"he", 0.55}, {"this", 0.51}, {"are", 0.50},
+	{"or", 0.49}, {"his", 0.49}, {"from", 0.47}, {"at", 0.46}, {"which", 0.42},
+	{"but", 0.38}, {"have", 0.37}, {"an", 0.37}, {"had", 0.35}, {"they", 0.33},
+	{"you", 0.31}, {"were", 0.31}, {"their", 0.29}, {"one", 0.29}, {"all", 0.28},
+	{"we", 0.28}, {"can", 0.22}, {"her", 0.22}, {"has", 0.22}, {"there", 0.22},
+	{"been", 0.22}, {"if", 0.21}, {"more", 0.21}, {"when", 0.20}, {"will", 0.20},
+	{"would", 0.20}, {"who", 0.20}, {"so", 0.19}, {"no", 0.19}, {"she", 0.19},
+	{"other", 0.18}, {"its", 0.18}, {"may", 0.17}, {"these", 0.16}, {"what", 0.16},
+	{"them", 0.16}, {"than", 0.16}, {"some", 0.16}, {"him", 0.16}, {"time", 0.16},
+	{"into", 0.15}, {"only", 0.15}, {"do", 0.15}, {"such", 0.15}, {"my", 0.15},
+	{"new", 0.15}, {"about", 0.15}, {"out", 0.14}, {"also", 0.14}, {"two", 0.14},
+	{"any", 0.14}, {"up", 0.14}, {"first", 0.13}, {"could", 0.13}, {"our", 0.13},
+	{"then", 0.13}, {"most", 0.12}, {"see", 0.12}, {"me", 0.12}, {"should", 0.12},
+	{"over", 0.12}, {"very", 0.12}, {"your", 0.12}, {"between", 0.11}, {"where", 0.11},
+	{"after", 0.11}, {"many", 0.11}, {"those", 0.11}, {"because", 0.10}, {"people", 0.10},
+	{"through", 0.10}, {"how", 0.10}, {"each", 0.10}, {"same", 0.10}, {"under", 0.09},
+	{"world", 0.09}, {"system", 0.09}, {"page", 0.09}, {"information", 0.08},
+	{"network", 0.08}, {"university", 0.08}, {"research", 0.08}, {"computer", 0.08},
+	{"science", 0.08}, {"department", 0.07}, {"email", 0.07}, {"home", 0.07},
+	{"news", 0.07}, {"search", 0.07}, {"data", 0.07}, {"content", 0.06},
+	{"server", 0.06}, {"online", 0.06}, {"service", 0.06}, {"security", 0.06},
+	{"number", 0.06}, {"example", 0.06}, {"results", 0.06}, {"public", 0.05},
+	{"protocol", 0.05}, {"message", 0.05}, {"internet", 0.05}, {"traffic", 0.05},
+	{"malware", 0.04}, {"analysis", 0.04}, {"florida", 0.04}, {"gainesville", 0.03},
+}
+
+// Generator produces deterministic benign text traffic.
+type Generator struct {
+	rng     *stats.RNG
+	weights []float64
+}
+
+// NewGenerator returns a generator with the given seed.
+func NewGenerator(seed uint64) *Generator {
+	weights := make([]float64, len(vocabulary))
+	for i, v := range vocabulary {
+		weights[i] = v.weight
+	}
+	return &Generator{rng: stats.NewRNG(seed), weights: weights}
+}
+
+func (g *Generator) word() string {
+	return vocabulary[g.rng.WeightedChoice(g.weights)].word
+}
+
+// Sentence emits one English-like sentence of n words with capitalized
+// first word and terminal punctuation.
+func (g *Generator) Sentence(n int) string {
+	if n < 1 {
+		n = 1
+	}
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		w := g.word()
+		if i == 0 {
+			w = strings.ToUpper(w[:1]) + w[1:]
+		}
+		sb.WriteString(w)
+		if i < n-1 {
+			if g.rng.Intn(12) == 0 {
+				sb.WriteString(",")
+			}
+			sb.WriteString(" ")
+		}
+	}
+	switch g.rng.Intn(10) {
+	case 0:
+		sb.WriteString("?")
+	case 1:
+		sb.WriteString("!")
+	default:
+		sb.WriteString(".")
+	}
+	return sb.String()
+}
+
+// Paragraph emits a paragraph of roughly targetLen bytes.
+func (g *Generator) Paragraph(targetLen int) string {
+	var sb strings.Builder
+	for sb.Len() < targetLen {
+		sb.WriteString(g.Sentence(4 + g.rng.Intn(14)))
+		sb.WriteString(" ")
+	}
+	return strings.TrimRight(sb.String(), " ")
+}
+
+// HTMLPage emits an HTML document of roughly targetLen bytes, the shape
+// of the paper's web traffic after transport headers are stripped.
+func (g *Generator) HTMLPage(targetLen int) string {
+	var sb strings.Builder
+	title := g.Sentence(3 + g.rng.Intn(3))
+	fmt.Fprintf(&sb, "<html><head><title>%s</title></head><body>", title)
+	for sb.Len() < targetLen-100 {
+		switch g.rng.Intn(5) {
+		case 0:
+			fmt.Fprintf(&sb, "<h2>%s</h2>", g.Sentence(2+g.rng.Intn(4)))
+		case 1:
+			fmt.Fprintf(&sb, "<a href=\"/%s/%s.html\">%s</a> ",
+				g.word(), g.word(), g.Sentence(1+g.rng.Intn(3)))
+		default:
+			fmt.Fprintf(&sb, "<p>%s</p>", g.Paragraph(150+g.rng.Intn(250)))
+		}
+	}
+	sb.WriteString("</body></html>")
+	return sb.String()
+}
+
+// HTTPRequest emits a GET request with realistic URL and header text.
+func (g *Generator) HTTPRequest() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "GET /%s/%s?%s=%s&%s=%d HTTP/1.1\r\n",
+		g.word(), g.word(), g.word(), g.word(), g.word(), g.rng.Intn(1000))
+	fmt.Fprintf(&sb, "Host: www.%s.edu\r\n", g.word())
+	sb.WriteString("User-Agent: Mozilla/4.0 (compatible; MSIE 6.0; Windows NT 5.1)\r\n")
+	fmt.Fprintf(&sb, "Accept: text/html,text/plain\r\nReferer: http://www.%s.org/%s\r\n",
+		g.word(), g.word())
+	sb.WriteString("Connection: keep-alive\r\n\r\n")
+	return sb.String()
+}
+
+// EmailBody emits a plain-text email-like message.
+func (g *Generator) EmailBody(targetLen int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Subject: %s\r\n\r\n", g.Sentence(4+g.rng.Intn(4)))
+	name := g.word()
+	fmt.Fprintf(&sb, "Dear %s,\r\n\r\n", strings.ToUpper(name[:1])+name[1:])
+	for sb.Len() < targetLen-60 {
+		sb.WriteString(g.Paragraph(200 + g.rng.Intn(200)))
+		sb.WriteString("\r\n\r\n")
+	}
+	sb.WriteString("Regards,\r\nThe department\r\n")
+	return sb.String()
+}
+
+// URLStream emits a newline-separated list of URLs with paths and query
+// strings — the "URL portion of a HTTP request" channel the paper's
+// introduction singles out.
+func (g *Generator) URLStream(targetLen int) string {
+	var sb strings.Builder
+	for sb.Len() < targetLen {
+		fmt.Fprintf(&sb, "http://www.%s.edu/%s/%s/%s.html?%s=%s&%s=%d ",
+			g.word(), g.word(), g.word(), g.word(),
+			g.word(), g.word(), g.word(), g.rng.Intn(100))
+		// Anchor text keeps the stream's letter statistics English-like,
+		// as real link lists (bookmarks, sitemaps, referer logs) do.
+		sb.WriteString(g.Sentence(3 + g.rng.Intn(5)))
+		sb.WriteString("\r\n")
+	}
+	return sb.String()
+}
+
+// CaseKind labels dataset cases by traffic shape.
+type CaseKind int
+
+// Traffic shapes in the benign dataset.
+const (
+	CaseHTML CaseKind = iota + 1
+	CaseHTTPRequests
+	CaseEmail
+	CaseURLStream
+)
+
+// Case is one benign test input.
+type Case struct {
+	Kind CaseKind
+	Data []byte
+}
+
+// Dataset builds the Section 5.1 evaluation corpus shape: count cases of
+// about caseLen text bytes each (the paper used 100 cases of ~4K chars
+// from ~0.5 MB of traffic). The mix is mostly HTML with request streams
+// and email bodies interleaved. All output is pure text.
+func Dataset(seed uint64, count, caseLen int) ([]Case, error) {
+	if count <= 0 || caseLen <= 0 {
+		return nil, errors.New("corpus: count and caseLen must be positive")
+	}
+	g := NewGenerator(seed)
+	cases := make([]Case, 0, count)
+	for i := 0; i < count; i++ {
+		var kind CaseKind
+		var data string
+		switch {
+		case i%10 == 3 || i%10 == 8:
+			kind = CaseHTTPRequests
+			var sb strings.Builder
+			for sb.Len() < caseLen {
+				sb.WriteString(g.HTTPRequest())
+			}
+			data = sb.String()
+		case i%10 == 4:
+			kind = CaseEmail
+			data = g.EmailBody(caseLen)
+		case i%10 == 9:
+			kind = CaseURLStream
+			data = g.URLStream(caseLen)
+		default:
+			kind = CaseHTML
+			data = g.HTMLPage(caseLen)
+		}
+		// Trim or pad to the exact case length with prose.
+		for len(data) < caseLen {
+			data += " " + g.Sentence(8)
+		}
+		b := []byte(data[:caseLen])
+		b = sanitizeText(b)
+		cases = append(cases, Case{Kind: kind, Data: b})
+	}
+	return cases, nil
+}
+
+// sanitizeText replaces any non-text byte (CR/LF from the header idiom)
+// with a space so cases are strictly keyboard-enterable, matching the
+// paper's text-only channel model.
+func sanitizeText(b []byte) []byte {
+	for i, v := range b {
+		if v < 0x20 || v > 0x7E {
+			b[i] = ' '
+		}
+	}
+	return b
+}
+
+// Concat joins all case payloads, for whole-corpus statistics.
+func Concat(cases []Case) []byte {
+	var total int
+	for _, c := range cases {
+		total += len(c.Data)
+	}
+	out := make([]byte, 0, total)
+	for _, c := range cases {
+		out = append(out, c.Data...)
+	}
+	return out
+}

@@ -1,0 +1,358 @@
+// Package emu implements a concrete IA-32 user-mode emulator for the
+// instruction subset exercised by this repository's shellcode and text
+// decrypters. It substitutes for the paper's "run the vulnerable program
+// and observe the spawning of the shell" verification step (Section 5.1):
+// a payload is loaded into a flat memory window, executed instruction by
+// instruction, and the emulator reports the Linux int 0x80 system calls
+// it reaches — an execve of /bin/sh is the observable "shell spawned".
+//
+// The emulator faults exactly where the paper's validity analysis says
+// benign text faults: privileged I/O instructions, memory access through
+// wrong segment selectors, out-of-bounds addresses, undefined opcodes,
+// and division errors.
+package emu
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/x86"
+)
+
+// DefaultBase is the default virtual address of the memory window,
+// resembling a Linux stack segment address of the paper's era.
+const DefaultBase = 0xBFFF0000
+
+// DefaultMaxSteps bounds a Run when the caller does not override it.
+const DefaultMaxSteps = 1 << 20
+
+// ErrBadConfig reports emulator construction with an unusable setup.
+var ErrBadConfig = errors.New("emu: invalid configuration")
+
+// FaultKind enumerates the runtime error classes — the "invalid
+// instruction" events of the MEL model.
+type FaultKind int
+
+// Fault classes.
+const (
+	// FaultNone is the zero value; a real fault always has another kind.
+	FaultNone FaultKind = iota
+	// FaultPrivileged covers I/O and other CPL-0 instructions (#GP).
+	FaultPrivileged
+	// FaultSegment covers memory access through a wrong segment selector.
+	FaultSegment
+	// FaultPage covers access outside the mapped window (#PF / SIGSEGV).
+	FaultPage
+	// FaultUndefined covers undefined opcodes (#UD).
+	FaultUndefined
+	// FaultDivide covers division by zero or quotient overflow (#DE).
+	FaultDivide
+	// FaultBound covers BOUND range violations (#BR).
+	FaultBound
+	// FaultFetch covers instruction fetch outside the window or decoding
+	// past the end of mapped memory.
+	FaultFetch
+	// FaultUnsupported covers instructions outside the emulated subset;
+	// treated as a crash so that analyses stay conservative.
+	FaultUnsupported
+)
+
+var faultNames = map[FaultKind]string{
+	FaultNone:        "none",
+	FaultPrivileged:  "privileged",
+	FaultSegment:     "segment",
+	FaultPage:        "page",
+	FaultUndefined:   "undefined",
+	FaultDivide:      "divide",
+	FaultBound:       "bound",
+	FaultFetch:       "fetch",
+	FaultUnsupported: "unsupported",
+}
+
+// String returns the fault class name.
+func (k FaultKind) String() string {
+	if s, ok := faultNames[k]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// Syscall records one int 0x80 invocation observed during execution.
+type Syscall struct {
+	// Number is EAX at the time of the interrupt (Linux syscall number).
+	Number uint32
+	// Args are EBX, ECX, EDX (the first three syscall arguments).
+	Args [3]uint32
+	// Path is the NUL-terminated string EBX pointed at, when readable —
+	// for execve this is the program path (e.g. "/bin//sh").
+	Path string
+}
+
+// Linux IA-32 syscall numbers used by the shellcode corpus.
+const (
+	SysExit   = 1
+	SysFork   = 2
+	SysWrite  = 4
+	SysExecve = 11
+	SysSetuid = 23
+	SysDup2   = 63
+	SysSocket = 102
+)
+
+// StopKind says why Run returned.
+type StopKind int
+
+// Stop reasons.
+const (
+	// StopFault means the CPU raised a fault (details in Outcome.Fault).
+	StopFault StopKind = iota + 1
+	// StopExit means the program invoked exit(2).
+	StopExit
+	// StopExecve means the program invoked execve(2) — for the worm
+	// corpus, the "shell spawned" observable.
+	StopExecve
+	// StopMaxSteps means the step budget ran out.
+	StopMaxSteps
+)
+
+var stopNames = map[StopKind]string{
+	StopFault:    "fault",
+	StopExit:     "exit",
+	StopExecve:   "execve",
+	StopMaxSteps: "max-steps",
+}
+
+// String returns the stop reason name.
+func (k StopKind) String() string {
+	if s, ok := stopNames[k]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// FaultInfo describes a runtime fault.
+type FaultInfo struct {
+	Kind FaultKind
+	// EIP is the address of the faulting instruction.
+	EIP uint32
+	// Addr is the memory address involved, when applicable.
+	Addr uint32
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// Error implements error so faults can travel through error paths in
+// callers that prefer them.
+func (f *FaultInfo) Error() string {
+	return fmt.Sprintf("emu: %s fault at eip=%#x (%s)", f.Kind, f.EIP, f.Detail)
+}
+
+// Outcome is the result of a Run.
+type Outcome struct {
+	Kind StopKind
+	// Fault is set when Kind == StopFault.
+	Fault *FaultInfo
+	// Syscalls lists every syscall observed, in order.
+	Syscalls []Syscall
+	// Steps is the number of instructions retired.
+	Steps int
+}
+
+// ShellSpawned reports whether the run reached an execve of a shell.
+func (o *Outcome) ShellSpawned() bool {
+	if o.Kind != StopExecve {
+		return false
+	}
+	for _, s := range o.Syscalls {
+		if s.Number == SysExecve && containsSh(s.Path) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsSh(path string) bool {
+	// Accept /bin/sh, /bin//sh and similar spellings.
+	for i := 0; i+1 < len(path); i++ {
+		if path[i] == 's' && path[i+1] == 'h' {
+			return true
+		}
+	}
+	return false
+}
+
+// Memory is a single contiguous mapped window of the 32-bit address
+// space, as a stack-smashed buffer would be.
+type Memory struct {
+	base uint32
+	data []byte
+}
+
+// NewMemory maps size bytes at base. Size must be positive and the window
+// must not wrap the 32-bit space.
+func NewMemory(base uint32, size int) (*Memory, error) {
+	if size <= 0 || uint64(base)+uint64(size) > 1<<32 {
+		return nil, fmt.Errorf("%w: window base=%#x size=%d", ErrBadConfig, base, size)
+	}
+	return &Memory{base: base, data: make([]byte, size)}, nil
+}
+
+// Base returns the window's lowest mapped address.
+func (m *Memory) Base() uint32 { return m.base }
+
+// Size returns the window length in bytes.
+func (m *Memory) Size() int { return len(m.data) }
+
+// Contains reports whether [addr, addr+n) lies inside the window.
+func (m *Memory) Contains(addr uint32, n int) bool {
+	if n < 0 {
+		return false
+	}
+	off := int64(addr) - int64(m.base)
+	return off >= 0 && off+int64(n) <= int64(len(m.data))
+}
+
+// Load copies p into the window at addr. It fails if the range is
+// unmapped.
+func (m *Memory) Load(addr uint32, p []byte) error {
+	if !m.Contains(addr, len(p)) {
+		return fmt.Errorf("%w: load of %d bytes at %#x outside window", ErrBadConfig, len(p), addr)
+	}
+	copy(m.data[addr-m.base:], p)
+	return nil
+}
+
+// Bytes returns the backing slice (shared, for inspection in tests).
+func (m *Memory) Bytes() []byte { return m.data }
+
+func (m *Memory) read(addr uint32, n int) ([]byte, bool) {
+	if !m.Contains(addr, n) {
+		return nil, false
+	}
+	off := addr - m.base
+	return m.data[off : off+uint32(n)], true
+}
+
+func (m *Memory) readU32(addr uint32) (uint32, bool) {
+	b, ok := m.read(addr, 4)
+	if !ok {
+		return 0, false
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, true
+}
+
+func (m *Memory) readU16(addr uint32) (uint16, bool) {
+	b, ok := m.read(addr, 2)
+	if !ok {
+		return 0, false
+	}
+	return uint16(b[0]) | uint16(b[1])<<8, true
+}
+
+func (m *Memory) readU8(addr uint32) (byte, bool) {
+	b, ok := m.read(addr, 1)
+	if !ok {
+		return 0, false
+	}
+	return b[0], true
+}
+
+func (m *Memory) writeU32(addr, v uint32) bool {
+	b, ok := m.read(addr, 4)
+	if !ok {
+		return false
+	}
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	return true
+}
+
+func (m *Memory) writeU16(addr uint32, v uint16) bool {
+	b, ok := m.read(addr, 2)
+	if !ok {
+		return false
+	}
+	b[0], b[1] = byte(v), byte(v>>8)
+	return true
+}
+
+func (m *Memory) writeU8(addr uint32, v byte) bool {
+	b, ok := m.read(addr, 1)
+	if !ok {
+		return false
+	}
+	b[0] = v
+	return true
+}
+
+// cstring reads a NUL-terminated string at addr (bounded by the window).
+func (m *Memory) cstring(addr uint32) string {
+	var out []byte
+	for {
+		b, ok := m.readU8(addr)
+		if !ok || b == 0 {
+			break
+		}
+		out = append(out, b)
+		addr++
+		if len(out) > 4096 {
+			break
+		}
+	}
+	return string(out)
+}
+
+// CPU is the emulated processor state.
+type CPU struct {
+	// Regs holds the eight GPRs indexed by x86.Reg encoding order.
+	Regs [8]uint32
+	// EIP is the instruction pointer.
+	EIP uint32
+	// Flags.
+	CF, ZF, SF, OF, PF, AF, DF bool
+	// Mem is the single mapped window.
+	Mem *Memory
+	// WrongSegs configures which segment overrides fault on memory
+	// access, mirroring the detector's rule. Nil means the default
+	// (CS/ES/FS/GS fault).
+	WrongSegs map[x86.Seg]bool
+
+	syscalls []Syscall
+	steps    int
+}
+
+// New returns a CPU with the given memory window, ESP parked at the top
+// of the window, and the default wrong-segment rule.
+func New(mem *Memory) (*CPU, error) {
+	if mem == nil {
+		return nil, fmt.Errorf("%w: nil memory", ErrBadConfig)
+	}
+	c := &CPU{Mem: mem}
+	c.Regs[x86.ESP] = mem.base + uint32(mem.Size())
+	c.WrongSegs = map[x86.Seg]bool{
+		x86.SegCS: true, x86.SegES: true, x86.SegFS: true, x86.SegGS: true,
+	}
+	return c, nil
+}
+
+// Reg returns the value of a GPR.
+func (c *CPU) Reg(r x86.Reg) uint32 { return c.Regs[r] }
+
+// SetReg sets a GPR.
+func (c *CPU) SetReg(r x86.Reg, v uint32) { c.Regs[r] = v }
+
+// Run executes until a stop condition, retiring at most maxSteps
+// instructions (DefaultMaxSteps if maxSteps <= 0).
+func (c *CPU) Run(maxSteps int) Outcome {
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	for c.steps < maxSteps {
+		stop := c.step()
+		if stop != nil {
+			stop.Syscalls = c.syscalls
+			stop.Steps = c.steps
+			return *stop
+		}
+	}
+	return Outcome{Kind: StopMaxSteps, Syscalls: c.syscalls, Steps: c.steps}
+}

@@ -1,0 +1,679 @@
+package emu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/x86"
+)
+
+// runCode loads code at base+0x1000, points EIP at it, and runs.
+func runCode(t *testing.T, code []byte, maxSteps int) (*CPU, Outcome) {
+	t.Helper()
+	mem, err := NewMemory(DefaultBase, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := mem.Base() + 0x1000
+	if err := mem.Load(start, code); err != nil {
+		t.Fatal(err)
+	}
+	c.EIP = start
+	return c, c.Run(maxSteps)
+}
+
+func TestMemoryBounds(t *testing.T) {
+	mem, err := NewMemory(0x1000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mem.Contains(0x1000, 16) || mem.Contains(0x1000, 17) || mem.Contains(0xFFF, 1) {
+		t.Error("Contains wrong at boundaries")
+	}
+	if mem.Contains(0x100F, 2) {
+		t.Error("straddling end should not be contained")
+	}
+	if mem.Contains(0x1000, -1) {
+		t.Error("negative length should not be contained")
+	}
+	if err := mem.Load(0x100E, []byte{1, 2, 3}); err == nil {
+		t.Error("overlong load should fail")
+	}
+}
+
+func TestMemoryConstruction(t *testing.T) {
+	if _, err := NewMemory(0, 0); err == nil {
+		t.Error("zero size should fail")
+	}
+	if _, err := NewMemory(0xFFFFFFFF, 2); err == nil {
+		t.Error("wrapping window should fail")
+	}
+	if _, err := New(nil); err == nil {
+		t.Error("nil memory should fail")
+	}
+}
+
+func TestMemoryReadWrite(t *testing.T) {
+	mem, _ := NewMemory(0x1000, 64)
+	if !mem.writeU32(0x1000, 0x11223344) {
+		t.Fatal("write failed")
+	}
+	if v, ok := mem.readU32(0x1000); !ok || v != 0x11223344 {
+		t.Errorf("readU32 = %#x, %v", v, ok)
+	}
+	if v, ok := mem.readU16(0x1000); !ok || v != 0x3344 {
+		t.Errorf("readU16 = %#x (little-endian expected)", v)
+	}
+	if v, ok := mem.readU8(0x1003); !ok || v != 0x11 {
+		t.Errorf("readU8 high byte = %#x", v)
+	}
+	if _, ok := mem.readU32(0x103D); ok {
+		t.Error("partially out-of-bounds read should fail")
+	}
+}
+
+func TestCString(t *testing.T) {
+	mem, _ := NewMemory(0x1000, 64)
+	if err := mem.Load(0x1000, []byte("/bin/sh\x00junk")); err != nil {
+		t.Fatal(err)
+	}
+	if s := mem.cstring(0x1000); s != "/bin/sh" {
+		t.Errorf("cstring = %q", s)
+	}
+}
+
+func TestSimpleArithmetic(t *testing.T) {
+	// mov eax, 5; add eax, 3; sub eax, 2; int 0x80 (exit path not taken:
+	// eax=6 means sys_close, which "succeeds" and continues; use hlt-free
+	// exit via eax=1).
+	code := []byte{
+		0xB8, 0x05, 0x00, 0x00, 0x00, // mov eax,5
+		0x83, 0xC0, 0x03, // add eax,3
+		0x83, 0xE8, 0x02, // sub eax,2
+		0xB8, 0x01, 0x00, 0x00, 0x00, // mov eax,1 (exit)
+		0xCD, 0x80,
+	}
+	c, out := runCode(t, code, 100)
+	if out.Kind != StopExit {
+		t.Fatalf("stop = %v (fault %v)", out.Kind, out.Fault)
+	}
+	if c.Regs[x86.EAX] != 1 {
+		t.Errorf("eax = %d", c.Regs[x86.EAX])
+	}
+	if out.Steps != 5 {
+		t.Errorf("steps = %d, want 5", out.Steps)
+	}
+}
+
+func TestXorZeroesAndFlags(t *testing.T) {
+	code := []byte{0x31, 0xC0, 0xF4} // xor eax,eax; hlt
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault || out.Fault.Kind != FaultPrivileged {
+		t.Fatalf("expected hlt privilege fault, got %v", out.Kind)
+	}
+	if c.Regs[x86.EAX] != 0 || !c.ZF || c.SF || c.CF || c.OF {
+		t.Errorf("after xor: eax=%d zf=%v sf=%v cf=%v of=%v",
+			c.Regs[x86.EAX], c.ZF, c.SF, c.CF, c.OF)
+	}
+	if !c.PF {
+		t.Error("parity of zero is even; PF should be set")
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	code := []byte{
+		0x68, 0x44, 0x33, 0x22, 0x11, // push 0x11223344
+		0x59,       // pop ecx
+		0x51,       // push ecx
+		0x58,       // pop eax
+		0x6A, 0xFC, // push -4 (sign-extended imm8)
+		0x5A, // pop edx
+		0xF4, // hlt (stop)
+	}
+	c, out := runCode(t, code, 100)
+	if out.Kind != StopFault {
+		t.Fatalf("unexpected stop %v", out.Kind)
+	}
+	if c.Regs[x86.ECX] != 0x11223344 || c.Regs[x86.EAX] != 0x11223344 {
+		t.Errorf("ecx=%#x eax=%#x", c.Regs[x86.ECX], c.Regs[x86.EAX])
+	}
+	if c.Regs[x86.EDX] != 0xFFFFFFFC {
+		t.Errorf("edx=%#x, want sign-extended -4", c.Regs[x86.EDX])
+	}
+}
+
+func TestPushEspSemantics(t *testing.T) {
+	// push esp must push the pre-decrement value.
+	code := []byte{0x54, 0x58, 0xF4} // push esp; pop eax; hlt
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	wantESP := c.Mem.Base() + uint32(c.Mem.Size())
+	if c.Regs[x86.EAX] != wantESP {
+		t.Errorf("pushed esp = %#x, want %#x", c.Regs[x86.EAX], wantESP)
+	}
+}
+
+func TestMemoryOperands(t *testing.T) {
+	code := []byte{
+		0x54,                         // push esp
+		0x59,                         // pop ecx (ecx = old esp)
+		0xB8, 0xEF, 0xBE, 0xAD, 0xDE, // mov eax, 0xDEADBEEF
+		0x89, 0x41, 0xF0, // mov [ecx-0x10], eax
+		0x8B, 0x59, 0xF0, // mov ebx, [ecx-0x10]
+		0x31, 0x41, 0xF0, // xor [ecx-0x10], eax  → zero
+		0x8B, 0x51, 0xF0, // mov edx, [ecx-0x10]
+		0xF4,
+	}
+	c, out := runCode(t, code, 100)
+	if out.Kind != StopFault || out.Fault.Kind != FaultPrivileged {
+		t.Fatalf("stop %v %v", out.Kind, out.Fault)
+	}
+	if c.Regs[x86.EBX] != 0xDEADBEEF {
+		t.Errorf("ebx = %#x", c.Regs[x86.EBX])
+	}
+	if c.Regs[x86.EDX] != 0 {
+		t.Errorf("edx = %#x, want 0 after xor-with-self", c.Regs[x86.EDX])
+	}
+}
+
+func TestConditionalJumps(t *testing.T) {
+	code := []byte{
+		0xB8, 0x05, 0x00, 0x00, 0x00, // mov eax,5
+		0x83, 0xF8, 0x05, // cmp eax,5
+		0x75, 0x07, // jne +7 (not taken)
+		0xB9, 0x01, 0x00, 0x00, 0x00, // mov ecx,1
+		0xEB, 0x05, // jmp +5
+		0xB9, 0x02, 0x00, 0x00, 0x00, // mov ecx,2 (skipped)
+		0xF4, // hlt
+	}
+	c, out := runCode(t, code, 100)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.ECX] != 1 {
+		t.Errorf("ecx = %d, want 1 (jne must not be taken, jmp must skip)", c.Regs[x86.ECX])
+	}
+}
+
+func TestSignedConditions(t *testing.T) {
+	// cmp -1, 1 → -1 < 1 signed (jl taken), but -1 > 1 unsigned (ja taken).
+	code := []byte{
+		0xB8, 0xFF, 0xFF, 0xFF, 0xFF, // mov eax,-1
+		0x83, 0xF8, 0x01, // cmp eax,1
+		0x7C, 0x02, // jl +2
+		0xF4, 0xF4, // (skipped)
+		0xB9, 0x07, 0x00, 0x00, 0x00, // mov ecx,7
+		0xF4,
+	}
+	c, out := runCode(t, code, 100)
+	if out.Kind != StopFault || c.Regs[x86.ECX] != 7 {
+		t.Fatalf("jl not taken for -1 < 1: ecx=%d stop=%v", c.Regs[x86.ECX], out.Kind)
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	code := []byte{
+		0xE8, 0x06, 0x00, 0x00, 0x00, // call +6
+		0xB9, 0x2A, 0x00, 0x00, 0x00, // mov ecx,42 (after return)
+		0xF4,                         // hlt
+		0xBB, 0x07, 0x00, 0x00, 0x00, // target: mov ebx,7
+		0xC3, // ret
+	}
+	c, out := runCode(t, code, 100)
+	if out.Kind != StopFault || out.Fault.Kind != FaultPrivileged {
+		t.Fatalf("stop %v %+v", out.Kind, out.Fault)
+	}
+	if c.Regs[x86.EBX] != 7 || c.Regs[x86.ECX] != 42 {
+		t.Errorf("ebx=%d ecx=%d", c.Regs[x86.EBX], c.Regs[x86.ECX])
+	}
+}
+
+func TestLoop(t *testing.T) {
+	code := []byte{
+		0xB9, 0x05, 0x00, 0x00, 0x00, // mov ecx,5
+		0x31, 0xC0, // xor eax,eax
+		0x40,       // inc eax
+		0xE2, 0xFD, // loop -3
+		0xF4,
+	}
+	c, out := runCode(t, code, 100)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.EAX] != 5 || c.Regs[x86.ECX] != 0 {
+		t.Errorf("eax=%d ecx=%d", c.Regs[x86.EAX], c.Regs[x86.ECX])
+	}
+}
+
+func TestFaultPrivilegedIO(t *testing.T) {
+	for _, b := range []byte{'l', 'm', 'n', 'o', 0xE4, 0xEC, 0xEE} {
+		code := []byte{b, 0x10}
+		_, out := runCode(t, code, 10)
+		if out.Kind != StopFault || out.Fault.Kind != FaultPrivileged {
+			t.Errorf("opcode %#x: stop=%v fault=%+v", b, out.Kind, out.Fault)
+		}
+	}
+}
+
+func TestFaultWrongSegment(t *testing.T) {
+	// gs: mov eax,[ecx] — wrong segment override.
+	code := []byte{0x65, 0x8B, 0x01}
+	_, out := runCode(t, code, 10)
+	if out.Kind != StopFault || out.Fault.Kind != FaultSegment {
+		t.Fatalf("stop=%v fault=%+v", out.Kind, out.Fault)
+	}
+	// ss: override on a DS-default access is fine (flat segments agree).
+	code = []byte{
+		0x54, 0x59, // push esp; pop ecx
+		0x36, 0x8B, 0x41, 0xF0, // ss: mov eax,[ecx-0x10]
+		0xF4,
+	}
+	_, out = runCode(t, code, 10)
+	if out.Kind != StopFault || out.Fault.Kind != FaultPrivileged {
+		t.Fatalf("ss-override should execute: %v %+v", out.Kind, out.Fault)
+	}
+}
+
+func TestFaultPageOOB(t *testing.T) {
+	code := []byte{0xA1, 0x78, 0x56, 0x34, 0x12} // mov eax,[0x12345678]
+	_, out := runCode(t, code, 10)
+	if out.Kind != StopFault || out.Fault.Kind != FaultPage {
+		t.Fatalf("stop=%v fault=%+v", out.Kind, out.Fault)
+	}
+}
+
+func TestFaultUninitRegisterAddress(t *testing.T) {
+	// mov eax,[ebx] with ebx=0 → page fault (address 0 unmapped).
+	code := []byte{0x8B, 0x03}
+	_, out := runCode(t, code, 10)
+	if out.Kind != StopFault || out.Fault.Kind != FaultPage {
+		t.Fatalf("stop=%v fault=%+v", out.Kind, out.Fault)
+	}
+}
+
+func TestFaultUndefined(t *testing.T) {
+	code := []byte{0x0F, 0x0B} // ud2
+	_, out := runCode(t, code, 10)
+	if out.Kind != StopFault || out.Fault.Kind != FaultUndefined {
+		t.Fatalf("stop=%v fault=%+v", out.Kind, out.Fault)
+	}
+}
+
+func TestFaultDivideByZero(t *testing.T) {
+	code := []byte{0x31, 0xD2, 0xF7, 0xF2} // xor edx,edx; div edx
+	_, out := runCode(t, code, 10)
+	if out.Kind != StopFault || out.Fault.Kind != FaultDivide {
+		t.Fatalf("stop=%v fault=%+v", out.Kind, out.Fault)
+	}
+}
+
+func TestFaultFetchOutside(t *testing.T) {
+	mem, _ := NewMemory(DefaultBase, 256)
+	c, _ := New(mem)
+	c.EIP = 0x1000 // unmapped
+	out := c.Run(10)
+	if out.Kind != StopFault || out.Fault.Kind != FaultFetch {
+		t.Fatalf("stop=%v fault=%+v", out.Kind, out.Fault)
+	}
+}
+
+func TestMaxSteps(t *testing.T) {
+	code := []byte{0xEB, 0xFE} // jmp self
+	_, out := runCode(t, code, 50)
+	if out.Kind != StopMaxSteps || out.Steps != 50 {
+		t.Fatalf("stop=%v steps=%d", out.Kind, out.Steps)
+	}
+}
+
+// TestExecveShellcode runs the classic Aleph-One-style /bin/sh shellcode
+// end to end — the emulator's reason for existing.
+func TestExecveShellcode(t *testing.T) {
+	code := []byte{
+		0x31, 0xC0, // xor eax,eax
+		0x50,                     // push eax
+		0x68, '/', '/', 's', 'h', // push "//sh"
+		0x68, '/', 'b', 'i', 'n', // push "/bin"
+		0x89, 0xE3, // mov ebx,esp
+		0x50,       // push eax
+		0x53,       // push ebx
+		0x89, 0xE1, // mov ecx,esp
+		0x99,       // cdq
+		0xB0, 0x0B, // mov al,11
+		0xCD, 0x80, // int 0x80
+	}
+	_, out := runCode(t, code, 100)
+	if out.Kind != StopExecve {
+		t.Fatalf("stop=%v fault=%+v", out.Kind, out.Fault)
+	}
+	if !out.ShellSpawned() {
+		t.Fatalf("shell not spawned; syscalls=%+v", out.Syscalls)
+	}
+	if len(out.Syscalls) != 1 || out.Syscalls[0].Number != SysExecve {
+		t.Errorf("syscalls = %+v", out.Syscalls)
+	}
+	if out.Syscalls[0].Path != "/bin//sh" {
+		t.Errorf("path = %q", out.Syscalls[0].Path)
+	}
+}
+
+func TestSetuidThenExecve(t *testing.T) {
+	code := []byte{
+		0x31, 0xDB, // xor ebx,ebx
+		0x31, 0xC0, // xor eax,eax
+		0xB0, 0x17, // mov al,23 (setuid)
+		0xCD, 0x80, // int 0x80 — continues
+		0x31, 0xC0, // xor eax,eax
+		0x50,
+		0x68, '/', '/', 's', 'h',
+		0x68, '/', 'b', 'i', 'n',
+		0x89, 0xE3,
+		0x50, 0x53,
+		0x89, 0xE1,
+		0x99,
+		0xB0, 0x0B,
+		0xCD, 0x80,
+	}
+	_, out := runCode(t, code, 100)
+	if out.Kind != StopExecve || len(out.Syscalls) != 2 {
+		t.Fatalf("stop=%v syscalls=%+v", out.Kind, out.Syscalls)
+	}
+	if out.Syscalls[0].Number != SysSetuid {
+		t.Errorf("first syscall = %d, want setuid", out.Syscalls[0].Number)
+	}
+	if !out.ShellSpawned() {
+		t.Error("shell not spawned")
+	}
+}
+
+func TestStringOps(t *testing.T) {
+	// rep stosb: fill 8 bytes with al.
+	code := []byte{
+		0x54, 0x5F, // push esp; pop edi
+		0x83, 0xEF, 0x20, // sub edi,0x20
+		0xB0, 0x41, // mov al,'A'
+		0xB9, 0x08, 0x00, 0x00, 0x00, // mov ecx,8
+		0xF3, 0xAA, // rep stosb
+		0xF4,
+	}
+	c, out := runCode(t, code, 100)
+	if out.Kind != StopFault || out.Fault.Kind != FaultPrivileged {
+		t.Fatalf("stop=%v %+v", out.Kind, out.Fault)
+	}
+	addr := c.Mem.Base() + uint32(c.Mem.Size()) - 0x20
+	for i := uint32(0); i < 8; i++ {
+		v, ok := c.Mem.readU8(addr + i)
+		if !ok || v != 'A' {
+			t.Fatalf("byte %d = %#x", i, v)
+		}
+	}
+	if c.Regs[x86.ECX] != 0 {
+		t.Errorf("ecx = %d after rep", c.Regs[x86.ECX])
+	}
+}
+
+func TestMovsAndLods(t *testing.T) {
+	code := []byte{
+		0x54, 0x5E, // push esp; pop esi
+		0x83, 0xEE, 0x20, // sub esi,0x20
+		0xC7, 0x06, 0x11, 0x22, 0x33, 0x44, // mov dword [esi], 0x44332211
+		0x54, 0x5F, // push esp; pop edi
+		0x83, 0xEF, 0x10, // sub edi,0x10
+		0xA5,             // movsd
+		0x83, 0xEE, 0x04, // sub esi,4 (back to source)
+		0xAD, // lodsd → eax
+		0xF4,
+	}
+	c, out := runCode(t, code, 100)
+	if out.Kind != StopFault || out.Fault.Kind != FaultPrivileged {
+		t.Fatalf("stop=%v %+v", out.Kind, out.Fault)
+	}
+	if c.Regs[x86.EAX] != 0x44332211 {
+		t.Errorf("lodsd eax = %#x", c.Regs[x86.EAX])
+	}
+	dst := c.Mem.Base() + uint32(c.Mem.Size()) - 0x10
+	if v, _ := c.Mem.readU32(dst); v != 0x44332211 {
+		t.Errorf("movsd copied %#x", v)
+	}
+}
+
+func TestPopaPusha(t *testing.T) {
+	code := []byte{
+		0xB8, 0x01, 0x00, 0x00, 0x00, // eax=1
+		0xBB, 0x02, 0x00, 0x00, 0x00, // ebx=2
+		0x60,                   // pusha
+		0x31, 0xC0, 0x31, 0xDB, // clear eax, ebx
+		0x61, // popa
+		0xF4,
+	}
+	c, out := runCode(t, code, 100)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.EAX] != 1 || c.Regs[x86.EBX] != 2 {
+		t.Errorf("restored eax=%d ebx=%d", c.Regs[x86.EAX], c.Regs[x86.EBX])
+	}
+}
+
+func TestShifts(t *testing.T) {
+	code := []byte{
+		0xB8, 0x01, 0x00, 0x00, 0x00, // mov eax,1
+		0xC1, 0xE0, 0x04, // shl eax,4
+		0xBB, 0x80, 0x00, 0x00, 0x00, // mov ebx,0x80
+		0xC1, 0xEB, 0x03, // shr ebx,3
+		0xB9, 0xF0, 0xFF, 0xFF, 0xFF, // mov ecx,-16
+		0xC1, 0xF9, 0x02, // sar ecx,2
+		0xF4,
+	}
+	c, out := runCode(t, code, 100)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.EAX] != 0x10 || c.Regs[x86.EBX] != 0x10 {
+		t.Errorf("shl/shr: eax=%#x ebx=%#x", c.Regs[x86.EAX], c.Regs[x86.EBX])
+	}
+	if int32(c.Regs[x86.ECX]) != -4 {
+		t.Errorf("sar: ecx=%d, want -4", int32(c.Regs[x86.ECX]))
+	}
+}
+
+func TestImulForms(t *testing.T) {
+	code := []byte{
+		0xB8, 0x06, 0x00, 0x00, 0x00, // mov eax,6
+		0x6B, 0xC8, 0x07, // imul ecx, eax, 7
+		0x0F, 0xAF, 0xC8, // imul ecx, eax
+		0xF4,
+	}
+	c, out := runCode(t, code, 100)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.ECX] != 6*7*6 {
+		t.Errorf("ecx = %d, want 252", c.Regs[x86.ECX])
+	}
+}
+
+func TestByteRegisterAliasing(t *testing.T) {
+	code := []byte{
+		0xB8, 0x00, 0x00, 0x00, 0x00, // eax=0
+		0xB4, 0x12, // mov ah,0x12
+		0xB0, 0x34, // mov al,0x34
+		0xF4,
+	}
+	c, out := runCode(t, code, 100)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.EAX] != 0x1234 {
+		t.Errorf("eax = %#x, want 0x1234", c.Regs[x86.EAX])
+	}
+}
+
+func TestLeaNoMemoryFault(t *testing.T) {
+	// lea with a wild address must NOT fault: it computes, not accesses.
+	code := []byte{0x8D, 0x80, 0x78, 0x56, 0x34, 0x12, 0xF4} // lea eax,[eax+0x12345678]
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault || out.Fault.Kind != FaultPrivileged {
+		t.Fatalf("lea faulted: %v %+v", out.Kind, out.Fault)
+	}
+	if c.Regs[x86.EAX] != 0x12345678 {
+		t.Errorf("lea eax = %#x", c.Regs[x86.EAX])
+	}
+}
+
+func TestBoundFault(t *testing.T) {
+	code := []byte{
+		0x54, 0x59, // push esp; pop ecx
+		0x83, 0xE9, 0x10, // sub ecx,16
+		0xC7, 0x01, 0x00, 0x00, 0x00, 0x00, // mov [ecx], 0 (lower)
+		0xC7, 0x41, 0x04, 0x05, 0x00, 0x00, 0x00, // mov [ecx+4], 5 (upper)
+		0xB8, 0x63, 0x00, 0x00, 0x00, // mov eax, 99
+		0x62, 0x01, // bound eax,[ecx] → out of range
+	}
+	_, out := runCode(t, code, 100)
+	if out.Kind != StopFault || out.Fault.Kind != FaultBound {
+		t.Fatalf("stop=%v fault=%+v", out.Kind, out.Fault)
+	}
+}
+
+func TestIntWithoutHandlerFaults(t *testing.T) {
+	code := []byte{0xCD, 0x21} // int 0x21 (DOS!) — no handler on Linux
+	_, out := runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop=%v", out.Kind)
+	}
+}
+
+func TestInt3Faults(t *testing.T) {
+	code := []byte{0xCC}
+	_, out := runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop=%v", out.Kind)
+	}
+}
+
+func TestALUPropertyAddSub(t *testing.T) {
+	mem, _ := NewMemory(DefaultBase, 64)
+	c, _ := New(mem)
+	f := func(a, b uint32) bool {
+		add := c.alu(x86.OpADD, a, b, 4)
+		if add != a+b {
+			return false
+		}
+		sub := c.alu(x86.OpSUB, a, b, 4)
+		if sub != a-b {
+			return false
+		}
+		// CF after SUB is the borrow.
+		if c.CF != (a < b) {
+			return false
+		}
+		x := c.alu(x86.OpXOR, a, b, 4)
+		return x == a^b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestALUByteWidth(t *testing.T) {
+	mem, _ := NewMemory(DefaultBase, 64)
+	c, _ := New(mem)
+	res := c.alu(x86.OpADD, 0xFF, 1, 1)
+	if res != 0 || !c.CF || !c.ZF {
+		t.Errorf("byte add overflow: res=%#x cf=%v zf=%v", res, c.CF, c.ZF)
+	}
+	res = c.alu(x86.OpSUB, 0x00, 1, 1)
+	if res != 0xFF || !c.CF || !c.SF {
+		t.Errorf("byte sub borrow: res=%#x cf=%v sf=%v", res, c.CF, c.SF)
+	}
+}
+
+func TestCondEvaluation(t *testing.T) {
+	mem, _ := NewMemory(DefaultBase, 64)
+	c, _ := New(mem)
+	c.alu(x86.OpCMP, 5, 5, 4)
+	if !c.cond(4) || c.cond(5) { // je / jne
+		t.Error("equality conditions wrong")
+	}
+	c.alu(x86.OpCMP, 3, 5, 4)
+	if !c.cond(2) || !c.cond(12) { // jb, jl
+		t.Error("3 < 5 should satisfy jb and jl")
+	}
+	c.alu(x86.OpCMP, 0xFFFFFFFF, 1, 4) // -1 vs 1
+	if c.cond(2) || !c.cond(3) {       // jb false, jae true: unsigned above
+		t.Error("unsigned comparison: 0xFFFFFFFF is above 1")
+	}
+	if !c.cond(12) { // jl: signed -1 < 1
+		t.Error("signed comparison: -1 is less than 1")
+	}
+}
+
+func TestFlagsWordRoundTrip(t *testing.T) {
+	mem, _ := NewMemory(DefaultBase, 64)
+	c, _ := New(mem)
+	c.CF, c.ZF, c.SF, c.OF, c.PF, c.AF, c.DF = true, false, true, true, false, true, true
+	w := c.flagsWord()
+	c2, _ := New(mem)
+	c2.setFlagsWord(w)
+	if c2.CF != c.CF || c2.ZF != c.ZF || c2.SF != c.SF || c2.OF != c.OF ||
+		c2.PF != c.PF || c2.AF != c.AF || c2.DF != c.DF {
+		t.Errorf("flags word round trip failed: %#x", w)
+	}
+	if w&flagFixed == 0 {
+		t.Error("fixed bit must be set")
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	if StopExecve.String() != "execve" || StopFault.String() != "fault" {
+		t.Error("stop names")
+	}
+	if FaultPage.String() != "page" || FaultKind(99).String() != "unknown" {
+		t.Error("fault names")
+	}
+	if StopKind(99).String() != "unknown" {
+		t.Error("unknown stop name")
+	}
+	fi := &FaultInfo{Kind: FaultPage, EIP: 0x1000, Detail: "x"}
+	if fi.Error() == "" {
+		t.Error("FaultInfo.Error empty")
+	}
+}
+
+func TestCWDEAndCDQ(t *testing.T) {
+	code := []byte{
+		0xB8, 0xFF, 0xFF, 0x00, 0x00, // mov eax,0xFFFF
+		0x98, // cwde → eax = 0xFFFFFFFF
+		0x99, // cdq  → edx = 0xFFFFFFFF
+		0xF4,
+	}
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.EAX] != 0xFFFFFFFF || c.Regs[x86.EDX] != 0xFFFFFFFF {
+		t.Errorf("eax=%#x edx=%#x", c.Regs[x86.EAX], c.Regs[x86.EDX])
+	}
+}
+
+func TestXchgAndLeaveEnter(t *testing.T) {
+	code := []byte{
+		0xB8, 0x01, 0x00, 0x00, 0x00,
+		0xBB, 0x02, 0x00, 0x00, 0x00,
+		0x93, // xchg eax,ebx
+		0xF4,
+	}
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.EAX] != 2 || c.Regs[x86.EBX] != 1 {
+		t.Errorf("xchg: eax=%d ebx=%d", c.Regs[x86.EAX], c.Regs[x86.EBX])
+	}
+}

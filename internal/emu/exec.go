@@ -1,0 +1,1167 @@
+package emu
+
+import (
+	"fmt"
+
+	"repro/internal/x86"
+)
+
+// step executes one instruction. It returns a non-nil Outcome when
+// execution must stop (fault, exit, execve) and nil to continue.
+func (c *CPU) step() *Outcome {
+	window, ok := c.fetchWindow()
+	if !ok {
+		return c.fault(FaultFetch, c.EIP, "instruction fetch outside mapped memory")
+	}
+	inst, err := x86.Decode(window, 0)
+	if err != nil {
+		return c.fault(FaultFetch, c.EIP, "decode: "+err.Error())
+	}
+	c.steps++
+	next := c.EIP + uint32(inst.Len)
+
+	if inst.Flags.Has(x86.FlagUndefined) {
+		return c.fault(FaultUndefined, c.EIP, "undefined opcode "+inst.Mnemonic())
+	}
+	if inst.Flags.Has(x86.FlagIO) || inst.Flags.Has(x86.FlagPrivileged) {
+		return c.fault(FaultPrivileged, c.EIP, inst.Mnemonic()+" at CPL 3")
+	}
+	if inst.MemAccess {
+		if seg := inst.EffectiveSeg(); c.WrongSegs[seg] {
+			return c.fault(FaultSegment, c.EIP, fmt.Sprintf("%s through %s:", inst.Mnemonic(), seg))
+		}
+	}
+
+	out := c.exec(&inst, next)
+	return out
+}
+
+// fetchWindow returns the up-to-15-byte slice at EIP.
+func (c *CPU) fetchWindow() ([]byte, bool) {
+	n := x86.MaxInstLen
+	if !c.Mem.Contains(c.EIP, 1) {
+		return nil, false
+	}
+	for n > 1 && !c.Mem.Contains(c.EIP, n) {
+		n--
+	}
+	b, ok := c.Mem.read(c.EIP, n)
+	return b, ok
+}
+
+func (c *CPU) fault(kind FaultKind, addr uint32, detail string) *Outcome {
+	return &Outcome{Kind: StopFault, Fault: &FaultInfo{Kind: kind, EIP: c.EIP, Addr: addr, Detail: detail}}
+}
+
+// operandSize returns the access width in bytes for the instruction.
+func operandSize(inst *x86.Inst) int {
+	if isByteOp(inst) {
+		return 1
+	}
+	if inst.Prefixes.OpSize {
+		return 2
+	}
+	return 4
+}
+
+// isByteOp reports whether the opcode operates on 8-bit operands.
+func isByteOp(inst *x86.Inst) bool {
+	op := inst.Opcode
+	if inst.TwoByte {
+		// setcc writes a byte; movzx/movsx 0xB6/0xBE read a byte source
+		// (handled at use sites).
+		return op >= 0x90 && op <= 0x9F
+	}
+	switch {
+	case op <= 0x3D && op&7 <= 5: // ALU rows
+		return op&1 == 0 && op&7 != 5 && op&7 != 1 || op&7 == 4
+	case op == 0x80, op == 0x82, op == 0xC0, op == 0xC6, op == 0xF6, op == 0xFE:
+		return true
+	case op == 0x84, op == 0x86, op == 0x88, op == 0x8A:
+		return true
+	case op >= 0xB0 && op <= 0xB7:
+		return true
+	case op == 0xA0, op == 0xA2, op == 0xA8:
+		return true
+	case op == 0xA4, op == 0xA6, op == 0xAA, op == 0xAC, op == 0xAE: // string byte forms
+		return true
+	case op == 0xD0, op == 0xD2:
+		return true
+	}
+	return false
+}
+
+// effAddr computes the effective address of the ModRM memory operand.
+// With the 0x67 prefix the computation is truncated to 16 bits, as the
+// architecture's 16-bit addressing modes require.
+func (c *CPU) effAddr(inst *x86.Inst) uint32 {
+	var addr uint32
+	if inst.MemBase != x86.RegNone {
+		addr += c.Regs[inst.MemBase]
+	}
+	if inst.MemIndex != x86.RegNone {
+		addr += c.Regs[inst.MemIndex] * uint32(inst.MemScale)
+	}
+	addr += uint32(inst.Disp)
+	if inst.Prefixes.AddrSize {
+		addr &= 0xFFFF
+	}
+	return addr
+}
+
+// readMem / writeMem perform checked accesses of the given width.
+func (c *CPU) readMem(addr uint32, size int) (uint32, *Outcome) {
+	switch size {
+	case 1:
+		v, ok := c.Mem.readU8(addr)
+		if !ok {
+			return 0, c.fault(FaultPage, addr, fmt.Sprintf("read byte at %#x", addr))
+		}
+		return uint32(v), nil
+	case 2:
+		v, ok := c.Mem.readU16(addr)
+		if !ok {
+			return 0, c.fault(FaultPage, addr, fmt.Sprintf("read word at %#x", addr))
+		}
+		return uint32(v), nil
+	default:
+		v, ok := c.Mem.readU32(addr)
+		if !ok {
+			return 0, c.fault(FaultPage, addr, fmt.Sprintf("read dword at %#x", addr))
+		}
+		return v, nil
+	}
+}
+
+func (c *CPU) writeMem(addr uint32, size int, v uint32) *Outcome {
+	var ok bool
+	switch size {
+	case 1:
+		ok = c.Mem.writeU8(addr, byte(v))
+	case 2:
+		ok = c.Mem.writeU16(addr, uint16(v))
+	default:
+		ok = c.Mem.writeU32(addr, v)
+	}
+	if !ok {
+		return c.fault(FaultPage, addr, fmt.Sprintf("write %d bytes at %#x", size, addr))
+	}
+	return nil
+}
+
+// reg8 reads the 8-bit register with the given ModRM register number
+// (0-3 = AL..BL, 4-7 = AH..BH).
+func (c *CPU) reg8(n byte) uint32 {
+	if n < 4 {
+		return c.Regs[n] & 0xFF
+	}
+	return (c.Regs[n-4] >> 8) & 0xFF
+}
+
+func (c *CPU) setReg8(n byte, v uint32) {
+	if n < 4 {
+		c.Regs[n] = c.Regs[n]&^uint32(0xFF) | v&0xFF
+	} else {
+		c.Regs[n-4] = c.Regs[n-4]&^uint32(0xFF00) | (v&0xFF)<<8
+	}
+}
+
+// regRead / regWrite access register operands at the given width.
+func (c *CPU) regRead(n byte, size int) uint32 {
+	switch size {
+	case 1:
+		return c.reg8(n)
+	case 2:
+		return c.Regs[n] & 0xFFFF
+	default:
+		return c.Regs[n]
+	}
+}
+
+func (c *CPU) regWrite(n byte, size int, v uint32) {
+	switch size {
+	case 1:
+		c.setReg8(n, v)
+	case 2:
+		c.Regs[n] = c.Regs[n]&^uint32(0xFFFF) | v&0xFFFF
+	default:
+		c.Regs[n] = v
+	}
+}
+
+// rmRead reads the ModRM r/m operand.
+func (c *CPU) rmRead(inst *x86.Inst, size int) (uint32, *Outcome) {
+	if inst.Mod == 3 {
+		return c.regRead(inst.RM, size), nil
+	}
+	return c.readMem(c.effAddr(inst), size)
+}
+
+// rmWrite writes the ModRM r/m operand.
+func (c *CPU) rmWrite(inst *x86.Inst, size int, v uint32) *Outcome {
+	if inst.Mod == 3 {
+		c.regWrite(inst.RM, size, v)
+		return nil
+	}
+	return c.writeMem(c.effAddr(inst), size, v)
+}
+
+// push pushes a 32-bit value.
+func (c *CPU) push(v uint32) *Outcome {
+	c.Regs[x86.ESP] -= 4
+	return c.writeMem(c.Regs[x86.ESP], 4, v)
+}
+
+// pop pops a 32-bit value.
+func (c *CPU) pop() (uint32, *Outcome) {
+	v, out := c.readMem(c.Regs[x86.ESP], 4)
+	if out != nil {
+		return 0, out
+	}
+	c.Regs[x86.ESP] += 4
+	return v, nil
+}
+
+// exec dispatches on the operation. next is the fall-through EIP.
+func (c *CPU) exec(inst *x86.Inst, next uint32) *Outcome {
+	size := operandSize(inst)
+	op := inst.Opcode
+
+	switch inst.Op {
+	case x86.OpNOP, x86.OpWAIT:
+		// nothing
+
+	case x86.OpADD, x86.OpOR, x86.OpADC, x86.OpSBB, x86.OpAND,
+		x86.OpSUB, x86.OpXOR, x86.OpCMP, x86.OpTEST:
+		if out := c.execALU(inst, size); out != nil {
+			return out
+		}
+
+	case x86.OpINC, x86.OpDEC:
+		if out := c.execIncDec(inst, size); out != nil {
+			return out
+		}
+
+	case x86.OpPUSH:
+		if out := c.execPush(inst, size); out != nil {
+			return out
+		}
+
+	case x86.OpPOP:
+		if out := c.execPop(inst); out != nil {
+			return out
+		}
+
+	case x86.OpPUSHA:
+		sp := c.Regs[x86.ESP]
+		for _, r := range []x86.Reg{x86.EAX, x86.ECX, x86.EDX, x86.EBX} {
+			if out := c.push(c.Regs[r]); out != nil {
+				return out
+			}
+		}
+		if out := c.push(sp); out != nil {
+			return out
+		}
+		for _, r := range []x86.Reg{x86.EBP, x86.ESI, x86.EDI} {
+			if out := c.push(c.Regs[r]); out != nil {
+				return out
+			}
+		}
+
+	case x86.OpPOPA:
+		for _, r := range []x86.Reg{x86.EDI, x86.ESI, x86.EBP} {
+			v, out := c.pop()
+			if out != nil {
+				return out
+			}
+			c.Regs[r] = v
+		}
+		if _, out := c.pop(); out != nil { // discarded ESP slot
+			return out
+		}
+		for _, r := range []x86.Reg{x86.EBX, x86.EDX, x86.ECX, x86.EAX} {
+			v, out := c.pop()
+			if out != nil {
+				return out
+			}
+			c.Regs[r] = v
+		}
+
+	case x86.OpPUSHF:
+		if out := c.push(c.flagsWord()); out != nil {
+			return out
+		}
+
+	case x86.OpPOPF:
+		v, out := c.pop()
+		if out != nil {
+			return out
+		}
+		c.setFlagsWord(v)
+
+	case x86.OpMOV:
+		if out := c.execMov(inst, size); out != nil {
+			return out
+		}
+
+	case x86.OpLEA:
+		c.regWrite(inst.RegField, 4, c.effAddr(inst))
+
+	case x86.OpXCHG:
+		if out := c.execXchg(inst, size); out != nil {
+			return out
+		}
+
+	case x86.OpJcc:
+		if c.cond(inst.Cond) {
+			next = c.EIP + uint32(inst.RelTarget)
+		}
+
+	case x86.OpJMP:
+		if inst.HasRelTarget {
+			next = c.EIP + uint32(inst.RelTarget)
+		} else { // FF /4
+			v, out := c.rmRead(inst, 4)
+			if out != nil {
+				return out
+			}
+			next = v
+		}
+
+	case x86.OpCALL:
+		target := c.EIP + uint32(inst.RelTarget)
+		if !inst.HasRelTarget { // FF /2
+			v, out := c.rmRead(inst, 4)
+			if out != nil {
+				return out
+			}
+			target = v
+		}
+		if out := c.push(next); out != nil {
+			return out
+		}
+		next = target
+
+	case x86.OpRET:
+		v, out := c.pop()
+		if out != nil {
+			return out
+		}
+		c.Regs[x86.ESP] += uint32(uint16(inst.Imm))
+		next = v
+
+	case x86.OpLOOP, x86.OpLOOPE, x86.OpLOOPNE:
+		c.Regs[x86.ECX]--
+		take := c.Regs[x86.ECX] != 0
+		if inst.Op == x86.OpLOOPE {
+			take = take && c.ZF
+		}
+		if inst.Op == x86.OpLOOPNE {
+			take = take && !c.ZF
+		}
+		if take {
+			next = c.EIP + uint32(inst.RelTarget)
+		}
+
+	case x86.OpJECXZ:
+		if c.Regs[x86.ECX] == 0 {
+			next = c.EIP + uint32(inst.RelTarget)
+		}
+
+	case x86.OpINT:
+		return c.execInt(inst, next)
+
+	case x86.OpINT3, x86.OpINTO:
+		if inst.Op == x86.OpINTO && !c.OF {
+			break // INTO without overflow is a no-op
+		}
+		return c.fault(FaultUnsupported, c.EIP, "software breakpoint/overflow trap")
+
+	case x86.OpIRET, x86.OpRETF, x86.OpCALLF, x86.OpJMPF:
+		return c.fault(FaultSegment, c.EIP, "far control transfer from flat user code")
+
+	case x86.OpCDQ:
+		if int32(c.Regs[x86.EAX]) < 0 {
+			c.Regs[x86.EDX] = 0xFFFFFFFF
+		} else {
+			c.Regs[x86.EDX] = 0
+		}
+
+	case x86.OpCWDE:
+		c.Regs[x86.EAX] = uint32(int32(int16(c.Regs[x86.EAX])))
+
+	case x86.OpSAHF:
+		c.setFlagsWord(c.flagsWord()&^uint32(0xFF) | c.reg8(4)) // AH
+
+	case x86.OpLAHF:
+		c.setReg8(4, c.flagsWord()&0xFF)
+
+	case x86.OpSALC:
+		if c.CF {
+			c.setReg8(0, 0xFF)
+		} else {
+			c.setReg8(0, 0)
+		}
+
+	case x86.OpXLAT:
+		addr := c.Regs[x86.EBX] + c.reg8(0)
+		v, out := c.readMem(addr, 1)
+		if out != nil {
+			return out
+		}
+		c.setReg8(0, v)
+
+	case x86.OpROL, x86.OpROR, x86.OpRCL, x86.OpRCR,
+		x86.OpSHL, x86.OpSHR, x86.OpSAR:
+		if out := c.execShift(inst, size); out != nil {
+			return out
+		}
+
+	case x86.OpNOT:
+		v, out := c.rmRead(inst, size)
+		if out != nil {
+			return out
+		}
+		if out := c.rmWrite(inst, size, ^v); out != nil {
+			return out
+		}
+
+	case x86.OpNEG:
+		v, out := c.rmRead(inst, size)
+		if out != nil {
+			return out
+		}
+		r := c.alu(x86.OpSUB, 0, v, size)
+		if out := c.rmWrite(inst, size, r); out != nil {
+			return out
+		}
+		c.CF = v != 0
+
+	case x86.OpIMUL, x86.OpMUL:
+		if out := c.execMul(inst, size); out != nil {
+			return out
+		}
+
+	case x86.OpDIV, x86.OpIDIV:
+		if out := c.execDiv(inst, size); out != nil {
+			return out
+		}
+
+	case x86.OpMOVS, x86.OpSTOS, x86.OpLODS, x86.OpSCAS, x86.OpCMPS:
+		if out := c.execString(inst, size); out != nil {
+			return out
+		}
+
+	case x86.OpBOUND:
+		idx := int32(c.regRead(inst.RegField, 4))
+		addr := c.effAddr(inst)
+		lo, out := c.readMem(addr, 4)
+		if out != nil {
+			return out
+		}
+		hi, out := c.readMem(addr+4, 4)
+		if out != nil {
+			return out
+		}
+		if idx < int32(lo) || idx > int32(hi) {
+			return c.fault(FaultBound, addr, fmt.Sprintf("bound: %d not in [%d,%d]", idx, int32(lo), int32(hi)))
+		}
+
+	case x86.OpARPL:
+		dst, out := c.rmRead(inst, 2)
+		if out != nil {
+			return out
+		}
+		src := c.regRead(inst.RegField, 2)
+		if dst&3 < src&3 {
+			c.ZF = true
+			if out := c.rmWrite(inst, 2, dst&^uint32(3)|src&3); out != nil {
+				return out
+			}
+		} else {
+			c.ZF = false
+		}
+
+	case x86.OpDAA, x86.OpDAS, x86.OpAAA, x86.OpAAS, x86.OpAAM, x86.OpAAD:
+		if out := c.execBCD(inst); out != nil {
+			return out
+		}
+
+	case x86.OpENTER:
+		if out := c.push(c.Regs[x86.EBP]); out != nil {
+			return out
+		}
+		c.Regs[x86.EBP] = c.Regs[x86.ESP]
+		c.Regs[x86.ESP] -= uint32(uint16(inst.Imm))
+
+	case x86.OpLEAVE:
+		c.Regs[x86.ESP] = c.Regs[x86.EBP]
+		v, out := c.pop()
+		if out != nil {
+			return out
+		}
+		c.Regs[x86.EBP] = v
+
+	case x86.OpCLC:
+		c.CF = false
+	case x86.OpSTC:
+		c.CF = true
+	case x86.OpCMC:
+		c.CF = !c.CF
+	case x86.OpCLD:
+		c.DF = false
+	case x86.OpSTD:
+		c.DF = true
+
+	case x86.OpSetcc:
+		v := uint32(0)
+		if c.cond(inst.Cond) {
+			v = 1
+		}
+		if out := c.rmWrite(inst, 1, v); out != nil {
+			return out
+		}
+
+	case x86.OpCmovcc:
+		v, out := c.rmRead(inst, size)
+		if out != nil {
+			return out
+		}
+		if c.cond(inst.Cond) {
+			c.regWrite(inst.RegField, size, v)
+		}
+
+	case x86.OpMOVZX:
+		srcSize := 1
+		if op == 0xB7 {
+			srcSize = 2
+		}
+		v, out := c.rmRead(inst, srcSize)
+		if out != nil {
+			return out
+		}
+		c.regWrite(inst.RegField, 4, v)
+
+	case x86.OpMOVSX:
+		if op == 0xBF {
+			v, out := c.rmRead(inst, 2)
+			if out != nil {
+				return out
+			}
+			c.regWrite(inst.RegField, 4, uint32(int32(int16(v))))
+		} else {
+			v, out := c.rmRead(inst, 1)
+			if out != nil {
+				return out
+			}
+			c.regWrite(inst.RegField, 4, uint32(int32(int8(v))))
+		}
+
+	case x86.OpBSWAP:
+		r := op & 7
+		v := c.Regs[r]
+		c.Regs[r] = v<<24 | v>>24 | (v&0xFF00)<<8 | (v>>8)&0xFF00
+
+	case x86.OpCPUID:
+		c.Regs[x86.EAX], c.Regs[x86.EBX] = 0, 0x756E6547 // "Genu"
+		c.Regs[x86.EDX], c.Regs[x86.ECX] = 0x49656E69, 0x6C65746E
+
+	case x86.OpRDTSC:
+		c.Regs[x86.EAX] = uint32(c.steps) * 100
+		c.Regs[x86.EDX] = 0
+
+	case x86.OpXADD:
+		src := c.regRead(inst.RegField, size)
+		dst, out := c.rmRead(inst, size)
+		if out != nil {
+			return out
+		}
+		sum := c.alu(x86.OpADD, dst, src, size)
+		c.regWrite(inst.RegField, size, dst)
+		if out := c.rmWrite(inst, size, sum); out != nil {
+			return out
+		}
+
+	case x86.OpCMPXCHG:
+		dst, out := c.rmRead(inst, size)
+		if out != nil {
+			return out
+		}
+		acc := c.regRead(0, size)
+		c.alu(x86.OpCMP, acc, dst, size)
+		if acc == dst {
+			if out := c.rmWrite(inst, size, c.regRead(inst.RegField, size)); out != nil {
+				return out
+			}
+		} else {
+			c.regWrite(0, size, dst)
+		}
+
+	case x86.OpSHLD, x86.OpSHRD:
+		if out := c.execDoubleShift(inst, size); out != nil {
+			return out
+		}
+
+	case x86.OpBT, x86.OpBTS, x86.OpBTR, x86.OpBTC:
+		if out := c.execBitTest(inst, size); out != nil {
+			return out
+		}
+
+	case x86.OpFPU:
+		return c.fault(FaultUnsupported, c.EIP, "x87 instruction outside emulated subset")
+
+	default:
+		return c.fault(FaultUnsupported, c.EIP, "unimplemented op "+inst.Mnemonic())
+	}
+
+	c.EIP = next
+	return nil
+}
+
+// execInt handles software interrupts: int 0x80 is the Linux syscall
+// gate, everything else has no user handler and kills the process.
+func (c *CPU) execInt(inst *x86.Inst, next uint32) *Outcome {
+	if byte(inst.Imm) != 0x80 {
+		return c.fault(FaultUnsupported, c.EIP, fmt.Sprintf("int %#x has no handler", byte(inst.Imm)))
+	}
+	sys := Syscall{
+		Number: c.Regs[x86.EAX],
+		Args:   [3]uint32{c.Regs[x86.EBX], c.Regs[x86.ECX], c.Regs[x86.EDX]},
+	}
+	if c.Mem.Contains(sys.Args[0], 1) {
+		sys.Path = c.Mem.cstring(sys.Args[0])
+	}
+	c.syscalls = append(c.syscalls, sys)
+	switch sys.Number {
+	case SysExit:
+		return &Outcome{Kind: StopExit}
+	case SysExecve:
+		return &Outcome{Kind: StopExecve}
+	default:
+		c.Regs[x86.EAX] = 0 // pretend success
+		c.EIP = next
+		return nil
+	}
+}
+
+// execALU runs the two-operand arithmetic family across its encodings.
+func (c *CPU) execALU(inst *x86.Inst, size int) *Outcome {
+	op := inst.Op
+	writeBack := op != x86.OpCMP && op != x86.OpTEST
+
+	// Accumulator-immediate forms (04/05 columns, A8/A9).
+	if !inst.HasModRM {
+		dst := c.regRead(0, size)
+		res := c.alu(op, dst, uint32(inst.Imm), size)
+		if writeBack {
+			c.regWrite(0, size, res)
+		}
+		return nil
+	}
+
+	// Group-1 and C6-style immediate forms.
+	if inst.ImmSize > 0 {
+		dst, out := c.rmRead(inst, size)
+		if out != nil {
+			return out
+		}
+		res := c.alu(op, dst, uint32(inst.Imm), size)
+		if writeBack {
+			if out := c.rmWrite(inst, size, res); out != nil {
+				return out
+			}
+		}
+		return nil
+	}
+
+	// ModRM register/memory forms; direction bit 1 of the opcode.
+	regVal := c.regRead(inst.RegField, size)
+	rmVal, out := c.rmRead(inst, size)
+	if out != nil {
+		return out
+	}
+	dirRegDst := inst.Opcode&2 != 0 && !inst.TwoByte
+	if inst.Op == x86.OpTEST {
+		dirRegDst = false // test has a single form
+	}
+	if dirRegDst {
+		res := c.alu(op, regVal, rmVal, size)
+		if writeBack {
+			c.regWrite(inst.RegField, size, res)
+		}
+		return nil
+	}
+	res := c.alu(op, rmVal, regVal, size)
+	if writeBack {
+		return c.rmWrite(inst, size, res)
+	}
+	return nil
+}
+
+func (c *CPU) execIncDec(inst *x86.Inst, size int) *Outcome {
+	delta := uint32(1)
+	isDec := inst.Op == x86.OpDEC
+	// Register short forms have no ModRM.
+	if !inst.HasModRM {
+		r := inst.Opcode & 7
+		v := c.regRead(r, size)
+		c.incDecFlags(v, size, isDec)
+		if isDec {
+			v -= delta
+		} else {
+			v += delta
+		}
+		c.regWrite(r, size, v)
+		return nil
+	}
+	v, out := c.rmRead(inst, size)
+	if out != nil {
+		return out
+	}
+	c.incDecFlags(v, size, isDec)
+	if isDec {
+		v -= delta
+	} else {
+		v += delta
+	}
+	return c.rmWrite(inst, size, v)
+}
+
+func (c *CPU) execPush(inst *x86.Inst, size int) *Outcome {
+	switch {
+	case inst.ImmSize > 0: // 68/6A
+		return c.push(uint32(inst.Imm))
+	case inst.HasModRM: // FF /6
+		v, out := c.rmRead(inst, 4)
+		if out != nil {
+			return out
+		}
+		return c.push(v)
+	case inst.TwoByte || inst.Opcode < 0x50: // segment pushes
+		return c.push(0x2B) // a flat user data selector
+	default: // 50+r
+		return c.push(c.Regs[inst.Opcode&7])
+	}
+}
+
+func (c *CPU) execPop(inst *x86.Inst) *Outcome {
+	v, out := c.pop()
+	if out != nil {
+		return out
+	}
+	switch {
+	case inst.HasModRM: // 8F /0
+		return c.rmWrite(inst, 4, v)
+	case inst.TwoByte || inst.Opcode < 0x58:
+		// Segment pop: loading an arbitrary selector into a segment
+		// register faults unless it is a valid flat selector. Benign text
+		// rarely has 0x07/0x17/0x1F executed; treat a non-flat selector
+		// as a segment fault, matching real protected-mode behaviour.
+		if v != 0x2B && v != 0x23 && v != 0 {
+			return c.fault(FaultSegment, c.EIP, fmt.Sprintf("pop seg with selector %#x", v))
+		}
+		return nil
+	default: // 58+r
+		c.Regs[inst.Opcode&7] = v
+		return nil
+	}
+}
+
+func (c *CPU) execMov(inst *x86.Inst, size int) *Outcome {
+	op := inst.Opcode
+	switch {
+	case inst.TwoByte && op == 0xC3: // movnti
+		v := c.regRead(inst.RegField, 4)
+		return c.rmWrite(inst, 4, v)
+	case op >= 0xB0 && op <= 0xB7:
+		c.regWrite(op&7, 1, uint32(inst.Imm))
+	case op >= 0xB8 && op <= 0xBF:
+		c.regWrite(op&7, size, uint32(inst.Imm))
+	case op == 0xC6 || op == 0xC7:
+		return c.rmWrite(inst, size, uint32(inst.Imm))
+	case op == 0xA0 || op == 0xA1: // load accumulator from moffs
+		v, out := c.readMem(uint32(inst.Disp), size)
+		if out != nil {
+			return out
+		}
+		c.regWrite(0, size, v)
+	case op == 0xA2 || op == 0xA3: // store accumulator to moffs
+		return c.writeMem(uint32(inst.Disp), size, c.regRead(0, size))
+	case op == 0x88 || op == 0x89: // store reg to rm
+		return c.rmWrite(inst, size, c.regRead(inst.RegField, size))
+	case op == 0x8A || op == 0x8B: // load reg from rm
+		v, out := c.rmRead(inst, size)
+		if out != nil {
+			return out
+		}
+		c.regWrite(inst.RegField, size, v)
+	case op == 0x8C: // mov rm, seg — store a flat selector
+		return c.rmWrite(inst, 2, 0x2B)
+	case op == 0x8E: // mov seg, rm — fault unless a flat selector
+		v, out := c.rmRead(inst, 2)
+		if out != nil {
+			return out
+		}
+		if v != 0x2B && v != 0x23 && v != 0 {
+			return c.fault(FaultSegment, c.EIP, fmt.Sprintf("mov seg with selector %#x", v))
+		}
+	}
+	return nil
+}
+
+func (c *CPU) execXchg(inst *x86.Inst, size int) *Outcome {
+	if !inst.HasModRM { // 91-97: xchg eax, reg
+		r := inst.Opcode & 7
+		c.Regs[x86.EAX], c.Regs[r] = c.Regs[r], c.Regs[x86.EAX]
+		return nil
+	}
+	rmVal, out := c.rmRead(inst, size)
+	if out != nil {
+		return out
+	}
+	regVal := c.regRead(inst.RegField, size)
+	if out := c.rmWrite(inst, size, regVal); out != nil {
+		return out
+	}
+	c.regWrite(inst.RegField, size, rmVal)
+	return nil
+}
+
+func (c *CPU) execShift(inst *x86.Inst, size int) *Outcome {
+	var count uint32
+	switch inst.Opcode {
+	case 0xC0, 0xC1:
+		count = uint32(inst.Imm) & 31
+	case 0xD0, 0xD1:
+		count = 1
+	default: // D2, D3
+		count = c.Regs[x86.ECX] & 31
+	}
+	v, out := c.rmRead(inst, size)
+	if out != nil {
+		return out
+	}
+	bits := uint32(size * 8)
+	if count == 0 {
+		return nil
+	}
+	mask := uint32(1)<<bits - 1
+	if size == 4 {
+		mask = 0xFFFFFFFF
+	}
+	v &= mask
+	switch inst.Op {
+	case x86.OpSHL:
+		c.CF = count <= bits && v>>(bits-count)&1 == 1
+		v = v << count & mask
+	case x86.OpSHR:
+		c.CF = v>>(count-1)&1 == 1
+		v = v >> count
+	case x86.OpSAR:
+		sv := int32(v << (32 - bits)) // sign position at bit 31
+		c.CF = sv>>(count-1)&1 == 1
+		v = uint32(sv>>count) >> (32 - bits) & mask
+	case x86.OpROL:
+		count %= bits
+		v = (v<<count | v>>(bits-count)) & mask
+		c.CF = v&1 == 1
+	case x86.OpROR:
+		count %= bits
+		v = (v>>count | v<<(bits-count)) & mask
+		c.CF = v>>(bits-1)&1 == 1
+	case x86.OpRCL, x86.OpRCR:
+		// Through-carry rotates, one bit at a time.
+		for i := uint32(0); i < count; i++ {
+			if inst.Op == x86.OpRCL {
+				newCF := v>>(bits-1)&1 == 1
+				v = v<<1&mask | boolBit(c.CF)
+				c.CF = newCF
+			} else {
+				newCF := v&1 == 1
+				v = v>>1 | boolBit(c.CF)<<(bits-1)
+				c.CF = newCF
+			}
+		}
+	}
+	c.setSZP(v, size)
+	return c.rmWrite(inst, size, v)
+}
+
+func boolBit(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (c *CPU) execMul(inst *x86.Inst, size int) *Outcome {
+	// imul Gv, Ev, Iz / Ib (69/6B) and imul Gv, Ev (0F AF).
+	if inst.Op == x86.OpIMUL && inst.HasModRM &&
+		(inst.Opcode == 0x69 || inst.Opcode == 0x6B || inst.TwoByte) {
+		src, out := c.rmRead(inst, size)
+		if out != nil {
+			return out
+		}
+		mul := int64(int32(src))
+		if inst.Opcode == 0x69 || inst.Opcode == 0x6B {
+			mul *= int64(int32(inst.Imm))
+		} else {
+			mul = int64(int32(c.regRead(inst.RegField, size))) * int64(int32(src))
+		}
+		res := uint32(mul)
+		c.regWrite(inst.RegField, size, res)
+		c.CF = int64(int32(res)) != mul
+		c.OF = c.CF
+		return nil
+	}
+	// grp3 forms: edx:eax = eax * rm.
+	src, out := c.rmRead(inst, size)
+	if out != nil {
+		return out
+	}
+	if inst.Op == x86.OpMUL {
+		prod := uint64(c.Regs[x86.EAX]) * uint64(src)
+		c.Regs[x86.EAX] = uint32(prod)
+		c.Regs[x86.EDX] = uint32(prod >> 32)
+		c.CF = c.Regs[x86.EDX] != 0
+	} else {
+		prod := int64(int32(c.Regs[x86.EAX])) * int64(int32(src))
+		c.Regs[x86.EAX] = uint32(prod)
+		c.Regs[x86.EDX] = uint32(uint64(prod) >> 32)
+		c.CF = prod != int64(int32(prod))
+	}
+	c.OF = c.CF
+	return nil
+}
+
+func (c *CPU) execDiv(inst *x86.Inst, size int) *Outcome {
+	src, out := c.rmRead(inst, size)
+	if out != nil {
+		return out
+	}
+	if src == 0 {
+		return c.fault(FaultDivide, c.EIP, "division by zero")
+	}
+	dividend := uint64(c.Regs[x86.EDX])<<32 | uint64(c.Regs[x86.EAX])
+	if inst.Op == x86.OpDIV {
+		q := dividend / uint64(src)
+		if q > 0xFFFFFFFF {
+			return c.fault(FaultDivide, c.EIP, "quotient overflow")
+		}
+		c.Regs[x86.EAX] = uint32(q)
+		c.Regs[x86.EDX] = uint32(dividend % uint64(src))
+	} else {
+		sd := int64(dividend)
+		ss := int64(int32(src))
+		q := sd / ss
+		if q > 0x7FFFFFFF || q < -0x80000000 {
+			return c.fault(FaultDivide, c.EIP, "signed quotient overflow")
+		}
+		c.Regs[x86.EAX] = uint32(q)
+		c.Regs[x86.EDX] = uint32(sd % ss)
+	}
+	return nil
+}
+
+// execString implements the string family with optional REP prefixes.
+func (c *CPU) execString(inst *x86.Inst, size int) *Outcome {
+	step := uint32(size)
+	if c.DF {
+		step = -step
+	}
+	rep := inst.Prefixes.Rep || inst.Prefixes.RepNE
+	iterations := 1
+	if rep {
+		iterations = int(c.Regs[x86.ECX])
+		if iterations == 0 {
+			return nil
+		}
+	}
+	for it := 0; it < iterations; it++ {
+		var cmpDone, cmpZF bool
+		switch inst.Op {
+		case x86.OpMOVS:
+			v, out := c.readMem(c.Regs[x86.ESI], size)
+			if out != nil {
+				return out
+			}
+			if out := c.writeMem(c.Regs[x86.EDI], size, v); out != nil {
+				return out
+			}
+			c.Regs[x86.ESI] += step
+			c.Regs[x86.EDI] += step
+		case x86.OpSTOS:
+			if out := c.writeMem(c.Regs[x86.EDI], size, c.regRead(0, size)); out != nil {
+				return out
+			}
+			c.Regs[x86.EDI] += step
+		case x86.OpLODS:
+			v, out := c.readMem(c.Regs[x86.ESI], size)
+			if out != nil {
+				return out
+			}
+			c.regWrite(0, size, v)
+			c.Regs[x86.ESI] += step
+		case x86.OpSCAS:
+			v, out := c.readMem(c.Regs[x86.EDI], size)
+			if out != nil {
+				return out
+			}
+			c.alu(x86.OpCMP, c.regRead(0, size), v, size)
+			c.Regs[x86.EDI] += step
+			cmpDone, cmpZF = true, c.ZF
+		case x86.OpCMPS:
+			a, out := c.readMem(c.Regs[x86.ESI], size)
+			if out != nil {
+				return out
+			}
+			b, out := c.readMem(c.Regs[x86.EDI], size)
+			if out != nil {
+				return out
+			}
+			c.alu(x86.OpCMP, a, b, size)
+			c.Regs[x86.ESI] += step
+			c.Regs[x86.EDI] += step
+			cmpDone, cmpZF = true, c.ZF
+		}
+		if rep {
+			c.Regs[x86.ECX]--
+			if cmpDone {
+				if inst.Prefixes.Rep && !cmpZF {
+					break
+				}
+				if inst.Prefixes.RepNE && cmpZF {
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// execDoubleShift implements SHLD/SHRD (imm8 and CL count forms).
+func (c *CPU) execDoubleShift(inst *x86.Inst, size int) *Outcome {
+	bits := uint32(size * 8)
+	var count uint32
+	if inst.ImmSize > 0 {
+		count = uint32(inst.Imm) & 31
+	} else {
+		count = c.Regs[x86.ECX] & 31
+	}
+	if count == 0 {
+		return nil
+	}
+	dst, out := c.rmRead(inst, size)
+	if out != nil {
+		return out
+	}
+	src := c.regRead(inst.RegField, size)
+	var res uint32
+	if count >= bits {
+		// Undefined architecturally for 32-bit; mimic a masked shift.
+		count %= bits
+	}
+	if inst.Op == x86.OpSHLD {
+		c.CF = dst>>(bits-count)&1 == 1
+		res = dst<<count | src>>(bits-count)
+	} else {
+		c.CF = dst>>(count-1)&1 == 1
+		res = dst>>count | src<<(bits-count)
+	}
+	if bits < 32 {
+		res &= 1<<bits - 1
+	}
+	c.setSZP(res, size)
+	return c.rmWrite(inst, size, res)
+}
+
+// execBitTest implements BT/BTS/BTR/BTC. For memory operands the bit
+// offset is taken modulo the operand width (the common shellcode-free
+// case); the full bit-string addressing of the architecture is not
+// needed by any corpus payload.
+func (c *CPU) execBitTest(inst *x86.Inst, size int) *Outcome {
+	bits := uint32(size * 8)
+	var bitOff uint32
+	if inst.ImmSize > 0 {
+		bitOff = uint32(inst.Imm)
+	} else {
+		bitOff = c.regRead(inst.RegField, size)
+	}
+	bitOff %= bits
+	v, out := c.rmRead(inst, size)
+	if out != nil {
+		return out
+	}
+	c.CF = v>>bitOff&1 == 1
+	switch inst.Op {
+	case x86.OpBTS:
+		v |= 1 << bitOff
+	case x86.OpBTR:
+		v &^= 1 << bitOff
+	case x86.OpBTC:
+		v ^= 1 << bitOff
+	default:
+		return nil // BT: no write-back
+	}
+	return c.rmWrite(inst, size, v)
+}
+
+// execBCD implements the ASCII/decimal adjust family on AL/AX.
+func (c *CPU) execBCD(inst *x86.Inst) *Outcome {
+	al := c.reg8(0)
+	switch inst.Op {
+	case x86.OpDAA:
+		if al&0x0F > 9 || c.AF {
+			al += 6
+			c.AF = true
+		}
+		if al > 0x9F || c.CF {
+			al += 0x60
+			c.CF = true
+		}
+		c.setReg8(0, al)
+	case x86.OpDAS:
+		if al&0x0F > 9 || c.AF {
+			al -= 6
+			c.AF = true
+		}
+		if al > 0x9F || c.CF {
+			al -= 0x60
+			c.CF = true
+		}
+		c.setReg8(0, al)
+	case x86.OpAAA:
+		if al&0x0F > 9 || c.AF {
+			c.setReg8(0, (al+6)&0x0F)
+			c.setReg8(4, c.reg8(4)+1)
+			c.AF, c.CF = true, true
+		} else {
+			c.AF, c.CF = false, false
+			c.setReg8(0, al&0x0F)
+		}
+	case x86.OpAAS:
+		if al&0x0F > 9 || c.AF {
+			c.setReg8(0, (al-6)&0x0F)
+			c.setReg8(4, c.reg8(4)-1)
+			c.AF, c.CF = true, true
+		} else {
+			c.AF, c.CF = false, false
+			c.setReg8(0, al&0x0F)
+		}
+	case x86.OpAAM:
+		base := uint32(byte(inst.Imm))
+		if base == 0 {
+			return c.fault(FaultDivide, c.EIP, "aam with zero base")
+		}
+		c.setReg8(4, al/base)
+		c.setReg8(0, al%base)
+		c.setSZP(c.reg8(0), 1)
+	case x86.OpAAD:
+		base := uint32(byte(inst.Imm))
+		v := (c.reg8(0) + c.reg8(4)*base) & 0xFF
+		c.setReg8(0, v)
+		c.setReg8(4, 0)
+		c.setSZP(v, 1)
+	}
+	return nil
+}

@@ -1,0 +1,744 @@
+package emu
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/x86"
+)
+
+// run16 loads and runs code with a 16-bit-heavy focus; shares runCode.
+
+func TestOperandSize16(t *testing.T) {
+	code := []byte{
+		0xB8, 0xFF, 0xFF, 0xFF, 0xFF, // mov eax,-1
+		0x66, 0xB8, 0x34, 0x12, // mov ax,0x1234 (upper half preserved)
+		0xF4,
+	}
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.EAX] != 0xFFFF1234 {
+		t.Errorf("eax = %#x, want 0xFFFF1234", c.Regs[x86.EAX])
+	}
+}
+
+func TestAdcSbb(t *testing.T) {
+	code := []byte{
+		0xB8, 0xFF, 0xFF, 0xFF, 0xFF, // mov eax,0xFFFFFFFF
+		0x83, 0xC0, 0x01, // add eax,1 → 0, CF=1
+		0xBB, 0x00, 0x00, 0x00, 0x00, // mov ebx,0
+		0x83, 0xD3, 0x00, // adc ebx,0 → ebx=1 (carry in)
+		0xB9, 0x00, 0x00, 0x00, 0x00, // mov ecx,0
+		0x83, 0xE9, 0x01, // sub ecx,1 → CF=1 (borrow)
+		0xBA, 0x05, 0x00, 0x00, 0x00, // mov edx,5
+		0x83, 0xDA, 0x01, // sbb edx,1 → edx = 5-1-1 = 3
+		0xF4,
+	}
+	c, out := runCode(t, code, 20)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.EBX] != 1 {
+		t.Errorf("adc: ebx = %d, want 1", c.Regs[x86.EBX])
+	}
+	if c.Regs[x86.EDX] != 3 {
+		t.Errorf("sbb: edx = %d, want 3", c.Regs[x86.EDX])
+	}
+}
+
+func TestRotatesThroughCarry(t *testing.T) {
+	code := []byte{
+		0xF8,                         // clc
+		0xB8, 0x01, 0x00, 0x00, 0x80, // mov eax,0x80000001
+		0xD1, 0xD0, // rcl eax,1 → 0x00000002, CF=1
+		0xD1, 0xD8, // rcr eax,1 → 0x80000001, CF=0
+		0xF4,
+	}
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.EAX] != 0x80000001 {
+		t.Errorf("rcl/rcr round trip: eax = %#x", c.Regs[x86.EAX])
+	}
+	if c.CF {
+		t.Error("CF should be clear after the round trip")
+	}
+}
+
+func TestRolRor(t *testing.T) {
+	code := []byte{
+		0xB8, 0x01, 0x00, 0x00, 0x80, // mov eax,0x80000001
+		0xC1, 0xC0, 0x04, // rol eax,4 → 0x00000018
+		0xC1, 0xC8, 0x04, // ror eax,4 → 0x80000001
+		0xF4,
+	}
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.EAX] != 0x80000001 {
+		t.Errorf("rol/ror round trip: eax = %#x", c.Regs[x86.EAX])
+	}
+}
+
+func TestMulDivRoundTrip(t *testing.T) {
+	code := []byte{
+		0xB8, 0x39, 0x30, 0x00, 0x00, // mov eax,12345
+		0xBB, 0xA5, 0x00, 0x00, 0x00, // mov ebx,165
+		0xF7, 0xE3, // mul ebx → edx:eax = 2036925
+		0xF7, 0xF3, // div ebx → eax = 12345, edx = 0
+		0xF4,
+	}
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.EAX] != 12345 || c.Regs[x86.EDX] != 0 {
+		t.Errorf("mul/div round trip: eax=%d edx=%d", c.Regs[x86.EAX], c.Regs[x86.EDX])
+	}
+}
+
+func TestIdivSigned(t *testing.T) {
+	code := []byte{
+		0xB8, 0xF9, 0xFF, 0xFF, 0xFF, // mov eax,-7
+		0x99,                         // cdq
+		0xBB, 0x02, 0x00, 0x00, 0x00, // mov ebx,2
+		0xF7, 0xFB, // idiv ebx → eax=-3, edx=-1
+		0xF4,
+	}
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if int32(c.Regs[x86.EAX]) != -3 || int32(c.Regs[x86.EDX]) != -1 {
+		t.Errorf("idiv: q=%d r=%d, want -3, -1", int32(c.Regs[x86.EAX]), int32(c.Regs[x86.EDX]))
+	}
+}
+
+func TestNotNeg(t *testing.T) {
+	code := []byte{
+		0xB8, 0x0F, 0x00, 0x00, 0x00, // mov eax,0xF
+		0xF7, 0xD0, // not eax → 0xFFFFFFF0
+		0xBB, 0x05, 0x00, 0x00, 0x00, // mov ebx,5
+		0xF7, 0xDB, // neg ebx → -5
+		0xF4,
+	}
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.EAX] != 0xFFFFFFF0 {
+		t.Errorf("not: eax = %#x", c.Regs[x86.EAX])
+	}
+	if int32(c.Regs[x86.EBX]) != -5 || !c.CF {
+		t.Errorf("neg: ebx = %d cf=%v", int32(c.Regs[x86.EBX]), c.CF)
+	}
+}
+
+func TestEnterLeave(t *testing.T) {
+	code := []byte{
+		0xC8, 0x20, 0x00, 0x00, // enter 0x20,0
+		0x89, 0xE8, // mov eax,ebp
+		0xC9, // leave
+		0xF4,
+	}
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	wantESP := c.Mem.Base() + uint32(c.Mem.Size())
+	if c.Regs[x86.ESP] != wantESP {
+		t.Errorf("esp after enter/leave = %#x, want %#x", c.Regs[x86.ESP], wantESP)
+	}
+}
+
+func TestPushfPopfRoundTrip(t *testing.T) {
+	code := []byte{
+		0xF9, // stc
+		0x9C, // pushf
+		0xF8, // clc
+		0x9D, // popf → CF restored
+		0xF4,
+	}
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if !c.CF {
+		t.Error("CF not restored by popf")
+	}
+}
+
+func TestSahfLahf(t *testing.T) {
+	code := []byte{
+		0x31, 0xC0, // xor eax,eax → ZF=1 PF=1
+		0x9F, // lahf → AH = flags
+		0xF9, // stc
+		0x9E, // sahf → restores CF=0 from AH
+		0xF4,
+	}
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.CF {
+		t.Error("sahf should have cleared CF")
+	}
+	if !c.ZF {
+		t.Error("sahf should have preserved ZF=1")
+	}
+}
+
+func TestSalc(t *testing.T) {
+	code := []byte{
+		0xF9, // stc
+		0xD6, // salc → al = 0xFF
+		0xF4,
+	}
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.EAX]&0xFF != 0xFF {
+		t.Errorf("salc: al = %#x", c.Regs[x86.EAX]&0xFF)
+	}
+}
+
+func TestXlatTranslation(t *testing.T) {
+	code := []byte{
+		0x54, 0x5B, // push esp; pop ebx
+		0x83, 0xEB, 0x10, // sub ebx,16
+		0xC6, 0x43, 0x05, 0x77, // mov byte [ebx+5], 0x77
+		0xB0, 0x05, // mov al,5
+		0xD7, // xlat → al = [ebx+5] = 0x77
+		0xF4,
+	}
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.EAX]&0xFF != 0x77 {
+		t.Errorf("xlat: al = %#x", c.Regs[x86.EAX]&0xFF)
+	}
+}
+
+func TestStringOpsBackward(t *testing.T) {
+	code := []byte{
+		0x54, 0x5F, // push esp; pop edi
+		0x83, 0xEF, 0x04, // sub edi,4 (last dword below old esp)
+		0xB0, 0x5A, // mov al,'Z'
+		0xFD,                         // std (DF=1: backward)
+		0xB9, 0x04, 0x00, 0x00, 0x00, // mov ecx,4
+		0xF3, 0xAA, // rep stosb going down
+		0xFC, // cld
+		0xF4,
+	}
+	c, out := runCode(t, code, 20)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	// edi starts at top-4 and walks down: bytes top-4..top-7 are filled.
+	top := c.Mem.Base() + uint32(c.Mem.Size())
+	for i := uint32(4); i <= 7; i++ {
+		if v, _ := c.Mem.readU8(top - i); v != 'Z' {
+			t.Fatalf("byte at top-%d = %#x", i, v)
+		}
+	}
+}
+
+func TestRepeCmpsb(t *testing.T) {
+	code := []byte{
+		0x54, 0x5E, // esi = esp
+		0x83, 0xEE, 0x20, // esi -= 32
+		0x54, 0x5F, // edi = esp
+		0x83, 0xEF, 0x10, // edi -= 16
+		// Write "AB" at esi and "AC" at edi.
+		0xC6, 0x06, 'A', 0xC6, 0x46, 0x01, 'B',
+		0xC6, 0x07, 'A', 0xC6, 0x47, 0x01, 'C',
+		0xB9, 0x02, 0x00, 0x00, 0x00, // ecx=2
+		0xF3, 0xA6, // repe cmpsb → stops after mismatch at byte 2
+		0xF4,
+	}
+	c, out := runCode(t, code, 30)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.ZF {
+		t.Error("ZF should be clear after mismatch")
+	}
+	if c.Regs[x86.ECX] != 0 {
+		t.Errorf("ecx = %d after repe cmpsb of 2 bytes", c.Regs[x86.ECX])
+	}
+}
+
+func TestScasb(t *testing.T) {
+	code := []byte{
+		0x54, 0x5F, // edi = esp
+		0x83, 0xEF, 0x08, // edi -= 8
+		0xC6, 0x47, 0x02, 0x58, // mov byte [edi+2],'X'
+		0xB0, 0x58, // mov al,'X'
+		0xB9, 0x08, 0x00, 0x00, 0x00, // ecx=8
+		0xF2, 0xAE, // repne scasb → stops when found
+		0xF4,
+	}
+	c, out := runCode(t, code, 30)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if !c.ZF {
+		t.Error("ZF should be set when scasb finds the byte")
+	}
+	if c.Regs[x86.ECX] != 5 {
+		t.Errorf("ecx = %d, want 5 (stopped at third byte)", c.Regs[x86.ECX])
+	}
+}
+
+func TestBCDOps(t *testing.T) {
+	// aam: al=123 → ah=12, al=3.
+	code := []byte{0xB0, 0x7B, 0xD4, 0x0A, 0xF4}
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.reg8(4) != 12 || c.reg8(0) != 3 {
+		t.Errorf("aam: ah=%d al=%d", c.reg8(4), c.reg8(0))
+	}
+	// aad: ah=12, al=3 → al=123, ah=0.
+	code = []byte{0xB4, 0x0C, 0xB0, 0x03, 0xD5, 0x0A, 0xF4}
+	c, out = runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.reg8(0) != 123 || c.reg8(4) != 0 {
+		t.Errorf("aad: al=%d ah=%d", c.reg8(0), c.reg8(4))
+	}
+	// aam 0 faults like a division by zero.
+	code = []byte{0xB0, 0x7B, 0xD4, 0x00}
+	_, out = runCode(t, code, 10)
+	if out.Kind != StopFault || out.Fault.Kind != FaultDivide {
+		t.Errorf("aam 0: %v %+v", out.Kind, out.Fault)
+	}
+}
+
+func TestDaaAaa(t *testing.T) {
+	// daa: al=0x0F after add → adjusts to 0x15 (BCD 15).
+	code := []byte{
+		0xB0, 0x09, // mov al,9
+		0x04, 0x06, // add al,6 → 0x0F, AF=1
+		0x27, // daa → 0x15
+		0xF4,
+	}
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.reg8(0) != 0x15 {
+		t.Errorf("daa: al=%#x, want 0x15", c.reg8(0))
+	}
+	// aaa on al=0x0F → al=5, ah+1, CF set.
+	code = []byte{0x31, 0xC0, 0xB0, 0x0F, 0x37, 0xF4}
+	c, out = runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.reg8(0) != 5 || c.reg8(4) != 1 || !c.CF {
+		t.Errorf("aaa: al=%d ah=%d cf=%v", c.reg8(0), c.reg8(4), c.CF)
+	}
+}
+
+func TestBoundInRange(t *testing.T) {
+	code := []byte{
+		0x54, 0x59, // ecx = esp
+		0x83, 0xE9, 0x10, // ecx -= 16
+		0xC7, 0x01, 0x00, 0x00, 0x00, 0x00, // [ecx]   = 0
+		0xC7, 0x41, 0x04, 0x64, 0x00, 0x00, 0x00, // [ecx+4] = 100
+		0xB8, 0x32, 0x00, 0x00, 0x00, // eax = 50
+		0x62, 0x01, // bound eax,[ecx] — in range, no fault
+		0xF4,
+	}
+	_, out := runCode(t, code, 20)
+	if out.Kind != StopFault || out.Fault.Kind != FaultPrivileged {
+		t.Fatalf("in-range bound should continue to hlt: %v %+v", out.Kind, out.Fault)
+	}
+}
+
+func TestArpl(t *testing.T) {
+	// arpl Ew,Gw: ModRM 0xD8 = mod 3, reg ebx (source), rm eax (dest).
+	code := []byte{
+		0xB8, 0x03, 0x00, 0x00, 0x00, // eax = RPL 3 (dest)
+		0xBB, 0x01, 0x00, 0x00, 0x00, // ebx = RPL 1 (src)
+		0x63, 0xD8, // arpl ax, bx
+		0xF4,
+	}
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	// dest RPL (3) >= src RPL (1): ZF clear, no change.
+	if c.ZF || c.Regs[x86.EAX] != 3 {
+		t.Errorf("arpl no-adjust: zf=%v eax=%d", c.ZF, c.Regs[x86.EAX])
+	}
+	// Reversed: dest RPL 1 < src RPL 3 → adjusted to 3, ZF set.
+	code = []byte{
+		0xB8, 0x01, 0x00, 0x00, 0x00,
+		0xBB, 0x03, 0x00, 0x00, 0x00,
+		0x63, 0xD8,
+		0xF4,
+	}
+	c, out = runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if !c.ZF || c.Regs[x86.EAX]&3 != 3 {
+		t.Errorf("arpl adjust: zf=%v eax=%d", c.ZF, c.Regs[x86.EAX])
+	}
+}
+
+func TestCmovccSetcc(t *testing.T) {
+	code := []byte{
+		0xB8, 0x01, 0x00, 0x00, 0x00, // eax=1
+		0x83, 0xF8, 0x01, // cmp eax,1 → ZF
+		0xB9, 0x63, 0x00, 0x00, 0x00, // ecx=99
+		0xBB, 0x07, 0x00, 0x00, 0x00, // ebx=7
+		0x0F, 0x44, 0xCB, // cmove ecx, ebx → taken (ZF)
+		0x0F, 0x94, 0xC2, // sete dl → 1
+		0x0F, 0x95, 0xC6, // setne dh → 0
+		0xF4,
+	}
+	c, out := runCode(t, code, 20)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.ECX] != 7 {
+		t.Errorf("cmove: ecx = %d", c.Regs[x86.ECX])
+	}
+	if c.reg8(2) != 1 || c.reg8(6) != 0 {
+		t.Errorf("setcc: dl=%d dh=%d", c.reg8(2), c.reg8(6))
+	}
+}
+
+func TestMovzxMovsxBswap(t *testing.T) {
+	code := []byte{
+		0xB8, 0x00, 0x00, 0x00, 0x00, // eax=0
+		0xB0, 0xFF, // al=0xFF
+		0x0F, 0xB6, 0xD8, // movzx ebx, al → 0xFF
+		0x0F, 0xBE, 0xC8, // movsx ecx, al → -1
+		0xBA, 0x78, 0x56, 0x34, 0x12, // edx=0x12345678
+		0x0F, 0xCA, // bswap edx → 0x78563412
+		0xF4,
+	}
+	c, out := runCode(t, code, 20)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.EBX] != 0xFF {
+		t.Errorf("movzx: ebx = %#x", c.Regs[x86.EBX])
+	}
+	if c.Regs[x86.ECX] != 0xFFFFFFFF {
+		t.Errorf("movsx: ecx = %#x", c.Regs[x86.ECX])
+	}
+	if c.Regs[x86.EDX] != 0x78563412 {
+		t.Errorf("bswap: edx = %#x", c.Regs[x86.EDX])
+	}
+}
+
+func TestMovzx16(t *testing.T) {
+	code := []byte{
+		0xB8, 0x78, 0x56, 0x34, 0x12, // eax=0x12345678
+		0x0F, 0xB7, 0xD8, // movzx ebx, ax → 0x5678
+		0x0F, 0xBF, 0xC8, // movsx ecx, ax → sign-extended 0x5678
+		0xF4,
+	}
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.EBX] != 0x5678 || c.Regs[x86.ECX] != 0x5678 {
+		t.Errorf("16-bit extends: ebx=%#x ecx=%#x", c.Regs[x86.EBX], c.Regs[x86.ECX])
+	}
+}
+
+func TestCpuidRdtsc(t *testing.T) {
+	code := []byte{0x0F, 0xA2, 0x0F, 0x31, 0xF4} // cpuid; rdtsc; hlt
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.EDX] != 0 {
+		t.Errorf("rdtsc high = %#x", c.Regs[x86.EDX])
+	}
+}
+
+func TestLoopeLoopne(t *testing.T) {
+	code := []byte{
+		0xB9, 0x05, 0x00, 0x00, 0x00, // ecx=5
+		0x31, 0xC0, // xor eax,eax (ZF=1)
+		0x40,       // l: inc eax (ZF=0 afterwards)
+		0xE1, 0xFD, // loope l → not taken after first pass (ZF=0)
+		0xF4,
+	}
+	c, out := runCode(t, code, 30)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.EAX] != 1 {
+		t.Errorf("loope: eax = %d, want 1", c.Regs[x86.EAX])
+	}
+}
+
+func TestJecxz(t *testing.T) {
+	code := []byte{
+		0x31, 0xC9, // xor ecx,ecx
+		0xE3, 0x02, // jecxz +2 → taken
+		0xF4, 0xF4, // skipped
+		0xB8, 0x2A, 0x00, 0x00, 0x00, // eax=42
+		0xF4,
+	}
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault || c.Regs[x86.EAX] != 42 {
+		t.Fatalf("jecxz: eax=%d stop=%v", c.Regs[x86.EAX], out.Kind)
+	}
+}
+
+func TestIndirectCallAndJmp(t *testing.T) {
+	code := []byte{
+		0x54, 0x58, // eax = esp
+		// compute target = eip_base + 12 using lea-style arithmetic is
+		// complex; instead store a function pointer on the stack.
+		0xB8, 0x00, 0x00, 0x00, 0x00, // placeholder mov eax, target
+		0xFF, 0xD0, // call eax
+		0xF4,
+		0xBB, 0x2A, 0x00, 0x00, 0x00, // target: mov ebx,42
+		0xC3, // ret
+	}
+	// Patch the mov eax, imm32 with the real target address.
+	target := uint32(DefaultBase) + 0x1000 + 10
+	code[3] = byte(target)
+	code[4] = byte(target >> 8)
+	code[5] = byte(target >> 16)
+	code[6] = byte(target >> 24)
+	c, out := runCode(t, code, 20)
+	if out.Kind != StopFault || out.Fault.Kind != FaultPrivileged {
+		t.Fatalf("stop %v %+v", out.Kind, out.Fault)
+	}
+	if c.Regs[x86.EBX] != 42 {
+		t.Errorf("indirect call: ebx = %d", c.Regs[x86.EBX])
+	}
+}
+
+func TestXchgMem(t *testing.T) {
+	code := []byte{
+		0x54, 0x59, // ecx = esp
+		0x83, 0xE9, 0x08, // ecx -= 8
+		0xC7, 0x01, 0x11, 0x00, 0x00, 0x00, // [ecx] = 0x11
+		0xB8, 0x22, 0x00, 0x00, 0x00, // eax = 0x22
+		0x87, 0x01, // xchg [ecx], eax
+		0x8B, 0x19, // mov ebx, [ecx]
+		0xF4,
+	}
+	c, out := runCode(t, code, 20)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.EAX] != 0x11 || c.Regs[x86.EBX] != 0x22 {
+		t.Errorf("xchg mem: eax=%#x ebx=%#x", c.Regs[x86.EAX], c.Regs[x86.EBX])
+	}
+}
+
+func TestFarTransfersFault(t *testing.T) {
+	for _, code := range [][]byte{
+		{0x9A, 0x00, 0x00, 0x00, 0x00, 0x08, 0x00}, // callf
+		{0xEA, 0x00, 0x00, 0x00, 0x00, 0x08, 0x00}, // jmpf
+		{0xCB}, // retf
+		{0xCF}, // iret
+	} {
+		_, out := runCode(t, code, 10)
+		if out.Kind != StopFault || out.Fault.Kind != FaultSegment {
+			t.Errorf("far transfer % x: %v %+v", code, out.Kind, out.Fault)
+		}
+	}
+}
+
+func TestSegmentRegisterMoves(t *testing.T) {
+	// mov ax, ds (8C) writes a flat selector; mov ds, ax (8E) with a
+	// flat selector continues; with garbage it faults.
+	code := []byte{
+		0x66, 0x8C, 0xD8, // mov ax, ds
+		0x8E, 0xD8, // mov ds, eax (selector 0x2B: fine)
+		0xF4,
+	}
+	_, out := runCode(t, code, 10)
+	if out.Kind != StopFault || out.Fault.Kind != FaultPrivileged {
+		t.Fatalf("flat selector reload should reach hlt: %v %+v", out.Kind, out.Fault)
+	}
+	code = []byte{
+		0xB8, 0x78, 0x56, 0x00, 0x00, // eax = junk selector
+		0x8E, 0xD8, // mov ds, ax → fault
+	}
+	_, out = runCode(t, code, 10)
+	if out.Kind != StopFault || out.Fault.Kind != FaultSegment {
+		t.Fatalf("junk selector: %v %+v", out.Kind, out.Fault)
+	}
+}
+
+func TestSegmentPopFault(t *testing.T) {
+	code := []byte{
+		0x68, 0x78, 0x56, 0x00, 0x00, // push junk
+		0x1F, // pop ds → fault
+	}
+	_, out := runCode(t, code, 10)
+	if out.Kind != StopFault || out.Fault.Kind != FaultSegment {
+		t.Fatalf("pop ds junk: %v %+v", out.Kind, out.Fault)
+	}
+}
+
+func TestFPUFaultsUnsupported(t *testing.T) {
+	code := []byte{0xD9, 0xC0} // fld st0
+	_, out := runCode(t, code, 10)
+	if out.Kind != StopFault || out.Fault.Kind != FaultUnsupported {
+		t.Fatalf("fpu: %v %+v", out.Kind, out.Fault)
+	}
+}
+
+// TestRandomTextStreamsNeverPanic fuzzes the emulator with random text
+// payloads: every run must end in a defined stop reason within budget.
+func TestRandomTextStreamsNeverPanic(t *testing.T) {
+	rng := stats.NewRNG(99)
+	for trial := 0; trial < 300; trial++ {
+		code := make([]byte, 256)
+		for i := range code {
+			code[i] = byte(0x20 + rng.Intn(0x5F))
+		}
+		_, out := runCode(t, code, 10000)
+		switch out.Kind {
+		case StopFault, StopExit, StopExecve, StopMaxSteps:
+		default:
+			t.Fatalf("trial %d: undefined stop %v", trial, out.Kind)
+		}
+	}
+}
+
+// TestRandomBinaryStreamsNeverPanic does the same with arbitrary bytes.
+func TestRandomBinaryStreamsNeverPanic(t *testing.T) {
+	rng := stats.NewRNG(123)
+	for trial := 0; trial < 300; trial++ {
+		code := make([]byte, 256)
+		for i := range code {
+			code[i] = rng.Byte()
+		}
+		_, out := runCode(t, code, 10000)
+		if out.Steps > 10000 {
+			t.Fatalf("trial %d: step budget exceeded: %d", trial, out.Steps)
+		}
+	}
+}
+
+func TestXadd(t *testing.T) {
+	code := []byte{
+		0xB8, 0x05, 0x00, 0x00, 0x00, // eax=5
+		0xBB, 0x03, 0x00, 0x00, 0x00, // ebx=3
+		0x0F, 0xC1, 0xD8, // xadd eax, ebx → eax=8 ebx=5
+		0xF4,
+	}
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.EAX] != 8 || c.Regs[x86.EBX] != 5 {
+		t.Errorf("xadd: eax=%d ebx=%d", c.Regs[x86.EAX], c.Regs[x86.EBX])
+	}
+}
+
+func TestCmpxchg(t *testing.T) {
+	// Success case: eax == dst.
+	code := []byte{
+		0xB8, 0x07, 0x00, 0x00, 0x00, // eax=7
+		0xBB, 0x07, 0x00, 0x00, 0x00, // ebx=7 (dst)
+		0xB9, 0x2A, 0x00, 0x00, 0x00, // ecx=42 (new)
+		0x0F, 0xB1, 0xCB, // cmpxchg ebx, ecx
+		0xF4,
+	}
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.EBX] != 42 || !c.ZF {
+		t.Errorf("cmpxchg success: ebx=%d zf=%v", c.Regs[x86.EBX], c.ZF)
+	}
+	// Failure case: eax != dst → eax = dst.
+	code = []byte{
+		0xB8, 0x01, 0x00, 0x00, 0x00, // eax=1
+		0xBB, 0x07, 0x00, 0x00, 0x00, // ebx=7
+		0xB9, 0x2A, 0x00, 0x00, 0x00,
+		0x0F, 0xB1, 0xCB,
+		0xF4,
+	}
+	c, out = runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.EAX] != 7 || c.Regs[x86.EBX] != 7 || c.ZF {
+		t.Errorf("cmpxchg fail: eax=%d ebx=%d zf=%v", c.Regs[x86.EAX], c.Regs[x86.EBX], c.ZF)
+	}
+}
+
+func TestShldShrd(t *testing.T) {
+	code := []byte{
+		0xB8, 0x01, 0x00, 0x00, 0x00, // eax=1
+		0xBB, 0x00, 0x00, 0x00, 0x80, // ebx=0x80000000
+		0x0F, 0xA4, 0xD8, 0x04, // shld eax, ebx, 4 → eax = 0x18
+		0xF4,
+	}
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.EAX] != 0x18 {
+		t.Errorf("shld: eax=%#x, want 0x18", c.Regs[x86.EAX])
+	}
+	code = []byte{
+		0xB8, 0x00, 0x00, 0x00, 0x80, // eax=0x80000000
+		0xBB, 0x01, 0x00, 0x00, 0x00, // ebx=1
+		0x0F, 0xAC, 0xD8, 0x04, // shrd eax, ebx, 4 → eax = 0x18000000
+		0xF4,
+	}
+	c, out = runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.EAX] != 0x18000000 {
+		t.Errorf("shrd: eax=%#x, want 0x18000000", c.Regs[x86.EAX])
+	}
+}
+
+func TestBitTestFamily(t *testing.T) {
+	code := []byte{
+		0xB8, 0x08, 0x00, 0x00, 0x00, // eax=0b1000
+		0x0F, 0xBA, 0xE0, 0x03, // bt eax,3 → CF=1
+		0x0F, 0xBA, 0xE8, 0x00, // bts eax,0 → eax=9
+		0x0F, 0xBA, 0xF0, 0x03, // btr eax,3 → eax=1
+		0x0F, 0xBA, 0xF8, 0x01, // btc eax,1 → eax=3
+		0xF4,
+	}
+	c, out := runCode(t, code, 10)
+	if out.Kind != StopFault {
+		t.Fatalf("stop %v", out.Kind)
+	}
+	if c.Regs[x86.EAX] != 3 {
+		t.Errorf("bit family: eax=%d, want 3", c.Regs[x86.EAX])
+	}
+	// Register-indexed bt: bt ebx, ecx.
+	code = []byte{
+		0xBB, 0x04, 0x00, 0x00, 0x00, // ebx=0b100
+		0xB9, 0x02, 0x00, 0x00, 0x00, // ecx=2
+		0x0F, 0xA3, 0xCB, // bt ebx, ecx → CF=1
+		0xF4,
+	}
+	c, out = runCode(t, code, 10)
+	if out.Kind != StopFault || !c.CF {
+		t.Errorf("bt reg: cf=%v", c.CF)
+	}
+}

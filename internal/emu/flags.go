@@ -1,0 +1,177 @@
+package emu
+
+import "repro/internal/x86"
+
+// alu performs a two-operand arithmetic/logic operation of the given
+// width, updates the flags, and returns the (masked) result. CMP behaves
+// like SUB and TEST like AND for flag purposes; callers skip write-back.
+func (c *CPU) alu(op x86.Op, dst, src uint32, size int) uint32 {
+	bits := uint(size * 8)
+	mask := uint32(0xFFFFFFFF)
+	if bits < 32 {
+		mask = 1<<bits - 1
+	}
+	dst &= mask
+	src &= mask
+	sign := uint32(1) << (bits - 1)
+
+	var res uint32
+	switch op {
+	case x86.OpADD:
+		res = (dst + src&mask) & mask
+		c.CF = uint64(dst)+uint64(src&mask) > uint64(mask)
+		c.OF = (dst^src)&sign == 0 && (dst^res)&sign != 0
+		c.AF = (dst^src^res)&0x10 != 0
+	case x86.OpADC:
+		carry := boolBit(c.CF)
+		full := uint64(dst) + uint64(src&mask) + uint64(carry)
+		res = uint32(full) & mask
+		c.CF = full > uint64(mask)
+		c.OF = (dst^src)&sign == 0 && (dst^res)&sign != 0
+		c.AF = (dst^src^res)&0x10 != 0
+	case x86.OpSUB, x86.OpCMP:
+		res = dst - src&mask
+		res &= mask
+		c.CF = dst < src&mask
+		c.OF = (dst^src)&sign != 0 && (dst^res)&sign != 0
+		c.AF = (dst^src^res)&0x10 != 0
+	case x86.OpSBB:
+		borrow := boolBit(c.CF)
+		srcM := src & mask
+		c.OF = (dst^srcM)&sign != 0 && (dst^((dst-srcM-borrow)&mask))&sign != 0
+		c.CF = uint64(dst) < uint64(srcM)+uint64(borrow)
+		res = (dst - srcM - borrow) & mask
+		c.AF = (dst^srcM^res)&0x10 != 0
+	case x86.OpAND, x86.OpTEST:
+		res = dst & src & mask
+		c.CF, c.OF = false, false
+	case x86.OpOR:
+		res = (dst | src) & mask
+		c.CF, c.OF = false, false
+	case x86.OpXOR:
+		res = (dst ^ src) & mask
+		c.CF, c.OF = false, false
+	}
+	c.setSZP(res, size)
+	return res
+}
+
+// incDecFlags updates flags for INC/DEC (which preserve CF) given the
+// operand value before the operation.
+func (c *CPU) incDecFlags(v uint32, size int, isDec bool) {
+	bits := uint(size * 8)
+	mask := uint32(0xFFFFFFFF)
+	if bits < 32 {
+		mask = 1<<bits - 1
+	}
+	sign := uint32(1) << (bits - 1)
+	v &= mask
+	var res uint32
+	if isDec {
+		res = (v - 1) & mask
+		c.OF = v == sign // most negative value decremented wraps
+	} else {
+		res = (v + 1) & mask
+		c.OF = res == sign // overflow into the sign bit
+	}
+	c.AF = (v^1^res)&0x10 != 0
+	c.setSZP(res, size)
+}
+
+// setSZP sets the sign, zero, and parity flags from a result.
+func (c *CPU) setSZP(res uint32, size int) {
+	bits := uint(size * 8)
+	mask := uint32(0xFFFFFFFF)
+	if bits < 32 {
+		mask = 1<<bits - 1
+	}
+	res &= mask
+	c.ZF = res == 0
+	c.SF = res&(1<<(bits-1)) != 0
+	// Parity covers the low byte only, even parity sets PF.
+	b := byte(res)
+	b ^= b >> 4
+	b ^= b >> 2
+	b ^= b >> 1
+	c.PF = b&1 == 0
+}
+
+// cond evaluates a condition-code nibble against the flags.
+func (c *CPU) cond(cc byte) bool {
+	var r bool
+	switch cc >> 1 {
+	case 0: // O
+		r = c.OF
+	case 1: // B / C
+		r = c.CF
+	case 2: // E / Z
+		r = c.ZF
+	case 3: // BE
+		r = c.CF || c.ZF
+	case 4: // S
+		r = c.SF
+	case 5: // P
+		r = c.PF
+	case 6: // L
+		r = c.SF != c.OF
+	case 7: // LE
+		r = c.ZF || c.SF != c.OF
+	}
+	if cc&1 == 1 {
+		return !r
+	}
+	return r
+}
+
+// eflags bit positions used by PUSHF/POPF/SAHF/LAHF.
+const (
+	flagCF = 1 << 0
+	flagPF = 1 << 2
+	flagAF = 1 << 4
+	flagZF = 1 << 6
+	flagSF = 1 << 7
+	flagDF = 1 << 10
+	flagOF = 1 << 11
+	// flagFixed is the always-set bit 1.
+	flagFixed = 1 << 1
+	// flagIF reads as set for user code.
+	flagIF = 1 << 9
+)
+
+// flagsWord packs the flags into an EFLAGS image.
+func (c *CPU) flagsWord() uint32 {
+	v := uint32(flagFixed | flagIF)
+	if c.CF {
+		v |= flagCF
+	}
+	if c.PF {
+		v |= flagPF
+	}
+	if c.AF {
+		v |= flagAF
+	}
+	if c.ZF {
+		v |= flagZF
+	}
+	if c.SF {
+		v |= flagSF
+	}
+	if c.DF {
+		v |= flagDF
+	}
+	if c.OF {
+		v |= flagOF
+	}
+	return v
+}
+
+// setFlagsWord unpacks an EFLAGS image into the flag booleans.
+func (c *CPU) setFlagsWord(v uint32) {
+	c.CF = v&flagCF != 0
+	c.PF = v&flagPF != 0
+	c.AF = v&flagAF != 0
+	c.ZF = v&flagZF != 0
+	c.SF = v&flagSF != 0
+	c.DF = v&flagDF != 0
+	c.OF = v&flagOF != 0
+}

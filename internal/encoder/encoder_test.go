@@ -1,0 +1,362 @@
+package encoder
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/emu"
+	"repro/internal/shellcode"
+	"repro/internal/textins"
+	"repro/internal/x86"
+)
+
+func TestAlphabetBasics(t *testing.T) {
+	text := TextAlphabet()
+	if !text.Contains(' ') || !text.Contains('~') || text.Contains(0x1F) || text.Contains(0x7F) {
+		t.Error("text alphabet boundaries wrong")
+	}
+	if !text.ContainsAll([]byte("hello world")) || text.ContainsAll([]byte{0x00}) {
+		t.Error("ContainsAll wrong")
+	}
+	alnum := AlphanumericAlphabet()
+	if !alnum.Contains('z') || alnum.Contains(' ') || alnum.Contains('@') {
+		t.Error("alphanumeric alphabet wrong")
+	}
+	if _, err := NewAlphabet("empty", nil); err == nil {
+		t.Error("empty alphabet should fail")
+	}
+}
+
+func TestSolverFixedK(t *testing.T) {
+	s, err := NewSumSolver(TextAlphabet(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FixedK() != 3 {
+		t.Errorf("text fixed k = %d, want 3", s.FixedK())
+	}
+	s2, err := NewSumSolver(AlphanumericAlphabet(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.FixedK() != 4 {
+		t.Errorf("alphanumeric fixed k = %d, want 4", s2.FixedK())
+	}
+}
+
+func TestSolverSolveKnownValues(t *testing.T) {
+	s, err := NewSumSolver(TextAlphabet(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []uint32{0, 1, 0xFF, 0x100, 0xDEADBEEF, 0xFFFFFFFF, 0x80000000, 0x20202020, 0x0B0B0B0B}
+	for _, target := range targets {
+		words, err := s.SolveFixed(target)
+		if err != nil {
+			t.Fatalf("SolveFixed(%#x): %v", target, err)
+		}
+		if len(words) != 3 {
+			t.Fatalf("SolveFixed(%#x) returned %d words", target, len(words))
+		}
+		if got := SumWords(words); got != target {
+			t.Errorf("sum of % x = %#x, want %#x", words, got, target)
+		}
+		for _, w := range words {
+			if !s.alpha.ContainsAll(wordBytes(w)) {
+				t.Errorf("word %#x has non-text bytes", w)
+			}
+		}
+	}
+}
+
+func TestSolverExhaustiveBytesProperty(t *testing.T) {
+	s, err := NewSumSolver(TextAlphabet(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(target uint32) bool {
+		words, err := s.SolveFixed(target)
+		if err != nil {
+			return false
+		}
+		if SumWords(words) != target {
+			return false
+		}
+		for _, w := range words {
+			if !s.alpha.ContainsAll(wordBytes(w)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolverAlphanumericProperty(t *testing.T) {
+	s, err := NewSumSolver(AlphanumericAlphabet(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(target uint32) bool {
+		words, err := s.SolveFixed(target)
+		if err != nil {
+			return false
+		}
+		if SumWords(words) != target {
+			return false
+		}
+		for _, w := range words {
+			if !s.alpha.ContainsAll(wordBytes(w)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolverDiversity(t *testing.T) {
+	a, _ := NewSumSolver(TextAlphabet(), 10)
+	b, _ := NewSumSolver(TextAlphabet(), 11)
+	wa, _ := a.SolveFixed(0x12345678)
+	wb, _ := b.SolveFixed(0x12345678)
+	if wa[0] == wb[0] && wa[1] == wb[1] && wa[2] == wb[2] {
+		t.Error("different seeds produced identical decompositions")
+	}
+}
+
+func TestSolveKRange(t *testing.T) {
+	s, _ := NewSumSolver(TextAlphabet(), 1)
+	if _, err := s.SolveK(1, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := s.SolveK(1, 9); err == nil {
+		t.Error("k=9 should fail")
+	}
+	// k=2 cannot express bytes below 0x40: target 0 is unsolvable.
+	if _, err := s.SolveK(0x00000000, 2); err == nil {
+		t.Error("k=2 should not express 0")
+	}
+	// Solve falls back across k and finds an answer.
+	words, err := s.Solve(0)
+	if err != nil {
+		t.Fatalf("Solve(0): %v", err)
+	}
+	if SumWords(words) != 0 {
+		t.Error("Solve(0) sum wrong")
+	}
+}
+
+// runWorm executes a worm under the exploit contract: EIP = worm start,
+// ESP = worm start − ESPDelta.
+func runWorm(t *testing.T, w *Worm) emu.Outcome {
+	t.Helper()
+	mem, err := emu.NewMemory(emu.DefaultBase, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := emu.New(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := mem.Base() + 0x4000
+	if err := mem.Load(start, w.Bytes); err != nil {
+		t.Fatal(err)
+	}
+	c.EIP = start
+	c.SetReg(x86.ESP, start-uint32(w.ESPDelta))
+	return c.Run(1 << 20)
+}
+
+// TestEncodedExecveSpawnsShell is the headline end-to-end test: binary
+// shellcode → pure-text worm → emulated execution → shell.
+func TestEncodedExecveSpawnsShell(t *testing.T) {
+	payload := shellcode.Execve().Code
+	w, err := Encode(payload, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !textins.IsTextStream(w.Bytes) {
+		t.Fatal("worm is not pure text")
+	}
+	out := runWorm(t, w)
+	if !out.ShellSpawned() {
+		t.Fatalf("text worm did not spawn shell: stop=%v fault=%+v", out.Kind, out.Fault)
+	}
+}
+
+func TestEncodedCorpusAllSpawnShell(t *testing.T) {
+	for _, sc := range shellcode.Corpus() {
+		if !sc.SpawnsShell {
+			continue
+		}
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			w, err := Encode(sc.Code, Options{Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := runWorm(t, w)
+			if !out.ShellSpawned() {
+				t.Fatalf("%s: stop=%v fault=%+v", sc.Name, out.Kind, out.Fault)
+			}
+		})
+	}
+}
+
+func TestEncodedManySeeds(t *testing.T) {
+	// A hundred text worms, as in Section 5.1 — every one must be pure
+	// text and functional.
+	payload := shellcode.Execve().Code
+	for seed := uint64(0); seed < 100; seed++ {
+		w, err := Encode(payload, Options{Seed: seed, SledLen: 32 + int(seed%64)})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := w.VerifyText(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		out := runWorm(t, w)
+		if !out.ShellSpawned() {
+			t.Fatalf("seed %d: stop=%v fault=%+v", seed, out.Kind, out.Fault)
+		}
+	}
+}
+
+func TestEncodedMultiWindowPayload(t *testing.T) {
+	// A payload spanning several ECX windows (> 92 bytes).
+	long := append([]byte{}, shellcode.BindShell().Code...)
+	prefix := []byte{0x90, 0x31, 0xD2, 0x42, 0x4A} // nop; xor edx,edx; inc; dec
+	for len(long) < 250 {
+		long = append(prefix, long...)
+	}
+	w, err := Encode(long, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := runWorm(t, w)
+	if !out.ShellSpawned() {
+		t.Fatalf("multi-window worm: stop=%v fault=%+v", out.Kind, out.Fault)
+	}
+}
+
+func TestEncodedNonZeroESPDelta(t *testing.T) {
+	// Exploit scenario where the worm starts 128 bytes above ESP.
+	payload := shellcode.Execve().Code
+	w, err := Encode(payload, Options{Seed: 5, ESPDelta: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := runWorm(t, w)
+	if !out.ShellSpawned() {
+		t.Fatalf("delta worm: stop=%v fault=%+v", out.Kind, out.Fault)
+	}
+}
+
+func TestWormStructure(t *testing.T) {
+	payload := shellcode.Execve().Code
+	w, err := Encode(payload, Options{Seed: 1, SledLen: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.SledLen != 100 {
+		t.Errorf("sled len %d", w.SledLen)
+	}
+	if len(w.Bytes) != w.SledLen+w.DecrypterLen+w.RegionLen {
+		t.Errorf("section sizes %d+%d+%d != %d",
+			w.SledLen, w.DecrypterLen, w.RegionLen, len(w.Bytes))
+	}
+	if w.RegionLen != (len(payload)+3)/4*4 {
+		t.Errorf("region len %d for %d-byte payload", w.RegionLen, len(payload))
+	}
+	// O(n) decrypter: ~30 bytes per payload word plus setup.
+	words := (len(payload) + 3) / 4
+	if w.DecrypterLen < 20*words || w.DecrypterLen > 40*words+64 {
+		t.Errorf("decrypter %d bytes for %d words; expected O(n) with ~30B/word",
+			w.DecrypterLen, words)
+	}
+	if w.Instructions < 100 {
+		t.Errorf("execution path %d instructions; text worms should be long", w.Instructions)
+	}
+}
+
+func TestWormDeterministicPerSeed(t *testing.T) {
+	payload := shellcode.Execve().Code
+	a, err := Encode(payload, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(payload, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Bytes) != string(b.Bytes) {
+		t.Error("same seed produced different worms")
+	}
+	c, err := Encode(payload, Options{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Bytes) == string(c.Bytes) {
+		t.Error("different seeds produced identical worms")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	if _, err := Encode(nil, Options{}); err == nil {
+		t.Error("empty payload should fail")
+	}
+	if _, err := Encode([]byte{0x90}, Options{SledLen: -1}); err == nil {
+		t.Error("negative sled should fail")
+	}
+	big := make([]byte, maxPayload+1)
+	if _, err := Encode(big, Options{}); err == nil {
+		t.Error("oversized payload should fail")
+	}
+}
+
+func TestEncodeAlnumAlphabetRejected(t *testing.T) {
+	// The decrypter's own opcodes ('-', '!', '^', '_') are not
+	// alphanumeric, so a pure-alnum worm must be reported as impossible
+	// with this generator rather than silently emitted.
+	_, err := Encode(shellcode.Execve().Code, Options{Alphabet: AlphanumericAlphabet()})
+	if err == nil {
+		t.Fatal("alphanumeric-only encoding should fail (codegen uses non-alnum opcodes)")
+	}
+}
+
+func TestSledCharsAreHarmless(t *testing.T) {
+	for _, b := range sledChars {
+		inst, err := x86.Decode([]byte{b}, 0)
+		if err != nil {
+			t.Fatalf("sled char %#x: %v", b, err)
+		}
+		if inst.Len != 1 {
+			t.Errorf("sled char %#x is not a 1-byte instruction", b)
+		}
+		if inst.Op != x86.OpINC && inst.Op != x86.OpDEC {
+			t.Errorf("sled char %#x decodes to %v", b, inst.Op)
+		}
+		// Must not touch ESP.
+		if inst.Opcode == 0x44 || inst.Opcode == 0x4C {
+			t.Errorf("sled char %#x modifies esp", b)
+		}
+	}
+}
+
+func TestPackWords(t *testing.T) {
+	words := packWords([]byte{1, 2, 3, 4, 5})
+	if len(words) != 2 {
+		t.Fatalf("len = %d", len(words))
+	}
+	if words[0] != 0x04030201 {
+		t.Errorf("word0 = %#x", words[0])
+	}
+	if words[1] != 0x90909005 {
+		t.Errorf("word1 = %#x (NOP padding expected)", words[1])
+	}
+}

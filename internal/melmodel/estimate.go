@@ -1,0 +1,210 @@
+package melmodel
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/textins"
+	"repro/internal/x86"
+)
+
+// Params are the Section 5.2 model parameters derived from an input's
+// character-frequency table alone — no disassembly of the data itself.
+type Params struct {
+	// C is the input size in characters.
+	C int
+	// Z is the probability that a character is an instruction prefix
+	// (the paper measures z = 0.16).
+	Z float64
+	// EPrefixLen is the expected prefix-chain length z/(1-z) (≈ 0.19).
+	EPrefixLen float64
+	// EActualLen is the expected length of the actual instruction after
+	// the prefix chain (≈ 2.4).
+	EActualLen float64
+	// EInstrLen is the total expected instruction length (≈ 2.6).
+	EInstrLen float64
+	// N is the estimated number of instructions C / EInstrLen (≈ 1540
+	// for C = 4000).
+	N int
+	// PIO is the probability mass of the privileged I/O characters
+	// (≈ 0.185).
+	PIO float64
+	// PWrongSeg is the probability that an instruction both carries a
+	// wrong segment override and accesses memory (≈ 0.042).
+	PWrongSeg float64
+	// PMemAccess is the conditional probability that an instruction
+	// accesses memory, used in the PWrongSeg computation.
+	PMemAccess float64
+	// P = PIO + PWrongSeg, the per-instruction invalidity probability
+	// (≈ 0.227).
+	P float64
+}
+
+// Estimate derives the model parameters from a character-frequency table
+// and the input size in characters, exactly as Section 5.2 prescribes:
+// z and the I/O mass come straight from the table; the expected actual-
+// instruction length is the expectation of the real decode tables over
+// the distribution; the wrong-segment term multiplies the chance of a
+// faulting override in the prefix chain by the chance that the actual
+// instruction touches memory.
+func Estimate(freq [256]float64, c int) (Params, error) {
+	if c <= 0 {
+		return Params{}, errors.New("melmodel: input size must be positive")
+	}
+	var total float64
+	for _, v := range freq {
+		if v < 0 {
+			return Params{}, errors.New("melmodel: negative frequency")
+		}
+		total += v
+	}
+	if math.Abs(total-1) > 1e-6 {
+		return Params{}, errors.New("melmodel: frequency table must sum to 1")
+	}
+
+	var p Params
+	p.C = c
+
+	// z: prefix-character mass.
+	for _, b := range textins.PrefixChars {
+		p.Z += freq[b]
+	}
+	if p.Z >= 1 {
+		return Params{}, errors.New("melmodel: degenerate table (all prefixes)")
+	}
+	p.EPrefixLen = p.Z / (1 - p.Z)
+
+	// I/O mass.
+	for _, b := range textins.IOChars {
+		p.PIO += freq[b]
+	}
+
+	// Expected actual-instruction length and memory-access probability,
+	// conditioned on the first non-prefix byte, over the real decoder.
+	var lenSum, memSum, weightSum float64
+	for first := 0; first < 256; first++ {
+		fb := byte(first)
+		if freq[first] == 0 || textins.IsPrefixChar(fb) {
+			continue
+		}
+		w := freq[first] / (1 - p.Z)
+		el, pm := expectedShape(fb, freq)
+		lenSum += w * el
+		memSum += w * pm
+		weightSum += w
+	}
+	if weightSum == 0 {
+		return Params{}, errors.New("melmodel: frequency table has no opcode bytes")
+	}
+	// Normalize in case the table has mass on prefix bytes only partially
+	// accounted (guard against numeric drift).
+	p.EActualLen = lenSum / weightSum
+	p.PMemAccess = memSum / weightSum
+	p.EInstrLen = p.EPrefixLen + p.EActualLen
+	p.N = int(math.Round(float64(c) / p.EInstrLen))
+	if p.N < 1 {
+		p.N = 1
+	}
+
+	// Wrong-segment component: P(prefix chain contains a faulting
+	// override) × P(memory access). Chain length is geometric in z; each
+	// prefix char is a faulting override with probability w/z.
+	var wrongMass float64
+	for b, seg := range textins.SegOverrideChars {
+		if textins.WrongSegDefault[seg] {
+			wrongMass += freq[b]
+		}
+	}
+	pChainHasWrong := 0.0
+	if p.Z > 0 && wrongMass > 0 {
+		okFrac := (p.Z - wrongMass) / p.Z // chance a prefix char is harmless
+		zk, okk := 1.0, 1.0
+		for k := 1; k <= 64; k++ {
+			zk *= p.Z
+			okk *= okFrac
+			pChainHasWrong += zk * (1 - p.Z) * (1 - okk)
+		}
+	}
+	p.PWrongSeg = pChainHasWrong * p.PMemAccess
+
+	p.P = p.PIO + p.PWrongSeg
+	if p.P <= 0 || p.P >= 1 {
+		return Params{}, errors.New("melmodel: estimated p out of range; table unsuitable")
+	}
+	return p, nil
+}
+
+// expectedShape returns, for an instruction whose first (non-prefix)
+// byte is fb and whose subsequent bytes follow freq, the expected encoded
+// length of the actual instruction and the probability that it accesses
+// memory. It enumerates ModRM (and SIB where present) bytes weighted by
+// the distribution, using the real decoder for every combination.
+func expectedShape(fb byte, freq [256]float64) (expLen, pMem float64) {
+	var buf [20]byte
+	buf[0] = fb
+	for i := 1; i < len(buf); i++ {
+		buf[i] = 0x41 // deterministic filler; only (fb, m, s) affect length
+	}
+
+	base, err := x86.Decode(buf[:], 0)
+	if err != nil {
+		// Cannot happen with a full buffer, but stay safe: treat as a
+		// one-byte instruction.
+		return 1, 0
+	}
+	if !base.HasModRM {
+		if base.MemAccess {
+			pMem = 1
+		}
+		return float64(base.Len), pMem
+	}
+
+	var lenSum, memSum, wSum float64
+	for m := 0; m < 256; m++ {
+		if freq[m] == 0 {
+			continue
+		}
+		buf[1] = byte(m)
+		inst, err := x86.Decode(buf[:], 0)
+		if err != nil {
+			continue
+		}
+		w := freq[m]
+		if inst.HasSIB {
+			// The SIB byte value can add a disp32 (base=101, mod=0);
+			// average over it too.
+			var sLen, sMem, sW float64
+			for sb := 0; sb < 256; sb++ {
+				if freq[sb] == 0 {
+					continue
+				}
+				buf[2] = byte(sb)
+				inst2, err := x86.Decode(buf[:], 0)
+				if err != nil {
+					continue
+				}
+				sLen += freq[sb] * float64(inst2.Len)
+				if inst2.MemAccess {
+					sMem += freq[sb]
+				}
+				sW += freq[sb]
+			}
+			buf[2] = 0x41
+			if sW > 0 {
+				lenSum += w * sLen / sW
+				memSum += w * sMem / sW
+				wSum += w
+			}
+			continue
+		}
+		lenSum += w * float64(inst.Len)
+		if inst.MemAccess {
+			memSum += w
+		}
+		wSum += w
+	}
+	if wSum == 0 {
+		return float64(base.Len), 0
+	}
+	return lenSum / wSum, memSum / wSum
+}

@@ -1,0 +1,166 @@
+package melmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/x86"
+)
+
+func TestEstimateValidation(t *testing.T) {
+	var freq [256]float64
+	freq['a'] = 1
+	if _, err := Estimate(freq, 0); err == nil {
+		t.Error("c=0 should fail")
+	}
+	var unnorm [256]float64
+	unnorm['a'] = 0.4
+	if _, err := Estimate(unnorm, 100); err == nil {
+		t.Error("non-normalized table should fail")
+	}
+	var neg [256]float64
+	neg['a'], neg['b'] = 1.5, -0.5
+	if _, err := Estimate(neg, 100); err == nil {
+		t.Error("negative frequency should fail")
+	}
+}
+
+func TestEstimateDegenerateTables(t *testing.T) {
+	// All mass on prefix chars: no opcodes at all.
+	var freq [256]float64
+	freq[0x66] = 1
+	if _, err := Estimate(freq, 100); err == nil {
+		t.Error("all-prefix table should fail")
+	}
+	// A table with no invalidating characters yields p = 0, which is
+	// unusable for thresholding.
+	var benignless [256]float64
+	benignless['A'] = 1 // inc ecx only
+	if _, err := Estimate(benignless, 100); err == nil {
+		t.Error("p=0 table should fail")
+	}
+}
+
+// TestEstimatePaperBands runs the Section 5.2 pipeline on the synthetic
+// benign corpus and checks every reported quantity lands in a band
+// around the paper's values: z ≈ 0.16, E[prefix] ≈ 0.19,
+// E[actual] ≈ 2.4, E[len] ≈ 2.6, n ≈ 1540 (C = 4000), p ≈ 0.227.
+func TestEstimatePaperBands(t *testing.T) {
+	cases, err := corpus.Dataset(42, 100, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq, err := corpus.Frequencies(corpus.Concat(cases))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := Estimate(freq, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("params: %+v", params)
+
+	if params.Z < 0.10 || params.Z > 0.22 {
+		t.Errorf("z = %v, paper: 0.16", params.Z)
+	}
+	if params.EPrefixLen < 0.11 || params.EPrefixLen > 0.29 {
+		t.Errorf("E[prefix] = %v, paper: 0.19", params.EPrefixLen)
+	}
+	if params.EActualLen < 2.0 || params.EActualLen > 3.0 {
+		t.Errorf("E[actual] = %v, paper: 2.4", params.EActualLen)
+	}
+	if params.EInstrLen < 2.2 || params.EInstrLen > 3.2 {
+		t.Errorf("E[len] = %v, paper: 2.6", params.EInstrLen)
+	}
+	if params.N < 1250 || params.N > 1850 {
+		t.Errorf("n = %v, paper: 1540", params.N)
+	}
+	if params.PIO < 0.12 || params.PIO > 0.24 {
+		t.Errorf("p_io = %v, paper: 0.185", params.PIO)
+	}
+	if params.PWrongSeg < 0.015 || params.PWrongSeg > 0.08 {
+		t.Errorf("p_seg = %v, paper: 0.042", params.PWrongSeg)
+	}
+	if params.P < 0.15 || params.P > 0.30 {
+		t.Errorf("p = %v, paper: 0.227", params.P)
+	}
+
+	// The threshold that falls out must be in the paper's operating
+	// region (tens of instructions, nowhere near the 120+ malware band).
+	tau, err := Threshold(0.01, params.N, params.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau < 25 || tau > 70 {
+		t.Errorf("derived τ = %v, paper: 40", tau)
+	}
+}
+
+func TestEstimateEnglishPreset(t *testing.T) {
+	params, err := Estimate(corpus.EnglishFreq(), 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if params.P < 0.12 || params.P > 0.35 {
+		t.Errorf("English preset p = %v", params.P)
+	}
+	if params.EInstrLen < 2.0 || params.EInstrLen > 3.5 {
+		t.Errorf("English preset E[len] = %v", params.EInstrLen)
+	}
+}
+
+// TestEstimateMatchesMeasured compares the no-disassembly estimate of
+// E[instruction length] with the measured average from actually
+// disassembling the corpus — the Section 5.3 check (2.6 predicted vs
+// 2.65 measured).
+func TestEstimateMatchesMeasured(t *testing.T) {
+	cases, err := corpus.Dataset(13, 30, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := corpus.Concat(cases)
+	freq, err := corpus.Frequencies(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := Estimate(freq, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Measured: linear disassembly of the whole corpus.
+	measured := measureMeanLen(all)
+	rel := math.Abs(measured-params.EInstrLen) / measured
+	if rel > 0.10 {
+		t.Errorf("predicted E[len]=%v vs measured %v (rel err %v); paper saw 2.6 vs 2.65",
+			params.EInstrLen, measured, rel)
+	}
+}
+
+// measureMeanLen is a tiny local disassembly-based average to avoid a
+// dependency cycle with the mel package.
+func measureMeanLen(data []byte) float64 {
+	var count, total int
+	for pos := 0; pos < len(data); {
+		inst, err := decodeAt(data, pos)
+		if err != nil {
+			break
+		}
+		total += inst
+		count++
+		pos += inst
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(total) / float64(count)
+}
+
+func decodeAt(data []byte, pos int) (int, error) {
+	inst, err := x86.Decode(data, pos)
+	if err != nil {
+		return 0, err
+	}
+	return inst.Len, nil
+}

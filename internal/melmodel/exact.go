@@ -1,0 +1,130 @@
+package melmodel
+
+import (
+	"errors"
+	"math"
+)
+
+// ExactCDF computes the exact distribution of the paper's MEL statistic
+// by dynamic programming, with no independence approximation: the
+// probability that, in n Bernoulli trials with head (invalid)
+// probability p, every head-terminated run of tails counts (tails+1) ≤ x
+// and the trailing unterminated run counts tails ≤ x.
+//
+// This is the ground truth the paper's closed form
+// (1-(1-p)^x)(1-p(1-p)^x)^n approximates by treating the run lengths as
+// independent; PaperApproximationError quantifies the gap.
+func ExactCDF(x, n int, p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, ErrBadP
+	}
+	if n <= 0 {
+		return 0, ErrBadN
+	}
+	if x < 0 {
+		return 0, nil
+	}
+	if x >= n {
+		return 1, nil
+	}
+	// dp[r] = probability of being at a current tail-run of length r with
+	// no violation so far. A head closes the run, contributing run length
+	// (r+1) under the paper's convention, so r may only reach x-1 before
+	// a head arrives; a tail extends the run, and the trailing run may
+	// reach x. Violations (run would exceed the budget) drop out of the
+	// distribution.
+	dp := make([]float64, x+1)
+	next := make([]float64, x+1)
+	dp[0] = 1
+	for i := 0; i < n; i++ {
+		for r := range next {
+			next[r] = 0
+		}
+		var headMass float64
+		for r, q := range dp {
+			if q == 0 {
+				continue
+			}
+			// A head terminates the current run with count r+1; it stays
+			// legal only if r+1 <= x.
+			if r+1 <= x {
+				headMass += q * p
+			}
+			// A tail extends the run; legal while r+1 <= x.
+			if r+1 <= x {
+				next[r+1] += q * (1 - p)
+			}
+		}
+		next[0] += headMass
+		dp, next = next, dp
+	}
+	var total float64
+	for _, q := range dp {
+		total += q
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total, nil
+}
+
+// ExactPMF is the exact point mass at x.
+func ExactPMF(x, n int, p float64) (float64, error) {
+	cx, err := ExactCDF(x, n, p)
+	if err != nil {
+		return 0, err
+	}
+	cprev, err := ExactCDF(x-1, n, p)
+	if err != nil {
+		return 0, err
+	}
+	return cx - cprev, nil
+}
+
+// ApproximationGap measures the total variation distance between the
+// paper's closed-form PMF and the exact distribution for the given
+// parameters, scanning x up to the point where both tails vanish.
+func ApproximationGap(n int, p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, ErrBadP
+	}
+	if n <= 0 {
+		return 0, ErrBadN
+	}
+	var tv, cumExact, cumPaper float64
+	for x := 0; x <= n; x++ {
+		pe, err := ExactPMF(x, n, p)
+		if err != nil {
+			return 0, err
+		}
+		pp, err := PMF(x, n, p)
+		if err != nil {
+			return 0, err
+		}
+		tv += math.Abs(pe - pp)
+		cumExact += pe
+		cumPaper += pp
+		if cumExact > 1-1e-10 && cumPaper > 1-1e-10 {
+			break
+		}
+	}
+	return tv / 2, nil
+}
+
+// ExactThreshold inverts the exact CDF: the smallest integer τ with
+// P[Xmax > τ] <= alpha.
+func ExactThreshold(alpha float64, n int, p float64) (int, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return 0, ErrBadAlpha
+	}
+	for x := 0; x <= n; x++ {
+		c, err := ExactCDF(x, n, p)
+		if err != nil {
+			return 0, err
+		}
+		if 1-c <= alpha {
+			return x, nil
+		}
+	}
+	return n, errors.New("melmodel: exact threshold not found")
+}

@@ -1,0 +1,138 @@
+package melmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExactCDFBoundaries(t *testing.T) {
+	if _, err := ExactCDF(5, 0, 0.5); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := ExactCDF(5, 10, 0); err == nil {
+		t.Error("p=0 should fail")
+	}
+	if c, _ := ExactCDF(-1, 10, 0.5); c != 0 {
+		t.Errorf("CDF(-1) = %v", c)
+	}
+	if c, _ := ExactCDF(10, 10, 0.5); c != 1 {
+		t.Errorf("CDF(n) = %v, want 1", c)
+	}
+}
+
+// TestExactCDFSmallCasesByEnumeration verifies the DP against brute-force
+// enumeration of all 2^n outcomes for small n.
+func TestExactCDFSmallCasesByEnumeration(t *testing.T) {
+	const n = 10
+	p := 0.3
+	for x := 0; x < n; x++ {
+		var want float64
+		for mask := 0; mask < 1<<n; mask++ {
+			// Compute the paper-convention MEL of this outcome.
+			prob := 1.0
+			mel, run := 0, 0
+			for i := 0; i < n; i++ {
+				head := mask>>i&1 == 1
+				if head {
+					prob *= p
+					if run+1 > mel {
+						mel = run + 1
+					}
+					run = 0
+				} else {
+					prob *= 1 - p
+					run++
+				}
+			}
+			if run > mel {
+				mel = run
+			}
+			if mel <= x {
+				want += prob
+			}
+		}
+		got, err := ExactCDF(x, n, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("ExactCDF(%d) = %.15f, enumeration gives %.15f", x, got, want)
+		}
+	}
+}
+
+func TestExactCDFMonotone(t *testing.T) {
+	prev := 0.0
+	for x := 0; x <= 100; x++ {
+		c, err := ExactCDF(x, 1540, 0.227)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c < prev-1e-12 {
+			t.Fatalf("not monotone at %d", x)
+		}
+		prev = c
+	}
+	if prev < 0.999999 {
+		t.Errorf("CDF at 100 = %v", prev)
+	}
+}
+
+// TestApproximationGapSmall quantifies the Section 3.1 independence
+// approximation: the paper's closed form stays within ~1.5% total
+// variation of the exact law at every parameter set Figure 1 plots.
+func TestApproximationGapSmall(t *testing.T) {
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{1000, 0.175}, {1500, 0.125}, {1500, 0.300}, {1540, 0.227},
+	}
+	for _, c := range cases {
+		gap, err := ApproximationGap(c.n, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gap > 0.015 {
+			t.Errorf("n=%d p=%v: TV gap %v between paper formula and exact law", c.n, c.p, gap)
+		}
+		t.Logf("n=%d p=%v: paper-vs-exact TV = %.5f", c.n, c.p, gap)
+	}
+}
+
+// TestExactThresholdNearPaperFormula: the model-derived τ and the exact
+// τ agree to within a couple of instructions at the operating point.
+func TestExactThresholdNearPaperFormula(t *testing.T) {
+	exact, err := ExactThreshold(0.01, 1540, 0.227)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := Threshold(0.01, 1540, 0.227)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(exact)-approx) > 2 {
+		t.Errorf("exact τ = %d vs formula %v", exact, approx)
+	}
+	if _, err := ExactThreshold(0, 100, 0.2); err == nil {
+		t.Error("alpha=0 should fail")
+	}
+}
+
+func TestExactPMFSumsToOne(t *testing.T) {
+	n, p := 300, 0.2
+	var sum float64
+	for x := 0; x <= n; x++ {
+		v, err := ExactPMF(x, n, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < -1e-12 {
+			t.Fatalf("negative mass at %d: %v", x, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("exact PMF sums to %v", sum)
+	}
+}

@@ -1,0 +1,239 @@
+// Package melmodel implements the probabilistic MEL model of Section 3:
+// the distribution of the longest error-free run of instructions in a
+// stream of n Bernoulli trials with per-instruction invalidity
+// probability p, the automatic threshold derivation τ(α, n, p), and the
+// Section 5.2 estimation of n and p from nothing but the input length
+// and a character-frequency table.
+package melmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params validation errors.
+var (
+	ErrBadP     = errors.New("melmodel: p must be in (0, 1)")
+	ErrBadN     = errors.New("melmodel: n must be positive")
+	ErrBadAlpha = errors.New("melmodel: alpha must be in (0, 1)")
+)
+
+// CDF returns Prob[Xmax <= x] for the MEL of n instructions with
+// invalidity probability p:
+//
+//	Prob[Xmax <= x] = (1 - (1-p)^x) * (1 - p(1-p)^x)^n
+//
+// (the paper's closed form, Section 3.1). x < 0 yields 0.
+func CDF(x, n int, p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, ErrBadP
+	}
+	if n <= 0 {
+		return 0, ErrBadN
+	}
+	if x < 0 {
+		return 0, nil
+	}
+	q := math.Pow(1-p, float64(x))
+	return (1 - q) * math.Pow(1-p*q, float64(n)), nil
+}
+
+// PMF returns Prob[Xmax = x] = CDF(x) - CDF(x-1).
+func PMF(x, n int, p float64) (float64, error) {
+	cx, err := CDF(x, n, p)
+	if err != nil {
+		return 0, err
+	}
+	cprev, err := CDF(x-1, n, p)
+	if err != nil {
+		return 0, err
+	}
+	return cx - cprev, nil
+}
+
+// PMFSeries returns PMF(0..maxX) as a slice.
+func PMFSeries(maxX, n int, p float64) ([]float64, error) {
+	if maxX < 0 {
+		return nil, errors.New("melmodel: negative series bound")
+	}
+	out := make([]float64, maxX+1)
+	for x := 0; x <= maxX; x++ {
+		v, err := PMF(x, n, p)
+		if err != nil {
+			return nil, err
+		}
+		out[x] = v
+	}
+	return out, nil
+}
+
+// Mean returns E[Xmax] computed from the PMF (summed until the tail mass
+// is negligible).
+func Mean(n int, p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, ErrBadP
+	}
+	if n <= 0 {
+		return 0, ErrBadN
+	}
+	var mean, cum float64
+	for x := 0; x <= n; x++ {
+		v, err := PMF(x, n, p)
+		if err != nil {
+			return 0, err
+		}
+		mean += float64(x) * v
+		cum += v
+		if cum > 1-1e-12 {
+			break
+		}
+	}
+	return mean, nil
+}
+
+// FalsePositiveProb returns α = Prob[Xmax > τ] exactly:
+// 1 - (1-(1-p)^τ)(1-p(1-p)^τ)^n. τ may be fractional (the threshold
+// formula returns real values).
+func FalsePositiveProb(tau float64, n int, p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, ErrBadP
+	}
+	if n <= 0 {
+		return 0, ErrBadN
+	}
+	if tau < 0 {
+		return 1, nil
+	}
+	q := math.Pow(1-p, tau)
+	return 1 - (1-q)*math.Pow(1-p*q, float64(n)), nil
+}
+
+// Threshold returns the MEL threshold τ for a target false-positive
+// probability α using the paper's approximation
+// α ≈ 1 - [1 - p(1-p)^τ]^n, i.e.
+//
+//	τ = (log(1 - (1-α)^(1/n)) - log p) / log(1-p)
+//
+// (Section 3.2). The approximation drops the (1-(1-p)^τ) factor, which
+// the paper shows changes τ by ~0.02% at its operating point.
+func Threshold(alpha float64, n int, p float64) (float64, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return 0, ErrBadAlpha
+	}
+	if p <= 0 || p >= 1 {
+		return 0, ErrBadP
+	}
+	if n <= 0 {
+		return 0, ErrBadN
+	}
+	num := math.Log(1-math.Pow(1-alpha, 1/float64(n))) - math.Log(p)
+	return num / math.Log(1-p), nil
+}
+
+// ThresholdExact inverts the full CDF numerically: the smallest real τ
+// with Prob[Xmax > τ] <= alpha, found by bisection. Used to verify the
+// approximation (Section 3.2 reports 40.61 vs 40.62 at the paper's
+// parameters).
+func ThresholdExact(alpha float64, n int, p float64) (float64, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return 0, ErrBadAlpha
+	}
+	if p <= 0 || p >= 1 {
+		return 0, ErrBadP
+	}
+	if n <= 0 {
+		return 0, ErrBadN
+	}
+	lo, hi := 0.0, float64(n)
+	// FalsePositiveProb decreases in τ; find τ with fp(τ) = alpha.
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		fp, err := FalsePositiveProb(mid, n, p)
+		if err != nil {
+			return 0, err
+		}
+		if fp > alpha {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-10 {
+			break
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// AsymptoticMean returns the classical streak-theory approximation of
+// E[Xmax] (Gordon, Schilling & Waterman): for long runs of successes
+// with success probability q = 1-p over n trials,
+//
+//	E[Xmax] ≈ log_{1/q}(n p) + γ / ln(1/q) − 1/2
+//
+// with γ the Euler–Mascheroni constant. Useful as a closed-form sanity
+// check on the full PMF computation.
+func AsymptoticMean(n int, p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, ErrBadP
+	}
+	if n <= 0 {
+		return 0, ErrBadN
+	}
+	const gamma = 0.5772156649015329
+	lnInvQ := -math.Log1p(-p) // ln(1/(1-p))
+	return math.Log(float64(n)*p)/lnInvQ + gamma/lnInvQ - 0.5, nil
+}
+
+// IsoErrorPoint is one (p, τ) pair on a constant-α curve (Figure 2).
+type IsoErrorPoint struct {
+	P   float64
+	Tau float64
+}
+
+// IsoErrorCurve returns the (p, τ) combinations that keep the false-
+// positive probability at α for fixed n, sweeping p over [pMin, pMax]
+// with the given step (Figure 2).
+func IsoErrorCurve(alpha float64, n int, pMin, pMax, step float64) ([]IsoErrorPoint, error) {
+	if pMin <= 0 || pMax >= 1 || pMin > pMax || step <= 0 {
+		return nil, fmt.Errorf("melmodel: bad sweep [%v, %v] step %v", pMin, pMax, step)
+	}
+	var out []IsoErrorPoint
+	for p := pMin; p <= pMax+1e-12; p += step {
+		tau, err := Threshold(alpha, n, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, IsoErrorPoint{P: p, Tau: tau})
+	}
+	return out, nil
+}
+
+// PForThreshold returns the p that makes τ the α-threshold at size n —
+// the inverse reading of Figure 2 (e.g. the paper's p ≈ 0.073 for
+// τ = 120). Found by bisection; Threshold is decreasing in p.
+func PForThreshold(tau, alpha float64, n int) (float64, error) {
+	if tau <= 0 {
+		return 0, errors.New("melmodel: tau must be positive")
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return 0, ErrBadAlpha
+	}
+	if n <= 0 {
+		return 0, ErrBadN
+	}
+	lo, hi := 1e-6, 1-1e-6
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		t, err := Threshold(alpha, n, mid)
+		if err != nil {
+			return 0, err
+		}
+		if t > tau {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}

@@ -1,0 +1,302 @@
+package melmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFMonotoneAndBounded(t *testing.T) {
+	n, p := 1540, 0.227
+	prev := 0.0
+	for x := 0; x < 200; x++ {
+		c, err := CDF(x, n, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c < prev-1e-12 {
+			t.Fatalf("CDF not monotone at x=%d: %v < %v", x, c, prev)
+		}
+		if c < 0 || c > 1 {
+			t.Fatalf("CDF out of [0,1] at x=%d: %v", x, c)
+		}
+		prev = c
+	}
+	if prev < 0.9999999 {
+		t.Errorf("CDF at x=199 is %v, should be ~1", prev)
+	}
+	if c, _ := CDF(-1, n, p); c != 0 {
+		t.Errorf("CDF(-1) = %v", c)
+	}
+}
+
+func TestCDFValidation(t *testing.T) {
+	if _, err := CDF(5, 100, 0); err == nil {
+		t.Error("p=0 should fail")
+	}
+	if _, err := CDF(5, 100, 1); err == nil {
+		t.Error("p=1 should fail")
+	}
+	if _, err := CDF(5, 0, 0.5); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestPMFSumsToOne(t *testing.T) {
+	for _, cfg := range []struct {
+		n int
+		p float64
+	}{{1000, 0.175}, {1500, 0.125}, {1500, 0.3}, {10000, 0.175}, {1540, 0.227}} {
+		var sum float64
+		for x := 0; x <= cfg.n; x++ {
+			v, err := PMF(x, cfg.n, cfg.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < -1e-12 {
+				t.Fatalf("PMF negative at x=%d: %v", x, v)
+			}
+			sum += v
+			if sum > 1-1e-12 {
+				break
+			}
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("n=%d p=%v: PMF sums to %v", cfg.n, cfg.p, sum)
+		}
+	}
+}
+
+func TestPMFSeries(t *testing.T) {
+	s, err := PMFSeries(80, 1540, 0.227)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 81 {
+		t.Fatalf("series length %d", len(s))
+	}
+	// Mode should be near the mean (~20 for the paper's parameters).
+	mode, best := 0, 0.0
+	for x, v := range s {
+		if v > best {
+			mode, best = x, v
+		}
+	}
+	if mode < 10 || mode > 30 {
+		t.Errorf("PMF mode at %d, expected near 20", mode)
+	}
+	if _, err := PMFSeries(-1, 10, 0.5); err == nil {
+		t.Error("negative bound should fail")
+	}
+}
+
+// TestPaperThreshold reproduces the paper's headline numbers: at α = 1%,
+// n = 1540, p = 0.227, τ = 40.61 with the approximation and 40.62
+// without (Section 3.2), rounding to the operational threshold 40.
+func TestPaperThreshold(t *testing.T) {
+	tau, err := Threshold(0.01, 1540, 0.227)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tau-40.61) > 0.05 {
+		t.Errorf("approximate τ = %v, paper reports 40.61", tau)
+	}
+	exact, err := ThresholdExact(0.01, 1540, 0.227)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact-40.62) > 0.05 {
+		t.Errorf("exact τ = %v, paper reports 40.62", exact)
+	}
+	relDiff := math.Abs(exact-tau) / exact
+	if relDiff > 0.001 {
+		t.Errorf("approximation error %v, paper reports ~0.02%%", relDiff)
+	}
+}
+
+func TestThresholdValidation(t *testing.T) {
+	if _, err := Threshold(0, 100, 0.2); err == nil {
+		t.Error("alpha=0 should fail")
+	}
+	if _, err := Threshold(1, 100, 0.2); err == nil {
+		t.Error("alpha=1 should fail")
+	}
+	if _, err := Threshold(0.01, -5, 0.2); err == nil {
+		t.Error("negative n should fail")
+	}
+	if _, err := Threshold(0.01, 100, 1.5); err == nil {
+		t.Error("p>1 should fail")
+	}
+	if _, err := ThresholdExact(0, 100, 0.2); err == nil {
+		t.Error("exact alpha=0 should fail")
+	}
+}
+
+func TestFalsePositiveRoundTrip(t *testing.T) {
+	// fp(Threshold(alpha)) ≈ alpha.
+	for _, alpha := range []float64{0.001, 0.01, 0.05, 0.2} {
+		tau, err := Threshold(alpha, 1540, 0.227)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, err := FalsePositiveProb(tau, 1540, 0.227)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fp-alpha)/alpha > 0.02 {
+			t.Errorf("alpha=%v: fp(τ)=%v", alpha, fp)
+		}
+	}
+	if fp, _ := FalsePositiveProb(-1, 100, 0.2); fp != 1 {
+		t.Errorf("fp at negative τ = %v, want 1", fp)
+	}
+}
+
+func TestThresholdIncreasesWithN(t *testing.T) {
+	// Figure 1 annotation: for the same α, the threshold grows with n.
+	prev := 0.0
+	for _, n := range []int{1000, 5000, 10000} {
+		tau, err := Threshold(0.01, n, 0.175)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tau <= prev {
+			t.Errorf("τ(n=%d) = %v not increasing", n, tau)
+		}
+		prev = tau
+	}
+}
+
+func TestThresholdDecreasesWithP(t *testing.T) {
+	// Figure 1 (right): decreasing p needs a higher threshold for the
+	// same α.
+	taus := make([]float64, 0, 3)
+	for _, p := range []float64{0.125, 0.175, 0.300} {
+		tau, err := Threshold(0.01, 1500, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		taus = append(taus, tau)
+	}
+	if !(taus[0] > taus[1] && taus[1] > taus[2]) {
+		t.Errorf("τ should decrease with p: %v", taus)
+	}
+}
+
+func TestMean(t *testing.T) {
+	// Paper Fig 3 reports an empirical benign average near 20 at
+	// n=1540, p=0.227; the model's expectation sits a little above it.
+	m, err := Mean(1540, 0.227)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m < 18 || m > 30 {
+		t.Errorf("mean MEL = %v, expected in the low-to-mid 20s", m)
+	}
+	if _, err := Mean(0, 0.2); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := Mean(10, 0); err == nil {
+		t.Error("p=0 should fail")
+	}
+}
+
+func TestIsoErrorCurve(t *testing.T) {
+	curve, err := IsoErrorCurve(0.01, 1540, 0.02, 0.6, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) < 25 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	// τ decreases monotonically along increasing p.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Tau >= curve[i-1].Tau {
+			t.Errorf("iso-error τ not decreasing at p=%v", curve[i].P)
+		}
+	}
+	if _, err := IsoErrorCurve(0.01, 1540, 0.5, 0.2, 0.1); err == nil {
+		t.Error("inverted range should fail")
+	}
+	if _, err := IsoErrorCurve(0.01, 1540, 0.1, 0.5, 0); err == nil {
+		t.Error("zero step should fail")
+	}
+}
+
+// TestFigure2Boundaries reproduces the Figure 2 annotations: at α = 1%
+// and n = 1540, p = 0.227 maps to τ ≈ 40 (the benign boundary) and
+// τ = 120 maps back to p ≈ 0.073 (the malware boundary).
+func TestFigure2Boundaries(t *testing.T) {
+	tau, err := Threshold(0.01, 1540, 0.227)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Round(tau) != 41 && math.Round(tau) != 40 {
+		t.Errorf("benign boundary τ = %v, paper: 40", tau)
+	}
+	p, err := PForThreshold(120, 0.01, 1540)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.073) > 0.01 {
+		t.Errorf("malware boundary p = %v, paper: 0.073", p)
+	}
+}
+
+func TestPForThresholdValidation(t *testing.T) {
+	if _, err := PForThreshold(0, 0.01, 100); err == nil {
+		t.Error("tau=0 should fail")
+	}
+	if _, err := PForThreshold(40, 0, 100); err == nil {
+		t.Error("alpha=0 should fail")
+	}
+	if _, err := PForThreshold(40, 0.01, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestPForThresholdRoundTrip(t *testing.T) {
+	f := func(raw uint16) bool {
+		tau := 10 + float64(raw%200)
+		p, err := PForThreshold(tau, 0.01, 1540)
+		if err != nil {
+			return false
+		}
+		back, err := Threshold(0.01, 1540, p)
+		if err != nil {
+			return false
+		}
+		return math.Abs(back-tau) < 0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsymptoticMeanNearExactMean(t *testing.T) {
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{1000, 0.175}, {1540, 0.227}, {5000, 0.175}, {1500, 0.3},
+	}
+	for _, c := range cases {
+		asym, err := AsymptoticMean(c.n, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean, err := Mean(c.n, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(asym-mean) > 1.5 {
+			t.Errorf("n=%d p=%v: asymptotic %v vs PMF mean %v", c.n, c.p, asym, mean)
+		}
+	}
+	if _, err := AsymptoticMean(0, 0.5); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := AsymptoticMean(10, 0); err == nil {
+		t.Error("p=0 should fail")
+	}
+}

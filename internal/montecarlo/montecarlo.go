@@ -1,0 +1,89 @@
+// Package montecarlo verifies the MEL model by simulation, exactly as
+// Section 3.3 describes: toss a coin with head-probability p (heads are
+// invalid instructions) n times, record the maximum run of tails (the
+// MEL), repeat for thousands of rounds, and compare the resulting
+// empirical PMF against the closed form.
+package montecarlo
+
+import (
+	"errors"
+
+	"repro/internal/stats"
+)
+
+// Config describes one simulation.
+type Config struct {
+	// N is the number of instructions (coin tosses) per round.
+	N int
+	// P is the invalidity (head) probability.
+	P float64
+	// Rounds is the number of independent rounds.
+	Rounds int
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.N <= 0 {
+		return errors.New("montecarlo: n must be positive")
+	}
+	if c.P <= 0 || c.P >= 1 {
+		return errors.New("montecarlo: p must be in (0, 1)")
+	}
+	if c.Rounds <= 0 {
+		return errors.New("montecarlo: rounds must be positive")
+	}
+	return nil
+}
+
+// Run simulates the MEL distribution and returns the histogram of
+// per-round MEL values.
+func Run(cfg Config) (*stats.IntHistogram, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	hist := stats.NewIntHistogram()
+	for r := 0; r < cfg.Rounds; r++ {
+		hist.Add(oneRound(rng, cfg.N, cfg.P))
+	}
+	return hist, nil
+}
+
+// oneRound tosses the coin n times and returns the MEL under the
+// paper's counting convention. Section 3.1's worked example counts the
+// terminating invalid instruction in the sequence length (MEL = 5 for
+// I_v I_v I_v I_v I_inv), i.e. each head-terminated run contributes
+// (tails + 1) and the trailing unterminated run contributes its bare
+// tail count — equivalently the "maximum inter-head distance" of the
+// paper's Monte-Carlo description. This convention is what the closed
+// form (1-(1-p)^x)(1-p(1-p)^x)^n actually models; measuring bare tail
+// runs shifts the whole PMF left by one.
+func oneRound(rng *stats.RNG, n int, p float64) int {
+	best, cur := 0, 0
+	for i := 0; i < n; i++ {
+		if rng.Bernoulli(p) { // head = invalid instruction
+			if cur+1 > best {
+				best = cur + 1 // run includes its terminating head
+			}
+			cur = 0
+		} else {
+			cur++
+		}
+	}
+	if cur > best {
+		best = cur
+	}
+	return best
+}
+
+// EmpiricalPMF runs the simulation and returns the PMF as a dense slice
+// indexed by MEL value.
+func EmpiricalPMF(cfg Config) ([]float64, error) {
+	hist, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return hist.PMF()
+}

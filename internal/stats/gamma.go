@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoConverge reports that an iterative special-function evaluation did
+// not converge; it indicates parameters far outside the supported range.
+var ErrNoConverge = errors.New("stats: series did not converge")
+
+const (
+	_gammaEps     = 3e-14
+	_gammaItMax   = 500
+	_gammaFPMin   = 1e-300
+	_gammaTiny    = 1e-308
+	_maxChiSquare = 1e8
+)
+
+// GammaP computes the regularized lower incomplete gamma function
+// P(a, x) = γ(a, x) / Γ(a) for a > 0, x >= 0.
+func GammaP(a, x float64) (float64, error) {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		return 0, errors.New("stats: GammaP needs a > 0 and x >= 0")
+	}
+	if x == 0 {
+		return 0, nil
+	}
+	if x < a+1 {
+		p, err := gammaSeries(a, x)
+		return p, err
+	}
+	q, err := gammaContFrac(a, x)
+	return 1 - q, err
+}
+
+// GammaQ computes the regularized upper incomplete gamma function
+// Q(a, x) = 1 - P(a, x).
+func GammaQ(a, x float64) (float64, error) {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		return 0, errors.New("stats: GammaQ needs a > 0 and x >= 0")
+	}
+	if x == 0 {
+		return 1, nil
+	}
+	if x < a+1 {
+		p, err := gammaSeries(a, x)
+		return 1 - p, err
+	}
+	return gammaContFrac(a, x)
+}
+
+// gammaSeries evaluates P(a,x) by its power series, valid for x < a+1.
+func gammaSeries(a, x float64) (float64, error) {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < _gammaItMax; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*_gammaEps {
+			return sum * math.Exp(-x+a*math.Log(x)-lg), nil
+		}
+	}
+	return 0, ErrNoConverge
+}
+
+// gammaContFrac evaluates Q(a,x) by Lentz's continued fraction, valid for
+// x >= a+1.
+func gammaContFrac(a, x float64) (float64, error) {
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / _gammaFPMin
+	d := 1 / b
+	h := d
+	for i := 1; i <= _gammaItMax; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < _gammaFPMin {
+			d = _gammaFPMin
+		}
+		c = b + an/c
+		if math.Abs(c) < _gammaFPMin {
+			c = _gammaFPMin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < _gammaEps {
+			return math.Exp(-x+a*math.Log(x)-lg) * h, nil
+		}
+	}
+	return 0, ErrNoConverge
+}
+
+// ChiSquareSurvival returns P[X >= chi2] for a chi-square distribution
+// with df degrees of freedom — the p-value of a chi-square statistic.
+func ChiSquareSurvival(chi2 float64, df int) (float64, error) {
+	if df <= 0 {
+		return 0, errors.New("stats: chi-square needs df >= 1")
+	}
+	if chi2 < 0 || chi2 > _maxChiSquare {
+		return 0, errors.New("stats: chi-square statistic out of range")
+	}
+	return GammaQ(float64(df)/2, chi2/2)
+}
+
+// LogChoose returns log(n choose k) computed via log-gamma, stable for
+// large n where the direct binomial coefficient overflows.
+func LogChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return ln - lk - lnk
+}
+
+// BinomialPMF returns P[Bin(n,p) = k] computed in log space.
+func BinomialPMF(n, k int, p float64) float64 {
+	if k < 0 || k > n || p < 0 || p > 1 {
+		return 0
+	}
+	if p == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p == 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lp := LogChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+	return math.Exp(lp)
+}
+
+// GeometricPMF returns P[X = k] for the number of failures before the
+// first success, X ~ Geom(p), support {0, 1, ...}.
+func GeometricPMF(k int, p float64) float64 {
+	if k < 0 || p <= 0 || p > 1 {
+		return 0
+	}
+	return p * math.Pow(1-p, float64(k))
+}
+
+// GeometricCDF returns P[X <= k] for X ~ Geom(p) on {0, 1, ...}.
+func GeometricCDF(k int, p float64) float64 {
+	if k < 0 {
+		return 0
+	}
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	return 1 - math.Pow(1-p, float64(k+1))
+}

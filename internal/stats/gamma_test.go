@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestGammaPKnownValues(t *testing.T) {
+	// P(a,x) reference values (Abramowitz & Stegun / scipy.special.gammainc).
+	cases := []struct {
+		a, x, want float64
+	}{
+		{1, 1, 1 - math.Exp(-1)}, // P(1,x) = 1-e^-x
+		{1, 2, 1 - math.Exp(-2)},
+		{0.5, 0.5, 0.682689492137}, // erf(sqrt(0.5))... P(1/2, x) = erf(sqrt(x))
+		{2, 2, 0.593994150290},
+		{5, 5, 0.559506714935},
+		{10, 3, 0.001102488036},
+		{3, 10, 1 - 61*math.Exp(-10)}, // P(3,x) = 1 - e^-x (1 + x + x^2/2)
+	}
+	for _, c := range cases {
+		got, err := GammaP(c.a, c.x)
+		if err != nil {
+			t.Fatalf("GammaP(%v,%v): %v", c.a, c.x, err)
+		}
+		if !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("GammaP(%v,%v) = %.12f, want %.12f", c.a, c.x, got, c.want)
+		}
+	}
+}
+
+func TestGammaPQComplement(t *testing.T) {
+	f := func(aRaw, xRaw uint16) bool {
+		a := float64(aRaw%500)/10 + 0.1
+		x := float64(xRaw%1000) / 10
+		p, err1 := GammaP(a, x)
+		q, err2 := GammaQ(a, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(p+q, 1, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaPMonotoneInX(t *testing.T) {
+	a := 2.5
+	prev := -1.0
+	for x := 0.0; x <= 20; x += 0.25 {
+		p, err := GammaP(a, x)
+		if err != nil {
+			t.Fatalf("GammaP(%v,%v): %v", a, x, err)
+		}
+		if p < prev-1e-12 {
+			t.Fatalf("GammaP not monotone at x=%v: %v < %v", x, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestGammaPBoundary(t *testing.T) {
+	if p, err := GammaP(3, 0); err != nil || p != 0 {
+		t.Fatalf("GammaP(3,0) = %v, %v; want 0, nil", p, err)
+	}
+	if q, err := GammaQ(3, 0); err != nil || q != 1 {
+		t.Fatalf("GammaQ(3,0) = %v, %v; want 1, nil", q, err)
+	}
+	if _, err := GammaP(-1, 1); err == nil {
+		t.Fatal("GammaP(-1,1) should error")
+	}
+	if _, err := GammaP(1, -1); err == nil {
+		t.Fatal("GammaP(1,-1) should error")
+	}
+	if _, err := GammaQ(0, 1); err == nil {
+		t.Fatal("GammaQ(0,1) should error")
+	}
+}
+
+func TestChiSquareSurvivalKnown(t *testing.T) {
+	// Classic critical values: P[chi2_1 >= 3.841] ~= 0.05, P[chi2_1 >= 6.635] ~= 0.01.
+	cases := []struct {
+		chi2 float64
+		df   int
+		want float64
+		tol  float64
+	}{
+		{3.841, 1, 0.05, 5e-4},
+		{6.635, 1, 0.01, 5e-4},
+		{5.991, 2, 0.05, 5e-4},
+		{2.706, 1, 0.10, 5e-4},
+		{0, 1, 1.0, 1e-12},
+	}
+	for _, c := range cases {
+		got, err := ChiSquareSurvival(c.chi2, c.df)
+		if err != nil {
+			t.Fatalf("ChiSquareSurvival(%v,%d): %v", c.chi2, c.df, err)
+		}
+		if !almostEqual(got, c.want, c.tol) {
+			t.Errorf("ChiSquareSurvival(%v,%d) = %v, want %v", c.chi2, c.df, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareSurvivalErrors(t *testing.T) {
+	if _, err := ChiSquareSurvival(1, 0); err == nil {
+		t.Fatal("df=0 should error")
+	}
+	if _, err := ChiSquareSurvival(-1, 1); err == nil {
+		t.Fatal("negative statistic should error")
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 2, math.Log(10)},
+		{10, 0, 0},
+		{10, 10, 0},
+		{52, 5, math.Log(2598960)},
+	}
+	for _, c := range cases {
+		if got := LogChoose(c.n, c.k); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("LogChoose(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+	if !math.IsInf(LogChoose(5, 6), -1) {
+		t.Error("LogChoose(5,6) should be -Inf")
+	}
+	if !math.IsInf(LogChoose(5, -1), -1) {
+		t.Error("LogChoose(5,-1) should be -Inf")
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, p := range []float64{0, 0.227, 0.5, 1} {
+		n := 40
+		var sum float64
+		for k := 0; k <= n; k++ {
+			sum += BinomialPMF(n, k, p)
+		}
+		if !almostEqual(sum, 1, 1e-9) {
+			t.Errorf("BinomialPMF(n=%d,p=%v) sums to %v", n, p, sum)
+		}
+	}
+}
+
+func TestBinomialPMFDegenerate(t *testing.T) {
+	if got := BinomialPMF(10, 0, 0); got != 1 {
+		t.Errorf("Bin(10,0) at 0 = %v, want 1", got)
+	}
+	if got := BinomialPMF(10, 10, 1); got != 1 {
+		t.Errorf("Bin(10,1) at 10 = %v, want 1", got)
+	}
+	if got := BinomialPMF(10, 11, 0.5); got != 0 {
+		t.Errorf("k>n should be 0, got %v", got)
+	}
+}
+
+func TestGeometricPMFCDFConsistency(t *testing.T) {
+	p := 0.227
+	var cum float64
+	for k := 0; k < 50; k++ {
+		cum += GeometricPMF(k, p)
+		if !almostEqual(cum, GeometricCDF(k, p), 1e-12) {
+			t.Fatalf("geometric CDF mismatch at k=%d: sum=%v cdf=%v", k, cum, GeometricCDF(k, p))
+		}
+	}
+}
+
+func TestGeometricEdges(t *testing.T) {
+	if GeometricPMF(-1, 0.5) != 0 {
+		t.Error("PMF at negative k should be 0")
+	}
+	if GeometricCDF(-1, 0.5) != 0 {
+		t.Error("CDF at negative k should be 0")
+	}
+	if GeometricCDF(5, 1) != 1 {
+		t.Error("CDF with p=1 should be 1")
+	}
+}

@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// IntHistogram counts occurrences of non-negative integer values, used for
+// empirical MEL frequency charts (Figure 3) and Monte-Carlo PMFs (Figure 1).
+type IntHistogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewIntHistogram returns an empty histogram.
+func NewIntHistogram() *IntHistogram {
+	return &IntHistogram{counts: make(map[int]int)}
+}
+
+// Add records one observation of value v.
+func (h *IntHistogram) Add(v int) {
+	h.counts[v]++
+	h.total++
+}
+
+// AddN records n observations of value v.
+func (h *IntHistogram) AddN(v, n int) {
+	if n <= 0 {
+		return
+	}
+	h.counts[v] += n
+	h.total += n
+}
+
+// Count returns the number of observations of value v.
+func (h *IntHistogram) Count(v int) int { return h.counts[v] }
+
+// Total returns the total number of observations.
+func (h *IntHistogram) Total() int { return h.total }
+
+// Max returns the largest observed value, or an error if empty.
+func (h *IntHistogram) Max() (int, error) {
+	if h.total == 0 {
+		return 0, ErrEmpty
+	}
+	first := true
+	maxV := 0
+	for v := range h.counts {
+		if first || v > maxV {
+			maxV = v
+			first = false
+		}
+	}
+	return maxV, nil
+}
+
+// Min returns the smallest observed value, or an error if empty.
+func (h *IntHistogram) Min() (int, error) {
+	if h.total == 0 {
+		return 0, ErrEmpty
+	}
+	first := true
+	minV := 0
+	for v := range h.counts {
+		if first || v < minV {
+			minV = v
+			first = false
+		}
+	}
+	return minV, nil
+}
+
+// Mean returns the mean of the observations.
+func (h *IntHistogram) Mean() (float64, error) {
+	if h.total == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(h.total), nil
+}
+
+// PMF returns the empirical probability mass function as a dense slice
+// indexed by value from 0 through Max(). Empty histograms yield an error.
+func (h *IntHistogram) PMF() ([]float64, error) {
+	maxV, err := h.Max()
+	if err != nil {
+		return nil, err
+	}
+	pmf := make([]float64, maxV+1)
+	for v, c := range h.counts {
+		if v >= 0 {
+			pmf[v] = float64(c) / float64(h.total)
+		}
+	}
+	return pmf, nil
+}
+
+// CDFAt returns the empirical P[X <= x].
+func (h *IntHistogram) CDFAt(x int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var cum int
+	for v, c := range h.counts {
+		if v <= x {
+			cum += c
+		}
+	}
+	return float64(cum) / float64(h.total)
+}
+
+// QuantileValue returns the smallest value v with P[X <= v] >= q.
+func (h *IntHistogram) QuantileValue(q float64) (int, error) {
+	if h.total == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, errors.New("stats: quantile q must be in [0,1]")
+	}
+	maxV, _ := h.Max()
+	minV, _ := h.Min()
+	target := q * float64(h.total)
+	var cum float64
+	for v := minV; v <= maxV; v++ {
+		cum += float64(h.counts[v])
+		if cum >= target {
+			return v, nil
+		}
+	}
+	return maxV, nil
+}
+
+// Render returns a textual bar chart of the histogram bucketed by width,
+// suitable for terminal output of Figure-3-style frequency charts.
+func (h *IntHistogram) Render(bucketWidth, barScale int) string {
+	if h.total == 0 {
+		return "(empty histogram)\n"
+	}
+	if bucketWidth < 1 {
+		bucketWidth = 1
+	}
+	if barScale < 1 {
+		barScale = 1
+	}
+	maxV, _ := h.Max()
+	minV, _ := h.Min()
+	loBucket := minV / bucketWidth
+	hiBucket := maxV / bucketWidth
+	var sb strings.Builder
+	for b := loBucket; b <= hiBucket; b++ {
+		var c int
+		for v := b * bucketWidth; v < (b+1)*bucketWidth; v++ {
+			c += h.counts[v]
+		}
+		bar := strings.Repeat("#", (c+barScale-1)/barScale)
+		fmt.Fprintf(&sb, "%5d-%-5d |%4d %s\n", b*bucketWidth, (b+1)*bucketWidth-1, c, bar)
+	}
+	return sb.String()
+}
+
+// Values returns every recorded observation expanded into a slice, ordered
+// by value. Useful for feeding Summarize.
+func (h *IntHistogram) Values() []float64 {
+	out := make([]float64, 0, h.total)
+	if h.total == 0 {
+		return out
+	}
+	minV, _ := h.Min()
+	maxV, _ := h.Max()
+	for v := minV; v <= maxV; v++ {
+		for i := 0; i < h.counts[v]; i++ {
+			out = append(out, float64(v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewIntHistogram()
+	for _, v := range []int{3, 3, 5, 1, 3} {
+		h.Add(v)
+	}
+	if h.Total() != 5 {
+		t.Errorf("total = %d, want 5", h.Total())
+	}
+	if h.Count(3) != 3 || h.Count(5) != 1 || h.Count(2) != 0 {
+		t.Errorf("counts wrong: 3->%d 5->%d 2->%d", h.Count(3), h.Count(5), h.Count(2))
+	}
+	maxV, err := h.Max()
+	if err != nil || maxV != 5 {
+		t.Errorf("max = %d, %v", maxV, err)
+	}
+	minV, err := h.Min()
+	if err != nil || minV != 1 {
+		t.Errorf("min = %d, %v", minV, err)
+	}
+	m, err := h.Mean()
+	if err != nil || !almostEqual(m, 3.0, 1e-12) {
+		t.Errorf("mean = %v, %v", m, err)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewIntHistogram()
+	if _, err := h.Max(); err == nil {
+		t.Error("Max on empty should error")
+	}
+	if _, err := h.Min(); err == nil {
+		t.Error("Min on empty should error")
+	}
+	if _, err := h.Mean(); err == nil {
+		t.Error("Mean on empty should error")
+	}
+	if _, err := h.PMF(); err == nil {
+		t.Error("PMF on empty should error")
+	}
+	if _, err := h.QuantileValue(0.5); err == nil {
+		t.Error("Quantile on empty should error")
+	}
+	if h.CDFAt(10) != 0 {
+		t.Error("CDF on empty should be 0")
+	}
+	if !strings.Contains(h.Render(5, 1), "empty") {
+		t.Error("Render on empty should note emptiness")
+	}
+}
+
+func TestHistogramAddN(t *testing.T) {
+	h := NewIntHistogram()
+	h.AddN(7, 10)
+	h.AddN(7, 0)
+	h.AddN(7, -3)
+	if h.Count(7) != 10 || h.Total() != 10 {
+		t.Errorf("AddN: count=%d total=%d", h.Count(7), h.Total())
+	}
+}
+
+func TestHistogramPMFSumsToOne(t *testing.T) {
+	h := NewIntHistogram()
+	r := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		h.Add(r.Intn(40))
+	}
+	pmf, err := h.PMF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range pmf {
+		sum += p
+	}
+	if !almostEqual(sum, 1, 1e-9) {
+		t.Errorf("PMF sums to %v", sum)
+	}
+}
+
+func TestHistogramCDFMonotone(t *testing.T) {
+	h := NewIntHistogram()
+	r := NewRNG(9)
+	for i := 0; i < 500; i++ {
+		h.Add(r.Intn(30))
+	}
+	prev := 0.0
+	for x := -1; x <= 31; x++ {
+		c := h.CDFAt(x)
+		if c < prev {
+			t.Fatalf("CDF not monotone at %d: %v < %v", x, c, prev)
+		}
+		prev = c
+	}
+	if !almostEqual(h.CDFAt(29), 1, 1e-12) {
+		t.Errorf("CDF at max = %v, want 1", h.CDFAt(29))
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewIntHistogram()
+	for v := 1; v <= 100; v++ {
+		h.Add(v)
+	}
+	for _, c := range []struct {
+		q    float64
+		want int
+	}{{0.01, 1}, {0.5, 50}, {0.99, 99}, {1.0, 100}} {
+		got, err := h.QuantileValue(c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("QuantileValue(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	if _, err := h.QuantileValue(-0.1); err == nil {
+		t.Error("negative quantile should error")
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewIntHistogram()
+	h.AddN(0, 3)
+	h.AddN(12, 5)
+	out := h.Render(10, 1)
+	if !strings.Contains(out, "#####") {
+		t.Errorf("render missing bars:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 2 {
+		t.Errorf("render has %d lines, want 2 buckets:\n%s", lines, out)
+	}
+	// Degenerate parameters must not panic or divide by zero.
+	_ = h.Render(0, 0)
+}
+
+func TestHistogramValuesRoundTrip(t *testing.T) {
+	h := NewIntHistogram()
+	input := []int{5, 2, 2, 9}
+	for _, v := range input {
+		h.Add(v)
+	}
+	vals := h.Values()
+	if len(vals) != len(input) {
+		t.Fatalf("Values length %d, want %d", len(vals), len(input))
+	}
+	s, err := Summarize(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("summary %+v", s)
+	}
+}
+
+func TestHistogramMeanMatchesDirect(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewIntHistogram()
+		var sum float64
+		for _, v := range raw {
+			h.Add(int(v))
+			sum += float64(v)
+		}
+		m, err := h.Mean()
+		if err != nil {
+			return false
+		}
+		return math.Abs(m-sum/float64(len(raw))) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

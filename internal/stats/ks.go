@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// KSResult holds a two-sample Kolmogorov-Smirnov test outcome.
+type KSResult struct {
+	// Statistic is the supremum distance between the empirical CDFs.
+	Statistic float64
+	// PValue is the asymptotic two-sided p-value (Kolmogorov
+	// distribution approximation).
+	PValue float64
+}
+
+// KolmogorovSmirnov runs the two-sample KS test on samples a and b.
+func KolmogorovSmirnov(a, b []float64) (*KSResult, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return nil, errors.New("stats: KS test needs non-empty samples")
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+
+	var d float64
+	i, j := 0, 0
+	na, nb := float64(len(as)), float64(len(bs))
+	for i < len(as) && j < len(bs) {
+		// Advance both sides past the smaller value (and any ties) before
+		// measuring, so tied observations do not create phantom gaps.
+		v := as[i]
+		if bs[j] < v {
+			v = bs[j]
+		}
+		for i < len(as) && as[i] == v {
+			i++
+		}
+		for j < len(bs) && bs[j] == v {
+			j++
+		}
+		if diff := math.Abs(float64(i)/na - float64(j)/nb); diff > d {
+			d = diff
+		}
+	}
+
+	ne := na * nb / (na + nb)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return &KSResult{Statistic: d, PValue: ksSurvival(lambda)}, nil
+}
+
+// ksSurvival is the Kolmogorov distribution survival function
+// Q(λ) = 2 Σ (-1)^{k-1} exp(-2 k² λ²).
+func ksSurvival(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k)*float64(k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	q := 2 * sum
+	switch {
+	case q < 0:
+		return 0
+	case q > 1:
+		return 1
+	default:
+		return q
+	}
+}

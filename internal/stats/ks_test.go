@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"testing"
+)
+
+func TestKSValidation(t *testing.T) {
+	if _, err := KolmogorovSmirnov(nil, []float64{1}); err == nil {
+		t.Error("empty sample should fail")
+	}
+	if _, err := KolmogorovSmirnov([]float64{1}, nil); err == nil {
+		t.Error("empty sample should fail")
+	}
+}
+
+func TestKSIdenticalSamples(t *testing.T) {
+	r := NewRNG(1)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	res, err := KolmogorovSmirnov(xs, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statistic > 1e-9 {
+		t.Errorf("identical samples have D = %v", res.Statistic)
+	}
+	if res.PValue < 0.99 {
+		t.Errorf("identical samples p = %v", res.PValue)
+	}
+}
+
+func TestKSSameDistribution(t *testing.T) {
+	r := NewRNG(2)
+	a := make([]float64, 800)
+	b := make([]float64, 800)
+	for i := range a {
+		a[i] = r.NormFloat64()
+		b[i] = r.NormFloat64()
+	}
+	res, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 1e-3 {
+		t.Errorf("same-distribution samples rejected: D=%v p=%v", res.Statistic, res.PValue)
+	}
+}
+
+func TestKSDifferentDistributions(t *testing.T) {
+	r := NewRNG(3)
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	for i := range a {
+		a[i] = r.NormFloat64()
+		b[i] = r.NormFloat64() + 1 // shifted mean
+	}
+	res, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-6 {
+		t.Errorf("shifted distributions not rejected: D=%v p=%v", res.Statistic, res.PValue)
+	}
+}
+
+func TestKSKnownSmallCase(t *testing.T) {
+	// a fully below b: D = 1.
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	res, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statistic != 1 {
+		t.Errorf("disjoint samples D = %v, want 1", res.Statistic)
+	}
+	if res.PValue > 0.1 {
+		t.Errorf("disjoint samples p = %v", res.PValue)
+	}
+}
+
+func TestKSSurvivalBounds(t *testing.T) {
+	if ksSurvival(0) != 1 || ksSurvival(-1) != 1 {
+		t.Error("Q(<=0) must be 1")
+	}
+	if q := ksSurvival(10); q > 1e-10 {
+		t.Errorf("Q(10) = %v", q)
+	}
+	prev := 1.0
+	for l := 0.1; l < 3; l += 0.1 {
+		q := ksSurvival(l)
+		if q > prev+1e-12 {
+			t.Fatalf("Q not monotone at %v", l)
+		}
+		prev = q
+	}
+}

@@ -1,0 +1,143 @@
+// Package textins captures the structural properties of the text
+// (keyboard-enterable) byte domain 0x20–0x7E that the paper's analysis
+// rests on: which text bytes are IA-32 opcodes, prefixes, privileged I/O
+// instructions, or segment overrides; and the XOR-closure structure of
+// the text domain (Figure 4) that makes single-key XOR decrypters
+// impossible in pure text.
+package textins
+
+import (
+	"repro/internal/x86"
+)
+
+// Text-domain boundaries (inclusive), per the paper: Hex 0x20 through 0x7E.
+const (
+	TextMin = 0x20
+	TextMax = 0x7E
+	// TextSize is the number of distinct text bytes (95).
+	TextSize = TextMax - TextMin + 1
+)
+
+// IsText reports whether b is a keyboard-enterable text byte.
+func IsText(b byte) bool { return b >= TextMin && b <= TextMax }
+
+// IsTextStream reports whether every byte of p is text.
+func IsTextStream(p []byte) bool {
+	for _, b := range p {
+		if !IsText(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsAlphanumeric reports whether b is in [0-9A-Za-z], the stricter domain
+// rix's alphanumeric shellcode targets.
+func IsAlphanumeric(b byte) bool {
+	return b >= '0' && b <= '9' || b >= 'A' && b <= 'Z' || b >= 'a' && b <= 'z'
+}
+
+// IOChars are the text bytes that decode to privileged I/O instructions:
+// 'l' = insb, 'm' = insd, 'n' = outsb, 'o' = outsd. Their prevalence in
+// English text is the paper's primary invalidator of benign streams.
+var IOChars = []byte{'l', 'm', 'n', 'o'}
+
+// IsIOChar reports whether b is one of the privileged I/O opcodes.
+func IsIOChar(b byte) bool { return b >= 0x6C && b <= 0x6F }
+
+// PrefixChars are the text bytes that are instruction prefixes: the six
+// segment overrides plus the operand- and address-size toggles. All eight
+// IA-32 prefix bytes that fall in the text range.
+var PrefixChars = []byte{0x26, 0x2E, 0x36, 0x3E, 0x64, 0x65, 0x66, 0x67}
+
+// IsPrefixChar reports whether b is a text instruction prefix
+// ('&' es, '.' cs, '6' ss, '>' ds, 'd' fs, 'e' gs, 'f' opsize, 'g' addrsize).
+func IsPrefixChar(b byte) bool {
+	switch b {
+	case 0x26, 0x2E, 0x36, 0x3E, 0x64, 0x65, 0x66, 0x67:
+		return true
+	}
+	return false
+}
+
+// SegOverrideChars maps text prefix bytes to the segment they select.
+var SegOverrideChars = map[byte]x86.Seg{
+	0x26: x86.SegES,
+	0x2E: x86.SegCS,
+	0x36: x86.SegSS,
+	0x3E: x86.SegDS,
+	0x64: x86.SegFS,
+	0x65: x86.SegGS,
+}
+
+// WrongSegDefault is the set of segment overrides the detector treats as
+// faulting when applied to a memory access in user space: CS is never
+// writable and ES/FS/GS are unmapped or zero-based in unexpected ways on
+// the paper's Linux target. SS and DS behave like the default flat
+// segments and are excluded.
+var WrongSegDefault = map[x86.Seg]bool{
+	x86.SegCS: true,
+	x86.SegES: true,
+	x86.SegFS: true,
+	x86.SegGS: true,
+}
+
+// OpcodeRole classifies what a text byte is when encountered as the first
+// non-prefix byte of an instruction.
+type OpcodeRole int
+
+// Roles of a text byte in the opcode position.
+const (
+	// RoleALU covers register/memory/stack data manipulation
+	// (sub, xor, and, cmp, inc, dec, push, pop, popa, imul, ...).
+	RoleALU OpcodeRole = iota + 1
+	// RoleJump covers the conditional jumps jo..jng (0x70-0x7E).
+	RoleJump
+	// RoleIO covers insb/insd/outsb/outsd (0x6C-0x6F).
+	RoleIO
+	// RoleMisc covers aaa, daa, das, bound, arpl.
+	RoleMisc
+	// RolePrefix covers the eight prefix bytes.
+	RolePrefix
+)
+
+// RoleOf classifies a text byte's opcode role. The boolean is false for
+// non-text bytes.
+func RoleOf(b byte) (OpcodeRole, bool) {
+	if !IsText(b) {
+		return 0, false
+	}
+	switch {
+	case IsPrefixChar(b):
+		return RolePrefix, true
+	case IsIOChar(b):
+		return RoleIO, true
+	case b >= 0x70 && b <= 0x7E:
+		return RoleJump, true
+	case b == 0x27 || b == 0x2F || b == 0x37 || b == 0x3F || b == 0x62 || b == 0x63:
+		// daa, das, aaa, aas, bound, arpl.
+		return RoleMisc, true
+	default:
+		return RoleALU, true
+	}
+}
+
+// TextOpcodes returns every text byte together with the operation it
+// decodes to as a first opcode byte (using a text ModRM/operand tail), a
+// machine-checked version of the paper's Section 2.1 instruction list.
+func TextOpcodes() map[byte]x86.Op {
+	out := make(map[byte]x86.Op, TextSize)
+	tail := []byte{'A', 'A', 'A', 'A', 'A', 'A', 'A', 'A'}
+	for b := byte(TextMin); b <= TextMax; b++ {
+		if IsPrefixChar(b) {
+			continue // prefixes are not stand-alone instructions
+		}
+		code := append([]byte{b}, tail...)
+		inst, err := x86.Decode(code, 0)
+		if err != nil {
+			continue
+		}
+		out[b] = inst.Op
+	}
+	return out
+}

@@ -1,0 +1,294 @@
+package textins
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/x86"
+)
+
+func TestTextBoundaries(t *testing.T) {
+	if IsText(0x1F) || IsText(0x7F) {
+		t.Error("bytes outside 0x20-0x7E must not be text")
+	}
+	if !IsText(0x20) || !IsText(0x7E) {
+		t.Error("0x20 and 0x7E are text")
+	}
+	count := 0
+	for b := 0; b < 256; b++ {
+		if IsText(byte(b)) {
+			count++
+		}
+	}
+	if count != TextSize || TextSize != 95 {
+		t.Errorf("text domain size = %d, want 95", count)
+	}
+}
+
+func TestIsTextStream(t *testing.T) {
+	if !IsTextStream([]byte("GET /index.html HTTP/1.1")) {
+		t.Error("plain ASCII request should be text")
+	}
+	if IsTextStream([]byte{0x41, 0x00}) {
+		t.Error("NUL byte is not text")
+	}
+	if !IsTextStream(nil) {
+		t.Error("empty stream is vacuously text")
+	}
+}
+
+func TestIsAlphanumeric(t *testing.T) {
+	for _, b := range []byte("azAZ09") {
+		if !IsAlphanumeric(b) {
+			t.Errorf("%c should be alphanumeric", b)
+		}
+	}
+	for _, b := range []byte(" /@[`{") {
+		if IsAlphanumeric(b) {
+			t.Errorf("%c should not be alphanumeric", b)
+		}
+	}
+}
+
+func TestIOChars(t *testing.T) {
+	want := map[byte]x86.Op{'l': x86.OpINS, 'm': x86.OpINS, 'n': x86.OpOUTS, 'o': x86.OpOUTS}
+	for b, op := range want {
+		if !IsIOChar(b) {
+			t.Errorf("%c should be an IO char", b)
+		}
+		inst, err := x86.Decode([]byte{b}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.Op != op || !inst.Flags.Has(x86.FlagIO) {
+			t.Errorf("%c decodes to %v (flags %v)", b, inst.Op, inst.Flags)
+		}
+	}
+	if IsIOChar('k') || IsIOChar('p') {
+		t.Error("k and p are not IO chars")
+	}
+}
+
+func TestPrefixCharsMatchDecoder(t *testing.T) {
+	// Every byte we call a prefix must be consumed as one by the decoder,
+	// and no other text byte may be.
+	tail := []byte{0x90, 0x41, 0x41, 0x41, 0x41, 0x41, 0x41, 0x41, 0x41}
+	for b := byte(TextMin); b <= TextMax; b++ {
+		inst, err := x86.Decode(append([]byte{b}, tail...), 0)
+		if err != nil {
+			t.Fatalf("decode %#x: %v", b, err)
+		}
+		isPrefix := inst.Prefixes.Count == 1
+		if isPrefix != IsPrefixChar(b) {
+			t.Errorf("byte %#x (%c): decoder prefix=%v, IsPrefixChar=%v",
+				b, b, isPrefix, IsPrefixChar(b))
+		}
+	}
+	if len(PrefixChars) != 8 {
+		t.Errorf("prefix char count = %d, want 8", len(PrefixChars))
+	}
+}
+
+func TestSegOverrideChars(t *testing.T) {
+	for b, seg := range SegOverrideChars {
+		inst, err := x86.Decode([]byte{b, 0x8B, 0x01}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.Prefixes.Seg != seg {
+			t.Errorf("prefix %#x: decoder says %v, map says %v", b, inst.Prefixes.Seg, seg)
+		}
+	}
+}
+
+func TestWrongSegDefault(t *testing.T) {
+	if !WrongSegDefault[x86.SegCS] || !WrongSegDefault[x86.SegGS] {
+		t.Error("CS and GS should be wrong segments")
+	}
+	if WrongSegDefault[x86.SegDS] || WrongSegDefault[x86.SegSS] {
+		t.Error("DS and SS are the flat defaults, not wrong")
+	}
+}
+
+func TestRoleOf(t *testing.T) {
+	cases := []struct {
+		b    byte
+		want OpcodeRole
+	}{
+		{'-', RoleALU},  // sub eax, imm
+		{'1', RoleALU},  // xor
+		{'P', RoleALU},  // push eax
+		{'X', RoleALU},  // pop eax
+		{'h', RoleALU},  // push imm32
+		{'p', RoleJump}, // jo
+		{'~', RoleJump}, // jng
+		{'l', RoleIO},
+		{'o', RoleIO},
+		{'\'', RoleALU}, // 0x27 is daa... no: 0x27 is RoleMisc
+	}
+	// Fix the last case properly below; table-driven with corrections:
+	cases[len(cases)-1] = struct {
+		b    byte
+		want OpcodeRole
+	}{0x27, RoleMisc}
+	for _, c := range cases {
+		got, ok := RoleOf(c.b)
+		if !ok || got != c.want {
+			t.Errorf("RoleOf(%#x) = %v,%v want %v", c.b, got, ok, c.want)
+		}
+	}
+	for _, b := range PrefixChars {
+		if got, ok := RoleOf(b); !ok || got != RolePrefix {
+			t.Errorf("RoleOf(prefix %#x) = %v,%v", b, got, ok)
+		}
+	}
+	if _, ok := RoleOf(0x1F); ok {
+		t.Error("non-text byte should have no role")
+	}
+	for _, b := range []byte{0x2F, 0x37, 0x3F, 0x62, 0x63} {
+		if got, _ := RoleOf(b); got != RoleMisc {
+			t.Errorf("RoleOf(%#x) = %v, want misc", b, got)
+		}
+	}
+}
+
+func TestEveryTextByteHasRole(t *testing.T) {
+	for b := byte(TextMin); b <= TextMax; b++ {
+		if _, ok := RoleOf(b); !ok {
+			t.Errorf("text byte %#x has no role", b)
+		}
+	}
+}
+
+func TestTextOpcodesListMatchesPaper(t *testing.T) {
+	ops := TextOpcodes()
+	// The paper's Section 2.1 list: sub, xor, and, inc, imul, cmp, dec,
+	// push, pop, popa, jumps, I/O, aaa, daa, das, bound, arpl.
+	wantPresent := []x86.Op{
+		x86.OpSUB, x86.OpXOR, x86.OpAND, x86.OpINC, x86.OpDEC, x86.OpIMUL,
+		x86.OpCMP, x86.OpPUSH, x86.OpPOP, x86.OpPOPA, x86.OpJcc,
+		x86.OpINS, x86.OpOUTS, x86.OpAAA, x86.OpDAA, x86.OpDAS,
+		x86.OpBOUND, x86.OpARPL,
+	}
+	present := make(map[x86.Op]bool, len(ops))
+	for _, op := range ops {
+		present[op] = true
+	}
+	for _, op := range wantPresent {
+		if !present[op] {
+			t.Errorf("text opcode set missing %v", op)
+		}
+	}
+	// Ops that require non-text opcodes must be absent: system calls,
+	// unconditional jmp, call, mov, int.
+	for _, op := range []x86.Op{x86.OpINT, x86.OpCALL, x86.OpMOV, x86.OpJMP, x86.OpRET} {
+		if present[op] {
+			t.Errorf("text opcode set should not contain %v", op)
+		}
+	}
+	// Prefixes excluded, so 95 - 8 = 87 entries.
+	if len(ops) != 87 {
+		t.Errorf("text opcode count = %d, want 87", len(ops))
+	}
+}
+
+func TestTercileOf(t *testing.T) {
+	cases := []struct {
+		b    byte
+		want Tercile
+	}{
+		{0x20, TercileLow}, {0x3F, TercileLow},
+		{0x40, TercileMid}, {0x5F, TercileMid},
+		{0x60, TercileHigh}, {0x7E, TercileHigh},
+		{0x1F, TercileNone}, {0x7F, TercileNone}, {0xFF, TercileNone},
+	}
+	for _, c := range cases {
+		if got := TercileOf(c.b); got != c.want {
+			t.Errorf("TercileOf(%#x) = %v, want %v", c.b, got, c.want)
+		}
+	}
+}
+
+// TestFigure4SameTercile verifies the paper's central Figure 4 claim.
+func TestFigure4SameTercile(t *testing.T) {
+	a, b, ok := SameTercileXorAlwaysControl()
+	if !ok {
+		t.Fatalf("counter-example: %#x ^ %#x = %#x is text", a, b, a^b)
+	}
+}
+
+func TestXorPartitionTable(t *testing.T) {
+	table := XorPartitionTable()
+	// Diagonal cells must be entirely non-text (Figure 4's "+" cells map
+	// to the non-text region).
+	for i := 0; i < 3; i++ {
+		if table[i][i].Text != 0 {
+			t.Errorf("diagonal cell %d has %d text results", i, table[i][i].Text)
+		}
+	}
+	// Off-diagonal cells contain text results (low^mid can be text, etc.).
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i != j && table[i][j].Text == 0 {
+				t.Errorf("cell (%d,%d) has no text results; cross-tercile xor should produce text", i, j)
+			}
+		}
+	}
+	// Totals cover all 95*95 pairs.
+	total := 0
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			total += table[i][j].Text + table[i][j].NonText
+		}
+	}
+	if total != TextSize*TextSize {
+		t.Errorf("table covers %d pairs, want %d", total, TextSize*TextSize)
+	}
+	// Symmetry: xor is commutative.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if table[i][j] != table[j][i] {
+				t.Errorf("table not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// TestNoUniversalXorKey proves the paper's claim that no single XOR key
+// maps all text to text.
+func TestNoUniversalXorKey(t *testing.T) {
+	if keys := FindUniversalXorKeys(); len(keys) != 0 {
+		t.Fatalf("found universal keys % x; the paper (and arithmetic) say none exist", keys)
+	}
+}
+
+func TestXorKeyCoverage(t *testing.T) {
+	cov := XorKeyCoverage()
+	if cov[0] != 1.0 {
+		t.Errorf("key 0 coverage = %v, want 1 (identity)", cov[0])
+	}
+	// Key 0 maps text to itself, but a *useful* decrypter key must be
+	// non-zero; verify all non-zero keys fall short.
+	for k := 1; k < 256; k++ {
+		if cov[k] >= 1.0 {
+			t.Errorf("non-zero key %#x has full coverage", k)
+		}
+	}
+}
+
+func TestBestXorKey(t *testing.T) {
+	key, cov := BestXorKey()
+	if key != 0 || cov != 1.0 {
+		t.Errorf("best key = %#x cov=%v, want identity key 0", key, cov)
+	}
+}
+
+func TestXorStaysTextProperty(t *testing.T) {
+	f := func(a, b byte) bool {
+		// Consistency with direct computation.
+		return XorStaysText(a, b) == IsText(a^b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

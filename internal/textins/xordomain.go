@@ -1,0 +1,128 @@
+package textins
+
+// This file reproduces the Figure 4 analysis: the XOR-closure structure
+// of the text domain. The 95-byte text domain splits into three nearly
+// equal terciles (0x20–0x3F, 0x40–0x5F, 0x60–0x7E); XOR-ing two bytes
+// from the SAME tercile lands in the non-text control range 0x00–0x1F,
+// which is why no constant XOR key can decrypt text to text.
+
+// Tercile identifies one of the three text-domain partitions of Figure 4.
+type Tercile int
+
+// Text-domain terciles. TercileNone marks a byte outside the text domain.
+const (
+	TercileNone Tercile = iota
+	TercileLow          // 0x20–0x3F: punctuation and digits
+	TercileMid          // 0x40–0x5F: upper-case letters
+	TercileHigh         // 0x60–0x7E: lower-case letters
+)
+
+// TercileOf returns the partition of b, or TercileNone if b is not text.
+func TercileOf(b byte) Tercile {
+	switch {
+	case b >= 0x20 && b <= 0x3F:
+		return TercileLow
+	case b >= 0x40 && b <= 0x5F:
+		return TercileMid
+	case b >= 0x60 && b <= 0x7E:
+		return TercileHigh
+	default:
+		return TercileNone
+	}
+}
+
+// XorStaysText reports whether a XOR b is still a text byte.
+func XorStaysText(a, b byte) bool { return IsText(a ^ b) }
+
+// XorPartitionCell summarizes where XOR-ing bytes from two terciles lands.
+type XorPartitionCell struct {
+	// Text counts pairs whose XOR is text; NonText counts the rest.
+	Text, NonText int
+}
+
+// XorPartitionTable computes the 3×3 Figure-4 table: for every ordered
+// tercile pair (i, j), how many byte pairs (a ∈ i, b ∈ j) XOR to a text
+// byte versus a non-text byte. The diagonal is all-non-text.
+func XorPartitionTable() [3][3]XorPartitionCell {
+	var table [3][3]XorPartitionCell
+	for a := byte(TextMin); a <= TextMax; a++ {
+		for b := byte(TextMin); b <= TextMax; b++ {
+			i := int(TercileOf(a)) - 1
+			j := int(TercileOf(b)) - 1
+			if XorStaysText(a, b) {
+				table[i][j].Text++
+			} else {
+				table[i][j].NonText++
+			}
+		}
+	}
+	return table
+}
+
+// SameTercileXorAlwaysControl verifies the paper's claim directly: for
+// every pair within the same tercile, a XOR b lies in 0x00–0x1F. It
+// returns the first counter-example, or ok=true if the claim holds.
+func SameTercileXorAlwaysControl() (a, b byte, ok bool) {
+	for x := byte(TextMin); x <= TextMax; x++ {
+		for y := byte(TextMin); y <= TextMax; y++ {
+			if TercileOf(x) != TercileOf(y) {
+				continue
+			}
+			if v := x ^ y; v > 0x1F {
+				return x, y, false
+			}
+		}
+	}
+	return 0, 0, true
+}
+
+// FindUniversalXorKeys returns every non-trivial key k (k != 0, since
+// XOR with zero performs no decryption) such that k XOR t is text for ALL
+// text bytes t — the keys a single-key text-to-text XOR decrypter would
+// need. The paper argues the set is empty; this enumerates all 255
+// candidates and proves it.
+func FindUniversalXorKeys() []byte {
+	var keys []byte
+	for k := 1; k < 256; k++ {
+		all := true
+		for t := byte(TextMin); t <= TextMax; t++ {
+			if !IsText(byte(k) ^ t) {
+				all = false
+				break
+			}
+		}
+		if all {
+			keys = append(keys, byte(k))
+		}
+	}
+	return keys
+}
+
+// XorKeyCoverage returns, for each candidate key, the fraction of text
+// bytes t for which key XOR t remains text. Useful for quantifying how
+// far any key falls short of universality.
+func XorKeyCoverage() [256]float64 {
+	var cov [256]float64
+	for k := 0; k < 256; k++ {
+		hits := 0
+		for t := byte(TextMin); t <= TextMax; t++ {
+			if IsText(byte(k) ^ t) {
+				hits++
+			}
+		}
+		cov[k] = float64(hits) / float64(TextSize)
+	}
+	return cov
+}
+
+// BestXorKey returns the key with maximal coverage and that coverage.
+func BestXorKey() (byte, float64) {
+	cov := XorKeyCoverage()
+	best, bestCov := 0, 0.0
+	for k, c := range cov {
+		if c > bestCov {
+			best, bestCov = k, c
+		}
+	}
+	return byte(best), bestCov
+}

@@ -1,0 +1,237 @@
+// Package victim simulates the vulnerable network service of Section
+// 5.1: a request handler that strcpy's attacker-controlled input into a
+// fixed-size stack buffer, smashing the saved return address. Feeding it
+// an exploit makes the whole kill chain concrete — overflow → control
+// hijack → text decrypter execution → execve — with the same
+// observability the paper used ("observing the spawning of the shell").
+//
+// The service models the paper's era: a 32-bit flat process, no stack
+// protector, no ASLR (the buffer's stack address is fixed and known to
+// the attacker), and an optional ASCII input filter — the defense the
+// paper shows to be insufficient.
+package victim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/emu"
+	"repro/internal/x86"
+)
+
+// Service layout constants.
+const (
+	// stackBase is the base of the service's stack window.
+	stackBase = emu.DefaultBase
+	// stackSize is the mapped stack window size.
+	stackSize = 1 << 16
+	// cleanExitAddr is the legitimate return address: it points at a
+	// stub that exits the process cleanly (request handled, no crash).
+	cleanExitOffset = 0x100
+)
+
+// Service is a stack-smashable request handler.
+type Service struct {
+	// BufSize is the fixed buffer size the handler copies requests into.
+	BufSize int
+	// ASCIIFilter rejects requests containing non-text bytes before the
+	// copy — the defense the paper's introduction dismantles.
+	ASCIIFilter bool
+	// MaxSteps bounds post-hijack execution.
+	MaxSteps int
+	// StackBase relocates the stack window (default emu.DefaultBase, the
+	// classic 0xBFFFxxxx Linux stack). A text-valued base models targets
+	// whose attackable buffer lives at a keyboard-enterable address.
+	StackBase uint32
+	// BufOffset positions the buffer within the window (default: the
+	// middle of the window).
+	BufOffset uint32
+}
+
+// NewService returns a service with the classic 512-byte buffer on a
+// classic high stack address (whose bytes are NOT text — a naive smash
+// cannot pass an ASCII filter).
+func NewService() *Service {
+	return &Service{
+		BufSize:   512,
+		MaxSteps:  1 << 20,
+		StackBase: stackBase,
+		BufOffset: stackSize / 2,
+	}
+}
+
+// NewTextAddressService returns a service whose hijack target address is
+// itself pure text (0x5E5E4040, "@@^^" little-endian): against such a
+// target the ENTIRE exploit — padding, overwritten return address, and
+// worm — is keyboard-enterable, and the ASCII filter is provably
+// insufficient, the paper's central claim in its sharpest form.
+func NewTextAddressService() *Service {
+	s := NewService()
+	s.StackBase = 0x5E5E0000
+	// Choose the buffer position so retSlot+4 == 0x5E5E4040.
+	s.BufOffset = 0x4040 - 8 - uint32(s.BufSize)
+	return s
+}
+
+// Result describes how the service handled one request.
+type Result struct {
+	// Outcome distinguishes the interesting endings.
+	Outcome Outcome
+	// Detail carries the fault description for crashes.
+	Detail string
+	// Execution is the raw emulator outcome (nil when the filter
+	// rejected the request or no overflow occurred).
+	Execution *emu.Outcome
+}
+
+// Outcome classifies request handling.
+type Outcome int
+
+// Outcomes.
+const (
+	// OutcomeHandled: the request fit the buffer (or overflowed without
+	// changing the return address) and the handler returned normally.
+	OutcomeHandled Outcome = iota + 1
+	// OutcomeRejected: the ASCII filter refused the request.
+	OutcomeRejected
+	// OutcomeCrashed: the process died on a fault after the overflow.
+	OutcomeCrashed
+	// OutcomeShell: the smashed return address led to execve("/bin/sh").
+	OutcomeShell
+)
+
+var outcomeNames = map[Outcome]string{
+	OutcomeHandled:  "handled",
+	OutcomeRejected: "rejected",
+	OutcomeCrashed:  "crashed",
+	OutcomeShell:    "shell",
+}
+
+// String names the outcome.
+func (o Outcome) String() string {
+	if s, ok := outcomeNames[o]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// BufferAddr returns the fixed stack address of the request buffer —
+// what an attacker of the era learned once and reused (no ASLR).
+func (s *Service) BufferAddr() uint32 {
+	return s.StackBase + s.BufOffset
+}
+
+// retSlotAddr is where the saved return address lives: right after the
+// buffer and the saved EBP.
+func (s *Service) retSlotAddr() uint32 {
+	return s.BufferAddr() + uint32(s.BufSize) + 4
+}
+
+// HandleRequest copies the request into the stack buffer with strcpy
+// semantics (copy stops at the first NUL; no bounds check) and then
+// "returns" through the possibly-smashed saved return address.
+func (s *Service) HandleRequest(req []byte) (Result, error) {
+	if s.BufSize <= 0 || s.BufSize > stackSize/4 {
+		return Result{}, fmt.Errorf("victim: unusable buffer size %d", s.BufSize)
+	}
+	if s.ASCIIFilter {
+		for _, b := range req {
+			if b < 0x20 || b > 0x7E {
+				return Result{Outcome: OutcomeRejected,
+					Detail: fmt.Sprintf("ASCII filter: byte %#02x", b)}, nil
+			}
+		}
+	}
+
+	mem, err := emu.NewMemory(s.StackBase, stackSize)
+	if err != nil {
+		return Result{}, err
+	}
+	cpu, err := emu.New(mem)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// The clean-exit stub the un-smashed return address points at:
+	// xor ebx,ebx; xor eax,eax; inc eax; int 0x80  (exit(0)).
+	stub := []byte{0x31, 0xDB, 0x31, 0xC0, 0x40, 0xCD, 0x80}
+	if err := mem.Load(s.StackBase+cleanExitOffset, stub); err != nil {
+		return Result{}, err
+	}
+
+	// Frame: [buffer][saved ebp][return address][caller stack...].
+	retSlot := s.retSlotAddr()
+	if !mem.Contains(retSlot, 4) {
+		return Result{}, errors.New("victim: frame outside stack window")
+	}
+	if err := mem.Load(retSlot, leU32(s.StackBase+cleanExitOffset)); err != nil {
+		return Result{}, err
+	}
+
+	// strcpy: copy up to (and not including) the first NUL, unbounded.
+	n := len(req)
+	for i, b := range req {
+		if b == 0 {
+			n = i
+			break
+		}
+	}
+	if !mem.Contains(s.BufferAddr(), n) {
+		return Result{}, errors.New("victim: request larger than the stack window")
+	}
+	if err := mem.Load(s.BufferAddr(), req[:n]); err != nil {
+		return Result{}, err
+	}
+
+	// Function epilogue: ESP at the return slot; RET pops it.
+	retTarget, ok := readU32(mem, retSlot)
+	if !ok {
+		return Result{}, errors.New("victim: return slot unreadable")
+	}
+	cpu.EIP = retTarget
+	cpu.SetReg(x86.ESP, retSlot+4)
+
+	out := cpu.Run(s.MaxSteps)
+	res := Result{Execution: &out}
+	switch {
+	case out.ShellSpawned():
+		res.Outcome = OutcomeShell
+	case out.Kind == emu.StopExit:
+		res.Outcome = OutcomeHandled
+	case out.Kind == emu.StopFault:
+		res.Outcome = OutcomeCrashed
+		res.Detail = out.Fault.Detail
+	default:
+		res.Outcome = OutcomeCrashed
+		res.Detail = out.Kind.String()
+	}
+	return res, nil
+}
+
+// ExploitRequest assembles the classic smash for this service: padding to
+// fill the buffer and saved EBP, the overwritten return address pointing
+// just past the return slot, and the worm body there — so that after RET,
+// EIP and ESP both land at the worm (the encoder's ESPDelta-0 contract).
+func (s *Service) ExploitRequest(worm []byte) []byte {
+	padLen := s.BufSize + 4 // buffer + saved ebp
+	req := make([]byte, 0, padLen+4+len(worm))
+	for i := 0; i < padLen; i++ {
+		req = append(req, 'A') // inc ecx — classic text padding
+	}
+	req = append(req, leU32(s.retSlotAddr()+4)...)
+	req = append(req, worm...)
+	return req
+}
+
+func leU32(v uint32) []byte {
+	return []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+}
+
+func readU32(m *emu.Memory, addr uint32) (uint32, bool) {
+	b := m.Bytes()
+	off := int64(addr) - int64(m.Base())
+	if off < 0 || off+4 > int64(len(b)) {
+		return 0, false
+	}
+	return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24, true
+}

@@ -1,0 +1,221 @@
+package victim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/encoder"
+	"repro/internal/shellcode"
+	"repro/internal/stats"
+	"repro/internal/textins"
+)
+
+func TestBenignRequestHandled(t *testing.T) {
+	s := NewService()
+	res, err := s.HandleRequest([]byte("GET /index.html HTTP/1.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeHandled {
+		t.Fatalf("benign request outcome %v (%s)", res.Outcome, res.Detail)
+	}
+}
+
+func TestOversizedGarbageCrashes(t *testing.T) {
+	s := NewService()
+	rng := stats.NewRNG(5)
+	req := make([]byte, s.BufSize+200)
+	for i := range req {
+		req[i] = byte(0x20 + rng.Intn(0x5F)) // text garbage, no NULs
+	}
+	res, err := s.HandleRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The return address is smashed with text bytes → jump into an
+	// unmapped text-valued address or execution of garbage → crash.
+	if res.Outcome != OutcomeCrashed {
+		t.Fatalf("garbage overflow outcome %v", res.Outcome)
+	}
+}
+
+// TestEndToEndExploit is the Section 5.1 verification in full: overflow,
+// hijacked return, text decrypter, shell.
+func TestEndToEndExploit(t *testing.T) {
+	s := NewService()
+	worm, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: 9, SledLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := s.ExploitRequest(worm.Bytes)
+	res, err := s.HandleRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeShell {
+		t.Fatalf("exploit outcome %v (%s)", res.Outcome, res.Detail)
+	}
+}
+
+// TestASCIIFilterStopsClassicSmash: against a classic high stack address
+// the overwritten return address contains non-text bytes, so the filter
+// genuinely stops the naive exploit.
+func TestASCIIFilterStopsClassicSmash(t *testing.T) {
+	s := NewService()
+	s.ASCIIFilter = true
+	worm, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: 10, SledLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := s.ExploitRequest(worm.Bytes)
+	if textins.IsTextStream(req) {
+		t.Fatal("classic-exploit request should contain binary address bytes")
+	}
+	res, err := s.HandleRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeRejected {
+		t.Fatalf("filter outcome %v", res.Outcome)
+	}
+}
+
+// TestTextAddressExploitBeatsFilter is the paper's central claim at its
+// sharpest: when the hijack target address is itself text, the ENTIRE
+// request is keyboard-enterable — the ASCII filter passes it and the
+// shell spawns anyway.
+func TestTextAddressExploitBeatsFilter(t *testing.T) {
+	s := NewTextAddressService()
+	s.ASCIIFilter = true
+	worm, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: 11, SledLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := s.ExploitRequest(worm.Bytes)
+	if !textins.IsTextStream(req) {
+		t.Fatalf("text-address exploit request must be pure text")
+	}
+	res, err := s.HandleRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeShell {
+		t.Fatalf("text exploit outcome %v (%s)", res.Outcome, res.Detail)
+	}
+}
+
+// TestMELDetectorStopsWhatTheFilterMisses closes the loop: the same
+// pure-text request that sails through the ASCII filter is flagged by
+// the MEL detector.
+func TestMELDetectorStopsWhatTheFilterMisses(t *testing.T) {
+	s := NewTextAddressService()
+	worm, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: 12, SledLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := s.ExploitRequest(worm.Bytes)
+
+	det, err := newDetector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := det.Scan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Malicious {
+		t.Fatalf("MEL detector missed the full exploit request (MEL=%d τ=%.1f)", v.MEL, v.Threshold)
+	}
+}
+
+func TestStrcpyStopsAtNUL(t *testing.T) {
+	// A NUL before the return slot truncates the copy: the clean return
+	// address survives and the request is handled normally.
+	s := NewService()
+	req := make([]byte, s.BufSize+100)
+	for i := range req {
+		req[i] = 'A'
+	}
+	req[10] = 0 // strcpy stops here
+	res, err := s.HandleRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeHandled {
+		t.Fatalf("NUL-truncated request outcome %v", res.Outcome)
+	}
+}
+
+func TestServiceValidation(t *testing.T) {
+	s := NewService()
+	s.BufSize = 0
+	if _, err := s.HandleRequest([]byte("x")); err == nil {
+		t.Error("zero buffer should fail")
+	}
+	s = NewService()
+	s.BufSize = stackSize
+	if _, err := s.HandleRequest([]byte("x")); err == nil {
+		t.Error("oversized buffer should fail")
+	}
+	s = NewService()
+	huge := make([]byte, stackSize)
+	for i := range huge {
+		huge[i] = 'A'
+	}
+	if _, err := s.HandleRequest(huge); err == nil {
+		t.Error("request exceeding the window should fail")
+	}
+}
+
+func TestOutcomeNames(t *testing.T) {
+	if OutcomeShell.String() != "shell" || OutcomeRejected.String() != "rejected" ||
+		OutcomeHandled.String() != "handled" || OutcomeCrashed.String() != "crashed" {
+		t.Error("outcome names wrong")
+	}
+	if Outcome(99).String() != "unknown" {
+		t.Error("unknown outcome name")
+	}
+}
+
+// newDetector builds the default detector without importing core at the
+// top level of the test list above.
+func newDetector() (*core.Detector, error) { return core.New() }
+
+// TestVariantWormsThroughExploitChain runs diversified payload variants
+// end to end: every one must spawn a shell via the overflow.
+func TestVariantWormsThroughExploitChain(t *testing.T) {
+	s := NewService()
+	for i, sc := range shellcode.Variants(77, 8) {
+		worm, err := encoder.Encode(sc.Code, encoder.Options{Seed: uint64(100 + i), SledLen: 16})
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		res, err := s.HandleRequest(s.ExploitRequest(worm.Bytes))
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if res.Outcome != OutcomeShell {
+			t.Fatalf("variant %d outcome %v (%s)", i, res.Outcome, res.Detail)
+		}
+	}
+}
+
+// TestSubWriteStyleThroughExploitChain exercises the leaner decrypter in
+// the same end-to-end setting.
+func TestSubWriteStyleThroughExploitChain(t *testing.T) {
+	s := NewTextAddressService()
+	s.ASCIIFilter = true
+	worm, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{
+		Seed: 55, SledLen: 16, Style: encoder.StyleSubWrite,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.HandleRequest(s.ExploitRequest(worm.Bytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeShell {
+		t.Fatalf("sub-write exploit outcome %v (%s)", res.Outcome, res.Detail)
+	}
+}

@@ -1,0 +1,426 @@
+package x86
+
+// Decode decodes one instruction from code starting at offset, in 32-bit
+// protected mode. Undefined opcodes decode successfully with
+// FlagUndefined set (they occupy bytes and raise #UD at runtime, which is
+// exactly what MEL analysis needs); only a stream that ends mid-
+// instruction or an instruction exceeding the 15-byte architectural limit
+// returns an error.
+func Decode(code []byte, offset int) (Inst, error) {
+	var inst Inst
+	inst.Op = OpInvalid
+	inst.Offset = offset
+	inst.MemBase = RegNone
+	inst.MemIndex = RegNone
+	inst.MemScale = 1
+
+	pos := offset
+	limit := offset + MaxInstLen
+	if limit > len(code) {
+		limit = len(code)
+	}
+
+	// Prefix loop.
+prefixes:
+	for {
+		if pos >= len(code) {
+			return inst, ErrTruncated
+		}
+		if pos-offset >= MaxInstLen {
+			return inst, ErrTooManyPrefixes
+		}
+		b := code[pos]
+		switch b {
+		case 0x26:
+			inst.Prefixes.Seg = SegES
+		case 0x2E:
+			inst.Prefixes.Seg = SegCS
+		case 0x36:
+			inst.Prefixes.Seg = SegSS
+		case 0x3E:
+			inst.Prefixes.Seg = SegDS
+		case 0x64:
+			inst.Prefixes.Seg = SegFS
+		case 0x65:
+			inst.Prefixes.Seg = SegGS
+		case 0x66:
+			inst.Prefixes.OpSize = true
+		case 0x67:
+			inst.Prefixes.AddrSize = true
+		case 0xF0:
+			inst.Prefixes.Lock = true
+		case 0xF2:
+			inst.Prefixes.RepNE = true
+		case 0xF3:
+			inst.Prefixes.Rep = true
+		default:
+			break prefixes
+		}
+		inst.Prefixes.Count++
+		pos++
+	}
+
+	// Opcode fetch (possibly two-byte).
+	opcode := code[pos]
+	pos++
+	e := oneByte[opcode]
+	if e.enc == encEscape {
+		if pos >= len(code) {
+			return inst, ErrTruncated
+		}
+		opcode = code[pos]
+		pos++
+		e = twoByte[opcode]
+		inst.TwoByte = true
+		// 0F 38 / 0F 3A escape further into the three-byte maps.
+		if e.enc == encEscape38 || e.enc == encEscape3A {
+			if pos >= len(code) {
+				return inst, ErrTruncated
+			}
+			table := &threeByte38
+			if e.enc == encEscape3A {
+				table = &threeByte3A
+			}
+			opcode = code[pos]
+			pos++
+			e = table[opcode]
+			inst.ThreeByte = true
+		}
+	}
+	inst.Opcode = opcode
+	inst.Op = e.op
+	inst.Flags = e.flags
+
+	// Condition code for the cc families.
+	switch {
+	case !inst.TwoByte && opcode >= 0x70 && opcode <= 0x7F:
+		inst.Cond = opcode & 0x0F
+	case inst.TwoByte && opcode >= 0x40 && opcode <= 0x9F:
+		inst.Cond = opcode & 0x0F
+	}
+
+	operandSize := 4
+	if inst.Prefixes.OpSize {
+		operandSize = 2
+	}
+
+	// Immediate widths derived from the encoding.
+	immSize, imm2Size := 0, 0
+	needModRM := false
+	switch e.enc {
+	case encNone:
+	case encModRM:
+		needModRM = true
+	case encModRMIb:
+		needModRM = true
+		immSize = 1
+	case encModRMIz:
+		needModRM = true
+		immSize = operandSize
+	case encIb, encRel8:
+		immSize = 1
+	case encIz, encRelZ:
+		immSize = operandSize
+	case encIw:
+		immSize = 2
+	case encIwIb:
+		immSize = 2
+		imm2Size = 1
+	case encFarPtr:
+		immSize = operandSize + 2
+	case encMoffs:
+		if inst.Prefixes.AddrSize {
+			immSize = 2
+		} else {
+			immSize = 4
+		}
+	case encGrp3:
+		needModRM = true // immediate resolved after ModRM (TEST forms only)
+	case encPrefix:
+		// A prefix byte with nothing after it, or a dangling chain that
+		// the prefix loop exited on; cannot happen because the loop only
+		// exits on non-prefix bytes.
+	}
+
+	mem := e.mem
+
+	if needModRM {
+		if err := decodeModRM(code, &pos, limit, &inst); err != nil {
+			return inst, err
+		}
+
+		// Group opcodes: ModRM.reg selects the operation.
+		var g *[8]groupOp
+		switch {
+		case !inst.TwoByte && opcode >= 0x80 && opcode <= 0x83:
+			g = &grp1
+		case !inst.TwoByte && (opcode == 0xC0 || opcode == 0xC1 || (opcode >= 0xD0 && opcode <= 0xD3)):
+			g = &grp2
+		case !inst.TwoByte && (opcode == 0xF6 || opcode == 0xF7):
+			g = &grp3
+		case !inst.TwoByte && opcode == 0xFE:
+			g = &grp4
+		case !inst.TwoByte && opcode == 0xFF:
+			g = &grp5
+		case inst.TwoByte && opcode == 0xBA:
+			g = &grp8
+		}
+		if g != nil {
+			sel := g[inst.RegField]
+			inst.Op = sel.op
+			inst.Flags |= sel.flags
+			mem = sel.mem
+			if e.enc == encGrp3 && inst.RegField <= 1 {
+				// TEST Eb/Ev, imm.
+				if opcode == 0xF6 {
+					immSize = 1
+				} else {
+					immSize = operandSize
+				}
+			}
+		}
+
+		// Register-form restrictions: BOUND, LES/LDS/LSS/LFS/LGS, LEA and
+		// CMPXCHG8B require memory operands; the register form is #UD.
+		if inst.Mod == 3 {
+			switch inst.Op {
+			case OpBOUND, OpLES, OpLDS, OpLSS, OpLFS, OpLGS, OpLEA, OpCMPXCHG8B:
+				inst.Flags |= FlagUndefined
+			}
+		}
+		// POP Ev (0x8F) requires reg field 0; other slots are #UD.
+		if !inst.TwoByte && opcode == 0x8F && inst.RegField != 0 {
+			inst.Flags |= FlagUndefined
+		}
+	}
+
+	// Immediates.
+	if immSize > 0 {
+		v, err := readImm(code, &pos, limit, immSize)
+		if err != nil {
+			return inst, err
+		}
+		inst.Imm = v
+		inst.ImmSize = immSize
+	}
+	if imm2Size > 0 {
+		v, err := readImm(code, &pos, limit, imm2Size)
+		if err != nil {
+			return inst, err
+		}
+		inst.Imm2 = v
+	}
+
+	inst.Len = pos - offset
+	if inst.Len > MaxInstLen {
+		return inst, ErrTooManyPrefixes
+	}
+
+	// Memory semantics. A ModRM with mod=3 is a register operand and has
+	// no memory access regardless of the table's direction.
+	if mem != memNone {
+		explicitMem := inst.HasModRM && inst.Mod != 3
+		implicitMem := !inst.HasModRM &&
+			(e.enc == encMoffs || inst.Op == OpXLAT || inst.Flags.Has(FlagString))
+		if explicitMem || implicitMem {
+			inst.MemAccess = true
+			inst.MemRead = mem == memRead || mem == memRW
+			inst.MemWrite = mem == memWrite || mem == memRW
+			if e.enc == encMoffs {
+				inst.MemDispOnly = true
+				inst.Disp = int32(inst.Imm)
+				inst.DispSize = inst.ImmSize
+				inst.Imm = 0
+				inst.ImmSize = 0
+			}
+			if inst.Op == OpXLAT {
+				inst.MemBase = EBX
+			}
+			if inst.Flags.Has(FlagString) {
+				// String ops address through ESI and/or EDI; record ESI as
+				// base for reads and EDI for writes (MOVS uses both; EDI
+				// recorded as index so both registers surface).
+				if inst.MemRead {
+					inst.MemBase = ESI
+				}
+				if inst.MemWrite {
+					if inst.MemBase == RegNone {
+						inst.MemBase = EDI
+					} else {
+						inst.MemIndex = EDI
+					}
+				}
+			}
+		}
+	}
+
+	// Relative branch targets.
+	if e.enc == encRel8 || e.enc == encRelZ {
+		disp := inst.Imm
+		if e.enc == encRelZ && operandSize == 2 {
+			disp = int64(int16(disp))
+		}
+		inst.RelTarget = offset + inst.Len + int(disp)
+		inst.HasRelTarget = true
+		inst.Disp = int32(disp)
+		inst.DispSize = inst.ImmSize
+		inst.Imm = 0
+		inst.ImmSize = 0
+	}
+
+	return inst, nil
+}
+
+// decodeModRM consumes the ModRM byte and any SIB/displacement it implies,
+// filling the instruction's addressing fields.
+func decodeModRM(code []byte, pos *int, limit int, inst *Inst) error {
+	if *pos >= len(code) || *pos >= limit {
+		return ErrTruncated
+	}
+	m := code[*pos]
+	*pos++
+	inst.HasModRM = true
+	inst.ModRM = m
+	inst.Mod = m >> 6
+	inst.RegField = (m >> 3) & 7
+	inst.RM = m & 7
+
+	if inst.Mod == 3 {
+		return nil // register operand, no memory form
+	}
+
+	if inst.Prefixes.AddrSize {
+		return decodeModRM16(code, pos, limit, inst)
+	}
+
+	dispSize := 0
+	switch inst.Mod {
+	case 0:
+		switch inst.RM {
+		case 4:
+			// SIB follows.
+		case 5:
+			dispSize = 4
+			inst.MemDispOnly = true
+		default:
+			inst.MemBase = Reg(inst.RM)
+		}
+	case 1:
+		dispSize = 1
+		if inst.RM != 4 {
+			inst.MemBase = Reg(inst.RM)
+		}
+	case 2:
+		dispSize = 4
+		if inst.RM != 4 {
+			inst.MemBase = Reg(inst.RM)
+		}
+	}
+
+	if inst.RM == 4 {
+		if *pos >= len(code) || *pos >= limit {
+			return ErrTruncated
+		}
+		sib := code[*pos]
+		*pos++
+		inst.HasSIB = true
+		inst.SIB = sib
+		scale := sib >> 6
+		index := (sib >> 3) & 7
+		base := sib & 7
+		if index != 4 { // ESP cannot be an index
+			inst.MemIndex = Reg(index)
+			inst.MemScale = 1 << scale
+		}
+		if base == 5 && inst.Mod == 0 {
+			dispSize = 4
+			if inst.MemIndex == RegNone {
+				inst.MemDispOnly = true
+			}
+		} else {
+			inst.MemBase = Reg(base)
+		}
+	}
+
+	if dispSize > 0 {
+		v, err := readImm(code, pos, limit, dispSize)
+		if err != nil {
+			return err
+		}
+		inst.Disp = int32(v)
+		inst.DispSize = dispSize
+	}
+	return nil
+}
+
+// mod16Base and mod16Index give the 16-bit addressing register pairs in
+// rm-field order: [bx+si],[bx+di],[bp+si],[bp+di],[si],[di],[bp],[bx].
+var (
+	mod16Base  = [8]Reg{EBX, EBX, EBP, EBP, ESI, EDI, EBP, EBX}
+	mod16Index = [8]Reg{ESI, EDI, ESI, EDI, RegNone, RegNone, RegNone, RegNone}
+)
+
+// decodeModRM16 handles the 16-bit addressing forms selected by the 0x67
+// prefix.
+func decodeModRM16(code []byte, pos *int, limit int, inst *Inst) error {
+	dispSize := 0
+	switch inst.Mod {
+	case 0:
+		if inst.RM == 6 {
+			dispSize = 2
+			inst.MemDispOnly = true
+		} else {
+			inst.MemBase = mod16Base[inst.RM]
+			inst.MemIndex = mod16Index[inst.RM]
+		}
+	case 1:
+		dispSize = 1
+		inst.MemBase = mod16Base[inst.RM]
+		inst.MemIndex = mod16Index[inst.RM]
+	case 2:
+		dispSize = 2
+		inst.MemBase = mod16Base[inst.RM]
+		inst.MemIndex = mod16Index[inst.RM]
+	}
+	if dispSize > 0 {
+		v, err := readImm(code, pos, limit, dispSize)
+		if err != nil {
+			return err
+		}
+		inst.Disp = int32(v)
+		inst.DispSize = dispSize
+	}
+	return nil
+}
+
+// readImm reads a little-endian immediate of size bytes, sign-extended.
+func readImm(code []byte, pos *int, limit, size int) (int64, error) {
+	if *pos+size > len(code) || *pos+size > limit {
+		return 0, ErrTruncated
+	}
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(code[*pos+i]) << (8 * uint(i))
+	}
+	*pos += size
+	// Sign-extend from the top bit of the immediate.
+	shift := 64 - 8*uint(size)
+	out := int64(v<<shift) >> shift
+	return out, nil
+}
+
+// DecodeAll decodes the stream linearly from offset 0, resynchronizing
+// after each instruction at its end (standard linear-sweep disassembly).
+// Truncated trailing bytes are dropped.
+func DecodeAll(code []byte) []Inst {
+	insts := make([]Inst, 0, len(code)/3)
+	for pos := 0; pos < len(code); {
+		inst, err := Decode(code, pos)
+		if err != nil {
+			break
+		}
+		insts = append(insts, inst)
+		pos += inst.Len
+	}
+	return insts
+}

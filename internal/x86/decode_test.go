@@ -1,0 +1,652 @@
+package x86
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// dec is a test helper that decodes at offset 0 and fails the test on error.
+func dec(t *testing.T, code ...byte) Inst {
+	t.Helper()
+	inst, err := Decode(code, 0)
+	if err != nil {
+		t.Fatalf("Decode(% x): %v", code, err)
+	}
+	return inst
+}
+
+func TestXorRegReg(t *testing.T) {
+	i := dec(t, 0x31, 0xC0) // xor eax, eax
+	if i.Op != OpXOR || i.Len != 2 {
+		t.Errorf("got op=%v len=%d", i.Op, i.Len)
+	}
+	if i.MemAccess {
+		t.Error("register form must not access memory")
+	}
+	if i.Mod != 3 || i.RegField != 0 || i.RM != 0 {
+		t.Errorf("modrm fields: mod=%d reg=%d rm=%d", i.Mod, i.RegField, i.RM)
+	}
+}
+
+func TestSubMemReg(t *testing.T) {
+	// sub [ecx+0x41], eax — the text decrypter's workhorse.
+	i := dec(t, 0x29, 0x41, 0x41)
+	if i.Op != OpSUB || i.Len != 3 {
+		t.Fatalf("got op=%v len=%d", i.Op, i.Len)
+	}
+	if !i.MemAccess || !i.MemWrite || !i.MemRead {
+		t.Errorf("mem flags: access=%v write=%v read=%v", i.MemAccess, i.MemWrite, i.MemRead)
+	}
+	if i.MemBase != ECX || i.MemIndex != RegNone || i.Disp != 0x41 || i.DispSize != 1 {
+		t.Errorf("addr: base=%v index=%v disp=%#x size=%d", i.MemBase, i.MemIndex, i.Disp, i.DispSize)
+	}
+}
+
+func TestPushImm32(t *testing.T) {
+	i := dec(t, 0x68, 0x41, 0x42, 0x43, 0x44)
+	if i.Op != OpPUSH || i.Len != 5 {
+		t.Fatalf("got op=%v len=%d", i.Op, i.Len)
+	}
+	if i.Imm != 0x44434241 || i.ImmSize != 4 {
+		t.Errorf("imm=%#x size=%d", i.Imm, i.ImmSize)
+	}
+	if !i.Flags.Has(FlagStack) {
+		t.Error("push must be a stack op")
+	}
+}
+
+func TestPushImm16WithOpSize(t *testing.T) {
+	i := dec(t, 0x66, 0x68, 0x41, 0x42)
+	if i.Len != 4 || i.ImmSize != 2 || i.Imm != 0x4241 {
+		t.Errorf("len=%d imm=%#x size=%d", i.Len, i.Imm, i.ImmSize)
+	}
+	if !i.Prefixes.OpSize || i.Prefixes.Count != 1 {
+		t.Errorf("prefixes: %+v", i.Prefixes)
+	}
+}
+
+func TestCallRel32(t *testing.T) {
+	i := dec(t, 0xE8, 0x01, 0x00, 0x00, 0x00)
+	if i.Op != OpCALL || i.Len != 5 {
+		t.Fatalf("op=%v len=%d", i.Op, i.Len)
+	}
+	if !i.HasRelTarget || i.RelTarget != 6 {
+		t.Errorf("target=%d has=%v", i.RelTarget, i.HasRelTarget)
+	}
+	if !i.Flags.Has(FlagCall) {
+		t.Error("missing call flag")
+	}
+}
+
+func TestJmpBackward(t *testing.T) {
+	i := dec(t, 0xEB, 0xFE) // jmp $-0 (infinite loop to itself)
+	if i.RelTarget != 0 {
+		t.Errorf("target=%d, want 0", i.RelTarget)
+	}
+	if !i.Flags.Has(FlagUncondJump) {
+		t.Error("missing jump flag")
+	}
+}
+
+func TestJccShortAndLong(t *testing.T) {
+	i := dec(t, 0x74, 0x10) // je +0x10
+	if i.Op != OpJcc || i.Cond != 4 || i.Mnemonic() != "je" {
+		t.Errorf("op=%v cond=%d mnemonic=%s", i.Op, i.Cond, i.Mnemonic())
+	}
+	if i.RelTarget != 0x12 {
+		t.Errorf("target=%d, want 0x12", i.RelTarget)
+	}
+	if !i.Flags.Has(FlagCondBranch) {
+		t.Error("missing cond-branch flag")
+	}
+
+	long := dec(t, 0x0F, 0x85, 0x00, 0x01, 0x00, 0x00) // jne rel32
+	if long.Op != OpJcc || long.Mnemonic() != "jne" || long.Len != 6 {
+		t.Errorf("long jcc: op=%v mnemonic=%s len=%d", long.Op, long.Mnemonic(), long.Len)
+	}
+	if long.RelTarget != 6+0x100 {
+		t.Errorf("long target=%d", long.RelTarget)
+	}
+}
+
+func TestAllTextJccAreCondBranches(t *testing.T) {
+	// The paper: "jump opcodes (jo through jng)" — 0x70..0x7E are text.
+	for b := byte(0x70); b <= 0x7E; b++ {
+		i := dec(t, b, 0x20)
+		if i.Op != OpJcc || !i.Flags.Has(FlagCondBranch) {
+			t.Errorf("opcode %#x: op=%v flags=%v", b, i.Op, i.Flags)
+		}
+	}
+}
+
+func TestLEAHasNoMemAccess(t *testing.T) {
+	i := dec(t, 0x8D, 0x04, 0x8D, 0x00, 0x00, 0x00, 0x00) // lea eax,[ecx*4]
+	if i.Op != OpLEA || i.Len != 7 {
+		t.Fatalf("op=%v len=%d", i.Op, i.Len)
+	}
+	if i.MemAccess {
+		t.Error("lea must not access memory")
+	}
+	if !i.HasSIB || i.MemIndex != ECX || i.MemScale != 4 {
+		t.Errorf("sib: has=%v index=%v scale=%d", i.HasSIB, i.MemIndex, i.MemScale)
+	}
+}
+
+func TestMoffsLoad(t *testing.T) {
+	i := dec(t, 0xA1, 0x78, 0x56, 0x34, 0x12) // mov eax, [0x12345678]
+	if i.Op != OpMOV || i.Len != 5 {
+		t.Fatalf("op=%v len=%d", i.Op, i.Len)
+	}
+	if !i.MemAccess || !i.MemRead || i.MemWrite {
+		t.Errorf("mem: %v/%v/%v", i.MemAccess, i.MemRead, i.MemWrite)
+	}
+	if !i.MemDispOnly || i.Disp != 0x12345678 {
+		t.Errorf("dispOnly=%v disp=%#x", i.MemDispOnly, i.Disp)
+	}
+}
+
+func TestMoffsStoreWithAddrSize(t *testing.T) {
+	i := dec(t, 0x67, 0xA3, 0x34, 0x12) // mov [0x1234], eax (16-bit moffs)
+	if i.Len != 4 || !i.MemWrite || !i.MemDispOnly || i.Disp != 0x1234 {
+		t.Errorf("len=%d write=%v dispOnly=%v disp=%#x", i.Len, i.MemWrite, i.MemDispOnly, i.Disp)
+	}
+}
+
+func TestIOInstructions(t *testing.T) {
+	// The characters 'l','m','n','o' — the paper's privileged I/O chars.
+	for _, c := range []struct {
+		b    byte
+		op   Op
+		name string
+	}{
+		{'l', OpINS, "insb"},
+		{'m', OpINS, "insd"},
+		{'n', OpOUTS, "outsb"},
+		{'o', OpOUTS, "outsd"},
+	} {
+		i := dec(t, c.b)
+		if i.Op != c.op || !i.Flags.Has(FlagIO) || i.Len != 1 {
+			t.Errorf("%s (%#x): op=%v flags=%v len=%d", c.name, c.b, i.Op, i.Flags, i.Len)
+		}
+	}
+	for _, b := range []byte{0xE4, 0xE6, 0xEC, 0xEE} {
+		i := dec(t, b, 0x10)
+		if !i.Flags.Has(FlagIO) {
+			t.Errorf("opcode %#x missing IO flag", b)
+		}
+	}
+}
+
+func TestPrivilegedInstructions(t *testing.T) {
+	for _, b := range []byte{0xF4, 0xFA, 0xFB} { // hlt, cli, sti
+		i := dec(t, b)
+		if !i.Flags.Has(FlagPrivileged) {
+			t.Errorf("opcode %#x missing privileged flag", b)
+		}
+	}
+}
+
+func TestInt80(t *testing.T) {
+	i := dec(t, 0xCD, 0x80)
+	if i.Op != OpINT || !i.Flags.Has(FlagInt) || i.Imm != -128 {
+		t.Errorf("op=%v flags=%v imm=%d", i.Op, i.Flags, i.Imm)
+	}
+	if byte(i.Imm) != 0x80 {
+		t.Errorf("imm byte = %#x, want 0x80", byte(i.Imm))
+	}
+}
+
+func TestGroup3(t *testing.T) {
+	// neg eax: F7 /3 — no immediate.
+	i := dec(t, 0xF7, 0xD8)
+	if i.Op != OpNEG || i.Len != 2 || i.ImmSize != 0 {
+		t.Errorf("neg: op=%v len=%d immsize=%d", i.Op, i.Len, i.ImmSize)
+	}
+	// test eax, 1: F7 /0 — imm32.
+	i = dec(t, 0xF7, 0xC0, 0x01, 0x00, 0x00, 0x00)
+	if i.Op != OpTEST || i.Len != 6 || i.Imm != 1 {
+		t.Errorf("test: op=%v len=%d imm=%d", i.Op, i.Len, i.Imm)
+	}
+	// test byte [eax], 0x7F: F6 /0 — imm8.
+	i = dec(t, 0xF6, 0x00, 0x7F)
+	if i.Op != OpTEST || i.Len != 3 {
+		t.Errorf("test byte: op=%v len=%d", i.Op, i.Len)
+	}
+}
+
+func TestGroup5(t *testing.T) {
+	i := dec(t, 0xFF, 0xE4) // jmp esp — the register-spring instruction
+	if i.Op != OpJMP || !i.Flags.Has(FlagUncondJump|FlagIndirect) {
+		t.Errorf("jmp esp: op=%v flags=%v", i.Op, i.Flags)
+	}
+	i = dec(t, 0xFF, 0xD0) // call eax
+	if i.Op != OpCALL || !i.Flags.Has(FlagCall|FlagIndirect) {
+		t.Errorf("call eax: op=%v flags=%v", i.Op, i.Flags)
+	}
+	i = dec(t, 0xFF, 0x35, 0x44, 0x33, 0x22, 0x11) // push [0x11223344]
+	if i.Op != OpPUSH || !i.MemDispOnly || i.Len != 6 {
+		t.Errorf("push mem: op=%v dispOnly=%v len=%d", i.Op, i.MemDispOnly, i.Len)
+	}
+	i = dec(t, 0xFF, 0xF8) // grp5 /7 — undefined
+	if !i.Flags.Has(FlagUndefined) {
+		t.Error("grp5 /7 should be undefined")
+	}
+}
+
+func TestRetForms(t *testing.T) {
+	i := dec(t, 0xC3)
+	if i.Op != OpRET || !i.Flags.Has(FlagRet) || i.Len != 1 {
+		t.Errorf("ret: %+v", i)
+	}
+	i = dec(t, 0xC2, 0x08, 0x00)
+	if i.Op != OpRET || i.Len != 3 || i.Imm != 8 {
+		t.Errorf("ret imm16: len=%d imm=%d", i.Len, i.Imm)
+	}
+}
+
+func TestEnter(t *testing.T) {
+	i := dec(t, 0xC8, 0x10, 0x00, 0x01)
+	if i.Op != OpENTER || i.Len != 4 || i.Imm != 0x10 || i.Imm2 != 1 {
+		t.Errorf("enter: len=%d imm=%d imm2=%d", i.Len, i.Imm, i.Imm2)
+	}
+}
+
+func TestFarForms(t *testing.T) {
+	i := dec(t, 0x9A, 0x01, 0x02, 0x03, 0x04, 0x08, 0x00) // callf 0008:04030201
+	if i.Op != OpCALLF || i.Len != 7 || !i.Flags.Has(FlagFar) {
+		t.Errorf("callf: op=%v len=%d", i.Op, i.Len)
+	}
+	i = dec(t, 0x66, 0xEA, 0x01, 0x02, 0x08, 0x00) // jmpf with 16-bit offset
+	if i.Op != OpJMPF || i.Len != 6 {
+		t.Errorf("jmpf16: op=%v len=%d", i.Op, i.Len)
+	}
+}
+
+func TestSegmentOverrides(t *testing.T) {
+	cases := []struct {
+		b    byte
+		want Seg
+	}{
+		{0x26, SegES}, {0x2E, SegCS}, {0x36, SegSS},
+		{0x3E, SegDS}, {0x64, SegFS}, {0x65, SegGS},
+	}
+	for _, c := range cases {
+		i := dec(t, c.b, 0x8B, 0x01) // seg: mov eax,[ecx]
+		if i.Prefixes.Seg != c.want {
+			t.Errorf("prefix %#x: seg=%v want %v", c.b, i.Prefixes.Seg, c.want)
+		}
+		if i.EffectiveSeg() != c.want {
+			t.Errorf("prefix %#x: effective=%v", c.b, i.EffectiveSeg())
+		}
+		if i.Len != 3 {
+			t.Errorf("prefix %#x: len=%d", c.b, i.Len)
+		}
+	}
+}
+
+func TestEffectiveSegDefaults(t *testing.T) {
+	i := dec(t, 0x8B, 0x01) // mov eax,[ecx]
+	if i.EffectiveSeg() != SegDS {
+		t.Errorf("default seg for [ecx] = %v, want ds", i.EffectiveSeg())
+	}
+	i = dec(t, 0x8B, 0x45, 0x00) // mov eax,[ebp+0]
+	if i.EffectiveSeg() != SegSS {
+		t.Errorf("default seg for [ebp] = %v, want ss", i.EffectiveSeg())
+	}
+	i = dec(t, 0x90) // nop
+	if i.EffectiveSeg() != SegNone {
+		t.Errorf("nop effective seg = %v, want none", i.EffectiveSeg())
+	}
+}
+
+func TestMultiplePrefixesLastSegWins(t *testing.T) {
+	i := dec(t, 0x2E, 0x65, 0x90)
+	if i.Prefixes.Seg != SegGS || i.Prefixes.Count != 2 || i.Len != 3 {
+		t.Errorf("prefixes=%+v len=%d", i.Prefixes, i.Len)
+	}
+}
+
+func TestSIBForms(t *testing.T) {
+	i := dec(t, 0x8B, 0x04, 0x88) // mov eax,[eax+ecx*4]
+	if i.MemBase != EAX || i.MemIndex != ECX || i.MemScale != 4 || i.Len != 3 {
+		t.Errorf("base=%v index=%v scale=%d len=%d", i.MemBase, i.MemIndex, i.MemScale, i.Len)
+	}
+	i = dec(t, 0x8B, 0x04, 0x25, 0x78, 0x56, 0x34, 0x12) // mov eax,[0x12345678] via SIB
+	if !i.MemDispOnly || i.MemBase != RegNone || i.MemIndex != RegNone {
+		t.Errorf("disp-only SIB: dispOnly=%v base=%v index=%v", i.MemDispOnly, i.MemBase, i.MemIndex)
+	}
+	i = dec(t, 0x8B, 0x44, 0x24, 0x10) // mov eax,[esp+0x10]
+	if i.MemBase != ESP || i.Disp != 0x10 || i.Len != 4 {
+		t.Errorf("esp form: base=%v disp=%#x len=%d", i.MemBase, i.Disp, i.Len)
+	}
+}
+
+func TestDispOnlyMod00(t *testing.T) {
+	i := dec(t, 0x8B, 0x05, 0x78, 0x56, 0x34, 0x12) // mov eax,[0x12345678]
+	if !i.MemDispOnly || i.Disp != 0x12345678 || i.Len != 6 {
+		t.Errorf("dispOnly=%v disp=%#x len=%d", i.MemDispOnly, i.Disp, i.Len)
+	}
+}
+
+func TestModRM16(t *testing.T) {
+	i := dec(t, 0x67, 0x8B, 0x47, 0x10) // mov eax,[bx+0x10]
+	if i.MemBase != EBX || i.Disp != 0x10 || i.Len != 4 {
+		t.Errorf("16-bit: base=%v disp=%#x len=%d", i.MemBase, i.Disp, i.Len)
+	}
+	i = dec(t, 0x67, 0x8B, 0x06, 0x34, 0x12) // mov eax,[0x1234]
+	if !i.MemDispOnly || i.Disp != 0x1234 || i.Len != 5 {
+		t.Errorf("16-bit disp: dispOnly=%v disp=%#x len=%d", i.MemDispOnly, i.Disp, i.Len)
+	}
+	i = dec(t, 0x67, 0x8B, 0x00) // mov eax,[bx+si]
+	if i.MemBase != EBX || i.MemIndex != ESI {
+		t.Errorf("16-bit pair: base=%v index=%v", i.MemBase, i.MemIndex)
+	}
+}
+
+func TestBoundRegisterFormUndefined(t *testing.T) {
+	i := dec(t, 0x62, 0xC0)
+	if !i.Flags.Has(FlagUndefined) {
+		t.Error("bound reg,reg should be #UD")
+	}
+	i = dec(t, 0x62, 0x01) // bound eax,[ecx] — valid form
+	if i.Flags.Has(FlagUndefined) {
+		t.Error("bound with memory operand is defined")
+	}
+}
+
+func TestPopEvBadRegField(t *testing.T) {
+	i := dec(t, 0x8F, 0xC0) // pop eax via 8F /0 — valid
+	if i.Flags.Has(FlagUndefined) {
+		t.Error("8F /0 is defined")
+	}
+	i = dec(t, 0x8F, 0xC8) // 8F /1 — undefined
+	if !i.Flags.Has(FlagUndefined) {
+		t.Error("8F /1 should be #UD")
+	}
+}
+
+func TestStringOps(t *testing.T) {
+	i := dec(t, 0xA4) // movsb
+	if i.Op != OpMOVS || !i.Flags.Has(FlagString) || !i.MemAccess {
+		t.Errorf("movsb: %+v", i)
+	}
+	if i.MemBase != ESI || i.MemIndex != EDI {
+		t.Errorf("movsb addressing: base=%v index=%v", i.MemBase, i.MemIndex)
+	}
+	i = dec(t, 0xAA) // stosb
+	if i.MemBase != EDI || !i.MemWrite {
+		t.Errorf("stosb: base=%v write=%v", i.MemBase, i.MemWrite)
+	}
+	i = dec(t, 0xAC) // lodsb
+	if i.MemBase != ESI || !i.MemRead || i.MemWrite {
+		t.Errorf("lodsb: base=%v", i.MemBase)
+	}
+}
+
+func TestXlat(t *testing.T) {
+	i := dec(t, 0xD7)
+	if i.Op != OpXLAT || !i.MemAccess || i.MemBase != EBX {
+		t.Errorf("xlat: %+v", i)
+	}
+}
+
+func TestFPUEscapes(t *testing.T) {
+	for b := byte(0xD8); b <= 0xDF; b++ {
+		i := dec(t, b, 0x01) // fpu op on [ecx]
+		if i.Op != OpFPU || !i.Flags.Has(FlagFPU) || i.Len != 2 {
+			t.Errorf("fpu %#x: op=%v len=%d", b, i.Op, i.Len)
+		}
+	}
+	// mod=3 forms are register-stack ops, same length.
+	i := dec(t, 0xD9, 0xC0)
+	if i.Len != 2 || i.MemAccess {
+		t.Errorf("fpu reg form: len=%d mem=%v", i.Len, i.MemAccess)
+	}
+}
+
+func TestTwoByteOps(t *testing.T) {
+	i := dec(t, 0x0F, 0xB6, 0xC1) // movzx eax, cl
+	if i.Op != OpMOVZX || i.Len != 3 {
+		t.Errorf("movzx: op=%v len=%d", i.Op, i.Len)
+	}
+	i = dec(t, 0x0F, 0xA2) // cpuid
+	if i.Op != OpCPUID || i.Len != 2 {
+		t.Errorf("cpuid: op=%v len=%d", i.Op, i.Len)
+	}
+	i = dec(t, 0x0F, 0x31) // rdtsc
+	if i.Op != OpRDTSC {
+		t.Errorf("rdtsc: op=%v", i.Op)
+	}
+	i = dec(t, 0x0F, 0x0B) // ud2
+	if !i.Flags.Has(FlagUndefined) {
+		t.Error("ud2 should be undefined")
+	}
+	i = dec(t, 0x0F, 0xC8) // bswap eax
+	if i.Op != OpBSWAP || i.Len != 2 {
+		t.Errorf("bswap: op=%v len=%d", i.Op, i.Len)
+	}
+	i = dec(t, 0x0F, 0x94, 0xC0) // sete al
+	if i.Op != OpSetcc || i.Mnemonic() != "sete" {
+		t.Errorf("sete: op=%v mnemonic=%s", i.Op, i.Mnemonic())
+	}
+	i = dec(t, 0x0F, 0x44, 0xC1) // cmove eax, ecx
+	if i.Op != OpCmovcc || i.Mnemonic() != "cmove" {
+		t.Errorf("cmove: %v %s", i.Op, i.Mnemonic())
+	}
+}
+
+func TestGroup8(t *testing.T) {
+	i := dec(t, 0x0F, 0xBA, 0xE0, 0x05) // bt eax, 5
+	if i.Op != OpBT || i.Len != 4 || i.Imm != 5 {
+		t.Errorf("bt: op=%v len=%d imm=%d", i.Op, i.Len, i.Imm)
+	}
+	i = dec(t, 0x0F, 0xBA, 0xC0, 0x05) // grp8 /0 — undefined
+	if !i.Flags.Has(FlagUndefined) {
+		t.Error("grp8 /0 should be undefined")
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{0xE8},
+		{0xE8, 0x01, 0x00},
+		{0x8B},
+		{0x8B, 0x05, 0x01},
+		{0x8B, 0x04},
+		{0x68, 0x01, 0x02, 0x03},
+		{0x66},
+		{0x0F},
+		{0xF6, 0x00},
+		{0xC8, 0x10, 0x00},
+	}
+	for _, c := range cases {
+		if _, err := Decode(c, 0); !errors.Is(err, ErrTruncated) {
+			t.Errorf("Decode(% x) err = %v, want ErrTruncated", c, err)
+		}
+	}
+}
+
+func TestTooManyPrefixes(t *testing.T) {
+	code := make([]byte, 20)
+	for i := range code {
+		code[i] = 0x66
+	}
+	if _, err := Decode(code, 0); !errors.Is(err, ErrTooManyPrefixes) {
+		t.Errorf("err = %v, want ErrTooManyPrefixes", err)
+	}
+	// Exactly 14 prefixes + 1-byte opcode = 15 bytes is legal.
+	code = append(make([]byte, 0, 15), code[:14]...)
+	code = append(code, 0x90)
+	i, err := Decode(code, 0)
+	if err != nil || i.Len != 15 {
+		t.Errorf("15-byte nop: len=%d err=%v", i.Len, err)
+	}
+}
+
+func TestDecodeAtOffset(t *testing.T) {
+	code := []byte{0x90, 0x90, 0xE8, 0x00, 0x00, 0x00, 0x00}
+	i, err := Decode(code, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i.Offset != 2 || i.Op != OpCALL || i.RelTarget != 7 {
+		t.Errorf("offset decode: %+v", i)
+	}
+}
+
+func TestDecodeAll(t *testing.T) {
+	code := []byte{
+		0x31, 0xC0, // xor eax,eax
+		0x50,       // push eax
+		0xCD, 0x80, // int 0x80
+		0xE8, // truncated call — dropped
+	}
+	insts := DecodeAll(code)
+	if len(insts) != 3 {
+		t.Fatalf("decoded %d instructions, want 3", len(insts))
+	}
+	want := []Op{OpXOR, OpPUSH, OpINT}
+	for i, w := range want {
+		if insts[i].Op != w {
+			t.Errorf("inst %d: op=%v want %v", i, insts[i].Op, w)
+		}
+	}
+	if insts[2].Offset != 3 {
+		t.Errorf("third inst offset=%d", insts[2].Offset)
+	}
+}
+
+func TestEveryOneByteOpcodeDecodes(t *testing.T) {
+	// Every single-opcode instruction with plenty of trailing bytes must
+	// decode without error and with a sane length.
+	tail := []byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A}
+	for b := 0; b < 256; b++ {
+		code := append([]byte{byte(b)}, tail...)
+		inst, err := Decode(code, 0)
+		if err != nil {
+			t.Errorf("opcode %#x: %v", b, err)
+			continue
+		}
+		if inst.Len < 1 || inst.Len > MaxInstLen {
+			t.Errorf("opcode %#x: len=%d", b, inst.Len)
+		}
+	}
+}
+
+func TestEveryTwoByteOpcodeDecodes(t *testing.T) {
+	tail := []byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09}
+	for b := 0; b < 256; b++ {
+		code := append([]byte{0x0F, byte(b)}, tail...)
+		inst, err := Decode(code, 0)
+		if err != nil {
+			t.Errorf("0F %02x: %v", b, err)
+			continue
+		}
+		if inst.Len < 2 || inst.Len > MaxInstLen {
+			t.Errorf("0F %02x: len=%d", b, inst.Len)
+		}
+		if !inst.TwoByte {
+			t.Errorf("0F %02x: TwoByte not set", b)
+		}
+	}
+}
+
+func TestDecodeNeverPanicsProperty(t *testing.T) {
+	f := func(code []byte) bool {
+		if len(code) == 0 {
+			return true
+		}
+		inst, err := Decode(code, 0)
+		if err != nil {
+			return errors.Is(err, ErrTruncated) || errors.Is(err, ErrTooManyPrefixes)
+		}
+		return inst.Len >= 1 && inst.Len <= MaxInstLen && inst.Len <= len(code)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeDeterministicProperty(t *testing.T) {
+	f := func(code []byte) bool {
+		if len(code) == 0 {
+			return true
+		}
+		a, errA := Decode(code, 0)
+		b, errB := Decode(code, 0)
+		if (errA == nil) != (errB == nil) {
+			return false
+		}
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTextBytesAlwaysDecodable(t *testing.T) {
+	// Any stream of printable bytes long enough must decode at offset 0:
+	// the paper's observation that "almost any text string translates
+	// into a syntactically correct sequence of instructions".
+	r := testRNG()
+	for trial := 0; trial < 500; trial++ {
+		code := make([]byte, 32)
+		for i := range code {
+			code[i] = byte(0x20 + r.Intn(0x5F))
+		}
+		if _, err := Decode(code, 0); err != nil {
+			t.Fatalf("text stream % x failed: %v", code[:8], err)
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	i := dec(t, 0x29, 0x41, 0x41)
+	if got := i.String(); got != "sub [ecx+0x41]" {
+		t.Errorf("String() = %q", got)
+	}
+	i = dec(t, 0x90)
+	if got := i.String(); got != "nop" {
+		t.Errorf("String() = %q", got)
+	}
+	i = dec(t, 0x68, 0x41, 0x41, 0x41, 0x41)
+	if got := i.String(); got != "push 0x41414141" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestRegSegStrings(t *testing.T) {
+	if EAX.String() != "eax" || EDI.String() != "edi" || RegNone.String() != "none" {
+		t.Error("register names wrong")
+	}
+	if SegGS.String() != "gs" || SegNone.String() != "" {
+		t.Error("segment names wrong")
+	}
+	if Seg(99).String() != "?" {
+		t.Error("out-of-range segment name")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	if OpSUB.String() != "sub" || OpInvalid.String() != "(bad)" {
+		t.Error("op names wrong")
+	}
+	if Op(9999).String() != "(unknown)" {
+		t.Error("unknown op name")
+	}
+}
+
+// testRNG returns a tiny deterministic generator local to this package's
+// tests (avoiding a dependency on internal/stats from the decoder).
+type miniRNG struct{ s uint64 }
+
+func testRNG() *miniRNG { return &miniRNG{s: 0x12345678} }
+
+func (r *miniRNG) Intn(n int) int {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return int(r.s % uint64(n))
+}

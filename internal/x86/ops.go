@@ -1,0 +1,280 @@
+package x86
+
+// Op identifies an instruction operation. Condition-code families (Jcc,
+// SETcc, CMOVcc) are collapsed into a single Op with the condition held in
+// Inst.Cond.
+type Op int16
+
+// Operation identifiers.
+const (
+	OpInvalid Op = iota // undefined opcode (#UD)
+	OpAAA
+	OpAAD
+	OpAAM
+	OpAAS
+	OpADC
+	OpADD
+	OpAND
+	OpARPL
+	OpBOUND
+	OpBSF
+	OpBSR
+	OpBSWAP
+	OpBT
+	OpBTC
+	OpBTR
+	OpBTS
+	OpCALL
+	OpCALLF
+	OpCDQ
+	OpCLC
+	OpCLD
+	OpCLI
+	OpCLTS
+	OpCMC
+	OpCMP
+	OpCMPS
+	OpCMPXCHG
+	OpCMPXCHG8B
+	OpCPUID
+	OpCWDE
+	OpCmovcc
+	OpDAA
+	OpDAS
+	OpDEC
+	OpDIV
+	OpEMMS
+	OpENTER
+	OpFPU
+	OpHLT
+	OpIDIV
+	OpIMUL
+	OpIN
+	OpINC
+	OpINS
+	OpINT
+	OpINT1
+	OpINT3
+	OpINTO
+	OpINVD
+	OpINVLPG
+	OpIRET
+	OpJECXZ
+	OpJMP
+	OpJMPF
+	OpJcc
+	OpLAHF
+	OpLAR
+	OpLDS
+	OpLEA
+	OpLEAVE
+	OpLES
+	OpLFS
+	OpLGS
+	OpLODS
+	OpLOOP
+	OpLOOPE
+	OpLOOPNE
+	OpLSL
+	OpLSS
+	OpMMX
+	OpMOV
+	OpMOVCR
+	OpMOVDR
+	OpMOVS
+	OpMOVSX
+	OpMOVZX
+	OpMUL
+	OpNEG
+	OpNOP
+	OpNOT
+	OpOR
+	OpOUT
+	OpOUTS
+	OpPOP
+	OpPOPA
+	OpPOPF
+	OpPUSH
+	OpPUSHA
+	OpPUSHF
+	OpRCL
+	OpRCR
+	OpRDMSR
+	OpRDPMC
+	OpRDTSC
+	OpRET
+	OpRETF
+	OpROL
+	OpROR
+	OpRSM
+	OpSAHF
+	OpSALC
+	OpSAR
+	OpSBB
+	OpSCAS
+	OpSHL
+	OpSHLD
+	OpSHR
+	OpSHRD
+	OpSSE
+	OpSTC
+	OpSTD
+	OpSTI
+	OpSTOS
+	OpSUB
+	OpSYSENTER
+	OpSYSEXIT
+	OpSetcc
+	OpSysGrp6
+	OpSysGrp7
+	OpTEST
+	OpUD2
+	OpWAIT
+	OpWBINVD
+	OpWRMSR
+	OpXADD
+	OpXCHG
+	OpXLAT
+	OpXOR
+	opMax // sentinel; keep last
+)
+
+var opNames = map[Op]string{
+	OpInvalid:   "(bad)",
+	OpAAA:       "aaa",
+	OpAAD:       "aad",
+	OpAAM:       "aam",
+	OpAAS:       "aas",
+	OpADC:       "adc",
+	OpADD:       "add",
+	OpAND:       "and",
+	OpARPL:      "arpl",
+	OpBOUND:     "bound",
+	OpBSF:       "bsf",
+	OpBSR:       "bsr",
+	OpBSWAP:     "bswap",
+	OpBT:        "bt",
+	OpBTC:       "btc",
+	OpBTR:       "btr",
+	OpBTS:       "bts",
+	OpCALL:      "call",
+	OpCALLF:     "callf",
+	OpCDQ:       "cdq",
+	OpCLC:       "clc",
+	OpCLD:       "cld",
+	OpCLI:       "cli",
+	OpCLTS:      "clts",
+	OpCMC:       "cmc",
+	OpCMP:       "cmp",
+	OpCMPS:      "cmps",
+	OpCMPXCHG:   "cmpxchg",
+	OpCMPXCHG8B: "cmpxchg8b",
+	OpCPUID:     "cpuid",
+	OpCWDE:      "cwde",
+	OpCmovcc:    "cmovcc",
+	OpDAA:       "daa",
+	OpDAS:       "das",
+	OpDEC:       "dec",
+	OpDIV:       "div",
+	OpEMMS:      "emms",
+	OpENTER:     "enter",
+	OpFPU:       "fpu",
+	OpHLT:       "hlt",
+	OpIDIV:      "idiv",
+	OpIMUL:      "imul",
+	OpIN:        "in",
+	OpINC:       "inc",
+	OpINS:       "ins",
+	OpINT:       "int",
+	OpINT1:      "int1",
+	OpINT3:      "int3",
+	OpINTO:      "into",
+	OpINVD:      "invd",
+	OpINVLPG:    "invlpg",
+	OpIRET:      "iret",
+	OpJECXZ:     "jecxz",
+	OpJMP:       "jmp",
+	OpJMPF:      "jmpf",
+	OpJcc:       "jcc",
+	OpLAHF:      "lahf",
+	OpLAR:       "lar",
+	OpLDS:       "lds",
+	OpLEA:       "lea",
+	OpLEAVE:     "leave",
+	OpLES:       "les",
+	OpLFS:       "lfs",
+	OpLGS:       "lgs",
+	OpLODS:      "lods",
+	OpLOOP:      "loop",
+	OpLOOPE:     "loope",
+	OpLOOPNE:    "loopne",
+	OpLSL:       "lsl",
+	OpLSS:       "lss",
+	OpMMX:       "mmx",
+	OpMOV:       "mov",
+	OpMOVCR:     "movcr",
+	OpMOVDR:     "movdr",
+	OpMOVS:      "movs",
+	OpMOVSX:     "movsx",
+	OpMOVZX:     "movzx",
+	OpMUL:       "mul",
+	OpNEG:       "neg",
+	OpNOP:       "nop",
+	OpNOT:       "not",
+	OpOR:        "or",
+	OpOUT:       "out",
+	OpOUTS:      "outs",
+	OpPOP:       "pop",
+	OpPOPA:      "popa",
+	OpPOPF:      "popf",
+	OpPUSH:      "push",
+	OpPUSHA:     "pusha",
+	OpPUSHF:     "pushf",
+	OpRCL:       "rcl",
+	OpRCR:       "rcr",
+	OpRDMSR:     "rdmsr",
+	OpRDPMC:     "rdpmc",
+	OpRDTSC:     "rdtsc",
+	OpRET:       "ret",
+	OpRETF:      "retf",
+	OpROL:       "rol",
+	OpROR:       "ror",
+	OpRSM:       "rsm",
+	OpSAHF:      "sahf",
+	OpSALC:      "salc",
+	OpSAR:       "sar",
+	OpSBB:       "sbb",
+	OpSCAS:      "scas",
+	OpSHL:       "shl",
+	OpSHLD:      "shld",
+	OpSHR:       "shr",
+	OpSHRD:      "shrd",
+	OpSSE:       "sse",
+	OpSTC:       "stc",
+	OpSTD:       "std",
+	OpSTI:       "sti",
+	OpSTOS:      "stos",
+	OpSUB:       "sub",
+	OpSYSENTER:  "sysenter",
+	OpSYSEXIT:   "sysexit",
+	OpSetcc:     "setcc",
+	OpSysGrp6:   "sysgrp6",
+	OpSysGrp7:   "sysgrp7",
+	OpTEST:      "test",
+	OpUD2:       "ud2",
+	OpWAIT:      "wait",
+	OpWBINVD:    "wbinvd",
+	OpWRMSR:     "wrmsr",
+	OpXADD:      "xadd",
+	OpXCHG:      "xchg",
+	OpXLAT:      "xlat",
+	OpXOR:       "xor",
+}
+
+// String returns the lower-case mnemonic for the operation.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return "(unknown)"
+}

@@ -1,0 +1,468 @@
+package x86
+
+// encoding describes how the bytes after the opcode are laid out, which is
+// everything length decoding needs.
+type encoding uint8
+
+const (
+	encNone     encoding = iota // no further bytes
+	encModRM                    // ModRM (+SIB/disp)
+	encModRMIb                  // ModRM + imm8
+	encModRMIz                  // ModRM + imm16/32 (operand size)
+	encIb                       // imm8
+	encIz                       // imm16/32
+	encIw                       // imm16
+	encIwIb                     // imm16 + imm8 (ENTER)
+	encRel8                     // rel8 branch displacement
+	encRelZ                     // rel16/32 branch displacement
+	encFarPtr                   // ptr16:16/32 (operand size + 2)
+	encMoffs                    // moffs (address-size sized)
+	encPrefix                   // prefix byte, restart decode
+	encEscape                   // 0x0F escape to the two-byte map
+	encEscape38                 // 0F 38 escape to the three-byte map
+	encEscape3A                 // 0F 3A escape to the three-byte map
+	encGrp3                     // F6/F7: imm present only for /0 and /1
+)
+
+// memDir describes the direction of an explicit ModRM memory access.
+type memDir uint8
+
+const (
+	memNone  memDir = iota // no memory semantics even if ModRM has mem form
+	memRead                // reads memory when ModRM encodes a memory operand
+	memWrite               // writes memory
+	memRW                  // reads and writes (read-modify-write)
+)
+
+// entry is one opcode-table row.
+type entry struct {
+	op    Op
+	enc   encoding
+	flags Flags
+	mem   memDir
+}
+
+// groupTable resolves group opcodes (ModRM.reg selects the operation).
+// A nil row means the slot keeps the base entry's op.
+type groupOp struct {
+	op    Op
+	flags Flags
+	mem   memDir
+}
+
+var (
+	grp1 = [8]groupOp{
+		{op: OpADD, mem: memRW}, {op: OpOR, mem: memRW}, {op: OpADC, mem: memRW}, {op: OpSBB, mem: memRW},
+		{op: OpAND, mem: memRW}, {op: OpSUB, mem: memRW}, {op: OpXOR, mem: memRW}, {op: OpCMP, mem: memRead},
+	}
+	grp2 = [8]groupOp{
+		{op: OpROL, mem: memRW}, {op: OpROR, mem: memRW}, {op: OpRCL, mem: memRW}, {op: OpRCR, mem: memRW},
+		{op: OpSHL, mem: memRW}, {op: OpSHR, mem: memRW}, {op: OpSHL, mem: memRW}, {op: OpSAR, mem: memRW},
+	}
+	grp3 = [8]groupOp{
+		{op: OpTEST, mem: memRead}, {op: OpTEST, mem: memRead}, {op: OpNOT, mem: memRW}, {op: OpNEG, mem: memRW},
+		{op: OpMUL, mem: memRead}, {op: OpIMUL, mem: memRead}, {op: OpDIV, mem: memRead}, {op: OpIDIV, mem: memRead},
+	}
+	grp4 = [8]groupOp{
+		{op: OpINC, mem: memRW}, {op: OpDEC, mem: memRW},
+		{op: OpInvalid, flags: FlagUndefined}, {op: OpInvalid, flags: FlagUndefined},
+		{op: OpInvalid, flags: FlagUndefined}, {op: OpInvalid, flags: FlagUndefined},
+		{op: OpInvalid, flags: FlagUndefined}, {op: OpInvalid, flags: FlagUndefined},
+	}
+	grp5 = [8]groupOp{
+		{op: OpINC, mem: memRW},
+		{op: OpDEC, mem: memRW},
+		{op: OpCALL, flags: FlagCall | FlagIndirect | FlagStack, mem: memRead},
+		{op: OpCALLF, flags: FlagCall | FlagIndirect | FlagFar | FlagStack, mem: memRead},
+		{op: OpJMP, flags: FlagUncondJump | FlagIndirect, mem: memRead},
+		{op: OpJMPF, flags: FlagUncondJump | FlagIndirect | FlagFar, mem: memRead},
+		{op: OpPUSH, flags: FlagStack, mem: memRead},
+		{op: OpInvalid, flags: FlagUndefined},
+	}
+	// grp8 is the 0F BA bit-test-with-immediate group.
+	grp8 = [8]groupOp{
+		{op: OpInvalid, flags: FlagUndefined}, {op: OpInvalid, flags: FlagUndefined},
+		{op: OpInvalid, flags: FlagUndefined}, {op: OpInvalid, flags: FlagUndefined},
+		{op: OpBT, mem: memRead}, {op: OpBTS, mem: memRW},
+		{op: OpBTR, mem: memRW}, {op: OpBTC, mem: memRW},
+	}
+)
+
+// oneByte is the complete IA-32 one-byte opcode map for 32-bit mode.
+var oneByte = buildOneByte()
+
+func buildOneByte() [256]entry {
+	var t [256]entry
+
+	// The eight classic ALU rows share a layout:
+	// x0 Eb,Gb  x1 Ev,Gv  x2 Gb,Eb  x3 Gv,Ev  x4 AL,Ib  x5 eAX,Iz.
+	alu := func(base byte, op Op) {
+		t[base+0] = entry{op: op, enc: encModRM, mem: memRW}
+		t[base+1] = entry{op: op, enc: encModRM, mem: memRW}
+		t[base+2] = entry{op: op, enc: encModRM, mem: memRead}
+		t[base+3] = entry{op: op, enc: encModRM, mem: memRead}
+		t[base+4] = entry{op: op, enc: encIb}
+		t[base+5] = entry{op: op, enc: encIz}
+	}
+	alu(0x00, OpADD)
+	alu(0x08, OpOR)
+	alu(0x10, OpADC)
+	alu(0x18, OpSBB)
+	alu(0x20, OpAND)
+	alu(0x28, OpSUB)
+	alu(0x30, OpXOR)
+	alu(0x38, OpCMP)
+	// CMP never writes its destination.
+	t[0x38].mem = memRead
+	t[0x39].mem = memRead
+
+	// Segment push/pop in the ALU rows' 6/7 columns.
+	t[0x06] = entry{op: OpPUSH, enc: encNone, flags: FlagStack}
+	t[0x07] = entry{op: OpPOP, enc: encNone, flags: FlagStack}
+	t[0x0E] = entry{op: OpPUSH, enc: encNone, flags: FlagStack}
+	t[0x0F] = entry{enc: encEscape}
+	t[0x16] = entry{op: OpPUSH, enc: encNone, flags: FlagStack}
+	t[0x17] = entry{op: OpPOP, enc: encNone, flags: FlagStack}
+	t[0x1E] = entry{op: OpPUSH, enc: encNone, flags: FlagStack}
+	t[0x1F] = entry{op: OpPOP, enc: encNone, flags: FlagStack}
+
+	// Segment-override and BCD opcodes interleaved in rows 2 and 3.
+	t[0x26] = entry{enc: encPrefix}
+	t[0x27] = entry{op: OpDAA, enc: encNone}
+	t[0x2E] = entry{enc: encPrefix}
+	t[0x2F] = entry{op: OpDAS, enc: encNone}
+	t[0x36] = entry{enc: encPrefix}
+	t[0x37] = entry{op: OpAAA, enc: encNone}
+	t[0x3E] = entry{enc: encPrefix}
+	t[0x3F] = entry{op: OpAAS, enc: encNone}
+
+	for b := 0x40; b <= 0x47; b++ {
+		t[b] = entry{op: OpINC, enc: encNone}
+	}
+	for b := 0x48; b <= 0x4F; b++ {
+		t[b] = entry{op: OpDEC, enc: encNone}
+	}
+	for b := 0x50; b <= 0x57; b++ {
+		t[b] = entry{op: OpPUSH, enc: encNone, flags: FlagStack}
+	}
+	for b := 0x58; b <= 0x5F; b++ {
+		t[b] = entry{op: OpPOP, enc: encNone, flags: FlagStack}
+	}
+
+	t[0x60] = entry{op: OpPUSHA, enc: encNone, flags: FlagStack}
+	t[0x61] = entry{op: OpPOPA, enc: encNone, flags: FlagStack}
+	// BOUND requires a memory operand; the register form is #UD, enforced
+	// in the decoder.
+	t[0x62] = entry{op: OpBOUND, enc: encModRM, mem: memRead}
+	t[0x63] = entry{op: OpARPL, enc: encModRM, mem: memRW}
+	t[0x64] = entry{enc: encPrefix}
+	t[0x65] = entry{enc: encPrefix}
+	t[0x66] = entry{enc: encPrefix}
+	t[0x67] = entry{enc: encPrefix}
+	t[0x68] = entry{op: OpPUSH, enc: encIz, flags: FlagStack}
+	t[0x69] = entry{op: OpIMUL, enc: encModRMIz, mem: memRead}
+	t[0x6A] = entry{op: OpPUSH, enc: encIb, flags: FlagStack}
+	t[0x6B] = entry{op: OpIMUL, enc: encModRMIb, mem: memRead}
+	t[0x6C] = entry{op: OpINS, enc: encNone, flags: FlagIO | FlagString, mem: memWrite}
+	t[0x6D] = entry{op: OpINS, enc: encNone, flags: FlagIO | FlagString, mem: memWrite}
+	t[0x6E] = entry{op: OpOUTS, enc: encNone, flags: FlagIO | FlagString, mem: memRead}
+	t[0x6F] = entry{op: OpOUTS, enc: encNone, flags: FlagIO | FlagString, mem: memRead}
+
+	for b := 0x70; b <= 0x7F; b++ {
+		t[b] = entry{op: OpJcc, enc: encRel8, flags: FlagCondBranch}
+	}
+
+	t[0x80] = entry{enc: encModRMIb} // grp1 Eb,Ib
+	t[0x81] = entry{enc: encModRMIz} // grp1 Ev,Iz
+	t[0x82] = entry{enc: encModRMIb} // grp1 Eb,Ib alias (32-bit mode)
+	t[0x83] = entry{enc: encModRMIb} // grp1 Ev,Ib
+	t[0x84] = entry{op: OpTEST, enc: encModRM, mem: memRead}
+	t[0x85] = entry{op: OpTEST, enc: encModRM, mem: memRead}
+	t[0x86] = entry{op: OpXCHG, enc: encModRM, mem: memRW}
+	t[0x87] = entry{op: OpXCHG, enc: encModRM, mem: memRW}
+	t[0x88] = entry{op: OpMOV, enc: encModRM, mem: memWrite}
+	t[0x89] = entry{op: OpMOV, enc: encModRM, mem: memWrite}
+	t[0x8A] = entry{op: OpMOV, enc: encModRM, mem: memRead}
+	t[0x8B] = entry{op: OpMOV, enc: encModRM, mem: memRead}
+	t[0x8C] = entry{op: OpMOV, enc: encModRM, mem: memWrite} // MOV Ev,Sw
+	t[0x8D] = entry{op: OpLEA, enc: encModRM, mem: memNone}  // address only
+	t[0x8E] = entry{op: OpMOV, enc: encModRM, mem: memRead}  // MOV Sw,Ew
+	t[0x8F] = entry{op: OpPOP, enc: encModRM, flags: FlagStack, mem: memWrite}
+
+	t[0x90] = entry{op: OpNOP, enc: encNone}
+	for b := 0x91; b <= 0x97; b++ {
+		t[b] = entry{op: OpXCHG, enc: encNone}
+	}
+	t[0x98] = entry{op: OpCWDE, enc: encNone}
+	t[0x99] = entry{op: OpCDQ, enc: encNone}
+	t[0x9A] = entry{op: OpCALLF, enc: encFarPtr, flags: FlagCall | FlagFar | FlagStack}
+	t[0x9B] = entry{op: OpWAIT, enc: encNone}
+	t[0x9C] = entry{op: OpPUSHF, enc: encNone, flags: FlagStack}
+	t[0x9D] = entry{op: OpPOPF, enc: encNone, flags: FlagStack}
+	t[0x9E] = entry{op: OpSAHF, enc: encNone}
+	t[0x9F] = entry{op: OpLAHF, enc: encNone}
+
+	t[0xA0] = entry{op: OpMOV, enc: encMoffs, mem: memRead}
+	t[0xA1] = entry{op: OpMOV, enc: encMoffs, mem: memRead}
+	t[0xA2] = entry{op: OpMOV, enc: encMoffs, mem: memWrite}
+	t[0xA3] = entry{op: OpMOV, enc: encMoffs, mem: memWrite}
+	t[0xA4] = entry{op: OpMOVS, enc: encNone, flags: FlagString, mem: memRW}
+	t[0xA5] = entry{op: OpMOVS, enc: encNone, flags: FlagString, mem: memRW}
+	t[0xA6] = entry{op: OpCMPS, enc: encNone, flags: FlagString, mem: memRead}
+	t[0xA7] = entry{op: OpCMPS, enc: encNone, flags: FlagString, mem: memRead}
+	t[0xA8] = entry{op: OpTEST, enc: encIb}
+	t[0xA9] = entry{op: OpTEST, enc: encIz}
+	t[0xAA] = entry{op: OpSTOS, enc: encNone, flags: FlagString, mem: memWrite}
+	t[0xAB] = entry{op: OpSTOS, enc: encNone, flags: FlagString, mem: memWrite}
+	t[0xAC] = entry{op: OpLODS, enc: encNone, flags: FlagString, mem: memRead}
+	t[0xAD] = entry{op: OpLODS, enc: encNone, flags: FlagString, mem: memRead}
+	t[0xAE] = entry{op: OpSCAS, enc: encNone, flags: FlagString, mem: memRead}
+	t[0xAF] = entry{op: OpSCAS, enc: encNone, flags: FlagString, mem: memRead}
+
+	for b := 0xB0; b <= 0xB7; b++ {
+		t[b] = entry{op: OpMOV, enc: encIb}
+	}
+	for b := 0xB8; b <= 0xBF; b++ {
+		t[b] = entry{op: OpMOV, enc: encIz}
+	}
+
+	t[0xC0] = entry{enc: encModRMIb} // grp2 Eb,Ib
+	t[0xC1] = entry{enc: encModRMIb} // grp2 Ev,Ib
+	t[0xC2] = entry{op: OpRET, enc: encIw, flags: FlagRet | FlagStack}
+	t[0xC3] = entry{op: OpRET, enc: encNone, flags: FlagRet | FlagStack}
+	t[0xC4] = entry{op: OpLES, enc: encModRM, mem: memRead}
+	t[0xC5] = entry{op: OpLDS, enc: encModRM, mem: memRead}
+	t[0xC6] = entry{op: OpMOV, enc: encModRMIb, mem: memWrite}
+	t[0xC7] = entry{op: OpMOV, enc: encModRMIz, mem: memWrite}
+	t[0xC8] = entry{op: OpENTER, enc: encIwIb, flags: FlagStack}
+	t[0xC9] = entry{op: OpLEAVE, enc: encNone, flags: FlagStack}
+	t[0xCA] = entry{op: OpRETF, enc: encIw, flags: FlagRet | FlagFar | FlagStack}
+	t[0xCB] = entry{op: OpRETF, enc: encNone, flags: FlagRet | FlagFar | FlagStack}
+	t[0xCC] = entry{op: OpINT3, enc: encNone, flags: FlagInt}
+	t[0xCD] = entry{op: OpINT, enc: encIb, flags: FlagInt}
+	t[0xCE] = entry{op: OpINTO, enc: encNone, flags: FlagInt}
+	t[0xCF] = entry{op: OpIRET, enc: encNone, flags: FlagRet | FlagStack}
+
+	t[0xD0] = entry{enc: encModRM} // grp2 Eb,1
+	t[0xD1] = entry{enc: encModRM} // grp2 Ev,1
+	t[0xD2] = entry{enc: encModRM} // grp2 Eb,CL
+	t[0xD3] = entry{enc: encModRM} // grp2 Ev,CL
+	t[0xD4] = entry{op: OpAAM, enc: encIb}
+	t[0xD5] = entry{op: OpAAD, enc: encIb}
+	t[0xD6] = entry{op: OpSALC, enc: encNone} // undocumented but executes
+	t[0xD7] = entry{op: OpXLAT, enc: encNone, mem: memRead}
+	for b := 0xD8; b <= 0xDF; b++ {
+		t[b] = entry{op: OpFPU, enc: encModRM, flags: FlagFPU, mem: memRead}
+	}
+
+	t[0xE0] = entry{op: OpLOOPNE, enc: encRel8, flags: FlagCondBranch}
+	t[0xE1] = entry{op: OpLOOPE, enc: encRel8, flags: FlagCondBranch}
+	t[0xE2] = entry{op: OpLOOP, enc: encRel8, flags: FlagCondBranch}
+	t[0xE3] = entry{op: OpJECXZ, enc: encRel8, flags: FlagCondBranch}
+	t[0xE4] = entry{op: OpIN, enc: encIb, flags: FlagIO}
+	t[0xE5] = entry{op: OpIN, enc: encIb, flags: FlagIO}
+	t[0xE6] = entry{op: OpOUT, enc: encIb, flags: FlagIO}
+	t[0xE7] = entry{op: OpOUT, enc: encIb, flags: FlagIO}
+	t[0xE8] = entry{op: OpCALL, enc: encRelZ, flags: FlagCall | FlagStack}
+	t[0xE9] = entry{op: OpJMP, enc: encRelZ, flags: FlagUncondJump}
+	t[0xEA] = entry{op: OpJMPF, enc: encFarPtr, flags: FlagUncondJump | FlagFar}
+	t[0xEB] = entry{op: OpJMP, enc: encRel8, flags: FlagUncondJump}
+	t[0xEC] = entry{op: OpIN, enc: encNone, flags: FlagIO}
+	t[0xED] = entry{op: OpIN, enc: encNone, flags: FlagIO}
+	t[0xEE] = entry{op: OpOUT, enc: encNone, flags: FlagIO}
+	t[0xEF] = entry{op: OpOUT, enc: encNone, flags: FlagIO}
+
+	t[0xF0] = entry{enc: encPrefix}
+	t[0xF1] = entry{op: OpINT1, enc: encNone, flags: FlagInt | FlagPrivileged}
+	t[0xF2] = entry{enc: encPrefix}
+	t[0xF3] = entry{enc: encPrefix}
+	t[0xF4] = entry{op: OpHLT, enc: encNone, flags: FlagPrivileged}
+	t[0xF5] = entry{op: OpCMC, enc: encNone}
+	t[0xF6] = entry{enc: encGrp3} // grp3 Eb
+	t[0xF7] = entry{enc: encGrp3} // grp3 Ev
+	t[0xF8] = entry{op: OpCLC, enc: encNone}
+	t[0xF9] = entry{op: OpSTC, enc: encNone}
+	t[0xFA] = entry{op: OpCLI, enc: encNone, flags: FlagPrivileged}
+	t[0xFB] = entry{op: OpSTI, enc: encNone, flags: FlagPrivileged}
+	t[0xFC] = entry{op: OpCLD, enc: encNone}
+	t[0xFD] = entry{op: OpSTD, enc: encNone}
+	t[0xFE] = entry{enc: encModRM} // grp4
+	t[0xFF] = entry{enc: encModRM} // grp5
+
+	return t
+}
+
+// twoByte is the 0x0F-escaped opcode map. Entries not filled explicitly
+// default to undefined (#UD), which is the architecturally safe default
+// for reserved slots.
+var twoByte = buildTwoByte()
+
+func buildTwoByte() [256]entry {
+	var t [256]entry
+	for i := range t {
+		t[i] = entry{op: OpInvalid, enc: encNone, flags: FlagUndefined}
+	}
+
+	t[0x00] = entry{op: OpSysGrp6, enc: encModRM, flags: FlagSystem, mem: memRead}
+	t[0x01] = entry{op: OpSysGrp7, enc: encModRM, flags: FlagSystem | FlagPrivileged, mem: memRead}
+	t[0x02] = entry{op: OpLAR, enc: encModRM, flags: FlagSystem, mem: memRead}
+	t[0x03] = entry{op: OpLSL, enc: encModRM, flags: FlagSystem, mem: memRead}
+	t[0x06] = entry{op: OpCLTS, enc: encNone, flags: FlagPrivileged | FlagSystem}
+	t[0x08] = entry{op: OpINVD, enc: encNone, flags: FlagPrivileged | FlagSystem}
+	t[0x09] = entry{op: OpWBINVD, enc: encNone, flags: FlagPrivileged | FlagSystem}
+	t[0x0B] = entry{op: OpUD2, enc: encNone, flags: FlagUndefined}
+	t[0x0D] = entry{op: OpNOP, enc: encModRM, mem: memNone} // prefetch hints
+
+	// 0x10-0x17: SSE moves (length-wise plain ModRM forms).
+	for b := 0x10; b <= 0x17; b++ {
+		t[b] = entry{op: OpSSE, enc: encModRM, mem: memRead}
+	}
+	// 0x18-0x1F: hint NOP space.
+	for b := 0x18; b <= 0x1F; b++ {
+		t[b] = entry{op: OpNOP, enc: encModRM, mem: memNone}
+	}
+
+	t[0x20] = entry{op: OpMOVCR, enc: encModRM, flags: FlagPrivileged | FlagSystem}
+	t[0x21] = entry{op: OpMOVDR, enc: encModRM, flags: FlagPrivileged | FlagSystem}
+	t[0x22] = entry{op: OpMOVCR, enc: encModRM, flags: FlagPrivileged | FlagSystem}
+	t[0x23] = entry{op: OpMOVDR, enc: encModRM, flags: FlagPrivileged | FlagSystem}
+	for b := 0x28; b <= 0x2F; b++ {
+		t[b] = entry{op: OpSSE, enc: encModRM, mem: memRead}
+	}
+
+	t[0x30] = entry{op: OpWRMSR, enc: encNone, flags: FlagPrivileged | FlagSystem}
+	t[0x31] = entry{op: OpRDTSC, enc: encNone}
+	t[0x32] = entry{op: OpRDMSR, enc: encNone, flags: FlagPrivileged | FlagSystem}
+	t[0x33] = entry{op: OpRDPMC, enc: encNone, flags: FlagPrivileged | FlagSystem}
+	t[0x34] = entry{op: OpSYSENTER, enc: encNone, flags: FlagSystem}
+	t[0x35] = entry{op: OpSYSEXIT, enc: encNone, flags: FlagPrivileged | FlagSystem}
+
+	for b := 0x40; b <= 0x4F; b++ {
+		t[b] = entry{op: OpCmovcc, enc: encModRM, mem: memRead}
+	}
+	for b := 0x50; b <= 0x6F; b++ {
+		t[b] = entry{op: OpSSE, enc: encModRM, mem: memRead}
+	}
+	t[0x70] = entry{op: OpSSE, enc: encModRMIb, mem: memRead} // pshufw
+	t[0x71] = entry{op: OpSSE, enc: encModRMIb}               // grp12
+	t[0x72] = entry{op: OpSSE, enc: encModRMIb}               // grp13
+	t[0x73] = entry{op: OpSSE, enc: encModRMIb}               // grp14
+	for b := 0x74; b <= 0x76; b++ {
+		t[b] = entry{op: OpSSE, enc: encModRM, mem: memRead}
+	}
+	t[0x77] = entry{op: OpEMMS, enc: encNone}
+	for b := 0x7C; b <= 0x7F; b++ {
+		t[b] = entry{op: OpSSE, enc: encModRM, mem: memRead}
+	}
+
+	for b := 0x80; b <= 0x8F; b++ {
+		t[b] = entry{op: OpJcc, enc: encRelZ, flags: FlagCondBranch}
+	}
+	for b := 0x90; b <= 0x9F; b++ {
+		t[b] = entry{op: OpSetcc, enc: encModRM, mem: memWrite}
+	}
+
+	t[0xA0] = entry{op: OpPUSH, enc: encNone, flags: FlagStack}
+	t[0xA1] = entry{op: OpPOP, enc: encNone, flags: FlagStack}
+	t[0xA2] = entry{op: OpCPUID, enc: encNone}
+	t[0xA3] = entry{op: OpBT, enc: encModRM, mem: memRead}
+	t[0xA4] = entry{op: OpSHLD, enc: encModRMIb, mem: memRW}
+	t[0xA5] = entry{op: OpSHLD, enc: encModRM, mem: memRW}
+	t[0xA8] = entry{op: OpPUSH, enc: encNone, flags: FlagStack}
+	t[0xA9] = entry{op: OpPOP, enc: encNone, flags: FlagStack}
+	t[0xAA] = entry{op: OpRSM, enc: encNone, flags: FlagPrivileged | FlagSystem}
+	t[0xAB] = entry{op: OpBTS, enc: encModRM, mem: memRW}
+	t[0xAC] = entry{op: OpSHRD, enc: encModRMIb, mem: memRW}
+	t[0xAD] = entry{op: OpSHRD, enc: encModRM, mem: memRW}
+	t[0xAE] = entry{op: OpSSE, enc: encModRM, mem: memRead} // grp15 fences etc.
+	t[0xAF] = entry{op: OpIMUL, enc: encModRM, mem: memRead}
+
+	t[0xB0] = entry{op: OpCMPXCHG, enc: encModRM, mem: memRW}
+	t[0xB1] = entry{op: OpCMPXCHG, enc: encModRM, mem: memRW}
+	t[0xB2] = entry{op: OpLSS, enc: encModRM, mem: memRead}
+	t[0xB3] = entry{op: OpBTR, enc: encModRM, mem: memRW}
+	t[0xB4] = entry{op: OpLFS, enc: encModRM, mem: memRead}
+	t[0xB5] = entry{op: OpLGS, enc: encModRM, mem: memRead}
+	t[0xB6] = entry{op: OpMOVZX, enc: encModRM, mem: memRead}
+	t[0xB7] = entry{op: OpMOVZX, enc: encModRM, mem: memRead}
+	t[0xBA] = entry{enc: encModRMIb} // grp8
+	t[0xBB] = entry{op: OpBTC, enc: encModRM, mem: memRW}
+	t[0xBC] = entry{op: OpBSF, enc: encModRM, mem: memRead}
+	t[0xBD] = entry{op: OpBSR, enc: encModRM, mem: memRead}
+	t[0xBE] = entry{op: OpMOVSX, enc: encModRM, mem: memRead}
+	t[0xBF] = entry{op: OpMOVSX, enc: encModRM, mem: memRead}
+
+	t[0xC0] = entry{op: OpXADD, enc: encModRM, mem: memRW}
+	t[0xC1] = entry{op: OpXADD, enc: encModRM, mem: memRW}
+	t[0xC2] = entry{op: OpSSE, enc: encModRMIb, mem: memRead}
+	t[0xC3] = entry{op: OpMOV, enc: encModRM, mem: memWrite} // movnti
+	t[0xC4] = entry{op: OpSSE, enc: encModRMIb, mem: memRead}
+	t[0xC5] = entry{op: OpSSE, enc: encModRMIb, mem: memRead}
+	t[0xC6] = entry{op: OpSSE, enc: encModRMIb, mem: memRead}
+	t[0xC7] = entry{op: OpCMPXCHG8B, enc: encModRM, mem: memRW}
+	for b := 0xC8; b <= 0xCF; b++ {
+		t[b] = entry{op: OpBSWAP, enc: encNone}
+	}
+
+	// 0x38/0x3A escape to the three-byte maps (SSSE3/SSE4 space).
+	t[0x38] = entry{enc: encEscape38}
+	t[0x3A] = entry{enc: encEscape3A}
+
+	// 0xD0-0xFE: MMX/SSE arithmetic space (ModRM forms). A few slots are
+	// genuinely undefined; keep the common shape and carve out 0xFF.
+	for b := 0xD0; b <= 0xFE; b++ {
+		t[b] = entry{op: OpMMX, enc: encModRM, mem: memRead}
+	}
+	t[0xFF] = entry{op: OpInvalid, enc: encNone, flags: FlagUndefined}
+
+	return t
+}
+
+// threeByte38 is the 0F 38 map: uniformly ModRM-form SIMD operations
+// where defined. Only the architecturally defined ranges are marked
+// valid; the rest raise #UD.
+var threeByte38 = buildThreeByte38()
+
+func buildThreeByte38() [256]entry {
+	var t [256]entry
+	for i := range t {
+		t[i] = entry{op: OpInvalid, enc: encModRM, flags: FlagUndefined}
+	}
+	// SSSE3: 00-0B, 1C-1E; SSE4.1: 10-17, 20-25, 28-2B, 30-3D, 40-41;
+	// SSE4.2/CRC: F0-F1.
+	mark := func(lo, hi int) {
+		for b := lo; b <= hi; b++ {
+			t[b] = entry{op: OpSSE, enc: encModRM, mem: memRead}
+		}
+	}
+	mark(0x00, 0x0B)
+	mark(0x10, 0x17)
+	mark(0x1C, 0x1E)
+	mark(0x20, 0x25)
+	mark(0x28, 0x2B)
+	mark(0x30, 0x3D)
+	mark(0x40, 0x41)
+	mark(0xF0, 0xF1)
+	return t
+}
+
+// threeByte3A is the 0F 3A map: ModRM + imm8 forms where defined.
+var threeByte3A = buildThreeByte3A()
+
+func buildThreeByte3A() [256]entry {
+	var t [256]entry
+	for i := range t {
+		t[i] = entry{op: OpInvalid, enc: encModRMIb, flags: FlagUndefined}
+	}
+	mark := func(lo, hi int) {
+		for b := lo; b <= hi; b++ {
+			t[b] = entry{op: OpSSE, enc: encModRMIb, mem: memRead}
+		}
+	}
+	mark(0x08, 0x0F) // round/blend/palignr
+	mark(0x14, 0x17) // pextr/extractps
+	mark(0x20, 0x22) // pinsr/insertps
+	mark(0x40, 0x42) // dpps/dppd/mpsadbw
+	mark(0x60, 0x63) // pcmpestr/pcmpistr
+	return t
+}

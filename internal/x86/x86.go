@@ -1,0 +1,299 @@
+// Package x86 implements a self-contained IA-32 instruction decoder: the
+// full one-byte opcode map, the common two-byte (0x0F) map, prefix
+// handling, ModRM/SIB/displacement/immediate sizing, and a semantic
+// classification of each instruction (control flow, I/O, privileged,
+// memory access shape). It is the disassembly substrate underneath every
+// detector in this repository — a pure-Go port of the subset of a
+// capstone-style disassembler that MEL analysis requires.
+//
+// The decoder targets 32-bit protected mode (the environment of the
+// paper): default operand and address size are 32 bits, switchable per
+// instruction by the 0x66/0x67 prefixes.
+package x86
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Decode errors. ErrTruncated means the byte stream ended inside an
+// instruction; ErrTooManyPrefixes means the 15-byte architectural limit
+// was exceeded by prefixes alone.
+var (
+	ErrTruncated       = errors.New("x86: truncated instruction")
+	ErrTooManyPrefixes = errors.New("x86: instruction exceeds 15 bytes")
+)
+
+// MaxInstLen is the architectural limit on IA-32 instruction length.
+const MaxInstLen = 15
+
+// Reg identifies a 32-bit general-purpose register (the encoding order of
+// the architecture).
+type Reg int8
+
+// General-purpose registers in encoding order.
+const (
+	EAX Reg = iota
+	ECX
+	EDX
+	EBX
+	ESP
+	EBP
+	ESI
+	EDI
+	// RegNone marks an absent register operand.
+	RegNone Reg = -1
+)
+
+var regNames = [8]string{"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"}
+
+// String returns the conventional register name.
+func (r Reg) String() string {
+	if r >= 0 && int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return "none"
+}
+
+// Seg identifies a segment register, used for override prefixes.
+type Seg int8
+
+// Segment registers. SegNone means no override prefix was present.
+const (
+	SegNone Seg = iota
+	SegES
+	SegCS
+	SegSS
+	SegDS
+	SegFS
+	SegGS
+)
+
+var segNames = [...]string{"", "es", "cs", "ss", "ds", "fs", "gs"}
+
+// String returns the segment register name ("" for SegNone).
+func (s Seg) String() string {
+	if s >= 0 && int(s) < len(segNames) {
+		return segNames[s]
+	}
+	return "?"
+}
+
+// Flags classifies an instruction's semantics; multiple bits may be set.
+type Flags uint32
+
+// Flag bits.
+const (
+	// FlagCondBranch marks conditional control transfer (Jcc, LOOPcc, JECXZ).
+	FlagCondBranch Flags = 1 << iota
+	// FlagUncondJump marks unconditional JMP (near relative or indirect).
+	FlagUncondJump
+	// FlagCall marks CALL (near relative, indirect, or far).
+	FlagCall
+	// FlagRet marks RET/RETF/IRET.
+	FlagRet
+	// FlagInt marks software interrupts (INT, INT3, INTO).
+	FlagInt
+	// FlagIO marks I/O instructions (IN, OUT, INS, OUTS) — privileged for
+	// user code at the default IOPL, the paper's key text invalidator.
+	FlagIO
+	// FlagPrivileged marks instructions that fault at CPL 3 (HLT, CLI, ...).
+	FlagPrivileged
+	// FlagUndefined marks opcodes that raise #UD.
+	FlagUndefined
+	// FlagString marks implicit-memory string instructions (MOVS, STOS, ...).
+	FlagString
+	// FlagFPU marks x87 escape opcodes (D8-DF).
+	FlagFPU
+	// FlagSystem marks system-table instructions (LGDT-class, MOV CR, ...).
+	FlagSystem
+	// FlagStack marks instructions that implicitly access the stack
+	// (PUSH/POP/PUSHA/POPA/ENTER/LEAVE/CALL/RET/...).
+	FlagStack
+	// FlagIndirect marks control transfers through a register or memory
+	// operand (target not statically known).
+	FlagIndirect
+	// FlagFar marks far control transfers (CALLF/JMPF/RETF).
+	FlagFar
+)
+
+// Has reports whether all bits in mask are set.
+func (f Flags) Has(mask Flags) bool { return f&mask == mask }
+
+// Prefixes records the instruction's prefix bytes in decoded form.
+type Prefixes struct {
+	// Seg is the segment-override prefix, SegNone if absent.
+	Seg Seg
+	// OpSize is true when 0x66 toggles to 16-bit operands.
+	OpSize bool
+	// AddrSize is true when 0x67 toggles to 16-bit addressing.
+	AddrSize bool
+	// Lock is true when 0xF0 is present.
+	Lock bool
+	// RepNE is true when 0xF2 is present.
+	RepNE bool
+	// Rep is true when 0xF3 is present.
+	Rep bool
+	// Count is the total number of prefix bytes consumed.
+	Count int
+}
+
+// Inst is one decoded IA-32 instruction.
+type Inst struct {
+	// Offset is the position of the first byte within the decoded stream.
+	Offset int
+	// Len is the total encoded length in bytes, including prefixes.
+	Len int
+	// Op is the operation mnemonic identifier.
+	Op Op
+	// Cond is the condition code (0-15) for Jcc/SETcc/CMOVcc, else 0.
+	Cond byte
+	// Prefixes holds the decoded prefix state.
+	Prefixes Prefixes
+	// Opcode is the primary opcode byte (the second byte for 0x0F forms).
+	Opcode byte
+	// TwoByte is true for 0x0F-escaped opcodes.
+	TwoByte bool
+	// ThreeByte is true for 0F 38 / 0F 3A opcodes (Opcode then holds the
+	// third byte).
+	ThreeByte bool
+
+	// HasModRM is true when a ModRM byte follows the opcode; Mod, Reg and
+	// RM are its decoded fields.
+	HasModRM bool
+	ModRM    byte
+	Mod      byte
+	RegField byte
+	RM       byte
+	// HasSIB is true when a SIB byte is present.
+	HasSIB bool
+	SIB    byte
+
+	// Disp is the sign-extended displacement; DispSize its encoded width
+	// in bytes (0 if absent).
+	Disp     int32
+	DispSize int
+	// Imm is the sign-extended immediate; ImmSize its width (0 if absent).
+	// ENTER's second immediate is packed into Imm2.
+	Imm     int64
+	ImmSize int
+	Imm2    int64
+
+	// MemAccess is true when the instruction references memory (explicit
+	// ModRM memory operand, moffs form, XLAT, or string implicit memory).
+	// LEA does not access memory.
+	MemAccess bool
+	// MemWrite/MemRead describe the direction of the explicit access.
+	MemWrite bool
+	MemRead  bool
+	// MemBase/MemIndex are the address-forming registers (RegNone if
+	// absent); MemScale is the SIB scale factor (1 when no SIB).
+	MemBase  Reg
+	MemIndex Reg
+	MemScale uint8
+	// MemDispOnly is true for absolute-address operands (mod=00 rm=101,
+	// or moffs forms) — the paper's "explicit memory address" case.
+	MemDispOnly bool
+
+	// Flags is the semantic classification.
+	Flags Flags
+
+	// RelTarget is, for relative branches, the stream offset of the
+	// target (Offset + Len + displacement). Valid only when HasRelTarget.
+	RelTarget    int
+	HasRelTarget bool
+}
+
+// IsBranch reports whether the instruction is any control transfer.
+func (i *Inst) IsBranch() bool {
+	return i.Flags&(FlagCondBranch|FlagUncondJump|FlagCall|FlagRet|FlagInt) != 0
+}
+
+// EffectiveSeg returns the segment the explicit memory operand uses:
+// the override if present, otherwise SS for EBP/ESP-based addresses and
+// DS for everything else.
+func (i *Inst) EffectiveSeg() Seg {
+	if !i.MemAccess {
+		return SegNone
+	}
+	if i.Prefixes.Seg != SegNone {
+		return i.Prefixes.Seg
+	}
+	if i.MemBase == EBP || i.MemBase == ESP {
+		return SegSS
+	}
+	return SegDS
+}
+
+// String renders a short human-readable form, e.g. "sub [ecx+0x41], eax".
+func (i *Inst) String() string {
+	name := i.Mnemonic()
+	if !i.HasModRM || !i.MemAccess {
+		// Opcode-embedded register forms read better with the register.
+		if !i.TwoByte {
+			switch op := i.Opcode; {
+			case op >= 0x40 && op <= 0x5F, op >= 0x91 && op <= 0x97:
+				return fmt.Sprintf("%s %s", name, Reg(op&7))
+			case op >= 0xB0 && op <= 0xBF:
+				return fmt.Sprintf("%s %s, 0x%x", name, Reg(op&7),
+					uint64(i.Imm)&(1<<(8*uint(i.ImmSize))-1))
+			}
+		}
+		if i.HasModRM && i.Mod == 3 {
+			if i.ImmSize > 0 {
+				return fmt.Sprintf("%s %s, 0x%x", name, Reg(i.RM),
+					uint64(i.Imm)&(1<<(8*uint(i.ImmSize))-1))
+			}
+			return fmt.Sprintf("%s %s, %s", name, Reg(i.RM), Reg(i.RegField))
+		}
+		if i.ImmSize > 0 {
+			return fmt.Sprintf("%s 0x%x", name, uint64(i.Imm)&(1<<(8*uint(i.ImmSize))-1))
+		}
+		if i.HasRelTarget {
+			return fmt.Sprintf("%s +%d", name, i.RelTarget)
+		}
+		return name
+	}
+	mem := "["
+	if s := i.Prefixes.Seg; s != SegNone {
+		mem += s.String() + ":"
+	}
+	sep := ""
+	if i.MemBase != RegNone {
+		mem += i.MemBase.String()
+		sep = "+"
+	}
+	if i.MemIndex != RegNone {
+		mem += fmt.Sprintf("%s%s*%d", sep, i.MemIndex.String(), i.MemScale)
+		sep = "+"
+	}
+	if i.DispSize > 0 || sep == "" {
+		mem += fmt.Sprintf("%s0x%x", sep, uint32(i.Disp))
+	}
+	mem += "]"
+	if i.ImmSize > 0 {
+		return fmt.Sprintf("%s %s, 0x%x", name, mem, uint64(i.Imm)&(1<<(8*uint(i.ImmSize))-1))
+	}
+	return fmt.Sprintf("%s %s", name, mem)
+}
+
+// Mnemonic returns the lower-case mnemonic, resolving condition codes for
+// Jcc/SETcc/CMOVcc.
+func (i *Inst) Mnemonic() string {
+	switch i.Op {
+	case OpJcc:
+		return "j" + condNames[i.Cond&0xF]
+	case OpSetcc:
+		return "set" + condNames[i.Cond&0xF]
+	case OpCmovcc:
+		return "cmov" + condNames[i.Cond&0xF]
+	default:
+		return i.Op.String()
+	}
+}
+
+// condNames maps condition-code nibbles to mnemonic suffixes.
+var condNames = [16]string{
+	"o", "no", "b", "ae", "e", "ne", "be", "a",
+	"s", "ns", "p", "np", "l", "ge", "le", "g",
+}

@@ -1,0 +1,237 @@
+// Package textmel is the public API of this repository: a reproduction
+// of "Analysis of Maximum Executable Length for Detecting Text-based
+// Malware" (Manna, Ranka, Chen — ICDCS 2008).
+//
+// It exposes four capability groups:
+//
+//   - Detection: a MEL-threshold text-malware detector whose threshold
+//     is derived automatically from character frequencies and a
+//     user-chosen false-positive bound α (no parameter tuning).
+//   - Modeling: the closed-form distribution of the maximum executable
+//     length over Bernoulli instruction streams, threshold derivation
+//     τ(α, n, p), iso-error curves, and disassembly-free estimation of
+//     n and p from a character-frequency table.
+//   - Offense (for evaluation): a rix/Eller-style encoder that turns
+//     binary shellcode into functionally equivalent pure-text worms,
+//     plus an IA-32 emulator that verifies each worm actually spawns a
+//     shell.
+//   - Workloads: deterministic benign-traffic generation matching the
+//     character statistics the paper's estimates rest on.
+//
+// Quick start:
+//
+//	det, err := textmel.NewDetector()
+//	if err != nil { ... }
+//	verdict, err := det.Scan(payload)
+//	if verdict.Malicious { ... }
+package textmel
+
+import (
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/emu"
+	"repro/internal/encoder"
+	"repro/internal/mel"
+	"repro/internal/melmodel"
+	"repro/internal/montecarlo"
+	"repro/internal/proxy"
+	"repro/internal/shellcode"
+	"repro/internal/x86"
+)
+
+// Detection API.
+type (
+	// Detector is the auto-threshold MEL detector.
+	Detector = core.Detector
+	// Verdict is the result of scanning one payload.
+	Verdict = core.Verdict
+	// Evaluation tabulates detection quality over labelled batches.
+	Evaluation = core.Evaluation
+	// DetectorOption configures NewDetector.
+	DetectorOption = core.Option
+)
+
+// NewDetector builds a detector; see the core options re-exported below.
+func NewDetector(opts ...DetectorOption) (*Detector, error) {
+	return core.New(opts...)
+}
+
+// Detector options.
+var (
+	// WithAlpha sets the false-positive bound α (default 0.01).
+	WithAlpha = core.WithAlpha
+	// WithRules overrides the instruction-invalidity rules.
+	WithRules = core.WithRules
+	// WithMode overrides the MEL scan mode.
+	WithMode = core.WithMode
+	// WithPresetFrequencies calibrates from a character table.
+	WithPresetFrequencies = core.WithPresetFrequencies
+	// WithPerInputCalibration estimates p from each payload itself.
+	WithPerInputCalibration = core.WithPerInputCalibration
+)
+
+// MEL measurement API.
+type (
+	// Rules selects instruction-invalidity conditions.
+	Rules = mel.Rules
+	// ScanMode selects sequential or all-paths MEL semantics.
+	ScanMode = mel.Mode
+	// MELResult is a raw engine measurement.
+	MELResult = mel.Result
+	// MELEngine measures MEL under a rule set.
+	MELEngine = mel.Engine
+	// TraceStep is one instruction of a traced execution path.
+	TraceStep = mel.TraceStep
+)
+
+// FormatTrace renders a traced path as a disassembly listing.
+var FormatTrace = mel.FormatTrace
+
+// Scan modes and rule presets.
+var (
+	// NewMELEngine returns a sequential-mode engine.
+	NewMELEngine = mel.NewEngine
+	// NewMELEngineMode returns an engine with an explicit mode.
+	NewMELEngineMode = mel.NewEngineMode
+	// DAWNRules is the paper's full text-aware rule set.
+	DAWNRules = mel.DAWN
+	// DAWNStatelessRules is DAWN without register tracking.
+	DAWNStatelessRules = mel.DAWNStateless
+	// APERules is the narrow Toth-Kruegel baseline rule set.
+	APERules = mel.APE
+)
+
+// Scan-mode constants.
+const (
+	ModeSequential = mel.ModeSequential
+	ModeAllPaths   = mel.ModeAllPaths
+)
+
+// Model API (Section 3).
+type (
+	// ModelParams are the Section 5.2 estimates (n, p, z, E[len], ...).
+	ModelParams = melmodel.Params
+	// IsoErrorPoint is one (p, τ) pair at constant α.
+	IsoErrorPoint = melmodel.IsoErrorPoint
+)
+
+// Model functions.
+var (
+	// MELCDF is Prob[Xmax <= x] for n instructions at invalidity p.
+	MELCDF = melmodel.CDF
+	// MELPMF is Prob[Xmax = x].
+	MELPMF = melmodel.PMF
+	// Threshold derives τ(α, n, p) with the paper's approximation.
+	Threshold = melmodel.Threshold
+	// ThresholdExact inverts the full CDF numerically.
+	ThresholdExact = melmodel.ThresholdExact
+	// FalsePositiveProb is Prob[Xmax > τ].
+	FalsePositiveProb = melmodel.FalsePositiveProb
+	// EstimateParams derives n and p from a frequency table (no
+	// disassembly).
+	EstimateParams = melmodel.Estimate
+	// IsoErrorCurve sweeps the constant-α (p, τ) curve of Figure 2.
+	IsoErrorCurve = melmodel.IsoErrorCurve
+)
+
+// Monte-Carlo verification (Figure 1).
+type (
+	// MonteCarloConfig describes a coin-toss simulation of the model.
+	MonteCarloConfig = montecarlo.Config
+)
+
+// Monte-Carlo entry points.
+var (
+	// RunMonteCarlo simulates the MEL distribution.
+	RunMonteCarlo = montecarlo.Run
+	// MonteCarloPMF returns the empirical PMF directly.
+	MonteCarloPMF = montecarlo.EmpiricalPMF
+)
+
+// Offense API (worm construction and verification).
+type (
+	// TextWorm is a generated pure-text malware payload.
+	TextWorm = encoder.Worm
+	// WormOptions configures text-worm generation.
+	WormOptions = encoder.Options
+	// Shellcode is one binary payload from the corpus.
+	Shellcode = shellcode.Shellcode
+)
+
+// Worm construction.
+var (
+	// EncodeWorm converts binary shellcode to a pure-text worm.
+	EncodeWorm = encoder.Encode
+	// ShellcodeCorpus returns the built-in binary payloads.
+	ShellcodeCorpus = shellcode.Corpus
+	// ShellcodeVariants diversifies the execve payload deterministically.
+	ShellcodeVariants = shellcode.Variants
+)
+
+// Workload API.
+type (
+	// TrafficCase is one benign test input.
+	TrafficCase = corpus.Case
+)
+
+// Workload helpers.
+var (
+	// BenignDataset builds the Section 5.1 corpus shape.
+	BenignDataset = corpus.Dataset
+	// EnglishFrequencies is the pre-set English character table.
+	EnglishFrequencies = corpus.EnglishFreq
+	// Frequencies measures a sample's character distribution.
+	Frequencies = corpus.Frequencies
+)
+
+// Deployment API.
+type (
+	// StreamScanner applies the detector to byte streams in overlapping
+	// windows.
+	StreamScanner = core.StreamScanner
+	// StreamAlert is one flagged stream window.
+	StreamAlert = core.StreamAlert
+	// CalibrationProfile is the serializable calibration state.
+	CalibrationProfile = core.Profile
+	// ScanProxy is the inline MEL-scanning TCP proxy.
+	ScanProxy = proxy.Proxy
+	// ScanProxyConfig configures a ScanProxy.
+	ScanProxyConfig = proxy.Config
+	// ProxyAlert is one detection event on a proxied connection.
+	ProxyAlert = proxy.Alert
+)
+
+// Deployment constructors.
+var (
+	// NewStreamScanner wraps a detector for windowed stream scanning.
+	NewStreamScanner = core.NewStreamScanner
+	// ReadCalibrationProfile loads a serialized profile.
+	ReadCalibrationProfile = core.ReadProfile
+	// NewDetectorFromProfile builds a detector from a profile.
+	NewDetectorFromProfile = core.NewFromProfile
+	// NewScanProxy builds an inline scanning proxy.
+	NewScanProxy = proxy.New
+)
+
+// VerifyWormSpawnsShell executes a text worm in the built-in IA-32
+// emulator under the exploit contract (EIP at the worm start, ESP offset
+// by the worm's ESPDelta) and reports whether it reaches
+// execve("/bin/sh") — the paper's Section 5.1 functional check.
+func VerifyWormSpawnsShell(w *TextWorm) (bool, error) {
+	mem, err := emu.NewMemory(emu.DefaultBase, 1<<16)
+	if err != nil {
+		return false, err
+	}
+	cpu, err := emu.New(mem)
+	if err != nil {
+		return false, err
+	}
+	start := mem.Base() + 0x4000
+	if err := mem.Load(start, w.Bytes); err != nil {
+		return false, err
+	}
+	cpu.EIP = start
+	cpu.SetReg(x86.ESP, start-uint32(w.ESPDelta))
+	out := cpu.Run(1 << 20)
+	return out.ShellSpawned(), nil
+}

@@ -1,0 +1,214 @@
+package textmel
+
+import (
+	"testing"
+)
+
+// TestPublicAPIEndToEnd drives the whole public surface once: build the
+// corpus, generate a verified worm, detect it, and spare the benign.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	det, err := NewDetector(WithAlpha(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	benign, err := BenignDataset(1, 5, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range benign {
+		v, err := det.Scan(c.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Malicious {
+			t.Errorf("benign case %d flagged (MEL=%d τ=%.1f)", i, v.MEL, v.Threshold)
+		}
+	}
+
+	worm, err := EncodeWorm(ShellcodeCorpus()[0].Code, WormOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := VerifyWormSpawnsShell(worm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("worm did not spawn a shell in the emulator")
+	}
+	v, err := det.Scan(worm.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Malicious {
+		t.Errorf("worm evaded detection (MEL=%d τ=%.1f)", v.MEL, v.Threshold)
+	}
+}
+
+func TestPublicModelSurface(t *testing.T) {
+	tau, err := Threshold(0.01, 1540, 0.227)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau < 40 || tau > 41 {
+		t.Errorf("τ = %v, paper: 40.61", tau)
+	}
+	cdf, err := MELCDF(40, 1540, 0.227)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdf < 0.98 || cdf > 1 {
+		t.Errorf("CDF(40) = %v", cdf)
+	}
+	pmf, err := MELPMF(20, 1540, 0.227)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pmf <= 0 || pmf > 0.2 {
+		t.Errorf("PMF(20) = %v", pmf)
+	}
+	params, err := EstimateParams(EnglishFrequencies(), 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if params.N == 0 {
+		t.Error("estimate returned zero n")
+	}
+	curve, err := IsoErrorCurve(0.01, 1540, 0.05, 0.5, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) == 0 {
+		t.Error("empty iso-error curve")
+	}
+}
+
+func TestPublicMELEngines(t *testing.T) {
+	seqEng := NewMELEngine(DAWNRules())
+	res, err := seqEng.Scan([]byte("GET /index.html HTTP/1.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MEL <= 0 {
+		t.Errorf("MEL = %d", res.MEL)
+	}
+	allEng := NewMELEngineMode(APERules(), ModeAllPaths)
+	res2, err := allEng.Scan([]byte("GET /index.html HTTP/1.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.MEL < res.MEL {
+		t.Errorf("APE all-paths MEL %d < DAWN sequential %d", res2.MEL, res.MEL)
+	}
+}
+
+func TestPublicMonteCarlo(t *testing.T) {
+	hist, err := RunMonteCarlo(MonteCarloConfig{N: 1000, P: 0.175, Rounds: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Total() != 200 {
+		t.Errorf("rounds recorded = %d", hist.Total())
+	}
+	pmf, err := MonteCarloPMF(MonteCarloConfig{N: 1000, P: 0.175, Rounds: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pmf) == 0 {
+		t.Error("empty PMF")
+	}
+}
+
+func TestShellcodeVariantsExposed(t *testing.T) {
+	variants := ShellcodeVariants(3, 5)
+	if len(variants) != 5 {
+		t.Fatalf("got %d variants", len(variants))
+	}
+	w, err := EncodeWorm(variants[0].Code, WormOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := VerifyWormSpawnsShell(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("variant worm failed to spawn shell")
+	}
+}
+
+func TestDeploymentSurface(t *testing.T) {
+	det, err := NewDetector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream scanning through the facade.
+	s, err := NewStreamScanner(det, 2048, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worm, err := EncodeWorm(ShellcodeCorpus()[0].Code, WormOptions{Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write(worm.Bytes); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Alerts()) == 0 {
+		t.Error("stream scanner missed the worm")
+	}
+	// Profile round trip through the facade.
+	profile, err := det.ExportProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewDetectorFromProfile(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := det.Scan(worm.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := restored.Scan(worm.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.MEL != v2.MEL || v1.Malicious != v2.Malicious {
+		t.Error("profile-restored detector disagrees")
+	}
+	// Proxy construction through the facade.
+	p, err := NewScanProxy(ScanProxyConfig{Detector: det, Upstream: "127.0.0.1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceSurface(t *testing.T) {
+	eng := NewMELEngine(DAWNRules())
+	worm, err := EncodeWorm(ShellcodeCorpus()[0].Code, WormOptions{Seed: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Scan(worm.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, err := eng.Trace(worm.Bytes, res.BestStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 {
+		t.Fatal("empty trace")
+	}
+	if FormatTrace(steps, 10) == "" {
+		t.Error("empty formatted trace")
+	}
+}
