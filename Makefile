@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench fuzz report cover clean
+.PHONY: all build test vet bench bench-engine fuzz report cover clean
 
 all: build vet test
 
@@ -10,14 +10,19 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Race-enabled everywhere: the engine's pooled scan state and the
+# detector's threshold cache are shared across goroutines.
 test:
-	$(GO) test ./...
+	$(GO) test -race ./...
 
 race:
 	$(GO) test -race ./internal/core/ ./internal/proxy/
 
 bench:
 	$(GO) test -bench=. -benchmem -run NONE .
+
+bench-engine:
+	$(GO) run ./cmd/melbench -exp engine
 
 fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/x86/

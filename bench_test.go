@@ -298,6 +298,106 @@ func BenchmarkThresholdDerivation(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineScanBenign4K is the acceptance benchmark for the
+// optimized engine: default rules (full DAWN, sequential mode) on a 4 KB
+// benign text case. Compare against BenchmarkEngineScanReference4K for
+// the before/after speedup.
+func BenchmarkEngineScanBenign4K(b *testing.B) {
+	cases, err := BenignDataset(benchSeed, 1, 4000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := mel.NewEngine(mel.DAWN())
+	b.SetBytes(int64(len(cases[0].Data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Scan(cases[0].Data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineScanReference4K runs the retained seed implementation
+// on the same workload — the denominator of the speedup claim.
+func BenchmarkEngineScanReference4K(b *testing.B) {
+	cases, err := BenignDataset(benchSeed, 1, 4000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := mel.NewEngine(mel.DAWN())
+	b.SetBytes(int64(len(cases[0].Data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.ScanReference(cases[0].Data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineScanWorm4K scans a generated text worm embedded in
+// benign text — the positive-case cost, where valid paths are long.
+func BenchmarkEngineScanWorm4K(b *testing.B) {
+	cases, err := BenignDataset(benchSeed, 1, 4000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	worm, err := EncodeWorm(ShellcodeCorpus()[0].Code, WormOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := append(append([]byte{}, cases[0].Data[:2000]...), worm.Bytes...)
+	data = append(data, cases[0].Data[2000:]...)
+	if len(data) > 4096 {
+		data = data[:4096]
+	}
+	eng := mel.NewEngine(mel.DAWN())
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Scan(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamScannerThroughput measures steady-state windowed stream
+// scanning through the full detector (the per-connection deployment
+// path). Allocations must stay at zero once the threshold cache and the
+// engine state pool are warm.
+func BenchmarkStreamScannerThroughput(b *testing.B) {
+	det, err := NewDetector()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases, err := BenignDataset(benchSeed, 8, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stream []byte
+	for _, c := range cases {
+		stream = append(stream, c.Data...)
+	}
+	s, err := NewStreamScanner(det, 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the threshold cache and state pool before measuring.
+	if _, err := s.Write(stream); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(stream)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Write(stream); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEmulatorWormRun measures full worm execution in the emulator.
 func BenchmarkEmulatorWormRun(b *testing.B) {
 	worm, err := EncodeWorm(ShellcodeCorpus()[0].Code, WormOptions{Seed: 1})

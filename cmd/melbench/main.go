@@ -21,6 +21,7 @@
 //	melbench -exp styles   ablation: decrypter shapes incl. multilevel
 //	melbench -exp sizes    ablation: input-size scaling of n and tau
 //	melbench -exp exploit  end-to-end exploit chain vs the vulnerable service
+//	melbench -exp engine   scan-engine throughput; writes BENCH_engine.json
 package main
 
 import (
@@ -46,6 +47,7 @@ func run(args []string, w io.Writer) error {
 	rounds := fs.Int("rounds", 10000, "Monte-Carlo rounds for Figure 1")
 	cases := fs.Int("cases", experiments.DefaultCases, "benign cases for detection experiments")
 	worms := fs.Int("worms", experiments.DefaultWorms, "text worms for detection experiments")
+	benchOut := fs.String("benchout", "BENCH_engine.json", "engine benchmark artifact path (empty to skip the file)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -122,12 +124,16 @@ func run(args []string, w io.Writer) error {
 			_, err := experiments.SizeSweep(w, *seed, *cases/5, *worms/5)
 			return err
 		},
+		"engine": func() error {
+			_, err := experiments.EngineBench(w, *benchOut, *seed)
+			return err
+		},
 	}
 	runners["detect"] = runners["fig3"]
 
 	if *exp == "all" {
 		order := []string{"fig1n", "fig1p", "chisq", "approx", "fig2", "params",
-			"fig3", "av", "binary", "ape", "xor", "payl", "rules", "alpha", "styles", "sizes", "exploit"}
+			"fig3", "av", "binary", "ape", "xor", "payl", "rules", "alpha", "styles", "sizes", "exploit", "engine"}
 		for _, id := range order {
 			if err := runners[id](); err != nil {
 				return fmt.Errorf("%s: %w", id, err)

@@ -12,8 +12,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/corpus"
 	"repro/internal/mel"
@@ -37,7 +39,27 @@ type Detector struct {
 	freq     [256]float64
 	perInput bool
 	ready    bool
+
+	// calib holds the frequency-dependent model parameters, computed once
+	// per calibration. It is nil when the table is unsuitable (the error
+	// then surfaces on Scan, exactly as the uncached path reported it) and
+	// unused under per-input calibration.
+	calib *melmodel.Calibration
+	// tauCache memoizes (Params, τ) by payload length: stream windows are
+	// all the same size, so threshold derivation is paid once per size.
+	tauMu    sync.RWMutex
+	tauCache map[int]tauEntry
 }
+
+// tauEntry is one cached threshold derivation.
+type tauEntry struct {
+	params melmodel.Params
+	tau    float64
+}
+
+// tauCacheLimit bounds the threshold cache; beyond this many distinct
+// payload sizes, further derivations are computed but not stored.
+const tauCacheLimit = 4096
 
 // Option configures a Detector.
 type Option func(*Detector) error
@@ -113,7 +135,51 @@ func New(opts ...Option) (*Detector, error) {
 		d.ready = true
 	}
 	d.engine = mel.NewEngineMode(d.rules, d.mode)
+	d.recalibrate()
 	return d, nil
+}
+
+// recalibrate rebuilds the cached frequency-dependent parameters and
+// clears the threshold cache. A table NewCalibration rejects leaves
+// calib nil; Scan then reports the error through the uncached path.
+func (d *Detector) recalibrate() {
+	d.calib = nil
+	if !d.perInput {
+		if cal, err := melmodel.NewCalibration(d.freq); err == nil {
+			d.calib = cal
+		}
+	}
+	d.tauMu.Lock()
+	d.tauCache = nil
+	d.tauMu.Unlock()
+}
+
+// threshold returns the model parameters and τ for a payload of n bytes,
+// from the cache when possible.
+func (d *Detector) threshold(n int) (melmodel.Params, float64, error) {
+	d.tauMu.RLock()
+	e, ok := d.tauCache[n]
+	d.tauMu.RUnlock()
+	if ok {
+		return e.params, e.tau, nil
+	}
+	params, err := d.calib.Params(n)
+	if err != nil {
+		return melmodel.Params{}, 0, fmt.Errorf("scan: estimate parameters: %w", err)
+	}
+	tau, err := melmodel.Threshold(d.alpha, params.N, params.P)
+	if err != nil {
+		return melmodel.Params{}, 0, fmt.Errorf("scan: derive threshold: %w", err)
+	}
+	d.tauMu.Lock()
+	if d.tauCache == nil {
+		d.tauCache = make(map[int]tauEntry)
+	}
+	if len(d.tauCache) < tauCacheLimit {
+		d.tauCache[n] = tauEntry{params: params, tau: tau}
+	}
+	d.tauMu.Unlock()
+	return params, tau, nil
 }
 
 // Calibrate sets the frequency table from a benign training sample.
@@ -125,6 +191,7 @@ func (d *Detector) Calibrate(training []byte) error {
 	d.freq = freq
 	d.perInput = false
 	d.ready = true
+	d.recalibrate()
 	return nil
 }
 
@@ -156,21 +223,34 @@ func (d *Detector) Scan(payload []byte) (Verdict, error) {
 	if len(payload) == 0 {
 		return Verdict{}, ErrEmptyPayload
 	}
-	freq := d.freq
-	if d.perInput {
-		f, err := corpus.Frequencies(payload)
+	var (
+		params melmodel.Params
+		tau    float64
+	)
+	if !d.perInput && d.calib != nil {
+		p, t, err := d.threshold(len(payload))
 		if err != nil {
-			return Verdict{}, fmt.Errorf("scan: %w", err)
+			return Verdict{}, err
 		}
-		freq = f
-	}
-	params, err := melmodel.Estimate(freq, len(payload))
-	if err != nil {
-		return Verdict{}, fmt.Errorf("scan: estimate parameters: %w", err)
-	}
-	tau, err := melmodel.Threshold(d.alpha, params.N, params.P)
-	if err != nil {
-		return Verdict{}, fmt.Errorf("scan: derive threshold: %w", err)
+		params, tau = p, t
+	} else {
+		freq := d.freq
+		if d.perInput {
+			f, err := corpus.Frequencies(payload)
+			if err != nil {
+				return Verdict{}, fmt.Errorf("scan: %w", err)
+			}
+			freq = f
+		}
+		p, err := melmodel.Estimate(freq, len(payload))
+		if err != nil {
+			return Verdict{}, fmt.Errorf("scan: estimate parameters: %w", err)
+		}
+		t, err := melmodel.Threshold(d.alpha, p.N, p.P)
+		if err != nil {
+			return Verdict{}, fmt.Errorf("scan: derive threshold: %w", err)
+		}
+		params, tau = p, t
 	}
 	res, err := d.engine.Scan(payload)
 	if err != nil {
@@ -186,17 +266,14 @@ func (d *Detector) Scan(payload []byte) (Verdict, error) {
 	}, nil
 }
 
-// ScanAll scans a batch and returns the verdicts.
+// ScanAll scans a batch and returns the verdicts in input order. It is
+// the single-worker form of ScanBatch, sharing its pooled scan state and
+// error wrapping.
 func (d *Detector) ScanAll(payloads [][]byte) ([]Verdict, error) {
-	out := make([]Verdict, 0, len(payloads))
-	for i, p := range payloads {
-		v, err := d.Scan(p)
-		if err != nil {
-			return nil, fmt.Errorf("payload %d: %w", i, err)
-		}
-		out = append(out, v)
+	if len(payloads) == 0 {
+		return []Verdict{}, nil
 	}
-	return out, nil
+	return d.ScanBatch(context.Background(), payloads, 1)
 }
 
 // Evaluation summarizes detection quality over labelled batches.

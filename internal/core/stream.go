@@ -58,26 +58,59 @@ func NewStreamScanner(det *Detector, window, stride int) (*StreamScanner, error)
 		det:    det,
 		window: window,
 		stride: stride,
-		buf:    make([]byte, 0, 2*window),
+		buf:    make([]byte, 0, window),
 	}, nil
 }
 
 // Write feeds stream bytes; full windows are scanned as they complete.
 // Write never blocks on detection results — collect them with Alerts.
+//
+// The carry buffer is bounded at one window: completed windows are
+// compacted by copying the overlap down rather than re-slicing, so the
+// backing array never grows, and when the buffer is empty whole windows
+// are scanned directly from p without copying at all.
 func (s *StreamScanner) Write(p []byte) (int, error) {
-	s.buf = append(s.buf, p...)
-	for len(s.buf) >= s.window {
-		v, err := s.det.Scan(s.buf[:s.window])
-		if err != nil {
-			return len(p), fmt.Errorf("window at %d: %w", s.offset, err)
+	n := len(p)
+	for {
+		if len(s.buf) == 0 {
+			// Zero-copy fast path: scan complete windows in place.
+			for len(p) >= s.window {
+				if err := s.scanWindow(p[:s.window]); err != nil {
+					return n, err
+				}
+				p = p[s.stride:]
+			}
+			s.buf = append(s.buf, p...)
+			return n, nil
 		}
-		if v.Malicious {
-			s.alerts = append(s.alerts, StreamAlert{Offset: s.offset, Verdict: v})
+		need := s.window - len(s.buf)
+		if need > len(p) {
+			s.buf = append(s.buf, p...)
+			return n, nil
 		}
-		s.buf = s.buf[s.stride:]
-		s.offset += int64(s.stride)
+		s.buf = append(s.buf, p[:need]...)
+		p = p[need:]
+		if err := s.scanWindow(s.buf); err != nil {
+			return n, err
+		}
+		// Keep the window overlap: copy it to the front of the buffer.
+		kept := copy(s.buf, s.buf[s.stride:])
+		s.buf = s.buf[:kept]
 	}
-	return len(p), nil
+}
+
+// scanWindow scans one full window and records the alert; on success the
+// stream position advances by one stride.
+func (s *StreamScanner) scanWindow(w []byte) error {
+	v, err := s.det.Scan(w)
+	if err != nil {
+		return fmt.Errorf("window at %d: %w", s.offset, err)
+	}
+	if v.Malicious {
+		s.alerts = append(s.alerts, StreamAlert{Offset: s.offset, Verdict: v})
+	}
+	s.offset += int64(s.stride)
+	return nil
 }
 
 // Flush scans the trailing partial window (if any). Call once at end of

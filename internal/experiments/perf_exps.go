@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/encoder"
+	"repro/internal/mel"
+	"repro/internal/shellcode"
+)
+
+// EngineBenchResult is one measured scan configuration.
+type EngineBenchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// EngineBenchReport is the BENCH_engine.json artifact: the engine's perf
+// trajectory, tracked across PRs. SpeedupSequential is the optimized
+// engine's ns/op improvement over the retained seed implementation on
+// the default-rules 4 KB benign scan.
+type EngineBenchReport struct {
+	Workload          string              `json:"workload"`
+	Results           []EngineBenchResult `json:"results"`
+	SpeedupSequential float64             `json:"speedup_sequential"`
+}
+
+// EngineBench measures MEL-engine scan throughput — optimized engine vs
+// the retained reference, plus the worm positive case and the windowed
+// stream path — and writes the JSON artifact to outPath ("" skips the
+// file).
+func EngineBench(w io.Writer, outPath string, seed uint64) (EngineBenchReport, error) {
+	cases, err := corpus.Dataset(seed, 8, 4096)
+	if err != nil {
+		return EngineBenchReport{}, err
+	}
+	benign := cases[0].Data[:4000]
+
+	worm, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: seed})
+	if err != nil {
+		return EngineBenchReport{}, err
+	}
+	wormCase := append(append([]byte{}, benign[:2000]...), worm.Bytes...)
+	wormCase = append(wormCase, benign[2000:]...)
+	if len(wormCase) > 4096 {
+		wormCase = wormCase[:4096]
+	}
+
+	eng := mel.NewEngine(mel.DAWN())
+
+	measure := func(name string, nbytes int, f func(b *testing.B)) EngineBenchResult {
+		r := testing.Benchmark(f)
+		nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		mbPerSec := 0.0
+		if nsPerOp > 0 {
+			mbPerSec = float64(nbytes) / nsPerOp * 1e9 / 1e6
+		}
+		return EngineBenchResult{
+			Name:        name,
+			NsPerOp:     nsPerOp,
+			MBPerSec:    mbPerSec,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+
+	report := EngineBenchReport{Workload: "4 KB benign text case, DAWN rules, sequential mode"}
+
+	optimized := measure("engine_scan_benign_4k", len(benign), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Scan(benign); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	reference := measure("engine_scan_reference_4k", len(benign), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.ScanReference(benign); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	wormRes := measure("engine_scan_worm_4k", len(wormCase), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Scan(wormCase); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	det, err := core.New()
+	if err != nil {
+		return EngineBenchReport{}, err
+	}
+	var stream []byte
+	for _, c := range cases {
+		stream = append(stream, c.Data...)
+	}
+	scanner, err := core.NewStreamScanner(det, 0, 0)
+	if err != nil {
+		return EngineBenchReport{}, err
+	}
+	if _, err := scanner.Write(stream); err != nil { // warm caches and pools
+		return EngineBenchReport{}, err
+	}
+	streamRes := measure("stream_scanner_throughput", len(stream), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := scanner.Write(stream); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	report.Results = []EngineBenchResult{optimized, reference, wormRes, streamRes}
+	if optimized.NsPerOp > 0 {
+		report.SpeedupSequential = reference.NsPerOp / optimized.NsPerOp
+	}
+
+	fmt.Fprintln(w, "E19: engine scan throughput (4 KB cases, DAWN rules)")
+	for _, r := range report.Results {
+		fmt.Fprintf(w, "  %-28s %12.0f ns/op %9.2f MB/s %6d allocs/op\n",
+			r.Name, r.NsPerOp, r.MBPerSec, r.AllocsPerOp)
+	}
+	fmt.Fprintf(w, "  sequential speedup vs reference: %.2fx\n", report.SpeedupSequential)
+
+	if outPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return report, err
+		}
+		if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+			return report, fmt.Errorf("write %s: %w", outPath, err)
+		}
+		fmt.Fprintf(w, "  wrote %s\n", outPath)
+	}
+	fmt.Fprintln(w)
+	return report, nil
+}

@@ -2,6 +2,8 @@ package mel
 
 import (
 	"errors"
+	"math"
+	"sync"
 
 	"repro/internal/x86"
 )
@@ -30,11 +32,18 @@ const (
 type Engine struct {
 	rules Rules
 	mode  Mode
+
+	// Compiled rule state: any instruction whose flags intersect
+	// invalidFlags is invalid, and wrongSeg is the WrongSegs map
+	// flattened to an array — one AND plus one index instead of five
+	// branch chains and a map hash per decoded offset.
+	invalidFlags x86.Flags
+	wrongSeg     [8]bool
 }
 
 // NewEngine returns a model-faithful (sequential-mode) engine.
 func NewEngine(rules Rules) *Engine {
-	return &Engine{rules: rules, mode: ModeSequential}
+	return NewEngineMode(rules, ModeSequential)
 }
 
 // NewEngineMode returns an engine with an explicit scan mode.
@@ -42,7 +51,45 @@ func NewEngineMode(rules Rules, mode Mode) *Engine {
 	if mode != ModeAllPaths {
 		mode = ModeSequential
 	}
-	return &Engine{rules: rules, mode: mode}
+	e := &Engine{rules: rules, mode: mode}
+	e.invalidFlags = x86.FlagUndefined
+	if rules.InvalidateIO {
+		e.invalidFlags |= x86.FlagIO
+	}
+	if rules.InvalidatePrivileged {
+		e.invalidFlags |= x86.FlagPrivileged
+	}
+	if rules.InvalidateInterrupts {
+		e.invalidFlags |= x86.FlagInt
+	}
+	if rules.InvalidateFarTransfers {
+		e.invalidFlags |= x86.FlagFar
+	}
+	for seg, wrong := range rules.WrongSegs {
+		if wrong && int(seg) >= 0 && int(seg) < len(e.wrongSeg) {
+			e.wrongSeg[seg] = true
+		}
+	}
+	return e
+}
+
+// invalidBase reports whether inst is invalid under the compiled rules,
+// ignoring register-initialization state — exactly Rules.Invalid with a
+// fully defined mask. Each rule bit is a distinct flag, so one mask
+// intersection replaces the per-rule branch chain.
+func (e *Engine) invalidBase(inst *x86.Inst) bool {
+	if inst.Flags&e.invalidFlags != 0 {
+		return true
+	}
+	if inst.MemAccess {
+		if inst.Prefixes.Seg != x86.SegNone && e.wrongSeg[inst.Prefixes.Seg] {
+			return true
+		}
+		if e.rules.InvalidateExplicitAddr && inst.MemDispOnly {
+			return true
+		}
+	}
+	return false
 }
 
 // Result is the outcome of a MEL scan.
@@ -56,24 +103,251 @@ type Result struct {
 	States int
 }
 
-// ErrEmptyStream reports a scan of an empty payload.
-var ErrEmptyStream = errors.New("mel: empty stream")
+// Scan errors.
+var (
+	// ErrEmptyStream reports a scan of an empty payload.
+	ErrEmptyStream = errors.New("mel: empty stream")
+	// ErrStreamTooLarge reports a stream longer than the engine's flat
+	// state tables can index (offsets must fit in int32).
+	ErrStreamTooLarge = errors.New("mel: stream exceeds maximum supported length")
 
-// pathStatus marks memoization states.
-type pathStatus uint8
-
-const (
-	statusNew pathStatus = iota
-	statusInProgress
-	statusDone
+	errOffsetRange = errors.New("mel: start offset out of range")
 )
 
-// scanState is the memoized exploration state for one stream.
+// maxStreamLen bounds scannable streams so offsets and path lengths fit
+// the int32 state tables.
+const maxStreamLen = math.MaxInt32 - 1
+
+// Memo cell encoding: 0 = unexplored (so resets are a memclr), -1 = on
+// the current DFS stack, v > 0 = resolved with path length v-1.
+const memoInProgress int32 = -1
+
+// Sequential successor records: recInvalid marks an undecodable or
+// rule-invalid offset, recEnd a path terminator (RET-class instruction,
+// or a transfer leaving the stream); anything else is the in-range
+// continuation offset.
+const (
+	recInvalid int32 = -1
+	recEnd     int32 = -2
+)
+
+// Control kinds of a pathRec.
+const (
+	ctrlSeq uint8 = iota // fall through to succ
+	ctrlInvalid
+	ctrlEnd  // RET-class: continuation unknown
+	ctrlCond // conditional branch: succ and target
+	ctrlJump // unconditional jump or near call: target only
+)
+
+// Register-mask transition kinds (the compiled form of apply).
+const (
+	transNone uint8 = iota
+	transOr         // mask |= arg
+	transCopy       // dst (arg low nibble) gets src's (high nibble) defined bit
+	transSwap       // swap the defined bits of the two nibble registers
+)
+
+// pathRec is one offset of the stream reduced to everything path
+// exploration needs: decoded exactly once, 12 bytes instead of a full
+// x86.Inst, so the visit loop stays in cache and never re-interprets
+// rule or register semantics.
+type pathRec struct {
+	succ     int32 // fall-through continuation, -1 if it leaves the stream
+	target   int32 // branch/call target, -1 if it leaves the stream
+	ctrl     uint8
+	needRegs uint8 // registers that must be defined, as a regMask
+	trKind   uint8
+	trArg    uint8
+}
+
+// applyTrans is the compiled form of apply: a precomputed transition
+// replayed against a concrete register mask.
+func applyTrans(kind, arg uint8, mask regMask) regMask {
+	switch kind {
+	case transOr:
+		return mask | regMask(arg)
+	case transCopy:
+		if mask&(1<<(arg>>4)) != 0 {
+			return mask | 1<<(arg&0xF)
+		}
+		return mask &^ (1 << (arg & 0xF))
+	case transSwap:
+		a, b := arg>>4, arg&0xF
+		bitA, bitB := mask&(1<<a) != 0, mask&(1<<b) != 0
+		mask &^= 1<<a | 1<<b
+		if bitB {
+			mask |= 1 << a
+		}
+		if bitA {
+			mask |= 1 << b
+		}
+		return mask
+	}
+	return mask
+}
+
+// transitionOf compiles apply(inst, ·) into a (kind, arg) transition.
+// Property-tested against apply over every mask in differential_test.go.
+func transitionOf(inst *x86.Inst) (uint8, uint8) {
+	switch inst.Op {
+	case x86.OpPOP:
+		if !inst.HasModRM && !inst.TwoByte && inst.Opcode >= 0x58 && inst.Opcode <= 0x5F {
+			return transOr, 1 << (inst.Opcode & 7)
+		}
+	case x86.OpPOPA:
+		return transOr, 0xFF
+	case x86.OpMOV:
+		switch {
+		case inst.Opcode >= 0xB0 && inst.Opcode <= 0xBF: // mov reg, imm
+			return transOr, 1 << (inst.Opcode & 7)
+		case inst.Opcode == 0x8B || inst.Opcode == 0x8A: // mov reg, r/m
+			if inst.Mod == 3 {
+				return transCopy, inst.RM<<4 | inst.RegField
+			}
+			// Loaded from memory: content unknown to the analysis but
+			// deterministic to the attacker; treat as defined.
+			return transOr, 1 << inst.RegField
+		case inst.Opcode == 0xA1: // mov eax, moffs
+			return transOr, 1 << uint(x86.EAX)
+		}
+	case x86.OpLEA:
+		if inst.MemBase == x86.RegNone {
+			return transOr, 1 << inst.RegField
+		}
+		return transCopy, uint8(inst.MemBase)<<4 | inst.RegField
+	case x86.OpXCHG:
+		if !inst.HasModRM && inst.Opcode >= 0x91 && inst.Opcode <= 0x97 {
+			return transSwap, uint8(x86.EAX)<<4 | inst.Opcode&7
+		}
+	case x86.OpXOR, x86.OpSUB:
+		// xor reg,reg / sub reg,reg define the register (zero).
+		if inst.HasModRM && inst.Mod == 3 && inst.RegField == inst.RM {
+			return transOr, 1 << inst.RM
+		}
+	case x86.OpMOVZX, x86.OpMOVSX:
+		return transOr, 1 << inst.RegField
+	case x86.OpIN:
+		return transOr, 1 << uint(x86.EAX)
+	case x86.OpCPUID:
+		return transOr, 0x0F // eax, ecx, edx, ebx
+	case x86.OpRDTSC, x86.OpCDQ:
+		return transOr, 0x05 // eax, edx
+	}
+	return transNone, 0
+}
+
+// Decode-cache cell states.
+const (
+	decodeUnknown uint8 = iota
+	decodeOK
+	decodeFailed
+)
+
+// scanState is the exploration state for one scan. All of it is flat,
+// preallocated, and recycled through statePool, so steady-state scans
+// allocate nothing: instructions are decoded at most once per offset
+// into insts, and memoization uses per-mask []int32 tables instead of
+// maps.
 type scanState struct {
-	e      *Engine
-	code   []byte
-	memo   map[uint32]int
-	status map[uint32]pathStatus
+	e    *Engine
+	code []byte
+
+	// Decode-once cache for the exploring scan modes.
+	insts   []x86.Inst
+	decoded []uint8
+
+	// Sequential-mode successor records.
+	recs []int32
+	// Full path records for the exploring scan modes.
+	precs []pathRec
+
+	// Per-register-mask memo tables. live marks tables initialized for
+	// the current stream; used lists them for O(used) release.
+	tables [256][]int32
+	live   [256]bool
+	used   []uint8
+
+	stack []int32
+	// maskStack holds (offset<<8 | mask) frames for the iterative
+	// tracked-sequential walk.
+	maskStack []uint64
+	states    int
+}
+
+var statePool = sync.Pool{New: func() any { return new(scanState) }}
+
+func acquireState(e *Engine, code []byte) *scanState {
+	s := statePool.Get().(*scanState)
+	s.e = e
+	s.code = code
+	s.states = 0
+	return s
+}
+
+func releaseState(s *scanState) {
+	for _, m := range s.used {
+		s.live[m] = false
+	}
+	s.used = s.used[:0]
+	s.e = nil
+	s.code = nil
+	statePool.Put(s)
+}
+
+// table returns the memo table for mask, sized for the current stream
+// and zeroed on first use within a scan.
+func (s *scanState) table(mask regMask) []int32 {
+	if s.live[mask] {
+		return s.tables[mask]
+	}
+	n := len(s.code)
+	t := s.tables[mask]
+	if cap(t) < n {
+		t = make([]int32, n)
+	} else {
+		t = t[:n]
+		clear(t)
+	}
+	s.tables[mask] = t
+	s.live[mask] = true
+	s.used = append(s.used, uint8(mask))
+	return t
+}
+
+// ensureDecodeCache sizes and resets the per-offset decode cache. The
+// exploring scan modes call it once per scan; the sequential DP never
+// needs it (it reduces each offset to a successor record instead).
+func (s *scanState) ensureDecodeCache() {
+	n := len(s.code)
+	if cap(s.insts) < n {
+		s.insts = make([]x86.Inst, n)
+	} else {
+		s.insts = s.insts[:n]
+	}
+	if cap(s.decoded) < n {
+		s.decoded = make([]uint8, n)
+	} else {
+		s.decoded = s.decoded[:n]
+		clear(s.decoded)
+	}
+}
+
+// inst returns the decoded instruction at off, decoding it on first
+// request only. A nil return means the stream truncates the instruction.
+func (s *scanState) inst(off int) *x86.Inst {
+	switch s.decoded[off] {
+	case decodeOK:
+		return &s.insts[off]
+	case decodeFailed:
+		return nil
+	}
+	if x86.DecodeInto(&s.insts[off], s.code, off) != nil {
+		s.decoded[off] = decodeFailed
+		return nil
+	}
+	s.decoded[off] = decodeOK
+	return &s.insts[off]
 }
 
 // Scan pseudo-executes every possible execution path in the stream —
@@ -84,24 +358,137 @@ func (e *Engine) Scan(stream []byte) (Result, error) {
 	if len(stream) == 0 {
 		return Result{}, ErrEmptyStream
 	}
-	s := &scanState{
-		e:      e,
-		code:   stream,
-		memo:   make(map[uint32]int, len(stream)),
-		status: make(map[uint32]pathStatus, len(stream)),
+	if len(stream) > maxStreamLen {
+		return Result{}, ErrStreamTooLarge
 	}
-	mask := regMask(0xFF)
-	if e.rules.TrackRegisterInit {
-		mask = initialMask
-	}
+	s := acquireState(e, stream)
+	defer releaseState(s)
 	var best, bestStart int
-	for off := 0; off < len(stream); off++ {
-		if l := s.longestFrom(off, mask); l > best {
-			best = l
-			bestStart = off
+	switch {
+	case e.mode != ModeAllPaths && !e.rules.TrackRegisterInit:
+		best, bestStart = s.scanSequential()
+	case e.mode != ModeAllPaths:
+		best, bestStart = s.scanSequentialTracked()
+	default:
+		s.buildPathRecords()
+		mask := regMask(0xFF)
+		if e.rules.TrackRegisterInit {
+			mask = initialMask
+		}
+		for off := 0; off < len(stream); off++ {
+			if l := s.longestRec(off, mask); l > best {
+				best = l
+				bestStart = off
+			}
 		}
 	}
-	return Result{MEL: best, BestStart: bestStart, States: len(s.memo)}, nil
+	return Result{MEL: best, BestStart: bestStart, States: s.states}, nil
+}
+
+// buildPathRecords decodes every offset exactly once and compiles it to
+// a pathRec for the exploring scan modes.
+func (s *scanState) buildPathRecords() {
+	n := len(s.code)
+	if cap(s.precs) < n {
+		s.precs = make([]pathRec, n)
+	} else {
+		s.precs = s.precs[:n]
+	}
+	tracking := s.e.rules.TrackRegisterInit
+	var inst x86.Inst
+	for off := 0; off < n; off++ {
+		r := &s.precs[off]
+		if x86.DecodeInto(&inst, s.code, off) != nil ||
+			s.e.invalidBase(&inst) {
+			*r = pathRec{ctrl: ctrlInvalid}
+			continue
+		}
+		r.needRegs = 0
+		r.trKind, r.trArg = transNone, 0
+		if tracking {
+			if inst.MemAccess && !inst.MemDispOnly {
+				if inst.MemBase != x86.RegNone {
+					r.needRegs |= 1 << uint(inst.MemBase)
+				}
+				if inst.MemIndex != x86.RegNone {
+					r.needRegs |= 1 << uint(inst.MemIndex)
+				}
+			}
+			r.trKind, r.trArg = transitionOf(&inst)
+		}
+		succ := int32(off + inst.Len)
+		if succ >= int32(n) {
+			succ = -1
+		}
+		target := int32(-1)
+		if inst.HasRelTarget && inst.RelTarget >= 0 && inst.RelTarget < n {
+			target = int32(inst.RelTarget)
+		}
+		r.succ, r.target = succ, target
+		switch {
+		case inst.Flags&(x86.FlagRet|x86.FlagIndirect|x86.FlagFar|x86.FlagInt) != 0:
+			r.ctrl = ctrlEnd
+		case inst.Flags.Has(x86.FlagCondBranch):
+			r.ctrl = ctrlCond
+		case inst.Flags&(x86.FlagUncondJump|x86.FlagCall) != 0:
+			r.ctrl = ctrlJump
+		default:
+			r.ctrl = ctrlSeq
+		}
+	}
+}
+
+// longestRec is longest over precomputed path records — the hot form
+// used by full scans, where every offset is explored anyway.
+func (s *scanState) longestRec(off int, mask regMask) int {
+	if off < 0 {
+		return 0 // continuation left the stream (clamped at build time)
+	}
+	t := s.table(mask)
+	switch v := t[off]; {
+	case v > 0:
+		return int(v) - 1
+	case v == memoInProgress:
+		return 0 // cycle
+	}
+	r := &s.precs[off]
+	if r.ctrl == ctrlInvalid || regMask(r.needRegs)&^mask != 0 {
+		t[off] = 1
+		s.states++
+		return 0
+	}
+	t[off] = memoInProgress
+
+	nextMask := mask
+	if r.trKind != transNone {
+		nextMask = applyTrans(r.trKind, r.trArg, mask)
+	}
+
+	var ext int
+	switch r.ctrl {
+	case ctrlEnd:
+		ext = 0
+	case ctrlCond:
+		if s.e.mode == ModeAllPaths {
+			fall := s.longestRec(int(r.succ), nextMask)
+			taken := s.longestRec(int(r.target), nextMask)
+			if taken > fall {
+				ext = taken
+			} else {
+				ext = fall
+			}
+		} else {
+			ext = s.longestRec(int(r.succ), nextMask)
+		}
+	case ctrlJump:
+		ext = s.longestRec(int(r.target), nextMask)
+	default:
+		ext = s.longestRec(int(r.succ), nextMask)
+	}
+
+	t[off] = int32(2 + ext)
+	s.states++
+	return 1 + ext
 }
 
 // ScanFrom pseudo-executes from a single start offset only — the shape
@@ -112,79 +499,62 @@ func (e *Engine) ScanFrom(stream []byte, off int) (int, error) {
 		return 0, ErrEmptyStream
 	}
 	if off < 0 || off >= len(stream) {
-		return 0, errors.New("mel: start offset out of range")
+		return 0, errOffsetRange
 	}
-	s := &scanState{
-		e:      e,
-		code:   stream,
-		memo:   make(map[uint32]int, 64),
-		status: make(map[uint32]pathStatus, 64),
+	if len(stream) > maxStreamLen {
+		return 0, ErrStreamTooLarge
 	}
+	s := acquireState(e, stream)
+	defer releaseState(s)
+	s.ensureDecodeCache()
 	mask := regMask(0xFF)
 	if e.rules.TrackRegisterInit {
 		mask = initialMask
 	}
-	return s.longestFrom(off, mask), nil
+	return s.longest(off, mask), nil
 }
 
-// key packs (offset, mask) into a memoization key. Offsets are bounded
-// by the stream length (< 2^24 enforced by practical payload sizes).
-func key(off int, mask regMask) uint32 {
-	return uint32(off)<<8 | uint32(mask)
-}
-
-// longestFrom returns the longest valid run starting at off with the
-// given abstract register state. Cycles are cut: re-entering a state that
-// is on the current DFS stack contributes 0 further instructions, which
-// makes the result the longest acyclic valid path (each static
-// instruction counted once).
-func (s *scanState) longestFrom(off int, mask regMask) int {
+// longest returns the longest valid run starting at off with the given
+// abstract register state — the memoized DFS of the reference engine,
+// over the decode-once cache and flat per-mask tables. Cycles are cut:
+// re-entering a state that is on the current DFS stack contributes 0
+// further instructions, which makes the result the longest acyclic valid
+// path (each static instruction counted once).
+func (s *scanState) longest(off int, mask regMask) int {
 	if off < 0 || off >= len(s.code) {
 		return 0
 	}
-	k := key(off, mask)
-	switch s.status[k] {
-	case statusDone:
-		return s.memo[k]
-	case statusInProgress:
+	t := s.table(mask)
+	switch v := t[off]; {
+	case v > 0:
+		return int(v) - 1
+	case v == memoInProgress:
 		return 0 // cycle
 	}
-	s.status[k] = statusInProgress
-
-	length := s.explore(off, mask)
-
-	s.status[k] = statusDone
-	s.memo[k] = length
-	return length
-}
-
-func (s *scanState) explore(off int, mask regMask) int {
-	inst, err := x86.Decode(s.code, off)
-	if err != nil {
-		return 0 // running off the stream aborts the path
-	}
-	if s.e.rules.Invalid(&inst, mask) {
+	inst := s.inst(off)
+	if inst == nil || s.e.rules.Invalid(inst, mask) {
+		t[off] = 1
+		s.states++
 		return 0
 	}
+	t[off] = memoInProgress
+
 	nextMask := mask
 	if s.e.rules.TrackRegisterInit {
-		nextMask = apply(&inst, mask)
+		nextMask = apply(inst, mask)
 	}
 	next := off + inst.Len
 
 	var ext int
 	switch {
-	case inst.Flags.Has(x86.FlagRet),
-		inst.Flags.Has(x86.FlagIndirect),
-		inst.Flags.Has(x86.FlagFar),
-		inst.Flags.Has(x86.FlagInt):
+	case inst.Flags&(x86.FlagRet|x86.FlagIndirect|x86.FlagFar|x86.FlagInt) != 0:
 		// Path ends: the continuation address is not statically known (or
 		// the instruction transfers out of the stream entirely).
 		ext = 0
 	case inst.Flags.Has(x86.FlagCondBranch):
 		if s.e.mode == ModeAllPaths {
-			fall := s.longestFrom(next, nextMask)
-			taken := s.longestFrom(inst.RelTarget, nextMask)
+			fall := s.longest(next, nextMask)
+			taken := s.longest(inst.RelTarget, nextMask)
 			if taken > fall {
 				ext = taken
 			} else {
@@ -193,17 +563,199 @@ func (s *scanState) explore(off int, mask regMask) int {
 		} else {
 			// Sequential mode: a conditional branch is just another valid
 			// instruction on the linear path.
-			ext = s.longestFrom(next, nextMask)
+			ext = s.longest(next, nextMask)
 		}
 	case inst.Flags.Has(x86.FlagUncondJump):
-		ext = s.longestFrom(inst.RelTarget, nextMask)
+		ext = s.longest(inst.RelTarget, nextMask)
 	case inst.Flags.Has(x86.FlagCall):
 		// Near relative call: execution continues at the target.
-		ext = s.longestFrom(inst.RelTarget, nextMask)
+		ext = s.longest(inst.RelTarget, nextMask)
 	default:
-		ext = s.longestFrom(next, nextMask)
+		ext = s.longest(next, nextMask)
 	}
+
+	t[off] = int32(2 + ext)
+	s.states++
 	return 1 + ext
+}
+
+// buildSeqRecords decodes every offset exactly once and reduces it to
+// its sequential-mode successor record.
+func (s *scanState) buildSeqRecords() {
+	n := len(s.code)
+	if cap(s.recs) < n {
+		s.recs = make([]int32, n)
+	} else {
+		s.recs = s.recs[:n]
+	}
+	var inst x86.Inst
+	for off := 0; off < n; off++ {
+		if x86.DecodeInto(&inst, s.code, off) != nil ||
+			s.e.invalidBase(&inst) {
+			s.recs[off] = recInvalid
+			continue
+		}
+		succ := off + inst.Len
+		switch {
+		case inst.Flags&(x86.FlagRet|x86.FlagIndirect|x86.FlagFar|x86.FlagInt) != 0:
+			succ = -1
+		case inst.Flags.Has(x86.FlagCondBranch):
+			// Sequential mode falls through a conditional branch.
+		case inst.Flags&(x86.FlagUncondJump|x86.FlagCall) != 0:
+			succ = inst.RelTarget
+		}
+		if succ < 0 || succ >= n {
+			// Leaving the stream ends the path, exactly like a terminator.
+			s.recs[off] = recEnd
+		} else {
+			s.recs[off] = int32(succ)
+		}
+	}
+}
+
+// scanSequential computes MEL for every start offset in linear time.
+// Without register tracking the mask never changes, and in sequential
+// mode every offset has exactly one successor, so the per-offset longest
+// run satisfies dp[off] = 0 if invalid, else 1 + dp[succ(off)]. Each
+// offset is resolved exactly once: either its memo cell is already
+// filled, or the walk follows the unresolved successor chain and unwinds
+// it in reverse, assigning dp values on the way back. Backward jumps can
+// form cycles; they are cut exactly as the reference DFS cuts them (an
+// offset already on the active chain contributes 0), so results are
+// byte-identical to ScanReference.
+func (s *scanState) scanSequential() (best, bestStart int) {
+	n := len(s.code)
+	s.buildSeqRecords()
+	memo := s.table(0xFF)
+	recs := s.recs
+	stack := s.stack[:0]
+	for start := 0; start < n; start++ {
+		v := memo[start]
+		if v <= 0 {
+			off := start
+			var ext int32
+			for {
+				m := memo[off]
+				if m > 0 {
+					ext = m - 1
+					break
+				}
+				if m == memoInProgress {
+					ext = 0 // cycle
+					break
+				}
+				r := recs[off]
+				if r == recInvalid {
+					memo[off] = 1
+					s.states++
+					ext = 0
+					break
+				}
+				memo[off] = memoInProgress
+				stack = append(stack, int32(off))
+				if r == recEnd {
+					ext = 0
+					break
+				}
+				off = int(r)
+			}
+			for i := len(stack) - 1; i >= 0; i-- {
+				ext++
+				memo[stack[i]] = ext + 1
+				s.states++
+			}
+			stack = stack[:0]
+			v = memo[start]
+		}
+		if l := int(v) - 1; l > best {
+			best = l
+			bestStart = start
+		}
+	}
+	s.stack = stack
+	return best, bestStart
+}
+
+// scanSequentialTracked computes MEL for every start offset when
+// register tracking is on but control flow is still sequential. Each
+// (offset, mask) state then has exactly one successor state, so the
+// reference DFS degenerates to a chain: walk it iteratively, pushing
+// visited states, and unwind in reverse assigning memo values — the same
+// shape as scanSequential but with per-mask tables and the compiled
+// register transitions. Visit order, cycle cuts, and memo writes match
+// the reference DFS exactly, so results are byte-identical.
+func (s *scanState) scanSequentialTracked() (best, bestStart int) {
+	n := len(s.code)
+	s.buildPathRecords()
+	t0 := s.table(initialMask)
+	stack := s.maskStack[:0]
+	for start := 0; start < n; start++ {
+		if t0[start] == 0 {
+			off, mask := start, initialMask
+			t := t0
+			var ext int32
+			for {
+				m := t[off]
+				if m > 0 {
+					ext = m - 1
+					break
+				}
+				if m == memoInProgress {
+					ext = 0 // cycle
+					break
+				}
+				r := &s.precs[off]
+				if r.ctrl == ctrlInvalid || regMask(r.needRegs)&^mask != 0 {
+					t[off] = 1
+					s.states++
+					ext = 0
+					break
+				}
+				t[off] = memoInProgress
+				stack = append(stack, uint64(off)<<8|uint64(mask))
+				if r.ctrl == ctrlEnd {
+					ext = 0
+					break
+				}
+				next := r.succ
+				if r.ctrl == ctrlJump {
+					next = r.target
+				}
+				if next < 0 {
+					// Continuation leaves the stream: path ends here.
+					ext = 0
+					break
+				}
+				off = int(next)
+				if r.trKind != transNone {
+					if nm := applyTrans(r.trKind, r.trArg, mask); nm != mask {
+						mask = nm
+						t = s.table(mask)
+					}
+				}
+			}
+			// Unwind: each pushed state extends its successor's run by one.
+			// Consecutive frames usually share a mask; refetch only on change.
+			ut, utMask := t0, initialMask
+			for i := len(stack) - 1; i >= 0; i-- {
+				fr := stack[i]
+				if m := regMask(fr); m != utMask {
+					utMask = m
+					ut = s.table(m)
+				}
+				ext++
+				ut[fr>>8] = ext + 1
+				s.states++
+			}
+			stack = stack[:0]
+		}
+		if l := int(t0[start]) - 1; l > best {
+			best = l
+			bestStart = start
+		}
+	}
+	s.maskStack = stack
+	return best, bestStart
 }
 
 // ValiditySequence disassembles the stream linearly (resynchronizing

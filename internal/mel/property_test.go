@@ -27,6 +27,35 @@ func TestScanDeterministic(t *testing.T) {
 	}
 }
 
+// TestScanMatchesReferenceProperty: the optimized engine and the
+// retained seed implementation agree on arbitrary streams — the
+// property-test form of the corpus-driven differential suite.
+func TestScanMatchesReferenceProperty(t *testing.T) {
+	for _, eng := range []*Engine{
+		NewEngine(DAWN()),
+		NewEngine(DAWNStateless()),
+		NewEngineMode(DAWN(), ModeAllPaths),
+	} {
+		f := func(raw []byte) bool {
+			if len(raw) == 0 {
+				return true
+			}
+			got, err := eng.Scan(raw)
+			if err != nil {
+				return false
+			}
+			want, err := eng.ScanReference(raw)
+			if err != nil {
+				return false
+			}
+			return got == want
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
 // TestMELBoundedByInstructionBudget: a stream of L bytes can never have
 // MEL exceeding L (each instruction is at least one byte).
 func TestMELBoundedByInstructionBudget(t *testing.T) {

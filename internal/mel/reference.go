@@ -1,0 +1,158 @@
+package mel
+
+import (
+	"repro/internal/x86"
+)
+
+// This file retains the original map-based exploration engine verbatim
+// (modulo the memo-key widening to uint64). It is the executable
+// specification the optimized engine in engine.go is differentially
+// tested against: ScanReference/ScanFromReference must return results
+// byte-identical to Scan/ScanFrom on every input.
+
+// pathStatus marks memoization states.
+type pathStatus uint8
+
+const (
+	statusNew pathStatus = iota
+	statusInProgress
+	statusDone
+)
+
+// referenceState is the memoized exploration state for one stream.
+type referenceState struct {
+	e      *Engine
+	code   []byte
+	memo   map[uint64]int
+	status map[uint64]pathStatus
+}
+
+// key packs (offset, mask) into a memoization key. The offset occupies
+// the high 56 bits so streams of any practical length (up to 2^56 bytes)
+// key uniquely; the old uint32 packing silently collided offsets 16 MiB
+// apart.
+func key(off int, mask regMask) uint64 {
+	return uint64(off)<<8 | uint64(mask)
+}
+
+// ScanReference is the retained naive implementation of Scan: per-call
+// map allocation, per-visit decoding, recursive exploration. It defines
+// the semantics Scan must reproduce and is kept for differential tests
+// and before/after benchmarking; production callers should use Scan.
+func (e *Engine) ScanReference(stream []byte) (Result, error) {
+	if len(stream) == 0 {
+		return Result{}, ErrEmptyStream
+	}
+	s := &referenceState{
+		e:      e,
+		code:   stream,
+		memo:   make(map[uint64]int, len(stream)),
+		status: make(map[uint64]pathStatus, len(stream)),
+	}
+	mask := regMask(0xFF)
+	if e.rules.TrackRegisterInit {
+		mask = initialMask
+	}
+	var best, bestStart int
+	for off := 0; off < len(stream); off++ {
+		if l := s.longestFrom(off, mask); l > best {
+			best = l
+			bestStart = off
+		}
+	}
+	return Result{MEL: best, BestStart: bestStart, States: len(s.memo)}, nil
+}
+
+// ScanFromReference is the retained naive implementation of ScanFrom.
+func (e *Engine) ScanFromReference(stream []byte, off int) (int, error) {
+	if len(stream) == 0 {
+		return 0, ErrEmptyStream
+	}
+	if off < 0 || off >= len(stream) {
+		return 0, errOffsetRange
+	}
+	s := &referenceState{
+		e:      e,
+		code:   stream,
+		memo:   make(map[uint64]int, 64),
+		status: make(map[uint64]pathStatus, 64),
+	}
+	mask := regMask(0xFF)
+	if e.rules.TrackRegisterInit {
+		mask = initialMask
+	}
+	return s.longestFrom(off, mask), nil
+}
+
+// longestFrom returns the longest valid run starting at off with the
+// given abstract register state. Cycles are cut: re-entering a state that
+// is on the current DFS stack contributes 0 further instructions, which
+// makes the result the longest acyclic valid path (each static
+// instruction counted once).
+func (s *referenceState) longestFrom(off int, mask regMask) int {
+	if off < 0 || off >= len(s.code) {
+		return 0
+	}
+	k := key(off, mask)
+	switch s.status[k] {
+	case statusDone:
+		return s.memo[k]
+	case statusInProgress:
+		return 0 // cycle
+	}
+	s.status[k] = statusInProgress
+
+	length := s.explore(off, mask)
+
+	s.status[k] = statusDone
+	s.memo[k] = length
+	return length
+}
+
+func (s *referenceState) explore(off int, mask regMask) int {
+	inst, err := x86.Decode(s.code, off)
+	if err != nil {
+		return 0 // running off the stream aborts the path
+	}
+	if s.e.rules.Invalid(&inst, mask) {
+		return 0
+	}
+	nextMask := mask
+	if s.e.rules.TrackRegisterInit {
+		nextMask = apply(&inst, mask)
+	}
+	next := off + inst.Len
+
+	var ext int
+	switch {
+	case inst.Flags.Has(x86.FlagRet),
+		inst.Flags.Has(x86.FlagIndirect),
+		inst.Flags.Has(x86.FlagFar),
+		inst.Flags.Has(x86.FlagInt):
+		// Path ends: the continuation address is not statically known (or
+		// the instruction transfers out of the stream entirely).
+		ext = 0
+	case inst.Flags.Has(x86.FlagCondBranch):
+		if s.e.mode == ModeAllPaths {
+			fall := s.longestFrom(next, nextMask)
+			taken := s.longestFrom(inst.RelTarget, nextMask)
+			if taken > fall {
+				ext = taken
+			} else {
+				ext = fall
+			}
+		} else {
+			// Sequential mode: a conditional branch is just another valid
+			// instruction on the linear path.
+			ext = s.longestFrom(next, nextMask)
+		}
+	case inst.Flags.Has(x86.FlagUncondJump):
+		ext = s.longestFrom(inst.RelTarget, nextMask)
+	case inst.Flags.Has(x86.FlagCall):
+		// Near relative call: execution continues at the target.
+		ext = s.longestFrom(inst.RelTarget, nextMask)
+	default:
+		ext = s.longestFrom(next, nextMask)
+	}
+	return 1 + ext
+}

@@ -29,12 +29,12 @@ func (e *Engine) Trace(stream []byte, start int) ([]TraceStep, error) {
 	if start < 0 || start >= len(stream) {
 		return nil, fmt.Errorf("mel: trace start %d out of range", start)
 	}
-	s := &scanState{
-		e:      e,
-		code:   stream,
-		memo:   make(map[uint32]int, 256),
-		status: make(map[uint32]pathStatus, 256),
+	if len(stream) > maxStreamLen {
+		return nil, ErrStreamTooLarge
 	}
+	s := acquireState(e, stream)
+	defer releaseState(s)
+	s.ensureDecodeCache()
 	mask := regMask(0xFF)
 	if e.rules.TrackRegisterInit {
 		mask = initialMask
@@ -42,7 +42,7 @@ func (e *Engine) Trace(stream []byte, start int) ([]TraceStep, error) {
 
 	var steps []TraceStep
 	off := start
-	visited := make(map[uint32]bool)
+	visited := make(map[uint64]bool)
 	for off >= 0 && off < len(stream) {
 		k := key(off, mask)
 		if visited[k] {
@@ -71,8 +71,8 @@ func (e *Engine) Trace(stream []byte, start int) ([]TraceStep, error) {
 			return steps, nil
 		case inst.Flags.Has(x86.FlagCondBranch):
 			if e.mode == ModeAllPaths {
-				fall := s.longestFrom(next, nextMask)
-				taken := s.longestFrom(inst.RelTarget, nextMask)
+				fall := s.longest(next, nextMask)
+				taken := s.longest(inst.RelTarget, nextMask)
 				if taken > fall {
 					next = inst.RelTarget
 				}

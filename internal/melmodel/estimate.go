@@ -47,30 +47,53 @@ type Params struct {
 // the distribution; the wrong-segment term multiplies the chance of a
 // faulting override in the prefix chain by the chance that the actual
 // instruction touches memory.
+//
+// Everything except C and N depends only on the frequency table; callers
+// that scan many payloads under one calibration should build a
+// Calibration once and derive per-size Params from it instead of paying
+// the decode-table expectation on every call.
 func Estimate(freq [256]float64, c int) (Params, error) {
 	if c <= 0 {
 		return Params{}, errors.New("melmodel: input size must be positive")
 	}
+	cal, err := NewCalibration(freq)
+	if err != nil {
+		return Params{}, err
+	}
+	return cal.Params(c)
+}
+
+// Calibration is the size-independent part of Estimate: every model
+// parameter that depends only on the character-frequency table,
+// precomputed once. Params then derives the full parameter set for a
+// given payload size in O(1).
+type Calibration struct {
+	base Params
+}
+
+// NewCalibration precomputes the frequency-dependent model parameters.
+// It performs all of Estimate's table validation, so a table Estimate
+// would reject is rejected here with the same error.
+func NewCalibration(freq [256]float64) (*Calibration, error) {
 	var total float64
 	for _, v := range freq {
 		if v < 0 {
-			return Params{}, errors.New("melmodel: negative frequency")
+			return nil, errors.New("melmodel: negative frequency")
 		}
 		total += v
 	}
 	if math.Abs(total-1) > 1e-6 {
-		return Params{}, errors.New("melmodel: frequency table must sum to 1")
+		return nil, errors.New("melmodel: frequency table must sum to 1")
 	}
 
 	var p Params
-	p.C = c
 
 	// z: prefix-character mass.
 	for _, b := range textins.PrefixChars {
 		p.Z += freq[b]
 	}
 	if p.Z >= 1 {
-		return Params{}, errors.New("melmodel: degenerate table (all prefixes)")
+		return nil, errors.New("melmodel: degenerate table (all prefixes)")
 	}
 	p.EPrefixLen = p.Z / (1 - p.Z)
 
@@ -94,24 +117,22 @@ func Estimate(freq [256]float64, c int) (Params, error) {
 		weightSum += w
 	}
 	if weightSum == 0 {
-		return Params{}, errors.New("melmodel: frequency table has no opcode bytes")
+		return nil, errors.New("melmodel: frequency table has no opcode bytes")
 	}
 	// Normalize in case the table has mass on prefix bytes only partially
 	// accounted (guard against numeric drift).
 	p.EActualLen = lenSum / weightSum
 	p.PMemAccess = memSum / weightSum
 	p.EInstrLen = p.EPrefixLen + p.EActualLen
-	p.N = int(math.Round(float64(c) / p.EInstrLen))
-	if p.N < 1 {
-		p.N = 1
-	}
 
 	// Wrong-segment component: P(prefix chain contains a faulting
 	// override) × P(memory access). Chain length is geometric in z; each
 	// prefix char is a faulting override with probability w/z.
+	// Iterate bytes in order so the summation is deterministic (map
+	// iteration order would perturb the last ulp between calls).
 	var wrongMass float64
-	for b, seg := range textins.SegOverrideChars {
-		if textins.WrongSegDefault[seg] {
+	for b := 0; b < 256; b++ {
+		if seg, ok := textins.SegOverrideChars[byte(b)]; ok && textins.WrongSegDefault[seg] {
 			wrongMass += freq[b]
 		}
 	}
@@ -129,7 +150,23 @@ func Estimate(freq [256]float64, c int) (Params, error) {
 
 	p.P = p.PIO + p.PWrongSeg
 	if p.P <= 0 || p.P >= 1 {
-		return Params{}, errors.New("melmodel: estimated p out of range; table unsuitable")
+		return nil, errors.New("melmodel: estimated p out of range; table unsuitable")
+	}
+	return &Calibration{base: p}, nil
+}
+
+// Params derives the full parameter set for an input of c characters:
+// the precomputed frequency-dependent parameters plus C and the
+// instruction-count estimate N.
+func (cal *Calibration) Params(c int) (Params, error) {
+	if c <= 0 {
+		return Params{}, errors.New("melmodel: input size must be positive")
+	}
+	p := cal.base
+	p.C = c
+	p.N = int(math.Round(float64(c) / p.EInstrLen))
+	if p.N < 1 {
+		p.N = 1
 	}
 	return p, nil
 }

@@ -8,6 +8,17 @@ package x86
 // returns an error.
 func Decode(code []byte, offset int) (Inst, error) {
 	var inst Inst
+	err := DecodeInto(&inst, code, offset)
+	return inst, err
+}
+
+// DecodeInto decodes one instruction into a caller-provided Inst,
+// overwriting it completely. It is the allocation-free form of Decode:
+// scan loops that decode the same stream many times can reuse one Inst
+// (or a preallocated cache of them) instead of copying the struct out of
+// every call. Decoding semantics are identical to Decode.
+func DecodeInto(inst *Inst, code []byte, offset int) error {
+	*inst = Inst{}
 	inst.Op = OpInvalid
 	inst.Offset = offset
 	inst.MemBase = RegNone
@@ -24,10 +35,10 @@ func Decode(code []byte, offset int) (Inst, error) {
 prefixes:
 	for {
 		if pos >= len(code) {
-			return inst, ErrTruncated
+			return ErrTruncated
 		}
 		if pos-offset >= MaxInstLen {
-			return inst, ErrTooManyPrefixes
+			return ErrTooManyPrefixes
 		}
 		b := code[pos]
 		switch b {
@@ -66,7 +77,7 @@ prefixes:
 	e := oneByte[opcode]
 	if e.enc == encEscape {
 		if pos >= len(code) {
-			return inst, ErrTruncated
+			return ErrTruncated
 		}
 		opcode = code[pos]
 		pos++
@@ -75,7 +86,7 @@ prefixes:
 		// 0F 38 / 0F 3A escape further into the three-byte maps.
 		if e.enc == encEscape38 || e.enc == encEscape3A {
 			if pos >= len(code) {
-				return inst, ErrTruncated
+				return ErrTruncated
 			}
 			table := &threeByte38
 			if e.enc == encEscape3A {
@@ -145,8 +156,8 @@ prefixes:
 	mem := e.mem
 
 	if needModRM {
-		if err := decodeModRM(code, &pos, limit, &inst); err != nil {
-			return inst, err
+		if err := decodeModRM(code, &pos, limit, inst); err != nil {
+			return err
 		}
 
 		// Group opcodes: ModRM.reg selects the operation.
@@ -198,7 +209,7 @@ prefixes:
 	if immSize > 0 {
 		v, err := readImm(code, &pos, limit, immSize)
 		if err != nil {
-			return inst, err
+			return err
 		}
 		inst.Imm = v
 		inst.ImmSize = immSize
@@ -206,14 +217,14 @@ prefixes:
 	if imm2Size > 0 {
 		v, err := readImm(code, &pos, limit, imm2Size)
 		if err != nil {
-			return inst, err
+			return err
 		}
 		inst.Imm2 = v
 	}
 
 	inst.Len = pos - offset
 	if inst.Len > MaxInstLen {
-		return inst, ErrTooManyPrefixes
+		return ErrTooManyPrefixes
 	}
 
 	// Memory semantics. A ModRM with mod=3 is a register operand and has
@@ -268,7 +279,7 @@ prefixes:
 		inst.ImmSize = 0
 	}
 
-	return inst, nil
+	return nil
 }
 
 // decodeModRM consumes the ModRM byte and any SIB/displacement it implies,
@@ -395,18 +406,29 @@ func decodeModRM16(code []byte, pos *int, limit int, inst *Inst) error {
 
 // readImm reads a little-endian immediate of size bytes, sign-extended.
 func readImm(code []byte, pos *int, limit, size int) (int64, error) {
-	if *pos+size > len(code) || *pos+size > limit {
+	p := *pos
+	if p+size > len(code) || p+size > limit {
 		return 0, ErrTruncated
+	}
+	*pos = p + size
+	// Direct loads for the common widths; far pointers (6 bytes) take the
+	// generic loop.
+	switch size {
+	case 1:
+		return int64(int8(code[p])), nil
+	case 2:
+		return int64(int16(uint16(code[p]) | uint16(code[p+1])<<8)), nil
+	case 4:
+		return int64(int32(uint32(code[p]) | uint32(code[p+1])<<8 |
+			uint32(code[p+2])<<16 | uint32(code[p+3])<<24)), nil
 	}
 	var v uint64
 	for i := 0; i < size; i++ {
-		v |= uint64(code[*pos+i]) << (8 * uint(i))
+		v |= uint64(code[p+i]) << (8 * uint(i))
 	}
-	*pos += size
 	// Sign-extend from the top bit of the immediate.
 	shift := 64 - 8*uint(size)
-	out := int64(v<<shift) >> shift
-	return out, nil
+	return int64(v<<shift) >> shift, nil
 }
 
 // DecodeAll decodes the stream linearly from offset 0, resynchronizing
