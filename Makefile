@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench bench-engine fuzz report cover clean
+.PHONY: all build test vet bench bench-engine serve-bench fuzz report cover clean
 
 all: build vet test
 
@@ -10,19 +10,24 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Race-enabled everywhere: the engine's pooled scan state and the
-# detector's threshold cache are shared across goroutines.
+# Race-enabled everywhere: the engine's pooled scan state, the
+# detector's threshold cache, and the serving pool/cache are all shared
+# across goroutines. Vet first — it catches mistakes tests can miss.
 test:
+	$(GO) vet ./...
 	$(GO) test -race ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/proxy/
+	$(GO) test -race ./internal/core/ ./internal/proxy/ ./internal/server/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run NONE .
 
 bench-engine:
 	$(GO) run ./cmd/melbench -exp engine
+
+serve-bench:
+	$(GO) run ./cmd/melbench -exp serve
 
 fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/x86/

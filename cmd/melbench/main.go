@@ -22,6 +22,7 @@
 //	melbench -exp sizes    ablation: input-size scaling of n and tau
 //	melbench -exp exploit  end-to-end exploit chain vs the vulnerable service
 //	melbench -exp engine   scan-engine throughput; writes BENCH_engine.json
+//	melbench -exp serve    scan-daemon wire throughput; writes BENCH_serve.json
 package main
 
 import (
@@ -48,6 +49,7 @@ func run(args []string, w io.Writer) error {
 	cases := fs.Int("cases", experiments.DefaultCases, "benign cases for detection experiments")
 	worms := fs.Int("worms", experiments.DefaultWorms, "text worms for detection experiments")
 	benchOut := fs.String("benchout", "BENCH_engine.json", "engine benchmark artifact path (empty to skip the file)")
+	serveOut := fs.String("serveout", "BENCH_serve.json", "serve benchmark artifact path (empty to skip the file)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -128,12 +130,16 @@ func run(args []string, w io.Writer) error {
 			_, err := experiments.EngineBench(w, *benchOut, *seed)
 			return err
 		},
+		"serve": func() error {
+			_, err := experiments.ServeBench(w, *serveOut, *seed)
+			return err
+		},
 	}
 	runners["detect"] = runners["fig3"]
 
 	if *exp == "all" {
 		order := []string{"fig1n", "fig1p", "chisq", "approx", "fig2", "params",
-			"fig3", "av", "binary", "ape", "xor", "payl", "rules", "alpha", "styles", "sizes", "exploit", "engine"}
+			"fig3", "av", "binary", "ape", "xor", "payl", "rules", "alpha", "styles", "sizes", "exploit", "engine", "serve"}
 		for _, id := range order {
 			if err := runners[id](); err != nil {
 				return fmt.Errorf("%s: %w", id, err)

@@ -1,0 +1,145 @@
+// Command melserved runs the shared MEL scan daemon: clients submit
+// payloads over the length-prefixed binary protocol and get verdicts
+// back; a bounded worker pool schedules pseudo-execution, repeated
+// payloads are answered from the content-hash verdict cache, and an
+// HTTP sidecar exposes /metrics and /debug/pprof.
+//
+//	melserved -listen 127.0.0.1:9901 -metrics 127.0.0.1:9902
+//	melserved -listen :9901 -workers 8 -queue 128 -alpha 0.001
+//	melserved -listen :9901 -profile corp.json -cache 16384
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, sig); err != nil {
+		fmt.Fprintln(os.Stderr, "melserved:", err)
+		os.Exit(1)
+	}
+}
+
+// notifyListen, when set (tests), receives the scan listener address
+// once the daemon is accepting.
+var notifyListen func(net.Addr)
+
+func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
+	fs := flag.NewFlagSet("melserved", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:9901", "scan service listen address")
+	metricsAddr := fs.String("metrics", "", "metrics/pprof HTTP listen address (empty disables)")
+	workers := fs.Int("workers", 0, "scan workers (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "job queue depth (0 = 4x workers)")
+	cacheSize := fs.Int("cache", 0, "verdict cache entries (0 = default, negative disables)")
+	maxPayload := fs.Int("max-payload", server.DefaultMaxPayload, "largest accepted payload in bytes")
+	alpha := fs.Float64("alpha", 0.01, "false-positive bound")
+	profilePath := fs.String("profile", "", "calibration profile (JSON)")
+	readTimeout := fs.Duration("read-timeout", server.DefaultReadTimeout, "idle connection timeout (negative disables)")
+	reqTimeout := fs.Duration("request-timeout", server.DefaultRequestTimeout, "per-request deadline (negative disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var det *core.Detector
+	if *profilePath != "" {
+		f, err := os.Open(*profilePath)
+		if err != nil {
+			return err
+		}
+		prof, err := core.ReadProfile(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		det, err = core.NewFromProfile(prof)
+		if err != nil {
+			return err
+		}
+	} else {
+		d, err := core.New(core.WithAlpha(*alpha))
+		if err != nil {
+			return err
+		}
+		det = d
+	}
+
+	srv, err := server.New(server.Config{
+		Detector:           det,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		CacheSize:          *cacheSize,
+		MaxPayload:         *maxPayload,
+		ReadTimeout:        *readTimeout,
+		RequestTimeout:     *reqTimeout,
+		InstrumentDetector: true,
+		Logf:               log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "melserved: serving on %s\n", ln.Addr())
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		metricsSrv = &http.Server{
+			Handler:           telemetry.DebugMux(srv.Metrics()),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		fmt.Fprintf(stdout, "melserved: metrics on http://%s/metrics\n", mln.Addr())
+		go func() {
+			if err := metricsSrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				log.Printf("melserved: metrics server: %v", err)
+			}
+		}()
+	}
+
+	// Tests learn the bound address here, after all startup output, so
+	// reading the banner buffer cannot race the banner writes.
+	if notifyListen != nil {
+		notifyListen(ln.Addr())
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case <-sig:
+		if scans, ok := srv.Metrics().Value("scans_total"); ok {
+			fmt.Fprintf(stdout, "melserved: draining (%.0f scans served)\n", scans)
+		}
+		err := srv.Close()
+		if metricsSrv != nil {
+			metricsSrv.Close()
+		}
+		return err
+	case err := <-errCh:
+		if metricsSrv != nil {
+			metricsSrv.Close()
+		}
+		return err
+	}
+}

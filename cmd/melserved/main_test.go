@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/server/client"
+)
+
+// TestDaemonServesAndDrains boots the daemon on ephemeral ports,
+// scans over the wire, reads the metrics endpoint, and shuts down via
+// the signal path.
+func TestDaemonServesAndDrains(t *testing.T) {
+	addrCh := make(chan net.Addr, 1)
+	notifyListen = func(a net.Addr) { addrCh <- a }
+	defer func() { notifyListen = nil }()
+
+	sig := make(chan os.Signal, 1)
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-metrics", "127.0.0.1:0",
+			"-workers", "2",
+		}, &out, sig)
+	}()
+
+	var addr net.Addr
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v (output: %s)", err, out.String())
+	}
+
+	c, err := client.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cases, err := corpus.Dataset(31, 2, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Scan(cases[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threshold <= 0 {
+		t.Fatalf("implausible verdict: %+v", res)
+	}
+	// Identical bytes hit the cache.
+	res2, err := c.Scan(cases[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Cached {
+		t.Fatal("second identical scan not served from cache")
+	}
+
+	// The metrics endpoint reports the scans; its address is in the
+	// startup banner.
+	var metricsURL string
+	for _, line := range strings.Split(out.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "melserved: metrics on "); ok {
+			metricsURL = rest // banner already ends in /metrics
+		}
+	}
+	if metricsURL == "" {
+		t.Fatalf("no metrics banner in output: %s", out.String())
+	}
+	resp, err := http.Get(metricsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"scans_total 2", "cache_hits_total 1", "scan_latency_seconds_bucket", "detector_scans_total"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics endpoint missing %q:\n%s", want, body)
+		}
+	}
+
+	sig <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+	// After drain, the port is closed.
+	if _, err := net.DialTimeout("tcp", addr.String(), 250*time.Millisecond); err == nil {
+		t.Fatal("scan port still open after drain")
+	}
+}
+
+// TestBadFlags: unknown experiment flags error out instead of serving.
+func TestBadFlags(t *testing.T) {
+	sig := make(chan os.Signal)
+	err := run([]string{"-definitely-not-a-flag"}, io.Discard, sig)
+	if err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-profile", "/nonexistent/profile.json"}, &out, sig); err == nil || errors.Is(err, nil) {
+		t.Fatal("missing profile accepted")
+	}
+}

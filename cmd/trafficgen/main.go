@@ -5,6 +5,13 @@
 //	trafficgen -cases 100 -len 4000 -seed 1 -dir ./corpus
 //	trafficgen -cases 1 -len 4000            # single case to stdout
 //	trafficgen -stats                        # print the frequency masses
+//
+// With -target it turns into a load driver for the melserved daemon:
+// the benign corpus is mixed with encoder-generated text worms, every
+// payload is scanned over the wire protocol, and the verdicts are
+// tallied against ground truth.
+//
+//	trafficgen -target 127.0.0.1:9901 -cases 50 -worms 10
 package main
 
 import (
@@ -15,6 +22,9 @@ import (
 	"path/filepath"
 
 	"repro/internal/corpus"
+	"repro/internal/encoder"
+	"repro/internal/server/client"
+	"repro/internal/shellcode"
 )
 
 func main() {
@@ -31,6 +41,8 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Uint64("seed", 1, "generation seed")
 	dir := fs.String("dir", "", "write one file per case into this directory")
 	stat := fs.Bool("stats", false, "print character-mass statistics of the corpus")
+	target := fs.String("target", "", "drive a melserved daemon at this address instead of emitting the corpus")
+	worms := fs.Int("worms", 0, "with -target: number of worm-spliced payloads mixed into the stream")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -38,6 +50,10 @@ func run(args []string, stdout io.Writer) error {
 	cases, err := corpus.Dataset(*seed, *count, *caseLen)
 	if err != nil {
 		return err
+	}
+
+	if *target != "" {
+		return drive(stdout, *target, cases, *worms, *seed)
 	}
 
 	if *stat {
@@ -72,6 +88,80 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(stdout)
+	}
+	return nil
+}
+
+// drive scans the benign corpus plus wormCount worm-spliced payloads
+// against a live melserved daemon and tallies the verdicts against
+// ground truth. A worm payload is a benign case with an encoded
+// execve worm spliced into the middle — the paper's attack model.
+func drive(stdout io.Writer, target string, cases []corpus.Case, wormCount int, seed uint64) error {
+	c, err := client.Dial(target)
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", target, err)
+	}
+	defer c.Close()
+
+	type labeled struct {
+		data []byte
+		worm bool
+	}
+	stream := make([]labeled, 0, len(cases)+wormCount)
+	for _, bc := range cases {
+		stream = append(stream, labeled{data: bc.Data})
+	}
+	for i := 0; i < wormCount; i++ {
+		w, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{
+			Seed:    seed + uint64(i) + 1,
+			SledLen: 64,
+		})
+		if err != nil {
+			return fmt.Errorf("encode worm %d: %w", i, err)
+		}
+		host := cases[i%len(cases)].Data
+		payload := make([]byte, 0, len(host)+len(w.Bytes))
+		payload = append(payload, host[:len(host)/2]...)
+		payload = append(payload, w.Bytes...)
+		payload = append(payload, host[len(host)/2:]...)
+		stream = append(stream, labeled{data: payload, worm: true})
+	}
+	// Interleave worms through the benign stream deterministically so
+	// the daemon sees a mix rather than two homogeneous bursts.
+	if wormCount > 0 {
+		step := len(stream)/wormCount + 1
+		for i := 0; i < wormCount; i++ {
+			from := len(cases) + i
+			to := (i * step) % len(stream)
+			stream[from], stream[to] = stream[to], stream[from]
+		}
+	}
+
+	var caught, missed, falsePos, cached int
+	for _, msg := range stream {
+		res, err := c.Scan(msg.data)
+		if err != nil {
+			return fmt.Errorf("scan: %w", err)
+		}
+		if res.Cached {
+			cached++
+		}
+		switch {
+		case msg.worm && res.Malicious:
+			caught++
+		case msg.worm && !res.Malicious:
+			missed++
+		case !msg.worm && res.Malicious:
+			falsePos++
+		}
+	}
+
+	fmt.Fprintf(stdout, "scanned %d payloads against %s\n", len(stream), target)
+	fmt.Fprintf(stdout, "worms:           %d caught, %d missed\n", caught, missed)
+	fmt.Fprintf(stdout, "benign:          %d, false positives: %d\n", len(cases), falsePos)
+	fmt.Fprintf(stdout, "cache hits:      %d\n", cached)
+	if missed > 0 {
+		return fmt.Errorf("%d worm payloads evaded detection", missed)
 	}
 	return nil
 }

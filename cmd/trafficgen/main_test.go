@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/server"
 )
 
 func TestStats(t *testing.T) {
@@ -67,6 +70,52 @@ func TestStdoutOutput(t *testing.T) {
 func TestBadArgs(t *testing.T) {
 	if err := run([]string{"-cases", "0"}, &bytes.Buffer{}); err == nil {
 		t.Error("zero cases should fail")
+	}
+}
+
+// TestTargetModeEndToEnd drives a live in-process scan daemon over the
+// wire protocol: every worm-spliced payload must be flagged, the benign
+// corpus must pass, and the summary must reflect both.
+func TestTargetModeEndToEnd(t *testing.T) {
+	det, err := core.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Detector: det, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { srv.Close() })
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-target", ln.Addr().String(),
+		"-cases", "12", "-len", "3000", "-worms", "4", "-seed", "31",
+	}, &out)
+	if err != nil {
+		t.Fatalf("target mode: %v (output: %s)", err, out.String())
+	}
+	for _, want := range []string{"scanned 16 payloads", "4 caught, 0 missed", "false positives: 0"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// The daemon-side pool metrics saw every payload.
+	if scans, ok := srv.Metrics().Value("scans_total"); !ok || scans < 16 {
+		t.Errorf("daemon scans_total = %v, want >= 16", scans)
+	}
+}
+
+// TestTargetModeConnectionRefused surfaces a dial failure as an error.
+func TestTargetModeConnectionRefused(t *testing.T) {
+	if err := run([]string{"-target", "127.0.0.1:1", "-cases", "2"}, &bytes.Buffer{}); err == nil {
+		t.Error("unreachable target should fail")
 	}
 }
 

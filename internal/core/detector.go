@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/mel"
@@ -49,6 +50,9 @@ type Detector struct {
 	// all the same size, so threshold derivation is paid once per size.
 	tauMu    sync.RWMutex
 	tauCache map[int]tauEntry
+
+	// observer, when set, receives per-scan telemetry (see SetObserver).
+	observer observerPtr
 }
 
 // tauEntry is one cached threshold derivation.
@@ -220,6 +224,17 @@ func (d *Detector) Scan(payload []byte) (Verdict, error) {
 	if d == nil || d.engine == nil {
 		return Verdict{}, ErrNotCalibrated
 	}
+	if obs := d.observer.Load(); obs != nil {
+		start := time.Now()
+		v, err := d.scan(payload)
+		(*obs)(ScanStats{Bytes: len(payload), Elapsed: time.Since(start), Verdict: v, Err: err})
+		return v, err
+	}
+	return d.scan(payload)
+}
+
+// scan is the uninstrumented scan body.
+func (d *Detector) scan(payload []byte) (Verdict, error) {
 	if len(payload) == 0 {
 		return Verdict{}, ErrEmptyPayload
 	}

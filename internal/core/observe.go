@@ -1,0 +1,40 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// ScanStats describes one completed (or failed) Scan for telemetry.
+type ScanStats struct {
+	// Bytes is the payload length.
+	Bytes int
+	// Elapsed is the wall time the scan took, parameter derivation
+	// included.
+	Elapsed time.Duration
+	// Verdict is the scan result; zero-valued when Err is non-nil.
+	Verdict Verdict
+	// Err is the scan error, if any.
+	Err error
+}
+
+// ScanObserver receives per-scan telemetry. Implementations must be
+// safe for concurrent use: Scan is called from many goroutines
+// (ScanBatch workers, stream scanners, the scan service's pool), and
+// every one of them reports through the same observer.
+type ScanObserver func(ScanStats)
+
+// SetObserver installs (or, with nil, removes) the detector's scan
+// observer. Every Scan — direct, batch, or windowed through a
+// StreamScanner — reports to it. The hook costs two time.Now calls per
+// scan when set and a single atomic load when not.
+func (d *Detector) SetObserver(o ScanObserver) {
+	if o == nil {
+		d.observer.Store(nil)
+		return
+	}
+	d.observer.Store(&o)
+}
+
+// observerPtr is the atomic holder type for the observer hook.
+type observerPtr = atomic.Pointer[ScanObserver]

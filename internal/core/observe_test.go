@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/mel"
+)
+
+// TestObserverSeesEveryScan: the observer hook must fire once per Scan
+// with the payload size and the verdict the caller received, including
+// through the batch path.
+func TestObserverSeesEveryScan(t *testing.T) {
+	d := buildDetector(t)
+	payloads := benignCases(t, 11, 4)
+
+	var mu sync.Mutex
+	var stats []ScanStats
+	d.SetObserver(func(s ScanStats) {
+		mu.Lock()
+		stats = append(stats, s)
+		mu.Unlock()
+	})
+
+	v, err := d.Scan(payloads[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ScanBatch(context.Background(), payloads[1:], 2); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(stats) != 4 {
+		t.Fatalf("observer fired %d times, want 4", len(stats))
+	}
+	if stats[0].Bytes != len(payloads[0]) || stats[0].Verdict != v || stats[0].Err != nil {
+		t.Fatalf("first observation = %+v, want verdict %+v", stats[0], v)
+	}
+	if stats[0].Elapsed <= 0 {
+		t.Fatalf("elapsed = %v, want > 0", stats[0].Elapsed)
+	}
+}
+
+// TestObserverSeesErrors: failed scans report through the hook too.
+func TestObserverSeesErrors(t *testing.T) {
+	d := buildDetector(t)
+	var got ScanStats
+	d.SetObserver(func(s ScanStats) { got = s })
+	if _, err := d.Scan(nil); !errors.Is(err, ErrEmptyPayload) {
+		t.Fatalf("empty scan err = %v", err)
+	}
+	if !errors.Is(got.Err, ErrEmptyPayload) {
+		t.Fatalf("observed err = %v, want ErrEmptyPayload", got.Err)
+	}
+	// Removing the observer stops the reporting.
+	d.SetObserver(nil)
+	got = ScanStats{}
+	if _, err := d.Scan(benignCases(t, 12, 1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got.Bytes != 0 {
+		t.Fatal("observer fired after removal")
+	}
+}
+
+// TestStreamScannerRejectsOversizedWindow: windows beyond the engine's
+// stream ceiling are refused at construction with the typed error —
+// never discovered (or truncated) mid-stream.
+func TestStreamScannerRejectsOversizedWindow(t *testing.T) {
+	d := buildDetector(t)
+	if _, err := NewStreamScanner(d, MaxWindow+1, 1); !errors.Is(err, ErrWindowTooLarge) {
+		t.Fatalf("window MaxWindow+1: err = %v, want ErrWindowTooLarge", err)
+	}
+	// The boundary itself is accepted (construction only sizes the carry
+	// buffer capacity lazily via append, so no giant allocation happens
+	// here — but MaxWindow is ~2 GiB, so exercise a modest valid window
+	// instead and only the constructor check for the ceiling).
+	if _, err := NewStreamScanner(d, DefaultWindow, DefaultStride); err != nil {
+		t.Fatalf("default window rejected: %v", err)
+	}
+	// The ceiling is exactly the engine's stream limit, so a window the
+	// constructor accepts can never trip mel.ErrStreamTooLarge mid-scan.
+	if MaxWindow != mel.MaxStreamLen {
+		t.Fatalf("MaxWindow = %d, want mel.MaxStreamLen %d", MaxWindow, mel.MaxStreamLen)
+	}
+}
+
+// TestStreamScannerFunc: a custom scan function receives exactly the
+// windows the detector path would, and its verdicts drive the alerts.
+func TestStreamScannerFunc(t *testing.T) {
+	var sizes []int
+	scan := func(p []byte) (Verdict, error) {
+		sizes = append(sizes, len(p))
+		return Verdict{Malicious: len(sizes) == 2, MEL: len(sizes)}, nil
+	}
+	s, err := NewStreamScannerFunc(scan, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write(make([]byte, 14)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// 14 bytes, window 8, stride 4: full windows at 0 and 4, trailing 6.
+	want := []int{8, 8, 6}
+	if len(sizes) != len(want) {
+		t.Fatalf("scan sizes = %v, want %v", sizes, want)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("scan sizes = %v, want %v", sizes, want)
+		}
+	}
+	alerts := s.Alerts()
+	if len(alerts) != 1 || alerts[0].Offset != 4 {
+		t.Fatalf("alerts = %+v, want one at offset 4", alerts)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/mel"
 )
 
 // Streaming defaults.
@@ -15,7 +17,15 @@ const (
 	// DefaultWindow - DefaultStride bytes so a worm straddling a window
 	// boundary is still seen whole.
 	DefaultStride = 2048
+	// MaxWindow is the largest configurable scan window — the MEL
+	// engine's stream-length ceiling. NewStreamScanner rejects larger
+	// windows with ErrWindowTooLarge up front rather than failing (or
+	// worse, truncating) mid-stream.
+	MaxWindow = mel.MaxStreamLen
 )
+
+// ErrWindowTooLarge reports a scan window beyond MaxWindow.
+var ErrWindowTooLarge = errors.New("core: window exceeds maximum scannable length")
 
 // StreamAlert reports one flagged window of a stream.
 type StreamAlert struct {
@@ -30,7 +40,7 @@ type StreamAlert struct {
 // ("easily deployable", Section 7). It is not safe for concurrent use;
 // create one scanner per stream.
 type StreamScanner struct {
-	det    *Detector
+	scan   func([]byte) (Verdict, error)
 	window int
 	stride int
 
@@ -40,10 +50,22 @@ type StreamScanner struct {
 }
 
 // NewStreamScanner wraps a detector. Non-positive window/stride take the
-// defaults; stride must not exceed window.
+// defaults; stride must not exceed window, and window must not exceed
+// MaxWindow.
 func NewStreamScanner(det *Detector, window, stride int) (*StreamScanner, error) {
 	if det == nil {
 		return nil, errors.New("core: nil detector")
+	}
+	return NewStreamScannerFunc(det.Scan, window, stride)
+}
+
+// NewStreamScannerFunc builds a stream scanner over an arbitrary scan
+// function — the hook that lets a shared scan service (worker pool,
+// verdict cache) stand in for a local detector. The function must be
+// safe for the scanner's call pattern: one call at a time per scanner.
+func NewStreamScannerFunc(scan func([]byte) (Verdict, error), window, stride int) (*StreamScanner, error) {
+	if scan == nil {
+		return nil, errors.New("core: nil scan function")
 	}
 	if window <= 0 {
 		window = DefaultWindow
@@ -51,11 +73,14 @@ func NewStreamScanner(det *Detector, window, stride int) (*StreamScanner, error)
 	if stride <= 0 {
 		stride = DefaultStride
 	}
+	if window > MaxWindow {
+		return nil, fmt.Errorf("core: window %d: %w", window, ErrWindowTooLarge)
+	}
 	if stride > window {
 		return nil, fmt.Errorf("core: stride %d exceeds window %d", stride, window)
 	}
 	return &StreamScanner{
-		det:    det,
+		scan:   scan,
 		window: window,
 		stride: stride,
 		buf:    make([]byte, 0, window),
@@ -102,7 +127,7 @@ func (s *StreamScanner) Write(p []byte) (int, error) {
 // scanWindow scans one full window and records the alert; on success the
 // stream position advances by one stride.
 func (s *StreamScanner) scanWindow(w []byte) error {
-	v, err := s.det.Scan(w)
+	v, err := s.scan(w)
 	if err != nil {
 		return fmt.Errorf("window at %d: %w", s.offset, err)
 	}
@@ -119,7 +144,7 @@ func (s *StreamScanner) Flush() error {
 	if len(s.buf) == 0 {
 		return nil
 	}
-	v, err := s.det.Scan(s.buf)
+	v, err := s.scan(s.buf)
 	if err != nil {
 		return fmt.Errorf("final window at %d: %w", s.offset, err)
 	}

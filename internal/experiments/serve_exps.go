@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/telemetry"
+)
+
+// ServeBenchResult is one measured serving configuration.
+type ServeBenchResult struct {
+	Name        string  `json:"name"`
+	Requests    int     `json:"requests"`
+	Conns       int     `json:"conns"`
+	Seconds     float64 `json:"seconds"`
+	ScansPerSec float64 `json:"scans_per_sec"`
+	P50Us       float64 `json:"p50_us"`
+	P99Us       float64 `json:"p99_us"`
+	CacheHits   uint64  `json:"cache_hits"`
+}
+
+// ServeOverloadResult probes the load-shedding path: a pool sized far
+// below the offered load must refuse the excess with ErrOverloaded and
+// answer every request either way — never hang.
+type ServeOverloadResult struct {
+	Requests    int  `json:"requests"`
+	Served      int  `json:"served"`
+	Shed        int  `json:"shed"`
+	AllExplicit bool `json:"all_explicit"` // every request got a verdict or a typed error
+}
+
+// ServeBenchReport is the BENCH_serve.json artifact: closed-loop wire
+// throughput of the scan daemon, cold vs cache-hit, with tail latency
+// from the daemon's own telemetry histogram, plus the overload probe.
+type ServeBenchReport struct {
+	Workload     string              `json:"workload"`
+	Results      []ServeBenchResult  `json:"results"`
+	CacheSpeedup float64             `json:"cache_speedup"`
+	Overload     ServeOverloadResult `json:"overload"`
+}
+
+// latencyQuantiles pulls p50/p99 (in microseconds) for the given
+// histogram out of a registry snapshot.
+func latencyQuantiles(reg *telemetry.Registry, name string) (p50, p99 float64) {
+	for _, m := range reg.Snapshot() {
+		if m.Name == name && m.Hist != nil {
+			return m.Hist.Quantile(0.50) * 1e6, m.Hist.Quantile(0.99) * 1e6
+		}
+	}
+	return 0, 0
+}
+
+// serveLoop runs a closed loop: conns client connections, each scanning
+// its share of requests synchronously, cycling through payloads.
+func serveLoop(addr string, payloads [][]byte, conns, requests int) (time.Duration, error) {
+	clients := make([]*client.Client, conns)
+	for i := range clients {
+		c, err := client.Dial(addr)
+		if err != nil {
+			return 0, err
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, conns)
+	per := requests / conns
+	start := time.Now()
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *client.Client) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				p := payloads[(i*per+j)%len(payloads)]
+				if _, err := c.Scan(p); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return elapsed, err
+	default:
+	}
+	return elapsed, nil
+}
+
+// startServe boots a daemon on an ephemeral loopback port.
+func startServe(det *core.Detector, cacheSize int) (*server.Server, string, error) {
+	srv, err := server.New(server.Config{
+		Detector:  det,
+		CacheSize: cacheSize,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}
+
+// ServeBench measures the scan daemon end to end over the wire
+// protocol and writes the JSON artifact to outPath ("" skips the file).
+//
+// Three phases: cold (verdict cache disabled, every request
+// pseudo-executes), cached (32 distinct 4 KB payloads after a warm
+// pass, requests answered from the content-hash cache), and an
+// overload probe (1 worker, tiny queue, a burst far over capacity —
+// the excess must shed with ErrOverloaded, and every request must get
+// an answer).
+func ServeBench(w io.Writer, outPath string, seed uint64) (ServeBenchReport, error) {
+	return serveBenchN(w, outPath, seed, 2000, 20000)
+}
+
+// serveBenchN is ServeBench with the phase request counts exposed, so
+// tests can run a reduced pass.
+func serveBenchN(w io.Writer, outPath string, seed uint64, coldReqs, cachedReqs int) (ServeBenchReport, error) {
+	const (
+		payloadCount = 32
+		payloadLen   = 4096
+		conns        = 4
+	)
+	cases, err := corpus.Dataset(seed, payloadCount, payloadLen)
+	if err != nil {
+		return ServeBenchReport{}, err
+	}
+	payloads := make([][]byte, len(cases))
+	for i, c := range cases {
+		payloads[i] = c.Data
+	}
+
+	det, err := core.New()
+	if err != nil {
+		return ServeBenchReport{}, err
+	}
+
+	report := ServeBenchReport{
+		Workload: fmt.Sprintf("%d distinct 4 KB benign payloads, %d closed-loop conns, loopback wire protocol", payloadCount, conns),
+	}
+
+	run := func(name string, cacheSize, requests int) (ServeBenchResult, error) {
+		srv, addr, err := startServe(det, cacheSize)
+		if err != nil {
+			return ServeBenchResult{}, err
+		}
+		defer srv.Close()
+		if cacheSize >= 0 {
+			// Warm pass: every payload scanned once so the timed loop
+			// measures the cache-hit path.
+			if _, err := serveLoop(addr, payloads, 1, len(payloads)); err != nil {
+				return ServeBenchResult{}, err
+			}
+		}
+		elapsed, err := serveLoop(addr, payloads, conns, requests)
+		if err != nil {
+			return ServeBenchResult{}, err
+		}
+		p50, p99 := latencyQuantiles(srv.Metrics(), "scan_latency_seconds")
+		hits, _ := srv.Metrics().Value("cache_hits_total")
+		return ServeBenchResult{
+			Name:        name,
+			Requests:    requests,
+			Conns:       conns,
+			Seconds:     elapsed.Seconds(),
+			ScansPerSec: float64(requests) / elapsed.Seconds(),
+			P50Us:       p50,
+			P99Us:       p99,
+			CacheHits:   uint64(hits),
+		}, nil
+	}
+
+	cold, err := run("serve_cold_4k", -1, coldReqs)
+	if err != nil {
+		return report, err
+	}
+	cached, err := run("serve_cached_4k", 4096, cachedReqs)
+	if err != nil {
+		return report, err
+	}
+	report.Results = []ServeBenchResult{cold, cached}
+	if cold.ScansPerSec > 0 {
+		report.CacheSpeedup = cached.ScansPerSec / cold.ScansPerSec
+	}
+
+	overload, err := serveOverloadProbe(det, payloads)
+	if err != nil {
+		return report, err
+	}
+	report.Overload = overload
+
+	fmt.Fprintln(w, "E20: scan service throughput (closed-loop wire protocol)")
+	for _, r := range report.Results {
+		fmt.Fprintf(w, "  %-18s %8d reqs %8.0f scans/s  p50 %7.0fus  p99 %7.0fus  %6d cache hits\n",
+			r.Name, r.Requests, r.ScansPerSec, r.P50Us, r.P99Us, r.CacheHits)
+	}
+	fmt.Fprintf(w, "  cache-hit speedup: %.1fx\n", report.CacheSpeedup)
+	fmt.Fprintf(w, "  overload probe: %d requests -> %d served, %d shed (all answered: %v)\n",
+		overload.Requests, overload.Served, overload.Shed, overload.AllExplicit)
+
+	if outPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return report, err
+		}
+		if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+			return report, fmt.Errorf("write %s: %w", outPath, err)
+		}
+		fmt.Fprintf(w, "  wrote %s\n", outPath)
+	}
+	fmt.Fprintln(w)
+	return report, nil
+}
+
+// serveOverloadProbe offers a 64-request burst to a daemon with one
+// worker and a two-slot queue. The pool must shed the excess with
+// ErrOverloaded; a request that neither succeeds nor fails typed is a
+// liveness bug.
+func serveOverloadProbe(det *core.Detector, payloads [][]byte) (ServeOverloadResult, error) {
+	const burst = 64
+	srv, err := server.New(server.Config{
+		Detector:   det,
+		Workers:    1,
+		QueueDepth: 2,
+		CacheSize:  -1,
+	})
+	if err != nil {
+		return ServeOverloadResult{}, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ServeOverloadResult{}, err
+	}
+	go func() { _ = srv.Serve(ln) }()
+
+	c, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		return ServeOverloadResult{}, err
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	res := ServeOverloadResult{Requests: burst, AllExplicit: true}
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := c.Scan(payloads[i%len(payloads)])
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				res.Served++
+			case errors.Is(err, server.ErrOverloaded):
+				res.Shed++
+			default:
+				res.AllExplicit = false
+			}
+		}(i)
+	}
+	wg.Wait()
+	return res, nil
+}

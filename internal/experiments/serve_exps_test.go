@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestServeBenchReduced runs the serve benchmark with small request
+// counts: both phases must complete over the wire, the cached phase
+// must actually hit the cache, the overload probe must shed typed and
+// answer everything, and the JSON artifact must round-trip.
+func TestServeBenchReduced(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var buf bytes.Buffer
+	report, err := serveBenchN(&buf, out, 31, 64, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 2 {
+		t.Fatalf("results = %+v", report.Results)
+	}
+	cold, cached := report.Results[0], report.Results[1]
+	if cold.ScansPerSec <= 0 || cached.ScansPerSec <= 0 {
+		t.Fatalf("throughput not measured: cold %v cached %v", cold.ScansPerSec, cached.ScansPerSec)
+	}
+	if cold.CacheHits != 0 {
+		t.Errorf("cold phase hit the cache %d times with caching disabled", cold.CacheHits)
+	}
+	if cached.CacheHits < uint64(cached.Requests) {
+		t.Errorf("cached phase hits = %d, want >= %d (warm pass covers all payloads)",
+			cached.CacheHits, cached.Requests)
+	}
+	if cached.P99Us <= 0 {
+		t.Errorf("cached p99 = %v, want > 0 (from the latency histogram)", cached.P99Us)
+	}
+	ov := report.Overload
+	if !ov.AllExplicit {
+		t.Error("overload probe: some request neither succeeded nor failed typed")
+	}
+	if ov.Served+ov.Shed != ov.Requests {
+		t.Errorf("overload probe accounting: %d served + %d shed != %d", ov.Served, ov.Shed, ov.Requests)
+	}
+	if ov.Shed == 0 {
+		t.Error("overload probe shed nothing: 64-burst against 1 worker / 2-slot queue must overload")
+	}
+	if !strings.Contains(buf.String(), "E20:") {
+		t.Errorf("report output missing header:\n%s", buf.String())
+	}
+
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded ServeBenchReport
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Overload.Requests != ov.Requests {
+		t.Errorf("artifact round trip mismatch: %+v", decoded.Overload)
+	}
+}

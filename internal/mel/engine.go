@@ -118,6 +118,12 @@ var (
 // the int32 state tables.
 const maxStreamLen = math.MaxInt32 - 1
 
+// MaxStreamLen is the longest stream the engine can scan; longer inputs
+// are rejected with ErrStreamTooLarge. Exported so callers (the stream
+// scanner, the scan service) can validate sizes up front instead of
+// discovering the limit mid-scan.
+const MaxStreamLen = maxStreamLen
+
 // Memo cell encoding: 0 = unexplored (so resets are a memclr), -1 = on
 // the current DFS stack, v > 0 = resolved with path length v-1.
 const memoInProgress int32 = -1

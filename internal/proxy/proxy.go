@@ -11,9 +11,16 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
+
+// DefaultIdleTimeout bounds how long either side of a proxied
+// connection may stall before the proxy gives up on it — a stalled
+// peer must not pin a goroutine forever.
+const DefaultIdleTimeout = 2 * time.Minute
 
 // Alert is one detection event on a proxied connection.
 type Alert struct {
@@ -30,20 +37,46 @@ type Alert struct {
 type Config struct {
 	// Detector performs the scanning; required.
 	Detector *core.Detector
+	// Scan, when set, overrides Detector.Scan for window verdicts —
+	// the hook that routes proxied traffic through a shared worker
+	// pool (server.Pool.ScanFunc()) so the proxy and the scan daemon
+	// compete for the same bounded scheduler and share one verdict
+	// cache. The Detector is still required for configuration
+	// validation and remains the fallback when nil.
+	Scan func([]byte) (core.Verdict, error)
 	// Upstream is the address proxied connections are forwarded to.
 	Upstream string
 	// Window and Stride configure the stream scanner (defaults apply).
 	Window, Stride int
+	// IdleTimeout bounds each read/write on the proxied connections:
+	// 0 selects DefaultIdleTimeout, negative disables deadlines
+	// entirely (the pre-deadline behaviour).
+	IdleTimeout time.Duration
 	// Block severs a connection on its first alert when true; otherwise
 	// the proxy only records alerts.
 	Block bool
+	// Metrics, when set, receives the proxy's counters (connections,
+	// bytes, alerts, blocks) — point it at the scan service's registry
+	// to expose one combined /metrics surface.
+	Metrics *telemetry.Registry
 	// Logf receives diagnostic output; nil silences it.
 	Logf func(format string, args ...any)
+}
+
+// proxyMetrics are the registered instruments; all nil-safe to leave
+// unregistered.
+type proxyMetrics struct {
+	conns   *telemetry.Counter
+	active  *telemetry.Gauge
+	bytes   *telemetry.Counter
+	alerts  *telemetry.Counter
+	blocked *telemetry.Counter
 }
 
 // Proxy is a running MEL-scanning TCP proxy.
 type Proxy struct {
 	cfg Config
+	m   proxyMetrics
 
 	mu     sync.Mutex
 	alerts []Alert
@@ -71,10 +104,29 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.Stride > cfg.Window {
 		return nil, fmt.Errorf("proxy: stride %d exceeds window %d", cfg.Stride, cfg.Window)
 	}
+	if cfg.Window > core.MaxWindow {
+		return nil, fmt.Errorf("proxy: window %d: %w", cfg.Window, core.ErrWindowTooLarge)
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	if cfg.Scan == nil {
+		cfg.Scan = cfg.Detector.Scan
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	return &Proxy{cfg: cfg, done: make(chan struct{})}, nil
+	p := &Proxy{cfg: cfg, done: make(chan struct{})}
+	if reg := cfg.Metrics; reg != nil {
+		p.m = proxyMetrics{
+			conns:   reg.Counter("proxy_connections_total", "proxied client connections"),
+			active:  reg.Gauge("proxy_connections_active", "proxied connections in flight"),
+			bytes:   reg.Counter("proxy_bytes_total", "client-to-upstream bytes scanned and forwarded"),
+			alerts:  reg.Counter("proxy_alerts_total", "windows that tripped the detector"),
+			blocked: reg.Counter("proxy_blocked_total", "connections severed in block mode"),
+		}
+	}
+	return p, nil
 }
 
 // Serve accepts connections on ln until Close is called. It takes
@@ -139,20 +191,54 @@ func (p *Proxy) record(a Alert) {
 	p.mu.Lock()
 	p.alerts = append(p.alerts, a)
 	p.mu.Unlock()
+	if p.m.alerts != nil {
+		p.m.alerts.Inc()
+	}
 	p.cfg.Logf("ALERT %s window@%d MEL=%d tau=%.1f", a.Conn, a.Offset, a.MEL, a.Threshold)
 }
 
+// idleConn bumps the connection deadline on every read and write, so
+// a peer that stalls longer than the idle timeout fails the next I/O
+// instead of pinning the handler goroutine forever. A non-positive
+// timeout leaves the conn deadline-free.
+type idleConn struct {
+	net.Conn
+	timeout time.Duration
+}
+
+func (c idleConn) Read(b []byte) (int, error) {
+	if c.timeout > 0 {
+		_ = c.Conn.SetReadDeadline(time.Now().Add(c.timeout))
+	}
+	return c.Conn.Read(b)
+}
+
+func (c idleConn) Write(b []byte) (int, error) {
+	if c.timeout > 0 {
+		_ = c.Conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	}
+	return c.Conn.Write(b)
+}
+
 // handle proxies one client connection.
-func (p *Proxy) handle(client net.Conn) {
-	defer client.Close()
-	upstream, err := net.Dial("tcp", p.cfg.Upstream)
+func (p *Proxy) handle(clientConn net.Conn) {
+	if p.m.conns != nil {
+		p.m.conns.Inc()
+		p.m.active.Inc()
+		defer p.m.active.Dec()
+	}
+	defer clientConn.Close()
+	upstreamConn, err := net.Dial("tcp", p.cfg.Upstream)
 	if err != nil {
 		p.cfg.Logf("proxy: dial upstream: %v", err)
 		return
 	}
-	defer upstream.Close()
+	defer upstreamConn.Close()
 
-	scanner, err := core.NewStreamScanner(p.cfg.Detector, p.cfg.Window, p.cfg.Stride)
+	client := idleConn{Conn: clientConn, timeout: p.cfg.IdleTimeout}
+	upstream := idleConn{Conn: upstreamConn, timeout: p.cfg.IdleTimeout}
+
+	scanner, err := core.NewStreamScannerFunc(p.cfg.Scan, p.cfg.Window, p.cfg.Stride)
 	if err != nil {
 		p.cfg.Logf("proxy: scanner: %v", err)
 		return
@@ -162,16 +248,20 @@ func (p *Proxy) handle(client net.Conn) {
 	downWG.Add(1)
 	go func() {
 		defer downWG.Done()
-		// Upstream-to-client direction is forwarded untouched.
+		// Upstream-to-client direction is forwarded untouched; the idle
+		// wrappers keep a stalled peer from pinning this copier.
 		_, _ = io.Copy(client, upstream)
 	}()
 
-	name := client.RemoteAddr().String()
+	name := clientConn.RemoteAddr().String()
 	buf := make([]byte, 32*1024)
 	blocked := false
 	for !blocked {
 		n, readErr := client.Read(buf)
 		if n > 0 {
+			if p.m.bytes != nil {
+				p.m.bytes.Add(uint64(n))
+			}
 			seen := len(scanner.Alerts())
 			if _, err := scanner.Write(buf[:n]); err != nil {
 				p.cfg.Logf("proxy: scan: %v", err)
@@ -204,10 +294,13 @@ func (p *Proxy) handle(client net.Conn) {
 		}
 	}
 	if blocked {
+		if p.m.blocked != nil {
+			p.m.blocked.Inc()
+		}
 		p.cfg.Logf("proxy: blocked %s", name)
 	}
 	// Tear down both directions and wait for the downstream copier.
-	upstream.Close()
-	client.Close()
+	upstreamConn.Close()
+	clientConn.Close()
 	downWG.Wait()
 }

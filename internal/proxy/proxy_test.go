@@ -11,7 +11,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/encoder"
+	"repro/internal/server"
 	"repro/internal/shellcode"
+	"repro/internal/telemetry"
 )
 
 // echoServer accepts connections and echoes bytes back until closed.
@@ -238,6 +240,135 @@ func TestCloseIdempotentAndServeAfterClose(t *testing.T) {
 	defer ln.Close()
 	if err := p.Serve(ln); err == nil {
 		t.Error("serve after close should fail")
+	}
+}
+
+// TestIdleTimeoutDropsStalledClient: a client that connects and then
+// goes silent is dropped once the configured idle timeout elapses,
+// instead of pinning the handler goroutine forever.
+func TestIdleTimeoutDropsStalledClient(t *testing.T) {
+	upstream, stopEcho := echoServer(t)
+	defer stopEcho()
+	det, err := core.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{
+		Detector:    det,
+		Upstream:    upstream,
+		IdleTimeout: 150 * time.Millisecond,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = p.Serve(ln) }()
+	t.Cleanup(func() { p.Close() })
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Write nothing: the proxy's idle deadline must fire and close the
+	// connection, surfacing as EOF/err on our read well before the
+	// test's own 5s guard.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 16)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("stalled connection not dropped by idle timeout")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("proxy never closed the stalled connection (our guard fired first)")
+	}
+}
+
+// TestPooledScanSharesSchedulerAndMetrics routes proxy windows through
+// a server.Pool via the Scan override and verifies both the verdicts
+// and the shared metrics surface (pool counters and proxy counters in
+// one registry).
+func TestPooledScanSharesSchedulerAndMetrics(t *testing.T) {
+	upstream, stopEcho := echoServer(t)
+	defer stopEcho()
+	det, err := core.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	pool, err := server.NewPool(server.PoolConfig{Detector: det, Workers: 2, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	p, err := New(Config{
+		Detector: det,
+		Scan:     pool.ScanFunc(),
+		Upstream: upstream,
+		Window:   2048,
+		Stride:   512,
+		Metrics:  reg,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = p.Serve(ln) }()
+	t.Cleanup(func() { p.Close() })
+
+	w, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: 33, SledLen: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := append([]byte{}, w.Bytes...)
+	for len(payload) < 2048 {
+		payload = append(payload, ' ')
+	}
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	echo := make([]byte, len(payload))
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, echo); err != nil {
+		t.Fatalf("monitor mode must still forward: %v", err)
+	}
+	conn.Close()
+	// Close drains in-flight handlers, so all metrics are settled.
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if alerts := p.Alerts(); len(alerts) == 0 {
+		t.Fatal("pooled scan produced no alerts")
+	}
+	for name, min := range map[string]float64{
+		"scans_total":             1, // pool executed the proxy's windows
+		"proxy_connections_total": 1,
+		"proxy_alerts_total":      1,
+		"proxy_bytes_total":       float64(len(payload)),
+	} {
+		got, ok := reg.Value(name)
+		if !ok {
+			t.Fatalf("metric %s not registered", name)
+		}
+		if got < min {
+			t.Errorf("metric %s = %v, want >= %v", name, got, min)
+		}
+	}
+	if v, _ := reg.Value("proxy_connections_active"); v != 0 {
+		t.Errorf("proxy_connections_active = %v after drain, want 0", v)
 	}
 }
 

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// cacheKey is the content hash of a payload. SHA-256 keeps accidental
+// and adversarial collisions equally out of reach: a verdict served
+// from the cache is the verdict of byte-identical content.
+type cacheKey = [sha256.Size]byte
+
+// verdictCache is a fixed-capacity LRU of payload-hash → verdict.
+// Repeated payloads — retransmissions, mirrored traffic, a worm
+// spraying the same bytes at every peer — skip pseudo-execution
+// entirely. The verdict depends only on payload bytes for a fixed
+// detector calibration, so entries never go stale while the detector
+// is unchanged; the owning pool is built around exactly one detector.
+type verdictCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent
+	idx map[cacheKey]*list.Element
+}
+
+// cacheEntry is one resident verdict.
+type cacheEntry struct {
+	key cacheKey
+	v   core.Verdict
+}
+
+// newVerdictCache builds a cache for up to capacity entries
+// (capacity > 0).
+func newVerdictCache(capacity int) *verdictCache {
+	return &verdictCache{
+		cap: capacity,
+		ll:  list.New(),
+		idx: make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+// get returns the cached verdict for key, refreshing its recency.
+func (c *verdictCache) get(key cacheKey) (core.Verdict, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.idx[key]
+	if !ok {
+		return core.Verdict{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).v, true
+}
+
+// put inserts or refreshes a verdict, evicting the least recently used
+// entry when full.
+func (c *verdictCache) put(key cacheKey, v core.Verdict) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[key]; ok {
+		el.Value.(*cacheEntry).v = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		if oldest != nil {
+			c.ll.Remove(oldest)
+			delete(c.idx, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	c.idx[key] = c.ll.PushFront(&cacheEntry{key: key, v: v})
+}
+
+// len returns the resident entry count.
+func (c *verdictCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,270 @@
+// Package client is the Go client for the melserved scan daemon: one
+// TCP connection, any number of concurrent callers. Requests are
+// pipelined — each Scan gets a fresh request id, writes its frame, and
+// waits for the matching response, so goroutines sharing a client keep
+// the connection full without head-of-line blocking on scan order.
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// ErrClosed reports use of a closed client.
+var ErrClosed = errors.New("client: closed")
+
+// Result is one scan verdict as served over the wire. Params are
+// derived server-side and not transmitted; MEL, threshold, and the
+// verdict bit carry everything a gateway decision needs.
+type Result struct {
+	// Malicious is true when MEL exceeded the server's threshold.
+	Malicious bool
+	// MEL is the measured maximum executable length.
+	MEL int
+	// BestStart is the offset where the longest path begins.
+	BestStart int
+	// Threshold is the server's derived τ for this payload size.
+	Threshold float64
+	// TextOnly reports pure keyboard-enterable text.
+	TextOnly bool
+	// Cached reports that the verdict came from the server's
+	// content-hash cache rather than fresh pseudo-execution.
+	Cached bool
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithTimeout sets the default per-request timeout (default 30s;
+// 0 or negative disables). ScanContext overrides it per call.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithMaxFrame overrides the largest response frame the client will
+// accept (default 1 MiB plus protocol overhead).
+func WithMaxFrame(n int) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.maxFrame = uint32(n)
+		}
+	}
+}
+
+// Client is a concurrent-safe connection to a scan daemon.
+type Client struct {
+	conn     net.Conn
+	bw       *bufio.Writer
+	timeout  time.Duration
+	maxFrame uint32
+
+	wmu sync.Mutex // serializes frame writes and flushes
+
+	mu      sync.Mutex
+	pending map[uint64]chan response
+	nextID  uint64
+	closed  bool
+	brokenE error // set when the read loop dies; fails later calls fast
+
+	readDone chan struct{}
+}
+
+// response is one raw reply frame.
+type response struct {
+	typ     byte
+	payload []byte
+}
+
+// Dial connects to a scan daemon.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return NewClient(conn, opts...), nil
+}
+
+// NewClient wraps an established connection (ownership transfers).
+func NewClient(conn net.Conn, opts ...Option) *Client {
+	c := &Client{
+		conn:     conn,
+		bw:       bufio.NewWriterSize(conn, 64<<10),
+		timeout:  30 * time.Second,
+		maxFrame: 1<<20 + 1024,
+		pending:  make(map[uint64]chan response),
+		readDone: make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	go c.readLoop()
+	return c
+}
+
+// readLoop dispatches response frames to their waiting requests. On
+// connection failure every in-flight and future request fails with the
+// read error.
+func (c *Client) readLoop() {
+	defer close(c.readDone)
+	br := bufio.NewReaderSize(c.conn, 64<<10)
+	for {
+		typ, id, payload, err := server.ReadFrame(br, c.maxFrame)
+		if err != nil {
+			c.mu.Lock()
+			if c.brokenE == nil {
+				if c.closed {
+					c.brokenE = ErrClosed
+				} else {
+					c.brokenE = fmt.Errorf("client: connection lost: %w", err)
+				}
+			}
+			pending := c.pending
+			c.pending = make(map[uint64]chan response)
+			c.mu.Unlock()
+			for _, ch := range pending {
+				close(ch) // receivers translate a closed channel via brokenE
+			}
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		if ok {
+			delete(c.pending, id)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- response{typ: typ, payload: payload}
+		}
+	}
+}
+
+// Scan submits one payload and blocks for its verdict, bounded by the
+// client's default timeout. Typed daemon errors (server.ErrOverloaded,
+// server.ErrPayloadTooLarge, ...) come back errors.Is-matchable.
+func (c *Client) Scan(payload []byte) (Result, error) {
+	ctx := context.Background()
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	return c.ScanContext(ctx, payload)
+}
+
+// ScanContext submits one payload and blocks for its verdict or the
+// context's end.
+func (c *Client) ScanContext(ctx context.Context, payload []byte) (Result, error) {
+	ch := make(chan response, 1)
+	c.mu.Lock()
+	if c.closed {
+		err := c.brokenE
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return Result{}, err
+	}
+	if c.brokenE != nil {
+		err := c.brokenE
+		c.mu.Unlock()
+		return Result{}, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	unregister := func() {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+	}
+
+	c.wmu.Lock()
+	if d, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetWriteDeadline(d)
+	} else {
+		_ = c.conn.SetWriteDeadline(time.Time{})
+	}
+	frame := server.AppendScanRequest(nil, id, payload)
+	_, werr := c.bw.Write(frame)
+	if werr == nil {
+		werr = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if werr != nil {
+		unregister()
+		return Result{}, fmt.Errorf("client: send: %w", werr)
+	}
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.brokenE
+			c.mu.Unlock()
+			if err == nil {
+				err = ErrClosed
+			}
+			return Result{}, err
+		}
+		return decodeResponse(resp)
+	case <-ctx.Done():
+		unregister()
+		return Result{}, ctx.Err()
+	}
+}
+
+// decodeResponse turns a raw reply into a Result or typed error.
+func decodeResponse(resp response) (Result, error) {
+	switch resp.typ {
+	case server.MsgVerdict:
+		v, cached, err := server.DecodeVerdict(resp.payload)
+		if err != nil {
+			return Result{}, err
+		}
+		return fromVerdict(v, cached), nil
+	case server.MsgError:
+		code, msg, err := server.DecodeError(resp.payload)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{}, server.ErrorForCode(code, msg)
+	default:
+		return Result{}, fmt.Errorf("client: unexpected response type 0x%02x", resp.typ)
+	}
+}
+
+// fromVerdict converts the wire verdict into the client result type.
+func fromVerdict(v core.Verdict, cached bool) Result {
+	return Result{
+		Malicious: v.Malicious,
+		MEL:       v.MEL,
+		BestStart: v.BestStart,
+		Threshold: v.Threshold,
+		TextOnly:  v.TextOnly,
+		Cached:    cached,
+	}
+}
+
+// Close tears the connection down and fails outstanding requests.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.readDone
+	return err
+}

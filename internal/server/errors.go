@@ -1,0 +1,84 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed service errors. These are the contract between the daemon and
+// its clients: the wire carries a status code, and the client library
+// rehydrates the matching sentinel so errors.Is works across the
+// network exactly as it does in-process.
+var (
+	// ErrOverloaded reports that the worker queue was full and the
+	// request was shed rather than queued — the caller should back off
+	// and retry. The server never blocks a connection on a full queue.
+	ErrOverloaded = errors.New("server: overloaded, request shed")
+	// ErrPayloadTooLarge reports a scan payload beyond the server's
+	// configured maximum.
+	ErrPayloadTooLarge = errors.New("server: payload exceeds maximum size")
+	// ErrDeadlineExceeded reports that a request's deadline expired
+	// before a worker reached it.
+	ErrDeadlineExceeded = errors.New("server: request deadline exceeded")
+	// ErrShuttingDown reports a request that arrived during graceful
+	// drain.
+	ErrShuttingDown = errors.New("server: shutting down")
+	// ErrBadRequest reports a malformed or unknown request frame.
+	ErrBadRequest = errors.New("server: bad request")
+	// ErrScanFailed wraps a detector-side scan failure.
+	ErrScanFailed = errors.New("server: scan failed")
+)
+
+// Wire status codes for MsgError frames.
+const (
+	CodeOverloaded   byte = 1
+	CodeTooLarge     byte = 2
+	CodeBadRequest   byte = 3
+	CodeScanFailed   byte = 4
+	CodeDeadline     byte = 5
+	CodeShuttingDown byte = 6
+)
+
+// codeFor maps a service error to its wire status code.
+func codeFor(err error) byte {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, ErrPayloadTooLarge):
+		return CodeTooLarge
+	case errors.Is(err, ErrDeadlineExceeded):
+		return CodeDeadline
+	case errors.Is(err, ErrShuttingDown):
+		return CodeShuttingDown
+	case errors.Is(err, ErrBadRequest):
+		return CodeBadRequest
+	default:
+		return CodeScanFailed
+	}
+}
+
+// ErrorForCode rehydrates a wire status code into the matching typed
+// error; the message, when non-empty, is attached as context.
+func ErrorForCode(code byte, msg string) error {
+	var base error
+	switch code {
+	case CodeOverloaded:
+		base = ErrOverloaded
+	case CodeTooLarge:
+		base = ErrPayloadTooLarge
+	case CodeDeadline:
+		base = ErrDeadlineExceeded
+	case CodeShuttingDown:
+		base = ErrShuttingDown
+	case CodeBadRequest:
+		base = ErrBadRequest
+	case CodeScanFailed:
+		base = ErrScanFailed
+	default:
+		return fmt.Errorf("server: unknown error code %d: %s", code, msg)
+	}
+	if msg == "" || msg == base.Error() {
+		return base
+	}
+	return fmt.Errorf("%w: %s", base, msg)
+}

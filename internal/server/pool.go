@@ -1,0 +1,301 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// Pool defaults.
+const (
+	// DefaultCacheSize is the verdict-cache capacity when the
+	// configuration leaves it zero.
+	DefaultCacheSize = 4096
+	// defaultQueueFactor sizes the job queue as a multiple of the worker
+	// count when unset: enough to absorb bursts, small enough that
+	// latency under sustained overload stays bounded and shedding kicks
+	// in quickly.
+	defaultQueueFactor = 4
+)
+
+// PoolConfig configures a scan worker pool.
+type PoolConfig struct {
+	// Detector performs the scans; required, and must not be
+	// recalibrated while the pool runs (the verdict cache assumes a
+	// fixed calibration).
+	Detector *core.Detector
+	// Workers is the number of scan goroutines; <= 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the jobs waiting for a worker; <= 0 selects
+	// defaultQueueFactor * Workers. When the queue is full, Submit sheds
+	// with ErrOverloaded instead of blocking.
+	QueueDepth int
+	// CacheSize is the verdict LRU capacity: 0 selects
+	// DefaultCacheSize, negative disables caching.
+	CacheSize int
+	// Metrics receives the pool's counters and histograms; nil creates
+	// a private registry (exposed via Metrics()).
+	Metrics *telemetry.Registry
+}
+
+// job is one queued scan.
+type job struct {
+	payload  []byte
+	enqueued time.Time
+	deadline time.Time
+	done     func(v core.Verdict, cached bool, err error)
+}
+
+// poolMetrics are the pool's registered instruments — the canonical
+// serving metric names.
+type poolMetrics struct {
+	scans     *telemetry.Counter
+	errs      *telemetry.Counter
+	malicious *telemetry.Counter
+	benign    *telemetry.Counter
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	shed      *telemetry.Counter
+	deadline  *telemetry.Counter
+	depth     *telemetry.Gauge
+	latency   *telemetry.Histogram
+	bytes     *telemetry.Counter
+}
+
+func newPoolMetrics(reg *telemetry.Registry) poolMetrics {
+	return poolMetrics{
+		scans:     reg.Counter("scans_total", "verdicts served (cache hits included)"),
+		errs:      reg.Counter("scan_errors_total", "scans that failed in the detector"),
+		malicious: reg.Counter("verdicts_malicious_total", "verdicts that flagged the payload"),
+		benign:    reg.Counter("verdicts_benign_total", "verdicts that passed the payload"),
+		hits:      reg.Counter("cache_hits_total", "verdicts served from the content-hash cache"),
+		misses:    reg.Counter("cache_misses_total", "payloads that required pseudo-execution"),
+		shed:      reg.Counter("shed_total", "requests shed because the queue was full"),
+		deadline:  reg.Counter("deadline_exceeded_total", "requests that expired before a worker reached them"),
+		depth:     reg.Gauge("queue_depth", "jobs waiting for a worker"),
+		latency:   reg.Histogram("scan_latency_seconds", "request latency, queue wait included", nil),
+		bytes:     reg.Counter("bytes_scanned_total", "payload bytes across served verdicts"),
+	}
+}
+
+// Pool is a bounded scan worker pool with an optional verdict cache.
+// It is the shared execution engine behind the TCP server and the
+// proxy's pooled mode: submissions either queue, shed (ErrOverloaded),
+// or — after Close — fail with ErrShuttingDown. Close drains queued
+// work before returning.
+type Pool struct {
+	det   *core.Detector
+	cache *verdictCache
+	jobs  chan job
+	reg   *telemetry.Registry
+	m     poolMetrics
+
+	// mu serializes Submit's channel send against Close's channel
+	// close: senders hold the read lock, so Close (write lock) cannot
+	// close the channel mid-send.
+	mu     sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewPool validates the configuration and starts the workers.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	if cfg.Detector == nil {
+		return nil, errors.New("server: nil detector")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = defaultQueueFactor * cfg.Workers
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	p := &Pool{
+		det:  cfg.Detector,
+		jobs: make(chan job, cfg.QueueDepth),
+		reg:  reg,
+		m:    newPoolMetrics(reg),
+	}
+	switch {
+	case cfg.CacheSize == 0:
+		p.cache = newVerdictCache(DefaultCacheSize)
+	case cfg.CacheSize > 0:
+		p.cache = newVerdictCache(cfg.CacheSize)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p, nil
+}
+
+// Metrics returns the registry the pool reports into.
+func (p *Pool) Metrics() *telemetry.Registry { return p.reg }
+
+// Submit enqueues a scan without blocking: a full queue sheds the
+// request with ErrOverloaded, a closed pool rejects it with
+// ErrShuttingDown. On nil error, done is called exactly once, from a
+// worker goroutine, with the verdict (or a typed error). A non-zero
+// deadline expires queued requests with ErrDeadlineExceeded.
+func (p *Pool) Submit(payload []byte, deadline time.Time, done func(v core.Verdict, cached bool, err error)) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrShuttingDown
+	}
+	p.m.depth.Inc()
+	select {
+	case p.jobs <- job{payload: payload, enqueued: time.Now(), deadline: deadline, done: done}:
+		return nil
+	default:
+		p.m.depth.Dec()
+		p.m.shed.Inc()
+		return ErrOverloaded
+	}
+}
+
+// Do runs one scan through the pool and waits for the result. Unlike
+// Submit it blocks for a queue slot (honouring ctx), which is the
+// right behaviour for in-process callers like the proxy that own their
+// own flow control. The bool reports whether the verdict came from the
+// cache.
+func (p *Pool) Do(ctx context.Context, payload []byte) (core.Verdict, bool, error) {
+	type result struct {
+		v      core.Verdict
+		cached bool
+		err    error
+	}
+	ch := make(chan result, 1)
+	var deadline time.Time
+	if t, ok := ctx.Deadline(); ok {
+		deadline = t
+	}
+	j := job{
+		payload:  payload,
+		enqueued: time.Now(),
+		deadline: deadline,
+		done:     func(v core.Verdict, cached bool, err error) { ch <- result{v, cached, err} },
+	}
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return core.Verdict{}, false, ErrShuttingDown
+	}
+	p.m.depth.Inc()
+	select {
+	case p.jobs <- j:
+		p.mu.RUnlock()
+	case <-ctx.Done():
+		p.m.depth.Dec()
+		p.mu.RUnlock()
+		return core.Verdict{}, false, ctx.Err()
+	}
+	r := <-ch
+	return r.v, r.cached, r.err
+}
+
+// ScanFunc adapts the pool to the detector's scan signature, for
+// core.NewStreamScannerFunc and the proxy's pooled mode.
+func (p *Pool) ScanFunc() func([]byte) (core.Verdict, error) {
+	return func(payload []byte) (core.Verdict, error) {
+		v, _, err := p.Do(context.Background(), payload)
+		return v, err
+	}
+}
+
+// Close stops accepting work, drains the queue, and waits for the
+// workers to exit. Safe to call more than once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// worker drains the job queue.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		p.m.depth.Dec()
+		p.serve(j)
+	}
+}
+
+// serve executes one job: deadline check, cache lookup, scan, cache
+// fill, metrics.
+func (p *Pool) serve(j job) {
+	if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+		p.m.deadline.Inc()
+		j.done(core.Verdict{}, false, ErrDeadlineExceeded)
+		return
+	}
+	var key cacheKey
+	if p.cache != nil {
+		key = sha256.Sum256(j.payload)
+		if v, ok := p.cache.get(key); ok {
+			p.m.hits.Inc()
+			p.finish(j, v, true)
+			return
+		}
+		p.m.misses.Inc()
+	}
+	v, err := p.det.Scan(j.payload)
+	if err != nil {
+		p.m.errs.Inc()
+		j.done(core.Verdict{}, false, fmt.Errorf("%w: %v", ErrScanFailed, err))
+		return
+	}
+	if p.cache != nil {
+		p.cache.put(key, v)
+	}
+	p.finish(j, v, false)
+}
+
+// finish records a served verdict and delivers it.
+func (p *Pool) finish(j job, v core.Verdict, cached bool) {
+	p.m.scans.Inc()
+	p.m.bytes.Add(uint64(len(j.payload)))
+	if v.Malicious {
+		p.m.malicious.Inc()
+	} else {
+		p.m.benign.Inc()
+	}
+	p.m.latency.Observe(time.Since(j.enqueued).Seconds())
+	j.done(v, cached, nil)
+}
+
+// InstrumentDetector wires a detector's observer hook into reg under
+// the detector_* names, separating raw pseudo-execution cost
+// (detector_scan_seconds) from the pool's end-to-end request latency
+// (scan_latency_seconds, queue wait included). ScanBatch and stream
+// scanners over the same detector report through the same hook.
+func InstrumentDetector(d *core.Detector, reg *telemetry.Registry) {
+	scans := reg.Counter("detector_scans_total", "raw detector scans (cache misses and direct calls)")
+	errs := reg.Counter("detector_errors_total", "raw detector scan failures")
+	bytes := reg.Counter("detector_bytes_total", "bytes pseudo-executed")
+	lat := reg.Histogram("detector_scan_seconds", "pseudo-execution latency", nil)
+	d.SetObserver(func(s core.ScanStats) {
+		scans.Inc()
+		bytes.Add(uint64(s.Bytes))
+		lat.Observe(s.Elapsed.Seconds())
+		if s.Err != nil {
+			errs.Inc()
+		}
+	})
+}

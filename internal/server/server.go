@@ -1,0 +1,360 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// Server defaults.
+const (
+	// DefaultMaxPayload bounds one scan request's payload.
+	DefaultMaxPayload = 1 << 20
+	// DefaultReadTimeout is the per-frame read deadline: a connection
+	// idle longer than this is closed.
+	DefaultReadTimeout = 2 * time.Minute
+	// DefaultWriteTimeout is the per-flush write deadline.
+	DefaultWriteTimeout = 30 * time.Second
+	// DefaultRequestTimeout bounds a request from arrival to verdict.
+	DefaultRequestTimeout = 10 * time.Second
+	// connOutDepth buffers per-connection responses between the workers
+	// and the connection's writer goroutine.
+	connOutDepth = 64
+)
+
+// Config configures a Server.
+type Config struct {
+	// Detector performs the scans; required.
+	Detector *core.Detector
+	// Workers, QueueDepth, and CacheSize configure the shared pool (see
+	// PoolConfig).
+	Workers    int
+	QueueDepth int
+	CacheSize  int
+	// MaxPayload bounds one request's payload bytes; <= 0 selects
+	// DefaultMaxPayload. Oversized requests get ErrPayloadTooLarge.
+	MaxPayload int
+	// ReadTimeout closes connections idle longer than this between
+	// frames; 0 selects DefaultReadTimeout, negative disables.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response flush; 0 selects
+	// DefaultWriteTimeout, negative disables.
+	WriteTimeout time.Duration
+	// RequestTimeout is the per-request deadline from frame arrival to
+	// verdict; 0 selects DefaultRequestTimeout, negative disables.
+	RequestTimeout time.Duration
+	// Metrics receives pool and server instruments; nil creates a
+	// private registry.
+	Metrics *telemetry.Registry
+	// InstrumentDetector, when true, also wires the detector's observer
+	// hook into the registry (detector_* metrics). Leave false when the
+	// detector is shared and already instrumented elsewhere.
+	InstrumentDetector bool
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Server is a running scan daemon: one shared worker pool, any number
+// of client connections, each with a reader and a writer goroutine so
+// a slow peer never stalls scanning for the others.
+type Server struct {
+	cfg  Config
+	pool *Pool
+	reg  *telemetry.Registry
+
+	connsActive *telemetry.Gauge
+	connsTotal  *telemetry.Counter
+	badFrames   *telemetry.Counter
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	draining bool
+
+	connWG sync.WaitGroup
+}
+
+// New validates the configuration and starts the worker pool. The
+// server accepts no connections until Serve.
+func New(cfg Config) (*Server, error) {
+	if cfg.Detector == nil {
+		return nil, errors.New("server: nil detector")
+	}
+	if cfg.MaxPayload <= 0 {
+		cfg.MaxPayload = DefaultMaxPayload
+	}
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = DefaultReadTimeout
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	pool, err := NewPool(PoolConfig{
+		Detector:   cfg.Detector,
+		Workers:    cfg.Workers,
+		QueueDepth: cfg.QueueDepth,
+		CacheSize:  cfg.CacheSize,
+		Metrics:    reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.InstrumentDetector {
+		InstrumentDetector(cfg.Detector, reg)
+	}
+	return &Server{
+		cfg:         cfg,
+		pool:        pool,
+		reg:         reg,
+		connsActive: reg.Gauge("connections_active", "open client connections"),
+		connsTotal:  reg.Counter("connections_total", "client connections accepted"),
+		badFrames:   reg.Counter("bad_requests_total", "malformed or unknown request frames"),
+		conns:       make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Metrics returns the server's registry — mount it with
+// telemetry.DebugMux for the /metrics and /debug/pprof endpoints.
+func (s *Server) Metrics() *telemetry.Registry { return s.reg }
+
+// Pool returns the shared worker pool, so other ingress paths (the
+// proxy) can route scans through the same scheduler and cache.
+func (s *Server) Pool() *Pool { return s.pool }
+
+// Serve accepts connections on ln until Close. It takes ownership of
+// the listener.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrShuttingDown
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil // deliberate shutdown
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		s.connsTotal.Inc()
+		s.connsActive.Inc()
+		go func() {
+			defer s.connWG.Done()
+			defer s.connsActive.Dec()
+			s.handleConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, drains in-flight requests, closes the
+// connections, and shuts the pool down. Requests already accepted get
+// their responses; requests arriving during the drain are refused with
+// ErrShuttingDown.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.draining = true
+	ln := s.ln
+	// Unblock every reader stuck in a frame read: readers notice the
+	// shutdown when the deadline fires and exit through their drain
+	// path, which flushes pending responses before closing.
+	for c := range s.conns {
+		_ = c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.connWG.Wait()
+	s.pool.Close()
+	return err
+}
+
+// isDraining reports whether shutdown has begun.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// handleConn runs one connection: this goroutine reads frames and
+// submits jobs; a writer goroutine serializes responses. Workers hand
+// completed verdicts to the writer through out; dead tears the writer
+// down after it drains whatever is already queued.
+func (s *Server) handleConn(conn net.Conn) {
+	out := make(chan []byte, connOutDepth)
+	dead := make(chan struct{})
+	writerDone := make(chan struct{})
+	var reqWG sync.WaitGroup
+
+	go func() {
+		defer close(writerDone)
+		s.connWriter(conn, out, dead)
+	}()
+
+	// respond hands one encoded frame to the writer unless the
+	// connection died or the writer already exited on a write error —
+	// without the writerDone arm a worker could block forever on a
+	// full queue whose consumer is gone.
+	respond := func(frame []byte) {
+		select {
+		case out <- frame:
+		case <-dead:
+		case <-writerDone:
+		}
+	}
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	maxBody := uint32(headerLen + s.cfg.MaxPayload + maxFrameSlop)
+	for {
+		if s.cfg.ReadTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
+		typ, id, payload, err := readFrame(br, maxBody)
+		if errors.Is(err, errFrameTooLarge) {
+			// The oversized body was consumed; answer with the typed
+			// error and keep the connection.
+			respond(appendError(nil, id, CodeTooLarge,
+				fmt.Sprintf("payload exceeds maximum %d", s.cfg.MaxPayload)))
+			continue
+		}
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && !s.isDraining() {
+				s.cfg.Logf("server: %s: idle timeout", conn.RemoteAddr())
+			}
+			break
+		}
+		if typ != MsgScan {
+			s.badFrames.Inc()
+			respond(appendError(nil, id, CodeBadRequest, fmt.Sprintf("unknown request type 0x%02x", typ)))
+			continue
+		}
+		if len(payload) > s.cfg.MaxPayload {
+			respond(appendError(nil, id, CodeTooLarge,
+				fmt.Sprintf("payload %d exceeds maximum %d", len(payload), s.cfg.MaxPayload)))
+			continue
+		}
+		if s.isDraining() {
+			respond(appendError(nil, id, CodeShuttingDown, ErrShuttingDown.Error()))
+			continue
+		}
+		var deadline time.Time
+		if s.cfg.RequestTimeout > 0 {
+			deadline = time.Now().Add(s.cfg.RequestTimeout)
+		}
+		reqWG.Add(1)
+		reqID := id
+		err = s.pool.Submit(payload, deadline, func(v core.Verdict, cached bool, scanErr error) {
+			defer reqWG.Done()
+			if scanErr != nil {
+				respond(appendError(nil, reqID, codeFor(scanErr), scanErr.Error()))
+				return
+			}
+			respond(appendVerdict(nil, reqID, v, cached))
+		})
+		if err != nil {
+			reqWG.Done()
+			respond(appendError(nil, id, codeFor(err), err.Error()))
+		}
+	}
+
+	// Drain: wait for this connection's in-flight scans so their
+	// responses reach out, let the writer flush them, then tear down.
+	reqWG.Wait()
+	close(dead)
+	<-writerDone
+	conn.Close()
+}
+
+// connWriter owns the write side of one connection. It batches
+// whatever responses are pending into one buffered flush. On dead it
+// drains the queue, flushes, and exits.
+func (s *Server) connWriter(conn net.Conn, out <-chan []byte, dead <-chan struct{}) {
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	write := func(frame []byte) bool {
+		if s.cfg.WriteTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
+		_, err := bw.Write(frame)
+		return err == nil
+	}
+	flush := func() bool { return bw.Flush() == nil }
+	for {
+		select {
+		case frame := <-out:
+			if !write(frame) {
+				return
+			}
+			// Opportunistically batch everything already queued.
+			for more := true; more; {
+				select {
+				case f := <-out:
+					if !write(f) {
+						return
+					}
+				default:
+					more = false
+				}
+			}
+			if !flush() {
+				return
+			}
+		case <-dead:
+			for {
+				select {
+				case f := <-out:
+					if !write(f) {
+						return
+					}
+				default:
+					flush()
+					return
+				}
+			}
+		}
+	}
+}

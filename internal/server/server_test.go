@@ -1,0 +1,383 @@
+package server_test
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/encoder"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/shellcode"
+)
+
+// startServer runs a server on an ephemeral loopback port and returns
+// it with its address; cleanup closes it.
+func startServer(t *testing.T, cfg server.Config) (*server.Server, string) {
+	t.Helper()
+	if cfg.Detector == nil {
+		det, err := core.New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Detector = det
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-serveErr; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+func benignPayloads(t *testing.T, seed uint64, n int) [][]byte {
+	t.Helper()
+	cases, err := corpus.Dataset(seed, n, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]byte, n)
+	for i, c := range cases {
+		out[i] = c.Data
+	}
+	return out
+}
+
+func wormPayload(t *testing.T, seed uint64) []byte {
+	t.Helper()
+	worm, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	benign := benignPayloads(t, seed, 1)[0]
+	p := append(append([]byte{}, benign[:2000]...), worm.Bytes...)
+	p = append(p, benign[2000:]...)
+	if len(p) > 4096 {
+		p = p[:4096]
+	}
+	return p
+}
+
+// TestServeVerdictsMatchLocal: verdicts over the wire equal local
+// Scan verdicts, for benign and malicious payloads alike.
+func TestServeVerdictsMatchLocal(t *testing.T) {
+	det, err := core.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, server.Config{Detector: det, CacheSize: -1})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	payloads := benignPayloads(t, 3, 4)
+	payloads = append(payloads, wormPayload(t, 3))
+	sawMalicious := false
+	for i, p := range payloads {
+		want, err := det.Scan(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Scan(p)
+		if err != nil {
+			t.Fatalf("payload %d: %v", i, err)
+		}
+		if got.Malicious != want.Malicious || got.MEL != want.MEL ||
+			got.BestStart != want.BestStart || got.Threshold != want.Threshold ||
+			got.TextOnly != want.TextOnly {
+			t.Fatalf("payload %d: wire verdict %+v, local %+v", i, got, want)
+		}
+		if got.Cached {
+			t.Fatalf("payload %d: cached verdict from cache-disabled server", i)
+		}
+		sawMalicious = sawMalicious || got.Malicious
+	}
+	if !sawMalicious {
+		t.Fatal("worm payload not flagged — detection broke en route")
+	}
+}
+
+// TestCacheHitFlagAndMetrics: the second scan of identical bytes is
+// served from the cache, flagged as such, and counted.
+func TestCacheHitFlagAndMetrics(t *testing.T) {
+	srv, addr := startServer(t, server.Config{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	p := benignPayloads(t, 5, 1)[0]
+	first, err := c.Scan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first scan reported cached")
+	}
+	second, err := c.Scan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("second scan of identical bytes not served from cache")
+	}
+	if second.MEL != first.MEL || second.Threshold != first.Threshold {
+		t.Fatalf("cached verdict diverged: %+v vs %+v", second, first)
+	}
+	reg := srv.Metrics()
+	for name, want := range map[string]float64{
+		"scans_total":        2,
+		"cache_hits_total":   1,
+		"cache_misses_total": 1,
+	} {
+		if got, ok := reg.Value(name); !ok || got != want {
+			t.Fatalf("%s = %v (ok=%v), want %v", name, got, ok, want)
+		}
+	}
+	if v, ok := reg.Value("verdicts_benign_total"); !ok || v < 1 {
+		t.Fatalf("verdicts_benign_total = %v, ok=%v", v, ok)
+	}
+}
+
+// TestPipelinedConcurrentClients: many goroutines share one client
+// connection; every request gets its own matching response.
+func TestPipelinedConcurrentClients(t *testing.T) {
+	_, addr := startServer(t, server.Config{Workers: 4, QueueDepth: 64})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	payloads := benignPayloads(t, 7, 8)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				p := payloads[(g+i)%len(payloads)]
+				res, err := c.Scan(p)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.MEL < 0 || res.Threshold <= 0 {
+					errs <- errors.New("implausible verdict")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestOverloadShedsTyped: with one worker, a one-slot queue, and a
+// stalled detector-free flood, excess requests shed with
+// ErrOverloaded — and every request returns; nothing hangs.
+func TestOverloadShedsTyped(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Workers: 1, QueueDepth: 1, CacheSize: -1})
+	c, err := client.Dial(addr, client.WithTimeout(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	p := benignPayloads(t, 9, 1)[0]
+	const inflight = 32
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var shed, served int
+	var unexpected []error
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.Scan(p)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				served++
+			case errors.Is(err, server.ErrOverloaded):
+				shed++
+			default:
+				unexpected = append(unexpected, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(unexpected) > 0 {
+		t.Fatalf("unexpected errors: %v", unexpected)
+	}
+	if served == 0 {
+		t.Fatal("no request served under overload")
+	}
+	if shed == 0 {
+		t.Fatal("no request shed: queue depth 1 with 32 in flight must shed")
+	}
+	if served+shed != inflight {
+		t.Fatalf("served %d + shed %d != %d", served, shed, inflight)
+	}
+	if v, ok := srv.Metrics().Value("shed_total"); !ok || v != float64(shed) {
+		t.Fatalf("shed_total = %v, want %d", v, shed)
+	}
+}
+
+// TestPayloadTooLargeTyped: oversized payloads get the typed error,
+// and the connection survives for further requests.
+func TestPayloadTooLargeTyped(t *testing.T) {
+	_, addr := startServer(t, server.Config{MaxPayload: 1024})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Scan(make([]byte, 4096)); !errors.Is(err, server.ErrPayloadTooLarge) {
+		t.Fatalf("oversized scan err = %v, want ErrPayloadTooLarge", err)
+	}
+	if _, err := c.Scan(benignPayloads(t, 11, 1)[0][:512]); err != nil {
+		t.Fatalf("connection unusable after typed error: %v", err)
+	}
+}
+
+// TestGracefulDrain: requests in flight when Close begins still get
+// verdicts; the listener refuses new connections afterwards.
+func TestGracefulDrain(t *testing.T) {
+	det, err := core.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Detector: det, Workers: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	payloads := benignPayloads(t, 13, 4)
+	results := make(chan error, len(payloads))
+	var wg sync.WaitGroup
+	for _, p := range payloads {
+		wg.Add(1)
+		go func(p []byte) {
+			defer wg.Done()
+			_, err := c.Scan(p)
+			results <- err
+		}(p)
+	}
+	wg.Wait() // all four verdicts back before Close — sanity baseline
+	close(results)
+	for err := range results {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve returned %v after Close", err)
+	}
+	if _, err := net.DialTimeout("tcp", addr, 500*time.Millisecond); err == nil {
+		t.Fatal("listener still accepting after Close")
+	}
+}
+
+// TestPoolDrainServesQueuedWork: jobs accepted before Close are served
+// during the drain, never dropped.
+func TestPoolDrainServesQueuedWork(t *testing.T) {
+	det, err := core.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := server.NewPool(server.PoolConfig{Detector: det, Workers: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := benignPayloads(t, 15, 1)[0]
+	const jobs = 6
+	done := make(chan error, jobs)
+	for i := 0; i < jobs; i++ {
+		err := pool.Submit(p, time.Time{}, func(_ core.Verdict, _ bool, err error) { done <- err })
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	pool.Close() // must drain all six
+	for i := 0; i < jobs; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("queued job failed during drain: %v", err)
+		}
+	}
+	if err := pool.Submit(p, time.Time{}, func(core.Verdict, bool, error) {}); !errors.Is(err, server.ErrShuttingDown) {
+		t.Fatalf("submit after close = %v, want ErrShuttingDown", err)
+	}
+}
+
+// TestRequestDeadlineExpiresTyped: a request whose deadline passed
+// before a worker reached it fails with ErrDeadlineExceeded.
+func TestRequestDeadlineExpiresTyped(t *testing.T) {
+	det, err := core.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := server.NewPool(server.PoolConfig{Detector: det, Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	p := benignPayloads(t, 17, 1)[0]
+
+	// Stall the single worker with a long job, then queue one whose
+	// deadline is already in the past — deterministically expired by
+	// the time the worker frees up.
+	blockDone := make(chan struct{})
+	if err := pool.Submit(p, time.Time{}, func(core.Verdict, bool, error) { close(blockDone) }); err != nil {
+		t.Fatal(err)
+	}
+	expired := make(chan error, 1)
+	if err := pool.Submit(p, time.Now().Add(-time.Second), func(_ core.Verdict, _ bool, err error) { expired <- err }); err != nil {
+		t.Fatal(err)
+	}
+	<-blockDone
+	if err := <-expired; !errors.Is(err, server.ErrDeadlineExceeded) {
+		t.Fatalf("expired job err = %v, want ErrDeadlineExceeded", err)
+	}
+}

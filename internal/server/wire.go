@@ -1,0 +1,189 @@
+// Package server turns the MEL detector into a shared scan daemon: a
+// length-prefixed binary wire protocol over TCP, per-connection
+// reader/writer goroutines, a bounded worker pool with load shedding,
+// a content-hash verdict cache, and a telemetry layer — the deployment
+// shape Section 7's "easily deployable at network choke points" claim
+// implies once many clients share one detector.
+//
+// # Wire protocol
+//
+// Every message is one frame:
+//
+//	uint32 big-endian body length | body
+//
+// and every body starts with a fixed header:
+//
+//	byte  type     (MsgScan, MsgVerdict, MsgError)
+//	uint64 big-endian request id
+//
+// followed by a type-specific payload:
+//
+//	MsgScan:    the raw bytes to scan
+//	MsgVerdict: flags(1) | MEL uint32 | BestStart uint32 | τ float64 bits
+//	MsgError:   code(1) | UTF-8 message
+//
+// Request ids are chosen by the client and echoed verbatim, so one
+// connection carries any number of pipelined, out-of-order requests.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Message types.
+const (
+	// MsgScan is a client scan request; the body payload is the bytes to
+	// scan.
+	MsgScan byte = 0x01
+	// MsgVerdict is a successful scan response.
+	MsgVerdict byte = 0x02
+	// MsgError is a failed scan response carrying a status code.
+	MsgError byte = 0x03
+)
+
+// Verdict flag bits.
+const (
+	flagMalicious byte = 1 << 0
+	flagTextOnly  byte = 1 << 1
+	flagCached    byte = 1 << 2
+)
+
+// Frame geometry.
+const (
+	headerLen    = 1 + 8               // type + request id
+	verdictLen   = 1 + 4 + 4 + 8       // flags + MEL + BestStart + τ
+	maxFrameSlop = headerLen + 1 + 256 // header + code + message room
+)
+
+// wire framing errors.
+var (
+	errFrameTooLarge = errors.New("server: frame exceeds negotiated maximum")
+	errShortFrame    = errors.New("server: frame shorter than header")
+)
+
+// readFrame reads one frame body (type, request id, payload). The
+// payload slice is freshly allocated and safe to retain. maxBody bounds
+// the accepted body length; a larger frame is consumed — header kept,
+// payload discarded without buffering — and reported as
+// errFrameTooLarge with the type and request id intact, so a server
+// can answer it with a typed error instead of dropping the connection,
+// while a hostile peer still cannot balloon memory.
+func readFrame(r io.Reader, maxBody uint32) (typ byte, id uint64, payload []byte, err error) {
+	var lenBuf [4]byte
+	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < headerLen {
+		return 0, 0, nil, errShortFrame
+	}
+	if n > maxBody {
+		var hdr [headerLen]byte
+		if _, err = io.ReadFull(r, hdr[:]); err != nil {
+			return 0, 0, nil, err
+		}
+		if _, err = io.CopyN(io.Discard, r, int64(n)-headerLen); err != nil {
+			return 0, 0, nil, err
+		}
+		return hdr[0], binary.BigEndian.Uint64(hdr[1:9]), nil,
+			fmt.Errorf("%w: %d > %d", errFrameTooLarge, n, maxBody)
+	}
+	body := make([]byte, n)
+	if _, err = io.ReadFull(r, body); err != nil {
+		return 0, 0, nil, err
+	}
+	return body[0], binary.BigEndian.Uint64(body[1:9]), body[headerLen:], nil
+}
+
+// appendFrame appends one framed message to dst and returns the
+// extended slice — writers frame into a reused buffer with no
+// per-message allocation.
+func appendFrame(dst []byte, typ byte, id uint64, payload ...[]byte) []byte {
+	total := headerLen
+	for _, p := range payload {
+		total += len(p)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(total))
+	dst = append(dst, typ)
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	for _, p := range payload {
+		dst = append(dst, p...)
+	}
+	return dst
+}
+
+// appendVerdict appends a MsgVerdict frame for v.
+func appendVerdict(dst []byte, id uint64, v core.Verdict, cached bool) []byte {
+	var body [verdictLen]byte
+	if v.Malicious {
+		body[0] |= flagMalicious
+	}
+	if v.TextOnly {
+		body[0] |= flagTextOnly
+	}
+	if cached {
+		body[0] |= flagCached
+	}
+	binary.BigEndian.PutUint32(body[1:5], uint32(v.MEL))
+	binary.BigEndian.PutUint32(body[5:9], uint32(v.BestStart))
+	binary.BigEndian.PutUint64(body[9:17], math.Float64bits(v.Threshold))
+	return appendFrame(dst, MsgVerdict, id, body[:])
+}
+
+// appendError appends a MsgError frame.
+func appendError(dst []byte, id uint64, code byte, msg string) []byte {
+	return appendFrame(dst, MsgError, id, []byte{code}, []byte(msg))
+}
+
+// decodeVerdict parses a MsgVerdict payload.
+func decodeVerdict(p []byte) (v core.Verdict, cached bool, err error) {
+	if len(p) != verdictLen {
+		return core.Verdict{}, false, fmt.Errorf("server: verdict payload is %d bytes, want %d", len(p), verdictLen)
+	}
+	v.Malicious = p[0]&flagMalicious != 0
+	v.TextOnly = p[0]&flagTextOnly != 0
+	v.MEL = int(binary.BigEndian.Uint32(p[1:5]))
+	v.BestStart = int(binary.BigEndian.Uint32(p[5:9]))
+	v.Threshold = math.Float64frombits(binary.BigEndian.Uint64(p[9:17]))
+	return v, p[0]&flagCached != 0, nil
+}
+
+// decodeError parses a MsgError payload into its code and message.
+func decodeError(p []byte) (code byte, msg string, err error) {
+	if len(p) < 1 {
+		return 0, "", errors.New("server: empty error payload")
+	}
+	return p[0], string(p[1:]), nil
+}
+
+// Exported wire surface for the client library (and any other peer
+// implementation): the same framing the server speaks.
+
+// ReadFrame reads one frame body: type, request id, payload. The
+// payload is freshly allocated; maxBody bounds accepted frames.
+func ReadFrame(r io.Reader, maxBody uint32) (typ byte, id uint64, payload []byte, err error) {
+	return readFrame(r, maxBody)
+}
+
+// AppendScanRequest appends a MsgScan frame for payload to dst.
+func AppendScanRequest(dst []byte, id uint64, payload []byte) []byte {
+	return appendFrame(dst, MsgScan, id, payload)
+}
+
+// DecodeVerdict parses a MsgVerdict payload into the verdict and its
+// cache-hit flag.
+func DecodeVerdict(p []byte) (v core.Verdict, cached bool, err error) {
+	return decodeVerdict(p)
+}
+
+// DecodeError parses a MsgError payload into its status code and
+// message; pair with ErrorForCode.
+func DecodeError(p []byte) (code byte, msg string, err error) {
+	return decodeError(p)
+}

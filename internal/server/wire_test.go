@@ -1,0 +1,101 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("GET / HTTP/1.1\r\n")
+	buf.Write(AppendScanRequest(nil, 42, payload))
+
+	typ, id, got, err := ReadFrame(&buf, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgScan || id != 42 || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip = (0x%02x, %d, %q)", typ, id, got)
+	}
+}
+
+func TestVerdictRoundTrip(t *testing.T) {
+	want := core.Verdict{Malicious: true, MEL: 123, BestStart: 456, Threshold: 40.25, TextOnly: true}
+	var buf bytes.Buffer
+	buf.Write(appendVerdict(nil, 7, want, true))
+
+	typ, id, payload, err := ReadFrame(&buf, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgVerdict || id != 7 {
+		t.Fatalf("frame header = (0x%02x, %d)", typ, id)
+	}
+	got, cached, err := DecodeVerdict(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("cached flag lost")
+	}
+	if got.Malicious != want.Malicious || got.MEL != want.MEL ||
+		got.BestStart != want.BestStart || got.Threshold != want.Threshold ||
+		got.TextOnly != want.TextOnly {
+		t.Fatalf("verdict = %+v, want %+v", got, want)
+	}
+}
+
+func TestErrorRoundTripAllCodes(t *testing.T) {
+	wantErrs := []error{
+		ErrOverloaded, ErrPayloadTooLarge, ErrDeadlineExceeded,
+		ErrShuttingDown, ErrBadRequest, ErrScanFailed,
+	}
+	for _, wantErr := range wantErrs {
+		var buf bytes.Buffer
+		buf.Write(appendError(nil, 9, codeFor(wantErr), wantErr.Error()))
+		_, _, payload, err := ReadFrame(&buf, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, msg, err := DecodeError(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ErrorForCode(code, msg); !errors.Is(got, wantErr) {
+			t.Fatalf("code %d rehydrated to %v, want %v", code, got, wantErr)
+		}
+	}
+}
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(AppendScanRequest(nil, 1, make([]byte, 1000)))
+	if _, _, _, err := ReadFrame(&buf, 100); !errors.Is(err, errFrameTooLarge) {
+		t.Fatalf("oversized frame err = %v", err)
+	}
+}
+
+func TestReadFrameRejectsShort(t *testing.T) {
+	// A frame whose declared body is shorter than the header.
+	buf := bytes.NewBuffer([]byte{0, 0, 0, 2, 0x01, 0x00})
+	if _, _, _, err := ReadFrame(buf, 1<<20); !errors.Is(err, errShortFrame) {
+		t.Fatalf("short frame err = %v", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	full := AppendScanRequest(nil, 1, []byte("abcdef"))
+	for cut := 1; cut < len(full); cut++ {
+		_, _, _, err := ReadFrame(bytes.NewReader(full[:cut]), 1<<20)
+		if err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+		if cut > 4 && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("truncation at %d: err = %v, want unexpected EOF", cut, err)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry in text exposition format — the
+// /metrics endpoint body.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// DebugMux returns an HTTP mux exposing the registry at /metrics and
+// the runtime profiler under /debug/pprof/ — the daemon's
+// observability surface. The pprof handlers are mounted explicitly so
+// the daemon never depends on http.DefaultServeMux.
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Kind labels a registered metric in snapshots and exposition output.
+type Kind string
+
+// Metric kinds.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// entry is one registered metric.
+type entry struct {
+	name string
+	help string
+	kind Kind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry is a named collection of metrics. Registration is
+// idempotent: asking for an existing name returns the existing metric,
+// so independent subsystems (pool, server, proxy) can share one
+// registry and one set of canonical names. A name registered as one
+// kind and requested as another panics — that is a programming error.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	order   []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+func (r *Registry) lookup(name, help string, kind Kind) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("telemetry: %q registered as %s, requested as %s", name, e.kind, kind))
+		}
+		return e
+	}
+	e := &entry{name: name, help: help, kind: kind}
+	switch kind {
+	case KindCounter:
+		e.c = &Counter{}
+	case KindGauge:
+		e.g = &Gauge{}
+	case KindHistogram:
+		// filled by Histogram()
+	}
+	r.entries[name] = e
+	r.order = append(r.order, name)
+	return e
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.lookup(name, help, KindCounter).c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.lookup(name, help, KindGauge).g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bounds if needed (nil bounds take the latency
+// defaults). Bounds of an existing histogram are left untouched.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	e := r.lookup(name, help, KindHistogram)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.h == nil {
+		e.h = NewHistogram(bounds)
+	}
+	return e.h
+}
+
+// MetricSnapshot is one metric's point-in-time state.
+type MetricSnapshot struct {
+	Name  string        `json:"name"`
+	Help  string        `json:"help,omitempty"`
+	Kind  Kind          `json:"kind"`
+	Value float64       `json:"value,omitempty"` // counter / gauge
+	Hist  *HistSnapshot `json:"hist,omitempty"`
+}
+
+// Snapshot captures every registered metric in registration order.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	byName := make(map[string]*entry, len(names))
+	for n, e := range r.entries {
+		byName[n] = e
+	}
+	r.mu.Unlock()
+
+	out := make([]MetricSnapshot, 0, len(names))
+	for _, n := range names {
+		e := byName[n]
+		s := MetricSnapshot{Name: e.name, Help: e.help, Kind: e.kind}
+		switch e.kind {
+		case KindCounter:
+			s.Value = float64(e.c.Value())
+		case KindGauge:
+			s.Value = float64(e.g.Value())
+		case KindHistogram:
+			if e.h != nil {
+				h := e.h.Snapshot()
+				s.Hist = &h
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Value returns the current value of a registered counter or gauge and
+// whether the name exists with one of those kinds.
+func (r *Registry) Value(name string) (float64, bool) {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	switch e.kind {
+	case KindCounter:
+		return float64(e.c.Value()), true
+	case KindGauge:
+		return float64(e.g.Value()), true
+	}
+	return 0, false
+}
+
+// WriteText renders the registry in a Prometheus-style text exposition
+// format: HELP/TYPE comments, cumulative histogram buckets with an
+// le label, _sum and _count series.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		if s.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+			return err
+		}
+		switch s.Kind {
+		case KindCounter, KindGauge:
+			if _, err := fmt.Fprintf(w, "%s %g\n", s.Name, s.Value); err != nil {
+				return err
+			}
+		case KindHistogram:
+			if s.Hist == nil {
+				continue
+			}
+			var cum uint64
+			for i, c := range s.Hist.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(s.Hist.Bounds) {
+					le = fmt.Sprintf("%g", s.Hist.Bounds[i])
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", s.Name, le, cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", s.Name, s.Hist.Sum, s.Name, s.Hist.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Names returns the registered metric names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if got := c.Value(); got != 10 {
+		t.Fatalf("counter = %d, want 10", got)
+	}
+	var g Gauge
+	g.Set(5)
+	g.Add(-2)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	wantCounts := []uint64{2, 1, 1, 1}
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if math.Abs(s.Sum-105.5) > 1e-9 {
+		t.Fatalf("sum = %v, want 105.5", s.Sum)
+	}
+	// Median falls in the first bucket (2 of 5 at rank 2.5 → interpolated
+	// inside (1,2]).
+	q50 := s.Quantile(0.5)
+	if q50 < 1 || q50 > 2 {
+		t.Fatalf("q50 = %v, want within (1,2]", q50)
+	}
+	// The +Inf observation pins high quantiles to the last finite bound.
+	if q := s.Quantile(0.999); q != 4 {
+		t.Fatalf("q999 = %v, want 4 (last finite bound)", q)
+	}
+	if mean := s.Mean(); math.Abs(mean-21.1) > 1e-9 {
+		t.Fatalf("mean = %v, want 21.1", mean)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := NewHistogram(nil)
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("empty q99 = %v, want 0", q)
+	}
+}
+
+func TestRegistryIdempotentAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("scans_total", "scans served")
+	c2 := r.Counter("scans_total", "ignored duplicate help")
+	if c1 != c2 {
+		t.Fatal("same name should return the same counter")
+	}
+	c1.Add(7)
+	r.Gauge("queue_depth", "jobs waiting").Set(3)
+	r.Histogram("lat", "latency", []float64{1, 2}).Observe(1.5)
+
+	if v, ok := r.Value("scans_total"); !ok || v != 7 {
+		t.Fatalf("Value(scans_total) = %v,%v", v, ok)
+	}
+	snaps := r.Snapshot()
+	if len(snaps) != 3 {
+		t.Fatalf("snapshot has %d entries, want 3", len(snaps))
+	}
+	if snaps[0].Name != "scans_total" || snaps[0].Value != 7 {
+		t.Fatalf("first snapshot = %+v", snaps[0])
+	}
+	if snaps[2].Hist == nil || snaps[2].Hist.Count != 1 {
+		t.Fatalf("histogram snapshot = %+v", snaps[2])
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch should panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n", "")
+	h := r.Histogram("h", "", []float64{0.5, 1})
+	var wg sync.WaitGroup
+	const workers, per = 16, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(float64(w%2) * 0.75)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	if got, want := h.Sum(), float64(workers/2*per)*0.75; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("histogram sum = %v, want %v", got, want)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("scans_total", "scans served").Add(3)
+	r.Histogram("scan_latency_seconds", "scan latency", []float64{0.001, 0.01}).Observe(0.005)
+	srv := httptest.NewServer(DebugMux(r))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		"scans_total 3",
+		`scan_latency_seconds_bucket{le="0.01"} 1`,
+		`scan_latency_seconds_bucket{le="+Inf"} 1`,
+		"scan_latency_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+
+	pp, err := srv.Client().Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != 200 {
+		t.Fatalf("pprof cmdline status = %d", pp.StatusCode)
+	}
+}
