@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench bench-engine serve-bench fuzz report cover clean
+.PHONY: all build test vet lint ci bench bench-engine serve-bench fuzz report cover clean
 
 all: build vet test
 
@@ -10,12 +10,28 @@ build:
 vet:
 	$(GO) vet ./...
 
+# mellint is the repo's own analyzer suite (internal/lint): hot-path
+# allocation discipline, wire-protocol exhaustiveness, lock hygiene,
+# opcode-table integrity, and context conventions. Nonzero exit on any
+# finding.
+lint:
+	$(GO) run ./cmd/mellint ./...
+
 # Race-enabled everywhere: the engine's pooled scan state, the
 # detector's threshold cache, and the serving pool/cache are all shared
-# across goroutines. Vet first — it catches mistakes tests can miss.
+# across goroutines. Vet and mellint first — they catch mistakes tests
+# can miss.
 test:
 	$(GO) vet ./...
+	$(GO) run ./cmd/mellint ./...
 	$(GO) test -race ./...
+
+# ci is the full gate a commit must pass: compile, vet, the analyzer
+# suite, the race-enabled tests, and a short fuzz smoke over the wire
+# codec.
+ci: build vet lint
+	$(GO) test -race ./...
+	$(GO) test -run NONE -fuzz FuzzWire -fuzztime 10s ./internal/server/
 
 race:
 	$(GO) test -race ./internal/core/ ./internal/proxy/ ./internal/server/...
@@ -32,6 +48,7 @@ serve-bench:
 fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/x86/
 	$(GO) test -fuzz=FuzzScan -fuzztime=30s ./internal/core/
+	$(GO) test -run NONE -fuzz=FuzzWire -fuzztime=30s ./internal/server/
 
 report:
 	$(GO) run ./cmd/melbench -exp all | tee report.txt

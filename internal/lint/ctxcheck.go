@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxCheckAnalyzer enforces the module's context conventions:
+//
+//   - a function that accepts a context.Context must accept it as the
+//     first parameter — callers grep for the ctx-first shape, and a
+//     buried context is routinely forgotten at call sites;
+//   - time.After must not appear inside a for or range loop: each call
+//     arms a new timer that is not collected until it fires, so a tight
+//     retry loop leaks timers for the full duration — use a reusable
+//     time.Timer or a ticker;
+//   - context.Context must not be stored in a struct field: a stored
+//     context outlives the call it belongs to and silently decouples
+//     cancellation from the request that carried it.
+func CtxCheckAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "ctxcheck",
+		Doc:  "context.Context must be the first parameter, never a struct field; no time.After in loops",
+		Run:  runCtxCheck,
+	}
+}
+
+func runCtxCheck(pass *Pass) {
+	for _, pkg := range pass.Module.Pkgs {
+		checkCtxParams(pass, pkg)
+		checkTimeAfterLoops(pass, pkg)
+		checkCtxFields(pass, pkg)
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// checkCtxParams flags context.Context parameters that are not first.
+func checkCtxParams(pass *Pass, pkg *Package) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ft = fn.Type
+			case *ast.FuncLit:
+				ft = fn.Type
+			default:
+				return true
+			}
+			pos := 0
+			for _, field := range ft.Params.List {
+				tv, ok := pkg.Info.Types[field.Type]
+				isCtx := ok && isContextType(tv.Type)
+				// An unnamed field still occupies one parameter slot.
+				width := len(field.Names)
+				if width == 0 {
+					width = 1
+				}
+				if isCtx && pos != 0 {
+					pass.Reportf(field.Pos(), "context.Context must be the first parameter")
+				}
+				pos += width
+			}
+			return true
+		})
+	}
+}
+
+// checkTimeAfterLoops flags time.After calls lexically inside loops.
+func checkTimeAfterLoops(pass *Pass, pkg *Package) {
+	eachFunc(pkg, func(fd *ast.FuncDecl) {
+		var walk func(n ast.Node, loopDepth int)
+		walk = func(n ast.Node, loopDepth int) {
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loopDepth++
+			case *ast.FuncLit:
+				// A new function body restarts the loop context: the
+				// literal runs once per call, not once per iteration of
+				// an enclosing loop it merely lexically sits in... but a
+				// literal *invoked* inside the loop still allocates per
+				// iteration, so keep the depth. (Deferred or go'd
+				// literals are the rare exception and stay flagged: a
+				// timer armed there still leaks per iteration.)
+			case *ast.CallExpr:
+				call := n.(*ast.CallExpr)
+				if loopDepth > 0 && isTimeAfter(pkg, call) {
+					pass.Reportf(call.Pos(), "time.After inside a loop arms an uncollectable timer per iteration; use a reusable time.Timer")
+				}
+			}
+			walkChildren(n, loopDepth, walk)
+		}
+		walk(fd.Body, 0)
+	})
+}
+
+// isTimeAfter matches a call to time.After.
+func isTimeAfter(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.Name() == "After" && fn.Pkg() != nil && fn.Pkg().Path() == "time"
+}
+
+// checkCtxFields flags struct fields of type context.Context.
+func checkCtxFields(pass *Pass, pkg *Package) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				tv, ok := pkg.Info.Types[field.Type]
+				if ok && isContextType(tv.Type) {
+					pass.Reportf(field.Pos(), "context.Context stored in a struct outlives its request; pass it as a parameter")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,185 @@
+// Package lint is a from-scratch static-analysis framework for this
+// repository, built on the standard library only (go/parser, go/ast,
+// go/types, go/importer — no golang.org/x/tools). It exists because the
+// MEL engine's performance results and the scan service's correctness
+// rest on conventions that ordinary tests cannot see: the zero-alloc
+// scan path, the sentinel-error↔wire-code bijection, the lock
+// discipline around the pool and verdict cache, the shape of the x86
+// opcode tables. Each convention gets an analyzer; `mellint ./...`
+// machine-checks all of them and gates every future change through
+// `make lint` / `make ci`.
+//
+// The framework is module-scoped rather than package-scoped: analyzers
+// receive every package of the module at once, type-checked against gc
+// export data, because invariants like "nothing reachable from a
+// //mel:hotpath function uses fmt" are properties of the whole module,
+// not of one package.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	// Path is the import path, Dir the package directory on disk.
+	Path string
+	Dir  string
+	// Files are the parsed source files (comments included), in the
+	// order go list reports them.
+	Files []*ast.File
+	// Types and Info are the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+	// Target marks packages the command-line patterns selected.
+	// Non-target packages are loaded so module-wide analyses (the
+	// hotpath call graph) can see their bodies, but diagnostics are
+	// only reported inside targets.
+	Target bool
+}
+
+// Module is the unit of analysis: every package of one Go module,
+// sharing one FileSet.
+type Module struct {
+	// PkgPath is the module path from go.mod (e.g. "repro").
+	PkgPath string
+	// Dir is the module root directory.
+	Dir  string
+	Fset *token.FileSet
+	// Pkgs holds the loaded packages in go list order.
+	Pkgs []*Package
+}
+
+// Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's reporting context over one module.
+type Pass struct {
+	Module   *Module
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Module.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and enable/disable
+	// flags.
+	Name string
+	// Doc is a one-line description for -list and usage output.
+	Doc string
+	// Run inspects the module and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Analyzers returns the full suite in stable order. The slice is
+// freshly allocated; callers may filter it.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		HotpathAnalyzer(),
+		WireErrorsAnalyzer(),
+		LockCheckAnalyzer(),
+		OpcodeTableAnalyzer(),
+		CtxCheckAnalyzer(),
+	}
+}
+
+// Run executes the given analyzers over the module and returns all
+// diagnostics sorted by position then analyzer. Findings outside
+// target packages are dropped: non-target packages exist only to give
+// module-wide analyses complete visibility.
+func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Module: m, analyzer: a, diags: &diags}
+		a.Run(pass)
+	}
+	diags = filterTargets(m, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		di, dj := diags[i], diags[j]
+		if di.Pos.Filename != dj.Pos.Filename {
+			return di.Pos.Filename < dj.Pos.Filename
+		}
+		if di.Pos.Line != dj.Pos.Line {
+			return di.Pos.Line < dj.Pos.Line
+		}
+		if di.Pos.Column != dj.Pos.Column {
+			return di.Pos.Column < dj.Pos.Column
+		}
+		if di.Analyzer != dj.Analyzer {
+			return di.Analyzer < dj.Analyzer
+		}
+		return di.Message < dj.Message
+	})
+	return diags
+}
+
+// filterTargets keeps diagnostics whose file lives in a target
+// package's directory.
+func filterTargets(m *Module, diags []Diagnostic) []Diagnostic {
+	targetDirs := make(map[string]bool)
+	for _, p := range m.Pkgs {
+		if p.Target {
+			targetDirs[p.Dir] = true
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if targetDirs[filepath.Dir(d.Pos.Filename)] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// eachFunc calls fn for every function declaration with a body in the
+// package, including methods.
+func eachFunc(p *Package, fn func(*ast.FuncDecl)) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// declaredType dereferences pointers and unwraps named types to answer
+// "is this (a pointer to) the named type pkg.name".
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name {
+		return false
+	}
+	pkg := obj.Pkg()
+	return pkg != nil && pkg.Path() == pkgPath
+}

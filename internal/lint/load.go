@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct {
+		Path string
+		Dir  string
+		Main bool
+	}
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("go list %s: %s", strings.Join(args, " "), msg)
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load resolves patterns (e.g. "./...") relative to dir, loads every
+// matched package plus all its in-module dependencies from source, and
+// type-checks them against gc export data produced by the go command.
+// Standard-library dependencies are imported from export data only —
+// their bodies are never parsed, which keeps loading fast and sidesteps
+// source-importing the runtime.
+func Load(dir string, patterns []string) (*Module, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	// Which packages did the patterns select? These are the reporting
+	// targets.
+	jsonFields := "-json=ImportPath,Dir,Export,GoFiles,Standard,Module"
+	targets, err := goList(dir, append([]string{jsonFields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	targetPaths := make(map[string]bool, len(targets))
+	for _, p := range targets {
+		targetPaths[p.ImportPath] = true
+	}
+
+	// The full dependency closure with export data. -export compiles
+	// anything stale, so lint always sees the tree the compiler sees.
+	deps, err := goList(dir, append([]string{"-deps", "-export", jsonFields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Module{Dir: dir, Fset: token.NewFileSet()}
+	exports := make(map[string]string, len(deps))
+	var sources []listedPackage
+	for _, p := range deps {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Standard {
+			continue
+		}
+		if p.Module != nil && m.PkgPath == "" && p.Module.Main {
+			m.PkgPath = p.Module.Path
+			m.Dir = p.Module.Dir
+		}
+		sources = append(sources, p)
+	}
+
+	imp := importer.ForCompiler(m.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	for _, lp := range sources {
+		pkg, err := checkPackage(m.Fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Target = targetPaths[lp.ImportPath]
+		m.Pkgs = append(m.Pkgs, pkg)
+	}
+	return m, nil
+}
+
+// checkPackage parses and type-checks one listed package from source.
+func checkPackage(fset *token.FileSet, imp types.Importer, lp listedPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:  lp.ImportPath,
+		Dir:   lp.Dir,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

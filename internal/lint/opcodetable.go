@@ -1,0 +1,567 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// OpcodeTableAnalyzer validates the x86 opcode tables at the source
+// level. The decode tables are built by constructor functions returning
+// [N]entry values; a missing slot silently decodes as the zero entry
+// and a double assignment silently wins last — both are exactly the
+// kind of data bug the MEL numbers would absorb without failing a test.
+//
+// The analyzer abstractly interprets every niladic function returning
+// an array of the local `entry` struct (fields op/enc/flags/mem),
+// modeling the idioms the tables actually use: `var t [256]entry`,
+// keyed composite assignments with constant or loop-variable indices,
+// field patches (`t[0x38].mem = memRead`), classic bounded for loops,
+// `for i := range t` default fills, and local closure helpers called
+// with constant arguments. On the final table it checks:
+//
+//   - coverage: every slot is assigned (explicitly or by a range fill);
+//   - uniqueness: no slot is explicitly assigned twice — an override of
+//     a range fill is fine, a second explicit write is a typo;
+//   - consistency: escape/prefix routing entries carry no op, flags, or
+//     memory direction; FlagUndefined entries declare no memory
+//     direction; encodings without a ModRM byte (pure immediates,
+//     relative branches, far pointers) declare no memory direction.
+//
+// If a constructor uses a statement shape the interpreter does not
+// model, coverage checking is skipped for that function (never a false
+// positive), but findings already observed are still reported.
+func OpcodeTableAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "opcodetable",
+		Doc:  "opcode table constructors must cover every slot exactly once with internally consistent entries",
+		Run:  runOpcodeTable,
+	}
+}
+
+func runOpcodeTable(pass *Pass) {
+	for _, pkg := range pass.Module.Pkgs {
+		eachFunc(pkg, func(fd *ast.FuncDecl) {
+			arr := opcodeTableResult(pkg, fd)
+			if arr == nil {
+				return
+			}
+			ti := &tableInterp{
+				pass:  pass,
+				pkg:   pkg,
+				arr:   arr,
+				n:     arr.Len(),
+				slots: make([]tableSlot, arr.Len()),
+				funcs: make(map[types.Object]*ast.FuncLit),
+				sound: true,
+			}
+			ti.execStmts(fd.Body.List, nil)
+			ti.finish(fd)
+		})
+	}
+}
+
+// opcodeTableResult reports whether fd is an opcode-table constructor:
+// no receiver, no parameters, single result of type [N]entry where
+// entry is a struct with exactly the fields op, enc, flags, mem.
+func opcodeTableResult(pkg *Package, fd *ast.FuncDecl) *types.Array {
+	if fd.Recv != nil || fd.Type.Params.NumFields() != 0 {
+		return nil
+	}
+	fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	results := fn.Type().(*types.Signature).Results()
+	if results.Len() != 1 {
+		return nil
+	}
+	arr, ok := results.At(0).Type().(*types.Array)
+	if !ok {
+		return nil
+	}
+	st, ok := arr.Elem().Underlying().(*types.Struct)
+	if !ok || st.NumFields() != 4 {
+		return nil
+	}
+	want := map[string]bool{"op": true, "enc": true, "flags": true, "mem": true}
+	for i := 0; i < st.NumFields(); i++ {
+		if !want[st.Field(i).Name()] {
+			return nil
+		}
+	}
+	return arr
+}
+
+// tableEntry is the abstract value of one table slot. All four fields
+// are integer-valued constants in the modeled programs.
+type tableEntry struct {
+	op, enc, flags, mem int64
+}
+
+type slotKind uint8
+
+const (
+	slotUnset slotKind = iota
+	slotFilled
+	slotExplicit
+)
+
+// tableSlot is the interpreter state for one table index.
+type tableSlot struct {
+	kind slotKind
+	pos  token.Pos
+	val  tableEntry
+}
+
+// tableInterp abstractly executes one constructor body.
+type tableInterp struct {
+	pass  *Pass
+	pkg   *Package
+	arr   *types.Array
+	n     int64
+	tObj  types.Object // the local table variable
+	slots []tableSlot
+	funcs map[types.Object]*ast.FuncLit
+	sound bool // false once an un-modeled statement touches the table
+}
+
+// execStmts interprets a statement list under the given constant
+// environment (closure parameters and loop variables).
+func (ti *tableInterp) execStmts(stmts []ast.Stmt, env map[types.Object]int64) {
+	for _, s := range stmts {
+		ti.execStmt(s, env)
+	}
+}
+
+func (ti *tableInterp) execStmt(stmt ast.Stmt, env map[types.Object]int64) {
+	switch s := stmt.(type) {
+	case *ast.DeclStmt:
+		if ti.declTable(s) {
+			return
+		}
+	case *ast.AssignStmt:
+		if ti.execAssign(s, env) {
+			return
+		}
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && ti.inlineCall(call, env) {
+			return
+		}
+	case *ast.ForStmt:
+		if ti.execFor(s, env) {
+			return
+		}
+	case *ast.RangeStmt:
+		if ti.execRangeFill(s, env) {
+			return
+		}
+	case *ast.ReturnStmt:
+		return
+	}
+	if ti.touchesTable(stmt) {
+		ti.sound = false
+	}
+}
+
+// declTable recognizes `var t [N]entry` and initializes the slot state.
+func (ti *tableInterp) declTable(s *ast.DeclStmt) bool {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR || len(gd.Specs) != 1 {
+		return false
+	}
+	vs, ok := gd.Specs[0].(*ast.ValueSpec)
+	if !ok || len(vs.Names) != 1 || len(vs.Values) != 0 || ti.tObj != nil {
+		return false
+	}
+	obj := ti.pkg.Info.Defs[vs.Names[0]]
+	if obj == nil || !types.Identical(obj.Type(), ti.arr) {
+		return false
+	}
+	ti.tObj = obj
+	return true
+}
+
+// execAssign handles closure definitions, full-slot assignments, and
+// field patches. Returns false if the statement is not one of those.
+func (ti *tableInterp) execAssign(s *ast.AssignStmt, env map[types.Object]int64) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	// alu := func(...) { ... }
+	if s.Tok == token.DEFINE {
+		id, okL := s.Lhs[0].(*ast.Ident)
+		lit, okR := s.Rhs[0].(*ast.FuncLit)
+		if okL && okR {
+			if obj := ti.pkg.Info.Defs[id]; obj != nil {
+				ti.funcs[obj] = lit
+				return true
+			}
+		}
+		return false
+	}
+	if s.Tok != token.ASSIGN {
+		return false
+	}
+	switch lhs := s.Lhs[0].(type) {
+	case *ast.IndexExpr: // t[idx] = entry{...}
+		if !ti.isTable(lhs.X) {
+			return false
+		}
+		idx, okI := ti.evalInt(lhs.Index, env)
+		val, okV := ti.evalEntry(s.Rhs[0], env)
+		if !okI || !okV {
+			ti.sound = false
+			return true
+		}
+		ti.assign(idx, val, s.Pos())
+		return true
+	case *ast.SelectorExpr: // t[idx].mem = memRead
+		ix, ok := lhs.X.(*ast.IndexExpr)
+		if !ok || !ti.isTable(ix.X) {
+			return false
+		}
+		idx, okI := ti.evalInt(ix.Index, env)
+		v, okV := ti.evalInt(s.Rhs[0], env)
+		if !okI || !okV || idx < 0 || idx >= ti.n {
+			ti.sound = false
+			return true
+		}
+		slot := &ti.slots[idx]
+		switch lhs.Sel.Name {
+		case "op":
+			slot.val.op = v
+		case "enc":
+			slot.val.enc = v
+		case "flags":
+			slot.val.flags = v
+		case "mem":
+			slot.val.mem = v
+		default:
+			ti.sound = false
+			return true
+		}
+		// A patched slot is individually meant: promote fills so the
+		// consistency checks see the final value.
+		if slot.kind == slotFilled {
+			slot.kind = slotExplicit
+		}
+		slot.pos = s.Pos()
+		return true
+	}
+	return false
+}
+
+// inlineCall interprets a call to a locally defined helper closure with
+// constant arguments (the alu/mark pattern).
+func (ti *tableInterp) inlineCall(call *ast.CallExpr, env map[types.Object]int64) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	lit, ok := ti.funcs[ti.pkg.Info.Uses[id]]
+	if !ok {
+		return false
+	}
+	var params []types.Object
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			params = append(params, ti.pkg.Info.Defs[name])
+		}
+	}
+	if len(params) != len(call.Args) {
+		ti.sound = false
+		return true
+	}
+	inner := make(map[types.Object]int64, len(params))
+	for k, v := range env {
+		inner[k] = v
+	}
+	for i, arg := range call.Args {
+		v, ok := ti.evalInt(arg, env)
+		if !ok {
+			ti.sound = false
+			return true
+		}
+		inner[params[i]] = v
+	}
+	ti.execStmts(lit.Body.List, inner)
+	return true
+}
+
+// execFor interprets the classic bounded loop
+// `for b := lo; b <= hi; b++ { ... }`.
+func (ti *tableInterp) execFor(s *ast.ForStmt, env map[types.Object]int64) bool {
+	init, ok := s.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return false
+	}
+	loopVarIdent, ok := init.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	loopVar := ti.pkg.Info.Defs[loopVarIdent]
+	lo, okLo := ti.evalInt(init.Rhs[0], env)
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok || loopVar == nil || !okLo {
+		return false
+	}
+	condVar, ok := cond.X.(*ast.Ident)
+	if !ok || ti.pkg.Info.Uses[condVar] != loopVar {
+		return false
+	}
+	hi, okHi := ti.evalInt(cond.Y, env)
+	if !okHi {
+		return false
+	}
+	switch cond.Op {
+	case token.LEQ:
+	case token.LSS:
+		hi--
+	default:
+		return false
+	}
+	post, ok := s.Post.(*ast.IncDecStmt)
+	if !ok || post.Tok != token.INC {
+		return false
+	}
+	if lo < 0 || hi >= 2*ti.n || hi-lo >= 2*ti.n {
+		return false // not a plausible table loop; bail to soundness check
+	}
+	for v := lo; v <= hi; v++ {
+		inner := make(map[types.Object]int64, len(env)+1)
+		for k, ev := range env {
+			inner[k] = ev
+		}
+		inner[loopVar] = v
+		ti.execStmts(s.Body.List, inner)
+	}
+	return true
+}
+
+// execRangeFill interprets `for i := range t { t[i] = entry{...} }` as
+// a default fill of every slot.
+func (ti *tableInterp) execRangeFill(s *ast.RangeStmt, env map[types.Object]int64) bool {
+	if !ti.isTable(s.X) || s.Tok != token.DEFINE || s.Value != nil {
+		return false
+	}
+	keyIdent, ok := s.Key.(*ast.Ident)
+	if !ok || len(s.Body.List) != 1 {
+		return false
+	}
+	keyObj := ti.pkg.Info.Defs[keyIdent]
+	assign, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || assign.Tok != token.ASSIGN || len(assign.Lhs) != 1 {
+		return false
+	}
+	ix, ok := assign.Lhs[0].(*ast.IndexExpr)
+	if !ok || !ti.isTable(ix.X) {
+		return false
+	}
+	ixIdent, ok := ix.Index.(*ast.Ident)
+	if !ok || keyObj == nil || ti.pkg.Info.Uses[ixIdent] != keyObj {
+		return false
+	}
+	val, ok := ti.evalEntry(assign.Rhs[0], env)
+	if !ok {
+		ti.sound = false
+		return true
+	}
+	for i := range ti.slots {
+		ti.slots[i] = tableSlot{kind: slotFilled, pos: assign.Pos(), val: val}
+	}
+	// Check the fill entry once rather than per slot.
+	ti.checkEntry(assign.Pos(), -1, val)
+	return true
+}
+
+// assign records an explicit slot assignment, flagging duplicates.
+func (ti *tableInterp) assign(idx int64, val tableEntry, pos token.Pos) {
+	if idx < 0 || idx >= ti.n {
+		ti.sound = false
+		return
+	}
+	slot := &ti.slots[idx]
+	if slot.kind == slotExplicit {
+		prev := ti.pass.Module.Fset.Position(slot.pos)
+		ti.pass.Reportf(pos, "opcode 0x%02X is assigned more than once (previous assignment on line %d)", idx, prev.Line)
+	}
+	*slot = tableSlot{kind: slotExplicit, pos: pos, val: val}
+}
+
+// finish runs coverage and consistency checks on the final table.
+func (ti *tableInterp) finish(fd *ast.FuncDecl) {
+	if ti.tObj == nil {
+		return // never saw the table declaration; nothing modeled
+	}
+	if ti.sound {
+		for lo := int64(0); lo < ti.n; lo++ {
+			if ti.slots[lo].kind != slotUnset {
+				continue
+			}
+			hi := lo
+			for hi+1 < ti.n && ti.slots[hi+1].kind == slotUnset {
+				hi++
+			}
+			if lo == hi {
+				ti.pass.Reportf(fd.Name.Pos(), "%s leaves opcode 0x%02X unassigned: it would decode as the zero entry", fd.Name.Name, lo)
+			} else {
+				ti.pass.Reportf(fd.Name.Pos(), "%s leaves opcodes 0x%02X-0x%02X unassigned: they would decode as the zero entry", fd.Name.Name, lo, hi)
+			}
+			lo = hi
+		}
+	}
+	for idx := range ti.slots {
+		slot := &ti.slots[idx]
+		if slot.kind == slotExplicit {
+			ti.checkEntry(slot.pos, int64(idx), slot.val)
+		}
+	}
+}
+
+// checkEntry reports internal contradictions in one entry value.
+// idx < 0 means a range-fill default entry.
+func (ti *tableInterp) checkEntry(pos token.Pos, idx int64, val tableEntry) {
+	where := "the fill entry"
+	if idx >= 0 {
+		where = "opcode 0x" + hexByte(idx)
+	}
+	if enc, ok := ti.encName(val.enc); ok {
+		switch enc {
+		case "encPrefix", "encEscape", "encEscape38", "encEscape3A":
+			if val.op != 0 || val.flags != 0 || val.mem != 0 {
+				ti.pass.Reportf(pos, "%s is a routing entry (%s) but carries op/flags/mem values the decoder never reads", where, enc)
+			}
+		case "encIb", "encIz", "encIw", "encIwIb", "encRel8", "encRelZ", "encFarPtr":
+			if val.mem != 0 {
+				ti.pass.Reportf(pos, "%s uses %s, which has no ModRM byte, but declares an explicit memory direction", where, enc)
+			}
+		}
+	}
+	if undef, ok := ti.lookupConst("FlagUndefined"); ok && val.flags&undef != 0 && val.mem != 0 {
+		ti.pass.Reportf(pos, "%s is marked FlagUndefined but declares a memory direction", where)
+	}
+}
+
+// encName maps an encoding constant value back to its name in the
+// package under analysis.
+func (ti *tableInterp) encName(v int64) (string, bool) {
+	for _, name := range []string{
+		"encPrefix", "encEscape", "encEscape38", "encEscape3A",
+		"encIb", "encIz", "encIw", "encIwIb", "encRel8", "encRelZ", "encFarPtr",
+	} {
+		if cv, ok := ti.lookupConst(name); ok && cv == v {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// lookupConst resolves a package-level integer constant by name.
+func (ti *tableInterp) lookupConst(name string) (int64, bool) {
+	c, ok := ti.pkg.Types.Scope().Lookup(name).(*types.Const)
+	if !ok {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(c.Val()))
+	return v, exact
+}
+
+// isTable reports whether expr is a use of the local table variable.
+func (ti *tableInterp) isTable(expr ast.Expr) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	return ok && ti.tObj != nil && ti.pkg.Info.Uses[id] == ti.tObj
+}
+
+// touchesTable reports whether any identifier in the statement refers
+// to the table variable.
+func (ti *tableInterp) touchesTable(stmt ast.Stmt) bool {
+	if ti.tObj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && ti.pkg.Info.Uses[id] == ti.tObj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// evalInt evaluates an integer-valued expression: type-checked
+// constants, environment-bound closure parameters and loop variables,
+// and arithmetic over those.
+func (ti *tableInterp) evalInt(expr ast.Expr, env map[types.Object]int64) (int64, bool) {
+	if tv, ok := ti.pkg.Info.Types[expr]; ok && tv.Value != nil {
+		return constant.Int64Val(constant.ToInt(tv.Value))
+	}
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if obj := ti.pkg.Info.Uses[e]; obj != nil {
+			v, ok := env[obj]
+			return v, ok
+		}
+	case *ast.BinaryExpr:
+		x, okX := ti.evalInt(e.X, env)
+		y, okY := ti.evalInt(e.Y, env)
+		if !okX || !okY {
+			return 0, false
+		}
+		switch e.Op {
+		case token.ADD:
+			return x + y, true
+		case token.SUB:
+			return x - y, true
+		case token.MUL:
+			return x * y, true
+		case token.OR:
+			return x | y, true
+		}
+	}
+	return 0, false
+}
+
+// evalEntry evaluates a keyed entry composite literal.
+func (ti *tableInterp) evalEntry(expr ast.Expr, env map[types.Object]int64) (tableEntry, bool) {
+	cl, ok := ast.Unparen(expr).(*ast.CompositeLit)
+	if !ok {
+		return tableEntry{}, false
+	}
+	var out tableEntry
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			return tableEntry{}, false
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			return tableEntry{}, false
+		}
+		v, ok := ti.evalInt(kv.Value, env)
+		if !ok {
+			return tableEntry{}, false
+		}
+		switch key.Name {
+		case "op":
+			out.op = v
+		case "enc":
+			out.enc = v
+		case "flags":
+			out.flags = v
+		case "mem":
+			out.mem = v
+		default:
+			return tableEntry{}, false
+		}
+	}
+	return out, true
+}
+
+// hexByte formats idx as two upper-case hex digits.
+func hexByte(idx int64) string {
+	const digits = "0123456789ABCDEF"
+	return string([]byte{digits[(idx>>4)&0xF], digits[idx&0xF]})
+}

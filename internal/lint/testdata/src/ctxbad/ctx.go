@@ -1,0 +1,27 @@
+// Package ctxbad is the negative ctxcheck fixture: a buried context
+// parameter, a stored context, and time.After armed inside a loop.
+package ctxbad
+
+import (
+	"context"
+	"time"
+)
+
+type watcher struct {
+	ctx context.Context
+}
+
+// Wait takes its context in the wrong position and leaks a timer per
+// iteration.
+func Wait(interval time.Duration, ctx context.Context) error {
+	for {
+		select {
+		case <-time.After(interval):
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+var _ = watcher{}

@@ -1,0 +1,24 @@
+// Package ctxgood is the positive ctxcheck fixture: context first,
+// reusable timer, no stored contexts.
+package ctxgood
+
+import (
+	"context"
+	"time"
+)
+
+// Wait blocks until the interval elapses or ctx is canceled, with a
+// timer reused across iterations.
+func Wait(ctx context.Context, interval time.Duration, rounds int) error {
+	t := time.NewTimer(interval)
+	defer t.Stop()
+	for i := 0; i < rounds; i++ {
+		select {
+		case <-t.C:
+			t.Reset(interval)
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+// Package hotpathbad is the negative hotpath fixture: one annotated
+// function that violates each rule, plus a cross-package call into
+// hotpathdep whose fmt use must be attributed back to the root.
+package hotpathbad
+
+import (
+	"fmt"
+
+	"fixture/hotpathdep"
+)
+
+type sink interface{ total() int }
+
+type counter struct{ n int }
+
+func (c counter) total() int { return c.n }
+
+// Scan violates every hot-path rule at once.
+//
+//mel:hotpath
+func Scan(data []byte) int {
+	var s sink
+	c := counter{n: len(data)}
+	s = c
+	grow := func() int { return s.total() + 1 }
+	for range data {
+		defer done()
+	}
+	fmt.Println(len(data))
+	return hotpathdep.Weigh(grow())
+}
+
+func done() {}

@@ -1,0 +1,14 @@
+// Package hotpathdep is not annotated itself; it exists to prove the
+// hotpath traversal follows static calls across package boundaries.
+package hotpathdep
+
+import "fmt"
+
+// Weigh converts a raw count into a weighted score. Fine on a cold
+// path; a violation once something hot calls it.
+func Weigh(n int) int {
+	if n > 8 {
+		fmt.Printf("large: %d\n", n)
+	}
+	return n * 2
+}

@@ -1,0 +1,22 @@
+// Package hotpathgood is the positive hotpath fixture: an annotated
+// function whose transitive static callees satisfy every hot-path rule.
+package hotpathgood
+
+// Scan counts non-zero bytes; entirely static and allocation-free.
+//
+//mel:hotpath
+func Scan(data []byte) int {
+	n := 0
+	for _, b := range data {
+		n += step(b)
+	}
+	return n
+}
+
+// step is reached from the hot root and must stay clean too.
+func step(b byte) int {
+	if b != 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,51 @@
+// Package lockbad is the negative lockcheck fixture: one function per
+// violation class.
+package lockbad
+
+import (
+	"net"
+	"sync"
+)
+
+type box struct {
+	mu    sync.Mutex
+	vals  map[string]int
+	queue chan int
+}
+
+// LeakOnReturn forgets the unlock on the early-return path.
+func (b *box) LeakOnReturn(k string) int {
+	b.mu.Lock()
+	if v, ok := b.vals[k]; ok {
+		return v
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+// LeakAtEnd never unlocks at all.
+func (b *box) LeakAtEnd(k string, v int) {
+	b.mu.Lock()
+	b.vals[k] = v
+}
+
+// SendWhileLocked performs a blocking send under an exclusive lock.
+func (b *box) SendWhileLocked(v int) {
+	b.mu.Lock()
+	b.queue <- v
+	b.mu.Unlock()
+}
+
+// WriteWhileLocked does peer-paced conn I/O under an exclusive lock.
+func (b *box) WriteWhileLocked(c net.Conn, p []byte) {
+	b.mu.Lock()
+	c.Write(p)
+	b.mu.Unlock()
+}
+
+// UnbalancedLoop acquires once per iteration and never releases.
+func (b *box) UnbalancedLoop(n int) {
+	for i := 0; i < n; i++ {
+		b.mu.Lock()
+	}
+}

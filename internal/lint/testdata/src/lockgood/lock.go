@@ -1,0 +1,48 @@
+// Package lockgood is the positive lockcheck fixture: conventional
+// lock shapes the analyzer must accept without a finding.
+package lockgood
+
+import "sync"
+
+type store struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	vals  map[string]int
+	queue chan int
+}
+
+// DeferStyle is the canonical lock-then-defer pattern.
+func (s *store) DeferStyle(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vals[k] = v
+}
+
+// BranchStyle releases explicitly on every return path.
+func (s *store) BranchStyle(k string) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.vals[k]
+	if !ok {
+		s.mu.Unlock()
+		return 0, false
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// ReadLockAcrossSend deliberately holds a read lock across a channel
+// send — the pool's admission idiom, which must stay legal.
+func (s *store) ReadLockAcrossSend(v int) {
+	s.rw.RLock()
+	s.queue <- v
+	s.rw.RUnlock()
+}
+
+// ClosureDefer releases through an immediately deferred closure.
+func (s *store) ClosureDefer(k string) int {
+	s.mu.Lock()
+	defer func() {
+		s.mu.Unlock()
+	}()
+	return s.vals[k]
+}

@@ -1,0 +1,62 @@
+// Package opcodebad is the negative opcodetable fixture: duplicate
+// slot assignment, contradictory entries, and missing coverage.
+package opcodebad
+
+type Op uint8
+
+const (
+	OpInvalid Op = iota
+	OpADD
+	OpNOP
+	OpJMP
+)
+
+type encoding uint8
+
+const (
+	encNone encoding = iota
+	encModRM
+	encIb
+	encRel8
+	encPrefix
+)
+
+type Flags uint16
+
+const (
+	FlagUndefined Flags = 1 << iota
+	FlagStack
+)
+
+type memDir uint8
+
+const (
+	memNone memDir = iota
+	memRead
+	memWrite
+	memRW
+)
+
+type entry struct {
+	op    Op
+	enc   encoding
+	flags Flags
+	mem   memDir
+}
+
+var bad = buildBad()
+
+func buildBad() [16]entry {
+	var t [16]entry
+	t[0x00] = entry{op: OpADD, enc: encModRM, mem: memRW}
+	t[0x00] = entry{op: OpADD, enc: encModRM, mem: memRead}
+	t[0x01] = entry{enc: encPrefix, flags: FlagStack}
+	t[0x02] = entry{op: OpJMP, enc: encRel8, mem: memRead}
+	t[0x03] = entry{op: OpInvalid, enc: encModRM, flags: FlagUndefined, mem: memRead}
+	for b := 0x04; b <= 0x0A; b++ {
+		t[b] = entry{op: OpNOP, enc: encNone}
+	}
+	return t
+}
+
+var _ = bad

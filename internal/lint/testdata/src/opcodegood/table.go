@@ -1,0 +1,72 @@
+// Package opcodegood is the positive opcodetable fixture: a small
+// table using every constructor idiom the interpreter models — range
+// fill, closure helper, bounded loop, explicit slots, field patch.
+package opcodegood
+
+type Op uint8
+
+const (
+	OpInvalid Op = iota
+	OpADD
+	OpNOP
+	OpJMP
+)
+
+type encoding uint8
+
+const (
+	encNone encoding = iota
+	encModRM
+	encIb
+	encRel8
+	encPrefix
+	encEscape
+)
+
+type Flags uint16
+
+const (
+	FlagUndefined Flags = 1 << iota
+	FlagStack
+)
+
+type memDir uint8
+
+const (
+	memNone memDir = iota
+	memRead
+	memWrite
+	memRW
+)
+
+type entry struct {
+	op    Op
+	enc   encoding
+	flags Flags
+	mem   memDir
+}
+
+var small = buildSmall()
+
+func buildSmall() [16]entry {
+	var t [16]entry
+	for i := range t {
+		t[i] = entry{op: OpInvalid, enc: encNone, flags: FlagUndefined}
+	}
+	alu := func(base int, op Op) {
+		t[base+0] = entry{op: op, enc: encModRM, mem: memRW}
+		t[base+1] = entry{op: op, enc: encIb}
+	}
+	alu(0x00, OpADD)
+	for b := 0x02; b <= 0x05; b++ {
+		t[b] = entry{op: OpNOP, enc: encNone}
+	}
+	t[0x06] = entry{enc: encPrefix}
+	t[0x07] = entry{enc: encEscape}
+	t[0x08] = entry{op: OpJMP, enc: encRel8, flags: FlagStack}
+	// ADD's register form never touches memory.
+	t[0x00].mem = memRead
+	return t
+}
+
+var _ = small

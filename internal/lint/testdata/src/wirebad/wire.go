@@ -1,0 +1,44 @@
+// Package wirebad is the negative wireerrors fixture: ErrStale and
+// CodeStale each fall out of one or both directions of the mapping.
+package wirebad
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	ErrOverloaded = errors.New("overloaded")
+	ErrTooLarge   = errors.New("too large")
+	ErrStale      = errors.New("stale")
+)
+
+const (
+	CodeOverloaded byte = 1
+	CodeTooLarge   byte = 2
+	CodeStale      byte = 3
+)
+
+func codeFor(err error) byte {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, ErrTooLarge):
+		return CodeTooLarge
+	default:
+		return CodeTooLarge
+	}
+}
+
+// ErrorForCode misses ErrStale and CodeStale entirely.
+func ErrorForCode(code byte, msg string) error {
+	switch code {
+	case CodeOverloaded:
+		return ErrOverloaded
+	case CodeTooLarge:
+		return ErrTooLarge
+	}
+	return fmt.Errorf("unknown code %d: %s", code, msg)
+}
+
+var _ = codeFor

@@ -1,0 +1,42 @@
+// Package wiregood is the positive wireerrors fixture: every sentinel
+// and code maps both ways.
+package wiregood
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	ErrOverloaded = errors.New("overloaded")
+	ErrTooLarge   = errors.New("too large")
+)
+
+const (
+	CodeOverloaded byte = 1
+	CodeTooLarge   byte = 2
+)
+
+func codeFor(err error) byte {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, ErrTooLarge):
+		return CodeTooLarge
+	default:
+		return CodeTooLarge
+	}
+}
+
+// ErrorForCode rehydrates a wire code into the matching sentinel.
+func ErrorForCode(code byte, msg string) error {
+	switch code {
+	case CodeOverloaded:
+		return ErrOverloaded
+	case CodeTooLarge:
+		return ErrTooLarge
+	}
+	return fmt.Errorf("unknown code %d: %s", code, msg)
+}
+
+var _ = codeFor

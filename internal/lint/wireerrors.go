@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// WireErrorsAnalyzer enforces the sentinel-error↔wire-code bijection
+// of the scan service's protocol. In any package that defines both
+// codeFor (error → wire status byte) and ErrorForCode (wire status
+// byte → rehydrated error, the decode the client library uses):
+//
+//   - every exported Err* sentinel must have an explicit case in
+//     codeFor — the default arm is a fallback, not a mapping;
+//   - every exported Err* sentinel must be rehydrated by ErrorForCode;
+//   - every Code* constant must be decoded by ErrorForCode;
+//   - every Code* constant must be producible by codeFor.
+//
+// A sentinel or code that drops out of either direction ships errors a
+// peer cannot interpret; this analyzer makes that a lint failure
+// instead of a production surprise.
+func WireErrorsAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "wireerrors",
+		Doc:  "Err* sentinels and Code* wire constants must map both ways through codeFor and ErrorForCode",
+		Run:  runWireErrors,
+	}
+}
+
+func runWireErrors(pass *Pass) {
+	for _, pkg := range pass.Module.Pkgs {
+		checkWirePackage(pass, pkg)
+	}
+}
+
+// wireNames collects one package's protocol vocabulary.
+type wireNames struct {
+	sentinels map[string]token.Pos // exported Err* error sentinels
+	codes     map[string]token.Pos // Code* byte constants
+}
+
+func checkWirePackage(pass *Pass, pkg *Package) {
+	var codeFor, errorForCode *ast.FuncDecl
+	eachFunc(pkg, func(fd *ast.FuncDecl) {
+		if fd.Recv != nil {
+			return
+		}
+		switch fd.Name.Name {
+		case "codeFor":
+			codeFor = fd
+		case "ErrorForCode":
+			errorForCode = fd
+		}
+	})
+	if codeFor == nil || errorForCode == nil {
+		return // not a wire-protocol package
+	}
+
+	names := collectWireNames(pkg)
+	inCodeFor := referencedNames(pkg, codeFor)
+	inDecode := referencedNames(pkg, errorForCode)
+
+	for name, pos := range names.sentinels {
+		if !inCodeFor[name] {
+			pass.Reportf(pos, "sentinel %s has no case in codeFor: peers would receive the fallback code", name)
+		}
+		if !inDecode[name] {
+			pass.Reportf(pos, "sentinel %s is not rehydrated by ErrorForCode: clients cannot errors.Is-match it", name)
+		}
+	}
+	for name, pos := range names.codes {
+		if !inDecode[name] {
+			pass.Reportf(pos, "wire code %s is not decoded by ErrorForCode", name)
+		}
+		if !inCodeFor[name] {
+			pass.Reportf(pos, "wire code %s is never produced by codeFor", name)
+		}
+	}
+}
+
+// collectWireNames gathers the package's exported Err* error sentinels
+// and Code* constants.
+func collectWireNames(pkg *Package) wireNames {
+	names := wireNames{
+		sentinels: make(map[string]token.Pos),
+		codes:     make(map[string]token.Pos),
+	}
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		switch obj.(type) {
+		case *types.Var:
+			if strings.HasPrefix(name, "Err") && ast.IsExported(name) && isErrorType(obj.Type()) {
+				names.sentinels[name] = obj.Pos()
+			}
+		case *types.Const:
+			if strings.HasPrefix(name, "Code") {
+				names.codes[name] = obj.Pos()
+			}
+		}
+	}
+	return names
+}
+
+// referencedNames returns the package-level names a function body
+// mentions.
+func referencedNames(pkg *Package, fd *ast.FuncDecl) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pkg.Info.Uses[id]; obj != nil && obj.Pkg() == pkg.Types && obj.Parent() == pkg.Types.Scope() {
+			out[id.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "error" && obj.Pkg() == nil
+}

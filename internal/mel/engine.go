@@ -360,6 +360,8 @@ func (s *scanState) inst(off int) *x86.Inst {
 // starting at every byte offset, forking at conditional branches,
 // following unconditional transfers — and returns the maximum number of
 // consecutively valid instructions along any path (the MEL).
+//
+//mel:hotpath
 func (e *Engine) Scan(stream []byte) (Result, error) {
 	if len(stream) == 0 {
 		return Result{}, ErrEmptyStream

@@ -43,6 +43,8 @@ func newVerdictCache(capacity int) *verdictCache {
 }
 
 // get returns the cached verdict for key, refreshing its recency.
+//
+//mel:hotpath
 func (c *verdictCache) get(key cacheKey) (core.Verdict, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -56,6 +58,8 @@ func (c *verdictCache) get(key cacheKey) (core.Verdict, bool) {
 
 // put inserts or refreshes a verdict, evicting the least recently used
 // entry when full.
+//
+//mel:hotpath
 func (c *verdictCache) put(key cacheKey, v core.Verdict) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -52,7 +52,11 @@ func codeFor(err error) byte {
 		return CodeShuttingDown
 	case errors.Is(err, ErrBadRequest):
 		return CodeBadRequest
+	case errors.Is(err, ErrScanFailed):
+		return CodeScanFailed
 	default:
+		// Unrecognized detector errors degrade to the scan-failure code;
+		// the message still travels in the frame body.
 		return CodeScanFailed
 	}
 }

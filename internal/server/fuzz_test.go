@@ -1,0 +1,91 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzWire drives the frame reader with arbitrary byte streams and
+// reader limits. The wire layer's contract under hostile input is:
+// never panic, never allocate the declared (attacker-controlled) frame
+// length, and fail only with typed errors the serve loop knows how to
+// classify — errShortFrame, errFrameTooLarge, or an io read error.
+// Frames that do parse must survive a re-encode/re-decode round trip.
+func FuzzWire(f *testing.F) {
+	f.Add(AppendScanRequest(nil, 1, []byte("\x90\x90\xC3")), uint32(1<<16))
+	f.Add(appendVerdict(nil, 7, core.Verdict{MEL: 12, BestStart: 3, Threshold: 6.5, Malicious: true}, true), uint32(1<<16))
+	f.Add(appendError(nil, 9, CodeOverloaded, ErrOverloaded.Error()), uint32(1<<16))
+	// Truncated: length prefix promises more than the stream holds.
+	f.Add([]byte{0, 0, 4, 0, 0x01}, uint32(1<<16))
+	// Oversized: length prefix exceeds the reader's limit.
+	f.Add(AppendScanRequest(nil, 2, make([]byte, 512)), uint32(64))
+	// Short: declared body smaller than the fixed header.
+	f.Add([]byte{0, 0, 0, 2, 0x01, 0x00}, uint32(1<<16))
+	f.Add([]byte{}, uint32(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, maxBody uint32) {
+		// Cap the limit so a parsed frame's payload stays small enough to
+		// re-encode cheaply; the limit itself is still fuzzed below it.
+		maxBody %= 1 << 20
+
+		typ, id, payload, err := readFrame(bytes.NewReader(data), maxBody)
+		if err != nil {
+			if !errors.Is(err, errShortFrame) && !errors.Is(err, errFrameTooLarge) &&
+				!errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("untyped frame error: %v", err)
+			}
+			if errors.Is(err, errFrameTooLarge) && len(payload) != 0 {
+				t.Fatalf("oversized frame returned %d payload bytes; must discard", len(payload))
+			}
+			return
+		}
+		if uint64(len(payload))+headerLen > uint64(maxBody) {
+			t.Fatalf("accepted %d-byte payload beyond maxBody %d", len(payload), maxBody)
+		}
+
+		// Anything readFrame accepts must round-trip bit-exactly.
+		again := appendFrame(nil, typ, id, payload)
+		typ2, id2, payload2, err := readFrame(bytes.NewReader(again), uint32(len(again)))
+		if err != nil {
+			t.Fatalf("re-decoding a valid frame: %v", err)
+		}
+		if typ2 != typ || id2 != id || !bytes.Equal(payload2, payload) {
+			t.Fatalf("round trip changed frame: (%d,%d,%x) != (%d,%d,%x)",
+				typ2, id2, payload2, typ, id, payload)
+		}
+
+		// The payload decoders must be total: typed error or success,
+		// never a panic, regardless of the declared message type.
+		if v, cached, err := decodeVerdict(payload); err == nil {
+			reenc := appendVerdict(nil, id, v, cached)
+			_, _, vp, rerr := readFrame(bytes.NewReader(reenc), uint32(len(reenc)))
+			if rerr != nil {
+				t.Fatalf("re-reading verdict frame: %v", rerr)
+			}
+			v2, cached2, rerr := decodeVerdict(vp)
+			if rerr != nil {
+				t.Fatalf("re-decoding verdict payload: %v", rerr)
+			}
+			// NaN thresholds survive as NaN; compare bitwise via encode.
+			if cached2 != cached || v2.Malicious != v.Malicious || v2.TextOnly != v.TextOnly ||
+				v2.MEL != v.MEL || v2.BestStart != v.BestStart {
+				t.Fatalf("verdict round trip changed: %+v != %+v", v2, v)
+			}
+		}
+		if code, msg, err := decodeError(payload); err == nil {
+			reenc := appendError(nil, id, code, msg)
+			_, _, ep, rerr := readFrame(bytes.NewReader(reenc), uint32(len(reenc)))
+			if rerr != nil {
+				t.Fatalf("re-reading error frame: %v", rerr)
+			}
+			code2, msg2, rerr := decodeError(ep)
+			if rerr != nil || code2 != code || msg2 != msg {
+				t.Fatalf("error round trip changed: (%d,%q,%v) != (%d,%q)", code2, msg2, rerr, code, msg)
+			}
+		}
+	})
+}

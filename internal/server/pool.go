@@ -148,6 +148,8 @@ func (p *Pool) Metrics() *telemetry.Registry { return p.reg }
 // ErrShuttingDown. On nil error, done is called exactly once, from a
 // worker goroutine, with the verdict (or a typed error). A non-zero
 // deadline expires queued requests with ErrDeadlineExceeded.
+//
+//mel:hotpath
 func (p *Pool) Submit(payload []byte, deadline time.Time, done func(v core.Verdict, cached bool, err error)) error {
 	p.mu.RLock()
 	defer p.mu.RUnlock()

@@ -99,3 +99,38 @@ func TestReadFrameTruncated(t *testing.T) {
 		}
 	}
 }
+
+// TestCodeForErrorForCodeMutualInverse pins the protocol bijection the
+// wireerrors analyzer enforces statically: encoding then decoding
+// returns the original code, and decoding then encoding returns the
+// original sentinel, over every wire code and every sentinel.
+func TestCodeForErrorForCodeMutualInverse(t *testing.T) {
+	codes := map[byte]string{
+		CodeOverloaded:   "CodeOverloaded",
+		CodeTooLarge:     "CodeTooLarge",
+		CodeBadRequest:   "CodeBadRequest",
+		CodeScanFailed:   "CodeScanFailed",
+		CodeDeadline:     "CodeDeadline",
+		CodeShuttingDown: "CodeShuttingDown",
+	}
+	for code, name := range codes {
+		err := ErrorForCode(code, "")
+		if got := codeFor(err); got != code {
+			t.Errorf("codeFor(ErrorForCode(%s)) = %d, want %d", name, got, code)
+		}
+	}
+	sentinels := []error{
+		ErrOverloaded, ErrPayloadTooLarge, ErrDeadlineExceeded,
+		ErrShuttingDown, ErrBadRequest, ErrScanFailed,
+	}
+	for _, sentinel := range sentinels {
+		if got := ErrorForCode(codeFor(sentinel), ""); !errors.Is(got, sentinel) {
+			t.Errorf("ErrorForCode(codeFor(%v)) = %v, want the sentinel back", sentinel, got)
+		}
+	}
+	// The six codes are distinct; a collision would make the maps above
+	// lie silently.
+	if len(codes) != 6 {
+		t.Fatalf("wire codes collide: %d distinct of 6", len(codes))
+	}
+}

@@ -167,3 +167,50 @@ func TestHTTPEndpoints(t *testing.T) {
 		t.Fatalf("pprof cmdline status = %d", pp.StatusCode)
 	}
 }
+
+func TestHistogramAllInOneBucketQuantiles(t *testing.T) {
+	// Every observation lands in the (2,4] bucket: all quantiles must
+	// interpolate inside that bucket and never escape its edges.
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 10; i++ {
+		h.Observe(3)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 1} {
+		got := s.Quantile(q)
+		if got <= 2 || got > 4 {
+			t.Fatalf("q%v = %v, want within (2,4]", q, got)
+		}
+	}
+	// q=1 exhausts the bucket: the estimate is its upper bound.
+	if got := s.Quantile(1); got != 4 {
+		t.Fatalf("q1 = %v, want 4", got)
+	}
+}
+
+func TestHistogramOverflowBucketQuantiles(t *testing.T) {
+	// Every observation overflows the largest bound. The estimator has
+	// no finite upper edge to interpolate against, so every quantile
+	// reports the largest finite bound — a conservative floor, never 0
+	// and never an invented value beyond the configured range.
+	h := NewHistogram([]float64{1, 2})
+	for i := 0; i < 5; i++ {
+		h.Observe(1e9)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.1, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 2 {
+			t.Fatalf("q%v = %v, want 2 (largest finite bound)", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileOutOfRange(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(0.5)
+	for _, q := range []float64{-1, 0, 1.01} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("q%v = %v, want 0 for out-of-range q", q, got)
+		}
+	}
+}

@@ -17,6 +17,8 @@ func Decode(code []byte, offset int) (Inst, error) {
 // scan loops that decode the same stream many times can reuse one Inst
 // (or a preallocated cache of them) instead of copying the struct out of
 // every call. Decoding semantics are identical to Decode.
+//
+//mel:hotpath
 func DecodeInto(inst *Inst, code []byte, offset int) error {
 	*inst = Inst{}
 	inst.Op = OpInvalid
