@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint ci bench bench-engine serve-bench fuzz report cover clean
+.PHONY: all build test vet lint ci bench bench-engine bench-smoke serve-bench fuzz report cover clean
 
 all: build vet test
 
@@ -27,11 +27,18 @@ test:
 	$(GO) test -race ./...
 
 # ci is the full gate a commit must pass: compile, vet, the analyzer
-# suite, the race-enabled tests, and a short fuzz smoke over the wire
-# codec.
+# suite, the race-enabled tests, a short fuzz smoke over the wire
+# codec, and one engine-bench pass so a scan-path (or tracing-overhead)
+# blowup surfaces in the printed numbers before merge.
 ci: build vet lint
 	$(GO) test -race ./...
 	$(GO) test -run NONE -fuzz FuzzWire -fuzztime 10s ./internal/server/
+	$(MAKE) bench-smoke
+
+# bench-smoke runs the engine benchmark once with the JSON artifact
+# suppressed — a CI canary, not a BENCH_engine.json refresh.
+bench-smoke:
+	$(GO) run ./cmd/melbench -exp engine -benchout ""
 
 race:
 	$(GO) test -race ./internal/core/ ./internal/proxy/ ./internal/server/...

@@ -2,11 +2,14 @@
 // payloads over the length-prefixed binary protocol and get verdicts
 // back; a bounded worker pool schedules pseudo-execution, repeated
 // payloads are answered from the content-hash verdict cache, and an
-// HTTP sidecar exposes /metrics and /debug/pprof.
+// HTTP sidecar exposes /metrics, /debug/pprof, the per-scan flight
+// recorder (/debug/traces, /debug/requests), the registry snapshot
+// (/debug/vars), and the model-drift watcher (/debug/modelwatch).
 //
 //	melserved -listen 127.0.0.1:9901 -metrics 127.0.0.1:9902
 //	melserved -listen :9901 -workers 8 -queue 128 -alpha 0.001
 //	melserved -listen :9901 -profile corp.json -cache 16384
+//	melserved -listen :9901 -metrics :9902 -trace-slow-threshold 5ms
 package main
 
 import (
@@ -24,6 +27,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/server"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/modelwatch"
+	"repro/internal/telemetry/tracing"
 )
 
 func main() {
@@ -51,6 +56,10 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 	profilePath := fs.String("profile", "", "calibration profile (JSON)")
 	readTimeout := fs.Duration("read-timeout", server.DefaultReadTimeout, "idle connection timeout (negative disables)")
 	reqTimeout := fs.Duration("request-timeout", server.DefaultRequestTimeout, "per-request deadline (negative disables)")
+	traceRecent := fs.Int("trace-recent", tracing.DefaultRecent, "recent-trace ring capacity (0 disables tracing)")
+	traceSlow := fs.Int("trace-slow", tracing.DefaultSlow, "slow-trace ring capacity")
+	traceSlowThresh := fs.Duration("trace-slow-threshold", tracing.DefaultSlowThreshold, "latency above which a trace is retained in the slow ring")
+	watchModel := fs.Bool("modelwatch", true, "score observed MELs against the paper's distribution on /metrics")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,6 +87,26 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 		det = d
 	}
 
+	var rec *tracing.Recorder
+	if *traceRecent > 0 {
+		rec = tracing.NewRecorder(tracing.RecorderConfig{
+			Recent:        *traceRecent,
+			Slow:          *traceSlow,
+			SlowThreshold: *traceSlowThresh,
+		})
+	}
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterProcessMetrics(reg)
+	var watcher *modelwatch.Watcher
+	var onVerdict func(core.Verdict)
+	if *watchModel {
+		// The watcher feeds on every served verdict, cache hits included,
+		// and scores the observed MELs against the paper's distribution.
+		watcher = modelwatch.New(reg, modelwatch.Config{})
+		onVerdict = func(v core.Verdict) {
+			watcher.Observe(v.MEL, v.Params.N, v.Params.P)
+		}
+	}
 	srv, err := server.New(server.Config{
 		Detector:           det,
 		Workers:            *workers,
@@ -87,6 +116,9 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 		ReadTimeout:        *readTimeout,
 		RequestTimeout:     *reqTimeout,
 		InstrumentDetector: true,
+		Metrics:            reg,
+		Recorder:           rec,
+		OnVerdict:          onVerdict,
 		Logf:               log.Printf,
 	})
 	if err != nil {
@@ -106,8 +138,21 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 			ln.Close()
 			return fmt.Errorf("metrics listener: %w", err)
 		}
+		opts := []telemetry.MuxOption{}
+		if watcher != nil {
+			// Scrapes and /debug/vars reads see freshly scored drift
+			// gauges.
+			opts = append(opts,
+				telemetry.WithPrelude(func() { watcher.Score() }),
+				telemetry.WithHandler("/debug/modelwatch", watcher.Handler()))
+		}
+		if rec != nil {
+			opts = append(opts,
+				telemetry.WithHandler("/debug/traces", tracing.RecentHandler(rec)),
+				telemetry.WithHandler("/debug/requests", tracing.SlowHandler(rec)))
+		}
 		metricsSrv = &http.Server{
-			Handler:           telemetry.DebugMux(srv.Metrics()),
+			Handler:           telemetry.DebugMux(srv.Metrics(), opts...),
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 		fmt.Fprintf(stdout, "melserved: metrics on http://%s/metrics\n", mln.Addr())

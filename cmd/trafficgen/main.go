@@ -15,16 +15,20 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/encoder"
+	"repro/internal/server"
 	"repro/internal/server/client"
 	"repro/internal/shellcode"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -96,8 +100,13 @@ func run(args []string, stdout io.Writer) error {
 // against a live melserved daemon and tallies the verdicts against
 // ground truth. A worm payload is a benign case with an encoded
 // execve worm spliced into the middle — the paper's attack model.
+// Requests are traced (transparently downgrading against a pre-tracing
+// daemon), and the run ends with a latency summary: client-observed
+// p50/p95/p99 plus the server-versus-network attribution when the
+// daemon echoed timings. Shed (overloaded) and failed scans are
+// counted and reported rather than aborting the run.
 func drive(stdout io.Writer, target string, cases []corpus.Case, wormCount int, seed uint64) error {
-	c, err := client.Dial(target)
+	c, err := client.Dial(target, client.WithTracing())
 	if err != nil {
 		return fmt.Errorf("dial %s: %w", target, err)
 	}
@@ -137,11 +146,31 @@ func drive(stdout io.Writer, target string, cases []corpus.Case, wormCount int, 
 		}
 	}
 
-	var caught, missed, falsePos, cached int
+	var caught, missed, falsePos, cached, shed, failed int
+	latencies := make([]float64, 0, len(stream))
+	var serverSum, networkSum time.Duration
+	var tracedCount int
 	for _, msg := range stream {
+		start := time.Now()
 		res, err := c.Scan(msg.data)
 		if err != nil {
-			return fmt.Errorf("scan: %w", err)
+			// A loaded daemon sheds; count and press on rather than
+			// abandoning the tally one overload into the run.
+			if errors.Is(err, server.ErrOverloaded) {
+				shed++
+			} else {
+				failed++
+				fmt.Fprintf(stdout, "scan error: %v\n", err)
+			}
+			continue
+		}
+		if res.Trace != nil {
+			latencies = append(latencies, float64(res.Trace.Elapsed))
+			serverSum += res.Trace.Server
+			networkSum += res.Trace.Network
+			tracedCount++
+		} else {
+			latencies = append(latencies, float64(time.Since(start)))
 		}
 		if res.Cached {
 			cached++
@@ -160,6 +189,22 @@ func drive(stdout io.Writer, target string, cases []corpus.Case, wormCount int, 
 	fmt.Fprintf(stdout, "worms:           %d caught, %d missed\n", caught, missed)
 	fmt.Fprintf(stdout, "benign:          %d, false positives: %d\n", len(cases), falsePos)
 	fmt.Fprintf(stdout, "cache hits:      %d\n", cached)
+	fmt.Fprintf(stdout, "shed:            %d, errors: %d\n", shed, failed)
+	if len(latencies) > 0 {
+		p50, _ := stats.Quantile(latencies, 0.50)
+		p95, _ := stats.Quantile(latencies, 0.95)
+		p99, _ := stats.Quantile(latencies, 0.99)
+		fmt.Fprintf(stdout, "latency:         p50 %v  p95 %v  p99 %v\n",
+			time.Duration(p50).Round(time.Microsecond),
+			time.Duration(p95).Round(time.Microsecond),
+			time.Duration(p99).Round(time.Microsecond))
+	}
+	if tracedCount > 0 {
+		fmt.Fprintf(stdout, "attribution:     server %v  network %v (mean over %d traced scans)\n",
+			(serverSum / time.Duration(tracedCount)).Round(time.Microsecond),
+			(networkSum / time.Duration(tracedCount)).Round(time.Microsecond),
+			tracedCount)
+	}
 	if missed > 0 {
 		return fmt.Errorf("%d worm payloads evaded detection", missed)
 	}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/mel"
 	"repro/internal/melmodel"
+	"repro/internal/telemetry/tracing"
 	"repro/internal/textins"
 )
 
@@ -217,24 +218,37 @@ type Verdict struct {
 	TextOnly bool
 	// BestStart is the offset where the longest path begins.
 	BestStart int
+	// TraceID identifies the per-scan trace this verdict was produced
+	// under, zero when the scan was untraced. It flows with the verdict
+	// through the stream scanner and proxy so alerts can be chased back
+	// to a flight-recorder entry.
+	TraceID tracing.TraceID
 }
 
 // Scan analyzes one payload.
 func (d *Detector) Scan(payload []byte) (Verdict, error) {
+	return d.ScanTraced(payload, nil)
+}
+
+// ScanTraced is Scan with per-stage instrumentation: threshold
+// derivation, the engine's decode pass, and the DP are timed onto tr,
+// and the verdict summary (MEL, τ, maliciousness) is stamped on the
+// trace. Scan is exactly ScanTraced(payload, nil).
+func (d *Detector) ScanTraced(payload []byte, tr *tracing.Trace) (Verdict, error) {
 	if d == nil || d.engine == nil {
 		return Verdict{}, ErrNotCalibrated
 	}
 	if obs := d.observer.Load(); obs != nil {
 		start := time.Now()
-		v, err := d.scan(payload)
+		v, err := d.scan(payload, tr)
 		(*obs)(ScanStats{Bytes: len(payload), Elapsed: time.Since(start), Verdict: v, Err: err})
 		return v, err
 	}
-	return d.scan(payload)
+	return d.scan(payload, tr)
 }
 
-// scan is the uninstrumented scan body.
-func (d *Detector) scan(payload []byte) (Verdict, error) {
+// scan is the scan body. tr may be nil (untraced).
+func (d *Detector) scan(payload []byte, tr *tracing.Trace) (Verdict, error) {
 	if len(payload) == 0 {
 		return Verdict{}, ErrEmptyPayload
 	}
@@ -242,6 +256,7 @@ func (d *Detector) scan(payload []byte) (Verdict, error) {
 		params melmodel.Params
 		tau    float64
 	)
+	tr.StageStart(tracing.StageThreshold)
 	if !d.perInput && d.calib != nil {
 		p, t, err := d.threshold(len(payload))
 		if err != nil {
@@ -267,18 +282,26 @@ func (d *Detector) scan(payload []byte) (Verdict, error) {
 		}
 		params, tau = p, t
 	}
-	res, err := d.engine.Scan(payload)
+	textOnly := textins.IsTextStream(payload)
+	tr.StageEnd(tracing.StageThreshold)
+	res, err := d.engine.ScanTraced(payload, tr)
 	if err != nil {
 		return Verdict{}, fmt.Errorf("scan: %w", err)
 	}
-	return Verdict{
-		Malicious: float64(res.MEL) > tau,
+	malicious := float64(res.MEL) > tau
+	tr.SetVerdict(res.MEL, tau, malicious)
+	v := Verdict{
+		Malicious: malicious,
 		MEL:       res.MEL,
 		Threshold: tau,
 		Params:    params,
-		TextOnly:  textins.IsTextStream(payload),
+		TextOnly:  textOnly,
 		BestStart: res.BestStart,
-	}, nil
+	}
+	if tr != nil {
+		v.TraceID = tr.ID
+	}
+	return v, nil
 }
 
 // ScanAll scans a batch and returns the verdicts in input order. It is

@@ -12,6 +12,7 @@ import (
 	"repro/internal/encoder"
 	"repro/internal/mel"
 	"repro/internal/shellcode"
+	"repro/internal/telemetry/tracing"
 )
 
 // EngineBenchResult is one measured scan configuration.
@@ -26,11 +27,14 @@ type EngineBenchResult struct {
 // EngineBenchReport is the BENCH_engine.json artifact: the engine's perf
 // trajectory, tracked across PRs. SpeedupSequential is the optimized
 // engine's ns/op improvement over the retained seed implementation on
-// the default-rules 4 KB benign scan.
+// the default-rules 4 KB benign scan. TracingOverhead is the relative
+// ns/op cost of running that same scan with a live per-scan trace
+// (traced/untraced − 1); the observability budget holds it under 5%.
 type EngineBenchReport struct {
 	Workload          string              `json:"workload"`
 	Results           []EngineBenchResult `json:"results"`
 	SpeedupSequential float64             `json:"speedup_sequential"`
+	TracingOverhead   float64             `json:"tracing_overhead"`
 }
 
 // EngineBench measures MEL-engine scan throughput — optimized engine vs
@@ -90,6 +94,20 @@ func EngineBench(w io.Writer, outPath string, seed uint64) (EngineBenchReport, e
 			}
 		}
 	})
+	rec := tracing.NewRecorder(tracing.RecorderConfig{})
+	traced := measure("engine_scan_traced_4k", len(benign), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// The full per-scan tracing cost as the server pays it: trace
+			// allocation, timed stages, finish, and recorder publish.
+			tr := tracing.New(tracing.TraceID{}, len(benign))
+			if _, err := eng.ScanTraced(benign, tr); err != nil {
+				b.Fatal(err)
+			}
+			tr.Finish()
+			rec.Record(tr)
+		}
+	})
 	wormRes := measure("engine_scan_worm_4k", len(wormCase), func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -123,9 +141,10 @@ func EngineBench(w io.Writer, outPath string, seed uint64) (EngineBenchReport, e
 		}
 	})
 
-	report.Results = []EngineBenchResult{optimized, reference, wormRes, streamRes}
+	report.Results = []EngineBenchResult{optimized, reference, traced, wormRes, streamRes}
 	if optimized.NsPerOp > 0 {
 		report.SpeedupSequential = reference.NsPerOp / optimized.NsPerOp
+		report.TracingOverhead = traced.NsPerOp/optimized.NsPerOp - 1
 	}
 
 	fmt.Fprintln(w, "E19: engine scan throughput (4 KB cases, DAWN rules)")
@@ -134,6 +153,7 @@ func EngineBench(w io.Writer, outPath string, seed uint64) (EngineBenchReport, e
 			r.Name, r.NsPerOp, r.MBPerSec, r.AllocsPerOp)
 	}
 	fmt.Fprintf(w, "  sequential speedup vs reference: %.2fx\n", report.SpeedupSequential)
+	fmt.Fprintf(w, "  tracing overhead: %.2f%%\n", report.TracingOverhead*100)
 
 	if outPath != "" {
 		blob, err := json.MarshalIndent(report, "", "  ")

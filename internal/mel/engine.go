@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/telemetry/tracing"
 	"repro/internal/x86"
 )
 
@@ -363,6 +364,16 @@ func (s *scanState) inst(off int) *x86.Inst {
 //
 //mel:hotpath
 func (e *Engine) Scan(stream []byte) (Result, error) {
+	return e.ScanTraced(stream, nil)
+}
+
+// ScanTraced is Scan with per-stage instrumentation: the decode pass
+// (every offset reduced to its record) and the DP over the records are
+// timed onto tr as StageDecode and StageDP. A nil trace is free apart
+// from the nil checks — Scan is exactly ScanTraced(stream, nil).
+//
+//mel:hotpath
+func (e *Engine) ScanTraced(stream []byte, tr *tracing.Trace) (Result, error) {
 	if len(stream) == 0 {
 		return Result{}, ErrEmptyStream
 	}
@@ -374,21 +385,35 @@ func (e *Engine) Scan(stream []byte) (Result, error) {
 	var best, bestStart int
 	switch {
 	case e.mode != ModeAllPaths && !e.rules.TrackRegisterInit:
+		tr.StageStart(tracing.StageDecode)
+		s.buildSeqRecords()
+		tr.StageEnd(tracing.StageDecode)
+		tr.StageStart(tracing.StageDP)
 		best, bestStart = s.scanSequential()
+		tr.StageEnd(tracing.StageDP)
 	case e.mode != ModeAllPaths:
-		best, bestStart = s.scanSequentialTracked()
-	default:
+		tr.StageStart(tracing.StageDecode)
 		s.buildPathRecords()
+		tr.StageEnd(tracing.StageDecode)
+		tr.StageStart(tracing.StageDP)
+		best, bestStart = s.scanSequentialTracked()
+		tr.StageEnd(tracing.StageDP)
+	default:
+		tr.StageStart(tracing.StageDecode)
+		s.buildPathRecords()
+		tr.StageEnd(tracing.StageDecode)
 		mask := regMask(0xFF)
 		if e.rules.TrackRegisterInit {
 			mask = initialMask
 		}
+		tr.StageStart(tracing.StageDP)
 		for off := 0; off < len(stream); off++ {
 			if l := s.longestRec(off, mask); l > best {
 				best = l
 				bestStart = off
 			}
 		}
+		tr.StageEnd(tracing.StageDP)
 	}
 	return Result{MEL: best, BestStart: bestStart, States: s.states}, nil
 }
@@ -630,10 +655,11 @@ func (s *scanState) buildSeqRecords() {
 // it in reverse, assigning dp values on the way back. Backward jumps can
 // form cycles; they are cut exactly as the reference DFS cuts them (an
 // offset already on the active chain contributes 0), so results are
-// byte-identical to ScanReference.
+// byte-identical to ScanReference. The caller must have run
+// buildSeqRecords first (ScanTraced does, so the decode pass is timed
+// separately from the DP).
 func (s *scanState) scanSequential() (best, bestStart int) {
 	n := len(s.code)
-	s.buildSeqRecords()
 	memo := s.table(0xFF)
 	recs := s.recs
 	stack := s.stack[:0]
@@ -691,10 +717,10 @@ func (s *scanState) scanSequential() (best, bestStart int) {
 // visited states, and unwind in reverse assigning memo values — the same
 // shape as scanSequential but with per-mask tables and the compiled
 // register transitions. Visit order, cycle cuts, and memo writes match
-// the reference DFS exactly, so results are byte-identical.
+// the reference DFS exactly, so results are byte-identical. The caller
+// must have run buildPathRecords first.
 func (s *scanState) scanSequentialTracked() (best, bestStart int) {
 	n := len(s.code)
-	s.buildPathRecords()
 	t0 := s.table(initialMask)
 	stack := s.maskStack[:0]
 	for start := 0; start < n; start++ {

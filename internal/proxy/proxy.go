@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/tracing"
 )
 
 // DefaultIdleTimeout bounds how long either side of a proxied
@@ -31,6 +32,9 @@ type Alert struct {
 	// MEL and Threshold describe the verdict.
 	MEL       int
 	Threshold float64
+	// TraceID links the alert to its scan's flight-recorder entry (zero
+	// when the scan path was untraced).
+	TraceID tracing.TraceID
 }
 
 // Config configures a Proxy.
@@ -194,7 +198,11 @@ func (p *Proxy) record(a Alert) {
 	if p.m.alerts != nil {
 		p.m.alerts.Inc()
 	}
-	p.cfg.Logf("ALERT %s window@%d MEL=%d tau=%.1f", a.Conn, a.Offset, a.MEL, a.Threshold)
+	if a.TraceID.IsZero() {
+		p.cfg.Logf("ALERT %s window@%d MEL=%d tau=%.1f", a.Conn, a.Offset, a.MEL, a.Threshold)
+	} else {
+		p.cfg.Logf("ALERT %s window@%d MEL=%d tau=%.1f trace=%s", a.Conn, a.Offset, a.MEL, a.Threshold, a.TraceID)
+	}
 }
 
 // idleConn bumps the connection deadline on every read and write, so
@@ -267,7 +275,7 @@ func (p *Proxy) handle(clientConn net.Conn) {
 				p.cfg.Logf("proxy: scan: %v", err)
 			}
 			for _, a := range scanner.Alerts()[seen:] {
-				p.record(Alert{Conn: name, Offset: a.Offset, MEL: a.Verdict.MEL, Threshold: a.Verdict.Threshold})
+				p.record(Alert{Conn: name, Offset: a.Offset, MEL: a.Verdict.MEL, Threshold: a.Verdict.Threshold, TraceID: a.Verdict.TraceID})
 				if p.cfg.Block {
 					blocked = true
 				}
@@ -287,7 +295,7 @@ func (p *Proxy) handle(clientConn net.Conn) {
 	seen := len(scanner.Alerts())
 	if err := scanner.Flush(); err == nil {
 		for _, a := range scanner.Alerts()[seen:] {
-			p.record(Alert{Conn: name, Offset: a.Offset, MEL: a.Verdict.MEL, Threshold: a.Verdict.Threshold})
+			p.record(Alert{Conn: name, Offset: a.Offset, MEL: a.Verdict.MEL, Threshold: a.Verdict.Threshold, TraceID: a.Verdict.TraceID})
 			if p.cfg.Block {
 				blocked = true
 			}

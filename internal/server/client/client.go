@@ -12,10 +12,12 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/server"
+	"repro/internal/telemetry/tracing"
 )
 
 // ErrClosed reports use of a closed client.
@@ -38,6 +40,31 @@ type Result struct {
 	// Cached reports that the verdict came from the server's
 	// content-hash cache rather than fresh pseudo-execution.
 	Cached bool
+	// Trace carries the latency attribution for this request when the
+	// client was built WithTracing and the server echoed timings; nil
+	// otherwise.
+	Trace *Trace
+}
+
+// Trace attributes one traced request's client-observed latency to
+// network versus server queue versus compute.
+type Trace struct {
+	// ID is the trace id, shared with the server's flight recorder —
+	// chase it at the daemon's /debug/traces endpoint.
+	ID tracing.TraceID
+	// Elapsed is the client-observed round trip, from frame send to
+	// response receipt.
+	Elapsed time.Duration
+	// Server is the server-side total (queue wait included), as echoed
+	// in the response.
+	Server time.Duration
+	// Network is Elapsed minus Server: wire transit, framing, and
+	// scheduling on both sides. Clamped at zero (clocks on the two ends
+	// never mix; both durations are monotonic on their own host).
+	Network time.Duration
+	// Stages holds the server's per-stage durations, indexed by
+	// tracing.Stage; -1 marks stages the server did not record.
+	Stages [tracing.NumStages]time.Duration
 }
 
 // Option configures a Client.
@@ -59,12 +86,22 @@ func WithMaxFrame(n int) Option {
 	}
 }
 
+// WithTracing makes every scan carry a trace id and request the
+// server's stage timings; results then populate Result.Trace. Against
+// a pre-tracing server the first scan downgrades the connection
+// (one transparent retry, then untraced from there on), so the option
+// is safe to enable unconditionally.
+func WithTracing() Option {
+	return func(c *Client) { c.tracing.Store(true) }
+}
+
 // Client is a concurrent-safe connection to a scan daemon.
 type Client struct {
 	conn     net.Conn
 	bw       *bufio.Writer
 	timeout  time.Duration
 	maxFrame uint32
+	tracing  atomic.Bool
 
 	wmu sync.Mutex // serializes frame writes and flushes
 
@@ -162,6 +199,19 @@ func (c *Client) Scan(payload []byte) (Result, error) {
 // ScanContext submits one payload and blocks for its verdict or the
 // context's end.
 func (c *Client) ScanContext(ctx context.Context, payload []byte) (Result, error) {
+	traced := c.tracing.Load()
+	res, err := c.scan(ctx, payload, traced)
+	if err != nil && traced && errors.Is(err, server.ErrBadRequest) {
+		// A pre-tracing server rejects MsgScanTraced as an unknown type.
+		// Downgrade the connection and retry this request untraced.
+		c.tracing.Store(false)
+		return c.scan(ctx, payload, false)
+	}
+	return res, err
+}
+
+// scan runs one request, traced or plain.
+func (c *Client) scan(ctx context.Context, payload []byte, traced bool) (Result, error) {
 	ch := make(chan response, 1)
 	c.mu.Lock()
 	if c.closed {
@@ -194,7 +244,13 @@ func (c *Client) ScanContext(ctx context.Context, payload []byte) (Result, error
 	} else {
 		_ = c.conn.SetWriteDeadline(time.Time{})
 	}
-	frame := server.AppendScanRequest(nil, id, payload)
+	var frame []byte
+	if traced {
+		frame = server.AppendScanTracedRequest(nil, id, tracing.NewID(), payload)
+	} else {
+		frame = server.AppendScanRequest(nil, id, payload)
+	}
+	start := time.Now()
 	_, werr := c.bw.Write(frame)
 	if werr == nil {
 		werr = c.bw.Flush()
@@ -216,7 +272,7 @@ func (c *Client) ScanContext(ctx context.Context, payload []byte) (Result, error
 			}
 			return Result{}, err
 		}
-		return decodeResponse(resp)
+		return decodeResponse(resp, time.Since(start))
 	case <-ctx.Done():
 		unregister()
 		return Result{}, ctx.Err()
@@ -224,7 +280,9 @@ func (c *Client) ScanContext(ctx context.Context, payload []byte) (Result, error
 }
 
 // decodeResponse turns a raw reply into a Result or typed error.
-func decodeResponse(resp response) (Result, error) {
+// elapsed is the client-observed round trip, used to attribute traced
+// responses.
+func decodeResponse(resp response, elapsed time.Duration) (Result, error) {
 	switch resp.typ {
 	case server.MsgVerdict:
 		v, cached, err := server.DecodeVerdict(resp.payload)
@@ -232,6 +290,24 @@ func decodeResponse(resp response) (Result, error) {
 			return Result{}, err
 		}
 		return fromVerdict(v, cached), nil
+	case server.MsgVerdictTraced:
+		v, cached, wt, err := server.DecodeVerdictTraced(resp.payload)
+		if err != nil {
+			return Result{}, err
+		}
+		res := fromVerdict(v, cached)
+		network := elapsed - wt.Total
+		if network < 0 {
+			network = 0
+		}
+		res.Trace = &Trace{
+			ID:      wt.ID,
+			Elapsed: elapsed,
+			Server:  wt.Total,
+			Network: network,
+			Stages:  wt.Stages,
+		}
+		return res, nil
 	case server.MsgError:
 		code, msg, err := server.DecodeError(resp.payload)
 		if err != nil {

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/tracing"
 )
 
 // Pool defaults.
@@ -44,6 +45,17 @@ type PoolConfig struct {
 	// Metrics receives the pool's counters and histograms; nil creates
 	// a private registry (exposed via Metrics()).
 	Metrics *telemetry.Registry
+	// Recorder, when set, turns on per-scan tracing: every submission
+	// gets a Trace (unless the caller supplied one via SubmitTraced),
+	// queue wait / cache / threshold / decode / DP become timed stages,
+	// completed traces land in the recorder, and the latency histogram
+	// gains trace-id exemplars.
+	Recorder *tracing.Recorder
+	// OnVerdict, when set, receives every successfully served verdict
+	// (cache hits included) after its trace is recorded — the hook the
+	// model-drift watcher observes MELs through. Called from worker
+	// goroutines; must be cheap and concurrency-safe.
+	OnVerdict func(core.Verdict)
 }
 
 // job is one queued scan.
@@ -51,6 +63,7 @@ type job struct {
 	payload  []byte
 	enqueued time.Time
 	deadline time.Time
+	tr       *tracing.Trace
 	done     func(v core.Verdict, cached bool, err error)
 }
 
@@ -92,11 +105,13 @@ func newPoolMetrics(reg *telemetry.Registry) poolMetrics {
 // or — after Close — fail with ErrShuttingDown. Close drains queued
 // work before returning.
 type Pool struct {
-	det   *core.Detector
-	cache *verdictCache
-	jobs  chan job
-	reg   *telemetry.Registry
-	m     poolMetrics
+	det       *core.Detector
+	cache     *verdictCache
+	jobs      chan job
+	reg       *telemetry.Registry
+	m         poolMetrics
+	rec       *tracing.Recorder
+	onVerdict func(core.Verdict)
 
 	// mu serializes Submit's channel send against Close's channel
 	// close: senders hold the read lock, so Close (write lock) cannot
@@ -122,10 +137,12 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 		reg = telemetry.NewRegistry()
 	}
 	p := &Pool{
-		det:  cfg.Detector,
-		jobs: make(chan job, cfg.QueueDepth),
-		reg:  reg,
-		m:    newPoolMetrics(reg),
+		det:       cfg.Detector,
+		jobs:      make(chan job, cfg.QueueDepth),
+		reg:       reg,
+		m:         newPoolMetrics(reg),
+		rec:       cfg.Recorder,
+		onVerdict: cfg.OnVerdict,
 	}
 	switch {
 	case cfg.CacheSize == 0:
@@ -151,20 +168,41 @@ func (p *Pool) Metrics() *telemetry.Registry { return p.reg }
 //
 //mel:hotpath
 func (p *Pool) Submit(payload []byte, deadline time.Time, done func(v core.Verdict, cached bool, err error)) error {
+	return p.SubmitTraced(payload, deadline, p.autoTrace(len(payload)), done)
+}
+
+// SubmitTraced is Submit with an explicit trace (e.g. one carrying a
+// client-chosen id). A nil trace disables tracing for this request
+// even when the pool has a recorder.
+//
+//mel:hotpath
+func (p *Pool) SubmitTraced(payload []byte, deadline time.Time, tr *tracing.Trace, done func(v core.Verdict, cached bool, err error)) error {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
 		return ErrShuttingDown
 	}
 	p.m.depth.Inc()
+	tr.StageStart(tracing.StageQueueWait)
 	select {
-	case p.jobs <- job{payload: payload, enqueued: time.Now(), deadline: deadline, done: done}:
+	case p.jobs <- job{payload: payload, enqueued: time.Now(), deadline: deadline, tr: tr, done: done}:
 		return nil
 	default:
 		p.m.depth.Dec()
 		p.m.shed.Inc()
 		return ErrOverloaded
 	}
+}
+
+// autoTrace opens a fresh trace when the pool records traces, nil
+// otherwise.
+//
+//mel:hotpath
+func (p *Pool) autoTrace(n int) *tracing.Trace {
+	if p.rec == nil {
+		return nil
+	}
+	return tracing.New(tracing.TraceID{}, n)
 }
 
 // Do runs one scan through the pool and waits for the result. Unlike
@@ -187,6 +225,7 @@ func (p *Pool) Do(ctx context.Context, payload []byte) (core.Verdict, bool, erro
 		payload:  payload,
 		enqueued: time.Now(),
 		deadline: deadline,
+		tr:       p.autoTrace(len(payload)),
 		done:     func(v core.Verdict, cached bool, err error) { ch <- result{v, cached, err} },
 	}
 	p.mu.RLock()
@@ -195,6 +234,7 @@ func (p *Pool) Do(ctx context.Context, payload []byte) (core.Verdict, bool, erro
 		return core.Verdict{}, false, ErrShuttingDown
 	}
 	p.m.depth.Inc()
+	j.tr.StageStart(tracing.StageQueueWait)
 	select {
 	case p.jobs <- j:
 		p.mu.RUnlock()
@@ -240,36 +280,67 @@ func (p *Pool) worker() {
 }
 
 // serve executes one job: deadline check, cache lookup, scan, cache
-// fill, metrics.
+// fill, metrics. Each phase is timed onto the job's trace when tracing
+// is on.
 func (p *Pool) serve(j job) {
+	tr := j.tr
+	tr.StageEnd(tracing.StageQueueWait)
 	if !j.deadline.IsZero() && time.Now().After(j.deadline) {
 		p.m.deadline.Inc()
+		p.abort(tr, ErrDeadlineExceeded)
 		j.done(core.Verdict{}, false, ErrDeadlineExceeded)
 		return
 	}
 	var key cacheKey
 	if p.cache != nil {
+		tr.StageStart(tracing.StageCache)
 		key = sha256.Sum256(j.payload)
-		if v, ok := p.cache.get(key); ok {
+		v, ok := p.cache.get(key)
+		tr.StageEnd(tracing.StageCache)
+		if ok {
 			p.m.hits.Inc()
+			if tr != nil {
+				tr.SetCached(true)
+				tr.SetVerdict(v.MEL, v.Threshold, v.Malicious)
+				v.TraceID = tr.ID
+			}
 			p.finish(j, v, true)
 			return
 		}
 		p.m.misses.Inc()
 	}
-	v, err := p.det.Scan(j.payload)
+	v, err := p.det.ScanTraced(j.payload, tr)
 	if err != nil {
 		p.m.errs.Inc()
-		j.done(core.Verdict{}, false, fmt.Errorf("%w: %v", ErrScanFailed, err))
+		wrapped := fmt.Errorf("%w: %v", ErrScanFailed, err)
+		p.abort(tr, wrapped)
+		j.done(core.Verdict{}, false, wrapped)
 		return
 	}
 	if p.cache != nil {
-		p.cache.put(key, v)
+		// The cached copy must not leak this request's trace id into
+		// future hits; each hit stamps its own.
+		cv := v
+		cv.TraceID = tracing.TraceID{}
+		p.cache.put(key, cv)
 	}
 	p.finish(j, v, false)
 }
 
-// finish records a served verdict and delivers it.
+// abort completes and records a trace for a failed request.
+func (p *Pool) abort(tr *tracing.Trace, err error) {
+	if tr == nil {
+		return
+	}
+	tr.SetError(err.Error())
+	tr.Finish()
+	p.rec.Record(tr)
+}
+
+// finish records a served verdict and delivers it. The trace is
+// finished and recorded (and its id attached to the latency histogram
+// as an exemplar) before done runs, so a client that immediately
+// queries /debug/traces sees its own request.
 func (p *Pool) finish(j job, v core.Verdict, cached bool) {
 	p.m.scans.Inc()
 	p.m.bytes.Add(uint64(len(j.payload)))
@@ -278,7 +349,17 @@ func (p *Pool) finish(j job, v core.Verdict, cached bool) {
 	} else {
 		p.m.benign.Inc()
 	}
-	p.m.latency.Observe(time.Since(j.enqueued).Seconds())
+	lat := time.Since(j.enqueued).Seconds()
+	if j.tr != nil {
+		j.tr.Finish()
+		p.rec.Record(j.tr)
+		p.m.latency.ObserveExemplar(lat, j.tr.ID.String())
+	} else {
+		p.m.latency.Observe(lat)
+	}
+	if p.onVerdict != nil {
+		p.onVerdict(v)
+	}
 	j.done(v, cached, nil)
 }
 

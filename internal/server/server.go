@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/tracing"
 )
 
 // Server defaults.
@@ -52,6 +53,13 @@ type Config struct {
 	// Metrics receives pool and server instruments; nil creates a
 	// private registry.
 	Metrics *telemetry.Registry
+	// Recorder, when set, enables per-scan tracing (see
+	// PoolConfig.Recorder). Clients that send MsgScanTraced get their
+	// trace id adopted and the stage timings echoed back.
+	Recorder *tracing.Recorder
+	// OnVerdict, when set, receives every served verdict (see
+	// PoolConfig.OnVerdict).
+	OnVerdict func(core.Verdict)
 	// InstrumentDetector, when true, also wires the detector's observer
 	// hook into the registry (detector_* metrics). Leave false when the
 	// detector is shared and already instrumented elsewhere.
@@ -112,6 +120,8 @@ func New(cfg Config) (*Server, error) {
 		QueueDepth: cfg.QueueDepth,
 		CacheSize:  cfg.CacheSize,
 		Metrics:    reg,
+		Recorder:   cfg.Recorder,
+		OnVerdict:  cfg.OnVerdict,
 	})
 	if err != nil {
 		return nil, err
@@ -268,10 +278,24 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			break
 		}
-		if typ != MsgScan {
+		if typ != MsgScan && typ != MsgScanTraced {
 			s.badFrames.Inc()
 			respond(appendError(nil, id, CodeBadRequest, fmt.Sprintf("unknown request type 0x%02x", typ)))
 			continue
+		}
+		var tr *tracing.Trace
+		if typ == MsgScanTraced {
+			if len(payload) < traceIDLen {
+				s.badFrames.Inc()
+				respond(appendError(nil, id, CodeBadRequest, "traced scan shorter than trace id"))
+				continue
+			}
+			var tid tracing.TraceID
+			copy(tid[:], payload[:traceIDLen])
+			payload = payload[traceIDLen:]
+			// Adopt the client's id (a zero id gets a fresh one) so the
+			// flight-recorder entry and the client's view share identity.
+			tr = tracing.New(tid, len(payload))
 		}
 		if len(payload) > s.cfg.MaxPayload {
 			respond(appendError(nil, id, CodeTooLarge,
@@ -288,14 +312,26 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 		reqWG.Add(1)
 		reqID := id
-		err = s.pool.Submit(payload, deadline, func(v core.Verdict, cached bool, scanErr error) {
+		reqTr := tr
+		done := func(v core.Verdict, cached bool, scanErr error) {
 			defer reqWG.Done()
 			if scanErr != nil {
 				respond(appendError(nil, reqID, codeFor(scanErr), scanErr.Error()))
 				return
 			}
+			if reqTr != nil {
+				// The pool finished the trace before invoking done, so the
+				// stage durations read here are final.
+				respond(appendVerdictTraced(nil, reqID, v, cached, reqTr))
+				return
+			}
 			respond(appendVerdict(nil, reqID, v, cached))
-		})
+		}
+		if tr != nil {
+			err = s.pool.SubmitTraced(payload, deadline, tr, done)
+		} else {
+			err = s.pool.Submit(payload, deadline, done)
+		}
 		if err != nil {
 			reqWG.Done()
 			respond(appendError(nil, id, codeFor(err), err.Error()))

@@ -18,12 +18,21 @@
 //
 // followed by a type-specific payload:
 //
-//	MsgScan:    the raw bytes to scan
-//	MsgVerdict: flags(1) | MEL uint32 | BestStart uint32 | τ float64 bits
-//	MsgError:   code(1) | UTF-8 message
+//	MsgScan:          the raw bytes to scan
+//	MsgVerdict:       flags(1) | MEL uint32 | BestStart uint32 | τ float64 bits
+//	MsgError:         code(1) | UTF-8 message
+//	MsgScanTraced:    trace id(16) | the raw bytes to scan
+//	MsgVerdictTraced: MsgVerdict payload | trace id(16) | total ns uint64 |
+//	                  nStages(1) | nStages × (stage(1) | dur ns uint64)
 //
 // Request ids are chosen by the client and echoed verbatim, so one
 // connection carries any number of pipelined, out-of-order requests.
+//
+// Tracing is version-gated by message type, not by mutating existing
+// frames: a client that never sends MsgScanTraced talks to any server,
+// and a pre-tracing server answers MsgScanTraced with a MsgError
+// (unknown type), which the client library treats as "downgrade and
+// retry untraced".
 package server
 
 import (
@@ -32,8 +41,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry/tracing"
 )
 
 // Message types.
@@ -45,6 +56,12 @@ const (
 	MsgVerdict byte = 0x02
 	// MsgError is a failed scan response carrying a status code.
 	MsgError byte = 0x03
+	// MsgScanTraced is MsgScan with a leading 16-byte trace id; the
+	// server echoes the id and its stage timings in a MsgVerdictTraced.
+	MsgScanTraced byte = 0x04
+	// MsgVerdictTraced is MsgVerdict extended with the trace id, total
+	// server-side duration, and per-stage durations.
+	MsgVerdictTraced byte = 0x05
 )
 
 // Verdict flag bits.
@@ -58,7 +75,12 @@ const (
 const (
 	headerLen    = 1 + 8               // type + request id
 	verdictLen   = 1 + 4 + 4 + 8       // flags + MEL + BestStart + τ
+	traceIDLen   = tracing.IDLen       // trace id field in traced frames
 	maxFrameSlop = headerLen + 1 + 256 // header + code + message room
+
+	// tracedVerdictMax bounds a MsgVerdictTraced payload: verdict, id,
+	// total, stage count, and every defined stage.
+	tracedVerdictMax = verdictLen + traceIDLen + 8 + 1 + tracing.NumStages*9
 )
 
 // wire framing errors.
@@ -136,6 +158,43 @@ func appendVerdict(dst []byte, id uint64, v core.Verdict, cached bool) []byte {
 	return appendFrame(dst, MsgVerdict, id, body[:])
 }
 
+// appendVerdictTraced appends a MsgVerdictTraced frame: the plain
+// verdict payload followed by the trace id, the server-side total, and
+// every closed stage as (stage, duration ns) pairs.
+func appendVerdictTraced(dst []byte, id uint64, v core.Verdict, cached bool, tr *tracing.Trace) []byte {
+	var body [tracedVerdictMax]byte
+	b := body[:0]
+	if v.Malicious {
+		body[0] |= flagMalicious
+	}
+	if v.TextOnly {
+		body[0] |= flagTextOnly
+	}
+	if cached {
+		body[0] |= flagCached
+	}
+	b = b[:1]
+	b = binary.BigEndian.AppendUint32(b, uint32(v.MEL))
+	b = binary.BigEndian.AppendUint32(b, uint32(v.BestStart))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(v.Threshold))
+	b = append(b, tr.ID[:]...)
+	b = binary.BigEndian.AppendUint64(b, uint64(tr.Total()))
+	nIdx := len(b)
+	b = append(b, 0)
+	var n byte
+	for s := tracing.Stage(0); int(s) < tracing.NumStages; s++ {
+		d := tr.StageDur(s)
+		if d < 0 {
+			continue
+		}
+		b = append(b, byte(s))
+		b = binary.BigEndian.AppendUint64(b, uint64(d))
+		n++
+	}
+	b[nIdx] = n
+	return appendFrame(dst, MsgVerdictTraced, id, b)
+}
+
 // appendError appends a MsgError frame.
 func appendError(dst []byte, id uint64, code byte, msg string) []byte {
 	return appendFrame(dst, MsgError, id, []byte{code}, []byte(msg))
@@ -152,6 +211,49 @@ func decodeVerdict(p []byte) (v core.Verdict, cached bool, err error) {
 	v.BestStart = int(binary.BigEndian.Uint32(p[5:9]))
 	v.Threshold = math.Float64frombits(binary.BigEndian.Uint64(p[9:17]))
 	return v, p[0]&flagCached != 0, nil
+}
+
+// WireTrace is the server-side timing echo decoded from a
+// MsgVerdictTraced response. Stages the server never closed are -1.
+type WireTrace struct {
+	// ID is the trace id the request carried (echoed verbatim).
+	ID tracing.TraceID
+	// Total is the server-side wall time for the request, queue wait
+	// included.
+	Total time.Duration
+	// Stages holds the per-stage durations, indexed by tracing.Stage.
+	Stages [tracing.NumStages]time.Duration
+}
+
+// decodeVerdictTraced parses a MsgVerdictTraced payload.
+func decodeVerdictTraced(p []byte) (v core.Verdict, cached bool, wt WireTrace, err error) {
+	if len(p) < verdictLen+traceIDLen+8+1 {
+		return core.Verdict{}, false, WireTrace{}, fmt.Errorf("server: traced verdict payload is %d bytes, want >= %d", len(p), verdictLen+traceIDLen+8+1)
+	}
+	v, cached, err = decodeVerdict(p[:verdictLen])
+	if err != nil {
+		return core.Verdict{}, false, WireTrace{}, err
+	}
+	rest := p[verdictLen:]
+	copy(wt.ID[:], rest[:traceIDLen])
+	wt.Total = time.Duration(binary.BigEndian.Uint64(rest[traceIDLen : traceIDLen+8]))
+	n := int(rest[traceIDLen+8])
+	rest = rest[traceIDLen+9:]
+	if len(rest) != n*9 {
+		return core.Verdict{}, false, WireTrace{}, fmt.Errorf("server: traced verdict carries %d stage bytes, want %d", len(rest), n*9)
+	}
+	for i := range wt.Stages {
+		wt.Stages[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		s := rest[i*9]
+		d := time.Duration(binary.BigEndian.Uint64(rest[i*9+1 : i*9+9]))
+		if int(s) < tracing.NumStages {
+			wt.Stages[s] = d
+		}
+	}
+	v.TraceID = wt.ID
+	return v, cached, wt, nil
 }
 
 // decodeError parses a MsgError payload into its code and message.
@@ -176,10 +278,22 @@ func AppendScanRequest(dst []byte, id uint64, payload []byte) []byte {
 	return appendFrame(dst, MsgScan, id, payload)
 }
 
+// AppendScanTracedRequest appends a MsgScanTraced frame: the trace id
+// the server should adopt, then the payload.
+func AppendScanTracedRequest(dst []byte, id uint64, tid tracing.TraceID, payload []byte) []byte {
+	return appendFrame(dst, MsgScanTraced, id, tid[:], payload)
+}
+
 // DecodeVerdict parses a MsgVerdict payload into the verdict and its
 // cache-hit flag.
 func DecodeVerdict(p []byte) (v core.Verdict, cached bool, err error) {
 	return decodeVerdict(p)
+}
+
+// DecodeVerdictTraced parses a MsgVerdictTraced payload into the
+// verdict, its cache-hit flag, and the server's timing echo.
+func DecodeVerdictTraced(p []byte) (v core.Verdict, cached bool, wt WireTrace, err error) {
+	return decodeVerdictTraced(p)
 }
 
 // DecodeError parses a MsgError payload into its status code and

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/pprof"
 )
@@ -14,17 +15,73 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
-// DebugMux returns an HTTP mux exposing the registry at /metrics and
-// the runtime profiler under /debug/pprof/ — the daemon's
-// observability surface. The pprof handlers are mounted explicitly so
-// the daemon never depends on http.DefaultServeMux.
-func DebugMux(r *Registry) *http.ServeMux {
+// VarsHandler serves the registry snapshot as indented JSON — the
+// /debug/vars endpoint body, the machine-readable twin of /metrics.
+func (r *Registry) VarsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// MuxOption customizes DebugMux.
+type MuxOption func(*muxConfig)
+
+type muxConfig struct {
+	prelude  func()
+	handlers map[string]http.Handler
+}
+
+// WithPrelude runs fn before every /metrics and /debug/vars render —
+// the hook for lazily-computed gauges (modelwatch scoring) that should
+// be fresh at scrape time but not recomputed per observation.
+func WithPrelude(fn func()) MuxOption {
+	return func(c *muxConfig) { c.prelude = fn }
+}
+
+// WithHandler mounts an extra handler on the debug mux (flight
+// recorder pages, modelwatch state).
+func WithHandler(path string, h http.Handler) MuxOption {
+	return func(c *muxConfig) {
+		if c.handlers == nil {
+			c.handlers = make(map[string]http.Handler)
+		}
+		c.handlers[path] = h
+	}
+}
+
+// DebugMux returns an HTTP mux exposing the registry at /metrics (text
+// exposition) and /debug/vars (JSON snapshot), plus the runtime
+// profiler under /debug/pprof/ — the daemon's observability surface.
+// The pprof handlers are mounted explicitly so the daemon never
+// depends on http.DefaultServeMux. Options add a scrape prelude and
+// extra endpoints.
+func DebugMux(r *Registry, opts ...MuxOption) *http.ServeMux {
+	var cfg muxConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	withPrelude := func(h http.Handler) http.Handler {
+		if cfg.prelude == nil {
+			return h
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			cfg.prelude()
+			h.ServeHTTP(w, req)
+		})
+	}
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/metrics", withPrelude(r.Handler()))
+	mux.Handle("/debug/vars", withPrelude(r.VarsHandler()))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for path, h := range cfg.handlers {
+		mux.Handle(path, h)
+	}
 	return mux
 }

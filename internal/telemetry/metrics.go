@@ -10,6 +10,7 @@ package telemetry
 import (
 	"math"
 	"sort"
+	"strconv"
 	"sync/atomic"
 )
 
@@ -47,6 +48,18 @@ func (g *Gauge) Dec() { g.v.Add(-1) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is an instantaneous float64 value (fit statistics, drift
+// estimates, timestamps). Stored as float bits behind one atomic word.
+type FloatGauge struct {
+	v atomic.Uint64
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
 // DefLatencyBuckets are the default histogram bounds for scan
 // latencies, in seconds: 50µs up to 5s, roughly logarithmic. The scan
 // service's p99 targets live comfortably inside this range.
@@ -62,10 +75,21 @@ func DefLatencyBuckets() []float64 {
 // ascending order; an implicit +Inf bucket catches the overflow.
 // Observations are atomic per-bucket adds — no locks, no allocation.
 type Histogram struct {
-	bounds []float64
-	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
-	count  atomic.Uint64
-	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	bounds    []float64
+	counts    []atomic.Uint64 // len(bounds)+1, last is +Inf
+	count     atomic.Uint64
+	sum       atomic.Uint64              // float64 bits, CAS-accumulated
+	exemplars []atomic.Pointer[Exemplar] // len(bounds)+1, latest per bucket
+}
+
+// Exemplar links a histogram bucket to one concrete observation — the
+// most recent traced value that landed there — so a latency spike in a
+// bucket can be chased to a flight-recorder entry by trace id.
+type Exemplar struct {
+	// TraceID is the hex trace id of the observation.
+	TraceID string `json:"trace_id"`
+	// Value is the observed value (same unit as the histogram).
+	Value float64 `json:"value"`
 }
 
 // NewHistogram builds a histogram over the given ascending upper
@@ -79,8 +103,9 @@ func NewHistogram(bounds []float64) *Histogram {
 		sort.Float64s(bounds)
 	}
 	return &Histogram{
-		bounds: bounds,
-		counts: make([]atomic.Uint64, len(bounds)+1),
+		bounds:    bounds,
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 }
 
@@ -88,6 +113,25 @@ func NewHistogram(bounds []float64) *Histogram {
 func (h *Histogram) Observe(v float64) {
 	// Binary search for the first bound >= v.
 	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveExemplar records one value and attaches traceID as the
+// bucket's exemplar, replacing any previous one. The exemplar is a
+// single atomic pointer publish on top of Observe's cost.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	for {
@@ -118,6 +162,19 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
 	}
+	for i := range h.exemplars {
+		ex := h.exemplars[i].Load()
+		if ex == nil {
+			continue
+		}
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+		}
+		s.Exemplars = append(s.Exemplars, BucketExemplar{
+			LE: le, TraceID: ex.TraceID, Value: ex.Value,
+		})
+	}
 	return s
 }
 
@@ -132,16 +189,35 @@ type HistSnapshot struct {
 	Counts []uint64  `json:"counts"`
 	Count  uint64    `json:"count"`
 	Sum    float64   `json:"sum"`
+	// Exemplars are the latest traced observation per bucket, if any.
+	Exemplars []BucketExemplar `json:"exemplars,omitempty"`
+}
+
+// BucketExemplar is a bucket's exemplar in snapshot form. LE is the
+// bucket's upper bound rendered as Prometheus does ("+Inf" for the
+// overflow bucket), so it can double as a label value.
+type BucketExemplar struct {
+	LE      string  `json:"le"`
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
 }
 
 // Quantile estimates the q-quantile by linear interpolation inside the
-// bucket that contains it. Values in the +Inf bucket report the largest
-// finite bound (a conservative floor). Returns 0 for an empty
-// histogram or q outside (0, 1].
+// finite bucket that contains the target rank.
+//
+// Saturation at the overflow boundary: observations above the largest
+// finite bound land in the +Inf bucket, which has no upper edge to
+// interpolate toward. Any quantile whose rank falls there is CLAMPED to
+// the largest finite bound — the estimate is a floor, and every q high
+// enough to land in the overflow bucket reports the same saturated
+// value. Size the bounds so the latencies you care about stay inside
+// them. Returns 0 for an empty histogram, q outside (0, 1], or a
+// histogram with no finite bounds.
 func (s HistSnapshot) Quantile(q float64) float64 {
-	if s.Count == 0 || q <= 0 || q > 1 {
+	if s.Count == 0 || q <= 0 || q > 1 || len(s.Bounds) == 0 {
 		return 0
 	}
+	saturate := s.Bounds[len(s.Bounds)-1]
 	rank := q * float64(s.Count)
 	var cum float64
 	for i, c := range s.Counts {
@@ -151,11 +227,8 @@ func (s HistSnapshot) Quantile(q float64) float64 {
 			continue
 		}
 		if i >= len(s.Bounds) {
-			// +Inf bucket: no finite upper edge.
-			if len(s.Bounds) == 0 {
-				return 0
-			}
-			return s.Bounds[len(s.Bounds)-1]
+			// Rank fell in the +Inf bucket: clamp (see doc comment).
+			return saturate
 		}
 		lo := 0.0
 		if i > 0 {
@@ -163,11 +236,13 @@ func (s HistSnapshot) Quantile(q float64) float64 {
 		}
 		hi := s.Bounds[i]
 		if c == 0 {
+			// Unreachable (cum only crosses rank when c > 0), kept as a
+			// division guard.
 			return hi
 		}
 		return lo + (hi-lo)*(rank-prev)/float64(c)
 	}
-	return s.Bounds[len(s.Bounds)-1]
+	return saturate
 }
 
 // Mean returns the average observation, or 0 when empty.

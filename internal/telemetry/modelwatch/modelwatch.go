@@ -1,0 +1,370 @@
+// Package modelwatch monitors the paper's MEL model against live
+// traffic. Every served verdict contributes one observation — the
+// measured MEL bucketed per calibration cell (n, p) — and the watcher
+// periodically scores the empirical histogram against the closed-form
+// distribution Prob[Xmax <= x] = (1-(1-p)^x)(1 - p(1-p)^x)^n from
+// Section 3.1. Two signals come out:
+//
+//   - a reduced chi-square fit statistic (X²/dof over expected-count-
+//     grouped MEL buckets): near 1 while traffic matches the calibrated
+//     model, climbing when the MEL distribution shifts — e.g. when the
+//     benign/worm mix changes or the byte-frequency calibration of p
+//     goes stale;
+//   - p̂, the invalidity probability that would make the model's median
+//     match the observed median, and its drift from the calibrated p.
+//
+// Both are exported as gauges so a scrape-time prelude can refresh them
+// (telemetry.WithPrelude(watcher.Score)), and the full per-cell report
+// is served as JSON for /debug/modelwatch.
+package modelwatch
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/melmodel"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// Defaults for Config zero values.
+const (
+	// DefaultMaxMEL caps the tracked MEL range; larger observations land
+	// in a shared overflow bucket. 512 comfortably covers the paper's
+	// benign range (MELs of tens) and worm range (>= 120).
+	DefaultMaxMEL = 512
+	// DefaultMaxCells bounds the number of distinct (n, p) calibration
+	// cells; observations for further cells are counted and dropped.
+	DefaultMaxCells = 32
+	// DefaultMinObservations is the per-cell sample size below which the
+	// fit is not scored (the grouped chi-square needs mass to be
+	// meaningful).
+	DefaultMinObservations = 64
+)
+
+// minExpected is the classical minimum expected count per chi-square
+// group; adjacent MEL buckets are pooled until each group reaches it.
+const minExpected = 5.0
+
+// Config configures a Watcher. Zero values select the defaults above.
+type Config struct {
+	MaxMEL          int
+	MaxCells        int
+	MinObservations int
+}
+
+// cellKey identifies one calibration cell. p is keyed by its exact bit
+// pattern: detector calibrations are discrete (per rule-set and size
+// bucket), so equality is the right grouping.
+type cellKey struct {
+	n     int
+	pBits uint64
+}
+
+// cell is one (n, p) calibration cell's MEL histogram: counts[x] for
+// x in [0, maxMEL], with counts[maxMEL+1] holding the overflow.
+type cell struct {
+	counts []uint64
+	total  uint64
+}
+
+// Watcher accumulates MEL observations and scores them against the
+// model. All methods are safe for concurrent use; Observe is cheap
+// enough for the verdict path (one map probe and one increment under a
+// mutex).
+type Watcher struct {
+	maxMEL  int
+	maxCell int
+	minObs  int
+
+	mu      sync.Mutex
+	cells   map[cellKey]*cell
+	dropped uint64
+
+	// Registered instruments; all nil when no registry was given.
+	fit    *telemetry.FloatGauge
+	pHat   *telemetry.FloatGauge
+	pDrift *telemetry.FloatGauge
+	obs    *telemetry.Counter
+	drops  *telemetry.Counter
+	cellsG *telemetry.Gauge
+}
+
+// New returns a Watcher. reg may be nil; when set, the watcher
+// registers its gauges there (call Score — directly or via a
+// telemetry.WithPrelude — to refresh them).
+func New(reg *telemetry.Registry, cfg Config) *Watcher {
+	if cfg.MaxMEL <= 0 {
+		cfg.MaxMEL = DefaultMaxMEL
+	}
+	if cfg.MaxCells <= 0 {
+		cfg.MaxCells = DefaultMaxCells
+	}
+	if cfg.MinObservations <= 0 {
+		cfg.MinObservations = DefaultMinObservations
+	}
+	w := &Watcher{
+		maxMEL:  cfg.MaxMEL,
+		maxCell: cfg.MaxCells,
+		minObs:  cfg.MinObservations,
+		cells:   make(map[cellKey]*cell),
+	}
+	if reg != nil {
+		w.fit = reg.FloatGauge("modelwatch_fit_stat", "reduced chi-square of observed MELs vs the paper's distribution (observation-weighted across calibration cells)")
+		w.pHat = reg.FloatGauge("modelwatch_p_hat", "median-matched estimate of the invalidity probability p from observed MELs")
+		w.pDrift = reg.FloatGauge("modelwatch_p_drift", "p_hat minus the calibrated p (observation-weighted across cells)")
+		w.obs = reg.Counter("modelwatch_observations_total", "MEL observations accumulated by the model watcher")
+		w.drops = reg.Counter("modelwatch_dropped_total", "observations dropped because the calibration-cell table was full")
+		w.cellsG = reg.Gauge("modelwatch_cells", "distinct (n, p) calibration cells being tracked")
+	}
+	return w
+}
+
+// Observe records one verdict's MEL under its calibration (n, p).
+// Invalid calibrations (non-positive n, p outside (0,1)) are ignored —
+// they cannot be scored against the model.
+func (w *Watcher) Observe(mel, n int, p float64) {
+	if n <= 0 || p <= 0 || p >= 1 || mel < 0 {
+		return
+	}
+	idx := mel
+	if idx > w.maxMEL {
+		idx = w.maxMEL + 1 // overflow bucket
+	}
+	key := cellKey{n: n, pBits: math.Float64bits(p)}
+	w.mu.Lock()
+	c := w.cells[key]
+	if c == nil {
+		if len(w.cells) >= w.maxCell {
+			w.dropped++
+			w.mu.Unlock()
+			if w.drops != nil {
+				w.drops.Inc()
+			}
+			return
+		}
+		c = &cell{counts: make([]uint64, w.maxMEL+2)}
+		w.cells[key] = c
+	}
+	c.counts[idx]++
+	c.total++
+	w.mu.Unlock()
+	if w.obs != nil {
+		w.obs.Inc()
+	}
+}
+
+// CellReport is the scored state of one calibration cell.
+type CellReport struct {
+	// N and P are the cell's calibration.
+	N int     `json:"n"`
+	P float64 `json:"p"`
+	// Observations is the number of MELs accumulated.
+	Observations uint64 `json:"observations"`
+	// Scored reports whether the cell had enough mass for a fit.
+	Scored bool `json:"scored"`
+	// FitStat is the reduced chi-square X²/dof of the observed MEL
+	// histogram against the model PMF; ~1 for model-consistent traffic.
+	FitStat float64 `json:"fit_stat"`
+	// PValue is the chi-square survival probability: small values
+	// reject "observations follow the model".
+	PValue float64 `json:"p_value"`
+	// MedianMEL is the observed median MEL.
+	MedianMEL int `json:"median_mel"`
+	// PHat is the invalidity probability whose model median matches the
+	// observed median; PDrift is PHat - P.
+	PHat   float64 `json:"p_hat"`
+	PDrift float64 `json:"p_drift"`
+}
+
+// Report is a full scoring pass over every cell.
+type Report struct {
+	// Observations counts MELs accumulated across all cells; Dropped
+	// counts observations rejected by the cell cap.
+	Observations uint64 `json:"observations"`
+	Dropped      uint64 `json:"dropped"`
+	// FitStat, PHat, and PDrift are observation-weighted aggregates over
+	// the scored cells (zero when nothing scored yet).
+	FitStat float64 `json:"fit_stat"`
+	PHat    float64 `json:"p_hat"`
+	PDrift  float64 `json:"p_drift"`
+	// Cells holds every tracked cell, largest first.
+	Cells []CellReport `json:"cells"`
+}
+
+// Score runs a scoring pass: every cell's histogram is tested against
+// the model, the registered gauges are refreshed, and the full report
+// is returned. Cost is proportional to cells × MaxMEL; intended for
+// scrape-time use (seconds apart), not the verdict path.
+func (w *Watcher) Score() Report {
+	// Snapshot under the lock, compute outside it.
+	type snap struct {
+		key    cellKey
+		counts []uint64
+		total  uint64
+	}
+	w.mu.Lock()
+	snaps := make([]snap, 0, len(w.cells))
+	for k, c := range w.cells {
+		snaps = append(snaps, snap{key: k, counts: append([]uint64(nil), c.counts...), total: c.total})
+	}
+	dropped := w.dropped
+	w.mu.Unlock()
+
+	var rep Report
+	rep.Dropped = dropped
+	var wFit, wHat, wDrift, wN float64
+	for _, s := range snaps {
+		p := math.Float64frombits(s.key.pBits)
+		cr := scoreCell(s.counts, s.total, s.key.n, p, w.maxMEL, w.minObs)
+		rep.Observations += s.total
+		rep.Cells = append(rep.Cells, cr)
+		if cr.Scored {
+			fw := float64(s.total)
+			wFit += fw * cr.FitStat
+			wHat += fw * cr.PHat
+			wDrift += fw * cr.PDrift
+			wN += fw
+		}
+	}
+	if wN > 0 {
+		rep.FitStat = wFit / wN
+		rep.PHat = wHat / wN
+		rep.PDrift = wDrift / wN
+	}
+	sort.Slice(rep.Cells, func(i, j int) bool {
+		if rep.Cells[i].Observations != rep.Cells[j].Observations {
+			return rep.Cells[i].Observations > rep.Cells[j].Observations
+		}
+		if rep.Cells[i].N != rep.Cells[j].N {
+			return rep.Cells[i].N < rep.Cells[j].N
+		}
+		return rep.Cells[i].P < rep.Cells[j].P
+	})
+
+	if w.fit != nil {
+		w.fit.Set(rep.FitStat)
+		w.pHat.Set(rep.PHat)
+		w.pDrift.Set(rep.PDrift)
+		w.cellsG.Set(int64(len(rep.Cells)))
+	}
+	return rep
+}
+
+// scoreCell tests one cell's histogram against the model.
+func scoreCell(counts []uint64, total uint64, n int, p float64, maxMEL, minObs int) CellReport {
+	cr := CellReport{N: n, P: p, Observations: total}
+	if total == 0 {
+		return cr
+	}
+	cr.MedianMEL = medianOf(counts, total)
+	if int(total) < minObs {
+		return cr
+	}
+
+	// Expected counts from the model PMF, overflow as the tail mass.
+	pmf, err := melmodel.PMFSeries(maxMEL, n, p)
+	if err != nil {
+		return cr
+	}
+	cdfMax, err := melmodel.CDF(maxMEL, n, p)
+	if err != nil {
+		return cr
+	}
+	expected := make([]float64, maxMEL+2)
+	for x, v := range pmf {
+		expected[x] = v * float64(total)
+	}
+	expected[maxMEL+1] = (1 - cdfMax) * float64(total)
+
+	// Pool adjacent buckets until every group's expected count reaches
+	// the classical minimum; a trailing light group merges backwards.
+	var obsG, expG []float64
+	var co, ce float64
+	for i := range expected {
+		co += float64(counts[i])
+		ce += expected[i]
+		if ce >= minExpected {
+			obsG = append(obsG, co)
+			expG = append(expG, ce)
+			co, ce = 0, 0
+		}
+	}
+	if ce > 0 || co > 0 {
+		if len(expG) > 0 {
+			obsG[len(obsG)-1] += co
+			expG[len(expG)-1] += ce
+		} else {
+			obsG = append(obsG, co)
+			expG = append(expG, ce)
+		}
+	}
+	if len(expG) >= 2 {
+		if res, err := stats.ChiSquareGoodnessOfFit(obsG, expG, 0); err == nil {
+			cr.Scored = true
+			cr.FitStat = res.Statistic / float64(res.DF)
+			cr.PValue = res.PValue
+		}
+	}
+
+	cr.PHat = estimateP(cr.MedianMEL, n)
+	cr.PDrift = cr.PHat - p
+	if !cr.Scored {
+		cr.PHat, cr.PDrift = 0, 0
+	}
+	return cr
+}
+
+// medianOf returns the smallest x whose cumulative count reaches half
+// the total.
+func medianOf(counts []uint64, total uint64) int {
+	half := (total + 1) / 2
+	var cum uint64
+	for x, c := range counts {
+		cum += c
+		if cum >= half {
+			return x
+		}
+	}
+	return len(counts) - 1
+}
+
+// estimateP finds the invalidity probability whose model puts its
+// median at the observed median: the p with CDF(median, n, p) = 0.5,
+// by bisection (the CDF is increasing in p for fixed x — larger
+// invalidity probability shortens executable runs). The observed
+// median is clamped to >= 1 because CDF(0) is identically zero.
+func estimateP(median, n int) float64 {
+	if median < 1 {
+		median = 1
+	}
+	lo, hi := 1e-6, 1-1e-6
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		c, err := melmodel.CDF(median, n, mid)
+		if err != nil {
+			return 0
+		}
+		if c < 0.5 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Handler serves the full report as indented JSON — mount it at
+// /debug/modelwatch.
+func (w *Watcher) Handler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+		rep := w.Score()
+		rw.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(rw)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	})
+}

@@ -1,0 +1,208 @@
+package modelwatch
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/melmodel"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// sampleMEL draws one Xmax from the paper's distribution by inverse-CDF
+// sampling: the smallest x with CDF(x) >= u.
+func sampleMEL(t *testing.T, rng *stats.RNG, n int, p float64) int {
+	t.Helper()
+	u := rng.Float64()
+	for x := 0; x <= n; x++ {
+		c, err := melmodel.CDF(x, n, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c >= u {
+			return x
+		}
+	}
+	return n
+}
+
+// TestModelConsistentTrafficFitsWell: MELs drawn from the model itself
+// score a reduced chi-square near 1 and a p-hat near the true p.
+func TestModelConsistentTrafficFitsWell(t *testing.T) {
+	const n, p = 4096, 0.08
+	w := New(nil, Config{})
+	rng := stats.NewRNG(42)
+	for i := 0; i < 4000; i++ {
+		w.Observe(sampleMEL(t, rng, n, p), n, p)
+	}
+	rep := w.Score()
+	if len(rep.Cells) != 1 || !rep.Cells[0].Scored {
+		t.Fatalf("expected one scored cell, got %+v", rep.Cells)
+	}
+	if rep.FitStat <= 0 || rep.FitStat > 3 {
+		t.Fatalf("model-consistent fit stat = %v, want ~1", rep.FitStat)
+	}
+	if rep.Cells[0].PValue < 1e-4 {
+		t.Fatalf("model-consistent traffic rejected: p-value %v", rep.Cells[0].PValue)
+	}
+	if d := rep.PDrift; d < -0.03 || d > 0.03 {
+		t.Fatalf("p drift = %v on model-consistent traffic (p-hat %v, p %v)", d, rep.PHat, p)
+	}
+}
+
+// TestWormShiftMovesFitStat: mixing in worm-like MELs (>= 120, the
+// paper's decoder floor) blows up the fit statistic and drags p-hat
+// below the calibrated p — the drift alarm the watcher exists for.
+func TestWormShiftMovesFitStat(t *testing.T) {
+	const n, p = 4096, 0.08
+	benign := New(nil, Config{})
+	mixed := New(nil, Config{})
+	rng := stats.NewRNG(7)
+	for i := 0; i < 3000; i++ {
+		mel := sampleMEL(t, rng, n, p)
+		benign.Observe(mel, n, p)
+		// Every fourth scan in the mixed stream carries a worm-length
+		// executable run.
+		if i%4 == 0 {
+			mel = 120 + rng.Intn(60)
+		}
+		mixed.Observe(mel, n, p)
+	}
+	b, m := benign.Score(), mixed.Score()
+	if !m.Cells[0].Scored {
+		t.Fatal("mixed cell not scored")
+	}
+	if m.FitStat < 10*b.FitStat {
+		t.Fatalf("worm mix fit stat %v vs benign %v — drift not detected", m.FitStat, b.FitStat)
+	}
+	if m.Cells[0].PValue > 1e-6 {
+		t.Fatalf("worm mix not rejected: p-value %v", m.Cells[0].PValue)
+	}
+	if m.PDrift >= b.PDrift {
+		t.Fatalf("worm mix p drift %v not below benign drift %v", m.PDrift, b.PDrift)
+	}
+}
+
+// TestCellCapAndInvalidObservations: the cell table is bounded, drops
+// are counted, and unscoreable calibrations are ignored.
+func TestCellCapAndInvalidObservations(t *testing.T) {
+	w := New(nil, Config{MaxCells: 2, MinObservations: 1})
+	w.Observe(10, 1000, 0.1)
+	w.Observe(10, 2000, 0.1)
+	w.Observe(10, 3000, 0.1) // third cell: dropped
+	w.Observe(5, 0, 0.1)     // invalid n
+	w.Observe(5, 100, 0)     // invalid p
+	w.Observe(5, 100, 1.5)   // invalid p
+	w.Observe(-1, 100, 0.1)  // invalid mel
+	rep := w.Score()
+	if len(rep.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(rep.Cells))
+	}
+	if rep.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", rep.Dropped)
+	}
+	if rep.Observations != 2 {
+		t.Fatalf("observations = %d, want 2", rep.Observations)
+	}
+}
+
+// TestOverflowBucket: MELs past MaxMEL accumulate in the overflow
+// bucket and still count against the fit.
+func TestOverflowBucket(t *testing.T) {
+	w := New(nil, Config{MaxMEL: 64, MinObservations: 10})
+	const n, p = 1024, 0.1
+	for i := 0; i < 200; i++ {
+		w.Observe(1000, n, p) // far past MaxMEL
+	}
+	rep := w.Score()
+	if rep.Observations != 200 {
+		t.Fatalf("observations = %d", rep.Observations)
+	}
+	c := rep.Cells[0]
+	if !c.Scored {
+		t.Fatal("overflow-heavy cell not scored")
+	}
+	if c.FitStat < 20 {
+		t.Fatalf("all-overflow traffic fit stat = %v, want a decisive rejection", c.FitStat)
+	}
+	if c.MedianMEL != 65 {
+		t.Fatalf("median bucket = %d, want overflow index 65", c.MedianMEL)
+	}
+}
+
+// TestGaugesRefreshOnScore: a registry-backed watcher exposes its
+// signals on the text exposition after Score.
+func TestGaugesRefreshOnScore(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	w := New(reg, Config{MinObservations: 16})
+	rng := stats.NewRNG(3)
+	const n, p = 2048, 0.09
+	for i := 0; i < 500; i++ {
+		w.Observe(sampleMEL(t, rng, n, p), n, p)
+	}
+	w.Score()
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		"modelwatch_fit_stat",
+		"modelwatch_p_hat",
+		"modelwatch_p_drift",
+		"modelwatch_observations_total 500",
+		"modelwatch_cells 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "modelwatch_fit_stat 0\n") {
+		t.Fatal("fit stat gauge still zero after Score")
+	}
+}
+
+// TestHandlerJSON: /debug/modelwatch serves the report as JSON.
+func TestHandlerJSON(t *testing.T) {
+	w := New(nil, Config{MinObservations: 8})
+	rng := stats.NewRNG(5)
+	for i := 0; i < 100; i++ {
+		w.Observe(sampleMEL(t, rng, 1024, 0.1), 1024, 0.1)
+	}
+	rw := httptest.NewRecorder()
+	w.Handler().ServeHTTP(rw, httptest.NewRequest("GET", "/debug/modelwatch", nil))
+	if ct := rw.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var rep Report
+	if err := json.Unmarshal(rw.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rw.Body.String())
+	}
+	if rep.Observations != 100 || len(rep.Cells) != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+	if !rep.Cells[0].Scored || rep.Cells[0].PHat <= 0 {
+		t.Fatalf("cell not scored in JSON: %+v", rep.Cells[0])
+	}
+}
+
+// TestConcurrentObserveScore: Observe and Score race cleanly.
+func TestConcurrentObserveScore(t *testing.T) {
+	w := New(nil, Config{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rng := stats.NewRNG(9)
+		for i := 0; i < 2000; i++ {
+			w.Observe(20+rng.Intn(30), 1024, 0.1)
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		_ = w.Score()
+	}
+	<-done
+	rep := w.Score()
+	if rep.Observations != 2000 {
+		t.Fatalf("observations = %d, want 2000", rep.Observations)
+	}
+}

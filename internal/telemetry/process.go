@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// RegisterProcessMetrics installs the standard process-identity
+// metrics on r:
+//
+//	process_start_time_seconds  unix time the process started
+//	process_uptime_seconds      seconds since start, computed at scrape
+//	build_info                  constant 1 with go/module/vcs labels
+//
+// Idempotent like every registration; call it once from main.
+func RegisterProcessMetrics(r *Registry) {
+	start := time.Now()
+	r.FloatGauge("process_start_time_seconds",
+		"Unix time the process started.").Set(float64(start.UnixNano()) / 1e9)
+	r.GaugeFunc("process_uptime_seconds",
+		"Seconds since process start.", func() float64 {
+			return time.Since(start).Seconds()
+		})
+	r.Info("build_info", "Build metadata of the running binary.", buildLabels())
+}
+
+// buildLabels extracts what the toolchain embedded in the binary.
+func buildLabels() map[string]string {
+	labels := map[string]string{
+		"goversion": runtime.Version(),
+		"goos":      runtime.GOOS,
+		"goarch":    runtime.GOARCH,
+	}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return labels
+	}
+	if info.Main.Path != "" {
+		labels["module"] = info.Main.Path
+	}
+	if info.Main.Version != "" {
+		labels["version"] = info.Main.Version
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			labels["revision"] = s.Value
+		case "vcs.modified":
+			labels["dirty"] = s.Value
+		}
+	}
+	return labels
+}

@@ -15,16 +15,36 @@ const (
 	KindCounter   Kind = "counter"
 	KindGauge     Kind = "gauge"
 	KindHistogram Kind = "histogram"
+	// KindFloatGauge and KindGaugeFunc expose as TYPE gauge in the text
+	// format; the distinct kinds keep the registry's same-name/same-kind
+	// invariant checkable.
+	KindFloatGauge Kind = "floatgauge"
+	KindGaugeFunc  Kind = "gaugefunc"
+	// KindInfo is the build_info convention: a constant 1 carrying its
+	// payload in labels.
+	KindInfo Kind = "info"
 )
+
+// exposedType maps a kind to its Prometheus TYPE keyword.
+func exposedType(k Kind) string {
+	switch k {
+	case KindFloatGauge, KindGaugeFunc, KindInfo:
+		return string(KindGauge)
+	}
+	return string(k)
+}
 
 // entry is one registered metric.
 type entry struct {
-	name string
-	help string
-	kind Kind
-	c    *Counter
-	g    *Gauge
-	h    *Histogram
+	name   string
+	help   string
+	kind   Kind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fg     *FloatGauge
+	fn     func() float64
+	labels [][2]string // info payload, sorted by key
 }
 
 // Registry is a named collection of metrics. Registration is
@@ -58,8 +78,10 @@ func (r *Registry) lookup(name, help string, kind Kind) *entry {
 		e.c = &Counter{}
 	case KindGauge:
 		e.g = &Gauge{}
-	case KindHistogram:
-		// filled by Histogram()
+	case KindFloatGauge:
+		e.fg = &FloatGauge{}
+	case KindHistogram, KindGaugeFunc, KindInfo:
+		// filled by Histogram() / GaugeFunc() / Info()
 	}
 	r.entries[name] = e
 	r.order = append(r.order, name)
@@ -75,6 +97,36 @@ func (r *Registry) Counter(name, help string) *Counter {
 // Gauge returns the gauge registered under name, creating it if needed.
 func (r *Registry) Gauge(name, help string) *Gauge {
 	return r.lookup(name, help, KindGauge).g
+}
+
+// FloatGauge returns the float gauge registered under name, creating
+// it if needed.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	return r.lookup(name, help, KindFloatGauge).fg
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at
+// snapshot time (uptime, derived ratios). Re-registering an existing
+// name replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	e := r.lookup(name, help, KindGaugeFunc)
+	r.mu.Lock()
+	e.fn = fn
+	r.mu.Unlock()
+}
+
+// Info registers a build_info-style metric: constant value 1 with the
+// given labels as payload. Re-registering replaces the labels.
+func (r *Registry) Info(name, help string, labels map[string]string) {
+	e := r.lookup(name, help, KindInfo)
+	kvs := make([][2]string, 0, len(labels))
+	for k, v := range labels {
+		kvs = append(kvs, [2]string{k, v})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i][0] < kvs[j][0] })
+	r.mu.Lock()
+	e.labels = kvs
+	r.mu.Unlock()
 }
 
 // Histogram returns the histogram registered under name, creating it
@@ -97,27 +149,43 @@ type MetricSnapshot struct {
 	Kind  Kind          `json:"kind"`
 	Value float64       `json:"value,omitempty"` // counter / gauge
 	Hist  *HistSnapshot `json:"hist,omitempty"`
+	// Labels carries an info metric's payload.
+	Labels map[string]string `json:"labels,omitempty"`
 }
 
 // Snapshot captures every registered metric in registration order.
 func (r *Registry) Snapshot() []MetricSnapshot {
-	r.mu.Lock()
-	names := append([]string(nil), r.order...)
-	byName := make(map[string]*entry, len(names))
-	for n, e := range r.entries {
-		byName[n] = e
+	type pending struct {
+		idx int
+		fn  func() float64
 	}
-	r.mu.Unlock()
-
-	out := make([]MetricSnapshot, 0, len(names))
-	for _, n := range names {
-		e := byName[n]
+	r.mu.Lock()
+	out := make([]MetricSnapshot, 0, len(r.order))
+	var fns []pending
+	for _, n := range r.order {
+		e := r.entries[n]
 		s := MetricSnapshot{Name: e.name, Help: e.help, Kind: e.kind}
 		switch e.kind {
 		case KindCounter:
 			s.Value = float64(e.c.Value())
 		case KindGauge:
 			s.Value = float64(e.g.Value())
+		case KindFloatGauge:
+			s.Value = e.fg.Value()
+		case KindGaugeFunc:
+			// Evaluated after the lock drops so a callback into the
+			// registry cannot deadlock.
+			if e.fn != nil {
+				fns = append(fns, pending{idx: len(out), fn: e.fn})
+			}
+		case KindInfo:
+			s.Value = 1
+			if len(e.labels) > 0 {
+				s.Labels = make(map[string]string, len(e.labels))
+				for _, kv := range e.labels {
+					s.Labels[kv[0]] = kv[1]
+				}
+			}
 		case KindHistogram:
 			if e.h != nil {
 				h := e.h.Snapshot()
@@ -125,6 +193,10 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 			}
 		}
 		out = append(out, s)
+	}
+	r.mu.Unlock()
+	for _, p := range fns {
+		out[p.idx].Value = p.fn()
 	}
 	return out
 }
@@ -134,6 +206,10 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 func (r *Registry) Value(name string) (float64, bool) {
 	r.mu.Lock()
 	e, ok := r.entries[name]
+	var fn func() float64
+	if ok && e.kind == KindGaugeFunc {
+		fn = e.fn // read under the lock; called after it drops
+	}
 	r.mu.Unlock()
 	if !ok {
 		return 0, false
@@ -143,6 +219,12 @@ func (r *Registry) Value(name string) (float64, bool) {
 		return float64(e.c.Value()), true
 	case KindGauge:
 		return float64(e.g.Value()), true
+	case KindFloatGauge:
+		return e.fg.Value(), true
+	case KindGaugeFunc:
+		if fn != nil {
+			return fn(), true
+		}
 	}
 	return 0, false
 }
@@ -157,12 +239,33 @@ func (r *Registry) WriteText(w io.Writer) error {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, exposedType(s.Kind)); err != nil {
 			return err
 		}
 		switch s.Kind {
-		case KindCounter, KindGauge:
+		case KindCounter, KindGauge, KindFloatGauge, KindGaugeFunc:
 			if _, err := fmt.Fprintf(w, "%s %g\n", s.Name, s.Value); err != nil {
+				return err
+			}
+		case KindInfo:
+			keys := make([]string, 0, len(s.Labels))
+			for k := range s.Labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			if _, err := fmt.Fprintf(w, "%s{", s.Name); err != nil {
+				return err
+			}
+			for i, k := range keys {
+				sep := ","
+				if i == 0 {
+					sep = ""
+				}
+				if _, err := fmt.Fprintf(w, "%s%s=%q", sep, k, s.Labels[k]); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "} 1\n"); err != nil {
 				return err
 			}
 		case KindHistogram:

@@ -1,0 +1,120 @@
+package tracing
+
+import (
+	"encoding/json"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTrace builds a fully deterministic trace: fixed id, fixed
+// start, stage durations installed via the rehydration setters instead
+// of the clock.
+func goldenTrace(idByte byte, startSec int64, stages map[Stage]time.Duration, total time.Duration) *Trace {
+	var id TraceID
+	for i := range id {
+		id[i] = idByte
+	}
+	tr := New(id, 4096)
+	tr.Start = time.Unix(startSec, 0).UTC()
+	for s, d := range stages {
+		tr.SetStageDur(s, d)
+	}
+	tr.SetTotal(total)
+	return tr
+}
+
+func TestDebugTracesGolden(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{Recent: 8, Slow: 4, SlowThreshold: 25 * time.Millisecond, Shards: 1})
+
+	fast := goldenTrace(0x11, 1700000001, map[Stage]time.Duration{
+		StageQueueWait: 1500 * time.Nanosecond,
+		StageCache:     800 * time.Nanosecond,
+		StageThreshold: 400 * time.Nanosecond,
+		StageDecode:    52 * time.Microsecond,
+		StageDP:        31 * time.Microsecond,
+	}, 90*time.Microsecond)
+	fast.SetVerdict(21, 40, false)
+
+	hit := goldenTrace(0x22, 1700000002, map[Stage]time.Duration{
+		StageQueueWait: 900 * time.Nanosecond,
+		StageCache:     1200 * time.Nanosecond,
+	}, 4*time.Microsecond)
+	hit.SetVerdict(154, 40, true)
+	hit.SetCached(true)
+
+	slow := goldenTrace(0x33, 1700000003, map[Stage]time.Duration{
+		StageQueueWait: 24 * time.Millisecond,
+		StageCache:     2 * time.Microsecond,
+		StageThreshold: 1 * time.Microsecond,
+		StageDecode:    3 * time.Millisecond,
+		StageDP:        2 * time.Millisecond,
+	}, 29*time.Millisecond)
+	slow.SetVerdict(130, 40, true)
+
+	failed := goldenTrace(0x44, 1700000004, map[Stage]time.Duration{
+		StageQueueWait: 2 * time.Microsecond,
+	}, 3*time.Microsecond)
+	failed.SetError("deadline exceeded")
+
+	for _, tr := range []*Trace{fast, hit, slow, failed} {
+		rec.Record(tr)
+	}
+
+	rr := httptest.NewRecorder()
+	RecentHandler(rec).ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	got := rr.Body.Bytes()
+
+	golden := filepath.Join("testdata", "debug_traces.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("/debug/traces drifted from golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestDebugTracesLimitParam(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{Recent: 16, Shards: 1})
+	for i := 0; i < 10; i++ {
+		tr := New(NewID(), 1)
+		tr.Start = time.Unix(int64(2000+i), 0)
+		tr.SetTotal(time.Microsecond)
+		rec.Record(tr)
+	}
+	rr := httptest.NewRecorder()
+	RecentHandler(rec).ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces?n=3", nil))
+	var p struct {
+		Count  int `json:"count"`
+		Traces []struct {
+			StartUnixNs int64 `json:"start_unix_ns"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Count != 3 || len(p.Traces) != 3 {
+		t.Fatalf("n=3 returned count=%d len=%d", p.Count, len(p.Traces))
+	}
+	// Newest first: starts 2009, 2008, 2007.
+	if p.Traces[0].StartUnixNs != time.Unix(2009, 0).UnixNano() {
+		t.Fatalf("first trace start = %d, want newest", p.Traces[0].StartUnixNs)
+	}
+}

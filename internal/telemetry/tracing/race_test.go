@@ -1,0 +1,101 @@
+package tracing
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRecorderHammer publishes traces from many goroutines while
+// concurrent readers drain the rings and the debug handlers render
+// pages. Run under -race (make test does) this proves the
+// publish-by-pointer protocol: a reader either sees a fully finished
+// trace or none at all.
+func TestRecorderHammer(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{Recent: 64, Slow: 16, SlowThreshold: time.Microsecond, Shards: 4})
+	const (
+		writers   = 8
+		perWriter = 500
+		readers   = 4
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tr := New(NewID(), 4096)
+				tr.StageStart(StageDecode)
+				tr.StageEnd(StageDecode)
+				tr.StageStart(StageDP)
+				tr.StageEnd(StageDP)
+				tr.SetVerdict(21, 40.5, false)
+				tr.Finish()
+				rec.Record(tr)
+			}
+		}()
+	}
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := RecentHandler(rec)
+			sh := SlowHandler(rec)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, tr := range rec.Recent(0) {
+					if tr.Total() < 0 {
+						t.Error("observed unfinished trace in recent ring")
+						return
+					}
+					_ = Snapshot(tr)
+				}
+				_ = rec.Slow(0)
+				rr := httptest.NewRecorder()
+				h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces", nil))
+				var p Page
+				if err := json.Unmarshal(rr.Body.Bytes(), &p); err != nil {
+					t.Errorf("recent page not valid JSON: %v", err)
+					return
+				}
+				rr = httptest.NewRecorder()
+				sh.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/requests", nil))
+			}
+		}()
+	}
+
+	// Writers finish on their own; readers loop until stopped. Give the
+	// writers a bounded window, then stop readers and join everything.
+	deadline := time.After(30 * time.Second)
+	writerTotal := uint64(writers * perWriter)
+	for rec.Recorded() < writerTotal {
+		select {
+		case <-deadline:
+			t.Fatalf("writers stalled: recorded %d of %d", rec.Recorded(), writerTotal)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := rec.Recorded(); got != writerTotal {
+		t.Fatalf("Recorded = %d, want %d", got, writerTotal)
+	}
+	// Every trace had total >= 0ns and threshold is 1µs; totals are real
+	// clock reads so some may be under a microsecond, but the slow ring
+	// must hold only above-threshold traces.
+	for _, tr := range rec.Slow(0) {
+		if tr.Total() < time.Microsecond {
+			t.Fatalf("slow ring retained %v, below threshold", tr.Total())
+		}
+	}
+}

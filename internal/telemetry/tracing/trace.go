@@ -1,0 +1,258 @@
+// Package tracing is the per-scan observability layer of the serving
+// stack: one Trace per request, divided into a fixed set of timed
+// stages (queue wait, cache lookup, threshold derivation, decode, DP),
+// recorded into lock-free rings by a flight Recorder and served as
+// JSON from the /debug endpoints. The aggregate counters and latency
+// histograms in package telemetry say *that* scans are slow; a trace
+// says *where* a particular scan spent its time.
+//
+// The package is designed for the scan hot path: starting and stopping
+// a stage is two monotonic clock reads and two array stores, nil
+// receivers disable every operation (an untraced scan pays one branch
+// per span), and recording a completed trace is a single atomic
+// pointer publish into a sharded ring. Span start/stop carry the
+// //mel:hotpath directive, so mellint holds them to the same
+// allocation discipline as the engine itself.
+package tracing
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one timed phase of a scan's lifecycle. The set is
+// fixed and ordered the way a request flows through the pipeline.
+type Stage uint8
+
+// Pipeline stages.
+const (
+	// StageQueueWait spans submission to worker pickup in the scan pool.
+	StageQueueWait Stage = iota
+	// StageCache spans the content-hash computation and verdict-cache
+	// lookup.
+	StageCache
+	// StageThreshold spans model-parameter estimation and τ derivation
+	// (the text-only classification rides in this window too).
+	StageThreshold
+	// StageDecode spans the engine's decode pass: every offset reduced
+	// to its successor or path record.
+	StageDecode
+	// StageDP spans the engine's dynamic program over the records — the
+	// pseudo-execution itself.
+	StageDP
+	// NumStages is the number of defined stages.
+	NumStages = iota
+)
+
+// stageNames are the wire/JSON names, indexed by Stage.
+var stageNames = [NumStages]string{
+	"queue_wait", "cache", "threshold", "decode", "dp",
+}
+
+// String returns the canonical stage name.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// IDLen is the trace id length in bytes — fixed at 16 so the id fits
+// one wire field and renders as 32 hex digits.
+const IDLen = 16
+
+// TraceID identifies one trace across process boundaries: the client
+// that opened the trace, the daemon that served it, and the flight
+// recorder entry all share it.
+type TraceID [IDLen]byte
+
+// idHi is a per-process random prefix; idCtr hands out the unique low
+// half. Together they make NewID collision-free within a process and
+// collision-unlikely across processes without per-call entropy reads.
+var (
+	idHi  uint64
+	idCtr atomic.Uint64
+)
+
+func init() {
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err == nil {
+		idHi = binary.BigEndian.Uint64(seed[:])
+	} else {
+		idHi = uint64(time.Now().UnixNano())
+	}
+}
+
+// NewID returns a fresh trace id: the process prefix plus a counter.
+//
+//mel:hotpath
+func NewID() TraceID {
+	var id TraceID
+	binary.BigEndian.PutUint64(id[:8], idHi)
+	binary.BigEndian.PutUint64(id[8:], idCtr.Add(1))
+	return id
+}
+
+// IsZero reports the all-zero (absent) id.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String renders the id as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// ParseID parses the hex form String produces.
+func ParseID(s string) (TraceID, error) {
+	var id TraceID
+	if len(s) != 2*IDLen {
+		return id, errors.New("tracing: trace id must be 32 hex digits")
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return id, err
+	}
+	return id, nil
+}
+
+// Trace is the record of one scan request. All stage bookkeeping is
+// fixed-size — no slices, no maps — so a Trace is one allocation, and
+// a value copy of a completed trace is a consistent snapshot.
+//
+// A nil *Trace is valid everywhere: every method no-ops, which is how
+// untraced scans share the instrumented code path at the cost of one
+// nil check per span.
+type Trace struct {
+	// ID is the cross-process identity of this request.
+	ID TraceID
+	// Start anchors the trace; stage offsets are monotonic nanoseconds
+	// since Start (time.Since reads the monotonic clock).
+	Start time.Time
+	// Bytes is the scanned payload length.
+	Bytes int
+
+	// Verdict summary, filled as the scan resolves.
+	MEL       int
+	Threshold float64
+	Malicious bool
+	Cached    bool
+	// Err holds the failure, empty on success.
+	Err string
+
+	stageStart [NumStages]int64 // ns offset from Start when the stage opened
+	stageDur   [NumStages]int64 // ns, -1 while unset
+	total      int64            // ns, set by Finish (or SetTotal)
+}
+
+// New opens a trace for a payload of n bytes, anchored now. A zero id
+// is replaced with a fresh one.
+//
+//mel:hotpath
+func New(id TraceID, n int) *Trace {
+	if id.IsZero() {
+		id = NewID()
+	}
+	t := &Trace{ID: id, Start: time.Now(), Bytes: n}
+	for i := range t.stageDur {
+		t.stageDur[i] = -1
+	}
+	return t
+}
+
+// StageStart opens stage s at the current monotonic time.
+//
+//mel:hotpath
+func (t *Trace) StageStart(s Stage) {
+	if t == nil {
+		return
+	}
+	t.stageStart[s] = int64(time.Since(t.Start))
+}
+
+// StageEnd closes stage s, recording the elapsed monotonic time since
+// the matching StageStart.
+//
+//mel:hotpath
+func (t *Trace) StageEnd(s Stage) {
+	if t == nil {
+		return
+	}
+	t.stageDur[s] = int64(time.Since(t.Start)) - t.stageStart[s]
+}
+
+// StageDur returns the recorded duration of stage s, or -1 if the
+// stage never closed (and 0 for a nil trace).
+func (t *Trace) StageDur(s Stage) time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.stageDur[s])
+}
+
+// SetStageDur overrides a stage duration — the rehydration path for
+// traces reconstructed from wire timings on the client side.
+func (t *Trace) SetStageDur(s Stage, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.stageStart[s] = 0
+	t.stageDur[s] = int64(d)
+}
+
+// SetVerdict records the scan outcome on the trace.
+//
+//mel:hotpath
+func (t *Trace) SetVerdict(mel int, threshold float64, malicious bool) {
+	if t == nil {
+		return
+	}
+	t.MEL = mel
+	t.Threshold = threshold
+	t.Malicious = malicious
+}
+
+// SetCached marks the verdict as served from the content-hash cache.
+//
+//mel:hotpath
+func (t *Trace) SetCached(cached bool) {
+	if t == nil {
+		return
+	}
+	t.Cached = cached
+}
+
+// SetError records a scan failure.
+func (t *Trace) SetError(msg string) {
+	if t == nil {
+		return
+	}
+	t.Err = msg
+}
+
+// Finish stamps the total duration. A trace must be finished before it
+// is handed to a Recorder; after Finish the trace must not be mutated
+// (readers hold the published pointer).
+//
+//mel:hotpath
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.total = int64(time.Since(t.Start))
+}
+
+// SetTotal overrides the total duration (wire rehydration).
+func (t *Trace) SetTotal(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.total = int64(d)
+}
+
+// Total returns the finished duration (0 before Finish or for nil).
+func (t *Trace) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.total)
+}

@@ -1,0 +1,146 @@
+package tracing
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	id := NewID()
+	if id.IsZero() {
+		t.Fatal("NewID returned the zero id")
+	}
+	parsed, err := ParseID(id.String())
+	if err != nil {
+		t.Fatalf("ParseID(%q): %v", id.String(), err)
+	}
+	if parsed != id {
+		t.Fatalf("round trip: got %s, want %s", parsed, id)
+	}
+	if _, err := ParseID("nope"); err == nil {
+		t.Fatal("ParseID accepted a short string")
+	}
+	if _, err := ParseID("zz000000000000000000000000000000"); err == nil {
+		t.Fatal("ParseID accepted non-hex digits")
+	}
+}
+
+func TestTraceIDsDistinct(t *testing.T) {
+	seen := make(map[TraceID]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if seen[id] {
+			t.Fatalf("duplicate id %s after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNilTraceIsInert(t *testing.T) {
+	var tr *Trace
+	tr.StageStart(StageDP)
+	tr.StageEnd(StageDP)
+	tr.SetVerdict(10, 40, false)
+	tr.SetCached(true)
+	tr.SetError("x")
+	tr.SetStageDur(StageCache, time.Millisecond)
+	tr.SetTotal(time.Second)
+	tr.Finish()
+	if tr.StageDur(StageDP) != 0 || tr.Total() != 0 {
+		t.Fatal("nil trace reported nonzero durations")
+	}
+}
+
+func TestStageTiming(t *testing.T) {
+	tr := New(TraceID{}, 4096)
+	if tr.ID.IsZero() {
+		t.Fatal("New left the id zero")
+	}
+	tr.StageStart(StageDecode)
+	time.Sleep(2 * time.Millisecond)
+	tr.StageEnd(StageDecode)
+	tr.Finish()
+	if d := tr.StageDur(StageDecode); d < time.Millisecond {
+		t.Fatalf("decode stage %v, want >= 1ms", d)
+	}
+	if tr.StageDur(StageDP) != -1 {
+		t.Fatalf("unclosed stage should report -1, got %v", tr.StageDur(StageDP))
+	}
+	if tr.Total() < tr.StageDur(StageDecode) {
+		t.Fatalf("total %v below contained stage %v", tr.Total(), tr.StageDur(StageDecode))
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	want := []string{"queue_wait", "cache", "threshold", "decode", "dp"}
+	for i, w := range want {
+		if got := Stage(i).String(); got != w {
+			t.Fatalf("Stage(%d) = %q, want %q", i, got, w)
+		}
+	}
+	if got := Stage(200).String(); got != "unknown" {
+		t.Fatalf("out-of-range stage = %q", got)
+	}
+}
+
+func TestRecorderRecentAndSlow(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{Recent: 8, Slow: 4, SlowThreshold: 10 * time.Millisecond, Shards: 1})
+	for i := 0; i < 20; i++ {
+		tr := New(NewID(), 100)
+		tr.SetTotal(time.Duration(i) * time.Millisecond)
+		rec.Record(tr)
+	}
+	if got := rec.Recorded(); got != 20 {
+		t.Fatalf("Recorded = %d, want 20", got)
+	}
+	recent := rec.Recent(0)
+	if len(recent) != 8 {
+		t.Fatalf("recent ring kept %d, want 8", len(recent))
+	}
+	// Slow ring: totals 10..19 crossed the threshold, capacity 4 keeps
+	// the last four.
+	if got := rec.SlowCount(); got != 10 {
+		t.Fatalf("SlowCount = %d, want 10", got)
+	}
+	slow := rec.Slow(0)
+	if len(slow) != 4 {
+		t.Fatalf("slow ring kept %d, want 4", len(slow))
+	}
+	for _, tr := range slow {
+		if tr.Total() < 10*time.Millisecond {
+			t.Fatalf("slow ring retained %v, below threshold", tr.Total())
+		}
+	}
+	if got := rec.Slow(2); len(got) != 2 {
+		t.Fatalf("Slow(2) returned %d", len(got))
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var rec *Recorder
+	rec.Record(New(NewID(), 1)) // must not panic
+	rec = NewRecorder(RecorderConfig{})
+	rec.Record(nil) // must not panic
+	if rec.Recorded() != 0 {
+		t.Fatal("nil trace counted")
+	}
+}
+
+func TestSortTrimOrdersNewestFirst(t *testing.T) {
+	base := time.Unix(1000, 0)
+	var ts []*Trace
+	for i := 0; i < 5; i++ {
+		tr := New(NewID(), 1)
+		tr.Start = base.Add(time.Duration(i) * time.Second)
+		ts = append(ts, tr)
+	}
+	out := sortTrim(ts, 3)
+	if len(out) != 3 {
+		t.Fatalf("trimmed to %d, want 3", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Start.After(out[i-1].Start) {
+			t.Fatal("not sorted newest first")
+		}
+	}
+}
