@@ -8,27 +8,43 @@
 // Patterns default to ./... relative to the current directory. Each
 // analyzer has a bool flag (-hotpath, -lockcheck, ...) defaulting to
 // true; disable one with e.g. -lockcheck=false. -list prints the
-// available analyzers. Exit status is 0 when the tree is clean, 1 when
-// any analyzer reported a finding, 2 on usage or load errors.
+// available analyzers.
+//
+// Machine-readable output: -json emits a report object, -sarif a
+// SARIF 2.1.0 log. With -o FILE the report is written to FILE and the
+// human-readable diagnostics still go to stdout, so `make lint` can
+// archive an artifact without silencing the terminal.
+//
+// Baselines: -baseline FILE suppresses the findings recorded in FILE
+// (format: "file: analyzer: message", module-relative, no line
+// numbers); -write-baseline FILE records the current findings and
+// exits clean. Exit status is 0 when the tree is clean apart from the
+// baseline, 1 when any new finding remains, 2 on usage or load errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/lint"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mellint", flag.ContinueOnError)
-	fs.SetOutput(os.Stderr)
+	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list available analyzers and exit")
 	dir := fs.String("C", ".", "directory to resolve package patterns in")
+	jsonOut := fs.Bool("json", false, "emit a JSON report instead of plain diagnostics")
+	sarifOut := fs.Bool("sarif", false, "emit a SARIF 2.1.0 log instead of plain diagnostics")
+	outFile := fs.String("o", "", "write the -json/-sarif report to this file and keep plain diagnostics on stdout")
+	baselinePath := fs.String("baseline", "", "suppress findings recorded in this baseline file")
+	writeBaseline := fs.String("write-baseline", "", "record current findings to this baseline file and exit clean")
 
 	all := lint.Analyzers()
 	enabled := make(map[string]*bool, len(all))
@@ -45,9 +61,17 @@ func run(args []string) int {
 
 	if *list {
 		for _, a := range all {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "mellint: -json and -sarif are mutually exclusive")
+		return 2
+	}
+	if *outFile != "" && !*jsonOut && !*sarifOut {
+		// An artifact without a format means the JSON report.
+		*jsonOut = true
 	}
 
 	var active []*lint.Analyzer
@@ -57,21 +81,76 @@ func run(args []string) int {
 		}
 	}
 	if len(active) == 0 {
-		fmt.Fprintln(os.Stderr, "mellint: all analyzers disabled")
+		fmt.Fprintln(stderr, "mellint: all analyzers disabled")
 		return 2
+	}
+
+	var baseline *lint.Baseline
+	if *baselinePath != "" {
+		var err error
+		baseline, err = lint.ReadBaselineFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "mellint: %v\n", err)
+			return 2
+		}
 	}
 
 	mod, err := lint.Load(*dir, fs.Args())
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mellint: %v\n", err)
+		fmt.Fprintf(stderr, "mellint: %v\n", err)
 		return 2
 	}
 	diags := lint.Run(mod, active)
-	for _, d := range diags {
-		fmt.Println(d.String())
+
+	if *writeBaseline != "" {
+		content := lint.FormatBaseline(mod.Dir, diags)
+		if err := os.WriteFile(*writeBaseline, content, 0o644); err != nil {
+			fmt.Fprintf(stderr, "mellint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "mellint: wrote %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return 0
 	}
-	if len(diags) > 0 {
+
+	remaining := baseline.Filter(mod.Dir, diags)
+	baselined := len(diags) - len(remaining)
+
+	var report []byte
+	if *jsonOut {
+		report, err = lint.FormatJSON(mod, active, remaining, baselined)
+	} else if *sarifOut {
+		report, err = lint.FormatSARIF(mod, active, remaining)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "mellint: %v\n", err)
+		return 2
+	}
+
+	switch {
+	case report != nil && *outFile != "":
+		if err := os.WriteFile(*outFile, report, 0o644); err != nil {
+			fmt.Fprintf(stderr, "mellint: %v\n", err)
+			return 2
+		}
+		printText(stdout, remaining, baselined)
+	case report != nil:
+		stdout.Write(report)
+	default:
+		printText(stdout, remaining, baselined)
+	}
+	if len(remaining) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// printText renders the plain diagnostic lines plus a baseline summary
+// when anything was suppressed.
+func printText(w io.Writer, diags []lint.Diagnostic, baselined int) {
+	for _, d := range diags {
+		fmt.Fprintln(w, d.String())
+	}
+	if baselined > 0 {
+		fmt.Fprintf(w, "mellint: %d finding(s) suppressed by baseline\n", baselined)
+	}
 }

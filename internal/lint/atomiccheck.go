@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// AtomicCheckAnalyzer enforces atomic discipline module-wide: a
+// variable or struct field that is accessed through sync/atomic
+// anywhere in the module must be accessed through sync/atomic
+// everywhere. Mixing atomic and plain access on the same word is a
+// data race even when each side looks locally harmless — the plain
+// read can be torn or hoisted, and the race detector only catches the
+// schedules it happens to see.
+//
+// The check is two passes over every package (targets and contexts
+// both, since the invariant crosses package boundaries):
+//
+//  1. collect every address passed to a sync/atomic function
+//     (atomic.AddInt64(&x.n, 1), atomic.StoreUint32(&ready, 1), …) and
+//     canonicalize it — struct fields to "pkgpath.Type.field", package
+//     vars to "pkgpath.name", locals to their definition position —
+//     remembering the argument ranges so the atomic sites themselves
+//     are not re-flagged;
+//  2. flag every other read or write of a collected target.
+//
+// Typed atomics (atomic.Int64 and friends) are exempt by
+// construction: their methods carry a receiver, not a first-arg
+// address, and the wrapped word cannot be touched non-atomically
+// without going out of your way. That exemption is also the fix this
+// analyzer should push offenders toward.
+func AtomicCheckAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "atomiccheck",
+		Doc:  "a variable accessed via sync/atomic anywhere must never be read or written non-atomically elsewhere",
+		Run:  runAtomicCheck,
+	}
+}
+
+func runAtomicCheck(pass *Pass) {
+	// Pass 1: find atomic access sites.
+	targets := make(map[string]string) // canonical key -> display name
+	var blessed []posRange             // atomic-call argument ranges (FileSet positions are globally unique)
+	for _, pkg := range pass.Module.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !isAtomicFuncCall(pkg, call) || len(call.Args) == 0 {
+					return true
+				}
+				addr := call.Args[0]
+				if key, name, ok := atomicTargetKey(pass.Module, pkg, addr); ok {
+					targets[key] = name
+					blessed = append(blessed, posRange{addr.Pos(), addr.End()})
+				}
+				return true
+			})
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	isBlessed := func(pos posRange) bool {
+		for _, r := range blessed {
+			if r.contains(pos.from) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 2: flag every other access to a target.
+	for _, pkg := range pass.Module.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					key, name, ok := atomicTargetKey(pass.Module, pkg, n)
+					if !ok || targets[key] == "" {
+						return true
+					}
+					if !isBlessed(posRange{n.Pos(), n.End()}) {
+						pass.Reportf(n.Pos(), "non-atomic access to %s, which is accessed via sync/atomic elsewhere; use atomic ops everywhere or a typed atomic", name)
+					}
+				case *ast.Ident:
+					obj := pkg.Info.Uses[n]
+					v, ok := obj.(*types.Var)
+					if !ok || v.IsField() {
+						return true // fields are handled at their selector
+					}
+					key, name, ok := atomicVarKey(pass.Module, v)
+					if !ok || targets[key] == "" {
+						return true
+					}
+					if !isBlessed(posRange{n.Pos(), n.End()}) {
+						pass.Reportf(n.Pos(), "non-atomic access to %s, which is accessed via sync/atomic elsewhere; use atomic ops everywhere or a typed atomic", name)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isAtomicFuncCall matches calls to package-level sync/atomic
+// functions. Methods on the typed atomics also live in sync/atomic but
+// carry a receiver and are deliberately not matched.
+func isAtomicFuncCall(pkg *Package, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, ok := pkg.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// atomicTargetKey canonicalizes the expression whose address feeds a
+// sync/atomic call (or a bare access to the same storage) to a
+// module-wide key and a human-readable name. Struct fields key as
+// "pkgpath.Type.field" so accesses through export-data objects and
+// source objects agree; package vars as "pkgpath.name"; locals by
+// definition position.
+func atomicTargetKey(m *Module, pkg *Package, e ast.Expr) (key, name string, ok bool) {
+	e = ast.Unparen(e)
+	if u, isAddr := e.(*ast.UnaryExpr); isAddr && u.Op.String() == "&" {
+		e = ast.Unparen(u.X)
+	}
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, found := pkg.Info.Selections[e]; found && sel.Kind() == types.FieldVal {
+			return fieldKey(sel)
+		}
+		// Qualified package variable: pkgname.Var.
+		if v, isVar := pkg.Info.Uses[e.Sel].(*types.Var); isVar {
+			return atomicVarKey(m, v)
+		}
+	case *ast.Ident:
+		if v, isVar := resolveIdent(pkg, e).(*types.Var); isVar && !v.IsField() {
+			return atomicVarKey(m, v)
+		}
+	}
+	return "", "", false
+}
+
+// fieldKey canonicalizes a field selection to pkgpath.Type.field.
+func fieldKey(sel *types.Selection) (key, name string, ok bool) {
+	field, isVar := sel.Obj().(*types.Var)
+	if !isVar {
+		return "", "", false
+	}
+	recv := types.Unalias(sel.Recv())
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = types.Unalias(ptr.Elem())
+	}
+	named, isNamed := recv.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return "", "", false
+	}
+	tn := named.Obj()
+	return tn.Pkg().Path() + "." + tn.Name() + "." + field.Name(),
+		tn.Name() + "." + field.Name(), true
+}
+
+// atomicVarKey canonicalizes a non-field variable: package-level vars
+// by path, locals by definition position.
+func atomicVarKey(m *Module, v *types.Var) (key, name string, ok bool) {
+	if v.Pkg() == nil {
+		return "", "", false
+	}
+	if v.Parent() == v.Pkg().Scope() {
+		return v.Pkg().Path() + "." + v.Name(), v.Name(), true
+	}
+	pos := m.Fset.Position(v.Pos())
+	return fmt.Sprintf("local:%s:%d:%d", pos.Filename, pos.Line, pos.Column), v.Name(), true
+}
+
+// resolveIdent looks an identifier up in Uses then Defs.
+func resolveIdent(pkg *Package, id *ast.Ident) types.Object {
+	if obj := pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Defs[id]
+}

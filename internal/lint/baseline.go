@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Baseline is the set of findings a repository has decided to live
+// with — pooled appends whose capacity is provably reserved, the one
+// allocation a constructor exists to perform. Each entry is one line:
+//
+//	path/to/file.go: analyzer: message
+//
+// Paths are module-relative with forward slashes; blank lines and
+// #-comments are ignored. Line numbers are deliberately absent so an
+// unrelated edit higher in the file does not invalidate the whole
+// baseline: an entry identifies a finding by what it says, not where
+// it says it. The flip side is set semantics — one entry excuses every
+// identical finding in that file, so messages that matter are written
+// to be specific (the hot-closure suffix carries the function name).
+type Baseline struct {
+	entries map[string]bool
+}
+
+// Len returns the number of distinct baselined findings.
+func (b *Baseline) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.entries)
+}
+
+// Entries returns the baselined lines, sorted.
+func (b *Baseline) Entries() []string {
+	if b == nil {
+		return nil
+	}
+	out := make([]string, 0, len(b.entries))
+	for e := range b.entries {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BaselineKey renders the baseline line for a diagnostic: the
+// module-relative slash path, the analyzer, and the message.
+func BaselineKey(moduleDir string, d Diagnostic) string {
+	rel, err := filepath.Rel(moduleDir, d.Pos.Filename)
+	if err != nil {
+		rel = d.Pos.Filename
+	}
+	return filepath.ToSlash(rel) + ": " + d.Analyzer + ": " + d.Message
+}
+
+// ParseBaseline parses baseline file content.
+func ParseBaseline(data []byte) (*Baseline, error) {
+	b := &Baseline{entries: make(map[string]bool)}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// A valid entry has at least "file: analyzer: message".
+		if parts := strings.SplitN(line, ": ", 3); len(parts) < 3 {
+			return nil, fmt.Errorf("baseline line %d: want \"file: analyzer: message\", got %q", i+1, line)
+		}
+		b.entries[line] = true
+	}
+	return b, nil
+}
+
+// ReadBaselineFile loads a baseline from disk. A missing file is an
+// error: passing a path asserts the baseline exists.
+func ReadBaselineFile(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b, err := ParseBaseline(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// Match reports whether the diagnostic is baselined.
+func (b *Baseline) Match(moduleDir string, d Diagnostic) bool {
+	return b != nil && b.entries[BaselineKey(moduleDir, d)]
+}
+
+// Filter returns the diagnostics not covered by the baseline,
+// preserving order.
+func (b *Baseline) Filter(moduleDir string, diags []Diagnostic) []Diagnostic {
+	if b.Len() == 0 {
+		return diags
+	}
+	out := make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		if !b.Match(moduleDir, d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FormatBaseline renders diagnostics as baseline file content:
+// deduplicated, sorted, with a header explaining the format.
+func FormatBaseline(moduleDir string, diags []Diagnostic) []byte {
+	seen := make(map[string]bool)
+	var lines []string
+	for _, d := range diags {
+		key := BaselineKey(moduleDir, d)
+		if !seen[key] {
+			seen[key] = true
+			lines = append(lines, key)
+		}
+	}
+	sort.Strings(lines)
+	var sb strings.Builder
+	sb.WriteString("# mellint baseline: findings reviewed and accepted.\n")
+	sb.WriteString("# Format: file: analyzer: message — module-relative paths, no line numbers.\n")
+	sb.WriteString("# Regenerate with: go run ./cmd/mellint -write-baseline lint.baseline ./...\n")
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteString("\n")
+	}
+	return []byte(sb.String())
+}

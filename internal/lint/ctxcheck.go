@@ -33,9 +33,10 @@ func runCtxCheck(pass *Pass) {
 	}
 }
 
-// isContextType reports whether t is context.Context.
+// isContextType reports whether t is context.Context, seeing through
+// aliases (`type Ctx = context.Context` is still a context).
 func isContextType(t types.Type) bool {
-	named, ok := t.(*types.Named)
+	named, ok := types.Unalias(t).(*types.Named)
 	if !ok {
 		return false
 	}
@@ -75,31 +76,32 @@ func checkCtxParams(pass *Pass, pkg *Package) {
 	}
 }
 
-// checkTimeAfterLoops flags time.After calls lexically inside loops.
+// checkTimeAfterLoops flags time.After calls inside loops, reading
+// loop structure off the dataflow IR. Depth is absolute: a literal
+// defined inside a loop carries the loop's depth into its own frame
+// (BaseDepth), because a literal invoked — or deferred, or go'd — per
+// iteration still arms a timer per iteration. Statically unreachable
+// code is skipped for free.
 func checkTimeAfterLoops(pass *Pass, pkg *Package) {
 	eachFunc(pkg, func(fd *ast.FuncDecl) {
-		var walk func(n ast.Node, loopDepth int)
-		walk = func(n ast.Node, loopDepth int) {
-			switch n.(type) {
-			case *ast.ForStmt, *ast.RangeStmt:
-				loopDepth++
-			case *ast.FuncLit:
-				// A new function body restarts the loop context: the
-				// literal runs once per call, not once per iteration of
-				// an enclosing loop it merely lexically sits in... but a
-				// literal *invoked* inside the loop still allocates per
-				// iteration, so keep the depth. (Deferred or go'd
-				// literals are the rare exception and stay flagged: a
-				// timer armed there still leaks per iteration.)
-			case *ast.CallExpr:
-				call := n.(*ast.CallExpr)
-				if loopDepth > 0 && isTimeAfter(pkg, call) {
+		var visit func(frame *FuncIR, base int)
+		visit = func(frame *FuncIR, base int) {
+			frame.Walk(func(n ast.Node, loopDepth int) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				if base+loopDepth > 0 && isTimeAfter(pkg, call) {
 					pass.Reportf(call.Pos(), "time.After inside a loop arms an uncollectable timer per iteration; use a reusable time.Timer")
 				}
+			})
+			// BaseDepth is relative to the defining frame; accumulate it
+			// so depth stays absolute across nested literals.
+			for _, inner := range frame.Inner {
+				visit(inner, base+inner.BaseDepth)
 			}
-			walkChildren(n, loopDepth, walk)
 		}
-		walk(fd.Body, 0)
+		visit(pass.Module.FuncIR(pkg, fd), 0)
 	})
 }
 

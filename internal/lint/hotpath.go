@@ -3,8 +3,6 @@ package lint
 import (
 	"fmt"
 	"go/ast"
-	"go/types"
-	"strings"
 )
 
 // HotpathDirective is the doc-comment directive that marks a function
@@ -12,168 +10,50 @@ import (
 // function and everything it statically calls within the module.
 const HotpathDirective = "//mel:hotpath"
 
-// HotpathAnalyzer enforces the zero-alloc contract behind the engine's
-// 0 allocs/op benchmark: a function whose doc comment carries
-// //mel:hotpath — and every module function reachable from it through
-// static calls — must not use fmt or reflect, must not build closures
-// that escape, must not defer inside a loop, and must not box concrete
-// values into interfaces. Dynamic calls (interface methods, function
-// values) end the traversal; the contract is about what the compiler
-// can see.
+// HotpathAnalyzer enforces the call-discipline half of the hot-path
+// contract: a function whose doc comment carries //mel:hotpath — and
+// every module function reachable from it through static calls — must
+// not use fmt or reflect and must not defer inside a loop. The
+// allocation half (make/new/append/boxing/escaping closures) lives in
+// the allocfree analyzer; both walk the same shared call-graph closure
+// instead of indexing the module separately. Dynamic calls (interface
+// methods, function values) end the traversal; the contract is about
+// what the compiler can see.
 func HotpathAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "hotpath",
-		Doc:  "//mel:hotpath functions (and their static callees) must stay allocation-free: no fmt/reflect, escaping closures, defer-in-loop, or interface boxing",
+		Doc:  "//mel:hotpath functions (and their static callees) must not use fmt/reflect or defer inside loops",
 		Run:  runHotpath,
 	}
 }
 
-// hotFunc is one module function the hotpath traversal indexed.
-type hotFunc struct {
-	key  string
-	decl *ast.FuncDecl
-	pkg  *Package
-}
-
-// runHotpath builds a module-wide index of function bodies, finds the
-// //mel:hotpath roots, walks the static call graph, and checks every
-// reached body.
+// runHotpath checks every function of the //mel:hotpath closure.
 func runHotpath(pass *Pass) {
-	index := make(map[string]*hotFunc)
-	var roots []*hotFunc
-	for _, pkg := range pass.Module.Pkgs {
-		pkg := pkg
-		eachFunc(pkg, func(fd *ast.FuncDecl) {
-			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
-			if !ok {
-				return
-			}
-			hf := &hotFunc{key: funcKey(obj), decl: fd, pkg: pkg}
-			index[hf.key] = hf
-			if hasHotpathDirective(fd) {
-				roots = append(roots, hf)
-			}
-		})
-	}
-
-	// Breadth-first closure over static calls. reachedVia remembers the
-	// root that first pulled a function in, for diagnostics.
-	type queued struct {
-		fn   *hotFunc
-		root string
-	}
-	reached := make(map[string]bool)
-	var queue []queued
-	for _, r := range roots {
-		queue = append(queue, queued{fn: r, root: r.decl.Name.Name})
-	}
-	for len(queue) > 0 {
-		q := queue[0]
-		queue = queue[1:]
-		if reached[q.fn.key] {
-			continue
-		}
-		reached[q.fn.key] = true
-		checkHotBody(pass, q.fn, q.root)
-		for _, callee := range staticCallees(q.fn) {
-			if next, ok := index[callee]; ok && !reached[callee] {
-				queue = append(queue, queued{fn: next, root: q.root})
-			}
-		}
+	for _, m := range pass.Module.CallGraph().HotClosure() {
+		suffix := hotSuffix(m)
+		checkBannedPackages(pass, m, suffix)
+		checkDeferInLoop(pass, m, suffix)
 	}
 }
 
-// hasHotpathDirective reports whether the function's doc comment block
-// contains the //mel:hotpath directive line.
-func hasHotpathDirective(fd *ast.FuncDecl) bool {
-	if fd.Doc == nil {
-		return false
+// hotSuffix renders the attribution tail shared by all hot-closure
+// diagnostics.
+func hotSuffix(m HotMember) string {
+	where := m.Fn.Decl.Name.Name
+	if where != m.Root {
+		return fmt.Sprintf(" (in %s, reached from //mel:hotpath %s)", where, m.Root)
 	}
-	for _, c := range fd.Doc.List {
-		if strings.TrimSpace(c.Text) == HotpathDirective {
-			return true
-		}
-	}
-	return false
-}
-
-// funcKey canonicalizes a function object to a cross-package key:
-// pkgpath.Recv.Name for methods, pkgpath.Name for functions. Objects
-// seen through export data and objects seen through source checking
-// produce the same key, which is what lets the call graph cross
-// package boundaries.
-func funcKey(fn *types.Func) string {
-	fn = fn.Origin()
-	pkg := ""
-	if fn.Pkg() != nil {
-		pkg = fn.Pkg().Path()
-	}
-	sig, ok := fn.Type().(*types.Signature)
-	if ok && sig.Recv() != nil {
-		t := sig.Recv().Type()
-		if ptr, isPtr := t.(*types.Pointer); isPtr {
-			t = ptr.Elem()
-		}
-		if named, isNamed := t.(*types.Named); isNamed {
-			return pkg + "." + named.Obj().Name() + "." + fn.Name()
-		}
-		// Interface receivers and other shapes never match a concrete
-		// body in the index; give them a non-colliding key.
-		return pkg + ".(" + t.String() + ")." + fn.Name()
-	}
-	return pkg + "." + fn.Name()
-}
-
-// staticCallees returns the keys of every function the body calls
-// through a static edge: direct calls and concrete method calls,
-// including those inside function literals defined in the body.
-func staticCallees(hf *hotFunc) []string {
-	var out []string
-	ast.Inspect(hf.decl.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		var id *ast.Ident
-		switch fun := ast.Unparen(call.Fun).(type) {
-		case *ast.Ident:
-			id = fun
-		case *ast.SelectorExpr:
-			id = fun.Sel
-		default:
-			return true
-		}
-		if fn, ok := hf.pkg.Info.Uses[id].(*types.Func); ok {
-			out = append(out, funcKey(fn))
-		}
-		return true
-	})
-	return out
-}
-
-// checkHotBody runs the four hot-path checks over one function body.
-func checkHotBody(pass *Pass, hf *hotFunc, root string) {
-	where := hf.decl.Name.Name
-	suffix := ""
-	if where != root {
-		suffix = fmt.Sprintf(" (in %s, reached from //mel:hotpath %s)", where, root)
-	} else {
-		suffix = fmt.Sprintf(" (in //mel:hotpath %s)", where)
-	}
-	checkBannedPackages(pass, hf, suffix)
-	checkEscapingClosures(pass, hf, suffix)
-	checkDeferInLoop(pass, hf, suffix)
-	checkInterfaceBoxing(pass, hf, suffix)
+	return fmt.Sprintf(" (in //mel:hotpath %s)", where)
 }
 
 // checkBannedPackages flags any use of fmt or reflect.
-func checkBannedPackages(pass *Pass, hf *hotFunc, suffix string) {
-	ast.Inspect(hf.decl.Body, func(n ast.Node) bool {
+func checkBannedPackages(pass *Pass, m HotMember, suffix string) {
+	ast.Inspect(m.Fn.Decl.Body, func(n ast.Node) bool {
 		id, ok := n.(*ast.Ident)
 		if !ok {
 			return true
 		}
-		obj := hf.pkg.Info.Uses[id]
+		obj := m.Fn.Pkg.Info.Uses[id]
 		if obj == nil || obj.Pkg() == nil {
 			return true
 		}
@@ -185,230 +65,19 @@ func checkBannedPackages(pass *Pass, hf *hotFunc, suffix string) {
 	})
 }
 
-// checkEscapingClosures flags function literals that are not
-// immediately invoked. A literal that is the callee of the enclosing
-// call, defer, or go statement runs in place; one that is assigned,
-// passed, returned, or stored escapes to the heap.
-func checkEscapingClosures(pass *Pass, hf *hotFunc, suffix string) {
-	immediate := make(map[*ast.FuncLit]bool)
-	ast.Inspect(hf.decl.Body, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok {
-			if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
-				immediate[lit] = true
+// checkDeferInLoop flags defer statements inside for/range loops,
+// reading loop structure off the dataflow IR's blocks. The deferred
+// call list grows per iteration and is heap allocated once the loop
+// form defeats open-coding. Each function literal is its own frame
+// with its own loop depths: defers inside a literal are not in the
+// outer loop.
+func checkDeferInLoop(pass *Pass, m HotMember, suffix string) {
+	ir := pass.Module.FuncIR(m.Fn.Pkg, m.Fn.Decl)
+	for _, frame := range ir.Frames() {
+		frame.Walk(func(n ast.Node, loopDepth int) {
+			if d, ok := n.(*ast.DeferStmt); ok && loopDepth > 0 {
+				pass.Reportf(d.Pos(), "defer inside a loop on a hot path%s", suffix)
 			}
-		}
-		return true
-	})
-	ast.Inspect(hf.decl.Body, func(n ast.Node) bool {
-		lit, ok := n.(*ast.FuncLit)
-		if !ok {
-			return true
-		}
-		if !immediate[lit] {
-			pass.Reportf(lit.Pos(), "closure may escape on a hot path%s", suffix)
-		}
-		return true
-	})
-}
-
-// checkDeferInLoop flags defer statements lexically inside for/range
-// loops. The deferred call list grows per iteration and is heap
-// allocated once the loop form defeats open-coding.
-func checkDeferInLoop(pass *Pass, hf *hotFunc, suffix string) {
-	var walk func(n ast.Node, loopDepth int)
-	walk = func(n ast.Node, loopDepth int) {
-		switch s := n.(type) {
-		case nil:
-			return
-		case *ast.ForStmt:
-			walkChildren(s.Body, loopDepth+1, walk)
-			return
-		case *ast.RangeStmt:
-			walkChildren(s.Body, loopDepth+1, walk)
-			return
-		case *ast.FuncLit:
-			// A literal opens a fresh frame: defers inside it are not in
-			// the outer loop.
-			walkChildren(s.Body, 0, walk)
-			return
-		case *ast.DeferStmt:
-			if loopDepth > 0 {
-				pass.Reportf(s.Pos(), "defer inside a loop on a hot path%s", suffix)
-			}
-		}
-		walkChildren(n, loopDepth, walk)
+		})
 	}
-	walk(hf.decl.Body, 0)
-}
-
-// walkChildren visits the direct children of n with the given walker.
-func walkChildren(n ast.Node, depth int, walk func(ast.Node, int)) {
-	ast.Inspect(n, func(child ast.Node) bool {
-		if child == nil || child == n {
-			return child == n
-		}
-		walk(child, depth)
-		return false
-	})
-}
-
-// checkInterfaceBoxing flags conversions of concrete non-pointer values
-// into interface types in call arguments, returns, assignments, and
-// conversions. Pointer-shaped values (pointers, channels, maps,
-// functions) ride in the interface word without allocating and are
-// allowed; everything else heap-allocates the boxed copy.
-func checkInterfaceBoxing(pass *Pass, hf *hotFunc, suffix string) {
-	info := hf.pkg.Info
-	report := func(pos ast.Expr, target types.Type) {
-		tv, ok := info.Types[pos]
-		if !ok {
-			return
-		}
-		if !boxesWhenConverted(tv, target) {
-			return
-		}
-		pass.Reportf(pos.Pos(), "%s boxed into %s on a hot path%s", tv.Type.String(), target.String(), suffix)
-	}
-	retSigs := returnSignatures(info, hf.decl)
-
-	ast.Inspect(hf.decl.Body, func(n ast.Node) bool {
-		switch s := n.(type) {
-		case *ast.CallExpr:
-			fun := ast.Unparen(s.Fun)
-			tvFun, ok := info.Types[fun]
-			if !ok {
-				return true
-			}
-			if tvFun.IsType() {
-				// Explicit conversion T(x).
-				if len(s.Args) == 1 {
-					report(s.Args[0], tvFun.Type)
-				}
-				return true
-			}
-			sig, ok := tvFun.Type.Underlying().(*types.Signature)
-			if !ok {
-				return true // builtin or invalid
-			}
-			params := sig.Params()
-			for i, arg := range s.Args {
-				var pt types.Type
-				switch {
-				case sig.Variadic() && i >= params.Len()-1:
-					if s.Ellipsis.IsValid() {
-						continue // slice passed through, no per-element boxing
-					}
-					pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
-				case i < params.Len():
-					pt = params.At(i).Type()
-				default:
-					continue
-				}
-				report(arg, pt)
-			}
-		case *ast.ReturnStmt:
-			sig, ok := retSigs[s]
-			if !ok {
-				return true
-			}
-			results := sig.Results()
-			if len(s.Results) != results.Len() {
-				return true // bare return or tuple forwarding
-			}
-			for i, r := range s.Results {
-				report(r, results.At(i).Type())
-			}
-		case *ast.AssignStmt:
-			if s.Tok.String() != "=" || len(s.Lhs) != len(s.Rhs) {
-				return true
-			}
-			for i, rhs := range s.Rhs {
-				lhsTV, ok := info.Types[s.Lhs[i]]
-				if !ok {
-					continue
-				}
-				report(rhs, lhsTV.Type)
-			}
-		case *ast.ValueSpec:
-			if s.Type == nil {
-				return true
-			}
-			tv, ok := info.Types[s.Type]
-			if !ok {
-				return true
-			}
-			for _, v := range s.Values {
-				report(v, tv.Type)
-			}
-		case *ast.SendStmt:
-			chTV, ok := info.Types[s.Chan]
-			if !ok {
-				return true
-			}
-			if ch, ok := chTV.Type.Underlying().(*types.Chan); ok {
-				report(s.Value, ch.Elem())
-			}
-		}
-		return true
-	})
-}
-
-// returnSignatures maps every return statement in the declaration —
-// including those inside function literals — to the signature it
-// returns from.
-func returnSignatures(info *types.Info, fd *ast.FuncDecl) map[*ast.ReturnStmt]*types.Signature {
-	out := make(map[*ast.ReturnStmt]*types.Signature)
-	var walk func(n ast.Node, sig *types.Signature)
-	walk = func(n ast.Node, sig *types.Signature) {
-		switch s := n.(type) {
-		case *ast.FuncLit:
-			inner, _ := info.Types[s].Type.(*types.Signature)
-			walkChildren(s.Body, 0, func(c ast.Node, _ int) { walk(c, inner) })
-			return
-		case *ast.ReturnStmt:
-			if sig != nil {
-				out[s] = sig
-			}
-		}
-		walkChildren(n, 0, func(c ast.Node, _ int) { walk(c, sig) })
-	}
-	var declSig *types.Signature
-	if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
-		declSig, _ = obj.Type().(*types.Signature)
-	}
-	walk(fd.Body, declSig)
-	return out
-}
-
-// boxesWhenConverted reports whether storing a value described by tv
-// into target requires heap-boxing: target is an interface, the value
-// is a typed concrete value, and its representation is not already a
-// single pointer word.
-func boxesWhenConverted(tv types.TypeAndValue, target types.Type) bool {
-	if target == nil || tv.Type == nil {
-		return false
-	}
-	if _, isIface := target.Underlying().(*types.Interface); !isIface {
-		return false
-	}
-	src := tv.Type
-	if src == types.Typ[types.UntypedNil] {
-		return false
-	}
-	if basic, ok := src.(*types.Basic); ok && basic.Info()&types.IsUntyped != 0 {
-		// Untyped constants convert at compile time; small ones use the
-		// runtime's static boxes. Constant folding makes these cheap
-		// enough that flagging them would mostly be noise.
-		return false
-	}
-	switch src.Underlying().(type) {
-	case *types.Interface:
-		return false // already boxed
-	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
-		return false // pointer-shaped: stored directly in the iface word
-	}
-	if basic, ok := src.Underlying().(*types.Basic); ok && basic.Kind() == types.UnsafePointer {
-		return false
-	}
-	return true
 }

@@ -1,0 +1,611 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the intraprocedural half of the dataflow layer: an
+// SSA-lite function IR built once per function and shared by the
+// analyzers. It models three things the raw AST does not give:
+//
+//   - a statement-level control-flow graph (basic blocks with
+//     successor edges and loop depths), so checks like defer-in-loop
+//     and time.After-in-loop read structure off the blocks instead of
+//     re-implementing their own loop-tracking tree walks, and so code
+//     that is statically unreachable is skipped by every analyzer;
+//   - defs/uses maps from objects to the identifiers that bind and
+//     mention them;
+//   - a simple escape lattice (local < heap) over function literals,
+//     composite literals, and make/new results, computed by seeding
+//     syntactic sinks (returns, stores through memory, channel sends,
+//     call arguments) and propagating through local copies. allocfree
+//     uses it to flag only allocations the compiler cannot keep on the
+//     stack.
+//
+// Function literals open nested frames: each gets its own blocks and
+// loop depths (a defer inside a literal is not "in" the enclosing
+// loop), while BaseDepth records the absolute loop depth of the
+// literal's definition site for checks that care about per-iteration
+// cost (time.After).
+type FuncIR struct {
+	// Pkg is the package the function lives in.
+	Pkg *Package
+	// Decl is non-nil on the root frame, Lit on nested frames.
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	// BaseDepth is the absolute loop depth at the literal's definition
+	// site (0 for the root frame).
+	BaseDepth int
+	// Blocks is the frame's CFG; Blocks[0] is the entry block.
+	Blocks []*Block
+	// Inner holds the frames of function literals defined directly in
+	// this frame, in source order.
+	Inner []*FuncIR
+
+	root *FuncIR // the declaration frame; facts below live there
+
+	// Facts computed once on the root frame over the whole frame tree.
+	defs      map[types.Object]*ast.Ident
+	uses      map[types.Object][]*ast.Ident
+	objEsc    map[types.Object]bool
+	litEsc    map[*ast.FuncLit]bool
+	compEsc   map[*ast.CompositeLit]bool
+	compAddr  map[*ast.CompositeLit]bool // address-taken (&T{...}) literals
+	allocEsc  map[*ast.CallExpr]bool     // make/new sites
+	immediate map[*ast.FuncLit]bool      // callee of a call/defer/go: runs in place
+	guarded   []posRange                 // grow-to-fit guarded regions
+}
+
+// Block is one basic block: a run of atomic statements and the
+// condition/tag expressions evaluated with them, with successor edges
+// and the loop nesting depth of the code in it.
+type Block struct {
+	Nodes     []ast.Node
+	Succs     []*Block
+	LoopDepth int
+}
+
+// posRange is a half-open source interval.
+type posRange struct {
+	from, to token.Pos
+}
+
+func (r posRange) contains(p token.Pos) bool { return p >= r.from && p < r.to }
+
+// buildFuncIR lowers one declaration into its IR and computes the
+// shared facts.
+func buildFuncIR(pkg *Package, fd *ast.FuncDecl) *FuncIR {
+	ir := &FuncIR{Pkg: pkg, Decl: fd}
+	ir.root = ir
+	b := &irBuilder{ir: ir, pkg: pkg}
+	entry := b.newBlock(0)
+	b.cur = entry
+	b.stmts(fd.Body.List)
+	ir.computeFacts(fd.Body)
+	return ir
+}
+
+// Frames returns this frame and every nested literal frame, pre-order.
+func (f *FuncIR) Frames() []*FuncIR {
+	out := []*FuncIR{f}
+	for _, in := range f.Inner {
+		out = append(out, in.Frames()...)
+	}
+	return out
+}
+
+// Walk visits every node of this frame's reachable blocks, calling fn
+// with the frame-local loop depth. Nested function literals are
+// reported as *ast.FuncLit nodes but not descended into — their bodies
+// are separate frames. Statically unreachable blocks are skipped.
+func (f *FuncIR) Walk(fn func(n ast.Node, loopDepth int)) {
+	if len(f.Blocks) == 0 {
+		return
+	}
+	seen := make(map[*Block]bool)
+	queue := []*Block{f.Blocks[0]}
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		if seen[blk] {
+			continue
+		}
+		seen[blk] = true
+		for _, node := range blk.Nodes {
+			ast.Inspect(node, func(n ast.Node) bool {
+				if n == nil {
+					return false
+				}
+				if lit, ok := n.(*ast.FuncLit); ok {
+					fn(lit, blk.LoopDepth)
+					return false
+				}
+				fn(n, blk.LoopDepth)
+				return true
+			})
+		}
+		queue = append(queue, blk.Succs...)
+	}
+}
+
+// Escapes reports whether the value bound to obj reaches the heap
+// along some syntactic path.
+func (f *FuncIR) Escapes(obj types.Object) bool { return f.root.objEsc[obj] }
+
+// LitEscapes reports whether the function literal's closure escapes:
+// it is returned, stored beyond the frame, sent, passed as an
+// argument, or copied into a local that does any of those.
+func (f *FuncIR) LitEscapes(lit *ast.FuncLit) bool { return f.root.litEsc[lit] }
+
+// LitImmediate reports whether the literal is the callee of a call,
+// defer, or go statement and therefore runs in place.
+func (f *FuncIR) LitImmediate(lit *ast.FuncLit) bool { return f.root.immediate[lit] }
+
+// CompEscapes reports whether the composite literal's storage escapes.
+func (f *FuncIR) CompEscapes(cl *ast.CompositeLit) bool { return f.root.compEsc[cl] }
+
+// CompAddrTaken reports whether the literal appears under & — the form
+// whose storage becomes heap storage once it escapes. A plain struct
+// or array composite value is copied, not allocated, no matter where
+// it flows.
+func (f *FuncIR) CompAddrTaken(cl *ast.CompositeLit) bool { return f.root.compAddr[cl] }
+
+// AllocEscapes reports whether the result of the make/new call site
+// escapes.
+func (f *FuncIR) AllocEscapes(call *ast.CallExpr) bool { return f.root.allocEsc[call] }
+
+// GrowGuarded reports whether pos sits inside an if-body guarded by a
+// cap/len/nil test — the pooled grow-to-fit idiom
+// (`if cap(s.buf) < n { s.buf = make(...) }`) whose allocations are
+// warm-up cost, not steady-state cost.
+func (f *FuncIR) GrowGuarded(pos token.Pos) bool {
+	for _, r := range f.root.guarded {
+		if r.contains(pos) {
+			return true
+		}
+	}
+	return false
+}
+
+// Defs returns the identifier that binds obj in this function, if any.
+func (f *FuncIR) Defs(obj types.Object) (*ast.Ident, bool) {
+	id, ok := f.root.defs[obj]
+	return id, ok
+}
+
+// Uses returns every identifier in the function tree that mentions obj.
+func (f *FuncIR) Uses(obj types.Object) []*ast.Ident { return f.root.uses[obj] }
+
+// irBuilder lowers one frame's statement tree into basic blocks.
+type irBuilder struct {
+	ir    *FuncIR
+	pkg   *Package
+	cur   *Block
+	depth int
+	// breakT/continueT are the innermost targets for break/continue.
+	breakT    []*Block
+	continueT []*Block
+}
+
+func (b *irBuilder) newBlock(depth int) *Block {
+	blk := &Block{LoopDepth: depth}
+	b.ir.Blocks = append(b.ir.Blocks, blk)
+	return blk
+}
+
+func (b *irBuilder) jump(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// emit appends an atomic node to the current block and opens nested
+// frames for any function literals directly inside it.
+func (b *irBuilder) emit(n ast.Node) {
+	if n == nil {
+		return
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+	b.liftLits(n)
+}
+
+// liftLits creates inner frames for literals syntactically inside n,
+// stopping at the first literal boundary (deeper literals belong to
+// the inner frame).
+func (b *irBuilder) liftLits(n ast.Node) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		lit, ok := c.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		inner := &FuncIR{Pkg: b.pkg, Lit: lit, BaseDepth: b.depth, root: b.ir.root}
+		ib := &irBuilder{ir: inner, pkg: b.pkg}
+		entry := ib.newBlock(0)
+		ib.cur = entry
+		ib.stmts(lit.Body.List)
+		b.ir.Inner = append(b.ir.Inner, inner)
+		return false
+	})
+}
+
+func (b *irBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *irBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.emit(s.Cond)
+		cond := b.cur
+		after := b.newBlock(b.depth)
+		thenB := b.newBlock(b.depth)
+		b.jump(cond, thenB)
+		b.cur = thenB
+		b.stmts(s.Body.List)
+		b.jump(b.cur, after)
+		if s.Else != nil {
+			elseB := b.newBlock(b.depth)
+			b.jump(cond, elseB)
+			b.cur = elseB
+			b.stmt(s.Else)
+			b.jump(b.cur, after)
+		} else {
+			b.jump(cond, after)
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock(b.depth + 1)
+		body := b.newBlock(b.depth + 1)
+		after := b.newBlock(b.depth)
+		b.jump(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.emit(s.Cond)
+			b.jump(head, after)
+		}
+		b.jump(head, body)
+		b.cur = body
+		b.depth++
+		b.breakT = append(b.breakT, after)
+		b.continueT = append(b.continueT, head)
+		b.stmts(s.Body.List)
+		if s.Post != nil {
+			b.stmt(s.Post)
+		}
+		b.breakT = b.breakT[:len(b.breakT)-1]
+		b.continueT = b.continueT[:len(b.continueT)-1]
+		b.depth--
+		b.jump(b.cur, head)
+		b.cur = after
+	case *ast.RangeStmt:
+		head := b.newBlock(b.depth + 1)
+		body := b.newBlock(b.depth + 1)
+		after := b.newBlock(b.depth)
+		b.jump(b.cur, head)
+		b.cur = head
+		b.emit(s.X)
+		b.jump(head, body)
+		b.jump(head, after)
+		b.cur = body
+		b.depth++
+		b.breakT = append(b.breakT, after)
+		b.continueT = append(b.continueT, head)
+		b.stmts(s.Body.List)
+		b.breakT = b.breakT[:len(b.breakT)-1]
+		b.continueT = b.continueT[:len(b.continueT)-1]
+		b.depth--
+		b.jump(b.cur, head)
+		b.cur = after
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.emit(s.Tag)
+		}
+		b.branchy(s.Body.List, false)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.emit(s.Assign)
+		b.branchy(s.Body.List, false)
+	case *ast.SelectStmt:
+		b.branchy(s.Body.List, true)
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if len(b.breakT) > 0 {
+				b.jump(b.cur, b.breakT[len(b.breakT)-1])
+			}
+		case token.CONTINUE:
+			if len(b.continueT) > 0 {
+				b.jump(b.cur, b.continueT[len(b.continueT)-1])
+			}
+		}
+		// goto/fallthrough terminate the block without a modeled edge.
+		b.cur = b.newBlock(b.depth) // unreachable continuation
+	case *ast.ReturnStmt:
+		b.emit(s)
+		b.cur = b.newBlock(b.depth) // unreachable continuation
+	default:
+		// Assignments, declarations, expression statements, sends,
+		// defers, go statements, inc/dec: atomic.
+		b.emit(s)
+	}
+}
+
+// branchy lowers switch/type-switch/select clause lists: every clause
+// is a branch out of the current block that rejoins after.
+func (b *irBuilder) branchy(clauses []ast.Stmt, isSelect bool) {
+	entry := b.cur
+	after := b.newBlock(b.depth)
+	b.breakT = append(b.breakT, after)
+	sawDefault := false
+	for _, c := range clauses {
+		blk := b.newBlock(b.depth)
+		b.jump(entry, blk)
+		b.cur = blk
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				sawDefault = true
+			}
+			for _, e := range cc.List {
+				b.emit(e)
+			}
+			b.stmts(cc.Body)
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				sawDefault = true
+			} else {
+				b.stmt(cc.Comm)
+			}
+			b.stmts(cc.Body)
+		}
+		b.jump(b.cur, after)
+	}
+	if !sawDefault && !isSelect {
+		// A switch without a default can fall straight through.
+		b.jump(entry, after)
+	}
+	b.breakT = b.breakT[:len(b.breakT)-1]
+	b.cur = after
+}
+
+// computeFacts fills defs/uses, the escape lattice, the
+// immediately-invoked literal set, and the grow-to-fit guard ranges
+// over the whole frame tree.
+func (f *FuncIR) computeFacts(body *ast.BlockStmt) {
+	f.defs = make(map[types.Object]*ast.Ident)
+	f.uses = make(map[types.Object][]*ast.Ident)
+	f.objEsc = make(map[types.Object]bool)
+	f.litEsc = make(map[*ast.FuncLit]bool)
+	f.compEsc = make(map[*ast.CompositeLit]bool)
+	f.compAddr = make(map[*ast.CompositeLit]bool)
+	f.allocEsc = make(map[*ast.CallExpr]bool)
+	f.immediate = make(map[*ast.FuncLit]bool)
+
+	info := f.Pkg.Info
+
+	// Copy/bind edges for the escape propagation.
+	copyEdges := make(map[types.Object][]types.Object)
+	objLits := make(map[types.Object][]*ast.FuncLit)
+	objComps := make(map[types.Object][]*ast.CompositeLit)
+	objAllocs := make(map[types.Object][]*ast.CallExpr)
+
+	local := func(id *ast.Ident) (types.Object, bool) {
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Pkg() != nil &&
+			v.Parent() != v.Pkg().Scope() && v.Pos() >= body.Pos() && v.Pos() < body.End() {
+			return v, true
+		}
+		return nil, false
+	}
+
+	// sink marks an expression as reaching the heap.
+	var sink func(e ast.Expr)
+	sink = func(e ast.Expr) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.FuncLit:
+			f.litEsc[e] = true
+		case *ast.CompositeLit:
+			f.compEsc[e] = true
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				switch x := ast.Unparen(e.X).(type) {
+				case *ast.CompositeLit:
+					f.compEsc[x] = true
+				case *ast.Ident:
+					if obj, ok := local(x); ok {
+						f.objEsc[obj] = true
+					}
+				}
+			}
+		case *ast.Ident:
+			if obj, ok := local(e); ok {
+				f.objEsc[obj] = true
+			}
+		case *ast.CallExpr:
+			if isMakeOrNew(info, e) {
+				f.allocEsc[e] = true
+			}
+		}
+	}
+
+	// bind records rhs flowing into a local object.
+	bind := func(obj types.Object, rhs ast.Expr) {
+		switch rhs := ast.Unparen(rhs).(type) {
+		case *ast.FuncLit:
+			objLits[obj] = append(objLits[obj], rhs)
+		case *ast.CompositeLit:
+			objComps[obj] = append(objComps[obj], rhs)
+		case *ast.UnaryExpr:
+			if rhs.Op == token.AND {
+				if cl, ok := ast.Unparen(rhs.X).(*ast.CompositeLit); ok {
+					objComps[obj] = append(objComps[obj], cl)
+				}
+			}
+		case *ast.Ident:
+			if src, ok := local(rhs); ok {
+				copyEdges[obj] = append(copyEdges[obj], src)
+			}
+		case *ast.CallExpr:
+			if isMakeOrNew(info, rhs) {
+				objAllocs[obj] = append(objAllocs[obj], rhs)
+			}
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					f.compAddr[cl] = true
+				}
+			}
+		case *ast.Ident:
+			if obj := info.Defs[n]; obj != nil {
+				f.defs[obj] = n
+			}
+			if obj := info.Uses[n]; obj != nil {
+				f.uses[obj] = append(f.uses[obj], n)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				sink(r)
+			}
+		case *ast.SendStmt:
+			sink(n.Value)
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				// Tuple assignment from a call: nothing bindable flows.
+				break
+			}
+			for i, lhs := range n.Lhs {
+				rhs := n.Rhs[i]
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if id.Name == "_" {
+						continue
+					}
+					if obj, ok := local(id); ok {
+						bind(obj, rhs)
+						continue
+					}
+				}
+				// Store through memory, into a field, an index, a
+				// package variable: the value leaves the frame.
+				sink(rhs)
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i, name := range n.Names {
+					if obj, ok := local(name); ok {
+						bind(obj, n.Values[i])
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				f.immediate[lit] = true
+			}
+			for _, arg := range n.Args {
+				sink(arg)
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					sink(kv.Value)
+				} else {
+					sink(elt)
+				}
+			}
+		case *ast.IfStmt:
+			if isGrowGuard(info, n.Cond) {
+				f.guarded = append(f.guarded, posRange{n.Body.Pos(), n.Body.End()})
+			}
+		}
+		return true
+	})
+
+	// Propagate escapes backwards through copies until fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for dst, esc := range f.objEsc {
+			if !esc {
+				continue
+			}
+			for _, src := range copyEdges[dst] {
+				if !f.objEsc[src] {
+					f.objEsc[src] = true
+					changed = true
+				}
+			}
+		}
+	}
+	for obj, esc := range f.objEsc {
+		if !esc {
+			continue
+		}
+		for _, lit := range objLits[obj] {
+			f.litEsc[lit] = true
+		}
+		for _, cl := range objComps[obj] {
+			f.compEsc[cl] = true
+		}
+		for _, call := range objAllocs[obj] {
+			f.allocEsc[call] = true
+		}
+	}
+}
+
+// isMakeOrNew matches calls to the make and new builtins.
+func isMakeOrNew(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && (b.Name() == "make" || b.Name() == "new")
+}
+
+// isGrowGuard recognizes conditions of the pooled grow-to-fit idiom:
+// any comparison involving cap(...) or len(...), or a nil comparison.
+// Allocations inside a body so guarded happen on capacity misses only
+// — warm-up, not steady state.
+func isGrowGuard(info *types.Info, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && (b.Name() == "cap" || b.Name() == "len") {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if n.Name == "nil" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LeakCheckAnalyzer guards the long-running service packages against
+// goroutine leaks: every `go` statement in a package whose import path
+// contains a "server", "proxy", or "pool" segment must show join
+// evidence near its entry point — some statically visible way for the
+// goroutine to learn it should stop, or for its owner to learn it has
+// stopped. Accepted evidence, anywhere in the goroutine's entry
+// function or within two static call edges of it:
+//
+//   - a sync.WaitGroup Done call (the pool worker pattern);
+//   - a channel receive, range-over-channel, or select (the goroutine
+//     blocks on something its owner can close);
+//   - a close(ch) call (the goroutine signals its own exit, as the
+//     client read loop does with readDone);
+//   - any use of a context.Context (cancellation is wired through).
+//
+// The two-edge bound is deliberate: evidence buried deep in a call
+// tree is evidence a reviewer cannot see either, and the analyzer's
+// job is to keep the join visibly close to the `go`. Packages outside
+// the scoped paths (examples, experiments, one-shot CLI helpers) may
+// fire-and-forget; a scan service that leaks one goroutine per
+// connection dies slowly in production, which is why the scope is
+// pinned to the serving paths.
+func LeakCheckAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "leakcheck",
+		Doc:  "goroutines in server/proxy/pool packages must carry join evidence (ctx, done channel, or WaitGroup) near their entry",
+		Run:  runLeakCheck,
+	}
+}
+
+func runLeakCheck(pass *Pass) {
+	graph := pass.Module.CallGraph()
+	for _, pkg := range pass.Module.Pkgs {
+		if !leakScoped(pkg.Path) {
+			continue
+		}
+		pkg := pkg
+		eachFunc(pkg, func(fd *ast.FuncDecl) {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !goroutineJoins(graph, pkg, gs) {
+					pass.Reportf(gs.Pos(), "goroutine has no join evidence (context, done channel, or WaitGroup) within two calls of its entry; it can leak")
+				}
+				return true
+			})
+		})
+	}
+}
+
+// leakScoped reports whether the import path names a serving package:
+// any path segment equal to server, proxy, or pool.
+func leakScoped(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		switch seg {
+		case "server", "proxy", "pool":
+			return true
+		}
+	}
+	return false
+}
+
+// goroutineJoins looks for join evidence along some path from the go
+// statement's entry: the spawned literal or named function itself,
+// plus everything within two static call edges.
+func goroutineJoins(graph *CallGraph, pkg *Package, gs *ast.GoStmt) bool {
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		if hasJoinEvidence(pkg, fun.Body) {
+			return true
+		}
+		// One edge spent entering the literal; callees get one more.
+		for _, key := range nodeCallees(pkg, fun.Body) {
+			for _, gf := range graph.Reach(key, 1) {
+				if hasJoinEvidence(gf.Pkg, gf.Decl.Body) {
+					return true
+				}
+			}
+		}
+		return false
+	default:
+		key, ok := callTargetKey(pkg, gs.Call)
+		if !ok {
+			return false // dynamic target: nothing statically visible
+		}
+		for _, gf := range graph.Reach(key, 2) {
+			if hasJoinEvidence(gf.Pkg, gf.Decl.Body) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// nodeCallees is staticCallees over an arbitrary body node.
+func nodeCallees(pkg *Package, body ast.Node) []string {
+	var out []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if key, ok := callTargetKey(pkg, call); ok {
+				out = append(out, key)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// hasJoinEvidence scans one body for any accepted join pattern.
+func hasJoinEvidence(pkg *Package, body ast.Node) bool {
+	if body == nil {
+		return false
+	}
+	info := pkg.Info
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true // channel receive
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := types.Unalias(tv.Type).Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if b, ok := info.Uses[fun].(*types.Builtin); ok && b.Name() == "close" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if fn, ok := info.Uses[fun.Sel].(*types.Func); ok && fn.Name() == "Done" {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil &&
+						isNamedType(sig.Recv().Type(), "sync", "WaitGroup") {
+						found = true
+					}
+				}
+			}
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil && obj.Type() != nil && isContextType(obj.Type()) {
+				found = true // cancellation is in hand
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -21,8 +21,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"path/filepath"
 	"sort"
+	"sync"
 )
 
 // Package is one type-checked package of the module under analysis.
@@ -53,6 +53,37 @@ type Module struct {
 	Fset *token.FileSet
 	// Pkgs holds the loaded packages in go list order.
 	Pkgs []*Package
+
+	// Shared dataflow facts, built once (under factsOnce) and read
+	// concurrently by the analyzers Run executes in parallel.
+	factsOnce sync.Once
+	callGraph *CallGraph
+
+	irMu    sync.Mutex
+	irCache map[*ast.FuncDecl]*FuncIR
+}
+
+// CallGraph returns the module-wide static call graph, building it on
+// first use. Safe for concurrent analyzers.
+func (m *Module) CallGraph() *CallGraph {
+	m.factsOnce.Do(func() { m.callGraph = buildCallGraph(m) })
+	return m.callGraph
+}
+
+// FuncIR returns the dataflow IR for one declared function, building
+// and caching it on first use. Safe for concurrent analyzers.
+func (m *Module) FuncIR(pkg *Package, fd *ast.FuncDecl) *FuncIR {
+	m.irMu.Lock()
+	defer m.irMu.Unlock()
+	if m.irCache == nil {
+		m.irCache = make(map[*ast.FuncDecl]*FuncIR)
+	}
+	if ir, ok := m.irCache[fd]; ok {
+		return ir
+	}
+	ir := buildFuncIR(pkg, fd)
+	m.irCache[fd] = ir
+	return ir
 }
 
 // Diagnostic is one finding, positioned and attributed to its analyzer.
@@ -99,22 +130,40 @@ type Analyzer struct {
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		HotpathAnalyzer(),
+		AllocFreeAnalyzer(),
 		WireErrorsAnalyzer(),
 		LockCheckAnalyzer(),
+		AtomicCheckAnalyzer(),
+		LeakCheckAnalyzer(),
 		OpcodeTableAnalyzer(),
 		CtxCheckAnalyzer(),
 	}
 }
 
-// Run executes the given analyzers over the module and returns all
-// diagnostics sorted by position then analyzer. Findings outside
-// target packages are dropped: non-target packages exist only to give
-// module-wide analyses complete visibility.
+// Run executes the given analyzers over the module — concurrently,
+// each collecting into its own slice — and returns the merged
+// diagnostics sorted by position then analyzer. The shared dataflow
+// facts (call graph, per-function IR) are built before the fan-out so
+// the analyzers only ever read them. Findings outside target packages
+// are dropped: non-target packages exist only to give module-wide
+// analyses complete visibility.
 func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
+	m.CallGraph()
+	perAnalyzer := make([][]Diagnostic, len(analyzers))
+	var wg sync.WaitGroup
+	for i, a := range analyzers {
+		i, a := i, a
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pass := &Pass{Module: m, analyzer: a, diags: &perAnalyzer[i]}
+			a.Run(pass)
+		}()
+	}
+	wg.Wait()
 	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{Module: m, analyzer: a, diags: &diags}
-		a.Run(pass)
+	for _, d := range perAnalyzer {
+		diags = append(diags, d...)
 	}
 	diags = filterTargets(m, diags)
 	sort.Slice(diags, func(i, j int) bool {
@@ -136,18 +185,24 @@ func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
-// filterTargets keeps diagnostics whose file lives in a target
-// package's directory.
+// filterTargets keeps diagnostics whose file belongs to a target
+// package. Membership is decided by the target packages' own file
+// lists (via the FileSet), not by directory: packages that share a
+// directory — fixtures beside real code, external test packages —
+// must not adopt each other's findings.
 func filterTargets(m *Module, diags []Diagnostic) []Diagnostic {
-	targetDirs := make(map[string]bool)
+	targetFiles := make(map[string]bool)
 	for _, p := range m.Pkgs {
-		if p.Target {
-			targetDirs[p.Dir] = true
+		if !p.Target {
+			continue
+		}
+		for _, f := range p.Files {
+			targetFiles[m.Fset.Position(f.Package).Filename] = true
 		}
 	}
 	out := diags[:0]
 	for _, d := range diags {
-		if targetDirs[filepath.Dir(d.Pos.Filename)] {
+		if targetFiles[d.Pos.Filename] {
 			out = append(out, d)
 		}
 	}
@@ -166,11 +221,15 @@ func eachFunc(p *Package, fn func(*ast.FuncDecl)) {
 	}
 }
 
-// declaredType dereferences pointers and unwraps named types to answer
-// "is this (a pointer to) the named type pkg.name".
+// declaredType dereferences pointers, resolves aliases, and unwraps
+// named types to answer "is this (a pointer to) the named type
+// pkg.name". Alias resolution matters: with Go ≥ 1.22 materializing
+// *types.Alias nodes, `type M = sync.Mutex` would otherwise defeat the
+// match and silently disable lockcheck/ctxcheck on aliased types.
 func isNamedType(t types.Type, pkgPath, name string) bool {
+	t = types.Unalias(t)
 	if ptr, ok := t.(*types.Pointer); ok {
-		t = ptr.Elem()
+		t = types.Unalias(ptr.Elem())
 	}
 	named, ok := t.(*types.Named)
 	if !ok {

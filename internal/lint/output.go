@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+)
+
+// This file renders diagnostics into the two machine-readable shapes
+// cmd/mellint can emit: a compact JSON report for scripting (`make
+// lint` archives it as lint.json) and a minimal SARIF 2.1.0 log for
+// code-scanning UIs. Both use module-relative slash paths so artifacts
+// are reproducible across checkouts.
+
+// JSONFinding is one diagnostic in the JSON report.
+type JSONFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// JSONReport is the top-level -json output shape.
+type JSONReport struct {
+	// Module is the module path under analysis.
+	Module string `json:"module"`
+	// Analyzers lists the enabled analyzer names in run order.
+	Analyzers []string `json:"analyzers"`
+	// Findings holds the non-baselined diagnostics; always present,
+	// empty when clean.
+	Findings []JSONFinding `json:"findings"`
+	// Baselined counts findings suppressed by the baseline file.
+	Baselined int `json:"baselined"`
+}
+
+// relPath renders a diagnostic filename module-relative with forward
+// slashes.
+func relPath(moduleDir, filename string) string {
+	rel, err := filepath.Rel(moduleDir, filename)
+	if err != nil {
+		rel = filename
+	}
+	return filepath.ToSlash(rel)
+}
+
+// FormatJSON renders the JSON report, newline-terminated.
+func FormatJSON(m *Module, analyzers []*Analyzer, diags []Diagnostic, baselined int) ([]byte, error) {
+	rep := JSONReport{
+		Module:    m.PkgPath,
+		Analyzers: make([]string, 0, len(analyzers)),
+		Findings:  make([]JSONFinding, 0, len(diags)),
+		Baselined: baselined,
+	}
+	for _, a := range analyzers {
+		rep.Analyzers = append(rep.Analyzers, a.Name)
+	}
+	for _, d := range diags {
+		rep.Findings = append(rep.Findings, JSONFinding{
+			File:     relPath(m.Dir, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Minimal SARIF 2.1.0 structures — only the fields code-scanning
+// consumers require.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// FormatSARIF renders a SARIF 2.1.0 log, newline-terminated. Every
+// enabled analyzer appears as a rule even when it found nothing, so
+// consumers can tell "clean" from "not run".
+func FormatSARIF(m *Module, analyzers []*Analyzer, diags []Diagnostic) ([]byte, error) {
+	run := sarifRun{
+		Tool: sarifTool{Driver: sarifDriver{
+			Name:  "mellint",
+			Rules: make([]sarifRule, 0, len(analyzers)),
+		}},
+		Results: make([]sarifResult, 0, len(diags)),
+	}
+	for _, a := range analyzers {
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	for _, d := range diags {
+		run.Results = append(run.Results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: relPath(m.Dir, d.Pos.Filename)},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	out, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,45 @@
+// Package allocbad is the negative allocfree fixture: one annotated
+// function exercising every allocation class the analyzer must catch,
+// plus an escape chain through a local copy.
+package allocbad
+
+var sinkFn func() int
+
+var table map[string]int
+
+// Scan allocates in every way the hot-path contract forbids.
+//
+//mel:hotpath
+func Scan(data []byte) []int {
+	m := make(map[string]int)      // map make
+	ch := make(chan int, 1)        // channel make
+	buf := make([]byte, len(data)) // non-constant size
+	out := make([]int, 0, 4)       // escapes via return
+	out = append(out, len(buf))    // append
+	m["n"] = len(data)             // map write
+	table["n"] = len(data)         // map write, package-level
+	s := string(data)              // []byte -> string conversion
+	s += "!"                       // string concatenation
+	msg := s + s                   // string concatenation
+	raw := []byte(msg)             // string -> []byte conversion
+	f := func() int { return len(raw) }
+	sinkFn = f // closure escapes through the package var
+	pair := &point{x: 1, y: 2}
+	escape(pair) // composite escapes as a call argument
+	ch <- m["n"]
+	return out
+}
+
+// Grow leaks a make through a local copy: alias escapes, so the
+// original binding must be flagged too.
+//
+//mel:hotpath
+func Grow(n int) []byte {
+	b := make([]byte, 8)
+	alias := b
+	return alias
+}
+
+type point struct{ x, y int }
+
+func escape(*point) {}

@@ -1,0 +1,43 @@
+// Package allocgood is the positive allocfree fixture: an annotated
+// function that touches every exemption — pooled grow-to-fit makes,
+// constant-size non-escaping makes, closures that run in place, and
+// pointer-shaped interface storage.
+package allocgood
+
+type state struct {
+	buf   []byte
+	precs []int
+}
+
+// Scan reuses pooled storage; the only makes are behind cap guards and
+// the closure never leaves the frame.
+//
+//mel:hotpath
+func (s *state) Scan(data []byte) int {
+	if cap(s.buf) < len(data) {
+		s.buf = make([]byte, len(data)) // grow-to-fit: warm-up only
+	}
+	s.buf = s.buf[:len(data)]
+	if s.precs == nil {
+		s.precs = make([]int, 16) // nil-guarded warm-up
+	}
+	var scratch [8]int
+	step := func(b byte) int { return int(b) & 1 }
+	n := 0
+	for i, b := range data {
+		s.buf[i] = b
+		n += step(b)
+		scratch[i&7] = n
+	}
+	return n + scratch[0]
+}
+
+type result struct{ n int }
+
+// Summarize returns a by-value composite: the struct is copied to the
+// caller, never heap-allocated, and must not be flagged.
+//
+//mel:hotpath
+func Summarize(data []byte) result {
+	return result{n: len(data)}
+}

@@ -1,0 +1,32 @@
+// Package atomicbad is the negative atomiccheck fixture: a struct
+// field and a package variable each touched through sync/atomic in one
+// place and accessed plainly in another.
+package atomicbad
+
+import "sync/atomic"
+
+var ready uint32
+
+type counter struct {
+	hits int64
+}
+
+// Hit is the atomic side: these accesses establish the discipline.
+func (c *counter) Hit() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.StoreUint32(&ready, 1)
+}
+
+// Report is the racy side: both reads must go through sync/atomic.
+func (c *counter) Report() int64 {
+	if ready == 1 {
+		return c.hits
+	}
+	return 0
+}
+
+// Reset writes both words plainly: same race, write flavor.
+func (c *counter) Reset() {
+	c.hits = 0
+	ready = 0
+}

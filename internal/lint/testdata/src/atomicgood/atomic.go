@@ -1,0 +1,26 @@
+// Package atomicgood is the positive atomiccheck fixture: one word
+// accessed atomically everywhere, one wrapped in a typed atomic whose
+// methods are exempt by construction.
+package atomicgood
+
+import "sync/atomic"
+
+var ready uint32
+
+type counter struct {
+	hits atomic.Int64
+}
+
+// Hit bumps both words the disciplined way.
+func (c *counter) Hit() {
+	c.hits.Add(1)
+	atomic.StoreUint32(&ready, 1)
+}
+
+// Report reads them the same way it writes them.
+func (c *counter) Report() int64 {
+	if atomic.LoadUint32(&ready) == 1 {
+		return c.hits.Load()
+	}
+	return 0
+}

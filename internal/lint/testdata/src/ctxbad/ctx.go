@@ -25,3 +25,18 @@ func Wait(interval time.Duration, ctx context.Context) error {
 }
 
 var _ = watcher{}
+
+// reqCtx aliases context.Context; the alias must not hide a buried or
+// stored context from the analyzer.
+type reqCtx = context.Context
+
+type aliasWatcher struct {
+	ctx reqCtx
+}
+
+// WaitAlias buries an aliased context behind the count.
+func WaitAlias(n int, ctx reqCtx) error {
+	return ctx.Err()
+}
+
+var _ = aliasWatcher{}

@@ -49,3 +49,17 @@ func (b *box) UnbalancedLoop(n int) {
 		b.mu.Lock()
 	}
 }
+
+// mulock aliases sync.Mutex. Go 1.22+ materializes the alias in the
+// type checker, so the analyzer must resolve it before matching; an
+// aliased mutex that leaks is still a leak.
+type mulock = sync.Mutex
+
+type aliasBox struct {
+	mu mulock
+}
+
+// AliasLeak acquires through the alias and never releases.
+func (b *aliasBox) AliasLeak() {
+	b.mu.Lock()
+}

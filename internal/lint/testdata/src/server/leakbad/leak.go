@@ -1,0 +1,35 @@
+// Package leakbad is the negative leakcheck fixture: a serving-path
+// package ("server" segment) whose goroutines carry no join evidence.
+package leakbad
+
+import "time"
+
+type service struct {
+	hits int
+}
+
+// Start fires and forgets: nothing ever tells the goroutines to stop,
+// and nothing learns when they do.
+func (s *service) Start() {
+	go s.pollForever()
+	go func() {
+		for {
+			s.hits++
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// pollForever spins with no cancellation path.
+func (s *service) pollForever() {
+	for {
+		s.hits++
+		time.Sleep(time.Second)
+	}
+}
+
+// StartDynamic launches through a function value, so there is nothing
+// statically visible to search for evidence at all.
+func StartDynamic(fn func()) {
+	go fn()
+}

@@ -1,0 +1,48 @@
+// Package leakgood is the positive leakcheck fixture: every goroutine
+// shows one of the accepted join patterns near its entry.
+package leakgood
+
+import (
+	"context"
+	"sync"
+)
+
+type service struct {
+	jobs chan int
+	done chan struct{}
+	wg   sync.WaitGroup
+	hits int
+}
+
+// Start launches one goroutine per accepted evidence class.
+func (s *service) Start(ctx context.Context) {
+	s.wg.Add(1)
+	go s.worker() // WaitGroup.Done + range over channel
+
+	go func() { // select on ctx
+		select {
+		case <-ctx.Done():
+		case j := <-s.jobs:
+			s.hits += j
+		}
+	}()
+
+	go s.signalled() // close(done) signals exit one call away
+}
+
+// worker drains the job channel until its owner closes it.
+func (s *service) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		s.hits += j
+	}
+}
+
+// signalled reaches its evidence through one static call edge.
+func (s *service) signalled() {
+	s.finish()
+}
+
+func (s *service) finish() {
+	close(s.done)
+}
