@@ -22,6 +22,7 @@
 //	melbench -exp sizes    ablation: input-size scaling of n and tau
 //	melbench -exp exploit  end-to-end exploit chain vs the vulnerable service
 //	melbench -exp engine   scan-engine throughput; writes BENCH_engine.json
+//	melbench -exp guard    engine bench vs committed BENCH_engine.json; fails on regression
 //	melbench -exp serve    scan-daemon wire throughput; writes BENCH_serve.json
 package main
 
@@ -49,6 +50,7 @@ func run(args []string, w io.Writer) error {
 	cases := fs.Int("cases", experiments.DefaultCases, "benign cases for detection experiments")
 	worms := fs.Int("worms", experiments.DefaultWorms, "text worms for detection experiments")
 	benchOut := fs.String("benchout", "BENCH_engine.json", "engine benchmark artifact path (empty to skip the file)")
+	guardBase := fs.String("guardbase", "BENCH_engine.json", "committed artifact the guard experiment compares against")
 	serveOut := fs.String("serveout", "BENCH_serve.json", "serve benchmark artifact path (empty to skip the file)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -129,6 +131,9 @@ func run(args []string, w io.Writer) error {
 		"engine": func() error {
 			_, err := experiments.EngineBench(w, *benchOut, *seed)
 			return err
+		},
+		"guard": func() error {
+			return experiments.BenchGuard(w, *guardBase, *seed)
 		},
 		"serve": func() error {
 			_, err := experiments.ServeBench(w, *serveOut, *seed)

@@ -238,17 +238,26 @@ func (d *Detector) ScanTraced(payload []byte, tr *tracing.Trace) (Verdict, error
 	if d == nil || d.engine == nil {
 		return Verdict{}, ErrNotCalibrated
 	}
+	return d.observed(payload, tr, d.engine.ScanTraced)
+}
+
+// observed runs one scan through the observer hook (when set), so both
+// the standalone path and the window-session path feed the same
+// per-scan telemetry.
+func (d *Detector) observed(payload []byte, tr *tracing.Trace, engineScan func([]byte, *tracing.Trace) (mel.Result, error)) (Verdict, error) {
 	if obs := d.observer.Load(); obs != nil {
 		start := time.Now()
-		v, err := d.scan(payload, tr)
+		v, err := d.scan(payload, tr, engineScan)
 		(*obs)(ScanStats{Bytes: len(payload), Elapsed: time.Since(start), Verdict: v, Err: err})
 		return v, err
 	}
-	return d.scan(payload, tr)
+	return d.scan(payload, tr, engineScan)
 }
 
-// scan is the scan body. tr may be nil (untraced).
-func (d *Detector) scan(payload []byte, tr *tracing.Trace) (Verdict, error) {
+// scan is the scan body: threshold derivation, the MEL measurement via
+// engineScan (the standalone engine or a carrying window session), and
+// verdict assembly. tr may be nil (untraced).
+func (d *Detector) scan(payload []byte, tr *tracing.Trace, engineScan func([]byte, *tracing.Trace) (mel.Result, error)) (Verdict, error) {
 	if len(payload) == 0 {
 		return Verdict{}, ErrEmptyPayload
 	}
@@ -284,7 +293,7 @@ func (d *Detector) scan(payload []byte, tr *tracing.Trace) (Verdict, error) {
 	}
 	textOnly := textins.IsTextStream(payload)
 	tr.StageEnd(tracing.StageThreshold)
-	res, err := d.engine.ScanTraced(payload, tr)
+	res, err := engineScan(payload, tr)
 	if err != nil {
 		return Verdict{}, fmt.Errorf("scan: %w", err)
 	}

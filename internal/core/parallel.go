@@ -6,15 +6,22 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ScanBatch scans payloads concurrently with a bounded worker pool and
 // returns verdicts in input order. The detector is safe for concurrent
 // Scan calls (its configuration is immutable after New/Calibrate; each
-// scan allocates its own engine state). workers <= 0 selects
-// GOMAXPROCS. The context cancels outstanding work; the first error
-// (scan failure or cancellation) is returned and remaining work is
-// abandoned.
+// scan draws pooled engine state). workers <= 0 selects GOMAXPROCS.
+// The context cancels outstanding work; the first error (scan failure
+// or cancellation) is returned and remaining work is abandoned.
+//
+// Work is sharded by an atomic next-index counter instead of a job
+// channel: each worker claims the next payload with one uncontended
+// atomic add, so there is no feeder goroutine, no channel hand-off on
+// the hot path, and payloads are still handed out in input order
+// (workers that finish early simply claim more). Cancellation is
+// polled between claims — a claim already issued finishes its scan.
 func (d *Detector) ScanBatch(ctx context.Context, payloads [][]byte, workers int) ([]Verdict, error) {
 	if d == nil || d.engine == nil {
 		return nil, ErrNotCalibrated
@@ -32,14 +39,13 @@ func (d *Detector) ScanBatch(ctx context.Context, payloads [][]byte, workers int
 		return nil, nil
 	}
 
-	type job struct{ idx int }
-	jobs := make(chan job)
 	verdicts := make([]Verdict, len(payloads))
 
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	var (
+		next     atomic.Int64
 		wg       sync.WaitGroup
 		errOnce  sync.Once
 		firstErr error
@@ -51,33 +57,30 @@ func (d *Detector) ScanBatch(ctx context.Context, payloads [][]byte, workers int
 		})
 	}
 
+	done := cctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				v, err := d.Scan(payloads[j.idx])
-				if err != nil {
-					fail(fmt.Errorf("payload %d: %w", j.idx, err))
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(payloads) {
 					return
 				}
-				verdicts[j.idx] = v
+				select {
+				case <-done:
+					return
+				default:
+				}
+				v, err := d.Scan(payloads[i])
+				if err != nil {
+					fail(fmt.Errorf("payload %d: %w", i, err))
+					return
+				}
+				verdicts[i] = v
 			}
 		}()
 	}
-
-	// Feed jobs until done or cancelled.
-	feed := func() {
-		defer close(jobs)
-		for i := range payloads {
-			select {
-			case jobs <- job{idx: i}:
-			case <-cctx.Done():
-				return
-			}
-		}
-	}
-	feed()
 	wg.Wait()
 
 	if firstErr != nil {

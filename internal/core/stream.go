@@ -31,7 +31,12 @@ var ErrWindowTooLarge = errors.New("core: window exceeds maximum scannable lengt
 type StreamAlert struct {
 	// Offset is the window's byte offset within the stream.
 	Offset int64
-	// Verdict is the scan result for the window.
+	// BestStart is the stream-absolute offset where the flagged
+	// window's longest executable path begins (Offset plus the
+	// window-relative Verdict.BestStart).
+	BestStart int64
+	// Verdict is the scan result for the window. Its BestStart is
+	// window-relative, as Detector.Scan reports it.
 	Verdict Verdict
 }
 
@@ -43,6 +48,13 @@ type StreamScanner struct {
 	scan   func([]byte) (Verdict, error)
 	window int
 	stride int
+
+	// sess, when set, carries the engine's packed records across the
+	// window overlap so each window only decodes the newly arrived
+	// bytes (NewStreamScanner sets it; the func form cannot). started
+	// distinguishes the first window, which has no overlap to carry.
+	sess    *WindowSession
+	started bool
 
 	buf    []byte
 	offset int64
@@ -56,7 +68,16 @@ func NewStreamScanner(det *Detector, window, stride int) (*StreamScanner, error)
 	if det == nil {
 		return nil, errors.New("core: nil detector")
 	}
-	return NewStreamScannerFunc(det.Scan, window, stride)
+	s, err := NewStreamScannerFunc(det.Scan, window, stride)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := det.NewWindowSession()
+	if err != nil {
+		return nil, err
+	}
+	s.sess = sess
+	return s, nil
 }
 
 // NewStreamScannerFunc builds a stream scanner over an arbitrary scan
@@ -124,15 +145,34 @@ func (s *StreamScanner) Write(p []byte) (int, error) {
 	}
 }
 
+// scanOne dispatches one window to the carrying session when available
+// (advance is the stride between consecutive windows, zero for the
+// first) and to the plain scan function otherwise.
+func (s *StreamScanner) scanOne(w []byte) (Verdict, error) {
+	if s.sess == nil {
+		return s.scan(w)
+	}
+	advance := 0
+	if s.started {
+		advance = s.stride
+	}
+	s.started = true
+	return s.sess.Scan(w, advance)
+}
+
 // scanWindow scans one full window and records the alert; on success the
 // stream position advances by one stride.
 func (s *StreamScanner) scanWindow(w []byte) error {
-	v, err := s.scan(w)
+	v, err := s.scanOne(w)
 	if err != nil {
 		return fmt.Errorf("window at %d: %w", s.offset, err)
 	}
 	if v.Malicious {
-		s.alerts = append(s.alerts, StreamAlert{Offset: s.offset, Verdict: v})
+		s.alerts = append(s.alerts, StreamAlert{
+			Offset:    s.offset,
+			BestStart: s.offset + int64(v.BestStart),
+			Verdict:   v,
+		})
 	}
 	s.offset += int64(s.stride)
 	return nil
@@ -144,15 +184,39 @@ func (s *StreamScanner) Flush() error {
 	if len(s.buf) == 0 {
 		return nil
 	}
-	v, err := s.scan(s.buf)
+	v, err := s.scanOne(s.buf)
 	if err != nil {
 		return fmt.Errorf("final window at %d: %w", s.offset, err)
 	}
 	if v.Malicious {
-		s.alerts = append(s.alerts, StreamAlert{Offset: s.offset, Verdict: v})
+		s.alerts = append(s.alerts, StreamAlert{
+			Offset:    s.offset,
+			BestStart: s.offset + int64(v.BestStart),
+			Verdict:   v,
+		})
 	}
 	s.buf = s.buf[:0]
 	return nil
+}
+
+// Close releases the carrying session's pinned engine state (a no-op
+// for the func form). The scanner must not be written to after Close;
+// Alerts remains valid.
+func (s *StreamScanner) Close() {
+	if s.sess != nil {
+		s.sess.Close()
+		s.sess = nil
+	}
+}
+
+// CarryStats returns the carrying session's cumulative record-reuse
+// counters (all zero for the func form, which cannot carry, and after
+// Close).
+func (s *StreamScanner) CarryStats() mel.WindowStats {
+	if s.sess == nil {
+		return mel.WindowStats{}
+	}
+	return s.sess.Stats()
 }
 
 // Alerts returns the flagged windows so far (a copy).
@@ -169,6 +233,7 @@ func (d *Detector) ScanStream(r io.Reader, window, stride int) ([]StreamAlert, e
 	if err != nil {
 		return nil, err
 	}
+	defer s.Close()
 	if _, err := io.Copy(s, r); err != nil {
 		return nil, err
 	}

@@ -182,3 +182,118 @@ func TestAlertsReturnsCopy(t *testing.T) {
 		t.Error("caller mutation leaked into scanner state")
 	}
 }
+
+// TestStreamCarryDifferential proves the carrying session path produces
+// alerts identical to the plain per-window scan path on the same
+// stream, with a worm deliberately straddling a window carry boundary
+// and chunked delivery exercising both Write paths.
+func TestStreamCarryDifferential(t *testing.T) {
+	d := streamDetector(t)
+	cases, err := corpus.Dataset(57, 6, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: 31, SledLen: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	benign := corpus.Concat(cases)
+	// Straddle the first carry boundary: the worm starts inside window 0
+	// and finishes inside window 1's fresh region.
+	var stream []byte
+	stream = append(stream, benign[:4096-len(w.Bytes)/2]...)
+	stream = append(stream, w.Bytes...)
+	stream = append(stream, benign[4096:]...)
+
+	for _, chunk := range []int{0, 1, 777} {
+		carrying, err := NewStreamScanner(d, 4096, 2048)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := NewStreamScannerFunc(d.Scan, 4096, 2048)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []*StreamScanner{carrying, plain} {
+			if chunk == 0 {
+				if _, err := s.Write(stream); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				for off := 0; off < len(stream); off += chunk {
+					end := min(off+chunk, len(stream))
+					if _, err := s.Write(stream[off:end]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if err := s.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, want := carrying.Alerts(), plain.Alerts()
+		carrying.Close()
+		if len(got) == 0 {
+			t.Fatal("straddling worm not detected")
+		}
+		if len(got) != len(want) {
+			t.Fatalf("chunk %d: carrying path %d alerts, plain path %d", chunk, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("chunk %d alert %d: carrying %+v, plain %+v", chunk, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestStreamAlertBestStartAbsolute pins the offset math at window
+// boundaries: a worm landing entirely inside the carry region of a
+// later window must be reported with a stream-absolute BestStart that
+// falls inside the worm, on every alerting window.
+func TestStreamAlertBestStartAbsolute(t *testing.T) {
+	d := streamDetector(t)
+	cases, err := corpus.Dataset(58, 6, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: 12, SledLen: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	benign := corpus.Concat(cases)
+	// Place the worm inside [4096, 6144): window 1's carry region once
+	// window 2 (offset 4096) picks it up, and past window 0 entirely.
+	wormOffset := 4100
+	var stream []byte
+	stream = append(stream, benign[:wormOffset]...)
+	stream = append(stream, w.Bytes...)
+	stream = append(stream, benign[wormOffset:3*4096]...)
+
+	s, err := NewStreamScanner(d, 4096, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Write(stream); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	alerts := s.Alerts()
+	if len(alerts) == 0 {
+		t.Fatal("worm not detected")
+	}
+	wormEnd := wormOffset + len(w.Bytes)
+	for _, a := range alerts {
+		if a.BestStart != a.Offset+int64(a.Verdict.BestStart) {
+			t.Errorf("alert at %d: BestStart %d is not window offset plus relative start %d",
+				a.Offset, a.BestStart, a.Verdict.BestStart)
+		}
+		if a.BestStart < int64(wormOffset) || a.BestStart >= int64(wormEnd) {
+			t.Errorf("alert at %d: stream-absolute BestStart %d outside the worm [%d, %d)",
+				a.Offset, a.BestStart, wormOffset, wormEnd)
+		}
+	}
+}

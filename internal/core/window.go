@@ -1,0 +1,56 @@
+package core
+
+import (
+	"repro/internal/mel"
+	"repro/internal/telemetry/tracing"
+)
+
+// WindowSession is a per-stream scan session: each window is judged
+// exactly like Detector.Scan would judge it (same threshold, same
+// verdict), but the MEL measurement runs through a mel.WindowScanner
+// that carries the packed records of the window overlap, so only the
+// newly arrived bytes are decoded. One session per stream; it is not
+// safe for concurrent use. Close releases the pinned engine state.
+type WindowSession struct {
+	d  *Detector
+	ws *mel.WindowScanner
+}
+
+// NewWindowSession opens a carrying scan session against the detector's
+// current engine.
+func (d *Detector) NewWindowSession() (*WindowSession, error) {
+	if d == nil || d.engine == nil {
+		return nil, ErrNotCalibrated
+	}
+	return &WindowSession{d: d, ws: d.engine.NewWindowScanner()}, nil
+}
+
+// Scan judges one window. advance is the stream distance from the
+// previous window's start (the stride); pass 0 for the first window of
+// a stream or whenever the window does not continue the previous one —
+// the session then decodes it in full.
+func (s *WindowSession) Scan(window []byte, advance int) (Verdict, error) {
+	return s.ScanTraced(window, advance, nil)
+}
+
+// ScanTraced is Scan with per-stage instrumentation; the carried-record
+// count lands on the trace alongside the stage timings.
+func (s *WindowSession) ScanTraced(window []byte, advance int, tr *tracing.Trace) (Verdict, error) {
+	return s.d.observed(window, tr, func(p []byte, t *tracing.Trace) (mel.Result, error) {
+		return s.ws.ScanNextTraced(p, advance, t)
+	})
+}
+
+// Stats returns the session's cumulative record-reuse counters.
+func (s *WindowSession) Stats() mel.WindowStats { return s.ws.Stats() }
+
+// LastReused returns the records carried into the most recent window.
+func (s *WindowSession) LastReused() int { return s.ws.LastReused() }
+
+// Reset drops the carry (the next window decodes in full) — call when
+// the session moves to a new stream.
+func (s *WindowSession) Reset() { s.ws.Reset() }
+
+// Close releases the session's pinned scan state. The session must not
+// be used after Close.
+func (s *WindowSession) Close() { s.ws.Close() }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"testing"
 
@@ -35,6 +36,10 @@ type EngineBenchReport struct {
 	Results           []EngineBenchResult `json:"results"`
 	SpeedupSequential float64             `json:"speedup_sequential"`
 	TracingOverhead   float64             `json:"tracing_overhead"`
+	// StreamCarryReuse is the fraction of packed records the windowed
+	// stream scan carried across window overlaps instead of re-decoding
+	// (0 would mean every window decoded from scratch).
+	StreamCarryReuse float64 `json:"stream_carry_reuse"`
 }
 
 // EngineBench measures MEL-engine scan throughput — optimized engine vs
@@ -117,6 +122,39 @@ func EngineBench(w io.Writer, outPath string, seed uint64) (EngineBenchReport, e
 		}
 	})
 
+	// Larger and adversarial inputs: a 64 KB text case (the cost curve
+	// past the calibrated window size) and a 4 KB case alternating text
+	// with high-entropy runs (the quick tables miss most offsets there).
+	bigCases, err := corpus.Dataset(seed+1, 16, 4096)
+	if err != nil {
+		return EngineBenchReport{}, err
+	}
+	big := corpus.Concat(bigCases)
+	if len(big) > 64<<10 {
+		big = big[:64<<10]
+	}
+	big64Res := measure("engine_scan_benign_64k", len(big), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Scan(big); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	mixed := append([]byte{}, benign...)
+	rng := rand.New(rand.NewSource(int64(seed) + 7))
+	for off := 512; off+512 <= len(mixed); off += 1024 {
+		rng.Read(mixed[off : off+512])
+	}
+	mixedRes := measure("engine_scan_mixed_4k", len(mixed), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Scan(mixed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
 	det, err := core.New()
 	if err != nil {
 		return EngineBenchReport{}, err
@@ -141,7 +179,12 @@ func EngineBench(w io.Writer, outPath string, seed uint64) (EngineBenchReport, e
 		}
 	})
 
-	report.Results = []EngineBenchResult{optimized, reference, traced, wormRes, streamRes}
+	if carry := scanner.CarryStats(); carry.RecordsReused+carry.RecordsDecoded > 0 {
+		report.StreamCarryReuse = float64(carry.RecordsReused) /
+			float64(carry.RecordsReused+carry.RecordsDecoded)
+	}
+
+	report.Results = []EngineBenchResult{optimized, reference, traced, wormRes, big64Res, mixedRes, streamRes}
 	if optimized.NsPerOp > 0 {
 		report.SpeedupSequential = reference.NsPerOp / optimized.NsPerOp
 		report.TracingOverhead = traced.NsPerOp/optimized.NsPerOp - 1
@@ -154,6 +197,7 @@ func EngineBench(w io.Writer, outPath string, seed uint64) (EngineBenchReport, e
 	}
 	fmt.Fprintf(w, "  sequential speedup vs reference: %.2fx\n", report.SpeedupSequential)
 	fmt.Fprintf(w, "  tracing overhead: %.2f%%\n", report.TracingOverhead*100)
+	fmt.Fprintf(w, "  stream carry reuse: %.1f%%\n", report.StreamCarryReuse*100)
 
 	if outPath != "" {
 		blob, err := json.MarshalIndent(report, "", "  ")
@@ -167,4 +211,89 @@ func EngineBench(w io.Writer, outPath string, seed uint64) (EngineBenchReport, e
 	}
 	fmt.Fprintln(w)
 	return report, nil
+}
+
+// BenchGuard re-measures the engine benchmarks and fails if any named
+// benchmark regressed against the committed BENCH_engine.json artifact:
+// ns/op more than 20% above the committed value, or any rise in
+// allocs/op. Benchmarks present in only one of the two reports are
+// noted but not judged. A failing first pass is measured once more and
+// judged on the better of the two runs, so a single co-tenant noise
+// spike does not fail CI.
+func BenchGuard(w io.Writer, committedPath string, seed uint64) error {
+	blob, err := os.ReadFile(committedPath)
+	if err != nil {
+		return fmt.Errorf("bench-guard: read committed artifact: %w", err)
+	}
+	var committed EngineBenchReport
+	if err := json.Unmarshal(blob, &committed); err != nil {
+		return fmt.Errorf("bench-guard: parse %s: %w", committedPath, err)
+	}
+	base := make(map[string]EngineBenchResult, len(committed.Results))
+	for _, r := range committed.Results {
+		base[r.Name] = r
+	}
+
+	judge := func(report EngineBenchReport) []string {
+		var violations []string
+		for _, r := range report.Results {
+			c, ok := base[r.Name]
+			if !ok {
+				fmt.Fprintf(w, "  %-28s no committed baseline; skipped\n", r.Name)
+				continue
+			}
+			if limit := c.NsPerOp * 1.20; r.NsPerOp > limit {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %.0f ns/op exceeds committed %.0f by more than 20%%",
+					r.Name, r.NsPerOp, c.NsPerOp))
+			}
+			if r.AllocsPerOp > c.AllocsPerOp {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %d allocs/op, committed %d",
+					r.Name, r.AllocsPerOp, c.AllocsPerOp))
+			}
+		}
+		return violations
+	}
+
+	report, err := EngineBench(w, "", seed)
+	if err != nil {
+		return err
+	}
+	violations := judge(report)
+	if len(violations) > 0 {
+		fmt.Fprintf(w, "  bench-guard: %d violation(s) on first pass; re-measuring\n", len(violations))
+		retry, err := EngineBench(w, "", seed)
+		if err != nil {
+			return err
+		}
+		// Judge the better of the two runs per benchmark.
+		best := report
+		merged := make([]EngineBenchResult, 0, len(report.Results))
+		byName := make(map[string]EngineBenchResult, len(retry.Results))
+		for _, r := range retry.Results {
+			byName[r.Name] = r
+		}
+		for _, r := range report.Results {
+			if r2, ok := byName[r.Name]; ok {
+				if r2.NsPerOp < r.NsPerOp {
+					r.NsPerOp = r2.NsPerOp
+				}
+				if r2.AllocsPerOp < r.AllocsPerOp {
+					r.AllocsPerOp = r2.AllocsPerOp
+				}
+			}
+			merged = append(merged, r)
+		}
+		best.Results = merged
+		violations = judge(best)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(w, "  REGRESSION %s\n", v)
+		}
+		return fmt.Errorf("bench-guard: %d regression(s) vs %s", len(violations), committedPath)
+	}
+	fmt.Fprintf(w, "  bench-guard: all benchmarks within 20%% of %s, no alloc growth\n", committedPath)
+	return nil
 }

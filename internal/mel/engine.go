@@ -40,6 +40,26 @@ type Engine struct {
 	// branch chains and a map hash per decoded offset.
 	invalidFlags x86.Flags
 	wrongSeg     [8]bool
+
+	// Compiled opcode meta for the fused record decoder (records.go):
+	// one word per one-byte and 0x0F-escaped opcode with the rules folded
+	// in, plus the group-slot rows. quick1 holds the complete packed
+	// record for opcodes whose record is determined by the first byte
+	// alone (no prefix, no ModRM, fixed-size immediate) — the text fast
+	// path. Built once in NewEngineMode.
+	meta1   [256]uint64
+	meta2   [256]uint64
+	quick1  [256]uint64
+	grpMeta [8][8]uint32
+
+	// quick2 extends quick1 to opcodes whose record is determined by
+	// the first two bytes: ModRM forms without a SIB byte (the second
+	// byte fixes mod/reg/rm, so length, group selection, and register
+	// fields are all known), one prefix followed by such a first-byte
+	// form, and 0x0F-escaped forms without ModRM. Entries are compiled
+	// by running the reference decoder on zero-padded two-byte probes;
+	// 0 means undetermined — take the fused walk.
+	quick2 *[256][256]uint32
 }
 
 // NewEngine returns a model-faithful (sequential-mode) engine.
@@ -71,6 +91,7 @@ func NewEngineMode(rules Rules, mode Mode) *Engine {
 			e.wrongSeg[seg] = true
 		}
 	}
+	e.compileMeta()
 	return e
 }
 
@@ -129,16 +150,7 @@ const MaxStreamLen = maxStreamLen
 // the current DFS stack, v > 0 = resolved with path length v-1.
 const memoInProgress int32 = -1
 
-// Sequential successor records: recInvalid marks an undecodable or
-// rule-invalid offset, recEnd a path terminator (RET-class instruction,
-// or a transfer leaving the stream); anything else is the in-range
-// continuation offset.
-const (
-	recInvalid int32 = -1
-	recEnd     int32 = -2
-)
-
-// Control kinds of a pathRec.
+// Control kinds of a packed record (records.go).
 const (
 	ctrlSeq uint8 = iota // fall through to succ
 	ctrlInvalid
@@ -154,19 +166,6 @@ const (
 	transCopy       // dst (arg low nibble) gets src's (high nibble) defined bit
 	transSwap       // swap the defined bits of the two nibble registers
 )
-
-// pathRec is one offset of the stream reduced to everything path
-// exploration needs: decoded exactly once, 12 bytes instead of a full
-// x86.Inst, so the visit loop stays in cache and never re-interprets
-// rule or register semantics.
-type pathRec struct {
-	succ     int32 // fall-through continuation, -1 if it leaves the stream
-	target   int32 // branch/call target, -1 if it leaves the stream
-	ctrl     uint8
-	needRegs uint8 // registers that must be defined, as a regMask
-	trKind   uint8
-	trArg    uint8
-}
 
 // applyTrans is the compiled form of apply: a precomputed transition
 // replayed against a concrete register mask.
@@ -260,20 +259,33 @@ type scanState struct {
 	e    *Engine
 	code []byte
 
-	// Decode-once cache for the exploring scan modes.
+	// Decode-once cache for the single-offset scan path (ScanFrom, the
+	// per-scan trace dump).
 	insts   []x86.Inst
 	decoded []uint8
 
-	// Sequential-mode successor records.
-	recs []int32
-	// Full path records for the exploring scan modes.
-	precs []pathRec
+	// Packed per-offset records (records.go), shared by every full-scan
+	// mode and carried across windows by WindowScanner. backEdges counts
+	// records whose unconditional transfer targets at or before their own
+	// offset; zero means sequential chains are strictly forward and the
+	// suffix-run sweep applies.
+	recs      []uint64
+	backEdges int
 
 	// Per-register-mask memo tables. live marks tables initialized for
-	// the current stream; used lists them for O(used) release.
+	// the current stream; used[:usedN] lists them for O(used) release
+	// (a mask can appear only once, so 256 slots always suffice). spanLo /
+	// spanHi (exclusive) bound the cells of each table that may hold
+	// stale nonzero values from earlier scans: tableSparse clears only
+	// that span on acquire instead of the whole table, and every write
+	// path either widens the span precisely (the memoized DFS) or
+	// stamps it full (table, covering the direct-writing chain walks).
 	tables [256][]int32
 	live   [256]bool
-	used   []uint8
+	used   [256]uint8
+	usedN  int
+	spanLo [256]int32
+	spanHi [256]int32
 
 	stack []int32
 	// maskStack holds (offset<<8 | mask) frames for the iterative
@@ -293,18 +305,69 @@ func acquireState(e *Engine, code []byte) *scanState {
 }
 
 func releaseState(s *scanState) {
-	for _, m := range s.used {
-		s.live[m] = false
-	}
-	s.used = s.used[:0]
+	s.resetScan(nil)
 	s.e = nil
-	s.code = nil
 	statePool.Put(s)
 }
 
-// table returns the memo table for mask, sized for the current stream
-// and zeroed on first use within a scan.
-func (s *scanState) table(mask regMask) []int32 {
+// resetScan readies the state for another scan: memo tables are marked
+// dead (their dirty spans survive, so the next acquire clears exactly
+// the stale cells), and the stream is swapped. Records are left in
+// place — the window scanner's carry reads them before ensureRecs.
+func (s *scanState) resetScan(code []byte) {
+	for _, m := range s.used[:s.usedN] {
+		s.live[m] = false
+	}
+	s.usedN = 0
+	s.code = code
+	s.states = 0
+}
+
+// table returns the memo table for mask, sized for the current stream.
+// zero controls whether a first acquire within a scan clears the table:
+// the memoized DFS needs zeroed cells to mean "unexplored", but the
+// suffix sweeps deterministically write every cell before reading it
+// and pass false to skip the clear. Either way the table is marked
+// live, so a later acquire in the same scan never wipes earlier values.
+// Callers of table may write cells directly without span bookkeeping,
+// so the dirty span is stamped full on every call — including the live
+// fast path, which a direct-writing walk can reach on a table first
+// acquired through tableSparse.
+func (s *scanState) table(mask regMask, zero bool) []int32 {
+	n := len(s.code)
+	s.spanLo[mask] = 0
+	if hi := int32(n); hi > s.spanHi[mask] {
+		s.spanHi[mask] = hi
+	}
+	if s.live[mask] {
+		return s.tables[mask]
+	}
+	t := s.tables[mask]
+	if cap(t) < n {
+		t = make([]int32, n)
+		s.spanHi[mask] = int32(n)
+	} else {
+		t = t[:n]
+		if zero {
+			clear(t)
+		}
+	}
+	s.tables[mask] = t
+	s.live[mask] = true
+	s.used[s.usedN] = uint8(mask)
+	s.usedN++
+	return t
+}
+
+// tableSparse is table for the memoized-DFS acquires, where writes land
+// on the sparse chain the DFS actually walks rather than across the
+// whole stream. Instead of zeroing the table it clears only the span
+// dirtied by earlier scans and resets the span to empty; longestRecT
+// then widens it around each cell it writes. For the divergent-mask
+// tables of the tracked sweeps — touched on a handful of chains per
+// scan — this replaces a full-stream memclr per mask with a few
+// hundred bytes.
+func (s *scanState) tableSparse(mask regMask) []int32 {
 	if s.live[mask] {
 		return s.tables[mask]
 	}
@@ -314,12 +377,32 @@ func (s *scanState) table(mask regMask) []int32 {
 		t = make([]int32, n)
 	} else {
 		t = t[:n]
-		clear(t)
+		// The stored span can exceed the current stream length; clear all
+		// of it through the full backing array so a later, longer stream
+		// does not see the leftover tail.
+		if lo, hi := s.spanLo[mask], s.spanHi[mask]; lo < hi {
+			clear(s.tables[mask][lo:hi])
+		}
 	}
+	s.spanLo[mask] = int32(n)
+	s.spanHi[mask] = 0
 	s.tables[mask] = t
 	s.live[mask] = true
-	s.used = append(s.used, uint8(mask))
+	s.used[s.usedN] = uint8(mask)
+	s.usedN++
 	return t
+}
+
+// noteWrite widens mask's dirty span around a cell the DFS is about to
+// write. Only the first write at an offset needs it (memoInProgress and
+// the final value land on the same cell).
+func (s *scanState) noteWrite(mask regMask, off int) {
+	if o := int32(off); o < s.spanLo[mask] {
+		s.spanLo[mask] = o
+	}
+	if o := int32(off) + 1; o > s.spanHi[mask] {
+		s.spanHi[mask] = o
+	}
 }
 
 // ensureDecodeCache sizes and resets the per-offset decode cache. The
@@ -382,146 +465,212 @@ func (e *Engine) ScanTraced(stream []byte, tr *tracing.Trace) (Result, error) {
 	}
 	s := acquireState(e, stream)
 	defer releaseState(s)
-	var best, bestStart int
-	switch {
-	case e.mode != ModeAllPaths && !e.rules.TrackRegisterInit:
-		tr.StageStart(tracing.StageDecode)
-		s.buildSeqRecords()
-		tr.StageEnd(tracing.StageDecode)
-		tr.StageStart(tracing.StageDP)
-		best, bestStart = s.scanSequential()
-		tr.StageEnd(tracing.StageDP)
-	case e.mode != ModeAllPaths:
-		tr.StageStart(tracing.StageDecode)
-		s.buildPathRecords()
-		tr.StageEnd(tracing.StageDecode)
-		tr.StageStart(tracing.StageDP)
-		best, bestStart = s.scanSequentialTracked()
-		tr.StageEnd(tracing.StageDP)
-	default:
-		tr.StageStart(tracing.StageDecode)
-		s.buildPathRecords()
-		tr.StageEnd(tracing.StageDecode)
-		mask := regMask(0xFF)
-		if e.rules.TrackRegisterInit {
-			mask = initialMask
-		}
-		tr.StageStart(tracing.StageDP)
-		for off := 0; off < len(stream); off++ {
-			if l := s.longestRec(off, mask); l > best {
-				best = l
-				bestStart = off
+	s.ensureRecs()
+	if tr == nil && e.mode != ModeAllPaths {
+		// Hot path: decode and the suffix DP run as one backward pass.
+		best, bestStart, ok := s.scanFused(0)
+		if !ok {
+			// A backward transfer voids the suffix order; the records
+			// are fully built, so run the chain walk over them.
+			if e.rules.TrackRegisterInit {
+				best, bestStart = s.scanSequentialTracked()
+			} else {
+				best, bestStart = s.scanSequential()
 			}
 		}
-		tr.StageEnd(tracing.StageDP)
+		return Result{MEL: best, BestStart: bestStart, States: s.states}, nil
 	}
+	tr.StageStart(tracing.StageDecode)
+	s.buildRecords(0)
+	tr.StageEnd(tracing.StageDecode)
+	tr.StageStart(tracing.StageDP)
+	best, bestStart := s.run()
+	tr.StageEnd(tracing.StageDP)
 	return Result{MEL: best, BestStart: bestStart, States: s.states}, nil
 }
 
-// buildPathRecords decodes every offset exactly once and compiles it to
-// a pathRec for the exploring scan modes.
-func (s *scanState) buildPathRecords() {
-	n := len(s.code)
-	if cap(s.precs) < n {
-		s.precs = make([]pathRec, n)
-	} else {
-		s.precs = s.precs[:n]
+// run dispatches the DP over the packed records for the engine's mode
+// and rules. The caller must have run buildRecords for the full stream.
+//
+//mel:hotpath
+func (s *scanState) run() (best, bestStart int) {
+	e := s.e
+	switch {
+	case e.mode != ModeAllPaths && !e.rules.TrackRegisterInit:
+		if s.backEdges == 0 {
+			return s.scanSequentialSuffix()
+		}
+		return s.scanSequential()
+	case e.mode != ModeAllPaths:
+		if s.backEdges == 0 {
+			return s.scanSequentialTrackedSuffix()
+		}
+		return s.scanSequentialTracked()
 	}
-	tracking := s.e.rules.TrackRegisterInit
-	var inst x86.Inst
-	for off := 0; off < n; off++ {
-		r := &s.precs[off]
-		if x86.DecodeInto(&inst, s.code, off) != nil ||
-			s.e.invalidBase(&inst) {
-			*r = pathRec{ctrl: ctrlInvalid}
-			continue
-		}
-		r.needRegs = 0
-		r.trKind, r.trArg = transNone, 0
-		if tracking {
-			if inst.MemAccess && !inst.MemDispOnly {
-				if inst.MemBase != x86.RegNone {
-					r.needRegs |= 1 << uint(inst.MemBase)
-				}
-				if inst.MemIndex != x86.RegNone {
-					r.needRegs |= 1 << uint(inst.MemIndex)
-				}
-			}
-			r.trKind, r.trArg = transitionOf(&inst)
-		}
-		succ := int32(off + inst.Len)
-		if succ >= int32(n) {
-			succ = -1
-		}
-		target := int32(-1)
-		if inst.HasRelTarget && inst.RelTarget >= 0 && inst.RelTarget < n {
-			target = int32(inst.RelTarget)
-		}
-		r.succ, r.target = succ, target
-		switch {
-		case inst.Flags&(x86.FlagRet|x86.FlagIndirect|x86.FlagFar|x86.FlagInt) != 0:
-			r.ctrl = ctrlEnd
-		case inst.Flags.Has(x86.FlagCondBranch):
-			r.ctrl = ctrlCond
-		case inst.Flags&(x86.FlagUncondJump|x86.FlagCall) != 0:
-			r.ctrl = ctrlJump
-		default:
-			r.ctrl = ctrlSeq
+	mask := regMask(0xFF)
+	if e.rules.TrackRegisterInit {
+		mask = initialMask
+	}
+	t := s.table(mask, true)
+	for off := 0; off < len(s.code); off++ {
+		if l := s.longestRecT(off, mask, t); l > best {
+			best = l
+			bestStart = off
 		}
 	}
+	return best, bestStart
 }
 
-// longestRec is longest over precomputed path records — the hot form
-// used by full scans, where every offset is explored anyway.
+// longestRec is longest over the packed records — the hot form used by
+// the all-paths full scan, where every offset is explored anyway.
 func (s *scanState) longestRec(off int, mask regMask) int {
-	if off < 0 {
-		return 0 // continuation left the stream (clamped at build time)
+	if uint(off) >= uint(len(s.code)) {
+		return 0 // continuation left the stream
 	}
-	t := s.table(mask)
+	return s.longestRecT(off, mask, s.table(mask, true))
+}
+
+// extRec is the recursion step of longestRecT: bounds check, then the
+// threaded walk. Leaving the stream ends the path.
+func (s *scanState) extRec(off int, mask regMask, t []int32) int {
+	if uint(off) >= uint(len(s.code)) {
+		return 0
+	}
+	return s.longestRecT(off, mask, t)
+}
+
+// longestRecT is longestRec with mask's memo table threaded through the
+// recursion: continuations that keep the register mask — the common
+// case — stay on t without re-resolving it through the table map.
+func (s *scanState) longestRecT(off int, mask regMask, t []int32) int {
 	switch v := t[off]; {
 	case v > 0:
 		return int(v) - 1
 	case v == memoInProgress:
 		return 0 // cycle
 	}
-	r := &s.precs[off]
-	if r.ctrl == ctrlInvalid || regMask(r.needRegs)&^mask != 0 {
+	r := s.recs[off]
+	kind := uint8(r>>recKindShift) & 7
+	if kind == ctrlInvalid || regMask(uint8(r>>recNeedShift))&^mask != 0 {
+		s.noteWrite(mask, off)
 		t[off] = 1
 		s.states++
 		return 0
 	}
+	s.noteWrite(mask, off)
 	t[off] = memoInProgress
 
 	nextMask := mask
-	if r.trKind != transNone {
-		nextMask = applyTrans(r.trKind, r.trArg, mask)
+	nt := t
+	if trKind := uint8(r>>recTrKindShift) & 3; trKind != transNone {
+		if nextMask = applyTrans(trKind, uint8(r>>recTrArgShift), mask); nextMask != mask {
+			nt = s.tableSparse(nextMask)
+		}
 	}
+	succ := off + int(r&recLenMask)
 
 	var ext int
-	switch r.ctrl {
+	switch kind {
 	case ctrlEnd:
 		ext = 0
 	case ctrlCond:
 		if s.e.mode == ModeAllPaths {
-			fall := s.longestRec(int(r.succ), nextMask)
-			taken := s.longestRec(int(r.target), nextMask)
+			fall := s.extRec(succ, nextMask, nt)
+			taken := s.extRec(succ+int(int32(r>>recDispShift)), nextMask, nt)
 			if taken > fall {
 				ext = taken
 			} else {
 				ext = fall
 			}
 		} else {
-			ext = s.longestRec(int(r.succ), nextMask)
+			ext = s.extRec(succ, nextMask, nt)
 		}
 	case ctrlJump:
-		ext = s.longestRec(int(r.target), nextMask)
+		ext = s.extRec(succ+int(int32(r>>recDispShift)), nextMask, nt)
 	default:
-		ext = s.longestRec(int(r.succ), nextMask)
+		ext = s.extRec(succ, nextMask, nt)
 	}
 
 	t[off] = int32(2 + ext)
 	s.states++
 	return 1 + ext
+}
+
+// chainRecT resolves the memo value of state (off, mask) for the
+// tracked sweeps, which only run when the stream has no backward
+// transfers and control flow is sequential. Each state then has exactly
+// one successor lying strictly ahead, so longestRecT's DFS degenerates
+// to an acyclic chain: walk it iteratively, pushing (offset, mask)
+// frames until a memoized or terminal state, then unwind in reverse
+// assigning values. Memo writes and state counts are exactly the
+// recursion's — one final write per state, no in-progress marking
+// needed (no cycles can form). Returns t[off]'s resolved value; the
+// caller has established t[off] == 0.
+//
+//mel:hotpath
+func (s *scanState) chainRecT(off int, mask regMask, t []int32) int32 {
+	n := len(s.code)
+	recs := s.recs
+	stack := s.maskStack[:cap(s.maskStack)]
+	sp := 0
+	states := s.states
+	var ext int32
+	for {
+		r := recs[off]
+		kind := uint8(r>>recKindShift) & 7
+		if kind == ctrlInvalid || regMask(uint8(r>>recNeedShift))&^mask != 0 {
+			s.noteWrite(mask, off)
+			t[off] = 1
+			states++
+			break
+		}
+		stack[sp] = uint64(off)<<8 | uint64(mask)
+		sp++
+		if kind == ctrlEnd {
+			break
+		}
+		next := off + int(r&recLenMask)
+		if kind == ctrlJump {
+			next += int(int32(r >> recDispShift))
+		}
+		if uint(next) >= uint(n) {
+			break // continuation leaves the stream: path ends here
+		}
+		if trKind := uint8(r>>recTrKindShift) & 3; trKind != transNone {
+			if nm := applyTrans(trKind, uint8(r>>recTrArgShift), mask); nm != mask {
+				mask = nm
+				t = s.tableSparse(mask)
+			}
+		}
+		if m := t[next]; m > 0 {
+			ext = m - 1
+			break
+		}
+		off = next
+	}
+	if sp == 0 {
+		// The entry state itself was invalid; its memo value is 1.
+		s.states = states
+		return 1
+	}
+	// Unwind: each pushed state extends its successor's run by one.
+	// Consecutive frames usually share a mask; refetch only on change.
+	ut, utMask := t, mask
+	var top int32
+	for i := sp - 1; i >= 0; i-- {
+		fr := stack[i]
+		if m := regMask(fr); m != utMask {
+			utMask = m
+			ut = s.tableSparse(m)
+		}
+		ext++
+		top = ext + 1
+		s.noteWrite(utMask, int(fr>>8))
+		ut[fr>>8] = top
+		states++
+	}
+	s.states = states
+	return top
 }
 
 // ScanFrom pseudo-executes from a single start offset only — the shape
@@ -557,7 +706,7 @@ func (s *scanState) longest(off int, mask regMask) int {
 	if off < 0 || off >= len(s.code) {
 		return 0
 	}
-	t := s.table(mask)
+	t := s.table(mask, true)
 	switch v := t[off]; {
 	case v > 0:
 		return int(v) - 1
@@ -612,38 +761,398 @@ func (s *scanState) longest(off int, mask regMask) int {
 	return 1 + ext
 }
 
-// buildSeqRecords decodes every offset exactly once and reduces it to
-// its sequential-mode successor record.
-func (s *scanState) buildSeqRecords() {
+// scanSequentialSuffix is the suffix-run form of scanSequential for
+// streams with no backward transfers (s.backEdges == 0 — all of
+// printable text, whose displacement bytes are non-negative). Every
+// successor then lies strictly ahead of its offset, so one backward
+// sweep resolves dp[off] = 1 + dp[succ(off)] directly against
+// already-final memo cells: no DFS stack, no in-progress marking, no
+// unwind, and no serial chain dependence — consecutive iterations only
+// read finished suffix values. Memo contents and state counts are
+// identical to the chain walk's (each offset is written exactly once in
+// both), so results stay byte-identical to ScanReference.
+//
+//mel:hotpath
+func (s *scanState) scanSequentialSuffix() (best, bestStart int) {
 	n := len(s.code)
-	if cap(s.recs) < n {
-		s.recs = make([]int32, n)
-	} else {
-		s.recs = s.recs[:n]
+	if n == 0 {
+		return 0, 0
 	}
-	var inst x86.Inst
-	for off := 0; off < n; off++ {
-		if x86.DecodeInto(&inst, s.code, off) != nil ||
-			s.e.invalidBase(&inst) {
-			s.recs[off] = recInvalid
+	// Every cell is written before any read of it (successors lie
+	// strictly ahead of a backward sweep), so the acquire skips the
+	// zeroing clear. The best tracking folds into the same pass: >=
+	// moves the start to the smallest offset achieving the maximum,
+	// which is exactly the forward first-strict-improvement rule.
+	memo := s.table(0xFF, false)[:n]
+	recs := s.recs[:n]
+	var bestV int32
+	for off := n - 1; off >= 0; off-- {
+		r := recs[off]
+		kind := uint8(r>>recKindShift) & 7
+		var v int32
+		switch {
+		case kind == ctrlInvalid:
+			v = 1
+		case kind == ctrlEnd:
+			v = 2
+		default:
+			next := off + int(r&recLenMask)
+			if kind == ctrlJump {
+				next += int(int32(r >> recDispShift))
+			}
+			if uint(next) >= uint(n) {
+				v = 2 // leaving the stream ends the path
+			} else {
+				v = memo[next] + 1
+			}
+		}
+		memo[off] = v
+		if v >= bestV {
+			bestV = v
+			bestStart = off
+		}
+	}
+	s.states += n
+	return int(bestV) - 1, bestStart
+}
+
+// scanSequentialTrackedSuffix is the suffix-run sweep with register
+// tracking. The initial-mask table is filled backward exactly as in
+// scanSequentialSuffix; when an instruction's register transition
+// diverges from the initial mask, the successor state lives in another
+// table and is resolved through the memoized DFS (longestRec), which
+// explores precisely the states the chain walk would have — divergence
+// is rare on text, so the sweep stays linear.
+//
+//mel:hotpath
+func (s *scanState) scanSequentialTrackedSuffix() (best, bestStart int) {
+	n := len(s.code)
+	if n == 0 {
+		return 0, 0
+	}
+	// As in scanSequentialSuffix: every cell is written before any read
+	// (divergent-mask lookups only ever reach offsets ahead of the
+	// sweep), so the acquire skips the zeroing clear, and the best
+	// tracking folds into the backward pass.
+	t0 := s.table(initialMask, false)[:n]
+	recs := s.recs[:n]
+	states := s.states
+	var bestV int32
+	lastMask := initialMask
+	lastT := t0
+	for off := n - 1; off >= 0; off-- {
+		r := recs[off]
+		kind := uint8(r>>recKindShift) & 7
+		var v int32
+		switch {
+		case kind == ctrlInvalid || regMask(uint8(r>>recNeedShift))&^initialMask != 0:
+			v = 1
+		case kind == ctrlEnd:
+			v = 2
+		default:
+			next := off + int(r&recLenMask)
+			if kind == ctrlJump {
+				next += int(int32(r >> recDispShift))
+			}
+			if uint(next) >= uint(n) {
+				v = 2 // leaving the stream ends the path
+			} else if trKind := uint8(r>>recTrKindShift) & 3; trKind == transNone {
+				v = t0[next] + 1
+			} else if nm := applyTrans(trKind, uint8(r>>recTrArgShift), initialMask); nm == initialMask {
+				v = t0[next] + 1
+			} else {
+				// Divergent mask: resolve the successor state through the
+				// memoized DFS over its own table. The last divergent
+				// table is cached, and a memo hit — the common case once
+				// a run of the same transition has been seen — resolves
+				// with a single load, no call.
+				if nm != lastMask {
+					lastT = s.tableSparse(nm)
+					lastMask = nm
+				}
+				if mv := lastT[next]; mv > 0 {
+					v = mv + 1
+				} else {
+					s.states = states
+					v = s.chainRecT(next, nm, lastT) + 1
+					states = s.states
+				}
+			}
+		}
+		t0[off] = v
+		states++
+		if v >= bestV {
+			bestV = v
+			bestStart = off
+		}
+	}
+	s.states = states
+	return int(bestV) - 1, bestStart
+}
+
+// scanFused is the anchored single-pass scan core: decode and the
+// suffix-run DP run as ONE backward pass over the stream. The DP at an
+// offset only consults records and memo cells strictly ahead of it,
+// which the backward order has already produced, so no intermediate
+// full-stream decode pass is needed. Offsets below from reuse their
+// carried records (the stream-carry path; the caller guarantees the
+// carried region has no back edges). If a backward transfer is
+// discovered mid-pass the DP half is abandoned: decode completes for
+// the remaining offsets, the memo prefix the DP never wrote is
+// re-zeroed, and ok=false tells the caller to run the chain-walk
+// fallback over the fully built records. Memo contents and state
+// counts are identical to the two-pass form in every case.
+//
+//mel:hotpath
+func (s *scanState) scanFused(from int) (best, bestStart int, ok bool) {
+	if s.e.rules.TrackRegisterInit {
+		return s.scanFusedTracked(from)
+	}
+	return s.scanFusedSeq(from)
+}
+
+// finishDecode completes the decode half after the fused DP aborted on
+// a back edge at offset off (whose record is r): r is stored, the
+// offsets [from, off) are decoded backward (so segDerive applies), and
+// s.backEdges is re-established over the whole record array.
+func (s *scanState) finishDecode(r uint64, off, from int) {
+	code := s.code
+	n := len(code)
+	e := s.e
+	recs := s.recs
+	recs[off] = r
+	for o := off - 1; o >= from; o-- {
+		b := code[o]
+		if q := e.quick1[b]; q != 0 {
+			recs[o], _ = patchQuick(q, code, o, n)
 			continue
 		}
-		succ := off + inst.Len
-		switch {
-		case inst.Flags&(x86.FlagRet|x86.FlagIndirect|x86.FlagFar|x86.FlagInt) != 0:
-			succ = -1
-		case inst.Flags.Has(x86.FlagCondBranch):
-			// Sequential mode falls through a conditional branch.
-		case inst.Flags&(x86.FlagUncondJump|x86.FlagCall) != 0:
-			succ = inst.RelTarget
+		if sp := segPrefixByte[b]; sp != 0 {
+			if dr, ok := segDerive(recs[o+1], sp, &e.wrongSeg); ok {
+				recs[o] = dr
+				continue
+			}
 		}
-		if succ < 0 || succ >= n {
-			// Leaving the stream ends the path, exactly like a terminator.
-			s.recs[off] = recEnd
-		} else {
-			s.recs[off] = int32(succ)
+		if q := uint64(e.quick2[b][code[o+1]]); q != 0 {
+			if q&quickSIB != 0 {
+				recs[o] = expandSIB(q, code, o, n)
+				continue
+			}
+			recs[o], _ = patchQuick(q, code, o, n)
+			continue
 		}
+		recs[o] = s.decodeSlow(o)
 	}
+	s.backEdges = countBackEdges(recs[:n])
+}
+
+// scanFusedSeq is scanFused without register tracking.
+//
+//mel:hotpath
+func (s *scanState) scanFusedSeq(from int) (best, bestStart int, ok bool) {
+	code := s.code
+	n := len(code)
+	if n == 0 {
+		return 0, 0, true
+	}
+	e := s.e
+	recs := s.recs
+	memo := s.table(0xFF, false)[:n]
+	var bestV int32
+	var r uint64
+	var be bool
+	s.backEdges = 0
+	for off := n - 1; off >= 0; off-- {
+		if off < from {
+			r = recs[off]
+			goto dp
+		}
+		{
+			b := code[off]
+			if q := e.quick1[b]; q != 0 {
+				if r, be = patchQuick(q, code, off, n); be {
+					goto abort
+				}
+				goto store
+			}
+			if off+1 < n {
+				if sp := segPrefixByte[b]; sp != 0 {
+					var dok bool
+					if r, dok = segDerive(recs[off+1], sp, &e.wrongSeg); dok {
+						if backEdgeRec(r) {
+							goto abort
+						}
+						goto store
+					}
+				}
+				if q := uint64(e.quick2[b][code[off+1]]); q != 0 {
+					if q&quickSIB != 0 {
+						r = expandSIB(q, code, off, n)
+						goto store // SIB records cannot be back edges
+					}
+					if r, be = patchQuick(q, code, off, n); be {
+						goto abort
+					}
+					goto store
+				}
+			}
+			r = s.decodeSlow(off)
+			if backEdgeRec(r) {
+				goto abort
+			}
+		}
+	store:
+		recs[off] = r
+	dp:
+		{
+			kind := uint8(r>>recKindShift) & 7
+			var v int32
+			switch {
+			case kind == ctrlInvalid:
+				v = 1
+			case kind == ctrlEnd:
+				v = 2
+			default:
+				next := off + int(r&recLenMask)
+				if kind == ctrlJump {
+					next += int(int32(r >> recDispShift))
+				}
+				if uint(next) >= uint(n) {
+					v = 2 // leaving the stream ends the path
+				} else {
+					v = memo[next] + 1
+				}
+			}
+			memo[off] = v
+			if v >= bestV {
+				bestV = v
+				bestStart = off
+			}
+		}
+		continue
+	abort:
+		s.finishDecode(r, off, from)
+		s.states += n - 1 - off
+		clear(memo[:off+1])
+		return 0, 0, false
+	}
+	s.states += n
+	return int(bestV) - 1, bestStart, true
+}
+
+// scanFusedTracked is scanFused with register tracking: the DP half is
+// scanSequentialTrackedSuffix's, including the cached divergent-mask
+// resolution through the memoized DFS (whose forward-only exploration
+// never outruns the already-decoded suffix).
+//
+//mel:hotpath
+func (s *scanState) scanFusedTracked(from int) (best, bestStart int, ok bool) {
+	code := s.code
+	n := len(code)
+	if n == 0 {
+		return 0, 0, true
+	}
+	e := s.e
+	recs := s.recs
+	t0 := s.table(initialMask, false)[:n]
+	states := s.states
+	var bestV int32
+	var r uint64
+	var be bool
+	lastMask := initialMask
+	lastT := t0
+	s.backEdges = 0
+	for off := n - 1; off >= 0; off-- {
+		if off < from {
+			r = recs[off]
+			goto dp
+		}
+		{
+			b := code[off]
+			if q := e.quick1[b]; q != 0 {
+				if r, be = patchQuick(q, code, off, n); be {
+					goto abort
+				}
+				goto store
+			}
+			if off+1 < n {
+				if sp := segPrefixByte[b]; sp != 0 {
+					var dok bool
+					if r, dok = segDerive(recs[off+1], sp, &e.wrongSeg); dok {
+						if backEdgeRec(r) {
+							goto abort
+						}
+						goto store
+					}
+				}
+				if q := uint64(e.quick2[b][code[off+1]]); q != 0 {
+					if q&quickSIB != 0 {
+						r = expandSIB(q, code, off, n)
+						goto store // SIB records cannot be back edges
+					}
+					if r, be = patchQuick(q, code, off, n); be {
+						goto abort
+					}
+					goto store
+				}
+			}
+			r = s.decodeSlow(off)
+			if backEdgeRec(r) {
+				goto abort
+			}
+		}
+	store:
+		recs[off] = r
+	dp:
+		{
+			kind := uint8(r>>recKindShift) & 7
+			var v int32
+			switch {
+			case kind == ctrlInvalid || regMask(uint8(r>>recNeedShift))&^initialMask != 0:
+				v = 1
+			case kind == ctrlEnd:
+				v = 2
+			default:
+				next := off + int(r&recLenMask)
+				if kind == ctrlJump {
+					next += int(int32(r >> recDispShift))
+				}
+				if uint(next) >= uint(n) {
+					v = 2 // leaving the stream ends the path
+				} else if trKind := uint8(r>>recTrKindShift) & 3; trKind == transNone {
+					v = t0[next] + 1
+				} else if nm := applyTrans(trKind, uint8(r>>recTrArgShift), initialMask); nm == initialMask {
+					v = t0[next] + 1
+				} else {
+					if nm != lastMask {
+						lastT = s.tableSparse(nm)
+						lastMask = nm
+					}
+					if mv := lastT[next]; mv > 0 {
+						v = mv + 1
+					} else {
+						s.states = states
+						v = s.chainRecT(next, nm, lastT) + 1
+						states = s.states
+					}
+				}
+			}
+			t0[off] = v
+			states++
+			if v >= bestV {
+				bestV = v
+				bestStart = off
+			}
+		}
+		continue
+	abort:
+		s.finishDecode(r, off, from)
+		s.states = states
+		clear(t0[:off+1])
+		return 0, 0, false
+	}
+	s.states = states
+	return int(bestV) - 1, bestStart, true
 }
 
 // scanSequential computes MEL for every start offset in linear time.
@@ -656,13 +1165,16 @@ func (s *scanState) buildSeqRecords() {
 // form cycles; they are cut exactly as the reference DFS cuts them (an
 // offset already on the active chain contributes 0), so results are
 // byte-identical to ScanReference. The caller must have run
-// buildSeqRecords first (ScanTraced does, so the decode pass is timed
+// buildRecords first (ScanTraced does, so the decode pass is timed
 // separately from the DP).
+//
+//mel:hotpath
 func (s *scanState) scanSequential() (best, bestStart int) {
 	n := len(s.code)
-	memo := s.table(0xFF)
-	recs := s.recs
+	memo := s.table(0xFF, true)[:n]
+	recs := s.recs[:n]
 	stack := s.stack[:0]
+	states := s.states
 	for start := 0; start < n; start++ {
 		v := memo[start]
 		if v <= 0 {
@@ -679,24 +1191,34 @@ func (s *scanState) scanSequential() (best, bestStart int) {
 					break
 				}
 				r := recs[off]
-				if r == recInvalid {
+				kind := uint8(r>>recKindShift) & 7
+				if kind == ctrlInvalid {
 					memo[off] = 1
-					s.states++
+					states++
 					ext = 0
 					break
 				}
 				memo[off] = memoInProgress
 				stack = append(stack, int32(off))
-				if r == recEnd {
+				if kind == ctrlEnd {
 					ext = 0
 					break
 				}
-				off = int(r)
+				next := off + int(r&recLenMask)
+				if kind == ctrlJump {
+					next += int(int32(r >> recDispShift))
+				}
+				if uint(next) >= uint(n) {
+					// Leaving the stream ends the path, like a terminator.
+					ext = 0
+					break
+				}
+				off = next
 			}
 			for i := len(stack) - 1; i >= 0; i-- {
 				ext++
 				memo[stack[i]] = ext + 1
-				s.states++
+				states++
 			}
 			stack = stack[:0]
 			v = memo[start]
@@ -707,6 +1229,7 @@ func (s *scanState) scanSequential() (best, bestStart int) {
 		}
 	}
 	s.stack = stack
+	s.states = states
 	return best, bestStart
 }
 
@@ -718,11 +1241,15 @@ func (s *scanState) scanSequential() (best, bestStart int) {
 // shape as scanSequential but with per-mask tables and the compiled
 // register transitions. Visit order, cycle cuts, and memo writes match
 // the reference DFS exactly, so results are byte-identical. The caller
-// must have run buildPathRecords first.
+// must have run buildRecords first.
+//
+//mel:hotpath
 func (s *scanState) scanSequentialTracked() (best, bestStart int) {
 	n := len(s.code)
-	t0 := s.table(initialMask)
+	t0 := s.table(initialMask, true)[:n]
+	recs := s.recs[:n]
 	stack := s.maskStack[:0]
+	states := s.states
 	for start := 0; start < n; start++ {
 		if t0[start] == 0 {
 			off, mask := start, initialMask
@@ -738,33 +1265,34 @@ func (s *scanState) scanSequentialTracked() (best, bestStart int) {
 					ext = 0 // cycle
 					break
 				}
-				r := &s.precs[off]
-				if r.ctrl == ctrlInvalid || regMask(r.needRegs)&^mask != 0 {
+				r := recs[off]
+				kind := uint8(r>>recKindShift) & 7
+				if kind == ctrlInvalid || regMask(uint8(r>>recNeedShift))&^mask != 0 {
 					t[off] = 1
-					s.states++
+					states++
 					ext = 0
 					break
 				}
 				t[off] = memoInProgress
 				stack = append(stack, uint64(off)<<8|uint64(mask))
-				if r.ctrl == ctrlEnd {
+				if kind == ctrlEnd {
 					ext = 0
 					break
 				}
-				next := r.succ
-				if r.ctrl == ctrlJump {
-					next = r.target
+				next := off + int(r&recLenMask)
+				if kind == ctrlJump {
+					next += int(int32(r >> recDispShift))
 				}
-				if next < 0 {
+				if uint(next) >= uint(n) {
 					// Continuation leaves the stream: path ends here.
 					ext = 0
 					break
 				}
-				off = int(next)
-				if r.trKind != transNone {
-					if nm := applyTrans(r.trKind, r.trArg, mask); nm != mask {
+				off = next
+				if trKind := uint8(r>>recTrKindShift) & 3; trKind != transNone {
+					if nm := applyTrans(trKind, uint8(r>>recTrArgShift), mask); nm != mask {
 						mask = nm
-						t = s.table(mask)
+						t = s.table(mask, true)[:n]
 					}
 				}
 			}
@@ -775,11 +1303,11 @@ func (s *scanState) scanSequentialTracked() (best, bestStart int) {
 				fr := stack[i]
 				if m := regMask(fr); m != utMask {
 					utMask = m
-					ut = s.table(m)
+					ut = s.table(m, true)
 				}
 				ext++
 				ut[fr>>8] = ext + 1
-				s.states++
+				states++
 			}
 			stack = stack[:0]
 		}
@@ -789,6 +1317,7 @@ func (s *scanState) scanSequentialTracked() (best, bestStart int) {
 		}
 	}
 	s.maskStack = stack
+	s.states = states
 	return best, bestStart
 }
 

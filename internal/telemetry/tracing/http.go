@@ -26,6 +26,7 @@ type TraceJSON struct {
 	Threshold   float64     `json:"threshold"`
 	Malicious   bool        `json:"malicious"`
 	Cached      bool        `json:"cached"`
+	CarryReused int         `json:"carry_reused,omitempty"`
 	Err         string      `json:"error,omitempty"`
 	Stages      []StageJSON `json:"stages"`
 }
@@ -42,6 +43,7 @@ func Snapshot(t *Trace) TraceJSON {
 		Threshold:   t.Threshold,
 		Malicious:   t.Malicious,
 		Cached:      t.Cached,
+		CarryReused: t.RecordsReused,
 		Err:         t.Err,
 		Stages:      make([]StageJSON, 0, NumStages),
 	}

@@ -136,6 +136,10 @@ type Trace struct {
 	Threshold float64
 	Malicious bool
 	Cached    bool
+	// RecordsReused is the number of packed records the scan carried
+	// over from a previous overlapping window instead of re-decoding
+	// (zero for standalone scans).
+	RecordsReused int
 	// Err holds the failure, empty on success.
 	Err string
 
@@ -209,6 +213,17 @@ func (t *Trace) SetVerdict(mel int, threshold float64, malicious bool) {
 	t.MEL = mel
 	t.Threshold = threshold
 	t.Malicious = malicious
+}
+
+// SetCarry records how many packed records the scan reused from a
+// previous overlapping window (the stream scanner's record carry).
+//
+//mel:hotpath
+func (t *Trace) SetCarry(reused int) {
+	if t == nil {
+		return
+	}
+	t.RecordsReused = reused
 }
 
 // SetCached marks the verdict as served from the content-hash cache.

@@ -1,0 +1,211 @@
+package x86
+
+// This file is the read-only export of the opcode tables: enough shape
+// information for a consumer to compute instruction lengths and semantic
+// classifications without re-deriving the maps. The MEL engine compiles
+// its rule-specialized record decoder from this view; the tables
+// themselves (table.go) stay unexported and are never mutated after
+// package init.
+
+// EncShape describes how the bytes after an opcode are laid out — the
+// exported mirror of the internal encoding enum.
+type EncShape uint8
+
+// Encoding shapes.
+const (
+	// ShapeNone has no bytes after the opcode.
+	ShapeNone EncShape = iota
+	// ShapeModRM is ModRM (+SIB/displacement), no immediate.
+	ShapeModRM
+	// ShapeModRMIb is ModRM + imm8.
+	ShapeModRMIb
+	// ShapeModRMIz is ModRM + imm16/32 (operand size).
+	ShapeModRMIz
+	// ShapeIb is imm8.
+	ShapeIb
+	// ShapeIz is imm16/32 (operand size).
+	ShapeIz
+	// ShapeIw is imm16.
+	ShapeIw
+	// ShapeIwIb is imm16 + imm8 (ENTER).
+	ShapeIwIb
+	// ShapeRel8 is a rel8 branch displacement.
+	ShapeRel8
+	// ShapeRelZ is a rel16/32 branch displacement (operand size).
+	ShapeRelZ
+	// ShapeFarPtr is ptr16:16/32 (operand size + 2 bytes).
+	ShapeFarPtr
+	// ShapeMoffs is a moffs absolute address (address-size sized).
+	ShapeMoffs
+	// ShapePrefix marks a prefix byte: decoding restarts after it.
+	ShapePrefix
+	// ShapeEscape marks 0x0F, escaping to the two-byte map.
+	ShapeEscape
+	// ShapeEscape3 marks 0F 38 / 0F 3A, escaping to a three-byte map.
+	ShapeEscape3
+	// ShapeGroup3 is F6/F7: ModRM, immediate only for /0 and /1.
+	ShapeGroup3
+)
+
+// MemDir is the exported mirror of the table's memory-access direction.
+type MemDir uint8
+
+// Memory-access directions.
+const (
+	// MemDirNone: no memory semantics even when ModRM encodes a memory form.
+	MemDirNone MemDir = iota
+	// MemDirRead: reads memory when the operand is a memory form.
+	MemDirRead
+	// MemDirWrite: writes memory.
+	MemDirWrite
+	// MemDirRW: reads and writes (read-modify-write).
+	MemDirRW
+)
+
+// Opcode group identifiers for TableInfo.Group / GroupInfo. The numbers
+// follow the architectural group names.
+const (
+	GroupNone uint8 = 0
+	Group1    uint8 = 1 // 80-83: ALU Eb/Ev, imm
+	Group2    uint8 = 2 // C0,C1,D0-D3: shifts/rotates
+	Group3    uint8 = 3 // F6,F7: TEST/NOT/NEG/MUL/...
+	Group4    uint8 = 4 // FE: INC/DEC Eb
+	Group5    uint8 = 5 // FF: INC/DEC/CALL/JMP/PUSH Ev
+	Group8    uint8 = 6 // 0F BA: BT/BTS/BTR/BTC Ev, imm8
+)
+
+// TableInfo is one opcode-table row in exported form. For group opcodes
+// (Group != GroupNone) the Op, Flags and Mem of the selected operation
+// come from GroupInfo(Group, ModRM.reg) and are ORed with / substituted
+// for the base row exactly as the decoder does: flags accumulate, the
+// memory direction is replaced.
+type TableInfo struct {
+	Op    Op
+	Shape EncShape
+	Flags Flags
+	Mem   MemDir
+	Group uint8
+}
+
+// shapeOf maps the internal encoding to its exported shape.
+func shapeOf(e encoding) EncShape {
+	switch e {
+	case encNone:
+		return ShapeNone
+	case encModRM:
+		return ShapeModRM
+	case encModRMIb:
+		return ShapeModRMIb
+	case encModRMIz:
+		return ShapeModRMIz
+	case encIb:
+		return ShapeIb
+	case encIz:
+		return ShapeIz
+	case encIw:
+		return ShapeIw
+	case encIwIb:
+		return ShapeIwIb
+	case encRel8:
+		return ShapeRel8
+	case encRelZ:
+		return ShapeRelZ
+	case encFarPtr:
+		return ShapeFarPtr
+	case encMoffs:
+		return ShapeMoffs
+	case encPrefix:
+		return ShapePrefix
+	case encEscape:
+		return ShapeEscape
+	case encEscape38, encEscape3A:
+		return ShapeEscape3
+	case encGrp3:
+		return ShapeGroup3
+	}
+	return ShapeNone
+}
+
+// memDirOf maps the internal direction to its exported mirror.
+func memDirOf(m memDir) MemDir {
+	switch m {
+	case memRead:
+		return MemDirRead
+	case memWrite:
+		return MemDirWrite
+	case memRW:
+		return MemDirRW
+	}
+	return MemDirNone
+}
+
+// groupOfOneByte returns the group id a one-byte opcode resolves through,
+// mirroring the decoder's group dispatch.
+func groupOfOneByte(b byte) uint8 {
+	switch {
+	case b >= 0x80 && b <= 0x83:
+		return Group1
+	case b == 0xC0 || b == 0xC1 || (b >= 0xD0 && b <= 0xD3):
+		return Group2
+	case b == 0xF6 || b == 0xF7:
+		return Group3
+	case b == 0xFE:
+		return Group4
+	case b == 0xFF:
+		return Group5
+	}
+	return GroupNone
+}
+
+// OneByteInfo returns the decode-shape row for one-byte opcode b.
+func OneByteInfo(b byte) TableInfo {
+	e := oneByte[b]
+	return TableInfo{
+		Op:    e.op,
+		Shape: shapeOf(e.enc),
+		Flags: e.flags,
+		Mem:   memDirOf(e.mem),
+		Group: groupOfOneByte(b),
+	}
+}
+
+// TwoByteInfo returns the decode-shape row for 0x0F-escaped opcode b.
+func TwoByteInfo(b byte) TableInfo {
+	e := twoByte[b]
+	g := GroupNone
+	if b == 0xBA {
+		g = Group8
+	}
+	return TableInfo{
+		Op:    e.op,
+		Shape: shapeOf(e.enc),
+		Flags: e.flags,
+		Mem:   memDirOf(e.mem),
+		Group: g,
+	}
+}
+
+// GroupInfo returns the operation ModRM.reg selects within a group. The
+// returned flags are ORed with the base row's flags; the memory direction
+// replaces the base row's.
+func GroupInfo(group uint8, reg byte) (Op, Flags, MemDir) {
+	var g *[8]groupOp
+	switch group {
+	case Group1:
+		g = &grp1
+	case Group2:
+		g = &grp2
+	case Group3:
+		g = &grp3
+	case Group4:
+		g = &grp4
+	case Group5:
+		g = &grp5
+	case Group8:
+		g = &grp8
+	default:
+		return OpInvalid, FlagUndefined, MemDirNone
+	}
+	sel := g[reg&7]
+	return sel.op, sel.flags, memDirOf(sel.mem)
+}
