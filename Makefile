@@ -44,10 +44,11 @@ ci: build vet lint
 bench-smoke:
 	$(GO) run ./cmd/melbench -exp engine -benchout ""
 
-# bench-guard re-measures the engine benchmarks and exits nonzero if
-# any ns/op regressed more than 20% — or any allocs/op rose — against
-# the committed BENCH_engine.json. A failing first pass is re-measured
-# once and judged on the better run (CI machines are noisy).
+# bench-guard re-measures the engine and content-pipeline benchmarks
+# and exits nonzero if any ns/op regressed more than 20% — or any
+# allocs/op rose — against the committed BENCH_engine.json and
+# BENCH_content.json. A failing first pass is re-measured once and
+# judged on the better run (CI machines are noisy).
 bench-guard:
 	$(GO) run ./cmd/melbench -exp guard
 
@@ -66,6 +67,7 @@ serve-bench:
 fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/x86/
 	$(GO) test -fuzz=FuzzScan -fuzztime=30s ./internal/core/
+	$(GO) test -run NONE -fuzz=FuzzDecodeViews -fuzztime=30s ./internal/content/
 	$(GO) test -run NONE -fuzz=FuzzWire -fuzztime=30s ./internal/server/
 
 report:

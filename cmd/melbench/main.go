@@ -22,8 +22,9 @@
 //	melbench -exp sizes    ablation: input-size scaling of n and tau
 //	melbench -exp exploit  end-to-end exploit chain vs the vulnerable service
 //	melbench -exp engine   scan-engine throughput; writes BENCH_engine.json
-//	melbench -exp guard    engine bench vs committed BENCH_engine.json; fails on regression
+//	melbench -exp guard    engine+content bench vs committed artifacts; fails on regression
 //	melbench -exp serve    scan-daemon wire throughput; writes BENCH_serve.json
+//	melbench -exp content  content pipeline triage/decode bench; writes BENCH_content.json
 package main
 
 import (
@@ -52,6 +53,8 @@ func run(args []string, w io.Writer) error {
 	benchOut := fs.String("benchout", "BENCH_engine.json", "engine benchmark artifact path (empty to skip the file)")
 	guardBase := fs.String("guardbase", "BENCH_engine.json", "committed artifact the guard experiment compares against")
 	serveOut := fs.String("serveout", "BENCH_serve.json", "serve benchmark artifact path (empty to skip the file)")
+	contentOut := fs.String("contentout", "BENCH_content.json", "content benchmark artifact path (empty to skip the file)")
+	guardContent := fs.String("guardcontent", "BENCH_content.json", "committed content artifact the guard compares against (empty to skip)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -133,10 +136,20 @@ func run(args []string, w io.Writer) error {
 			return err
 		},
 		"guard": func() error {
-			return experiments.BenchGuard(w, *guardBase, *seed)
+			if err := experiments.BenchGuard(w, *guardBase, *seed); err != nil {
+				return err
+			}
+			if *guardContent == "" {
+				return nil
+			}
+			return experiments.ContentGuard(w, *guardContent, *seed)
 		},
 		"serve": func() error {
 			_, err := experiments.ServeBench(w, *serveOut, *seed)
+			return err
+		},
+		"content": func() error {
+			_, err := experiments.ContentBench(w, *contentOut, *seed)
 			return err
 		},
 	}
@@ -144,7 +157,7 @@ func run(args []string, w io.Writer) error {
 
 	if *exp == "all" {
 		order := []string{"fig1n", "fig1p", "chisq", "approx", "fig2", "params",
-			"fig3", "av", "binary", "ape", "xor", "payl", "rules", "alpha", "styles", "sizes", "exploit", "engine", "serve"}
+			"fig3", "av", "binary", "ape", "xor", "payl", "rules", "alpha", "styles", "sizes", "exploit", "engine", "serve", "content"}
 		for _, id := range order {
 			if err := runners[id](); err != nil {
 				return fmt.Errorf("%s: %w", id, err)

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/content"
+	"repro/internal/corpus"
+	"repro/internal/encoder"
+	"repro/internal/shellcode"
+)
+
+// gzWormInput builds a gzip-wrapped worm window: benign to a plain
+// scan, malicious once decoded.
+func gzWormInput(t *testing.T) []byte {
+	t.Helper()
+	w, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: 31, SledLen: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases, err := corpus.Dataset(31, 2, 1400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var window []byte
+	window = append(window, cases[0].Data...)
+	window = append(window, w.Bytes...)
+	window = append(window, cases[1].Data...)
+	return content.EncodeGzip(window)
+}
+
+// TestDashReadsStdin: a bare "-" argument names stdin explicitly.
+func TestDashReadsStdin(t *testing.T) {
+	cases, err := corpus.Dataset(2, 1, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	code, err := run([]string{"-"}, bytes.NewReader(cases[0].Data), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 || !strings.Contains(out.String(), "(stdin)") {
+		t.Fatalf("code=%d output=%s", code, out.String())
+	}
+	// Naming stdin twice is an error.
+	if _, err := run([]string{"-", "-"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("double dash accepted")
+	}
+}
+
+// TestDecodeFlagUnwrapsWorm: without -decode the gzip-wrapped worm
+// scans benign; with it the worm is found and the chain printed.
+func TestDecodeFlagUnwrapsWorm(t *testing.T) {
+	wrapped := gzWormInput(t)
+
+	var plain bytes.Buffer
+	code, err := run([]string{"-"}, bytes.NewReader(wrapped), &plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("premise: plain scan flagged the wrapped worm: %s", plain.String())
+	}
+
+	var out bytes.Buffer
+	code, err = run([]string{"-decode", "-"}, bytes.NewReader(wrapped), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "MALICIOUS") || !strings.Contains(out.String(), "via gzip") {
+		t.Fatalf("output missing verdict or chain: %s", out.String())
+	}
+}
+
+// TestDecodeFlagClearsBenignText: plain text through -decode is
+// triage-cleared, not pseudo-executed.
+func TestDecodeFlagClearsBenignText(t *testing.T) {
+	cases, err := corpus.Dataset(3, 1, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	code, err := run([]string{"-decode", "-"}, bytes.NewReader(cases[0].Data), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 || !strings.Contains(out.String(), "triage-cleared") {
+		t.Fatalf("code=%d output=%s", code, out.String())
+	}
+}
+
+// TestDecodeStreamMode: -decode composes with -stream; the wrapped
+// worm is caught inside a window of the stream.
+func TestDecodeStreamMode(t *testing.T) {
+	wrapped := gzWormInput(t)
+	var out bytes.Buffer
+	code, err := run([]string{"-decode", "-stream", "-window", "4096", "-stride", "1024", "-"},
+		bytes.NewReader(wrapped), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 || !strings.Contains(out.String(), "via gzip") {
+		t.Fatalf("code=%d output=%s", code, out.String())
+	}
+}

@@ -3,6 +3,13 @@
 //
 //	melscan [-alpha 0.01] [-rules dawn|ape] [-v] file...
 //	cat payload | melscan
+//	gzip -c payload | melscan -decode -
+//
+// A bare "-" argument names stdin explicitly, so it can be mixed with
+// files. With -decode each input runs through the content pipeline
+// (triage → decode → MEL): encoded payloads (gzip, base64, chunked,
+// qp, percent, UTF-8) are unwrapped layer by layer and a verdict found
+// in a decoded view reports its decode chain.
 //
 // Exit status is 2 when any input is flagged malicious, 1 on error, and
 // 0 otherwise (the conventional grep-style contract for filters).
@@ -15,6 +22,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/content"
 	"repro/internal/core"
 	"repro/internal/mel"
 )
@@ -40,6 +48,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 	profileOut := fs.String("save-profile", "", "write the calibration profile (JSON) and exit")
 	window := fs.Int("window", core.DefaultWindow, "stream window size (with -stream)")
 	stride := fs.Int("stride", core.DefaultStride, "stream window stride (with -stream)")
+	decode := fs.Bool("decode", false, "run the content pipeline: triage, peel encoding layers, scan every view")
 	if err := fs.Parse(args); err != nil {
 		return 1, err
 	}
@@ -119,7 +128,20 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 		}
 		inputs = append(inputs, input{name: "(stdin)", data: data})
 	}
+	stdinUsed := false
 	for _, name := range fs.Args() {
+		if name == "-" {
+			if stdinUsed {
+				return 1, fmt.Errorf("stdin (-) named more than once")
+			}
+			stdinUsed = true
+			data, err := io.ReadAll(stdin)
+			if err != nil {
+				return 1, fmt.Errorf("read stdin: %w", err)
+			}
+			inputs = append(inputs, input{name: "(stdin)", data: data})
+			continue
+		}
 		data, err := os.ReadFile(name)
 		if err != nil {
 			return 1, err
@@ -127,13 +149,33 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 		inputs = append(inputs, input{name: name, data: data})
 	}
 
+	var pipe *content.Pipeline
+	if *decode {
+		p, err := content.NewPipeline(det.ScanTraced, content.PipelineConfig{})
+		if err != nil {
+			return 1, err
+		}
+		pipe = p
+	}
+
 	flagged := false
 	if *stream {
+		scanWindow := det.Scan
+		if pipe != nil {
+			scanWindow = pipe.Scan
+		}
 		for _, in := range inputs {
-			alerts, err := det.ScanStream(bytes.NewReader(in.data), *window, *stride)
+			scanner, err := core.NewStreamScannerFunc(scanWindow, *window, *stride)
 			if err != nil {
 				return 1, fmt.Errorf("%s: %w", in.name, err)
 			}
+			if _, err := io.Copy(scanner, bytes.NewReader(in.data)); err != nil {
+				return 1, fmt.Errorf("%s: %w", in.name, err)
+			}
+			if err := scanner.Flush(); err != nil {
+				return 1, fmt.Errorf("%s: %w", in.name, err)
+			}
+			alerts := scanner.Alerts()
 			if len(alerts) == 0 {
 				fmt.Fprintf(stdout, "%-40s CLEAN     (%d bytes, window %d/%d)\n",
 					in.name, len(in.data), *window, *stride)
@@ -141,8 +183,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 			}
 			flagged = true
 			for _, a := range alerts {
-				fmt.Fprintf(stdout, "%-40s MALICIOUS window@%-8d mel=%-5d tau=%.1f\n",
-					in.name, a.Offset, a.Verdict.MEL, a.Verdict.Threshold)
+				fmt.Fprintf(stdout, "%-40s MALICIOUS window@%-8d mel=%-5d tau=%.1f%s\n",
+					in.name, a.Offset, a.Verdict.MEL, a.Verdict.Threshold, chainNote(a.Verdict))
 			}
 		}
 		if flagged {
@@ -151,7 +193,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 		return 0, nil
 	}
 	for _, in := range inputs {
-		v, err := det.Scan(in.data)
+		var v core.Verdict
+		var err error
+		if pipe != nil {
+			v, err = pipe.Scan(in.data)
+		} else {
+			v, err = det.Scan(in.data)
+		}
 		if err != nil {
 			return 1, fmt.Errorf("%s: %w", in.name, err)
 		}
@@ -164,8 +212,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 		if v.TextOnly {
 			kind = "text"
 		}
-		fmt.Fprintf(stdout, "%-40s %-9s mel=%-5d tau=%-7.1f %s\n",
-			in.name, verdict, v.MEL, v.Threshold, kind)
+		if v.TriageCleared {
+			kind = "triage-cleared"
+		}
+		fmt.Fprintf(stdout, "%-40s %-9s mel=%-5d tau=%-7.1f %s%s\n",
+			in.name, verdict, v.MEL, v.Threshold, kind, chainNote(v))
 		if *verbose {
 			fmt.Fprintf(stdout, "  n=%d p=%.3f (io=%.3f seg=%.3f) E[len]=%.2f start=%d\n",
 				v.Params.N, v.Params.P, v.Params.PIO, v.Params.PWrongSeg,
@@ -184,4 +235,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 		return 2, nil
 	}
 	return 0, nil
+}
+
+// chainNote renders the content-pipeline provenance of a verdict — the
+// decode chain and view index when the hit came from a decoded view.
+func chainNote(v core.Verdict) string {
+	if v.DecodeChain == "" {
+		return ""
+	}
+	return fmt.Sprintf(" via %s (view %d)", v.DecodeChain, v.ViewIndex)
 }

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/content"
+	"repro/internal/corpus"
+	"repro/internal/encoder"
+	"repro/internal/server/client"
+	"repro/internal/shellcode"
+)
+
+// TestDaemonContentMode boots the daemon with -content and proves the
+// acceptance path: a gzip-wrapped worm that a plain scan passes comes
+// back malicious with the decode chain in the verdict, and the content
+// pipeline's telemetry is on /metrics.
+func TestDaemonContentMode(t *testing.T) {
+	addrCh := make(chan net.Addr, 1)
+	notifyListen = func(a net.Addr) { addrCh <- a }
+	defer func() { notifyListen = nil }()
+
+	sig := make(chan os.Signal, 1)
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-metrics", "127.0.0.1:0",
+			"-workers", "2",
+			"-content",
+		}, &out, sig)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v (output: %s)", err, out.String())
+	}
+	defer func() {
+		sig <- os.Interrupt
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("daemon shutdown: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("daemon did not drain")
+		}
+	}()
+
+	// Build a worm window and hide it behind gzip.
+	w, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: 31, SledLen: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases, err := corpus.Dataset(31, 2, 1400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var window []byte
+	window = append(window, cases[0].Data...)
+	window = append(window, w.Bytes...)
+	window = append(window, cases[1].Data...)
+	wrapped := content.EncodeGzip(window)
+
+	plain, err := client.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if res, err := plain.Scan(wrapped); err != nil || res.Malicious {
+		t.Fatalf("premise: plain verdict = %+v err=%v, want benign", res, err)
+	}
+
+	cc, err := client.Dial(addr.String(), client.WithContent(), client.WithTracing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	res, err := cc.Scan(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Malicious || res.DecodeChain != "gzip" || res.ViewIndex < 1 {
+		t.Fatalf("content verdict = %+v, want malicious via gzip", res)
+	}
+	if res.Trace == nil {
+		t.Fatal("traced content scan returned nil Trace")
+	}
+
+	// The banner announces the pipeline and /metrics carries its
+	// counters.
+	if !strings.Contains(out.String(), "content pipeline enabled") {
+		t.Fatalf("no content banner in output: %s", out.String())
+	}
+	var metricsURL string
+	for _, line := range strings.Split(out.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "melserved: metrics on "); ok {
+			metricsURL = rest
+		}
+	}
+	if metricsURL == "" {
+		t.Fatalf("no metrics banner in output: %s", out.String())
+	}
+	resp, err := http.Get(metricsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"content_scans_total", "content_view_malicious_total 1", "content_triage_score_bucket"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics endpoint missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/content"
 	"repro/internal/core"
 	"repro/internal/server"
 	"repro/internal/telemetry"
@@ -60,6 +61,9 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 	traceSlow := fs.Int("trace-slow", tracing.DefaultSlow, "slow-trace ring capacity")
 	traceSlowThresh := fs.Duration("trace-slow-threshold", tracing.DefaultSlowThreshold, "latency above which a trace is retained in the slow ring")
 	watchModel := fs.Bool("modelwatch", true, "score observed MELs against the paper's distribution on /metrics")
+	contentMode := fs.Bool("content", false, "enable the content pipeline (triage -> decode -> MEL) for MsgScanContent requests")
+	contentDepth := fs.Int("content-depth", 0, "decode recursion depth limit (0 = default)")
+	contentBudget := fs.Int64("content-budget", 0, "decoded-output byte budget per payload, the zip-bomb guard (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -107,6 +111,20 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 			watcher.Observe(v.MEL, v.Params.N, v.Params.P)
 		}
 	}
+	var pipe *content.Pipeline
+	if *contentMode {
+		p, err := content.NewPipeline(det.ScanTraced, content.PipelineConfig{
+			Decoder: content.DecoderConfig{
+				MaxDepth:  *contentDepth,
+				MaxOutput: *contentBudget,
+			},
+			Registry: reg,
+		})
+		if err != nil {
+			return err
+		}
+		pipe = p
+	}
 	srv, err := server.New(server.Config{
 		Detector:           det,
 		Workers:            *workers,
@@ -119,6 +137,7 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 		Metrics:            reg,
 		Recorder:           rec,
 		OnVerdict:          onVerdict,
+		Content:            pipe,
 		Logf:               log.Printf,
 	})
 	if err != nil {
@@ -130,6 +149,9 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "melserved: serving on %s\n", ln.Addr())
+	if pipe != nil {
+		fmt.Fprintf(stdout, "melserved: content pipeline enabled (decode depth %d)\n", pipe.Decoder().MaxDepth())
+	}
 
 	var metricsSrv *http.Server
 	if *metricsAddr != "" {

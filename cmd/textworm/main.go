@@ -3,10 +3,15 @@
 //
 //	textworm -payload execve -sled 64 -seed 1 -o worm.txt
 //	textworm -in shellcode.bin -o worm.txt
+//	textworm -wrap gzip>base64 -o worm.b64
 //	textworm -list
 //
 // The output is keyboard-enterable (bytes 0x20-0x7E only); -verify runs
-// the worm in the emulator and reports whether it spawns a shell.
+// the worm in the emulator and reports whether it spawns a shell. With
+// -wrap the verified worm is additionally hidden behind an encode chain
+// (outermost first, e.g. "gzip" or "gzip>base64") — the variants the
+// content pipeline exists to catch; verification always runs on the
+// bare worm, before wrapping.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/content"
 	"repro/internal/emu"
 	"repro/internal/encoder"
 	"repro/internal/shellcode"
@@ -36,8 +42,13 @@ func run(args []string, stdout io.Writer) error {
 	sled := fs.Int("sled", 64, "padding sled length in bytes")
 	seed := fs.Uint64("seed", 1, "generation seed (diversifies worms)")
 	verify := fs.Bool("verify", true, "execute the worm in the emulator")
+	wrap := fs.String("wrap", "", "hide the worm behind this encode chain, outermost first (e.g. gzip>base64)")
 	list := fs.Bool("list", false, "list built-in payloads and exit")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	wrapChain, err := content.ParseChain(*wrap)
+	if err != nil {
 		return err
 	}
 
@@ -86,13 +97,24 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	out := worm.Bytes
+	if wrapChain.Len() > 0 {
+		out, err = content.EncodeChain(wrapChain, worm.Bytes)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrapped: %s -> %d bytes\n", wrapChain, len(out))
+	}
+
 	if *outFile != "" {
-		if err := os.WriteFile(*outFile, worm.Bytes, 0o644); err != nil {
+		if err := os.WriteFile(*outFile, out, 0o644); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "written to %s\n", *outFile)
+	} else if wrapChain.Len() > 0 {
+		fmt.Fprintf(stdout, "---- worm (%s) ----\n%s\n", wrapChain, out)
 	} else {
-		fmt.Fprintf(stdout, "---- worm (text) ----\n%s\n", worm.Bytes)
+		fmt.Fprintf(stdout, "---- worm (text) ----\n%s\n", out)
 	}
 	return nil
 }

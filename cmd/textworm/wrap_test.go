@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/content"
+)
+
+// TestWrapProducesDecodableVariant: -wrap writes the worm hidden
+// behind the requested encode chain, and the content decoder peels it
+// back to the exact bare worm. The bare worm is generated with the
+// same seed for comparison.
+func TestWrapProducesDecodableVariant(t *testing.T) {
+	dir := t.TempDir()
+	bare := filepath.Join(dir, "worm.txt")
+	wrapped := filepath.Join(dir, "worm.wrapped")
+
+	var out bytes.Buffer
+	if err := run([]string{"-payload", "execve", "-seed", "9", "-o", bare}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-payload", "execve", "-seed", "9", "-wrap", "gzip>base64", "-o", wrapped}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "shell spawned = true") {
+		t.Fatalf("verification must run on the bare worm before wrapping: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "wrapped: gzip>base64") {
+		t.Fatalf("no wrap note in output: %s", out.String())
+	}
+
+	want, err := os.ReadFile(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(want, got) {
+		t.Fatal("wrapped output identical to bare worm")
+	}
+
+	dec, err := content.NewDecoder(content.DecoderConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for view, verr := range dec.Views(got, 0) {
+		if verr != nil {
+			t.Fatal(verr)
+		}
+		if view.Chain.String() == "gzip>base64" && bytes.Equal(view.Data, want) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("decoder did not recover the bare worm from the wrapped variant")
+	}
+}
+
+// TestWrapRejectsUnknownLayer: a bogus chain fails before generation.
+func TestWrapRejectsUnknownLayer(t *testing.T) {
+	if err := run([]string{"-wrap", "rot13"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown wrap layer should fail")
+	}
+}
+
+// TestWrapStdout: without -o the wrapped worm goes to stdout under a
+// chain-labeled banner.
+func TestWrapStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-payload", "execve", "-sled", "32", "-wrap", "base64"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "---- worm (base64) ----") {
+		t.Errorf("output: %s", out.String())
+	}
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/content"
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// TestEncodePlanSpread: the plan wraps the requested fraction, spread
+// through the stream and alternating base64/gzip.
+func TestEncodePlanSpread(t *testing.T) {
+	plan := encodePlan(100, 0.5)
+	var b64, gz int
+	for _, k := range plan {
+		switch k {
+		case content.KindBase64:
+			b64++
+		case content.KindGzip:
+			gz++
+		case 0:
+		default:
+			t.Fatalf("unexpected kind %v in plan", k)
+		}
+	}
+	if b64+gz != 50 {
+		t.Fatalf("wrapped %d of 100, want 50", b64+gz)
+	}
+	if b64 != 25 || gz != 25 {
+		t.Fatalf("base64 %d gzip %d, want an even alternation", b64, gz)
+	}
+	// No wrapping burst: each half of the stream carries half the layers.
+	var firstHalf int
+	for _, k := range plan[:50] {
+		if k != 0 {
+			firstHalf++
+		}
+	}
+	if firstHalf != 25 {
+		t.Fatalf("first half carries %d of 50 wrapped bodies", firstHalf)
+	}
+
+	for i, k := range encodePlan(10, 0) {
+		if k != 0 {
+			t.Fatalf("frac 0 wrapped body %d", i)
+		}
+	}
+}
+
+// TestEncodedFracEmit: emitted corpus files carry the encoding in the
+// filename and decode back to text.
+func TestEncodedFracEmit(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	var out bytes.Buffer
+	if err := run([]string{"-cases", "10", "-len", "600", "-dir", dir, "-encoded-frac", "0.4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b64, gz int
+	for _, e := range entries {
+		switch {
+		case strings.Contains(e.Name(), ".base64.txt"):
+			b64++
+		case strings.Contains(e.Name(), ".gzip.txt"):
+			gz++
+		}
+	}
+	if b64+gz != 4 || b64 == 0 || gz == 0 {
+		t.Fatalf("base64 %d gzip %d files, want 4 total across both kinds", b64, gz)
+	}
+}
+
+// TestEncodedFracRange: the fraction must lie in [0,1].
+func TestEncodedFracRange(t *testing.T) {
+	if err := run([]string{"-encoded-frac", "1.5"}, &bytes.Buffer{}); err == nil {
+		t.Error("out-of-range fraction accepted")
+	}
+}
+
+// TestTargetModeEncodedTraffic drives a content-enabled daemon with
+// half the traffic wrapped: every worm — wrapped or not — must still
+// be caught because the drive requests content-pipeline scans.
+func TestTargetModeEncodedTraffic(t *testing.T) {
+	det, err := core.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := content.NewPipeline(det.ScanTraced, content.PipelineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Detector: det, Workers: 2, Content: pipe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { srv.Close() })
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-target", ln.Addr().String(),
+		"-cases", "12", "-len", "3000", "-worms", "4", "-seed", "31",
+		"-encoded-frac", "0.5",
+	}, &out)
+	if err != nil {
+		t.Fatalf("target mode: %v (output: %s)", err, out.String())
+	}
+	for _, want := range []string{"scanned 16 payloads", "4 caught, 0 missed", "encoded:         8 wrapped (base64 4, gzip 4)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -12,6 +12,13 @@
 // tallied against ground truth.
 //
 //	trafficgen -target 127.0.0.1:9901 -cases 50 -worms 10
+//
+// With -encoded-frac some fraction of the emitted (or driven) bodies
+// arrive wrapped in an encoding layer — alternating base64 and gzip —
+// the shape real HTTP/mail traffic has. Driving a daemon with encoded
+// traffic requests content-pipeline scans so wrapped worms are still
+// caught; against a daemon without -content the client downgrades and
+// the run reports the resulting misses.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/content"
 	"repro/internal/corpus"
 	"repro/internal/encoder"
 	"repro/internal/server"
@@ -47,8 +55,12 @@ func run(args []string, stdout io.Writer) error {
 	stat := fs.Bool("stats", false, "print character-mass statistics of the corpus")
 	target := fs.String("target", "", "drive a melserved daemon at this address instead of emitting the corpus")
 	worms := fs.Int("worms", 0, "with -target: number of worm-spliced payloads mixed into the stream")
+	encodedFrac := fs.Float64("encoded-frac", 0, "fraction of bodies wrapped in an encoding layer (alternating base64/gzip)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *encodedFrac < 0 || *encodedFrac > 1 {
+		return fmt.Errorf("-encoded-frac %v out of range [0,1]", *encodedFrac)
 	}
 
 	cases, err := corpus.Dataset(*seed, *count, *caseLen)
@@ -57,7 +69,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *target != "" {
-		return drive(stdout, *target, cases, *worms, *seed)
+		return drive(stdout, *target, cases, *worms, *seed, *encodedFrac)
 	}
 
 	if *stat {
@@ -73,13 +85,18 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
+	plan := encodePlan(len(cases), *encodedFrac)
+
 	if *dir != "" {
 		if err := os.MkdirAll(*dir, 0o755); err != nil {
 			return err
 		}
 		for i, c := range cases {
-			name := filepath.Join(*dir, fmt.Sprintf("case-%03d-%s.txt", i, kindName(c.Kind)))
-			if err := os.WriteFile(name, c.Data, 0o644); err != nil {
+			base := fmt.Sprintf("case-%03d-%s.txt", i, kindName(c.Kind))
+			if plan[i] != 0 {
+				base = fmt.Sprintf("case-%03d-%s.%s.txt", i, kindName(c.Kind), plan[i])
+			}
+			if err := os.WriteFile(filepath.Join(*dir, base), wrapBody(plan[i], c.Data), 0o644); err != nil {
 				return err
 			}
 		}
@@ -87,13 +104,50 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
-	for _, c := range cases {
-		if _, err := stdout.Write(c.Data); err != nil {
+	for i, c := range cases {
+		if _, err := stdout.Write(wrapBody(plan[i], c.Data)); err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout)
 	}
 	return nil
+}
+
+// encodePlan marks which of n bodies get an encoding layer: an
+// error-diffusion accumulator spreads roughly frac*n wrapped bodies
+// evenly through the stream, alternating base64 and gzip so both
+// peelers see traffic. Deterministic, so runs are repeatable.
+func encodePlan(n int, frac float64) []content.Kind {
+	plan := make([]content.Kind, n)
+	if frac <= 0 {
+		return plan
+	}
+	var acc float64
+	wrapped := 0
+	for i := range plan {
+		acc += frac
+		if acc >= 1 {
+			acc--
+			if wrapped%2 == 0 {
+				plan[i] = content.KindBase64
+			} else {
+				plan[i] = content.KindGzip
+			}
+			wrapped++
+		}
+	}
+	return plan
+}
+
+// wrapBody applies one encoding layer; kind 0 passes the body through.
+func wrapBody(k content.Kind, data []byte) []byte {
+	switch k {
+	case content.KindBase64:
+		return content.EncodeBase64(data)
+	case content.KindGzip:
+		return content.EncodeGzip(data)
+	}
+	return data
 }
 
 // drive scans the benign corpus plus wormCount worm-spliced payloads
@@ -104,9 +158,16 @@ func run(args []string, stdout io.Writer) error {
 // daemon), and the run ends with a latency summary: client-observed
 // p50/p95/p99 plus the server-versus-network attribution when the
 // daemon echoed timings. Shed (overloaded) and failed scans are
-// counted and reported rather than aborting the run.
-func drive(stdout io.Writer, target string, cases []corpus.Case, wormCount int, seed uint64) error {
-	c, err := client.Dial(target, client.WithTracing())
+// counted and reported rather than aborting the run. With encodedFrac
+// set, that fraction of payloads — worms included — is wrapped in a
+// base64 or gzip layer and the scans request the content pipeline, so
+// wrapped worms remain catchable.
+func drive(stdout io.Writer, target string, cases []corpus.Case, wormCount int, seed uint64, encodedFrac float64) error {
+	opts := []client.Option{client.WithTracing()}
+	if encodedFrac > 0 {
+		opts = append(opts, client.WithContent())
+	}
+	c, err := client.Dial(target, opts...)
 	if err != nil {
 		return fmt.Errorf("dial %s: %w", target, err)
 	}
@@ -143,6 +204,19 @@ func drive(stdout io.Writer, target string, cases []corpus.Case, wormCount int, 
 			from := len(cases) + i
 			to := (i * step) % len(stream)
 			stream[from], stream[to] = stream[to], stream[from]
+		}
+	}
+	// Wrap after the interleave so encoded payloads spread through the
+	// final send order and worms land under wrappers too.
+	plan := encodePlan(len(stream), encodedFrac)
+	var encB64, encGzip int
+	for i := range stream {
+		stream[i].data = wrapBody(plan[i], stream[i].data)
+		switch plan[i] {
+		case content.KindBase64:
+			encB64++
+		case content.KindGzip:
+			encGzip++
 		}
 	}
 
@@ -190,6 +264,9 @@ func drive(stdout io.Writer, target string, cases []corpus.Case, wormCount int, 
 	fmt.Fprintf(stdout, "benign:          %d, false positives: %d\n", len(cases), falsePos)
 	fmt.Fprintf(stdout, "cache hits:      %d\n", cached)
 	fmt.Fprintf(stdout, "shed:            %d, errors: %d\n", shed, failed)
+	if encB64+encGzip > 0 {
+		fmt.Fprintf(stdout, "encoded:         %d wrapped (base64 %d, gzip %d)\n", encB64+encGzip, encB64, encGzip)
+	}
 	if len(latencies) > 0 {
 		p50, _ := stats.Quantile(latencies, 0.50)
 		p95, _ := stats.Quantile(latencies, 0.95)

@@ -1,0 +1,150 @@
+package content
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/base64"
+	"fmt"
+	"mime/quotedprintable"
+	"unicode/utf8"
+)
+
+// Encode helpers — the inverse direction of the peelers. They exist for
+// the corpus generators, the textworm/trafficgen commands, and the
+// round-trip tests; the scan path never calls them.
+
+// Encode wraps payload in one layer of kind k.
+func Encode(k Kind, payload []byte) ([]byte, error) {
+	switch k {
+	case KindChunked:
+		return EncodeChunked(payload, 512), nil
+	case KindGzip:
+		return EncodeGzip(payload), nil
+	case KindBase64:
+		return EncodeBase64(payload), nil
+	case KindQuotedPrintable:
+		return EncodeQuotedPrintable(payload)
+	case KindPercent:
+		return EncodePercent(payload), nil
+	case KindUTF8:
+		return ExpandUTF8(payload), nil
+	}
+	return nil, fmt.Errorf("content: cannot encode kind %d", k)
+}
+
+// EncodeChain applies every layer of chain to payload, innermost layer
+// last — decoding the result peels the layers back in chain order.
+func EncodeChain(chain Chain, payload []byte) ([]byte, error) {
+	out := payload
+	for i := chain.Len() - 1; i >= 0; i-- {
+		var err error
+		out, err = Encode(chain.At(i), out)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// EncodeChunked frames payload as HTTP/1.1 chunked transfer encoding
+// with chunks of at most chunkSize bytes (0 selects 512).
+func EncodeChunked(payload []byte, chunkSize int) []byte {
+	if chunkSize <= 0 {
+		chunkSize = 512
+	}
+	var buf bytes.Buffer
+	for len(payload) > 0 {
+		n := chunkSize
+		if n > len(payload) {
+			n = len(payload)
+		}
+		fmt.Fprintf(&buf, "%x\r\n", n)
+		buf.Write(payload[:n])
+		buf.WriteString("\r\n")
+		payload = payload[n:]
+	}
+	buf.WriteString("0\r\n\r\n")
+	return buf.Bytes()
+}
+
+// EncodeGzip compresses payload as one gzip member.
+func EncodeGzip(payload []byte) []byte {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(payload)
+	zw.Close()
+	return buf.Bytes()
+}
+
+// EncodeBase64 encodes payload as standard base64 folded at 76 columns
+// (MIME line length), matching what the base64 peeler accepts.
+func EncodeBase64(payload []byte) []byte {
+	flat := base64.StdEncoding.EncodeToString(payload)
+	var buf bytes.Buffer
+	for len(flat) > 76 {
+		buf.WriteString(flat[:76])
+		buf.WriteString("\r\n")
+		flat = flat[76:]
+	}
+	buf.WriteString(flat)
+	return buf.Bytes()
+}
+
+// EncodeMIMEBase64 frames payload as a minimal MIME part declaring
+// Content-Transfer-Encoding: base64, the shape the .eml sniffer keys on.
+func EncodeMIMEBase64(payload []byte) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("MIME-Version: 1.0\r\n")
+	buf.WriteString("Content-Type: application/octet-stream\r\n")
+	buf.WriteString("Content-Transfer-Encoding: base64\r\n\r\n")
+	buf.Write(EncodeBase64(payload))
+	return buf.Bytes()
+}
+
+// EncodeQuotedPrintable frames payload as a minimal MIME part in
+// quoted-printable encoding.
+func EncodeQuotedPrintable(payload []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString("MIME-Version: 1.0\r\n")
+	buf.WriteString("Content-Transfer-Encoding: quoted-printable\r\n\r\n")
+	qw := quotedprintable.NewWriter(&buf)
+	if _, err := qw.Write(payload); err != nil {
+		return nil, err
+	}
+	if err := qw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// percentSafe reports bytes left bare by EncodePercent: unreserved URL
+// characters per RFC 3986.
+func percentSafe(c byte) bool {
+	return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+		(c >= '0' && c <= '9') || c == '-' || c == '.' || c == '_' || c == '~'
+}
+
+// EncodePercent percent-encodes every byte outside the RFC 3986
+// unreserved set.
+func EncodePercent(payload []byte) []byte {
+	var buf bytes.Buffer
+	for _, c := range payload {
+		if percentSafe(c) {
+			buf.WriteByte(c)
+			continue
+		}
+		fmt.Fprintf(&buf, "%%%02X", c)
+	}
+	return buf.Bytes()
+}
+
+// ExpandUTF8 widens payload byte-by-byte into UTF-8: each byte becomes
+// the rune of the same value, so high bytes turn into two-byte
+// sequences. The UTF-8 peeler folds the result back exactly.
+func ExpandUTF8(payload []byte) []byte {
+	out := make([]byte, 0, len(payload)*2)
+	for _, c := range payload {
+		out = utf8.AppendRune(out, rune(c))
+	}
+	return out
+}

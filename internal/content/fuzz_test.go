@@ -1,0 +1,72 @@
+package content
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeViews drives the decoder with arbitrary payloads and
+// bounds: it must never panic, every yielded view must respect the
+// depth bound and carry a well-formed chain, total decoded output must
+// stay within the budget, and the only error it may surface is the
+// typed budget guard — once, as the final pair.
+func FuzzDecodeViews(f *testing.F) {
+	f.Add([]byte("GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n"), 4, int64(1<<16))
+	f.Add(EncodeGzip([]byte("TYQX----hAAAA^h@@@@_!q !y 1A padding padding")), 4, int64(1<<16))
+	f.Add(EncodeBase64(EncodeGzip(bytes.Repeat([]byte("worm?"), 64))), 2, int64(1<<10))
+	f.Add(EncodeChunked([]byte("4\r\nnest\r\n0\r\n\r\n"), 8), 8, int64(64))
+	f.Add(EncodeMIMEBase64(bytes.Repeat([]byte{0x90}, 128)), 3, int64(256))
+	f.Add(EncodePercent([]byte("%41%42 mixed \xff bytes")), 1, int64(1<<20))
+	f.Add(ExpandUTF8(bytes.Repeat([]byte{0xCD, 0x80}, 40)), 4, int64(0))
+	// A gzip bomb seed: tiny wire bytes, large decoded output.
+	f.Add(EncodeGzip(make([]byte, 1<<20)), 4, int64(1<<10))
+
+	f.Fuzz(func(t *testing.T, data []byte, maxDepth int, budget int64) {
+		// Fold the fuzzed bounds into the decoder's accepted ranges; the
+		// rejects have their own constructor tests.
+		if maxDepth < 0 {
+			maxDepth = -maxDepth
+		}
+		maxDepth = maxDepth%MaxChainLen + 1
+		if budget < 0 {
+			budget = -budget
+		}
+		budget = budget%(1<<20) + 1
+		dec, err := NewDecoder(DecoderConfig{MaxDepth: maxDepth, MaxOutput: budget})
+		if err != nil {
+			t.Fatalf("config rejected after folding: %v", err)
+		}
+
+		var total int64
+		sawErr := false
+		for view, verr := range dec.Views(data, 0) {
+			if sawErr {
+				t.Fatal("iteration continued past the terminal error pair")
+			}
+			if verr != nil {
+				if !errors.Is(verr, ErrDecodeBudget) {
+					t.Fatalf("unexpected error kind: %v", verr)
+				}
+				if view.Data != nil || view.Chain.Len() != 0 {
+					t.Fatalf("error pair carries a view: %+v", view)
+				}
+				sawErr = true
+				continue
+			}
+			d := view.Depth()
+			if d < 1 || d > maxDepth {
+				t.Fatalf("view depth %d outside 1..%d", d, maxDepth)
+			}
+			for i := 0; i < view.Chain.Len(); i++ {
+				if k := view.Chain.At(i); k < 1 || int(k) >= numKinds {
+					t.Fatalf("chain layer %d is invalid kind %d", i, k)
+				}
+			}
+			total += int64(len(view.Data))
+			if total > budget {
+				t.Fatalf("yielded %d decoded bytes, budget %d", total, budget)
+			}
+		}
+	})
+}

@@ -1,0 +1,249 @@
+package content
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/tracing"
+)
+
+// ScanFunc is the MEL pass the pipeline gates — normally
+// core.Detector.ScanTraced.
+type ScanFunc func(payload []byte, tr *tracing.Trace) (core.Verdict, error)
+
+// PipelineConfig configures a Pipeline. Zero values select calibrated
+// defaults everywhere.
+type PipelineConfig struct {
+	// Triage holds the clear thresholds of the gate stage.
+	Triage TriageConfig
+	// Decoder bounds the decode front end.
+	Decoder DecoderConfig
+	// Registry receives the pipeline's telemetry; nil disables it.
+	Registry *telemetry.Registry
+}
+
+// pipelineMetrics are the per-stage counters. All nil-safe: a pipeline
+// built without a registry carries a nil struct and every record
+// method no-ops.
+type pipelineMetrics struct {
+	scans        *telemetry.Counter
+	cleared      *telemetry.Counter
+	viewsScanned *telemetry.Counter
+	viewsCleared *telemetry.Counter
+	viewHits     *telemetry.Counter
+	budgetTrips  *telemetry.Counter
+	depthShed    *telemetry.Counter
+	decodeErrors *telemetry.Counter
+	score        *telemetry.Histogram
+}
+
+func newPipelineMetrics(r *telemetry.Registry) *pipelineMetrics {
+	if r == nil {
+		return nil
+	}
+	return &pipelineMetrics{
+		scans:        r.Counter("content_scans_total", "payloads entering the content pipeline"),
+		cleared:      r.Counter("content_triage_cleared_total", "payloads cleared by triage without a MEL pass"),
+		viewsScanned: r.Counter("content_views_scanned_total", "decoded views run through the MEL pass"),
+		viewsCleared: r.Counter("content_views_cleared_total", "decoded views cleared by triage"),
+		viewHits:     r.Counter("content_view_malicious_total", "malicious verdicts found in a decoded view (wrapped payloads)"),
+		budgetTrips:  r.Counter("content_decode_budget_total", "decodes cut short by the output budget (zip-bomb guard)"),
+		depthShed:    r.Counter("content_depth_shed_total", "scans whose decode depth was reduced by load shedding"),
+		decodeErrors: r.Counter("content_view_scan_errors_total", "decoded views whose MEL pass failed"),
+		score: r.Histogram("content_triage_score", "triage suspicion score per payload",
+			[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}),
+	}
+}
+
+// Pipeline composes triage → decode → MEL: the triage gate clears what
+// it can, the decode front end unwraps what it can't, and the MEL pass
+// runs on the raw payload plus every decoded view until one flags. It
+// is safe for concurrent use.
+type Pipeline struct {
+	triage *Triage
+	dec    *Decoder
+	scan   ScanFunc
+	m      *pipelineMetrics
+	// pressure is the current load signal in [0,1] (float64 bits),
+	// published by the serving layer; the shed policy drops decode depth
+	// as it rises, before any scan is dropped.
+	pressure atomic.Uint64
+}
+
+// NewPipeline builds a pipeline around scan.
+func NewPipeline(scan ScanFunc, cfg PipelineConfig) (*Pipeline, error) {
+	if scan == nil {
+		return nil, errors.New("content: nil scan func")
+	}
+	dec, err := NewDecoder(cfg.Decoder)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		triage: NewTriage(cfg.Triage),
+		dec:    dec,
+		scan:   scan,
+		m:      newPipelineMetrics(cfg.Registry),
+	}, nil
+}
+
+// Triage exposes the configured gate (for calibration tooling).
+func (p *Pipeline) Triage() *Triage { return p.triage }
+
+// Decoder exposes the configured decode front end.
+func (p *Pipeline) Decoder() *Decoder { return p.dec }
+
+// SetPressure publishes the serving layer's load signal in [0,1]
+// (queue occupancy, typically). The shed policy maps it to a decode
+// depth: full depth below 0.5, shallower as pressure rises, and decode
+// disabled entirely above 0.9 — the raw-payload scan itself is never
+// shed here.
+func (p *Pipeline) SetPressure(v float64) {
+	if v < 0 {
+		v = 0
+	} else if v > 1 {
+		v = 1
+	}
+	p.pressure.Store(math.Float64bits(v))
+}
+
+// depthFor maps the current pressure to an effective decode depth.
+func (p *Pipeline) depthFor() int {
+	v := math.Float64frombits(p.pressure.Load())
+	max := p.dec.MaxDepth()
+	switch {
+	case v >= 0.9:
+		return 0
+	case v >= 0.75:
+		return 1
+	case v >= 0.5:
+		if max > 2 {
+			return 2
+		}
+		return max
+	default:
+		return max
+	}
+}
+
+// Scan is ScanTraced without instrumentation.
+func (p *Pipeline) Scan(payload []byte) (core.Verdict, error) {
+	return p.ScanTraced(payload, nil)
+}
+
+// ScanTraced runs payload through the cascade. The triage stage and
+// the decode/view loop are timed onto tr as StageTriage and
+// StageContentDecode (the engine stages inside reflect the last view
+// scanned), and the content outcome — view index, decode chain, triage
+// score — is stamped on both the trace and the returned verdict.
+//
+// A triage clear skips only the raw-payload MEL pass; layer sniffing
+// still runs, because a statistics-only clear cannot vouch for bytes
+// hiding behind an encoding (base64 of mostly-text content sits below
+// every entropy ceiling). Each decoded view is triaged and scanned the
+// same way, so plain text — which sniffs no layers — costs zero MEL
+// passes, while a wrapped worm is always unwrapped and caught. The
+// first malicious verdict wins and carries its decode chain; otherwise
+// the raw payload's verdict is returned. A decode cut short by the
+// output budget is not an error: the views produced before the cut are
+// still scanned and the trip is counted.
+func (p *Pipeline) ScanTraced(payload []byte, tr *tracing.Trace) (core.Verdict, error) {
+	p.m.inc(func(m *pipelineMetrics) *telemetry.Counter { return m.scans })
+
+	tr.StageStart(tracing.StageTriage)
+	res := p.triage.Assess(payload)
+	tr.StageEnd(tracing.StageTriage)
+	if p.m != nil {
+		p.m.score.Observe(res.Score)
+	}
+
+	var raw core.Verdict
+	if res.Cleared {
+		p.m.inc(func(m *pipelineMetrics) *telemetry.Counter { return m.cleared })
+		raw = core.Verdict{TriageScore: res.Score, TriageCleared: true}
+		if tr != nil {
+			raw.TraceID = tr.ID
+		}
+		tr.SetVerdict(0, 0, false)
+	} else {
+		var err error
+		raw, err = p.scan(payload, tr)
+		if err != nil {
+			return raw, err
+		}
+		raw.ViewIndex, raw.DecodeChain, raw.TriageScore = 0, "", res.Score
+		if raw.Malicious {
+			tr.SetContent(0, "", res.Score, false)
+			return raw, nil
+		}
+	}
+
+	depth := p.depthFor()
+	if depth < p.dec.MaxDepth() {
+		p.m.inc(func(m *pipelineMetrics) *telemetry.Counter { return m.depthShed })
+	}
+	if depth == 0 {
+		tr.SetContent(0, "", res.Score, res.Cleared)
+		return raw, nil
+	}
+
+	tr.StageStart(tracing.StageContentDecode)
+	verdict, verr := p.scanViews(payload, depth, res.Score, tr)
+	tr.StageEnd(tracing.StageContentDecode)
+	if verr != nil {
+		return verdict, verr
+	}
+	if verdict.Malicious {
+		tr.SetContent(verdict.ViewIndex, verdict.DecodeChain, res.Score, false)
+		tr.SetVerdict(verdict.MEL, verdict.Threshold, true)
+		return verdict, nil
+	}
+	tr.SetContent(0, "", res.Score, res.Cleared)
+	return raw, nil
+}
+
+// scanViews walks the decoded views, triaging then scanning each, and
+// returns the first malicious verdict (zero Verdict when none flag).
+func (p *Pipeline) scanViews(payload []byte, depth int, score float64, tr *tracing.Trace) (core.Verdict, error) {
+	index := 0
+	for view, derr := range p.dec.Views(payload, depth) {
+		if derr != nil {
+			// Budget trip: the views already scanned stand; count and stop.
+			p.m.inc(func(m *pipelineMetrics) *telemetry.Counter { return m.budgetTrips })
+			break
+		}
+		index++
+		vres := p.triage.Assess(view.Data)
+		if vres.Cleared {
+			p.m.inc(func(m *pipelineMetrics) *telemetry.Counter { return m.viewsCleared })
+			continue
+		}
+		p.m.inc(func(m *pipelineMetrics) *telemetry.Counter { return m.viewsScanned })
+		v, err := p.scan(view.Data, tr)
+		if err != nil {
+			// A view that fails to scan (oversized after inflation, say)
+			// must not fail the whole request; the raw verdict stands.
+			p.m.inc(func(m *pipelineMetrics) *telemetry.Counter { return m.decodeErrors })
+			continue
+		}
+		if v.Malicious {
+			p.m.inc(func(m *pipelineMetrics) *telemetry.Counter { return m.viewHits })
+			v.ViewIndex = index
+			v.DecodeChain = view.Chain.String()
+			v.TriageScore = score
+			return v, nil
+		}
+	}
+	return core.Verdict{}, nil
+}
+
+// inc bumps one counter, tolerating a nil metrics struct.
+func (m *pipelineMetrics) inc(sel func(*pipelineMetrics) *telemetry.Counter) {
+	if m == nil {
+		return
+	}
+	sel(m).Inc()
+}

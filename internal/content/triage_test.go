@@ -1,0 +1,183 @@
+package content
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/encoder"
+)
+
+// wormWindow splices worm w into the middle of a benign host case, the
+// shape a scan window sees when an exploit rides a legitimate flow.
+func wormWindow(host, worm []byte) []byte {
+	half := len(host) / 2
+	out := make([]byte, 0, len(host)+len(worm))
+	out = append(out, host[:half]...)
+	out = append(out, worm...)
+	out = append(out, host[half:]...)
+	return out
+}
+
+// TestTriageCalibration pins the clear-side behaviour the defaults
+// were calibrated for: the overwhelming majority of benign corpus
+// cases clear, across every case kind.
+func TestTriageCalibration(t *testing.T) {
+	tr := NewTriage(TriageConfig{})
+	cases, err := corpus.Dataset(42, 400, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleared := 0
+	for _, c := range cases {
+		r := tr.Assess(c.Data)
+		if r.Cleared {
+			cleared++
+			if r.Score >= 0.5 {
+				t.Errorf("cleared case scored %.3f (>= 0.5)", r.Score)
+			}
+		}
+	}
+	if frac := float64(cleared) / float64(len(cases)); frac < 0.9 {
+		t.Fatalf("only %.0f%% of benign corpus cleared, want >= 90%%", 100*frac)
+	}
+}
+
+// TestTriageNeverClearsWorms is the false-negative guard: a window
+// containing a spliced text worm must never clear, for every decrypter
+// style and across seeds. A failure here means the triage gate would
+// skip the MEL pass on a real worm.
+func TestTriageNeverClearsWorms(t *testing.T) {
+	tr := NewTriage(TriageConfig{})
+	cases, err := corpus.Dataset(42, 100, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	for style := encoder.Style(0); style < 4; style++ {
+		for seed := uint64(0); seed < 30; seed++ {
+			w, err := encoder.Encode(payload, encoder.Options{Seed: seed, Style: style})
+			if err != nil {
+				t.Fatalf("style %d seed %d: %v", style, seed, err)
+			}
+			host := cases[int(seed)%len(cases)].Data
+			r := tr.Assess(wormWindow(host, w.Bytes))
+			if r.Cleared {
+				t.Errorf("style %d seed %d: worm window cleared (ent=%.3f blk=%.3f print=%.4f score=%.3f)",
+					style, seed, r.Entropy, r.MaxBlockEntropy, r.PrintableRatio, r.Score)
+			}
+		}
+	}
+	// The bare worm (no benign padding) must not clear either.
+	w, err := encoder.Encode(payload, encoder.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := tr.Assess(w.Bytes); r.Cleared {
+		t.Errorf("bare worm cleared: %+v", r)
+	}
+}
+
+// TestTriageConservativeDefaults: the can't-clear direction for inputs
+// the statistics can't vouch for.
+func TestTriageConservativeDefaults(t *testing.T) {
+	tr := NewTriage(TriageConfig{})
+
+	if r := tr.Assess(nil); r.Cleared {
+		t.Error("empty payload cleared")
+	}
+	if r := tr.Assess([]byte("GET / HTTP/1.1")); r.Cleared {
+		t.Error("sub-MinLen payload cleared")
+	}
+
+	// Binary data (a gzip body, say) is far below the printable floor.
+	bin := make([]byte, 4096)
+	rng := rand.New(rand.NewSource(9))
+	rng.Read(bin)
+	if r := tr.Assess(bin); r.Cleared {
+		t.Error("random binary cleared")
+	}
+
+	// Uniform random printable text — what compressed content re-encoded
+	// into the text domain looks like — trips the entropy ceilings even
+	// though it is 100% printable.
+	uni := make([]byte, 4096)
+	for i := range uni {
+		uni[i] = byte(0x20 + rng.Intn(95))
+	}
+	if r := tr.Assess(uni); r.Cleared {
+		t.Error("uniform printable cleared")
+	}
+
+	// Plain prose clears, with a low score.
+	prose := make([]byte, 0, 4096)
+	for len(prose) < 4096 {
+		prose = append(prose, "The quick brown fox jumps over the lazy dog. "...)
+	}
+	r := tr.Assess(prose[:4096])
+	if !r.Cleared {
+		t.Errorf("prose did not clear: %+v", r)
+	}
+	if r.Score >= 0.5 {
+		t.Errorf("prose score = %.3f, want < 0.5", r.Score)
+	}
+}
+
+// TestTriageScoreSemantics: scores above 0.5 never clear.
+func TestTriageScoreSemantics(t *testing.T) {
+	tr := NewTriage(TriageConfig{})
+	cases, err := corpus.Dataset(7, 50, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	inputs := make([][]byte, 0, len(cases)+10)
+	for _, c := range cases {
+		inputs = append(inputs, c.Data)
+	}
+	for seed := uint64(0); seed < 10; seed++ {
+		w, err := encoder.Encode(payload, encoder.Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs = append(inputs, wormWindow(cases[int(seed)].Data, w.Bytes))
+	}
+	for i, in := range inputs {
+		r := tr.Assess(in)
+		if r.Score > 0.5 && r.Cleared {
+			t.Errorf("input %d: score %.3f cleared", i, r.Score)
+		}
+	}
+}
+
+// TestTriageConfigOverrides: explicit thresholds are honoured.
+func TestTriageConfigOverrides(t *testing.T) {
+	strict := NewTriage(TriageConfig{MaxEntropy: 0.5, MaxBlockEntropy: 0.5, BlockEntropy: 0.5, BlockSymbolRatio: 0.01})
+	prose := make([]byte, 0, 1024)
+	for len(prose) < 1024 {
+		prose = append(prose, "normal text that the default gate would clear with ease. "...)
+	}
+	if r := strict.Assess(prose); r.Cleared {
+		t.Error("strict thresholds still cleared prose")
+	}
+	if got := NewTriage(TriageConfig{}).Config().MinLen; got != DefaultTriageMinLen {
+		t.Fatalf("default MinLen = %d", got)
+	}
+}
+
+// BenchmarkTriageAssess pins the triage hot path: it must be far
+// cheaper than the ~33µs fused MEL scan it gates, at 0 allocs/op.
+func BenchmarkTriageAssess(b *testing.B) {
+	cases, err := corpus.Dataset(42, 1, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := NewTriage(TriageConfig{})
+	data := cases[0].Data
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Assess(data)
+	}
+}

@@ -223,6 +223,23 @@ type Verdict struct {
 	// through the stream scanner and proxy so alerts can be chased back
 	// to a flight-recorder entry.
 	TraceID tracing.TraceID
+
+	// Content-pipeline fields, populated only when the scan ran through
+	// the content pipeline (internal/content); zero otherwise.
+	//
+	// ViewIndex is the decoded view this verdict came from: 0 for the
+	// raw payload, i>0 for the i-th view the decoder yielded.
+	ViewIndex int
+	// DecodeChain names the decode layers peeled to reach that view,
+	// outermost first ("gzip>base64"); empty for the raw payload.
+	DecodeChain string
+	// TriageScore is the triage stage's suspicion score for the raw
+	// payload, in [0,1].
+	TriageScore float64
+	// TriageCleared reports that the triage stage cleared the payload
+	// without invoking the MEL pass (MEL, Params, and BestStart are then
+	// zero).
+	TriageCleared bool
 }
 
 // Scan analyzes one payload.

@@ -221,11 +221,28 @@ func EngineBench(w io.Writer, outPath string, seed uint64) (EngineBenchReport, e
 // judged on the better of the two runs, so a single co-tenant noise
 // spike does not fail CI.
 func BenchGuard(w io.Writer, committedPath string, seed uint64) error {
+	return guardBench(w, committedPath, func() ([]EngineBenchResult, error) {
+		report, err := EngineBench(w, "", seed)
+		return report.Results, err
+	})
+}
+
+// guardBench is the regression judge shared by the engine and content
+// guards: measure re-runs one benchmark family, and any named result
+// whose ns/op exceeds the committed artifact's by more than 20% — or
+// whose allocs/op rose at all — is a violation. A failing first pass is
+// measured once more and judged on the better of the two runs per
+// benchmark, so a single co-tenant noise spike does not fail CI.
+func guardBench(w io.Writer, committedPath string, measure func() ([]EngineBenchResult, error)) error {
 	blob, err := os.ReadFile(committedPath)
 	if err != nil {
 		return fmt.Errorf("bench-guard: read committed artifact: %w", err)
 	}
-	var committed EngineBenchReport
+	// Every bench artifact carries its results under the same key; the
+	// family-specific fields are not judged.
+	var committed struct {
+		Results []EngineBenchResult `json:"results"`
+	}
 	if err := json.Unmarshal(blob, &committed); err != nil {
 		return fmt.Errorf("bench-guard: parse %s: %w", committedPath, err)
 	}
@@ -234,9 +251,9 @@ func BenchGuard(w io.Writer, committedPath string, seed uint64) error {
 		base[r.Name] = r
 	}
 
-	judge := func(report EngineBenchReport) []string {
+	judge := func(results []EngineBenchResult) []string {
 		var violations []string
-		for _, r := range report.Results {
+		for _, r := range results {
 			c, ok := base[r.Name]
 			if !ok {
 				fmt.Fprintf(w, "  %-28s no committed baseline; skipped\n", r.Name)
@@ -256,25 +273,24 @@ func BenchGuard(w io.Writer, committedPath string, seed uint64) error {
 		return violations
 	}
 
-	report, err := EngineBench(w, "", seed)
+	results, err := measure()
 	if err != nil {
 		return err
 	}
-	violations := judge(report)
+	violations := judge(results)
 	if len(violations) > 0 {
 		fmt.Fprintf(w, "  bench-guard: %d violation(s) on first pass; re-measuring\n", len(violations))
-		retry, err := EngineBench(w, "", seed)
+		retry, err := measure()
 		if err != nil {
 			return err
 		}
 		// Judge the better of the two runs per benchmark.
-		best := report
-		merged := make([]EngineBenchResult, 0, len(report.Results))
-		byName := make(map[string]EngineBenchResult, len(retry.Results))
-		for _, r := range retry.Results {
+		byName := make(map[string]EngineBenchResult, len(retry))
+		for _, r := range retry {
 			byName[r.Name] = r
 		}
-		for _, r := range report.Results {
+		merged := make([]EngineBenchResult, 0, len(results))
+		for _, r := range results {
 			if r2, ok := byName[r.Name]; ok {
 				if r2.NsPerOp < r.NsPerOp {
 					r.NsPerOp = r2.NsPerOp
@@ -285,8 +301,7 @@ func BenchGuard(w io.Writer, committedPath string, seed uint64) error {
 			}
 			merged = append(merged, r)
 		}
-		best.Results = merged
-		violations = judge(best)
+		violations = judge(merged)
 	}
 	if len(violations) > 0 {
 		for _, v := range violations {

@@ -1,0 +1,108 @@
+package proxy
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/content"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/encoder"
+	"repro/internal/shellcode"
+)
+
+// TestContentModeUnwrapsGzippedWorm: a worm window hidden behind a
+// gzip layer passes a plain proxy untouched but trips a content-mode
+// proxy, and the alert names the decode chain.
+func TestContentModeUnwrapsGzippedWorm(t *testing.T) {
+	upstream, stopEcho := echoServer(t)
+	defer stopEcho()
+
+	det, err := core.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := content.NewPipeline(det.ScanTraced, content.PipelineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{
+		Detector: det,
+		Content:  pipe,
+		Upstream: upstream,
+		Window:   2048,
+		Stride:   512,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if err := p.Serve(ln); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	t.Cleanup(func() { p.Close() })
+
+	// A small worm window, gzipped so the blob fits inside one scan
+	// window of the stream.
+	w, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: 31, SledLen: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases, err := corpus.Dataset(31, 2, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var window []byte
+	window = append(window, cases[0].Data...)
+	window = append(window, w.Bytes...)
+	window = append(window, cases[1].Data...)
+	if raw, err := det.Scan(window); err != nil || !raw.Malicious {
+		t.Fatalf("premise: raw window verdict = %+v err=%v, want malicious", raw, err)
+	}
+	blob := content.EncodeGzip(window)
+	if len(blob) > 2048 {
+		t.Fatalf("gzip blob %d bytes does not fit one window", len(blob))
+	}
+	if raw, err := det.Scan(blob); err != nil || raw.Malicious {
+		t.Fatalf("premise: gzip blob flagged raw (err=%v); wrapper is not hiding it", err)
+	}
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(blob); err != nil {
+		t.Fatal(err)
+	}
+	// Half-close the write side so the proxy flushes its partial window.
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.CloseWrite()
+	}
+
+	var alerts []Alert
+	for i := 0; i < 200; i++ {
+		alerts = p.Alerts()
+		if len(alerts) > 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if len(alerts) == 0 {
+		t.Fatal("gzip-wrapped worm produced no alerts in content mode")
+	}
+	a := alerts[0]
+	if a.DecodeChain != "gzip" || a.ViewIndex < 1 {
+		t.Fatalf("alert chain=%q view=%d, want gzip view >= 1", a.DecodeChain, a.ViewIndex)
+	}
+	if a.MEL <= int(a.Threshold) {
+		t.Fatalf("alert inconsistent: %+v", a)
+	}
+}

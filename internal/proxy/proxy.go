@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/content"
 	"repro/internal/core"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/tracing"
@@ -32,6 +33,13 @@ type Alert struct {
 	// MEL and Threshold describe the verdict.
 	MEL       int
 	Threshold float64
+	// ViewIndex and DecodeChain (content mode only) locate the verdict
+	// within the decode front end's views: a non-empty chain names the
+	// encoding layers ("gzip>base64", outermost first) peeled to expose
+	// the flagged bytes; ViewIndex 0 with an empty chain is a raw-window
+	// hit.
+	ViewIndex   int
+	DecodeChain string
 	// TraceID links the alert to its scan's flight-recorder entry (zero
 	// when the scan path was untraced).
 	TraceID tracing.TraceID
@@ -48,6 +56,12 @@ type Config struct {
 	// cache. The Detector is still required for configuration
 	// validation and remains the fallback when nil.
 	Scan func([]byte) (core.Verdict, error)
+	// Content, when set (and Scan is nil), scans each window through
+	// this triage → decode → MEL pipeline instead of the bare detector,
+	// so encoded payloads (gzip, base64, chunked, ...) are unwrapped in
+	// flight; alerts then carry the decode chain. For pooled content
+	// mode, set Scan to server.Pool.ScanContentFunc() instead.
+	Content *content.Pipeline
 	// Upstream is the address proxied connections are forwarded to.
 	Upstream string
 	// Window and Stride configure the stream scanner (defaults apply).
@@ -115,7 +129,11 @@ func New(cfg Config) (*Proxy, error) {
 		cfg.IdleTimeout = DefaultIdleTimeout
 	}
 	if cfg.Scan == nil {
-		cfg.Scan = cfg.Detector.Scan
+		if cfg.Content != nil {
+			cfg.Scan = cfg.Content.Scan
+		} else {
+			cfg.Scan = cfg.Detector.Scan
+		}
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -191,6 +209,20 @@ func (p *Proxy) Alerts() []Alert {
 	return out
 }
 
+// alertFrom converts one stream-scanner alert, carrying the content
+// fields through when the scan path populated them.
+func alertFrom(conn string, a core.StreamAlert) Alert {
+	return Alert{
+		Conn:        conn,
+		Offset:      a.Offset,
+		MEL:         a.Verdict.MEL,
+		Threshold:   a.Verdict.Threshold,
+		ViewIndex:   a.Verdict.ViewIndex,
+		DecodeChain: a.Verdict.DecodeChain,
+		TraceID:     a.Verdict.TraceID,
+	}
+}
+
 func (p *Proxy) record(a Alert) {
 	p.mu.Lock()
 	p.alerts = append(p.alerts, a)
@@ -198,11 +230,14 @@ func (p *Proxy) record(a Alert) {
 	if p.m.alerts != nil {
 		p.m.alerts.Inc()
 	}
-	if a.TraceID.IsZero() {
-		p.cfg.Logf("ALERT %s window@%d MEL=%d tau=%.1f", a.Conn, a.Offset, a.MEL, a.Threshold)
-	} else {
-		p.cfg.Logf("ALERT %s window@%d MEL=%d tau=%.1f trace=%s", a.Conn, a.Offset, a.MEL, a.Threshold, a.TraceID)
+	line := fmt.Sprintf("ALERT %s window@%d MEL=%d tau=%.1f", a.Conn, a.Offset, a.MEL, a.Threshold)
+	if a.DecodeChain != "" {
+		line += fmt.Sprintf(" chain=%s view=%d", a.DecodeChain, a.ViewIndex)
 	}
+	if !a.TraceID.IsZero() {
+		line += " trace=" + a.TraceID.String()
+	}
+	p.cfg.Logf("%s", line)
 }
 
 // idleConn bumps the connection deadline on every read and write, so
@@ -275,7 +310,7 @@ func (p *Proxy) handle(clientConn net.Conn) {
 				p.cfg.Logf("proxy: scan: %v", err)
 			}
 			for _, a := range scanner.Alerts()[seen:] {
-				p.record(Alert{Conn: name, Offset: a.Offset, MEL: a.Verdict.MEL, Threshold: a.Verdict.Threshold, TraceID: a.Verdict.TraceID})
+				p.record(alertFrom(name, a))
 				if p.cfg.Block {
 					blocked = true
 				}
@@ -295,7 +330,7 @@ func (p *Proxy) handle(clientConn net.Conn) {
 	seen := len(scanner.Alerts())
 	if err := scanner.Flush(); err == nil {
 		for _, a := range scanner.Alerts()[seen:] {
-			p.record(Alert{Conn: name, Offset: a.Offset, MEL: a.Verdict.MEL, Threshold: a.Verdict.Threshold, TraceID: a.Verdict.TraceID})
+			p.record(alertFrom(name, a))
 			if p.cfg.Block {
 				blocked = true
 			}

@@ -8,10 +8,18 @@ import (
 	"repro/internal/core"
 )
 
-// cacheKey is the content hash of a payload. SHA-256 keeps accidental
-// and adversarial collisions equally out of reach: a verdict served
-// from the cache is the verdict of byte-identical content.
-type cacheKey = [sha256.Size]byte
+// cacheKey identifies a cached verdict: the payload hash plus the
+// scan mode. SHA-256 keeps accidental and adversarial collisions
+// equally out of reach: a verdict served from the cache is the verdict
+// of byte-identical content. The mode bit domain-separates content-
+// pipeline verdicts from plain ones — the same bytes can legitimately
+// yield different verdicts (a gzip-wrapped worm is benign to a plain
+// scan and malicious through the pipeline), so the two modes must
+// never alias.
+type cacheKey struct {
+	sum     [sha256.Size]byte
+	content bool
+}
 
 // verdictCache is a fixed-capacity LRU of payload-hash → verdict.
 // Repeated payloads — retransmissions, mirrored traffic, a worm

@@ -40,6 +40,20 @@ type Result struct {
 	// Cached reports that the verdict came from the server's
 	// content-hash cache rather than fresh pseudo-execution.
 	Cached bool
+	// TriageCleared (content scans only) reports that the server's
+	// triage stage cleared the payload without a MEL pass.
+	TriageCleared bool
+	// TriageScore (content scans only) is the triage suspicion score in
+	// [0,1]; scores at or above 0.5 never clear.
+	TriageScore float64
+	// ViewIndex (content scans only) is the decoded view the verdict
+	// came from: 0 is the raw payload, higher values count the views the
+	// decode front end produced.
+	ViewIndex int
+	// DecodeChain (content scans only) names the encoding layers peeled
+	// to reach the flagged view, outermost first ("gzip>base64"); empty
+	// for a raw-payload verdict.
+	DecodeChain string
 	// Trace carries the latency attribution for this request when the
 	// client was built WithTracing and the server echoed timings; nil
 	// otherwise.
@@ -95,6 +109,16 @@ func WithTracing() Option {
 	return func(c *Client) { c.tracing.Store(true) }
 }
 
+// WithContent routes every scan through the server's content pipeline
+// (triage → decode → MEL); results then carry the content fields
+// (TriageCleared, ViewIndex, DecodeChain). Against a server without
+// the pipeline — pre-content, or running with it disabled — the first
+// scan downgrades the connection to plain scans with one transparent
+// retry, so the option is safe to enable unconditionally.
+func WithContent() Option {
+	return func(c *Client) { c.content.Store(true) }
+}
+
 // Client is a concurrent-safe connection to a scan daemon.
 type Client struct {
 	conn     net.Conn
@@ -102,6 +126,7 @@ type Client struct {
 	timeout  time.Duration
 	maxFrame uint32
 	tracing  atomic.Bool
+	content  atomic.Bool
 
 	wmu sync.Mutex // serializes frame writes and flushes
 
@@ -200,18 +225,28 @@ func (c *Client) Scan(payload []byte) (Result, error) {
 // context's end.
 func (c *Client) ScanContext(ctx context.Context, payload []byte) (Result, error) {
 	traced := c.tracing.Load()
-	res, err := c.scan(ctx, payload, traced)
+	viaContent := c.content.Load()
+	res, err := c.scan(ctx, payload, traced, viaContent)
+	if err != nil && viaContent && errors.Is(err, server.ErrBadRequest) {
+		// A server without the content pipeline rejects MsgScanContent
+		// (unknown type on pre-content builds, CodeBadRequest when the
+		// pipeline is disabled). Downgrade the connection to plain scans
+		// and retry this request.
+		c.content.Store(false)
+		viaContent = false
+		res, err = c.scan(ctx, payload, traced, false)
+	}
 	if err != nil && traced && errors.Is(err, server.ErrBadRequest) {
 		// A pre-tracing server rejects MsgScanTraced as an unknown type.
 		// Downgrade the connection and retry this request untraced.
 		c.tracing.Store(false)
-		return c.scan(ctx, payload, false)
+		return c.scan(ctx, payload, false, viaContent)
 	}
 	return res, err
 }
 
-// scan runs one request, traced or plain.
-func (c *Client) scan(ctx context.Context, payload []byte, traced bool) (Result, error) {
+// scan runs one request in any of the four mode combinations.
+func (c *Client) scan(ctx context.Context, payload []byte, traced, viaContent bool) (Result, error) {
 	ch := make(chan response, 1)
 	c.mu.Lock()
 	if c.closed {
@@ -245,9 +280,14 @@ func (c *Client) scan(ctx context.Context, payload []byte, traced bool) (Result,
 		_ = c.conn.SetWriteDeadline(time.Time{})
 	}
 	var frame []byte
-	if traced {
+	switch {
+	case viaContent && traced:
+		frame = server.AppendScanContentTracedRequest(nil, id, tracing.NewID(), payload)
+	case viaContent:
+		frame = server.AppendScanContentRequest(nil, id, payload)
+	case traced:
 		frame = server.AppendScanTracedRequest(nil, id, tracing.NewID(), payload)
-	} else {
+	default:
 		frame = server.AppendScanRequest(nil, id, payload)
 	}
 	start := time.Now()
@@ -290,23 +330,27 @@ func decodeResponse(resp response, elapsed time.Duration) (Result, error) {
 			return Result{}, err
 		}
 		return fromVerdict(v, cached), nil
+	case server.MsgVerdictContent:
+		v, cached, err := server.DecodeVerdictContent(resp.payload)
+		if err != nil {
+			return Result{}, err
+		}
+		return fromVerdict(v, cached), nil
 	case server.MsgVerdictTraced:
 		v, cached, wt, err := server.DecodeVerdictTraced(resp.payload)
 		if err != nil {
 			return Result{}, err
 		}
 		res := fromVerdict(v, cached)
-		network := elapsed - wt.Total
-		if network < 0 {
-			network = 0
+		res.Trace = traceFor(wt, elapsed)
+		return res, nil
+	case server.MsgVerdictContentTraced:
+		v, cached, wt, err := server.DecodeVerdictContentTraced(resp.payload)
+		if err != nil {
+			return Result{}, err
 		}
-		res.Trace = &Trace{
-			ID:      wt.ID,
-			Elapsed: elapsed,
-			Server:  wt.Total,
-			Network: network,
-			Stages:  wt.Stages,
-		}
+		res := fromVerdict(v, cached)
+		res.Trace = traceFor(wt, elapsed)
 		return res, nil
 	case server.MsgError:
 		code, msg, err := server.DecodeError(resp.payload)
@@ -319,15 +363,35 @@ func decodeResponse(resp response, elapsed time.Duration) (Result, error) {
 	}
 }
 
+// traceFor attributes a traced response's client-observed latency.
+func traceFor(wt server.WireTrace, elapsed time.Duration) *Trace {
+	network := elapsed - wt.Total
+	if network < 0 {
+		network = 0
+	}
+	return &Trace{
+		ID:      wt.ID,
+		Elapsed: elapsed,
+		Server:  wt.Total,
+		Network: network,
+		Stages:  wt.Stages,
+	}
+}
+
 // fromVerdict converts the wire verdict into the client result type.
+// The content fields are zero on plain verdicts.
 func fromVerdict(v core.Verdict, cached bool) Result {
 	return Result{
-		Malicious: v.Malicious,
-		MEL:       v.MEL,
-		BestStart: v.BestStart,
-		Threshold: v.Threshold,
-		TextOnly:  v.TextOnly,
-		Cached:    cached,
+		Malicious:     v.Malicious,
+		MEL:           v.MEL,
+		BestStart:     v.BestStart,
+		Threshold:     v.Threshold,
+		TextOnly:      v.TextOnly,
+		Cached:        cached,
+		TriageCleared: v.TriageCleared,
+		TriageScore:   v.TriageScore,
+		ViewIndex:     v.ViewIndex,
+		DecodeChain:   v.DecodeChain,
 	}
 }
 

@@ -1,0 +1,192 @@
+package server_test
+
+import (
+	"testing"
+
+	"repro/internal/content"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/telemetry/tracing"
+)
+
+// contentServer starts a daemon with the content pipeline enabled
+// around its own detector.
+func contentServer(t *testing.T, cfg server.Config) (*server.Server, string) {
+	t.Helper()
+	det, err := core.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := content.NewPipeline(det.ScanTraced, content.PipelineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Detector = det
+	cfg.Content = pipe
+	return startServer(t, cfg)
+}
+
+// gzWorm returns a worm window hidden behind a gzip layer — bytes that
+// scan clean raw (the worm is binary-compressed away) but carry a
+// flaggable worm once decoded.
+func gzWorm(t *testing.T, seed uint64) []byte {
+	t.Helper()
+	return content.EncodeGzip(wormPayload(t, seed))
+}
+
+// TestContentScanEndToEnd is the acceptance path: a gzip-wrapped worm
+// that a plain scan passes is detected through the daemon's content
+// path, with the decode chain visible in the verdict.
+func TestContentScanEndToEnd(t *testing.T) {
+	_, addr := contentServer(t, server.Config{})
+	plain, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	cc, err := client.Dial(addr, client.WithContent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	wrapped := gzWorm(t, 20)
+	raw, err := plain.Scan(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Malicious {
+		t.Fatal("premise broken: gzip-wrapped worm flagged by the plain scan")
+	}
+	res, err := cc.Scan(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Malicious {
+		t.Fatal("gzip-wrapped worm not detected through the content path")
+	}
+	if res.DecodeChain != "gzip" || res.ViewIndex < 1 {
+		t.Fatalf("verdict chain = %q view = %d, want gzip view >= 1", res.DecodeChain, res.ViewIndex)
+	}
+	if res.TriageCleared {
+		t.Fatal("malicious verdict marked triage-cleared")
+	}
+
+	// A benign text payload through the same path is cleared by triage.
+	benign, err := cc.Scan(benignPayloads(t, 22, 1)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if benign.Malicious || !benign.TriageCleared {
+		t.Fatalf("benign content verdict = %+v, want triage-cleared", benign)
+	}
+	if benign.TriageScore >= 0.5 {
+		t.Fatalf("cleared score = %.3f", benign.TriageScore)
+	}
+}
+
+// TestContentScanTracedEndToEnd: the traced content path echoes the
+// new pipeline stages and lands the decode chain in the flight
+// recorder.
+func TestContentScanTracedEndToEnd(t *testing.T) {
+	rec := tracing.NewRecorder(tracing.RecorderConfig{Recent: 64, Slow: 8})
+	_, addr := contentServer(t, server.Config{Recorder: rec})
+	c, err := client.Dial(addr, client.WithContent(), client.WithTracing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	res, err := c.Scan(gzWorm(t, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Malicious || res.DecodeChain != "gzip" {
+		t.Fatalf("verdict = %+v, want malicious via gzip", res)
+	}
+	if res.Trace == nil {
+		t.Fatal("traced content scan returned nil Trace")
+	}
+	for _, s := range []tracing.Stage{tracing.StageTriage, tracing.StageContentDecode} {
+		if res.Trace.Stages[s] < 0 {
+			t.Fatalf("stage %s not recorded", s)
+		}
+	}
+	found := false
+	for _, got := range rec.Recent(0) {
+		if got.ID != res.Trace.ID {
+			continue
+		}
+		found = true
+		if got.DecodeChain != "gzip" || got.ViewIndex != res.ViewIndex {
+			t.Fatalf("recorded trace chain=%q view=%d, want gzip view=%d",
+				got.DecodeChain, got.ViewIndex, res.ViewIndex)
+		}
+	}
+	if !found {
+		t.Fatalf("trace %s not in flight recorder", res.Trace.ID)
+	}
+}
+
+// TestContentCacheDomainSeparation: identical bytes scanned plain and
+// through the content path must not alias in the verdict cache — the
+// wrapped worm is benign to one and malicious to the other.
+func TestContentCacheDomainSeparation(t *testing.T) {
+	_, addr := contentServer(t, server.Config{})
+	plain, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	cc, err := client.Dial(addr, client.WithContent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	wrapped := gzWorm(t, 24)
+	// Warm the plain-mode cache entry first, then scan the same bytes in
+	// content mode: a shared key would serve the benign plain verdict.
+	if v, err := plain.Scan(wrapped); err != nil || v.Malicious {
+		t.Fatalf("plain scan: v=%+v err=%v", v, err)
+	}
+	v, err := cc.Scan(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Malicious {
+		t.Fatal("content scan served the plain cache entry")
+	}
+	if v.Cached {
+		t.Fatal("first content scan claims a cache hit")
+	}
+	// And the repeat is a content-mode cache hit with the fields intact.
+	v2, err := cc.Scan(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.Cached || !v2.Malicious || v2.DecodeChain != "gzip" {
+		t.Fatalf("content cache hit = %+v", v2)
+	}
+}
+
+// TestContentClientDowngrade: WithContent against a server running
+// without the pipeline transparently downgrades to plain scans.
+func TestContentClientDowngrade(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	c, err := client.Dial(addr, client.WithContent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 2; i++ {
+		res, err := c.Scan(benignPayloads(t, 25, 1)[0])
+		if err != nil {
+			t.Fatalf("scan %d: %v", i, err)
+		}
+		if res.Malicious || res.TriageCleared || res.DecodeChain != "" {
+			t.Fatalf("scan %d: downgraded verdict carries content fields: %+v", i, res)
+		}
+	}
+}

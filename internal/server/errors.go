@@ -27,6 +27,11 @@ var (
 	ErrBadRequest = errors.New("server: bad request")
 	// ErrScanFailed wraps a detector-side scan failure.
 	ErrScanFailed = errors.New("server: scan failed")
+	// ErrContentDisabled reports a content-pipeline scan against a pool
+	// or server running without one. It maps to CodeBadRequest on the
+	// wire — indistinguishable from a pre-content server's "unknown
+	// type" — so clients downgrade to a plain scan either way.
+	ErrContentDisabled = errors.New("server: content pipeline not configured")
 )
 
 // Wire status codes for MsgError frames.
@@ -50,7 +55,7 @@ func codeFor(err error) byte {
 		return CodeDeadline
 	case errors.Is(err, ErrShuttingDown):
 		return CodeShuttingDown
-	case errors.Is(err, ErrBadRequest):
+	case errors.Is(err, ErrBadRequest), errors.Is(err, ErrContentDisabled):
 		return CodeBadRequest
 	case errors.Is(err, ErrScanFailed):
 		return CodeScanFailed
@@ -75,6 +80,15 @@ func ErrorForCode(code byte, msg string) error {
 	case CodeShuttingDown:
 		base = ErrShuttingDown
 	case CodeBadRequest:
+		// A content-disabled server answers content scans with this
+		// code and ErrContentDisabled's exact message. Rehydrate an
+		// error matching both sentinels: ErrContentDisabled so callers
+		// can tell the condition apart, ErrBadRequest so the client
+		// library's downgrade path treats a content-disabled server and
+		// a pre-content server identically.
+		if msg == ErrContentDisabled.Error() {
+			return fmt.Errorf("%w: %w", ErrBadRequest, ErrContentDisabled)
+		}
 		base = ErrBadRequest
 	case CodeScanFailed:
 		base = ErrScanFailed

@@ -19,6 +19,12 @@ func FuzzWire(f *testing.F) {
 	f.Add(AppendScanRequest(nil, 1, []byte("\x90\x90\xC3")), uint32(1<<16))
 	f.Add(appendVerdict(nil, 7, core.Verdict{MEL: 12, BestStart: 3, Threshold: 6.5, Malicious: true}, true), uint32(1<<16))
 	f.Add(appendError(nil, 9, CodeOverloaded, ErrOverloaded.Error()), uint32(1<<16))
+	f.Add(AppendScanContentRequest(nil, 3, []byte("H4sIAAAA wrapped body")), uint32(1<<16))
+	f.Add(appendVerdictContent(nil, 11, core.Verdict{
+		MEL: 87, BestStart: 9, Threshold: 43.7, Malicious: true,
+		ViewIndex: 2, DecodeChain: "gzip>base64", TriageScore: 0.91,
+	}, false), uint32(1<<16))
+	f.Add(appendVerdictContent(nil, 12, core.Verdict{TriageCleared: true, TriageScore: 0.18, Threshold: 40}, true), uint32(1<<16))
 	// Truncated: length prefix promises more than the stream holds.
 	f.Add([]byte{0, 0, 4, 0, 0x01}, uint32(1<<16))
 	// Oversized: length prefix exceeds the reader's limit.
@@ -74,6 +80,22 @@ func FuzzWire(f *testing.F) {
 			if cached2 != cached || v2.Malicious != v.Malicious || v2.TextOnly != v.TextOnly ||
 				v2.MEL != v.MEL || v2.BestStart != v.BestStart {
 				t.Fatalf("verdict round trip changed: %+v != %+v", v2, v)
+			}
+		}
+		if v, cached, err := decodeVerdictContent(payload); err == nil {
+			reenc := appendVerdictContent(nil, id, v, cached)
+			_, _, vp, rerr := readFrame(bytes.NewReader(reenc), uint32(len(reenc)))
+			if rerr != nil {
+				t.Fatalf("re-reading content verdict frame: %v", rerr)
+			}
+			v2, cached2, rerr := decodeVerdictContent(vp)
+			if rerr != nil {
+				t.Fatalf("re-decoding content verdict payload: %v", rerr)
+			}
+			if cached2 != cached || v2.Malicious != v.Malicious || v2.MEL != v.MEL ||
+				v2.ViewIndex != v.ViewIndex || v2.DecodeChain != v.DecodeChain ||
+				v2.TriageCleared != v.TriageCleared {
+				t.Fatalf("content verdict round trip changed: %+v != %+v", v2, v)
 			}
 		}
 		if code, msg, err := decodeError(payload); err == nil {

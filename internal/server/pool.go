@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/content"
 	"repro/internal/core"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/tracing"
@@ -56,14 +57,22 @@ type PoolConfig struct {
 	// model-drift watcher observes MELs through. Called from worker
 	// goroutines; must be cheap and concurrency-safe.
 	OnVerdict func(core.Verdict)
+	// Content, when set, enables the content scan path: SubmitContent
+	// jobs run through this triage → decode → MEL pipeline instead of the
+	// bare detector, and the pool publishes its queue occupancy as the
+	// pipeline's load-pressure signal so decode depth sheds before any
+	// scan is dropped. The pipeline should be built around the same
+	// detector (its verdict cache assumptions carry over).
+	Content *content.Pipeline
 }
 
-// job is one queued scan.
+// job is one queued scan. content selects the pipeline path.
 type job struct {
 	payload  []byte
 	enqueued time.Time
 	deadline time.Time
 	tr       *tracing.Trace
+	content  bool
 	done     func(v core.Verdict, cached bool, err error)
 }
 
@@ -106,6 +115,7 @@ func newPoolMetrics(reg *telemetry.Registry) poolMetrics {
 // work before returning.
 type Pool struct {
 	det       *core.Detector
+	pipe      *content.Pipeline
 	cache     *verdictCache
 	jobs      chan job
 	reg       *telemetry.Registry
@@ -138,6 +148,7 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 	}
 	p := &Pool{
 		det:       cfg.Detector,
+		pipe:      cfg.Content,
 		jobs:      make(chan job, cfg.QueueDepth),
 		reg:       reg,
 		m:         newPoolMetrics(reg),
@@ -168,7 +179,7 @@ func (p *Pool) Metrics() *telemetry.Registry { return p.reg }
 //
 //mel:hotpath
 func (p *Pool) Submit(payload []byte, deadline time.Time, done func(v core.Verdict, cached bool, err error)) error {
-	return p.SubmitTraced(payload, deadline, p.autoTrace(len(payload)), done)
+	return p.submit(payload, deadline, p.autoTrace(len(payload)), false, done)
 }
 
 // SubmitTraced is Submit with an explicit trace (e.g. one carrying a
@@ -177,6 +188,33 @@ func (p *Pool) Submit(payload []byte, deadline time.Time, done func(v core.Verdi
 //
 //mel:hotpath
 func (p *Pool) SubmitTraced(payload []byte, deadline time.Time, tr *tracing.Trace, done func(v core.Verdict, cached bool, err error)) error {
+	return p.submit(payload, deadline, tr, false, done)
+}
+
+// SubmitContent is Submit routed through the content pipeline (triage
+// → decode → MEL). Fails with ErrContentDisabled when the pool was
+// built without one.
+//
+//mel:hotpath
+func (p *Pool) SubmitContent(payload []byte, deadline time.Time, done func(v core.Verdict, cached bool, err error)) error {
+	return p.SubmitContentTraced(payload, deadline, p.autoTrace(len(payload)), done)
+}
+
+// SubmitContentTraced is SubmitContent with an explicit trace.
+//
+//mel:hotpath
+func (p *Pool) SubmitContentTraced(payload []byte, deadline time.Time, tr *tracing.Trace, done func(v core.Verdict, cached bool, err error)) error {
+	if p.pipe == nil {
+		return ErrContentDisabled
+	}
+	return p.submit(payload, deadline, tr, true, done)
+}
+
+// submit is the shared non-blocking enqueue behind every Submit
+// variant.
+//
+//mel:hotpath
+func (p *Pool) submit(payload []byte, deadline time.Time, tr *tracing.Trace, isContent bool, done func(v core.Verdict, cached bool, err error)) error {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
@@ -185,13 +223,26 @@ func (p *Pool) SubmitTraced(payload []byte, deadline time.Time, tr *tracing.Trac
 	p.m.depth.Inc()
 	tr.StageStart(tracing.StageQueueWait)
 	select {
-	case p.jobs <- job{payload: payload, enqueued: time.Now(), deadline: deadline, tr: tr, done: done}:
+	case p.jobs <- job{payload: payload, enqueued: time.Now(), deadline: deadline, tr: tr, content: isContent, done: done}:
+		p.publishPressure()
 		return nil
 	default:
 		p.m.depth.Dec()
 		p.m.shed.Inc()
 		return ErrOverloaded
 	}
+}
+
+// publishPressure feeds the queue occupancy to the content pipeline's
+// load-shed policy: as the queue fills, decode depth drops before any
+// scan is dropped.
+//
+//mel:hotpath
+func (p *Pool) publishPressure() {
+	if p.pipe == nil {
+		return
+	}
+	p.pipe.SetPressure(float64(len(p.jobs)) / float64(cap(p.jobs)))
 }
 
 // autoTrace opens a fresh trace when the pool records traces, nil
@@ -211,6 +262,20 @@ func (p *Pool) autoTrace(n int) *tracing.Trace {
 // own flow control. The bool reports whether the verdict came from the
 // cache.
 func (p *Pool) Do(ctx context.Context, payload []byte) (core.Verdict, bool, error) {
+	return p.do(ctx, payload, false)
+}
+
+// DoContent is Do routed through the content pipeline; it fails with
+// ErrContentDisabled when the pool was built without one.
+func (p *Pool) DoContent(ctx context.Context, payload []byte) (core.Verdict, bool, error) {
+	if p.pipe == nil {
+		return core.Verdict{}, false, ErrContentDisabled
+	}
+	return p.do(ctx, payload, true)
+}
+
+// do is the blocking enqueue shared by Do and DoContent.
+func (p *Pool) do(ctx context.Context, payload []byte, isContent bool) (core.Verdict, bool, error) {
 	type result struct {
 		v      core.Verdict
 		cached bool
@@ -226,6 +291,7 @@ func (p *Pool) Do(ctx context.Context, payload []byte) (core.Verdict, bool, erro
 		enqueued: time.Now(),
 		deadline: deadline,
 		tr:       p.autoTrace(len(payload)),
+		content:  isContent,
 		done:     func(v core.Verdict, cached bool, err error) { ch <- result{v, cached, err} },
 	}
 	p.mu.RLock()
@@ -237,6 +303,7 @@ func (p *Pool) Do(ctx context.Context, payload []byte) (core.Verdict, bool, erro
 	j.tr.StageStart(tracing.StageQueueWait)
 	select {
 	case p.jobs <- j:
+		p.publishPressure()
 		p.mu.RUnlock()
 	case <-ctx.Done():
 		p.m.depth.Dec()
@@ -252,6 +319,18 @@ func (p *Pool) Do(ctx context.Context, payload []byte) (core.Verdict, bool, erro
 func (p *Pool) ScanFunc() func([]byte) (core.Verdict, error) {
 	return func(payload []byte) (core.Verdict, error) {
 		v, _, err := p.Do(context.Background(), payload)
+		return v, err
+	}
+}
+
+// ScanContentFunc is ScanFunc through the content pipeline — the
+// proxy's pooled content mode. Nil when the pool has no pipeline.
+func (p *Pool) ScanContentFunc() func([]byte) (core.Verdict, error) {
+	if p.pipe == nil {
+		return nil
+	}
+	return func(payload []byte) (core.Verdict, error) {
+		v, _, err := p.DoContent(context.Background(), payload)
 		return v, err
 	}
 }
@@ -275,6 +354,7 @@ func (p *Pool) worker() {
 	defer p.wg.Done()
 	for j := range p.jobs {
 		p.m.depth.Dec()
+		p.publishPressure()
 		p.serve(j)
 	}
 }
@@ -294,7 +374,7 @@ func (p *Pool) serve(j job) {
 	var key cacheKey
 	if p.cache != nil {
 		tr.StageStart(tracing.StageCache)
-		key = sha256.Sum256(j.payload)
+		key = cacheKey{sum: sha256.Sum256(j.payload), content: j.content}
 		v, ok := p.cache.get(key)
 		tr.StageEnd(tracing.StageCache)
 		if ok {
@@ -302,6 +382,9 @@ func (p *Pool) serve(j job) {
 			if tr != nil {
 				tr.SetCached(true)
 				tr.SetVerdict(v.MEL, v.Threshold, v.Malicious)
+				if j.content {
+					tr.SetContent(v.ViewIndex, v.DecodeChain, v.TriageScore, v.TriageCleared)
+				}
 				v.TraceID = tr.ID
 			}
 			p.finish(j, v, true)
@@ -309,7 +392,13 @@ func (p *Pool) serve(j job) {
 		}
 		p.m.misses.Inc()
 	}
-	v, err := p.det.ScanTraced(j.payload, tr)
+	var v core.Verdict
+	var err error
+	if j.content {
+		v, err = p.pipe.ScanTraced(j.payload, tr)
+	} else {
+		v, err = p.det.ScanTraced(j.payload, tr)
+	}
 	if err != nil {
 		p.m.errs.Inc()
 		wrapped := fmt.Errorf("%w: %v", ErrScanFailed, err)

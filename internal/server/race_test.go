@@ -30,7 +30,7 @@ func TestVerdictCacheConcurrentHammer(t *testing.T) {
 	keyOf := func(i int) cacheKey {
 		var b [8]byte
 		binary.BigEndian.PutUint64(b[:], uint64(i))
-		return sha256.Sum256(b[:])
+		return cacheKey{sum: sha256.Sum256(b[:]), content: i%2 == 0}
 	}
 	var wg sync.WaitGroup
 	errs := make(chan error, workers)

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/content"
 	"repro/internal/core"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/tracing"
@@ -60,6 +61,11 @@ type Config struct {
 	// OnVerdict, when set, receives every served verdict (see
 	// PoolConfig.OnVerdict).
 	OnVerdict func(core.Verdict)
+	// Content, when set, enables the content scan path
+	// (MsgScanContent / MsgScanContentTraced) through this pipeline; see
+	// PoolConfig.Content. Without it those requests are answered with
+	// CodeBadRequest and clients downgrade to plain scans.
+	Content *content.Pipeline
 	// InstrumentDetector, when true, also wires the detector's observer
 	// hook into the registry (detector_* metrics). Leave false when the
 	// detector is shared and already instrumented elsewhere.
@@ -122,6 +128,7 @@ func New(cfg Config) (*Server, error) {
 		Metrics:    reg,
 		Recorder:   cfg.Recorder,
 		OnVerdict:  cfg.OnVerdict,
+		Content:    cfg.Content,
 	})
 	if err != nil {
 		return nil, err
@@ -278,13 +285,19 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			break
 		}
-		if typ != MsgScan && typ != MsgScanTraced {
+		if typ != MsgScan && typ != MsgScanTraced && typ != MsgScanContent && typ != MsgScanContentTraced {
 			s.badFrames.Inc()
 			respond(appendError(nil, id, CodeBadRequest, fmt.Sprintf("unknown request type 0x%02x", typ)))
 			continue
 		}
+		isContent := typ == MsgScanContent || typ == MsgScanContentTraced
+		if isContent && s.cfg.Content == nil {
+			s.badFrames.Inc()
+			respond(appendError(nil, id, CodeBadRequest, ErrContentDisabled.Error()))
+			continue
+		}
 		var tr *tracing.Trace
-		if typ == MsgScanTraced {
+		if typ == MsgScanTraced || typ == MsgScanContentTraced {
 			if len(payload) < traceIDLen {
 				s.badFrames.Inc()
 				respond(appendError(nil, id, CodeBadRequest, "traced scan shorter than trace id"))
@@ -319,17 +332,27 @@ func (s *Server) handleConn(conn net.Conn) {
 				respond(appendError(nil, reqID, codeFor(scanErr), scanErr.Error()))
 				return
 			}
-			if reqTr != nil {
-				// The pool finished the trace before invoking done, so the
-				// stage durations read here are final.
+			// The pool finished the trace before invoking done, so the
+			// stage durations read here are final.
+			switch {
+			case isContent && reqTr != nil:
+				respond(appendVerdictContentTraced(nil, reqID, v, cached, reqTr))
+			case isContent:
+				respond(appendVerdictContent(nil, reqID, v, cached))
+			case reqTr != nil:
 				respond(appendVerdictTraced(nil, reqID, v, cached, reqTr))
-				return
+			default:
+				respond(appendVerdict(nil, reqID, v, cached))
 			}
-			respond(appendVerdict(nil, reqID, v, cached))
 		}
-		if tr != nil {
+		switch {
+		case isContent && tr != nil:
+			err = s.pool.SubmitContentTraced(payload, deadline, tr, done)
+		case isContent:
+			err = s.pool.SubmitContent(payload, deadline, done)
+		case tr != nil:
 			err = s.pool.SubmitTraced(payload, deadline, tr, done)
-		} else {
+		default:
 			err = s.pool.Submit(payload, deadline, done)
 		}
 		if err != nil {

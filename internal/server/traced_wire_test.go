@@ -53,11 +53,13 @@ func TestVerdictTracedRoundTrip(t *testing.T) {
 		t.Fatalf("total = %v", wt.Total)
 	}
 	wantStages := [tracing.NumStages]time.Duration{
-		tracing.StageQueueWait: 1500 * time.Nanosecond,
-		tracing.StageCache:     -1,
-		tracing.StageThreshold: 200 * time.Nanosecond,
-		tracing.StageDecode:    40 * time.Microsecond,
-		tracing.StageDP:        90 * time.Microsecond,
+		tracing.StageQueueWait:     1500 * time.Nanosecond,
+		tracing.StageCache:         -1,
+		tracing.StageThreshold:     200 * time.Nanosecond,
+		tracing.StageDecode:        40 * time.Microsecond,
+		tracing.StageDP:            90 * time.Microsecond,
+		tracing.StageTriage:        -1,
+		tracing.StageContentDecode: -1,
 	}
 	if wt.Stages != wantStages {
 		t.Fatalf("stages = %v, want %v", wt.Stages, wantStages)

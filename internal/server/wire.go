@@ -24,6 +24,11 @@
 //	MsgScanTraced:    trace id(16) | the raw bytes to scan
 //	MsgVerdictTraced: MsgVerdict payload | trace id(16) | total ns uint64 |
 //	                  nStages(1) | nStages × (stage(1) | dur ns uint64)
+//	MsgScanContent:   the raw bytes, scanned through the content pipeline
+//	MsgVerdictContent: MsgVerdict payload | view index uint16 |
+//	                  triage score float64 bits | chain len(1) | chain kinds
+//	MsgScanContentTraced / MsgVerdictContentTraced: the content forms
+//	                  with the trace id prefix / trace echo suffix
 //
 // Request ids are chosen by the client and echoed verbatim, so one
 // connection carries any number of pipelined, out-of-order requests.
@@ -43,6 +48,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/content"
 	"repro/internal/core"
 	"repro/internal/telemetry/tracing"
 )
@@ -62,6 +68,21 @@ const (
 	// MsgVerdictTraced is MsgVerdict extended with the trace id, total
 	// server-side duration, and per-stage durations.
 	MsgVerdictTraced byte = 0x05
+	// MsgScanContent is MsgScan routed through the content pipeline
+	// (triage → decode → MEL); answered with MsgVerdictContent. Like
+	// tracing, the content path is version-gated by message type: a
+	// pre-content server answers with MsgError (unknown type) and the
+	// client library downgrades to a plain scan.
+	MsgScanContent byte = 0x06
+	// MsgScanContentTraced is MsgScanContent with a leading trace id,
+	// answered with MsgVerdictContentTraced.
+	MsgScanContentTraced byte = 0x07
+	// MsgVerdictContent is MsgVerdict extended with the content fields:
+	// view index, triage score, and the decode chain.
+	MsgVerdictContent byte = 0x08
+	// MsgVerdictContentTraced carries the content fields and the trace
+	// echo.
+	MsgVerdictContentTraced byte = 0x09
 )
 
 // Verdict flag bits.
@@ -69,6 +90,9 @@ const (
 	flagMalicious byte = 1 << 0
 	flagTextOnly  byte = 1 << 1
 	flagCached    byte = 1 << 2
+	// flagTriageCleared (content verdicts only) marks a payload the
+	// triage stage cleared without a MEL pass.
+	flagTriageCleared byte = 1 << 3
 )
 
 // Frame geometry.
@@ -81,6 +105,14 @@ const (
 	// tracedVerdictMax bounds a MsgVerdictTraced payload: verdict, id,
 	// total, stage count, and every defined stage.
 	tracedVerdictMax = verdictLen + traceIDLen + 8 + 1 + tracing.NumStages*9
+
+	// contentExtMax bounds the content extension: view index, triage
+	// score bits, and the decode chain in wire form.
+	contentExtMax = 2 + 8 + 1 + content.MaxChainLen
+	// contentVerdictMax bounds a MsgVerdictContent payload;
+	// tracedContentVerdictMax a MsgVerdictContentTraced one.
+	contentVerdictMax       = verdictLen + contentExtMax
+	tracedContentVerdictMax = tracedVerdictMax + contentExtMax
 )
 
 // wire framing errors.
@@ -143,40 +175,14 @@ func appendFrame(dst []byte, typ byte, id uint64, payload ...[]byte) []byte {
 // appendVerdict appends a MsgVerdict frame for v.
 func appendVerdict(dst []byte, id uint64, v core.Verdict, cached bool) []byte {
 	var body [verdictLen]byte
-	if v.Malicious {
-		body[0] |= flagMalicious
-	}
-	if v.TextOnly {
-		body[0] |= flagTextOnly
-	}
-	if cached {
-		body[0] |= flagCached
-	}
-	binary.BigEndian.PutUint32(body[1:5], uint32(v.MEL))
-	binary.BigEndian.PutUint32(body[5:9], uint32(v.BestStart))
-	binary.BigEndian.PutUint64(body[9:17], math.Float64bits(v.Threshold))
-	return appendFrame(dst, MsgVerdict, id, body[:])
+	b := appendVerdictBody(body[:0], v, verdictFlags(v, cached))
+	return appendFrame(dst, MsgVerdict, id, b)
 }
 
-// appendVerdictTraced appends a MsgVerdictTraced frame: the plain
-// verdict payload followed by the trace id, the server-side total, and
-// every closed stage as (stage, duration ns) pairs.
-func appendVerdictTraced(dst []byte, id uint64, v core.Verdict, cached bool, tr *tracing.Trace) []byte {
-	var body [tracedVerdictMax]byte
-	b := body[:0]
-	if v.Malicious {
-		body[0] |= flagMalicious
-	}
-	if v.TextOnly {
-		body[0] |= flagTextOnly
-	}
-	if cached {
-		body[0] |= flagCached
-	}
-	b = b[:1]
-	b = binary.BigEndian.AppendUint32(b, uint32(v.MEL))
-	b = binary.BigEndian.AppendUint32(b, uint32(v.BestStart))
-	b = binary.BigEndian.AppendUint64(b, math.Float64bits(v.Threshold))
+// appendTraceEcho appends the trace tail shared by both traced verdict
+// types: trace id, server-side total, and every closed stage as
+// (stage, duration ns) pairs behind a count byte.
+func appendTraceEcho(b []byte, tr *tracing.Trace) []byte {
 	b = append(b, tr.ID[:]...)
 	b = binary.BigEndian.AppendUint64(b, uint64(tr.Total()))
 	nIdx := len(b)
@@ -192,7 +198,167 @@ func appendVerdictTraced(dst []byte, id uint64, v core.Verdict, cached bool, tr 
 		n++
 	}
 	b[nIdx] = n
+	return b
+}
+
+// decodeTraceEcho parses the tail appendTraceEcho produces. It must
+// consume p exactly.
+func decodeTraceEcho(p []byte) (wt WireTrace, err error) {
+	if len(p) < traceIDLen+8+1 {
+		return WireTrace{}, fmt.Errorf("server: trace echo is %d bytes, want >= %d", len(p), traceIDLen+8+1)
+	}
+	copy(wt.ID[:], p[:traceIDLen])
+	wt.Total = time.Duration(binary.BigEndian.Uint64(p[traceIDLen : traceIDLen+8]))
+	n := int(p[traceIDLen+8])
+	rest := p[traceIDLen+9:]
+	if len(rest) != n*9 {
+		return WireTrace{}, fmt.Errorf("server: trace echo carries %d stage bytes, want %d", len(rest), n*9)
+	}
+	for i := range wt.Stages {
+		wt.Stages[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		s := rest[i*9]
+		d := time.Duration(binary.BigEndian.Uint64(rest[i*9+1 : i*9+9]))
+		if int(s) < tracing.NumStages {
+			wt.Stages[s] = d
+		}
+	}
+	return wt, nil
+}
+
+// appendVerdictTraced appends a MsgVerdictTraced frame: the plain
+// verdict payload followed by the trace echo.
+func appendVerdictTraced(dst []byte, id uint64, v core.Verdict, cached bool, tr *tracing.Trace) []byte {
+	var body [tracedVerdictMax]byte
+	b := appendVerdictBody(body[:0], v, verdictFlags(v, cached))
+	b = appendTraceEcho(b, tr)
 	return appendFrame(dst, MsgVerdictTraced, id, b)
+}
+
+// verdictFlags packs v's flag bits (content verdicts add the
+// triage-cleared bit).
+func verdictFlags(v core.Verdict, cached bool) byte {
+	var f byte
+	if v.Malicious {
+		f |= flagMalicious
+	}
+	if v.TextOnly {
+		f |= flagTextOnly
+	}
+	if cached {
+		f |= flagCached
+	}
+	return f
+}
+
+// appendVerdictBody appends the plain verdict fields (no frame, no
+// content extension) to b.
+func appendVerdictBody(b []byte, v core.Verdict, flags byte) []byte {
+	b = append(b, flags)
+	b = binary.BigEndian.AppendUint32(b, uint32(v.MEL))
+	b = binary.BigEndian.AppendUint32(b, uint32(v.BestStart))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(v.Threshold))
+	return b
+}
+
+// appendContentExt appends the content extension: view index, triage
+// score, and the decode chain in its compact wire form. A chain string
+// that fails to parse (never produced by the pipeline) degrades to the
+// empty chain rather than poisoning the frame.
+func appendContentExt(b []byte, v core.Verdict) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(v.ViewIndex))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(v.TriageScore))
+	chain, err := content.ParseChain(v.DecodeChain)
+	if err != nil {
+		chain = content.Chain{}
+	}
+	return chain.AppendWire(b)
+}
+
+// decodeContentExt parses the extension appendContentExt produces,
+// filling v's content fields and returning the bytes consumed.
+func decodeContentExt(p []byte, v *core.Verdict, flags byte) (int, error) {
+	if len(p) < 2+8+1 {
+		return 0, fmt.Errorf("server: content extension is %d bytes, want >= %d", len(p), 2+8+1)
+	}
+	v.ViewIndex = int(binary.BigEndian.Uint16(p[:2]))
+	v.TriageScore = math.Float64frombits(binary.BigEndian.Uint64(p[2:10]))
+	v.TriageCleared = flags&flagTriageCleared != 0
+	chain, n := content.ChainFromWire(p[10:])
+	if n == 0 {
+		return 0, errors.New("server: malformed decode chain in content verdict")
+	}
+	v.DecodeChain = chain.String()
+	return 10 + n, nil
+}
+
+// appendVerdictContent appends a MsgVerdictContent frame: the plain
+// verdict payload followed by the content extension.
+func appendVerdictContent(dst []byte, id uint64, v core.Verdict, cached bool) []byte {
+	var body [contentVerdictMax]byte
+	flags := verdictFlags(v, cached)
+	if v.TriageCleared {
+		flags |= flagTriageCleared
+	}
+	b := appendVerdictBody(body[:0], v, flags)
+	b = appendContentExt(b, v)
+	return appendFrame(dst, MsgVerdictContent, id, b)
+}
+
+// decodeVerdictContent parses a MsgVerdictContent payload.
+func decodeVerdictContent(p []byte) (v core.Verdict, cached bool, err error) {
+	if len(p) < verdictLen {
+		return core.Verdict{}, false, fmt.Errorf("server: content verdict payload is %d bytes, want >= %d", len(p), verdictLen)
+	}
+	v, cached, err = decodeVerdict(p[:verdictLen])
+	if err != nil {
+		return core.Verdict{}, false, err
+	}
+	n, err := decodeContentExt(p[verdictLen:], &v, p[0])
+	if err != nil {
+		return core.Verdict{}, false, err
+	}
+	if verdictLen+n != len(p) {
+		return core.Verdict{}, false, fmt.Errorf("server: content verdict payload has %d trailing bytes", len(p)-verdictLen-n)
+	}
+	return v, cached, nil
+}
+
+// appendVerdictContentTraced appends a MsgVerdictContentTraced frame:
+// verdict payload, content extension, then the trace echo (id, total,
+// closed stages).
+func appendVerdictContentTraced(dst []byte, id uint64, v core.Verdict, cached bool, tr *tracing.Trace) []byte {
+	var body [tracedContentVerdictMax]byte
+	flags := verdictFlags(v, cached)
+	if v.TriageCleared {
+		flags |= flagTriageCleared
+	}
+	b := appendVerdictBody(body[:0], v, flags)
+	b = appendContentExt(b, v)
+	b = appendTraceEcho(b, tr)
+	return appendFrame(dst, MsgVerdictContentTraced, id, b)
+}
+
+// decodeVerdictContentTraced parses a MsgVerdictContentTraced payload.
+func decodeVerdictContentTraced(p []byte) (v core.Verdict, cached bool, wt WireTrace, err error) {
+	if len(p) < verdictLen {
+		return core.Verdict{}, false, WireTrace{}, fmt.Errorf("server: traced content verdict payload is %d bytes, want >= %d", len(p), verdictLen)
+	}
+	v, cached, err = decodeVerdict(p[:verdictLen])
+	if err != nil {
+		return core.Verdict{}, false, WireTrace{}, err
+	}
+	n, err := decodeContentExt(p[verdictLen:], &v, p[0])
+	if err != nil {
+		return core.Verdict{}, false, WireTrace{}, err
+	}
+	wt, err = decodeTraceEcho(p[verdictLen+n:])
+	if err != nil {
+		return core.Verdict{}, false, WireTrace{}, err
+	}
+	v.TraceID = wt.ID
+	return v, cached, wt, nil
 }
 
 // appendError appends a MsgError frame.
@@ -227,30 +393,16 @@ type WireTrace struct {
 
 // decodeVerdictTraced parses a MsgVerdictTraced payload.
 func decodeVerdictTraced(p []byte) (v core.Verdict, cached bool, wt WireTrace, err error) {
-	if len(p) < verdictLen+traceIDLen+8+1 {
-		return core.Verdict{}, false, WireTrace{}, fmt.Errorf("server: traced verdict payload is %d bytes, want >= %d", len(p), verdictLen+traceIDLen+8+1)
+	if len(p) < verdictLen {
+		return core.Verdict{}, false, WireTrace{}, fmt.Errorf("server: traced verdict payload is %d bytes, want >= %d", len(p), verdictLen)
 	}
 	v, cached, err = decodeVerdict(p[:verdictLen])
 	if err != nil {
 		return core.Verdict{}, false, WireTrace{}, err
 	}
-	rest := p[verdictLen:]
-	copy(wt.ID[:], rest[:traceIDLen])
-	wt.Total = time.Duration(binary.BigEndian.Uint64(rest[traceIDLen : traceIDLen+8]))
-	n := int(rest[traceIDLen+8])
-	rest = rest[traceIDLen+9:]
-	if len(rest) != n*9 {
-		return core.Verdict{}, false, WireTrace{}, fmt.Errorf("server: traced verdict carries %d stage bytes, want %d", len(rest), n*9)
-	}
-	for i := range wt.Stages {
-		wt.Stages[i] = -1
-	}
-	for i := 0; i < n; i++ {
-		s := rest[i*9]
-		d := time.Duration(binary.BigEndian.Uint64(rest[i*9+1 : i*9+9]))
-		if int(s) < tracing.NumStages {
-			wt.Stages[s] = d
-		}
+	wt, err = decodeTraceEcho(p[verdictLen:])
+	if err != nil {
+		return core.Verdict{}, false, WireTrace{}, err
 	}
 	v.TraceID = wt.ID
 	return v, cached, wt, nil
@@ -300,4 +452,27 @@ func DecodeVerdictTraced(p []byte) (v core.Verdict, cached bool, wt WireTrace, e
 // message; pair with ErrorForCode.
 func DecodeError(p []byte) (code byte, msg string, err error) {
 	return decodeError(p)
+}
+
+// AppendScanContentRequest appends a MsgScanContent frame for payload
+// to dst.
+func AppendScanContentRequest(dst []byte, id uint64, payload []byte) []byte {
+	return appendFrame(dst, MsgScanContent, id, payload)
+}
+
+// AppendScanContentTracedRequest appends a MsgScanContentTraced frame:
+// the trace id the server should adopt, then the payload.
+func AppendScanContentTracedRequest(dst []byte, id uint64, tid tracing.TraceID, payload []byte) []byte {
+	return appendFrame(dst, MsgScanContentTraced, id, tid[:], payload)
+}
+
+// DecodeVerdictContent parses a MsgVerdictContent payload into the
+// verdict (content fields included) and its cache-hit flag.
+func DecodeVerdictContent(p []byte) (v core.Verdict, cached bool, err error) {
+	return decodeVerdictContent(p)
+}
+
+// DecodeVerdictContentTraced parses a MsgVerdictContentTraced payload.
+func DecodeVerdictContentTraced(p []byte) (v core.Verdict, cached bool, wt WireTrace, err error) {
+	return decodeVerdictContentTraced(p)
 }

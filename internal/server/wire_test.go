@@ -52,7 +52,7 @@ func TestVerdictRoundTrip(t *testing.T) {
 func TestErrorRoundTripAllCodes(t *testing.T) {
 	wantErrs := []error{
 		ErrOverloaded, ErrPayloadTooLarge, ErrDeadlineExceeded,
-		ErrShuttingDown, ErrBadRequest, ErrScanFailed,
+		ErrShuttingDown, ErrBadRequest, ErrScanFailed, ErrContentDisabled,
 	}
 	for _, wantErr := range wantErrs {
 		var buf bytes.Buffer
@@ -68,6 +68,22 @@ func TestErrorRoundTripAllCodes(t *testing.T) {
 		if got := ErrorForCode(code, msg); !errors.Is(got, wantErr) {
 			t.Fatalf("code %d rehydrated to %v, want %v", code, got, wantErr)
 		}
+	}
+}
+
+// TestContentDisabledRehydration: the content-disabled condition
+// shares CodeBadRequest with plain bad requests and is told apart by
+// its message. The rehydrated error must match both sentinels —
+// ErrContentDisabled so callers can name the condition, ErrBadRequest
+// so the client library's downgrade path treats a content-disabled
+// server like a pre-content one.
+func TestContentDisabledRehydration(t *testing.T) {
+	got := ErrorForCode(codeFor(ErrContentDisabled), ErrContentDisabled.Error())
+	if !errors.Is(got, ErrContentDisabled) || !errors.Is(got, ErrBadRequest) {
+		t.Fatalf("rehydrated %v, want ErrContentDisabled and ErrBadRequest both matchable", got)
+	}
+	if got := ErrorForCode(CodeBadRequest, "malformed frame"); errors.Is(got, ErrContentDisabled) {
+		t.Fatalf("plain bad request rehydrated as content-disabled: %v", got)
 	}
 }
 

@@ -1,0 +1,107 @@
+package modelwatch
+
+import (
+	"testing"
+
+	"repro/internal/content"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/encoder"
+	"repro/internal/shellcode"
+)
+
+// wormWindowBytes returns a scan window with a spliced worm that a raw
+// scan flags.
+func wormWindowBytes(t *testing.T) []byte {
+	t.Helper()
+	w, err := encoder.Encode(shellcode.Execve().Code, encoder.Options{Seed: 31, SledLen: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases, err := corpus.Dataset(31, 2, 1400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var window []byte
+	window = append(window, cases[0].Data...)
+	window = append(window, w.Bytes...)
+	window = append(window, cases[1].Data...)
+	return window
+}
+
+// benignTextBytes returns one benign corpus case.
+func benignTextBytes(t *testing.T) []byte {
+	t.Helper()
+	cases, err := corpus.Dataset(7, 1, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cases[0].Data
+}
+
+// TestObserveKeysOnViewLength pins the content-pipeline contract: a
+// verdict found in a decoded view carries that view's calibration, so
+// the watcher's histogram cell is keyed on the post-decode length —
+// the bytes the model actually scored — not on the wrapped wire
+// length. A triage-cleared verdict (no MEL pass, zero Params) must be
+// ignored rather than polluting a cell at n=0.
+func TestObserveKeysOnViewLength(t *testing.T) {
+	det, err := core.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := content.NewPipeline(det.ScanTraced, content.PipelineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := New(nil, Config{})
+	observe := func(v core.Verdict) { w.Observe(v.MEL, v.Params.N, v.Params.P) }
+
+	// A gzip-wrapped worm window: the verdict comes from the decoded
+	// view, so its calibration must match a direct scan of the view
+	// bytes, not of the (shorter) wrapped wire bytes.
+	window := wormWindowBytes(t)
+	wrapped := content.EncodeGzip(window)
+	viewScan, err := det.Scan(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireScan, err := det.Scan(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viewScan.Params.N == wireScan.Params.N {
+		t.Fatal("premise: wrapper did not change the calibration cell")
+	}
+	v, err := pipe.Scan(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Malicious || v.DecodeChain != "gzip" {
+		t.Fatalf("verdict = %+v, want malicious via gzip", v)
+	}
+	observe(v)
+
+	// A triage-cleared benign payload carries no calibration and must
+	// not create a cell.
+	cleared, err := pipe.Scan(benignTextBytes(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cleared.TriageCleared {
+		t.Fatalf("benign payload not cleared: %+v", cleared)
+	}
+	observe(cleared)
+
+	rep := w.Score()
+	if len(rep.Cells) != 1 {
+		t.Fatalf("watcher tracks %d cells, want exactly 1", len(rep.Cells))
+	}
+	if got := rep.Cells[0].N; got != viewScan.Params.N {
+		t.Fatalf("cell keyed on n=%d, want the view's calibration %d (wire bytes would give %d)",
+			got, viewScan.Params.N, wireScan.Params.N)
+	}
+	if rep.Observations != 1 {
+		t.Fatalf("observations = %d, want 1 (cleared verdict must be ignored)", rep.Observations)
+	}
+}

@@ -18,17 +18,23 @@ type StageJSON struct {
 // TraceJSON is the debug-endpoint shape of one trace. Timestamps are
 // unix nanoseconds so the output is locale- and zone-independent.
 type TraceJSON struct {
-	ID          string      `json:"id"`
-	StartUnixNs int64       `json:"start_unix_ns"`
-	TotalNs     int64       `json:"total_ns"`
-	Bytes       int         `json:"bytes"`
-	MEL         int         `json:"mel"`
-	Threshold   float64     `json:"threshold"`
-	Malicious   bool        `json:"malicious"`
-	Cached      bool        `json:"cached"`
-	CarryReused int         `json:"carry_reused,omitempty"`
-	Err         string      `json:"error,omitempty"`
-	Stages      []StageJSON `json:"stages"`
+	ID          string  `json:"id"`
+	StartUnixNs int64   `json:"start_unix_ns"`
+	TotalNs     int64   `json:"total_ns"`
+	Bytes       int     `json:"bytes"`
+	MEL         int     `json:"mel"`
+	Threshold   float64 `json:"threshold"`
+	Malicious   bool    `json:"malicious"`
+	Cached      bool    `json:"cached"`
+	CarryReused int     `json:"carry_reused,omitempty"`
+	// Content-pipeline fields; ViewIndex is a pointer so view 0 (the raw
+	// payload) still renders while non-pipeline scans omit the field.
+	ViewIndex     *int        `json:"view_index,omitempty"`
+	DecodeChain   string      `json:"decode_chain,omitempty"`
+	TriageScore   float64     `json:"triage_score,omitempty"`
+	TriageCleared bool        `json:"triage_cleared,omitempty"`
+	Err           string      `json:"error,omitempty"`
+	Stages        []StageJSON `json:"stages"`
 }
 
 // Snapshot converts a trace to its JSON form. Stages that never
@@ -46,6 +52,13 @@ func Snapshot(t *Trace) TraceJSON {
 		CarryReused: t.RecordsReused,
 		Err:         t.Err,
 		Stages:      make([]StageJSON, 0, NumStages),
+	}
+	if t.ViewIndex >= 0 {
+		vi := t.ViewIndex
+		out.ViewIndex = &vi
+		out.DecodeChain = t.DecodeChain
+		out.TriageScore = t.TriageScore
+		out.TriageCleared = t.TriageCleared
 	}
 	for s := Stage(0); int(s) < NumStages; s++ {
 		if t.stageDur[s] < 0 {

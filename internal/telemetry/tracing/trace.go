@@ -44,13 +44,20 @@ const (
 	// StageDP spans the engine's dynamic program over the records — the
 	// pseudo-execution itself.
 	StageDP
+	// StageTriage spans the content pipeline's entropy/byte-class
+	// pre-filter. Appended after the original five so existing wire
+	// stage ids stay stable.
+	StageTriage
+	// StageContentDecode spans the content pipeline's layer peeling
+	// (distinct from StageDecode, the engine's instruction decode).
+	StageContentDecode
 	// NumStages is the number of defined stages.
 	NumStages = iota
 )
 
 // stageNames are the wire/JSON names, indexed by Stage.
 var stageNames = [NumStages]string{
-	"queue_wait", "cache", "threshold", "decode", "dp",
+	"queue_wait", "cache", "threshold", "decode", "dp", "triage", "content_decode",
 }
 
 // String returns the canonical stage name.
@@ -140,6 +147,19 @@ type Trace struct {
 	// over from a previous overlapping window instead of re-decoding
 	// (zero for standalone scans).
 	RecordsReused int
+	// ViewIndex is the decoded view the verdict came from when the scan
+	// ran through the content pipeline: 0 for the raw payload, i>0 for
+	// the i-th decoded view (-1 when the pipeline was not involved).
+	ViewIndex int
+	// DecodeChain names the layers peeled to reach that view, outermost
+	// first ("gzip>base64"), empty for the raw payload.
+	DecodeChain string
+	// TriageScore is the content pipeline's suspicion score for the raw
+	// payload in [0,1] (0 when the pipeline was not involved).
+	TriageScore float64
+	// TriageCleared marks scans the triage stage cleared without
+	// invoking the MEL pass.
+	TriageCleared bool
 	// Err holds the failure, empty on success.
 	Err string
 
@@ -156,7 +176,7 @@ func New(id TraceID, n int) *Trace {
 	if id.IsZero() {
 		id = NewID()
 	}
-	t := &Trace{ID: id, Start: time.Now(), Bytes: n}
+	t := &Trace{ID: id, Start: time.Now(), Bytes: n, ViewIndex: -1}
 	for i := range t.stageDur {
 		t.stageDur[i] = -1
 	}
@@ -224,6 +244,21 @@ func (t *Trace) SetCarry(reused int) {
 		return
 	}
 	t.RecordsReused = reused
+}
+
+// SetContent records the content-pipeline outcome: which decoded view
+// the verdict came from, the decode chain that produced it, the triage
+// suspicion score, and whether triage cleared the scan outright. Not a
+// hot-path call — it runs once per pipeline scan, outside the per-view
+// loop, and the chain string is built by the caller.
+func (t *Trace) SetContent(viewIndex int, chain string, score float64, cleared bool) {
+	if t == nil {
+		return
+	}
+	t.ViewIndex = viewIndex
+	t.DecodeChain = chain
+	t.TriageScore = score
+	t.TriageCleared = cleared
 }
 
 // SetCached marks the verdict as served from the content-hash cache.
