@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint ci bench bench-engine bench-smoke bench-guard serve-bench fuzz report cover clean
+.PHONY: all build test vet lint lint-strict ci bench bench-engine bench-smoke bench-guard serve-bench fuzz report cover clean
 
 all: build vet test
 
@@ -13,11 +13,19 @@ vet:
 # mellint is the repo's own analyzer suite (internal/lint): hot-path
 # call and allocation discipline, wire-protocol exhaustiveness, lock
 # hygiene, atomic discipline, goroutine-leak evidence, opcode-table
-# integrity, and context conventions. Findings recorded and justified
-# in lint.baseline are suppressed; anything new exits nonzero. The JSON
-# report is archived as lint.json for tooling.
+# integrity, context conventions, taint flow from hostile wire input,
+# and module-wide lock ordering. Findings recorded and justified in
+# lint.baseline are suppressed; anything new exits nonzero. One run
+# archives both machine-readable reports: lint.json for tooling and
+# lint.sarif for code-scanning UIs.
 lint:
-	$(GO) run ./cmd/mellint -baseline lint.baseline -json -o lint.json ./...
+	$(GO) run ./cmd/mellint -baseline lint.baseline -json -o lint.json -sarif-o lint.sarif ./...
+
+# lint-strict ignores the baseline: every accepted finding surfaces
+# again. Run it when re-auditing the baseline's justifications; it is
+# expected to exit nonzero while lint.baseline is non-empty.
+lint-strict:
+	$(GO) run ./cmd/mellint ./...
 
 # Race-enabled everywhere: the engine's pooled scan state, the
 # detector's threshold cache, and the serving pool/cache are all shared
@@ -77,4 +85,4 @@ cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f report.txt cover.out test_output.txt bench_output.txt lint.json
+	rm -f report.txt cover.out test_output.txt bench_output.txt lint.json lint.sarif

@@ -13,7 +13,9 @@
 // Machine-readable output: -json emits a report object, -sarif a
 // SARIF 2.1.0 log. With -o FILE the report is written to FILE and the
 // human-readable diagnostics still go to stdout, so `make lint` can
-// archive an artifact without silencing the terminal.
+// archive an artifact without silencing the terminal. -sarif-o FILE
+// additionally writes a SARIF log regardless of the stdout format,
+// letting one run archive both lint.json and lint.sarif.
 //
 // Baselines: -baseline FILE suppresses the findings recorded in FILE
 // (format: "file: analyzer: message", module-relative, no line
@@ -43,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit a JSON report instead of plain diagnostics")
 	sarifOut := fs.Bool("sarif", false, "emit a SARIF 2.1.0 log instead of plain diagnostics")
 	outFile := fs.String("o", "", "write the -json/-sarif report to this file and keep plain diagnostics on stdout")
+	sarifFile := fs.String("sarif-o", "", "additionally write a SARIF 2.1.0 log to this file, whatever the stdout format")
 	baselinePath := fs.String("baseline", "", "suppress findings recorded in this baseline file")
 	writeBaseline := fs.String("write-baseline", "", "record current findings to this baseline file and exit clean")
 
@@ -114,6 +117,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	remaining := baseline.Filter(mod.Dir, diags)
 	baselined := len(diags) - len(remaining)
+
+	if *sarifFile != "" {
+		sarif, err := lint.FormatSARIF(mod, active, remaining)
+		if err == nil {
+			err = os.WriteFile(*sarifFile, sarif, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "mellint: %v\n", err)
+			return 2
+		}
+	}
 
 	var report []byte
 	if *jsonOut {

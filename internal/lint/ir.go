@@ -61,10 +61,23 @@ type FuncIR struct {
 // Block is one basic block: a run of atomic statements and the
 // condition/tag expressions evaluated with them, with successor edges
 // and the loop nesting depth of the code in it.
+//
+// Blocks that end in a two-way branch additionally label their edges:
+// Cond is the branch condition (an if condition or a for-loop
+// condition) and CondTrue/CondFalse are the successors taken when it
+// evaluates true/false. Both are always members of Succs; blocks
+// ending in switches, selects, or plain fallthrough leave all three
+// nil. Flow-sensitive analyses (taintcheck's bounds-guard refinement)
+// use the labels to apply branch-specific facts; everything else keeps
+// reading the unlabeled Succs.
 type Block struct {
 	Nodes     []ast.Node
 	Succs     []*Block
 	LoopDepth int
+
+	Cond      ast.Expr
+	CondTrue  *Block
+	CondFalse *Block
 }
 
 // posRange is a half-open source interval.
@@ -250,17 +263,20 @@ func (b *irBuilder) stmt(s ast.Stmt) {
 		after := b.newBlock(b.depth)
 		thenB := b.newBlock(b.depth)
 		b.jump(cond, thenB)
+		cond.Cond, cond.CondTrue = s.Cond, thenB
 		b.cur = thenB
 		b.stmts(s.Body.List)
 		b.jump(b.cur, after)
 		if s.Else != nil {
 			elseB := b.newBlock(b.depth)
 			b.jump(cond, elseB)
+			cond.CondFalse = elseB
 			b.cur = elseB
 			b.stmt(s.Else)
 			b.jump(b.cur, after)
 		} else {
 			b.jump(cond, after)
+			cond.CondFalse = after
 		}
 		b.cur = after
 	case *ast.ForStmt:
@@ -275,8 +291,12 @@ func (b *irBuilder) stmt(s ast.Stmt) {
 		if s.Cond != nil {
 			b.emit(s.Cond)
 			b.jump(head, after)
+			head.Cond, head.CondFalse = s.Cond, after
 		}
 		b.jump(head, body)
+		if s.Cond != nil {
+			head.CondTrue = body
+		}
 		b.cur = body
 		b.depth++
 		b.breakT = append(b.breakT, after)

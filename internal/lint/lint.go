@@ -137,6 +137,8 @@ func Analyzers() []*Analyzer {
 		LeakCheckAnalyzer(),
 		OpcodeTableAnalyzer(),
 		CtxCheckAnalyzer(),
+		TaintCheckAnalyzer(),
+		LockOrderAnalyzer(),
 	}
 }
 

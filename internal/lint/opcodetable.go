@@ -32,6 +32,19 @@ import (
 // If a constructor uses a statement shape the interpreter does not
 // model, coverage checking is skipped for that function (never a false
 // positive), but findings already observed are still reported.
+//
+// Beyond the entry-struct constructors, the analyzer also checks
+// coverage of packed record tables: integer-element arrays of at
+// least 256 slots (quick1, quick2 behind a pointer, the ModRM/SIB
+// helper tables) filled by bounded loops. A loop's index span counts
+// as coverage for every slot it reaches even when the writes inside
+// are conditional — the mel quick tables deliberately leave some
+// looped-over slots zero, and zero there means "no quick form", not a
+// hole. What the check catches is a fill loop whose span never
+// reaches a slot at all: that slot reads back as zero with no code
+// path having decided so. Tables indexed by a parameter or any value
+// the interpreter cannot bound are skipped, as are functions that
+// only patch constant slots of an existing table.
 func OpcodeTableAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "opcodetable",
@@ -43,6 +56,7 @@ func OpcodeTableAnalyzer() *Analyzer {
 func runOpcodeTable(pass *Pass) {
 	for _, pkg := range pass.Module.Pkgs {
 		eachFunc(pkg, func(fd *ast.FuncDecl) {
+			runPackedTables(pass, pkg, fd)
 			arr := opcodeTableResult(pkg, fd)
 			if arr == nil {
 				return

@@ -1,0 +1,353 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Packed record tables are the second table family the decoder leans
+// on: arrays of at least packedMinLen integer slots (quick1, the
+// pointer-held quick2, modrmTab, the SIB tables) built by bounded
+// fill loops. Unlike the entry-struct constructors, zero is a legal
+// value here — "no quick form", "no memory operand" — so per-slot
+// write tracking would drown in false positives. Coverage is instead
+// judged by loop span: every index a fill loop's variable reaches
+// counts as considered, whether or not the body's conditionals wrote
+// it. A slot outside every span was never considered at all, and that
+// is the bug this check exists for (a `< 0xBF` where `< 0xC0` was
+// meant leaves real ModRM bytes decoding as zero).
+const packedMinLen = 256
+
+// packedTab is the per-function state for one table identity.
+type packedTab struct {
+	disp    string // canonical display form of the base expression
+	n       int64
+	cover   []bool
+	builder bool // some loop write spans >= n/2: this function builds the table
+	sound   bool // false once a write the walker cannot bound appears
+}
+
+// packedState walks one function body.
+type packedState struct {
+	pkg   *Package
+	tabs  map[string]*packedTab
+	order []string
+}
+
+// runPackedTables checks packed-table fill coverage for one function.
+func runPackedTables(pass *Pass, pkg *Package, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	ps := &packedState{pkg: pkg, tabs: make(map[string]*packedTab)}
+	ps.walkStmt(fd.Body, nil)
+	ps.closureWrites(fd.Body)
+	for _, key := range ps.order {
+		tab := ps.tabs[key]
+		if !tab.sound || !tab.builder {
+			continue
+		}
+		for lo := int64(0); lo < tab.n; lo++ {
+			if tab.cover[lo] {
+				continue
+			}
+			hi := lo
+			for hi+1 < tab.n && !tab.cover[hi+1] {
+				hi++
+			}
+			if lo == hi {
+				pass.Reportf(fd.Name.Pos(), "%s leaves packed slot 0x%02X of %s unassigned: it reads back as zero", fd.Name.Name, lo, tab.disp)
+			} else {
+				pass.Reportf(fd.Name.Pos(), "%s leaves packed slots 0x%02X-0x%02X of %s unassigned: they read back as zero", fd.Name.Name, lo, hi, tab.disp)
+			}
+			lo = hi
+		}
+	}
+}
+
+// walkStmt recurses through the statement tree carrying the spans of
+// enclosing bounded loop variables (inclusive [lo, hi] ranges).
+func (ps *packedState) walkStmt(stmt ast.Stmt, spans map[types.Object][2]int64) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			ps.walkStmt(inner, spans)
+		}
+	case *ast.IfStmt:
+		ps.walkStmt(s.Body, spans)
+		if s.Else != nil {
+			ps.walkStmt(s.Else, spans)
+		}
+	case *ast.ForStmt:
+		ps.walkFor(s, spans)
+	case *ast.RangeStmt:
+		ps.walkRange(s, spans)
+	case *ast.SwitchStmt:
+		ps.walkStmt(s.Body, spans)
+	case *ast.TypeSwitchStmt:
+		ps.walkStmt(s.Body, spans)
+	case *ast.SelectStmt:
+		ps.walkStmt(s.Body, spans)
+	case *ast.CaseClause:
+		for _, inner := range s.Body {
+			ps.walkStmt(inner, spans)
+		}
+	case *ast.CommClause:
+		for _, inner := range s.Body {
+			ps.walkStmt(inner, spans)
+		}
+	case *ast.LabeledStmt:
+		ps.walkStmt(s.Stmt, spans)
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			ps.recordWrite(lhs, s.Tok, spans)
+		}
+	case *ast.IncDecStmt:
+		ps.recordWrite(s.X, s.Tok, spans)
+	}
+}
+
+// walkFor extracts `for i := lo; i </<= hi; i++` spans with constant
+// bounds; anything else recurses without a span so index uses of its
+// variable stay unbounded.
+func (ps *packedState) walkFor(s *ast.ForStmt, spans map[types.Object][2]int64) {
+	loopVar, lo, hi, ok := ps.boundedLoop(s)
+	if !ok || lo > hi {
+		if s.Init != nil {
+			ps.walkStmt(s.Init, spans)
+		}
+		if s.Post != nil {
+			ps.walkStmt(s.Post, spans)
+		}
+		ps.walkStmt(s.Body, spans)
+		return
+	}
+	inner := make(map[types.Object][2]int64, len(spans)+1)
+	for k, v := range spans {
+		inner[k] = v
+	}
+	inner[loopVar] = [2]int64{lo, hi}
+	ps.walkStmt(s.Body, inner)
+}
+
+// boundedLoop matches the classic fill-loop header and returns the
+// loop variable with its inclusive constant range.
+func (ps *packedState) boundedLoop(s *ast.ForStmt) (types.Object, int64, int64, bool) {
+	init, ok := s.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return nil, 0, 0, false
+	}
+	id, ok := init.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, 0, 0, false
+	}
+	loopVar := ps.pkg.Info.Defs[id]
+	lo, okLo := ps.constInt(init.Rhs[0])
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if loopVar == nil || !okLo || !ok {
+		return nil, 0, 0, false
+	}
+	condVar, ok := cond.X.(*ast.Ident)
+	if !ok || ps.pkg.Info.Uses[condVar] != loopVar {
+		return nil, 0, 0, false
+	}
+	hi, okHi := ps.constInt(cond.Y)
+	if !okHi {
+		return nil, 0, 0, false
+	}
+	switch cond.Op {
+	case token.LEQ:
+	case token.LSS:
+		hi--
+	default:
+		return nil, 0, 0, false
+	}
+	post, ok := s.Post.(*ast.IncDecStmt)
+	if !ok || post.Tok != token.INC {
+		return nil, 0, 0, false
+	}
+	return loopVar, lo, hi, true
+}
+
+// walkRange gives `for i := range arr` the array's full span.
+func (ps *packedState) walkRange(s *ast.RangeStmt, spans map[types.Object][2]int64) {
+	keyIdent, ok := s.Key.(*ast.Ident)
+	if ok && s.Tok == token.DEFINE {
+		if keyObj := ps.pkg.Info.Defs[keyIdent]; keyObj != nil {
+			if arr, ok := derefArray(ps.pkg.Info.TypeOf(s.X)); ok && arr.Len() > 0 {
+				inner := make(map[types.Object][2]int64, len(spans)+1)
+				for k, v := range spans {
+					inner[k] = v
+				}
+				inner[keyObj] = [2]int64{0, arr.Len() - 1}
+				ps.walkStmt(s.Body, inner)
+				return
+			}
+		}
+	}
+	ps.walkStmt(s.Body, spans)
+}
+
+// recordWrite classifies one assignment target. Only plain `=` writes
+// with a constant or span-bounded first index count as fills; any
+// other write to a recognized table poisons it (never a false
+// positive from a table the walker half-understands).
+func (ps *packedState) recordWrite(lhs ast.Expr, tok token.Token, spans map[types.Object][2]int64) {
+	base, indices := peelIndexes(lhs)
+	if len(indices) == 0 {
+		return
+	}
+	tab := ps.tableFor(base)
+	if tab == nil {
+		return
+	}
+	if tok != token.ASSIGN {
+		tab.sound = false
+		return
+	}
+	idx := indices[0]
+	if k, ok := ps.constInt(idx); ok {
+		if k < 0 || k >= tab.n {
+			tab.sound = false
+			return
+		}
+		tab.cover[k] = true
+		return
+	}
+	if id, ok := ast.Unparen(idx).(*ast.Ident); ok {
+		if span, ok := spans[ps.pkg.Info.Uses[id]]; ok {
+			lo, hi := span[0], span[1]
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= tab.n {
+				hi = tab.n - 1
+			}
+			for v := lo; v <= hi; v++ {
+				tab.cover[v] = true
+			}
+			if hi-lo+1 >= tab.n/2 {
+				tab.builder = true
+			}
+			return
+		}
+	}
+	// Parameter-indexed (grpMeta-style group patching) or data-driven:
+	// not a fill this walker can bound.
+	tab.sound = false
+}
+
+// closureWrites poisons any table also written from a function
+// literal: the walker does not model closure control flow, so such a
+// table's coverage cannot be judged here.
+func (ps *packedState) closureWrites(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(inner ast.Node) bool {
+			var targets []ast.Expr
+			switch s := inner.(type) {
+			case *ast.AssignStmt:
+				targets = s.Lhs
+			case *ast.IncDecStmt:
+				targets = []ast.Expr{s.X}
+			default:
+				return true
+			}
+			for _, lhs := range targets {
+				base, indices := peelIndexes(lhs)
+				if len(indices) == 0 {
+					continue
+				}
+				if tab, ok := ps.tabs[types.ExprString(base)]; ok {
+					tab.sound = false
+				}
+			}
+			return true
+		})
+		return false
+	})
+}
+
+// tableFor resolves a write base to a packed-table identity: a plain
+// variable or a single field selector whose type (behind at most one
+// pointer) is an integer-element array of at least packedMinLen
+// slots. Multi-dimensional tables qualify through their outermost
+// dimension — quick2's [256][256]uint32 is covered by its first
+// index.
+func (ps *packedState) tableFor(base ast.Expr) *packedTab {
+	switch b := ast.Unparen(base).(type) {
+	case *ast.Ident:
+	case *ast.SelectorExpr:
+		if _, ok := ast.Unparen(b.X).(*ast.Ident); !ok {
+			return nil
+		}
+	default:
+		return nil
+	}
+	arr, ok := derefArray(ps.pkg.Info.TypeOf(base))
+	if !ok || arr.Len() < packedMinLen || !packedElem(arr.Elem()) {
+		return nil
+	}
+	key := types.ExprString(base)
+	tab, ok := ps.tabs[key]
+	if !ok {
+		tab = &packedTab{disp: key, n: arr.Len(), cover: make([]bool, arr.Len()), sound: true}
+		ps.tabs[key] = tab
+		ps.order = append(ps.order, key)
+	}
+	return tab
+}
+
+// derefArray unwraps at most one pointer and reports the underlying
+// array type.
+func derefArray(t types.Type) (*types.Array, bool) {
+	if t == nil {
+		return nil, false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	arr, ok := t.Underlying().(*types.Array)
+	return arr, ok
+}
+
+// packedElem reports whether an element type is an integer or an
+// array of such — the record shapes the packed tables hold.
+func packedElem(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsInteger != 0
+	case *types.Array:
+		return packedElem(u.Elem())
+	}
+	return false
+}
+
+// peelIndexes strips an index chain, returning the base expression
+// and the indices outermost-dimension first.
+func peelIndexes(lhs ast.Expr) (ast.Expr, []ast.Expr) {
+	expr := ast.Unparen(lhs)
+	var indices []ast.Expr
+	for {
+		ix, ok := expr.(*ast.IndexExpr)
+		if !ok {
+			break
+		}
+		indices = append([]ast.Expr{ix.Index}, indices...)
+		expr = ast.Unparen(ix.X)
+	}
+	return expr, indices
+}
+
+// constInt resolves a type-checked integer constant.
+func (ps *packedState) constInt(expr ast.Expr) (int64, bool) {
+	if tv, ok := ps.pkg.Info.Types[expr]; ok && tv.Value != nil {
+		return constant.Int64Val(constant.ToInt(tv.Value))
+	}
+	return 0, false
+}

@@ -1,0 +1,71 @@
+// Package lockorderbad is the negative lockorder fixture: two locks
+// taken in opposite orders on different paths, a recursive
+// acquisition through a helper, and a cross-package nested
+// acquisition. Every function is balanced on its own — lockcheck has
+// nothing to say here; only the module-wide order graph sees the
+// deadlocks.
+package lockorderbad
+
+import (
+	"sync"
+
+	"fixture/lockorderbad/sub"
+)
+
+type registry struct {
+	mu sync.Mutex
+	n  int
+}
+
+type journal struct {
+	mu sync.RWMutex
+	n  int
+}
+
+var (
+	reg = &registry{}
+	jnl = &journal{}
+)
+
+// regFirst nests the journal under the registry: one half of the
+// cycle.
+func regFirst() {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	jnl.mu.Lock()
+	jnl.n++
+	jnl.mu.Unlock()
+	reg.n++
+}
+
+// jnlFirst nests the registry under the journal: the other half.
+func jnlFirst() {
+	jnl.mu.RLock()
+	defer jnl.mu.RUnlock()
+	reg.mu.Lock()
+	reg.n++
+	reg.mu.Unlock()
+}
+
+// bump locks the registry on its own: balanced and innocent.
+func bump() {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	reg.n++
+}
+
+// reenter calls bump while already holding the registry lock: a
+// recursive acquisition visible only through the call graph.
+func reenter() {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	bump()
+}
+
+// crossover holds the registry lock while taking the subsystem's
+// package lock.
+func crossover() {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	sub.Touch()
+}

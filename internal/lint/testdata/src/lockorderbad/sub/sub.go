@@ -1,0 +1,16 @@
+// Package sub is the second subsystem of the lockorder fixtures: one
+// package-level mutex behind an exported entry point.
+package sub
+
+import "sync"
+
+var mu sync.Mutex
+
+var n int
+
+// Touch takes the package lock.
+func Touch() {
+	mu.Lock()
+	defer mu.Unlock()
+	n++
+}

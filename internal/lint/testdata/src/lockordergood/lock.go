@@ -1,0 +1,52 @@
+// Package lockordergood is the positive lockorder fixture: two locks
+// always nested in the same order, release-before-reacquire, and
+// same-package nesting only — a consistent order graph with no cycle.
+package lockordergood
+
+import "sync"
+
+type front struct {
+	mu sync.Mutex
+	n  int
+}
+
+type back struct {
+	mu sync.Mutex
+	n  int
+}
+
+var (
+	f = &front{}
+	b = &back{}
+)
+
+// pushOne nests back under front: the canonical order.
+func pushOne() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	f.n++
+}
+
+// pushTwo keeps the same front→back order on another path.
+func pushTwo() {
+	f.mu.Lock()
+	b.mu.Lock()
+	b.n += 2
+	b.mu.Unlock()
+	f.n += 2
+	f.mu.Unlock()
+}
+
+// handoff releases the front lock before taking the back lock: no
+// nesting, no edge.
+func handoff() {
+	f.mu.Lock()
+	f.n++
+	f.mu.Unlock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}

@@ -60,3 +60,16 @@ func buildBad() [16]entry {
 }
 
 var _ = bad
+
+var packed = buildPacked()
+
+// buildPacked fills a packed record table but stops its loop one slot
+// short: 0xFF reads back as zero with no code path having decided so.
+func buildPacked() (t [256]uint16) {
+	for i := 0; i < 255; i++ {
+		t[i] = uint16(i) | 1<<8
+	}
+	return t
+}
+
+var _ = packed

@@ -70,3 +70,36 @@ func buildSmall() [16]entry {
 }
 
 var _ = small
+
+// packer exercises the packed-table idioms: a pointer-held
+// two-dimensional table, a direct field table, and slot patching that
+// must not be mistaken for a build.
+type packer struct {
+	wide  *[256][256]uint32
+	quick [256]uint16
+}
+
+// fill builds both tables with full-span loops; the conditional skip
+// still counts as coverage — a skipped slot is a decided zero, not a
+// hole.
+func (p *packer) fill() {
+	p.wide = new([256][256]uint32)
+	for b0 := 0; b0 < 256; b0++ {
+		if b0%3 == 0 {
+			continue
+		}
+		for b1 := 0; b1 <= 0xFF; b1++ {
+			p.wide[b0][b1] = uint32(b0<<8 | b1)
+		}
+	}
+	for i := range p.quick {
+		p.quick[i] = uint16(i)
+	}
+}
+
+// patch rewrites selected slots of an already-built table: constant
+// and parameter indices claim no coverage, so no finding.
+func (p *packer) patch(gid int) {
+	p.quick[0x00] = 1
+	p.quick[gid] = 2
+}

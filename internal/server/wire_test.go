@@ -149,4 +149,45 @@ func TestCodeForErrorForCodeMutualInverse(t *testing.T) {
 	if len(codes) != 6 {
 		t.Fatalf("wire codes collide: %d distinct of 6", len(codes))
 	}
+
+	// ErrContentDisabled has no code of its own: it shares
+	// CodeBadRequest and survives the wire through its message text.
+	// The round trip must rehydrate an error that is both the shared
+	// sentinel and the specific one, and re-encode to the same code.
+	rehydrated := ErrorForCode(codeFor(ErrContentDisabled), ErrContentDisabled.Error())
+	if !errors.Is(rehydrated, ErrContentDisabled) {
+		t.Errorf("rehydrated error %v lost ErrContentDisabled", rehydrated)
+	}
+	if !errors.Is(rehydrated, ErrBadRequest) {
+		t.Errorf("rehydrated error %v lost ErrBadRequest", rehydrated)
+	}
+	if got := codeFor(rehydrated); got != CodeBadRequest {
+		t.Errorf("codeFor(rehydrated) = %d, want CodeBadRequest", got)
+	}
+
+	// The content frame types must keep their assigned points so a
+	// pre-content peer classifies them as unknown, not as some other
+	// frame it thinks it understands.
+	msgTypes := map[byte]string{
+		MsgScan:                 "MsgScan",
+		MsgVerdict:              "MsgVerdict",
+		MsgError:                "MsgError",
+		MsgScanTraced:           "MsgScanTraced",
+		MsgVerdictTraced:        "MsgVerdictTraced",
+		MsgScanContent:          "MsgScanContent",
+		MsgScanContentTraced:    "MsgScanContentTraced",
+		MsgVerdictContent:       "MsgVerdictContent",
+		MsgVerdictContentTraced: "MsgVerdictContentTraced",
+	}
+	if len(msgTypes) != 9 {
+		t.Fatalf("message types collide: %d distinct of 9", len(msgTypes))
+	}
+	for typ, want := range map[byte]string{
+		0x06: "MsgScanContent", 0x07: "MsgScanContentTraced",
+		0x08: "MsgVerdictContent", 0x09: "MsgVerdictContentTraced",
+	} {
+		if got := msgTypes[typ]; got != want {
+			t.Errorf("frame type 0x%02x = %s, want %s", typ, got, want)
+		}
+	}
 }
