@@ -61,7 +61,7 @@ bench-guard:
 	$(GO) run ./cmd/melbench -exp guard
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/proxy/ ./internal/server/...
+	$(GO) test -race ./internal/core/ ./internal/proxy/ ./internal/server/... ./internal/telemetry/events/ ./internal/telemetry/anomaly/
 
 bench:
 	$(GO) test -bench=. -benchmem -run NONE .
@@ -86,3 +86,5 @@ cover:
 
 clean:
 	rm -f report.txt cover.out test_output.txt bench_output.txt lint.json lint.sarif
+	rm -f events.jsonl events.jsonl.1
+	rm -rf bundles

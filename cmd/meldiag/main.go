@@ -1,0 +1,107 @@
+// Command meldiag inspects a running melserved daemon's diagnostic
+// surface over its metrics sidecar:
+//
+//	meldiag -addr host:port list                  bundle listing + live SLO burn
+//	meldiag -addr host:port show <bundle-id>      pretty-print one manifest
+//	meldiag -addr host:port fetch <bundle-id>     download + unpack the bundle tar
+//	meldiag -addr host:port events [filters]      one page of the wide-event journal
+//	meldiag -addr host:port events -follow        tail the journal until interrupted
+//
+// The address is the daemon's -metrics listener. Event filters mirror
+// the /debug/events query parameters (-verdict, -min-ms, -trace, -n).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/diag"
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	if err := run(os.Args[1:], os.Stdout, sig); err != nil {
+		fmt.Fprintln(os.Stderr, "meldiag:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
+	fs := flag.NewFlagSet("meldiag", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	addr := fs.String("addr", "127.0.0.1:9090", "daemon metrics address (host:port of melserved -metrics)")
+	out := fs.String("o", ".", "destination directory for fetch")
+	verdict := fs.String("verdict", "", "events filter: malicious|benign|cached|cleared|error|<cause>")
+	minMs := fs.Float64("min-ms", 0, "events filter: minimum total latency in milliseconds")
+	trace := fs.String("trace", "", "events filter: trace-id hex prefix")
+	n := fs.Int("n", 0, "events page size (0 = server default)")
+	follow := fs.Bool("follow", false, "events: poll and print new events until interrupted")
+	interval := fs.Duration("interval", time.Second, "events -follow poll interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return fmt.Errorf("missing subcommand: list | show <id> | fetch <id> | events")
+	}
+	c := diag.New(*addr)
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	switch cmd {
+	case "list":
+		page, err := c.List()
+		if err != nil {
+			return err
+		}
+		diag.FormatList(stdout, &page)
+		return nil
+	case "show":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: meldiag show <bundle-id>")
+		}
+		m, err := c.Manifest(rest[0])
+		if err != nil {
+			return err
+		}
+		diag.FormatManifest(stdout, &m)
+		return nil
+	case "fetch":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: meldiag fetch <bundle-id>")
+		}
+		files, err := c.Fetch(rest[0], *out)
+		if err != nil {
+			return err
+		}
+		for _, f := range files {
+			fmt.Fprintln(stdout, f)
+		}
+		return nil
+	case "events":
+		q := diag.EventsQuery{N: *n, Verdict: *verdict, MinMs: *minMs, Trace: *trace}
+		if *follow {
+			stop := make(chan struct{})
+			go func() {
+				<-sig
+				close(stop)
+			}()
+			return c.Tail(stdout, q, *interval, stop)
+		}
+		page, err := c.Events(q)
+		if err != nil {
+			return err
+		}
+		for i := len(page.Events) - 1; i >= 0; i-- {
+			fmt.Fprintln(stdout, diag.FormatEvent(&page.Events[i]))
+		}
+		fmt.Fprintf(stdout, "%d event(s) shown; journal recorded=%d sampled_out=%d\n",
+			page.Count, page.Recorded, page.SampledOut)
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q: list | show <id> | fetch <id> | events", cmd)
+	}
+}

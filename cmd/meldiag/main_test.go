@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/anomaly"
+	"repro/internal/telemetry/events"
+)
+
+// testSurface builds an httptest server exposing the real bundle and
+// event handlers over a real spool and journal — the same surface
+// melserved mounts — plus the id of one captured bundle.
+func testSurface(t *testing.T) (*httptest.Server, string) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	clock := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	cap, err := anomaly.NewCapturer(anomaly.CaptureConfig{
+		Dir:          t.TempDir(),
+		Registry:     reg,
+		Now:          func() time.Time { return clock },
+		SkipProfiles: true,
+		Sections: []anomaly.Section{
+			{Name: "notes.txt", Fill: func(w io.Writer) error {
+				_, err := io.WriteString(w, "spike notes\n")
+				return err
+			}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := cap.Capture("test spike")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	j := events.New(events.Config{Capacity: 16, Shards: 1, SampleEvery: 1})
+	ev := events.Event{StartUnixNs: clock.UnixNano(), Total: 3 * time.Millisecond,
+		Bytes: 512, MEL: 9, Threshold: 22.5, Malicious: true, ViewIndex: -1}
+	ev.TraceID[15] = 1
+	for i := range ev.Stages {
+		ev.Stages[i] = -1
+	}
+	j.Record(&ev)
+
+	mux := http.NewServeMux()
+	mux.Handle("/debug/bundles", anomaly.BundlesHandler(cap, nil))
+	mux.Handle("/debug/events", events.Handler(j))
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, id
+}
+
+func runDiag(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out, make(chan os.Signal)); err != nil {
+		t.Fatalf("meldiag %v: %v (output: %s)", args, err, out.String())
+	}
+	return out.String()
+}
+
+func TestListShowFetchEvents(t *testing.T) {
+	ts, id := testSurface(t)
+	addr := strings.TrimPrefix(ts.URL, "http://")
+
+	out := runDiag(t, "-addr", addr, "list")
+	if !strings.Contains(out, "1 bundle(s)") || !strings.Contains(out, id) {
+		t.Fatalf("list output missing bundle %s:\n%s", id, out)
+	}
+
+	out = runDiag(t, "-addr", addr, "show", id)
+	for _, want := range []string{"bundle   " + id, "reason   test spike", "notes.txt", "vars.json"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("show output missing %q:\n%s", want, out)
+		}
+	}
+
+	dest := t.TempDir()
+	out = runDiag(t, "-addr", addr, "-o", dest, "fetch", id)
+	for _, name := range []string{"manifest.json", "notes.txt", "vars.json"} {
+		p := filepath.Join(dest, id, name)
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("fetched bundle missing %s: %v (output: %s)", name, err, out)
+		}
+	}
+	notes, err := os.ReadFile(filepath.Join(dest, id, "notes.txt"))
+	if err != nil || string(notes) != "spike notes\n" {
+		t.Fatalf("fetched notes.txt = %q, %v", notes, err)
+	}
+
+	out = runDiag(t, "-addr", addr, "events")
+	if !strings.Contains(out, "MALICIOUS") || !strings.Contains(out, "mel=9") {
+		t.Fatalf("events output missing the journaled event:\n%s", out)
+	}
+	if !strings.Contains(out, "1 event(s) shown") {
+		t.Fatalf("events output missing summary:\n%s", out)
+	}
+	// A filter that excludes the only event.
+	out = runDiag(t, "-addr", addr, "-verdict", "benign", "events")
+	if !strings.Contains(out, "0 event(s) shown") {
+		t.Fatalf("benign filter should exclude the malicious event:\n%s", out)
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	ts, _ := testSurface(t)
+	addr := strings.TrimPrefix(ts.URL, "http://")
+	for _, args := range [][]string{
+		{"-addr", addr},                              // no subcommand
+		{"-addr", addr, "nonsense"},                  // unknown subcommand
+		{"-addr", addr, "show"},                      // missing id
+		{"-addr", addr, "show", "../../etc/passwd"},  // traversal rejected server-side
+		{"-addr", addr, "fetch", "bundle-not-there"}, // 404
+	} {
+		if err := run(args, io.Discard, make(chan os.Signal)); err == nil {
+			t.Fatalf("meldiag %v should fail", args)
+		}
+	}
+}
+
+func TestEventsFollowStopsOnSignal(t *testing.T) {
+	ts, _ := testSurface(t)
+	addr := strings.TrimPrefix(ts.URL, "http://")
+	sig := make(chan os.Signal, 1)
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", addr, "-follow", "-interval", "10ms", "events"}, &out, sig)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	sig <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("follow exited with error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follow did not stop on signal")
+	}
+	if !strings.Contains(out.String(), "mel=9") {
+		t.Fatalf("follow printed nothing:\n%s", out.String())
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/proxy"
+	"repro/internal/telemetry/events"
 )
 
 func main() {
@@ -35,6 +36,8 @@ func run(args []string) error {
 	stride := fs.Int("stride", core.DefaultStride, "scan window stride")
 	block := fs.Bool("block", false, "sever flagged connections")
 	profilePath := fs.String("profile", "", "calibration profile (JSON)")
+	eventsJSONL := fs.String("events-jsonl", "", "spool alert wide events to this JSONL file (empty disables)")
+	eventsJSONLMax := fs.Int64("events-jsonl-max", events.DefaultSinkMaxBytes, "JSONL spool rotation threshold in bytes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,12 +68,29 @@ func run(args []string) error {
 		det = d
 	}
 
+	// Alert wide events: every alert is journaled (malicious events
+	// bypass the benign sampler) and, with -events-jsonl, spooled to
+	// disk for offline triage.
+	var journal *events.Journal
+	if *eventsJSONL != "" {
+		sink, err := events.NewSink(events.SinkConfig{
+			Path:     *eventsJSONL,
+			MaxBytes: *eventsJSONLMax,
+		})
+		if err != nil {
+			return fmt.Errorf("events sink: %w", err)
+		}
+		defer sink.Close()
+		journal = events.New(events.Config{Sink: sink})
+	}
+
 	p, err := proxy.New(proxy.Config{
 		Detector: det,
 		Upstream: *upstream,
 		Window:   *window,
 		Stride:   *stride,
 		Block:    *block,
+		Events:   journal,
 		Logf:     log.Printf,
 	})
 	if err != nil {

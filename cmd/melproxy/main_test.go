@@ -48,3 +48,10 @@ func TestBadStride(t *testing.T) {
 		t.Error("stride > window should fail")
 	}
 }
+
+func TestBadEventsSinkPath(t *testing.T) {
+	if err := run([]string{"-upstream", "127.0.0.1:1",
+		"-events-jsonl", filepath.Join(t.TempDir(), "no", "such", "dir", "e.jsonl")}); err == nil {
+		t.Error("unwritable events sink path should fail")
+	}
+}

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/diag"
+	"repro/internal/server/client"
+)
+
+// TestAnomalySpikeProducesBundle is the end-to-end diagnostic loop: a
+// daemon with an absurdly tight latency SLO and sub-second burn
+// windows serves real scans, every one of which busts the objective;
+// the burn-rate detector trips and spools a bundle; meldiag's client
+// lists it, reads its manifest, and fetches the tar — all over the
+// live metrics sidecar.
+func TestAnomalySpikeProducesBundle(t *testing.T) {
+	addrCh := make(chan net.Addr, 1)
+	metricsCh := make(chan net.Addr, 1)
+	notifyListen = func(a net.Addr) { addrCh <- a }
+	notifyMetrics = func(a net.Addr) { metricsCh <- a }
+	defer func() { notifyListen, notifyMetrics = nil, nil }()
+
+	spool := t.TempDir()
+	jsonl := filepath.Join(t.TempDir(), "events.jsonl")
+	sig := make(chan os.Signal, 1)
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-metrics", "127.0.0.1:0",
+			"-workers", "2",
+			"-events-sample", "1",
+			"-events-jsonl", jsonl,
+			"-bundle-dir", spool,
+			// Every scan is slower than 1ns, so served load burns the
+			// latency budget at ~100x and must trip both windows.
+			"-slo-p99", "1ns",
+			"-slo-window-short", "200ms",
+			"-slo-window-long", "400ms",
+			"-slo-interval", "50ms",
+			"-slo-cooldown", "50ms",
+		}, &out, sig)
+	}()
+	var addr, maddr net.Addr
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v (output: %s)", err, out.String())
+	}
+	maddr = <-metricsCh
+
+	// Health first: a fresh daemon is serving.
+	resp, err := http.Get("http://" + maddr.String() + "/debug/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "serving") {
+		t.Fatalf("health = %d %s, want 200 serving", resp.StatusCode, body)
+	}
+
+	// Let the detector record a few idle baseline samples first — if
+	// the spike lands before the first 50ms tick, every retained sample
+	// already includes it and the window deltas never move.
+	time.Sleep(300 * time.Millisecond)
+
+	// Induce the spike: a dozen distinct scans (cache misses) while the
+	// SLO says at most 1%% may exceed 1ns.
+	c, err := client.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases, err := corpus.Dataset(43, 12, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cs := range cases {
+		if _, err := c.Scan(cs.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+
+	// The detector ticks every 50ms; wait for a bundle to land.
+	dc := diag.New(maddr.String())
+	var bundleID string
+	deadline := time.Now().Add(15 * time.Second)
+	for bundleID == "" {
+		if time.Now().After(deadline) {
+			page, _ := dc.List()
+			t.Fatalf("no bundle captured; listing: %+v (output: %s)", page, out.String())
+		}
+		page, err := dc.List()
+		if err == nil && page.Count > 0 {
+			bundleID = page.Bundles[0].ID
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The manifest: a latency trip carrying the daemon-side sections.
+	man, err := dc.Manifest(bundleID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(man.Reason, "latency SLO burn") {
+		t.Fatalf("bundle reason %q, want a latency SLO burn", man.Reason)
+	}
+	names := map[string]bool{}
+	for _, f := range man.Files {
+		if f.Err != "" {
+			t.Fatalf("section %s failed: %s", f.Name, f.Err)
+		}
+		names[f.Name] = true
+	}
+	for _, want := range []string{"goroutine.pprof", "heap.pprof", "vars.json",
+		"traces_recent.json", "modelwatch.json", "events.json"} {
+		if !names[want] {
+			t.Fatalf("bundle missing section %s (have %v)", want, names)
+		}
+	}
+
+	// Fetch and unpack; the journaled scans are in events.json.
+	dest := t.TempDir()
+	files, err := dc.Fetch(bundleID, dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("fetched only %d files: %v", len(files), files)
+	}
+	evBytes, err := os.ReadFile(filepath.Join(dest, bundleID, "events.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(evBytes, &evs); err != nil {
+		t.Fatalf("events.json does not parse: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("events.json is empty despite journaled scans")
+	}
+
+	// The live journal agrees: /debug/events serves the scans.
+	page, err := dc.Events(diag.EventsQuery{Verdict: "ok"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Count == 0 || page.Recorded == 0 {
+		t.Fatalf("journal page empty: %+v", page)
+	}
+
+	// The anomaly trip is on the metrics surface too.
+	resp, err = http.Get("http://" + maddr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"anomaly_trips_total", "anomaly_bundles_total", "events_recorded_total"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("metrics missing %s", want)
+		}
+	}
+
+	sig <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+
+	// The JSONL sink flushed on shutdown: one line per journaled event.
+	data, err := os.ReadFile(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("events JSONL spool is empty")
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("JSONL line does not parse: %v (%s)", err, lines[0])
+	}
+}

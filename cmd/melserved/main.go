@@ -4,15 +4,19 @@
 // payloads are answered from the content-hash verdict cache, and an
 // HTTP sidecar exposes /metrics, /debug/pprof, the per-scan flight
 // recorder (/debug/traces, /debug/requests), the registry snapshot
-// (/debug/vars), and the model-drift watcher (/debug/modelwatch).
+// (/debug/vars), the model-drift watcher (/debug/modelwatch), the
+// wide-event scan journal (/debug/events), readiness (/debug/health),
+// and anomaly diagnostic bundles (/debug/bundles).
 //
 //	melserved -listen 127.0.0.1:9901 -metrics 127.0.0.1:9902
 //	melserved -listen :9901 -workers 8 -queue 128 -alpha 0.001
 //	melserved -listen :9901 -profile corp.json -cache 16384
 //	melserved -listen :9901 -metrics :9902 -trace-slow-threshold 5ms
+//	melserved -listen :9901 -metrics :9902 -bundle-dir ./bundles -slo-p99 25ms
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +32,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/server"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/anomaly"
+	"repro/internal/telemetry/events"
 	"repro/internal/telemetry/modelwatch"
 	"repro/internal/telemetry/tracing"
 )
@@ -42,8 +48,12 @@ func main() {
 }
 
 // notifyListen, when set (tests), receives the scan listener address
-// once the daemon is accepting.
-var notifyListen func(net.Addr)
+// once the daemon is accepting; notifyMetrics likewise receives the
+// metrics sidecar address.
+var (
+	notifyListen  func(net.Addr)
+	notifyMetrics func(net.Addr)
+)
 
 func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 	fs := flag.NewFlagSet("melserved", flag.ContinueOnError)
@@ -64,6 +74,23 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 	contentMode := fs.Bool("content", false, "enable the content pipeline (triage -> decode -> MEL) for MsgScanContent requests")
 	contentDepth := fs.Int("content-depth", 0, "decode recursion depth limit (0 = default)")
 	contentBudget := fs.Int64("content-budget", 0, "decoded-output byte budget per payload, the zip-bomb guard (0 = default)")
+	eventsCap := fs.Int("events-capacity", events.DefaultCapacity, "wide-event journal capacity (negative disables journaling)")
+	eventsSample := fs.Int("events-sample", events.DefaultSampleEvery, "keep 1 in N benign fast-path events (slow/error/shed/malicious always kept)")
+	eventsSlow := fs.Duration("events-slow-threshold", events.DefaultSlowThreshold, "latency at which an event always journals")
+	eventsJSONL := fs.String("events-jsonl", "", "spool journaled events to this JSONL file (empty disables)")
+	eventsJSONLMax := fs.Int64("events-jsonl-max", events.DefaultSinkMaxBytes, "JSONL spool rotation threshold in bytes")
+	bundleDir := fs.String("bundle-dir", "", "diagnostic bundle spool directory; enables the burn-rate anomaly detector (empty disables)")
+	bundleMax := fs.Int("bundle-max", anomaly.DefaultMaxBundles, "most bundles retained in the spool")
+	bundleBytes := fs.Int64("bundle-max-bytes", anomaly.DefaultMaxSpoolBytes, "most spool bytes retained across bundles")
+	sloP99 := fs.Duration("slo-p99", 25*time.Millisecond, "p99 latency objective (0 disables the latency signal)")
+	sloLatBudget := fs.Float64("slo-latency-budget", anomaly.DefaultLatencyBudget, "allowed fraction of scans slower than -slo-p99")
+	sloErrBudget := fs.Float64("slo-error-budget", anomaly.DefaultErrorBudget, "allowed error+shed+deadline fraction of arrivals")
+	sloDrift := fs.Float64("slo-drift-critical", 0, "modelwatch fit statistic treated as full budget burn (0 disables the drift signal)")
+	sloShort := fs.Duration("slo-window-short", anomaly.DefaultShortWindow, "short burn-rate window")
+	sloLong := fs.Duration("slo-window-long", anomaly.DefaultLongWindow, "long burn-rate window")
+	sloInterval := fs.Duration("slo-interval", anomaly.DefaultInterval, "burn-rate evaluation period")
+	sloBurn := fs.Float64("slo-burn-threshold", anomaly.DefaultBurnThreshold, "burn rate both windows must exceed to trip")
+	sloCooldown := fs.Duration("slo-cooldown", anomaly.DefaultCooldown, "minimum spacing between captured bundles")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -125,6 +152,29 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 		}
 		pipe = p
 	}
+	var sink *events.Sink
+	var journal *events.Journal
+	if *eventsCap >= 0 {
+		if *eventsJSONL != "" {
+			s, err := events.NewSink(events.SinkConfig{
+				Path:     *eventsJSONL,
+				MaxBytes: *eventsJSONLMax,
+				Registry: reg,
+			})
+			if err != nil {
+				return fmt.Errorf("events sink: %w", err)
+			}
+			sink = s
+			defer sink.Close()
+		}
+		journal = events.New(events.Config{
+			Capacity:      *eventsCap,
+			SampleEvery:   *eventsSample,
+			SlowThreshold: *eventsSlow,
+			Registry:      reg,
+			Sink:          sink,
+		})
+	}
 	srv, err := server.New(server.Config{
 		Detector:           det,
 		Workers:            *workers,
@@ -138,6 +188,7 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 		Recorder:           rec,
 		OnVerdict:          onVerdict,
 		Content:            pipe,
+		Events:             journal,
 		Logf:               log.Printf,
 	})
 	if err != nil {
@@ -153,14 +204,62 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 		fmt.Fprintf(stdout, "melserved: content pipeline enabled (decode depth %d)\n", pipe.Decoder().MaxDepth())
 	}
 
+	// The anomaly layer: a bundle capturer spooling to -bundle-dir and
+	// a burn-rate detector ticking against the registry. Bundle
+	// sections are closures over the daemon's own subsystems, so the
+	// anomaly package stays decoupled from all of them.
+	var detector *anomaly.Detector
+	var capturer *anomaly.Capturer
+	var anomalyStop chan struct{}
+	var anomalyDone <-chan struct{}
+	if *bundleDir != "" {
+		sections := bundleSections(rec, watcher, journal)
+		c, err := anomaly.NewCapturer(anomaly.CaptureConfig{
+			Dir:        *bundleDir,
+			MaxBundles: *bundleMax,
+			MaxBytes:   *bundleBytes,
+			Registry:   reg,
+			Sections:   sections,
+		})
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("bundle spool: %w", err)
+		}
+		capturer = c
+		detector = anomaly.New(anomaly.Config{
+			Registry: reg,
+			Targets: anomaly.Targets{
+				LatencyP99:    *sloP99,
+				LatencyBudget: *sloLatBudget,
+				ErrorBudget:   *sloErrBudget,
+				DriftCritical: *sloDrift,
+			},
+			ShortWindow:   *sloShort,
+			LongWindow:    *sloLong,
+			Interval:      *sloInterval,
+			BurnThreshold: *sloBurn,
+			Cooldown:      *sloCooldown,
+			Capture: func(reason string) (string, error) {
+				log.Printf("melserved: anomaly trip: %s", reason)
+				return capturer.Capture(reason)
+			},
+		})
+		anomalyStop = make(chan struct{})
+		anomalyDone = detector.Run(anomalyStop)
+		fmt.Fprintf(stdout, "melserved: anomaly detector on (bundles in %s)\n", *bundleDir)
+	}
+
 	var metricsSrv *http.Server
+	var mln net.Listener
 	if *metricsAddr != "" {
-		mln, err := net.Listen("tcp", *metricsAddr)
+		mln, err = net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			ln.Close()
 			return fmt.Errorf("metrics listener: %w", err)
 		}
-		opts := []telemetry.MuxOption{}
+		opts := []telemetry.MuxOption{
+			telemetry.WithHandler("/debug/health", srv.HealthHandler()),
+		}
 		if watcher != nil {
 			// Scrapes and /debug/vars reads see freshly scored drift
 			// gauges.
@@ -172,6 +271,13 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 			opts = append(opts,
 				telemetry.WithHandler("/debug/traces", tracing.RecentHandler(rec)),
 				telemetry.WithHandler("/debug/requests", tracing.SlowHandler(rec)))
+		}
+		if journal != nil {
+			opts = append(opts, telemetry.WithHandler("/debug/events", events.Handler(journal)))
+		}
+		if capturer != nil {
+			opts = append(opts, telemetry.WithHandler("/debug/bundles",
+				anomaly.BundlesHandler(capturer, detector.Statuses)))
 		}
 		metricsSrv = &http.Server{
 			Handler:           telemetry.DebugMux(srv.Metrics(), opts...),
@@ -185,12 +291,21 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 		}()
 	}
 
-	// Tests learn the bound address here, after all startup output, so
-	// reading the banner buffer cannot race the banner writes.
+	// Tests learn the bound addresses here, after all startup output,
+	// so reading the banner buffer cannot race the banner writes.
 	if notifyListen != nil {
 		notifyListen(ln.Addr())
 	}
+	if notifyMetrics != nil && mln != nil {
+		notifyMetrics(mln.Addr())
+	}
 
+	stopAnomaly := func() {
+		if anomalyStop != nil {
+			close(anomalyStop)
+			<-anomalyDone
+		}
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 	select {
@@ -199,14 +314,64 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 			fmt.Fprintf(stdout, "melserved: draining (%.0f scans served)\n", scans)
 		}
 		err := srv.Close()
+		stopAnomaly()
 		if metricsSrv != nil {
 			metricsSrv.Close()
 		}
 		return err
 	case err := <-errCh:
+		stopAnomaly()
 		if metricsSrv != nil {
 			metricsSrv.Close()
 		}
 		return err
 	}
+}
+
+// bundleSections builds the daemon-side bundle files: the trace rings,
+// the modelwatch report, and the journal tail, each as a closure so
+// package anomaly needs no dependency on any of them. Nil subsystems
+// are simply absent from the bundle.
+func bundleSections(rec *tracing.Recorder, watcher *modelwatch.Watcher, journal *events.Journal) []anomaly.Section {
+	writeJSON := func(w io.Writer, v any) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	}
+	var sections []anomaly.Section
+	if rec != nil {
+		sections = append(sections,
+			anomaly.Section{Name: "traces_recent.json", Fill: func(w io.Writer) error {
+				ts := rec.Recent(0)
+				out := make([]tracing.TraceJSON, 0, len(ts))
+				for _, t := range ts {
+					out = append(out, tracing.Snapshot(t))
+				}
+				return writeJSON(w, out)
+			}},
+			anomaly.Section{Name: "traces_slow.json", Fill: func(w io.Writer) error {
+				ts := rec.Slow(0)
+				out := make([]tracing.TraceJSON, 0, len(ts))
+				for _, t := range ts {
+					out = append(out, tracing.Snapshot(t))
+				}
+				return writeJSON(w, out)
+			}})
+	}
+	if watcher != nil {
+		sections = append(sections, anomaly.Section{Name: "modelwatch.json", Fill: func(w io.Writer) error {
+			return writeJSON(w, watcher.Score())
+		}})
+	}
+	if journal != nil {
+		sections = append(sections, anomaly.Section{Name: "events.json", Fill: func(w io.Writer) error {
+			evs := journal.Snapshot(256)
+			out := make([]events.EventJSON, 0, len(evs))
+			for i := range evs {
+				out = append(out, events.JSON(&evs[i]))
+			}
+			return writeJSON(w, out)
+		}})
+	}
+	return sections
 }

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -56,11 +57,15 @@ func run(args []string, stdout io.Writer) error {
 	target := fs.String("target", "", "drive a melserved daemon at this address instead of emitting the corpus")
 	worms := fs.Int("worms", 0, "with -target: number of worm-spliced payloads mixed into the stream")
 	encodedFrac := fs.Float64("encoded-frac", 0, "fraction of bodies wrapped in an encoding layer (alternating base64/gzip)")
+	summaryPath := fs.String("summary-o", "", "with -target: write the run summary (latency quantiles, shed/error/triage counts) as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *encodedFrac < 0 || *encodedFrac > 1 {
 		return fmt.Errorf("-encoded-frac %v out of range [0,1]", *encodedFrac)
+	}
+	if *summaryPath != "" && *target == "" {
+		return errors.New("-summary-o requires -target")
 	}
 
 	cases, err := corpus.Dataset(*seed, *count, *caseLen)
@@ -69,7 +74,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *target != "" {
-		return drive(stdout, *target, cases, *worms, *seed, *encodedFrac)
+		return drive(stdout, *target, cases, *worms, *seed, *encodedFrac, *summaryPath)
 	}
 
 	if *stat {
@@ -161,8 +166,10 @@ func wrapBody(k content.Kind, data []byte) []byte {
 // counted and reported rather than aborting the run. With encodedFrac
 // set, that fraction of payloads — worms included — is wrapped in a
 // base64 or gzip layer and the scans request the content pipeline, so
-// wrapped worms remain catchable.
-func drive(stdout io.Writer, target string, cases []corpus.Case, wormCount int, seed uint64, encodedFrac float64) error {
+// wrapped worms remain catchable. With summaryPath set the tally is
+// also written there as JSON — machine-readable evidence for load-test
+// harnesses — before any worm-miss failure is reported.
+func drive(stdout io.Writer, target string, cases []corpus.Case, wormCount int, seed uint64, encodedFrac float64, summaryPath string) error {
 	opts := []client.Option{client.WithTracing()}
 	if encodedFrac > 0 {
 		opts = append(opts, client.WithContent())
@@ -220,7 +227,7 @@ func drive(stdout io.Writer, target string, cases []corpus.Case, wormCount int, 
 		}
 	}
 
-	var caught, missed, falsePos, cached, shed, failed int
+	var caught, missed, falsePos, cached, shed, failed, triageCleared int
 	latencies := make([]float64, 0, len(stream))
 	var serverSum, networkSum time.Duration
 	var tracedCount int
@@ -249,6 +256,9 @@ func drive(stdout io.Writer, target string, cases []corpus.Case, wormCount int, 
 		if res.Cached {
 			cached++
 		}
+		if res.TriageCleared {
+			triageCleared++
+		}
 		switch {
 		case msg.worm && res.Malicious:
 			caught++
@@ -264,17 +274,42 @@ func drive(stdout io.Writer, target string, cases []corpus.Case, wormCount int, 
 	fmt.Fprintf(stdout, "benign:          %d, false positives: %d\n", len(cases), falsePos)
 	fmt.Fprintf(stdout, "cache hits:      %d\n", cached)
 	fmt.Fprintf(stdout, "shed:            %d, errors: %d\n", shed, failed)
+	if triageCleared > 0 {
+		fmt.Fprintf(stdout, "triage cleared:  %d\n", triageCleared)
+	}
 	if encB64+encGzip > 0 {
 		fmt.Fprintf(stdout, "encoded:         %d wrapped (base64 %d, gzip %d)\n", encB64+encGzip, encB64, encGzip)
 	}
+	var p50, p95, p99 float64
 	if len(latencies) > 0 {
-		p50, _ := stats.Quantile(latencies, 0.50)
-		p95, _ := stats.Quantile(latencies, 0.95)
-		p99, _ := stats.Quantile(latencies, 0.99)
+		p50, _ = stats.Quantile(latencies, 0.50)
+		p95, _ = stats.Quantile(latencies, 0.95)
+		p99, _ = stats.Quantile(latencies, 0.99)
 		fmt.Fprintf(stdout, "latency:         p50 %v  p95 %v  p99 %v\n",
 			time.Duration(p50).Round(time.Microsecond),
 			time.Duration(p95).Round(time.Microsecond),
 			time.Duration(p99).Round(time.Microsecond))
+	}
+	if summaryPath != "" {
+		s := driveSummary{
+			Target:        target,
+			Payloads:      len(stream),
+			WormsCaught:   caught,
+			WormsMissed:   missed,
+			FalsePos:      falsePos,
+			CacheHits:     cached,
+			Shed:          shed,
+			Errors:        failed,
+			TriageCleared: triageCleared,
+			Encoded:       encB64 + encGzip,
+			P50Ns:         int64(p50),
+			P95Ns:         int64(p95),
+			P99Ns:         int64(p99),
+		}
+		if err := writeSummary(summaryPath, &s); err != nil {
+			return fmt.Errorf("write summary: %w", err)
+		}
+		fmt.Fprintf(stdout, "summary:         %s\n", summaryPath)
 	}
 	if tracedCount > 0 {
 		fmt.Fprintf(stdout, "attribution:     server %v  network %v (mean over %d traced scans)\n",
@@ -286,6 +321,38 @@ func drive(stdout io.Writer, target string, cases []corpus.Case, wormCount int, 
 		return fmt.Errorf("%d worm payloads evaded detection", missed)
 	}
 	return nil
+}
+
+// driveSummary is the -summary-o JSON shape: the run tally plus the
+// client-observed latency quantiles in nanoseconds.
+type driveSummary struct {
+	Target        string `json:"target"`
+	Payloads      int    `json:"payloads"`
+	WormsCaught   int    `json:"worms_caught"`
+	WormsMissed   int    `json:"worms_missed"`
+	FalsePos      int    `json:"false_positives"`
+	CacheHits     int    `json:"cache_hits"`
+	Shed          int    `json:"shed"`
+	Errors        int    `json:"errors"`
+	TriageCleared int    `json:"triage_cleared"`
+	Encoded       int    `json:"encoded"`
+	P50Ns         int64  `json:"latency_p50_ns"`
+	P95Ns         int64  `json:"latency_p95_ns"`
+	P99Ns         int64  `json:"latency_p99_ns"`
+}
+
+func writeSummary(path string, s *driveSummary) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func kindName(k corpus.CaseKind) string {

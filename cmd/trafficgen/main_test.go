@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"net"
 	"os"
 	"path/filepath"
@@ -109,6 +110,60 @@ func TestTargetModeEndToEnd(t *testing.T) {
 	// The daemon-side pool metrics saw every payload.
 	if scans, ok := srv.Metrics().Value("scans_total"); !ok || scans < 16 {
 		t.Errorf("daemon scans_total = %v, want >= 16", scans)
+	}
+}
+
+// TestSummaryOutput: -summary-o writes the machine-readable tally with
+// latency quantiles alongside the human summary.
+func TestSummaryOutput(t *testing.T) {
+	det, err := core.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Detector: det, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { srv.Close() })
+
+	path := filepath.Join(t.TempDir(), "summary.json")
+	var out bytes.Buffer
+	err = run([]string{
+		"-target", ln.Addr().String(),
+		"-cases", "8", "-len", "2000", "-worms", "2", "-seed", "31",
+		"-summary-o", path,
+	}, &out)
+	if err != nil {
+		t.Fatalf("target mode: %v (output: %s)", err, out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s driveSummary
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatalf("summary does not parse: %v\n%s", err, data)
+	}
+	if s.Payloads != 10 || s.WormsCaught != 2 || s.WormsMissed != 0 {
+		t.Fatalf("summary tally wrong: %+v", s)
+	}
+	if s.Shed != 0 || s.Errors != 0 {
+		t.Fatalf("unexpected shed/errors in summary: %+v", s)
+	}
+	if s.P50Ns <= 0 || s.P99Ns < s.P50Ns {
+		t.Fatalf("implausible latency quantiles: p50=%d p99=%d", s.P50Ns, s.P99Ns)
+	}
+}
+
+// TestSummaryRequiresTarget: -summary-o without -target is an error.
+func TestSummaryRequiresTarget(t *testing.T) {
+	if err := run([]string{"-summary-o", "x.json", "-cases", "2"}, &bytes.Buffer{}); err == nil {
+		t.Error("-summary-o without -target should fail")
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/encoder"
 	"repro/internal/mel"
 	"repro/internal/shellcode"
+	"repro/internal/telemetry/events"
 	"repro/internal/telemetry/tracing"
 )
 
@@ -36,6 +37,10 @@ type EngineBenchReport struct {
 	Results           []EngineBenchResult `json:"results"`
 	SpeedupSequential float64             `json:"speedup_sequential"`
 	TracingOverhead   float64             `json:"tracing_overhead"`
+	// EventsOverhead is the additional relative cost of journaling every
+	// scan as a wide event on top of the traced path (events/traced − 1);
+	// like tracing, the budget holds it under 5%.
+	EventsOverhead float64 `json:"events_overhead"`
 	// StreamCarryReuse is the fraction of packed records the windowed
 	// stream scan carried across window overlaps instead of re-decoding
 	// (0 would mean every window decoded from scratch).
@@ -113,6 +118,37 @@ func EngineBench(w io.Writer, outPath string, seed uint64) (EngineBenchReport, e
 			rec.Record(tr)
 		}
 	})
+	// The events path is the traced path plus a wide-event journal write
+	// per scan: what the server's hot path pays with -events enabled.
+	// SampleEvery 1 defeats the benign sampler, so this is the worst
+	// case — every scan encodes and publishes.
+	journal := events.New(events.Config{Capacity: events.DefaultCapacity, SampleEvery: 1})
+	eventsRes := measure("engine_scan_events_4k", len(benign), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr := tracing.New(tracing.TraceID{}, len(benign))
+			res, err := eng.ScanTraced(benign, tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr.Finish()
+			rec.Record(tr)
+			ev := events.Event{
+				StartUnixNs: tr.Start.UnixNano(),
+				Total:       tr.Total(),
+				Bytes:       len(benign),
+				MEL:         res.MEL,
+				ViewIndex:   -1,
+			}
+			// Spread the shard hash as real trace ids would.
+			ev.TraceID[15] = byte(i)
+			ev.TraceID[14] = byte(i >> 8)
+			for s := 0; s < tracing.NumStages; s++ {
+				ev.Stages[s] = tr.StageDur(tracing.Stage(s))
+			}
+			journal.Record(&ev)
+		}
+	})
 	wormRes := measure("engine_scan_worm_4k", len(wormCase), func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -184,10 +220,13 @@ func EngineBench(w io.Writer, outPath string, seed uint64) (EngineBenchReport, e
 			float64(carry.RecordsReused+carry.RecordsDecoded)
 	}
 
-	report.Results = []EngineBenchResult{optimized, reference, traced, wormRes, big64Res, mixedRes, streamRes}
+	report.Results = []EngineBenchResult{optimized, reference, traced, eventsRes, wormRes, big64Res, mixedRes, streamRes}
 	if optimized.NsPerOp > 0 {
 		report.SpeedupSequential = reference.NsPerOp / optimized.NsPerOp
 		report.TracingOverhead = traced.NsPerOp/optimized.NsPerOp - 1
+	}
+	if traced.NsPerOp > 0 {
+		report.EventsOverhead = eventsRes.NsPerOp/traced.NsPerOp - 1
 	}
 
 	fmt.Fprintln(w, "E19: engine scan throughput (4 KB cases, DAWN rules)")
@@ -197,6 +236,7 @@ func EngineBench(w io.Writer, outPath string, seed uint64) (EngineBenchReport, e
 	}
 	fmt.Fprintf(w, "  sequential speedup vs reference: %.2fx\n", report.SpeedupSequential)
 	fmt.Fprintf(w, "  tracing overhead: %.2f%%\n", report.TracingOverhead*100)
+	fmt.Fprintf(w, "  events overhead: %.2f%%\n", report.EventsOverhead*100)
 	fmt.Fprintf(w, "  stream carry reuse: %.1f%%\n", report.StreamCarryReuse*100)
 
 	if outPath != "" {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/content"
 	"repro/internal/core"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/events"
 	"repro/internal/telemetry/tracing"
 )
 
@@ -77,6 +78,10 @@ type Config struct {
 	// bytes, alerts, blocks) — point it at the scan service's registry
 	// to expose one combined /metrics surface.
 	Metrics *telemetry.Registry
+	// Events, when set, journals every alert as a malicious wide event
+	// (cause ok, verdict carried), so proxied-traffic detections land
+	// in the same /debug/events stream as daemon scans.
+	Events *events.Journal
 	// Logf receives diagnostic output; nil silences it.
 	Logf func(format string, args ...any)
 }
@@ -230,6 +235,7 @@ func (p *Proxy) record(a Alert) {
 	if p.m.alerts != nil {
 		p.m.alerts.Inc()
 	}
+	p.journalAlert(&a)
 	line := fmt.Sprintf("ALERT %s window@%d MEL=%d tau=%.1f", a.Conn, a.Offset, a.MEL, a.Threshold)
 	if a.DecodeChain != "" {
 		line += fmt.Sprintf(" chain=%s view=%d", a.DecodeChain, a.ViewIndex)
@@ -238,6 +244,32 @@ func (p *Proxy) record(a Alert) {
 		line += " trace=" + a.TraceID.String()
 	}
 	p.cfg.Logf("%s", line)
+}
+
+// journalAlert mirrors one alert into the wide-event journal. Alerts
+// are malicious by definition, so they bypass the benign sampler and
+// always land.
+func (p *Proxy) journalAlert(a *Alert) {
+	if p.cfg.Events == nil {
+		return
+	}
+	e := events.Event{
+		TraceID:     a.TraceID,
+		StartUnixNs: time.Now().UnixNano(),
+		MEL:         a.MEL,
+		Threshold:   a.Threshold,
+		Malicious:   true,
+		ViewIndex:   -1,
+	}
+	if a.DecodeChain != "" || a.ViewIndex > 0 {
+		e.Content = true
+		e.ViewIndex = a.ViewIndex
+		e.DecodeChain = a.DecodeChain
+	}
+	for i := range e.Stages {
+		e.Stages[i] = -1
+	}
+	p.cfg.Events.Record(&e)
 }
 
 // idleConn bumps the connection deadline on every read and write, so

@@ -14,6 +14,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/shellcode"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/events"
 )
 
 // echoServer accepts connections and echoes bytes back until closed.
@@ -92,6 +93,43 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, err := New(Config{Detector: det, Upstream: "x", Window: 10, Stride: 20}); err == nil {
 		t.Error("stride > window should fail")
+	}
+}
+
+// TestAlertsJournalAsWideEvents: every recorded alert lands in the
+// wired journal as a malicious event carrying the verdict and chain.
+func TestAlertsJournalAsWideEvents(t *testing.T) {
+	det, err := core.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := events.New(events.Config{Capacity: 16, Shards: 1, SampleEvery: 1})
+	p, err := New(Config{Detector: det, Upstream: "127.0.0.1:1", Events: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Alert{Conn: "127.0.0.1:555", MEL: 31, Threshold: 22.5,
+		ViewIndex: 1, DecodeChain: "gzip>base64"}
+	a.TraceID[15] = 7
+	p.record(a)
+	p.record(Alert{Conn: "127.0.0.1:556", MEL: 28, Threshold: 22.5})
+
+	evs := j.Snapshot(0)
+	if len(evs) != 2 {
+		t.Fatalf("journal holds %d events, want 2", len(evs))
+	}
+	var chained *events.Event
+	for i := range evs {
+		if !evs[i].Malicious {
+			t.Fatalf("alert event not malicious: %+v", evs[i])
+		}
+		if evs[i].DecodeChain != "" {
+			chained = &evs[i]
+		}
+	}
+	if chained == nil || chained.MEL != 31 || chained.DecodeChain != "gzip>base64" ||
+		chained.ViewIndex != 1 || chained.TraceID[15] != 7 {
+		t.Fatalf("chained alert event wrong: %+v", chained)
 	}
 }
 

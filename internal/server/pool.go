@@ -12,6 +12,7 @@ import (
 	"repro/internal/content"
 	"repro/internal/core"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/events"
 	"repro/internal/telemetry/tracing"
 )
 
@@ -64,6 +65,10 @@ type PoolConfig struct {
 	// scan is dropped. The pipeline should be built around the same
 	// detector (its verdict cache assumptions carry over).
 	Content *content.Pipeline
+	// Events, when set, journals one wide event per submission outcome —
+	// served verdicts, sheds, deadline expiries, scan failures — into
+	// the lock-free journal. A nil journal costs one branch.
+	Events *events.Journal
 }
 
 // job is one queued scan. content selects the pipeline path.
@@ -121,6 +126,7 @@ type Pool struct {
 	reg       *telemetry.Registry
 	m         poolMetrics
 	rec       *tracing.Recorder
+	journal   *events.Journal
 	onVerdict func(core.Verdict)
 
 	// mu serializes Submit's channel send against Close's channel
@@ -153,6 +159,7 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 		reg:       reg,
 		m:         newPoolMetrics(reg),
 		rec:       cfg.Recorder,
+		journal:   cfg.Events,
 		onVerdict: cfg.OnVerdict,
 	}
 	switch {
@@ -218,6 +225,7 @@ func (p *Pool) submit(payload []byte, deadline time.Time, tr *tracing.Trace, isC
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
+		p.rejectEvent(len(payload), tr, isContent, events.CauseShutdown)
 		return ErrShuttingDown
 	}
 	p.m.depth.Inc()
@@ -229,8 +237,84 @@ func (p *Pool) submit(payload []byte, deadline time.Time, tr *tracing.Trace, isC
 	default:
 		p.m.depth.Dec()
 		p.m.shed.Inc()
+		p.rejectEvent(len(payload), tr, isContent, events.CauseShed)
 		return ErrOverloaded
 	}
+}
+
+// rejectEvent journals a submission that never reached a worker (shed
+// or shutdown). It runs on the submit hot path: the event is built on
+// the stack and handed to the journal's allocation-free record path.
+//
+//mel:hotpath
+func (p *Pool) rejectEvent(n int, tr *tracing.Trace, isContent bool, cause events.Cause) {
+	if p.journal == nil {
+		return
+	}
+	e := events.Event{
+		StartUnixNs: time.Now().UnixNano(),
+		Bytes:       n,
+		ViewIndex:   -1,
+		Content:     isContent,
+		Cause:       cause,
+	}
+	if tr != nil {
+		e.TraceID = tr.ID
+	}
+	for i := range e.Stages {
+		e.Stages[i] = -1
+	}
+	p.journal.Record(&e)
+}
+
+// jobEvent builds the wide event for a job that reached a worker,
+// preferring the trace's bookkeeping when tracing is on.
+func (p *Pool) jobEvent(j *job, v core.Verdict, cached bool, cause events.Cause) events.Event {
+	e := events.Event{
+		StartUnixNs: j.enqueued.UnixNano(),
+		Total:       time.Since(j.enqueued),
+		Bytes:       len(j.payload),
+		ViewIndex:   -1,
+		Cause:       cause,
+	}
+	for i := range e.Stages {
+		e.Stages[i] = -1
+	}
+	if tr := j.tr; tr != nil {
+		e.TraceID = tr.ID
+		e.StartUnixNs = tr.Start.UnixNano()
+		if tr.Total() > 0 {
+			e.Total = tr.Total()
+		}
+		for s := tracing.Stage(0); int(s) < tracing.NumStages; s++ {
+			e.Stages[s] = tr.StageDur(s)
+		}
+	}
+	if cause == events.CauseOK {
+		e.MEL = v.MEL
+		e.Threshold = v.Threshold
+		e.Malicious = v.Malicious
+		e.Cached = cached
+		if j.content {
+			e.Content = true
+			e.ViewIndex = v.ViewIndex
+			e.DecodeChain = v.DecodeChain
+			e.TriageScore = v.TriageScore
+			e.TriageCleared = v.TriageCleared
+		}
+	} else {
+		e.Content = j.content
+	}
+	return e
+}
+
+// recordJobEvent journals a worker-path outcome; nil journal no-ops.
+func (p *Pool) recordJobEvent(j *job, v core.Verdict, cached bool, cause events.Cause) {
+	if p.journal == nil {
+		return
+	}
+	e := p.jobEvent(j, v, cached, cause)
+	p.journal.Record(&e)
 }
 
 // publishPressure feeds the queue occupancy to the content pipeline's
@@ -368,6 +452,7 @@ func (p *Pool) serve(j job) {
 	if !j.deadline.IsZero() && time.Now().After(j.deadline) {
 		p.m.deadline.Inc()
 		p.abort(tr, ErrDeadlineExceeded)
+		p.recordJobEvent(&j, core.Verdict{}, false, events.CauseDeadline)
 		j.done(core.Verdict{}, false, ErrDeadlineExceeded)
 		return
 	}
@@ -403,6 +488,7 @@ func (p *Pool) serve(j job) {
 		p.m.errs.Inc()
 		wrapped := fmt.Errorf("%w: %v", ErrScanFailed, err)
 		p.abort(tr, wrapped)
+		p.recordJobEvent(&j, core.Verdict{}, false, events.CauseScanError)
 		j.done(core.Verdict{}, false, wrapped)
 		return
 	}
@@ -449,7 +535,14 @@ func (p *Pool) finish(j job, v core.Verdict, cached bool) {
 	if p.onVerdict != nil {
 		p.onVerdict(v)
 	}
+	p.recordJobEvent(&j, v, cached, events.CauseOK)
 	j.done(v, cached, nil)
+}
+
+// Queue reports the job queue's current depth and capacity — the
+// overload signal behind the /debug/health endpoint.
+func (p *Pool) Queue() (depth, capacity int) {
+	return len(p.jobs), cap(p.jobs)
 }
 
 // InstrumentDetector wires a detector's observer hook into reg under

@@ -11,6 +11,7 @@ import (
 	"repro/internal/content"
 	"repro/internal/core"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/events"
 	"repro/internal/telemetry/tracing"
 )
 
@@ -66,6 +67,9 @@ type Config struct {
 	// PoolConfig.Content. Without it those requests are answered with
 	// CodeBadRequest and clients downgrade to plain scans.
 	Content *content.Pipeline
+	// Events, when set, journals one wide event per submission outcome;
+	// see PoolConfig.Events.
+	Events *events.Journal
 	// InstrumentDetector, when true, also wires the detector's observer
 	// hook into the registry (detector_* metrics). Leave false when the
 	// detector is shared and already instrumented elsewhere.
@@ -129,6 +133,7 @@ func New(cfg Config) (*Server, error) {
 		Recorder:   cfg.Recorder,
 		OnVerdict:  cfg.OnVerdict,
 		Content:    cfg.Content,
+		Events:     cfg.Events,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,367 @@
+package anomaly
+
+import (
+	"archive/tar"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// fakeClock is the injected deterministic timeline.
+type fakeClock struct{ t time.Time }
+
+func newClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// serveLoad simulates traffic against the canonical pool metric names.
+type serveLoad struct {
+	scans, errs, shed *telemetry.Counter
+	lat               *telemetry.Histogram
+	drift             *telemetry.FloatGauge
+}
+
+func newLoad(reg *telemetry.Registry) *serveLoad {
+	return &serveLoad{
+		scans: reg.Counter("scans_total", ""),
+		errs:  reg.Counter("scan_errors_total", ""),
+		shed:  reg.Counter("shed_total", ""),
+		lat:   reg.Histogram("scan_latency_seconds", "", nil),
+		drift: reg.FloatGauge("modelwatch_fit_stat", ""),
+	}
+}
+
+// ok records n healthy fast scans.
+func (l *serveLoad) ok(n int) {
+	for i := 0; i < n; i++ {
+		l.scans.Inc()
+		l.lat.Observe(0.002)
+	}
+}
+
+// slow records n scans over any sane latency target.
+func (l *serveLoad) slow(n int) {
+	for i := 0; i < n; i++ {
+		l.scans.Inc()
+		l.lat.Observe(0.4)
+	}
+}
+
+func testDetector(reg *telemetry.Registry, clk *fakeClock, capture func(string) (string, error)) *Detector {
+	return New(Config{
+		Registry: reg,
+		Now:      clk.now,
+		Targets: Targets{
+			LatencyP99:    50 * time.Millisecond,
+			LatencyBudget: 0.01,
+			ErrorBudget:   0.01,
+			DriftCritical: 3.0,
+		},
+		ShortWindow:   5 * time.Minute,
+		LongWindow:    time.Hour,
+		Interval:      10 * time.Second,
+		BurnThreshold: 2,
+		Cooldown:      time.Minute,
+		Capture:       capture,
+	})
+}
+
+func tickFor(d *Detector, clk *fakeClock, dur, step time.Duration, each func()) []string {
+	var ids []string
+	for elapsed := time.Duration(0); elapsed < dur; elapsed += step {
+		if each != nil {
+			each()
+		}
+		ids = append(ids, d.Tick()...)
+		clk.advance(step)
+	}
+	return ids
+}
+
+func TestBurnRateTripAndRecover(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	load := newLoad(reg)
+	clk := newClock()
+	var captures []string
+	d := testDetector(reg, clk, func(reason string) (string, error) {
+		captures = append(captures, reason)
+		return "bundle-test", nil
+	})
+
+	// An hour of healthy traffic: no trips.
+	tickFor(d, clk, time.Hour, 10*time.Second, func() { load.ok(20) })
+	if d.Trips() != 0 {
+		t.Fatalf("healthy traffic tripped %d times", d.Trips())
+	}
+
+	// Sustained latency regression: 30%% of scans slow for 10 minutes.
+	// Short window burns immediately; the long window needs the
+	// excursion to weigh against an hour of history.
+	tickFor(d, clk, 10*time.Minute, 10*time.Second, func() { load.ok(14); load.slow(6) })
+	if d.Trips() != 1 {
+		t.Fatalf("latency excursion produced %d trips, want 1 (latched)", d.Trips())
+	}
+	if len(captures) != 1 || !strings.Contains(captures[0], "latency") {
+		t.Fatalf("captures = %v, want one latency bundle", captures)
+	}
+	var lat Status
+	for _, s := range d.Statuses() {
+		if s.Signal == "latency" {
+			lat = s
+		}
+	}
+	if !lat.Tripped || lat.BurnShort < 2 || lat.BurnLong < 2 {
+		t.Fatalf("latency status not tripped: %+v", lat)
+	}
+
+	// Recovery: healthy traffic long enough for both windows to clear,
+	// then a second excursion trips again (latch released).
+	tickFor(d, clk, 2*time.Hour, 10*time.Second, func() { load.ok(20) })
+	for _, s := range d.Statuses() {
+		if s.Tripped {
+			t.Fatalf("signal %s still tripped after recovery", s.Signal)
+		}
+	}
+	tickFor(d, clk, 10*time.Minute, 10*time.Second, func() { load.ok(10); load.slow(10) })
+	if d.Trips() != 2 {
+		t.Fatalf("second excursion: trips=%d, want 2", d.Trips())
+	}
+}
+
+func TestErrorShedBurnTrip(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	load := newLoad(reg)
+	clk := newClock()
+	d := testDetector(reg, clk, nil)
+	tickFor(d, clk, 30*time.Minute, 10*time.Second, func() { load.ok(20) })
+	// Queue collapse: a third of arrivals shed.
+	tickFor(d, clk, 10*time.Minute, 10*time.Second, func() {
+		load.ok(14)
+		for i := 0; i < 6; i++ {
+			load.shed.Inc()
+		}
+	})
+	if d.Trips() != 1 {
+		t.Fatalf("shed burst produced %d trips, want 1", d.Trips())
+	}
+	var errs Status
+	for _, s := range d.Statuses() {
+		if s.Signal == "errors" {
+			errs = s
+		}
+	}
+	if !errs.Tripped {
+		t.Fatalf("errors signal not tripped: %+v", errs)
+	}
+}
+
+func TestDriftGaugeTrip(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	load := newLoad(reg)
+	clk := newClock()
+	d := testDetector(reg, clk, nil)
+	load.drift.Set(1.0)
+	tickFor(d, clk, 30*time.Minute, 10*time.Second, func() { load.ok(20) })
+	if d.Trips() != 0 {
+		t.Fatalf("in-family drift tripped %d times", d.Trips())
+	}
+	// Fit statistic pinned far over critical: both window averages burn.
+	load.drift.Set(9.0)
+	tickFor(d, clk, 90*time.Minute, 10*time.Second, func() { load.ok(20) })
+	if d.Trips() != 1 {
+		t.Fatalf("drift excursion produced %d trips, want 1", d.Trips())
+	}
+}
+
+func TestCooldownSpacesBundles(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	load := newLoad(reg)
+	clk := newClock()
+	captures := 0
+	d := testDetector(reg, clk, func(string) (string, error) { captures++; return "b", nil })
+	tickFor(d, clk, 30*time.Minute, 10*time.Second, func() { load.ok(20) })
+	// Alternate short excursions and recoveries faster than the
+	// cooldown: trips count but only the first captures.
+	for burst := 0; burst < 3; burst++ {
+		tickFor(d, clk, 10*time.Second, 10*time.Second, func() { load.errs.Inc(); load.ok(1) })
+	}
+	if captures > 1 {
+		t.Fatalf("cooldown failed: %d captures inside one cooldown window", captures)
+	}
+}
+
+func fixedSections() []Section {
+	return []Section{
+		{Name: "traces.json", Fill: func(w io.Writer) error {
+			_, err := io.WriteString(w, `{"traces":[]}`+"\n")
+			return err
+		}},
+		{Name: "notes.txt", Fill: func(w io.Writer) error {
+			_, err := io.WriteString(w, "induced spike\n")
+			return err
+		}},
+	}
+}
+
+func TestBundleManifestGolden(t *testing.T) {
+	dir := t.TempDir()
+	clk := newClock()
+	c, err := NewCapturer(CaptureConfig{
+		Dir:          dir,
+		Now:          clk.now,
+		SkipProfiles: true,
+		Sections:     fixedSections(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Capture("latency SLO burn: short=3.10 long=2.40 (threshold 2.00)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, id, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "manifest.golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (rerun with UPDATE_GOLDEN=1)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("manifest drifted from golden:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+func TestSpoolBounded(t *testing.T) {
+	dir := t.TempDir()
+	clk := newClock()
+	c, err := NewCapturer(CaptureConfig{
+		Dir: dir, Now: clk.now, SkipProfiles: true,
+		MaxBundles: 3, Sections: fixedSections(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last string
+	for i := 0; i < 8; i++ {
+		clk.advance(time.Second)
+		last, err = c.Capture("trip")
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mans, err := c.Manifests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mans) != 3 {
+		t.Fatalf("spool holds %d bundles, want 3", len(mans))
+	}
+	if mans[0].ID != last {
+		t.Fatalf("newest bundle %s missing from listing (got %s)", last, mans[0].ID)
+	}
+}
+
+func TestBundlesHandler(t *testing.T) {
+	dir := t.TempDir()
+	clk := newClock()
+	c, err := NewCapturer(CaptureConfig{
+		Dir: dir, Now: clk.now, SkipProfiles: true, Sections: fixedSections(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Capture("test trip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := BundlesHandler(c, func() []Status {
+		return []Status{{Signal: "latency", BurnShort: 3, BurnLong: 2.5, Tripped: true}}
+	})
+
+	// Listing.
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/bundles", nil))
+	var page BundlesPage
+	if err := json.Unmarshal(rr.Body.Bytes(), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Count != 1 || page.Bundles[0].ID != id || len(page.Statuses) != 1 {
+		t.Fatalf("bad listing: %+v", page)
+	}
+
+	// Single file fetch.
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/bundles?id="+id+"&file=notes.txt", nil))
+	if rr.Code != 200 || rr.Body.String() != "induced spike\n" {
+		t.Fatalf("file fetch: code=%d body=%q", rr.Code, rr.Body.String())
+	}
+
+	// Tar fetch: every manifest file present.
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/bundles?id="+id, nil))
+	if rr.Code != 200 {
+		t.Fatalf("tar fetch code=%d", rr.Code)
+	}
+	tr := tar.NewReader(rr.Body)
+	names := map[string]bool{}
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		names[hdr.Name] = true
+	}
+	for _, want := range []string{"manifest.json", "traces.json", "notes.txt"} {
+		if !names[id+"/"+want] {
+			t.Fatalf("tar missing %s (have %v)", want, names)
+		}
+	}
+
+	// Traversal rejected.
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/bundles?id=..%2Fescape", nil))
+	if rr.Code != 400 {
+		t.Fatalf("traversal id served with code %d", rr.Code)
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/bundles?id="+id+"&file=..%2Fmanifest.json", nil))
+	if rr.Code != 400 {
+		t.Fatalf("traversal file served with code %d", rr.Code)
+	}
+}
+
+func TestDetectorRunLoop(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	newLoad(reg).ok(10)
+	d := New(Config{Registry: reg, Interval: time.Millisecond,
+		Targets: Targets{LatencyP99: 50 * time.Millisecond}})
+	stop := make(chan struct{})
+	done := d.Run(stop)
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Run loop did not join")
+	}
+}

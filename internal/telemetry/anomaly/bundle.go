@@ -1,0 +1,286 @@
+package anomaly
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Spool defaults.
+const (
+	DefaultMaxBundles    = 8
+	DefaultMaxSpoolBytes = 64 << 20
+	DefaultCPUProfile    = 250 * time.Millisecond
+	// bundlePrefix names spool directories; everything else in the
+	// spool dir is left alone.
+	bundlePrefix = "bundle-"
+)
+
+// Section is one named file inside a bundle: Fill streams its content.
+// The daemon supplies sections as closures (trace rings, modelwatch
+// report, journal tail) so this package depends on none of them.
+type Section struct {
+	// Name is the file name inside the bundle directory.
+	Name string
+	// Fill writes the file's content.
+	Fill func(w io.Writer) error
+}
+
+// CaptureConfig wires a Capturer.
+type CaptureConfig struct {
+	// Dir is the on-disk spool; created if missing.
+	Dir string
+	// MaxBundles / MaxBytes bound the spool: oldest bundles are pruned
+	// past either limit (the bundle being written is never pruned).
+	MaxBundles int
+	MaxBytes   int64
+	// Now is the injected clock used for bundle ids and manifests.
+	Now func() time.Time
+	// CPUProfileDur is the CPU profile capture length; negative skips
+	// the CPU profile (and the blocking sleep it implies).
+	CPUProfileDur time.Duration
+	// Registry, when set, is snapshotted into vars.json.
+	Registry *telemetry.Registry
+	// Sections are the extra files every bundle carries.
+	Sections []Section
+	// SkipProfiles drops the goroutine/heap/CPU pprof sections —
+	// deterministic-output tests use this.
+	SkipProfiles bool
+}
+
+// ManifestFile is one file entry in a bundle manifest.
+type ManifestFile struct {
+	Name  string `json:"name"`
+	Bytes int64  `json:"bytes"`
+	// Err records a section whose Fill failed; its file holds whatever
+	// was written before the failure.
+	Err string `json:"error,omitempty"`
+}
+
+// Manifest describes one captured bundle — the machine-readable
+// index meldiag and /debug/bundles list.
+type Manifest struct {
+	ID         string         `json:"id"`
+	TimeUnixNs int64          `json:"time_unix_ns"`
+	Reason     string         `json:"reason"`
+	Files      []ManifestFile `json:"files"`
+}
+
+// Capturer writes diagnostic bundles into a bounded spool directory.
+// Captures are serialized by an atomic busy flag rather than a mutex:
+// section fills read other subsystems (registry snapshot, trace rings)
+// and must not nest their locks under one of ours; a concurrent
+// trigger fails fast instead of queueing behind a capture in flight.
+type Capturer struct {
+	cfg  CaptureConfig
+	busy atomic.Bool
+	seq  atomic.Uint64
+}
+
+// NewCapturer creates the spool directory.
+func NewCapturer(cfg CaptureConfig) (*Capturer, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("anomaly: bundle dir required")
+	}
+	if cfg.MaxBundles <= 0 {
+		cfg.MaxBundles = DefaultMaxBundles
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = DefaultMaxSpoolBytes
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.CPUProfileDur == 0 {
+		cfg.CPUProfileDur = DefaultCPUProfile
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Capturer{cfg: cfg}, nil
+}
+
+// Dir returns the spool directory.
+func (c *Capturer) Dir() string { return c.cfg.Dir }
+
+// Capture writes one bundle and returns its id. The bundle directory
+// is bundle-<utc-timestamp>-<seq>; files land next to manifest.json.
+func (c *Capturer) Capture(reason string) (string, error) {
+	if !c.busy.CompareAndSwap(false, true) {
+		return "", fmt.Errorf("anomaly: capture already in progress")
+	}
+	defer c.busy.Store(false)
+	now := c.cfg.Now()
+	id := fmt.Sprintf("%s%s-%06d", bundlePrefix,
+		now.UTC().Format("20060102T150405"), c.seq.Add(1))
+	dir := filepath.Join(c.cfg.Dir, id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	man := Manifest{ID: id, TimeUnixNs: now.UnixNano(), Reason: reason}
+	sections := c.sections()
+	for _, s := range sections {
+		mf := ManifestFile{Name: s.Name}
+		f, err := os.Create(filepath.Join(dir, s.Name))
+		if err != nil {
+			mf.Err = err.Error()
+			man.Files = append(man.Files, mf)
+			continue
+		}
+		if err := s.Fill(f); err != nil {
+			mf.Err = err.Error()
+		}
+		if st, err := f.Stat(); err == nil {
+			mf.Bytes = st.Size()
+		}
+		f.Close()
+		man.Files = append(man.Files, mf)
+	}
+	mf, err := os.Create(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return "", err
+	}
+	enc := json.NewEncoder(mf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(man); err != nil {
+		mf.Close()
+		return "", err
+	}
+	if err := mf.Close(); err != nil {
+		return "", err
+	}
+	c.prune(id)
+	return id, nil
+}
+
+// sections assembles the default profile/vars sections plus the
+// configured extras.
+func (c *Capturer) sections() []Section {
+	var out []Section
+	if !c.cfg.SkipProfiles {
+		out = append(out,
+			Section{Name: "goroutine.pprof", Fill: func(w io.Writer) error {
+				return pprof.Lookup("goroutine").WriteTo(w, 0)
+			}},
+			Section{Name: "heap.pprof", Fill: func(w io.Writer) error {
+				return pprof.Lookup("heap").WriteTo(w, 0)
+			}},
+		)
+		if c.cfg.CPUProfileDur > 0 {
+			dur := c.cfg.CPUProfileDur
+			out = append(out, Section{Name: "cpu.pprof", Fill: func(w io.Writer) error {
+				if err := pprof.StartCPUProfile(w); err != nil {
+					return err
+				}
+				time.Sleep(dur)
+				pprof.StopCPUProfile()
+				return nil
+			}})
+		}
+	}
+	if c.cfg.Registry != nil {
+		reg := c.cfg.Registry
+		out = append(out, Section{Name: "vars.json", Fill: func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(reg.Snapshot())
+		}})
+	}
+	return append(out, c.cfg.Sections...)
+}
+
+// bundleInfo is one spooled bundle on disk.
+type bundleInfo struct {
+	id    string
+	bytes int64
+}
+
+// list returns the spooled bundles, oldest first (ids sort
+// chronologically by construction).
+func (c *Capturer) list() ([]bundleInfo, error) {
+	ents, err := os.ReadDir(c.cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []bundleInfo
+	for _, e := range ents {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), bundlePrefix) {
+			continue
+		}
+		var size int64
+		files, err := os.ReadDir(filepath.Join(c.cfg.Dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if info, err := f.Info(); err == nil {
+				size += info.Size()
+			}
+		}
+		out = append(out, bundleInfo{id: e.Name(), bytes: size})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
+	return out, nil
+}
+
+// prune drops oldest bundles past the count/byte bounds, never the one
+// just written.
+func (c *Capturer) prune(keep string) {
+	bundles, err := c.list()
+	if err != nil {
+		return
+	}
+	var total int64
+	for _, b := range bundles {
+		total += b.bytes
+	}
+	for _, b := range bundles {
+		if len(bundles) <= 1 {
+			return
+		}
+		over := len(bundles) > c.cfg.MaxBundles || total > c.cfg.MaxBytes
+		if !over || b.id == keep {
+			return
+		}
+		os.RemoveAll(filepath.Join(c.cfg.Dir, b.id))
+		total -= b.bytes
+		bundles = bundles[1:]
+	}
+}
+
+// Manifests returns every spooled manifest, newest first.
+func (c *Capturer) Manifests() ([]Manifest, error) {
+	bundles, err := c.list()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Manifest, 0, len(bundles))
+	for i := len(bundles) - 1; i >= 0; i-- {
+		m, err := readManifest(filepath.Join(c.cfg.Dir, bundles[i].id, "manifest.json"))
+		if err != nil {
+			continue // half-written or foreign dir
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// readManifest loads one manifest.json.
+func readManifest(path string) (Manifest, error) {
+	var m Manifest
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return m, err
+	}
+	err = json.Unmarshal(data, &m)
+	return m, err
+}

@@ -1,0 +1,371 @@
+// Package anomaly watches the serving registry for SLO burn and
+// captures diagnostic bundles when it trips.
+//
+// The detector follows the multi-window burn-rate pattern: each SLO's
+// error-budget consumption rate is computed over a short and a long
+// window, and an alarm fires only when BOTH exceed the burn threshold
+// — the short window gives fast detection, the long window suppresses
+// blips. Three signals are watched: the fraction of scans slower than
+// the p99 latency target, the error+shed+deadline fraction, and the
+// modelwatch drift statistic against its critical value. Everything is
+// computed from cumulative counters and histogram buckets already in
+// the registry — the detector adds no instrumentation to the hot path
+// — and time is an injected clock, so trips are unit-testable on a
+// synthetic timeline.
+//
+// On trip, the detector calls its capture hook (wired to a bundle
+// Capturer by the daemon) and arms a per-signal latch: no further
+// capture until the signal recovers below the threshold on both
+// windows, plus a global cooldown between bundles.
+package anomaly
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Detector defaults.
+const (
+	DefaultShortWindow   = 5 * time.Minute
+	DefaultLongWindow    = time.Hour
+	DefaultInterval      = 10 * time.Second
+	DefaultBurnThreshold = 2.0
+	DefaultCooldown      = 10 * time.Minute
+	// DefaultLatencyBudget / DefaultErrorBudget are the allowed bad
+	// fractions backing the burn-rate denominators.
+	DefaultLatencyBudget = 0.01
+	DefaultErrorBudget   = 0.01
+	// minWindowEvents suppresses burn math on windows with too few
+	// scans to mean anything.
+	minWindowEvents = 8
+)
+
+// Targets are the SLO objectives. Zero-valued targets disable their
+// signal.
+type Targets struct {
+	// LatencyP99 is the latency objective: at most LatencyBudget of
+	// scans may be slower than this.
+	LatencyP99 time.Duration
+	// LatencyBudget is the allowed slow fraction (default 1%).
+	LatencyBudget float64
+	// ErrorBudget is the allowed error+shed+deadline fraction of all
+	// arrivals (default 1%).
+	ErrorBudget float64
+	// DriftCritical is the modelwatch fit-statistic level treated as
+	// 100% budget burn.
+	DriftCritical float64
+}
+
+// Config wires a Detector. Registry and Now are required.
+type Config struct {
+	// Registry is the serving registry the detector samples.
+	Registry *telemetry.Registry
+	// Now is the injected clock.
+	Now func() time.Time
+	// Targets are the SLO objectives.
+	Targets Targets
+	// ShortWindow / LongWindow are the burn windows (5m / 1h default).
+	ShortWindow, LongWindow time.Duration
+	// Interval is the sampling period for Run (10s default).
+	Interval time.Duration
+	// BurnThreshold is the burn-rate level both windows must exceed to
+	// trip (default 2: budget burning at twice the sustainable rate).
+	BurnThreshold float64
+	// Cooldown is the minimum spacing between captured bundles.
+	Cooldown time.Duration
+	// Capture is called on trip with a human-readable reason; it
+	// returns the captured bundle id. Nil means trips are only counted.
+	Capture func(reason string) (string, error)
+}
+
+// signal indexes the watched SLOs.
+type signal int
+
+const (
+	sigLatency signal = iota
+	sigErrors
+	sigDrift
+	numSignals
+)
+
+var signalNames = [numSignals]string{"latency", "errors", "drift"}
+
+// sample is one registry observation: per signal, a cumulative bad
+// count and a cumulative total (for the drift gauge: level and 1).
+type sample struct {
+	t    time.Time
+	bad  [numSignals]float64
+	tot  [numSignals]float64
+	seen bool
+}
+
+// Status is one signal's current evaluation, exposed for tests and
+// the bundles/debug surface.
+type Status struct {
+	Signal    string  `json:"signal"`
+	BurnShort float64 `json:"burn_short"`
+	BurnLong  float64 `json:"burn_long"`
+	Tripped   bool    `json:"tripped"`
+}
+
+// Detector is the burn-rate evaluator. Tick is single-threaded (Run
+// owns it, or tests drive it directly); Statuses is safe to call
+// concurrently — the /debug/bundles handler reads it live.
+type Detector struct {
+	cfg     Config
+	ring    []sample
+	head    int
+	n       int
+	latched [numSignals]bool
+	lastCap time.Time
+
+	trips   *telemetry.Counter
+	bundles *telemetry.Counter
+	capErrs *telemetry.Counter
+	burnG   [numSignals][2]*telemetry.FloatGauge
+
+	// statusMu guards statuses alone; nothing is called while held.
+	statusMu sync.Mutex
+	statuses [numSignals]Status
+}
+
+// New builds a detector; the ring is sized to hold the long window at
+// the configured interval.
+func New(cfg Config) *Detector {
+	if cfg.ShortWindow <= 0 {
+		cfg.ShortWindow = DefaultShortWindow
+	}
+	if cfg.LongWindow <= 0 {
+		cfg.LongWindow = DefaultLongWindow
+	}
+	if cfg.LongWindow < cfg.ShortWindow {
+		cfg.LongWindow = cfg.ShortWindow
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.BurnThreshold <= 0 {
+		cfg.BurnThreshold = DefaultBurnThreshold
+	}
+	if cfg.Cooldown < 0 {
+		cfg.Cooldown = 0
+	} else if cfg.Cooldown == 0 {
+		cfg.Cooldown = DefaultCooldown
+	}
+	if cfg.Targets.LatencyBudget <= 0 {
+		cfg.Targets.LatencyBudget = DefaultLatencyBudget
+	}
+	if cfg.Targets.ErrorBudget <= 0 {
+		cfg.Targets.ErrorBudget = DefaultErrorBudget
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	slots := int(cfg.LongWindow/cfg.Interval) + 2
+	d := &Detector{
+		cfg:     cfg,
+		ring:    make([]sample, slots),
+		trips:   cfg.Registry.Counter("anomaly_trips_total", "burn-rate SLO trips (both windows over threshold)"),
+		bundles: cfg.Registry.Counter("anomaly_bundles_total", "diagnostic bundles captured on trip"),
+		capErrs: cfg.Registry.Counter("anomaly_capture_errors_total", "bundle captures that failed"),
+	}
+	for s := signal(0); s < numSignals; s++ {
+		d.burnG[s][0] = cfg.Registry.FloatGauge(
+			"anomaly_burn_"+signalNames[s]+"_short", "short-window burn rate for the "+signalNames[s]+" SLO")
+		d.burnG[s][1] = cfg.Registry.FloatGauge(
+			"anomaly_burn_"+signalNames[s]+"_long", "long-window burn rate for the "+signalNames[s]+" SLO")
+		d.statuses[s].Signal = signalNames[s]
+	}
+	return d
+}
+
+// observe reads the registry into a sample.
+func (d *Detector) observe(now time.Time) sample {
+	s := sample{t: now, seen: true}
+	snaps := d.cfg.Registry.Snapshot()
+	var scans, errs, shed, deadline, drift float64
+	var lat *telemetry.HistSnapshot
+	for i := range snaps {
+		m := &snaps[i]
+		switch m.Name {
+		case "scans_total":
+			scans = m.Value
+		case "scan_errors_total":
+			errs = m.Value
+		case "shed_total":
+			shed = m.Value
+		case "deadline_exceeded_total":
+			deadline = m.Value
+		case "modelwatch_fit_stat":
+			drift = m.Value
+		case "scan_latency_seconds":
+			lat = m.Hist
+		}
+	}
+	if lat != nil && d.cfg.Targets.LatencyP99 > 0 {
+		target := d.cfg.Targets.LatencyP99.Seconds()
+		var good float64
+		for i, b := range lat.Bounds {
+			if b <= target {
+				good += float64(lat.Counts[i])
+			}
+		}
+		s.tot[sigLatency] = float64(lat.Count)
+		s.bad[sigLatency] = float64(lat.Count) - good
+	}
+	arrivals := scans + shed + deadline
+	s.tot[sigErrors] = arrivals
+	s.bad[sigErrors] = errs + shed + deadline
+	// Drift is a level, not a ratio: store the gauge so windows average
+	// it.
+	s.bad[sigDrift] = drift
+	s.tot[sigDrift] = 1
+	return s
+}
+
+// baseline finds the newest sample at least w old, falling back to the
+// oldest retained sample so the detector works before a full window of
+// history exists.
+func (d *Detector) baseline(now time.Time, w time.Duration) (sample, bool) {
+	var oldest sample
+	var best sample
+	cutoff := now.Add(-w)
+	for i := 0; i < d.n; i++ {
+		s := d.ring[(d.head-1-i+len(d.ring)*2)%len(d.ring)] // newest → oldest
+		if !s.seen {
+			continue
+		}
+		oldest = s
+		if !cutoff.Before(s.t) {
+			best = s
+			break
+		}
+	}
+	if best.seen {
+		return best, true
+	}
+	return oldest, oldest.seen
+}
+
+// burn computes one signal's burn rate between base and cur.
+func (d *Detector) burn(sig signal, base, cur sample) float64 {
+	switch sig {
+	case sigDrift:
+		if d.cfg.Targets.DriftCritical <= 0 {
+			return 0
+		}
+		// Average the level across the window endpoints; a sustained
+		// excursion holds both ends high, a blip only one.
+		return (base.bad[sigDrift] + cur.bad[sigDrift]) / 2 / d.cfg.Targets.DriftCritical
+	case sigLatency:
+		if d.cfg.Targets.LatencyP99 <= 0 {
+			return 0
+		}
+		dTot := cur.tot[sig] - base.tot[sig]
+		if dTot < minWindowEvents {
+			return 0
+		}
+		return (cur.bad[sig] - base.bad[sig]) / dTot / d.cfg.Targets.LatencyBudget
+	default: // sigErrors
+		dTot := cur.tot[sig] - base.tot[sig]
+		if dTot < minWindowEvents {
+			return 0
+		}
+		return (cur.bad[sig] - base.bad[sig]) / dTot / d.cfg.Targets.ErrorBudget
+	}
+}
+
+// Statuses returns the latest per-signal evaluation.
+func (d *Detector) Statuses() []Status {
+	out := make([]Status, numSignals)
+	d.statusMu.Lock()
+	copy(out, d.statuses[:])
+	d.statusMu.Unlock()
+	return out
+}
+
+// Trips returns the total trip count.
+func (d *Detector) Trips() uint64 { return d.trips.Value() }
+
+// Tick samples the registry, evaluates every signal over both windows,
+// and captures a bundle on a fresh trip. It returns the ids of bundles
+// captured this tick (normally zero or one).
+func (d *Detector) Tick() []string {
+	now := d.cfg.Now()
+	cur := d.observe(now)
+	d.ring[d.head] = cur
+	d.head = (d.head + 1) % len(d.ring)
+	if d.n < len(d.ring) {
+		d.n++
+	}
+	var captured []string
+	for sig := signal(0); sig < numSignals; sig++ {
+		baseS, okS := d.baseline(now, d.cfg.ShortWindow)
+		baseL, okL := d.baseline(now, d.cfg.LongWindow)
+		var bShort, bLong float64
+		if okS {
+			bShort = d.burn(sig, baseS, cur)
+		}
+		if okL {
+			bLong = d.burn(sig, baseL, cur)
+		}
+		d.burnG[sig][0].Set(bShort)
+		d.burnG[sig][1].Set(bLong)
+		over := bShort >= d.cfg.BurnThreshold && bLong >= d.cfg.BurnThreshold
+		d.statusMu.Lock()
+		d.statuses[sig] = Status{
+			Signal: signalNames[sig], BurnShort: bShort, BurnLong: bLong,
+			Tripped: over,
+		}
+		d.statusMu.Unlock()
+		if !over {
+			d.latched[sig] = false
+			continue
+		}
+		if d.latched[sig] {
+			continue // still inside the same excursion
+		}
+		d.latched[sig] = true
+		d.trips.Inc()
+		if d.cfg.Capture == nil {
+			continue
+		}
+		if !d.lastCap.IsZero() && now.Sub(d.lastCap) < d.cfg.Cooldown {
+			continue
+		}
+		reason := fmt.Sprintf("%s SLO burn: short=%.2f long=%.2f (threshold %.2f)",
+			signalNames[sig], bShort, bLong, d.cfg.BurnThreshold)
+		id, err := d.cfg.Capture(reason)
+		if err != nil {
+			d.capErrs.Inc()
+			continue
+		}
+		d.lastCap = now
+		d.bundles.Inc()
+		captured = append(captured, id)
+	}
+	return captured
+}
+
+// Run ticks the detector until stop closes. The returned channel
+// closes when the loop has exited (join evidence for the caller).
+func (d *Detector) Run(stop <-chan struct{}) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(d.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				d.Tick()
+			}
+		}
+	}()
+	return done
+}

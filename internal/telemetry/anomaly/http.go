@@ -1,0 +1,116 @@
+package anomaly
+
+import (
+	"archive/tar"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// BundlesPage is the /debug/bundles listing envelope.
+type BundlesPage struct {
+	Count   int        `json:"count"`
+	Dir     string     `json:"dir"`
+	Bundles []Manifest `json:"bundles"`
+	// Statuses, when a detector is attached, is the latest per-signal
+	// burn evaluation.
+	Statuses []Status `json:"statuses,omitempty"`
+}
+
+// BundlesHandler serves the bundle spool:
+//
+//	GET /debug/bundles                 list manifests (newest first)
+//	GET /debug/bundles?id=<id>         the bundle as a tar stream
+//	GET /debug/bundles?id=<id>&file=F  one file from the bundle
+//
+// statuses may be nil; when set (the daemon passes Detector.Statuses)
+// the listing carries the live burn rates.
+func BundlesHandler(c *Capturer, statuses func() []Status) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		id := req.URL.Query().Get("id")
+		if id == "" {
+			mans, err := c.Manifests()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			page := BundlesPage{Count: len(mans), Dir: c.Dir(), Bundles: mans}
+			if statuses != nil {
+				page.Statuses = statuses()
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(page)
+			return
+		}
+		// Reject traversal: a bundle id is a bare directory name.
+		if id != filepath.Base(id) || !strings.HasPrefix(id, bundlePrefix) {
+			http.Error(w, "bad bundle id", http.StatusBadRequest)
+			return
+		}
+		dir := filepath.Join(c.Dir(), id)
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			http.Error(w, "no such bundle", http.StatusNotFound)
+			return
+		}
+		if name := req.URL.Query().Get("file"); name != "" {
+			if name != filepath.Base(name) {
+				http.Error(w, "bad file name", http.StatusBadRequest)
+				return
+			}
+			f, err := os.Open(filepath.Join(dir, name))
+			if err != nil {
+				http.Error(w, "no such file", http.StatusNotFound)
+				return
+			}
+			defer f.Close()
+			if strings.HasSuffix(name, ".json") {
+				w.Header().Set("Content-Type", "application/json")
+			} else {
+				w.Header().Set("Content-Type", "application/octet-stream")
+			}
+			_, _ = io.Copy(w, f)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-tar")
+		w.Header().Set("Content-Disposition", "attachment; filename="+id+".tar")
+		tw := tar.NewWriter(w)
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		for _, e := range ents {
+			if e.IsDir() {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				continue
+			}
+			hdr := &tar.Header{
+				Name:    id + "/" + e.Name(),
+				Mode:    0o644,
+				Size:    info.Size(),
+				ModTime: info.ModTime(),
+			}
+			if err := tw.WriteHeader(hdr); err != nil {
+				return
+			}
+			f, err := os.Open(filepath.Join(dir, e.Name()))
+			if err != nil {
+				return
+			}
+			_, cpErr := io.Copy(tw, f)
+			f.Close()
+			if cpErr != nil {
+				return
+			}
+		}
+		_ = tw.Close()
+	})
+}

@@ -1,0 +1,228 @@
+package events
+
+import (
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Journal defaults.
+const (
+	// DefaultCapacity is the total journal slot count across shards.
+	DefaultCapacity = 2048
+	// DefaultSampleEvery keeps one in this many benign fast-path
+	// events; interesting events (slow, error, shed, malicious) bypass
+	// sampling entirely.
+	DefaultSampleEvery = 8
+	// DefaultSlowThreshold is the latency at or above which an event
+	// always journals, matching the flight recorder's default slow
+	// floor.
+	DefaultSlowThreshold = 25 * time.Millisecond
+)
+
+// Config sizes a Journal. Zero values take the defaults.
+type Config struct {
+	// Capacity is the total retained event count (rounded up so each
+	// shard holds a power of two).
+	Capacity int
+	// Shards overrides the shard count (default GOMAXPROCS, rounded up
+	// to a power of two).
+	Shards int
+	// SampleEvery keeps one in N benign fast-path events; 1 keeps
+	// everything, 0 selects DefaultSampleEvery.
+	SampleEvery int
+	// SlowThreshold is the always-keep latency floor; 0 selects
+	// DefaultSlowThreshold, negative treats nothing as slow.
+	SlowThreshold time.Duration
+	// Registry receives the journal's counters; nil creates a private
+	// registry.
+	Registry *telemetry.Registry
+	// Sink, when set, additionally receives every journaled event for
+	// JSONL spooling. The journal does not own the sink's lifecycle.
+	Sink *Sink
+}
+
+// slot is one seqlock-guarded event image. seq is even when the slot
+// is stable and odd while a writer owns it; readers that observe a
+// seq change mid-copy discard the image. Every access is atomic, so
+// the journal is race-detector clean without locks.
+type slot struct {
+	seq atomic.Uint64
+	w   [slotWords]atomic.Uint64
+}
+
+// shard is one claim counter plus its slot ring.
+type shard struct {
+	head  atomic.Uint64
+	slots []slot
+	mask  uint64
+}
+
+// Journal is the lock-free sharded wide-event journal. Writers claim
+// a slot with one atomic add and publish the encoded event under the
+// slot's sequence counter; Record never blocks and never allocates.
+type Journal struct {
+	shards    []shard
+	shardMask uint64
+	slow      time.Duration
+	every     uint64
+	sink      *Sink
+
+	sampleCtr atomic.Uint64
+	fallback  atomic.Uint64
+
+	recorded   *telemetry.Counter
+	sampledOut *telemetry.Counter
+	collisions *telemetry.Counter
+}
+
+// New builds a journal.
+func New(cfg Config) *Journal {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = DefaultSampleEvery
+	}
+	switch {
+	case cfg.SlowThreshold == 0:
+		cfg.SlowThreshold = DefaultSlowThreshold
+	case cfg.SlowThreshold < 0:
+		cfg.SlowThreshold = 1<<63 - 1
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	nShards := nextPow2(cfg.Shards)
+	perShard := nextPow2(max(cfg.Capacity/nShards, 1))
+	j := &Journal{
+		shards:     make([]shard, nShards),
+		shardMask:  uint64(nShards - 1),
+		slow:       cfg.SlowThreshold,
+		every:      uint64(cfg.SampleEvery),
+		sink:       cfg.Sink,
+		recorded:   reg.Counter("events_recorded_total", "wide events journaled (sampling survivors)"),
+		sampledOut: reg.Counter("events_sampled_out_total", "benign fast-path events dropped by the sampler"),
+		collisions: reg.Counter("events_write_collisions_total", "events dropped because the claimed slot was mid-write (ring lapped within one record)"),
+	}
+	for i := range j.shards {
+		j.shards[i].slots = make([]slot, perShard)
+		j.shards[i].mask = uint64(perShard - 1)
+	}
+	return j
+}
+
+// nextPow2 rounds n up to a power of two (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// SlowThreshold returns the always-keep latency floor.
+func (j *Journal) SlowThreshold() time.Duration { return j.slow }
+
+// Recorded returns the number of events journaled since start.
+func (j *Journal) Recorded() uint64 { return j.recorded.Value() }
+
+// SampledOut returns the number of benign events the sampler dropped.
+func (j *Journal) SampledOut() uint64 { return j.sampledOut.Value() }
+
+// Record journals one event, applying the tail-aware sampling policy:
+// slow, error, shed, and malicious events always land; the benign
+// fast path keeps one event in SampleEvery. A nil journal no-ops, so
+// the instrumented code path is shared with journal-less deployments
+// at the cost of one branch.
+//
+// The event is copied into a pre-claimed slot through atomic word
+// stores — Record never blocks, never allocates, and must not retain
+// ev.
+//
+//mel:hotpath
+func (j *Journal) Record(ev *Event) {
+	if j == nil {
+		return
+	}
+	if !ev.interesting(j.slow) && j.every > 1 {
+		if j.sampleCtr.Add(1)%j.every != 0 {
+			j.sampledOut.Inc()
+			return
+		}
+	}
+	// Shard by the id's counter half so concurrent traced writers
+	// stripe; untraced events (zero id) stripe by a fallback counter.
+	h := uint64(ev.TraceID[15]) | uint64(ev.TraceID[14])<<8
+	if h == 0 {
+		h = j.fallback.Add(1)
+	}
+	idx := h & j.shardMask
+	if idx >= uint64(len(j.shards)) {
+		// Unreachable (the mask bounds idx); the explicit guard keeps
+		// the wire-derived id out of the index unchecked.
+		idx = 0
+	}
+	sh := &j.shards[idx]
+	s := &sh.slots[(sh.head.Add(1)-1)&sh.mask]
+	seq := s.seq.Load()
+	if seq&1 != 0 || !s.seq.CompareAndSwap(seq, seq+1) {
+		// Another writer owns the slot: the ring lapped within one
+		// in-flight record. Dropping the oldest-by-position event is the
+		// overwrite the ring would have done anyway.
+		j.collisions.Inc()
+		return
+	}
+	var w [slotWords]uint64
+	ev.encode(&w)
+	for i := range w {
+		s.w[i].Store(w[i])
+	}
+	s.seq.Store(seq + 2)
+	j.recorded.Inc()
+	if j.sink != nil {
+		j.sink.offer(ev)
+	}
+}
+
+// Snapshot returns up to max resident events, newest first (by start
+// time, then trace id). max <= 0 returns everything resident. Slots
+// mid-write or overwritten during the copy are skipped.
+func (j *Journal) Snapshot(max int) []Event {
+	var out []Event
+	var w [slotWords]uint64
+	for si := range j.shards {
+		sh := &j.shards[si]
+		for i := range sh.slots {
+			s := &sh.slots[i]
+			seq := s.seq.Load()
+			if seq == 0 || seq&1 != 0 {
+				continue
+			}
+			for k := range w {
+				w[k] = s.w[k].Load()
+			}
+			if s.seq.Load() != seq {
+				continue // torn: a writer got in mid-copy
+			}
+			out = append(out, decode(&w))
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].StartUnixNs != out[b].StartUnixNs {
+			return out[a].StartUnixNs > out[b].StartUnixNs
+		}
+		return out[a].TraceID.String() > out[b].TraceID.String()
+	})
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package events
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// Sink defaults.
+const (
+	// DefaultSinkMaxBytes rotates the JSONL spool when the active file
+	// crosses this size.
+	DefaultSinkMaxBytes = 8 << 20
+	// DefaultSinkBuffer is the offer-channel depth between the journal
+	// and the writer goroutine.
+	DefaultSinkBuffer = 256
+)
+
+// SinkConfig sizes a Sink. Zero values take the defaults.
+type SinkConfig struct {
+	// Path is the active JSONL file; rotation renames it to Path+".1"
+	// (replacing any previous rotation) and reopens Path fresh, so the
+	// spool is bounded at roughly 2*MaxBytes.
+	Path string
+	// MaxBytes is the rotation threshold.
+	MaxBytes int64
+	// Buffer is the offer-channel depth; events offered while the
+	// writer is behind are dropped and counted, never blocked on.
+	Buffer int
+	// Registry receives the sink's counters; nil creates a private one.
+	Registry *telemetry.Registry
+}
+
+// Sink spools journaled events to a bounded JSONL file pair. The
+// journal offers events without blocking; a single writer goroutine
+// encodes and rotates. Close stops the writer and waits for it.
+type Sink struct {
+	ch      chan Event
+	stop    chan struct{}
+	done    chan struct{}
+	once    sync.Once
+	path    string
+	maxB    int64
+	written *telemetry.Counter
+	dropped *telemetry.Counter
+	rotated *telemetry.Counter
+	errs    *telemetry.Counter
+}
+
+// NewSink opens the spool file (appending) and starts the writer.
+func NewSink(cfg SinkConfig) (*Sink, error) {
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = DefaultSinkMaxBytes
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = DefaultSinkBuffer
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	f, err := os.OpenFile(cfg.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s := &Sink{
+		ch:      make(chan Event, cfg.Buffer),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		path:    cfg.Path,
+		maxB:    cfg.MaxBytes,
+		written: reg.Counter("events_sink_written_total", "events spooled to the JSONL sink"),
+		dropped: reg.Counter("events_sink_dropped_total", "events dropped because the sink writer was behind"),
+		rotated: reg.Counter("events_sink_rotations_total", "JSONL spool rotations"),
+		errs:    reg.Counter("events_sink_errors_total", "JSONL spool write/rotate errors"),
+	}
+	go s.run(f, st.Size())
+	return s, nil
+}
+
+// offer hands one event to the writer without blocking; a full buffer
+// drops the event (counted), keeping the record path wait-free.
+//
+//mel:hotpath
+func (s *Sink) offer(ev *Event) {
+	select {
+	case s.ch <- *ev:
+	default:
+		s.dropped.Inc()
+	}
+}
+
+// Close stops the writer, waits for it to drain buffered events, and
+// closes the spool file. Safe to call more than once.
+func (s *Sink) Close() {
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// run is the writer loop: encode, append, rotate on size.
+func (s *Sink) run(f *os.File, size int64) {
+	defer close(s.done)
+	enc := json.NewEncoder(countWriter{f, &size})
+	write := func(ev Event) {
+		if err := enc.Encode(JSON(&ev)); err != nil {
+			s.errs.Inc()
+			return
+		}
+		s.written.Inc()
+		if size >= s.maxB {
+			f.Close()
+			if err := os.Rename(s.path, s.path+".1"); err != nil {
+				s.errs.Inc()
+			}
+			nf, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+			if err != nil {
+				// Keep appending to the old handle's path on next open
+				// attempt; without a file there is nothing to spool to.
+				s.errs.Inc()
+				nf, err = os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					return
+				}
+			}
+			f = nf
+			size = 0
+			enc = json.NewEncoder(countWriter{f, &size})
+			s.rotated.Inc()
+		}
+	}
+	for {
+		select {
+		case ev := <-s.ch:
+			write(ev)
+		case <-s.stop:
+			for {
+				select {
+				case ev := <-s.ch:
+					write(ev)
+				default:
+					f.Close()
+					return
+				}
+			}
+		}
+	}
+}
+
+// countWriter tracks bytes written through it for rotation decisions.
+type countWriter struct {
+	f *os.File
+	n *int64
+}
+
+func (w countWriter) Write(p []byte) (int, error) {
+	n, err := w.f.Write(p)
+	*w.n += int64(n)
+	return n, err
+}
