@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-strict ci bench bench-engine bench-smoke bench-guard serve-bench fuzz report cover clean
+.PHONY: all build test vet lint lint-strict verify verify-quick ci bench bench-engine bench-smoke bench-guard serve-bench fuzz report cover clean
 
 all: build vet test
 
@@ -18,14 +18,31 @@ vet:
 # lint.baseline are suppressed; anything new exits nonzero. One run
 # archives both machine-readable reports: lint.json for tooling and
 # lint.sarif for code-scanning UIs.
+# Timings go to a separate artifact (lint-timings.json) so the
+# committed lint.json/lint.sarif stay byte-identical across re-runs.
 lint:
-	$(GO) run ./cmd/mellint -baseline lint.baseline -json -o lint.json -sarif-o lint.sarif ./...
+	$(GO) run ./cmd/mellint -baseline lint.baseline -json -o lint.json -sarif-o lint.sarif -timings-o lint-timings.json ./...
 
 # lint-strict ignores the baseline: every accepted finding surfaces
 # again. Run it when re-auditing the baseline's justifications; it is
 # expected to exit nonzero while lint.baseline is non-empty.
 lint-strict:
 	$(GO) run ./cmd/mellint ./...
+
+# verify is melverify: the exhaustive decoder-equivalence prover
+# (decodeprover + dpinvariants). It enumerates the bounded x86
+# encoding space for all four rule sets and fails on any divergence
+# between the fused packed-record decoder and the reference decoder,
+# on any violated scan invariant, or on an incomplete enumeration
+# (budget exceeded). Witnesses are exported as fuzz corpus seeds.
+verify:
+	$(GO) run ./cmd/mellint -verify -verify-budget 30s \
+		-verify-corpus internal/mel/testdata/fuzz/FuzzScanDifferential \
+		-baseline lint.baseline -json -o lint-verify.json ./...
+
+# verify-quick is the seconds-scale smoke variant of the same prover.
+verify-quick:
+	$(GO) run ./cmd/mellint -verify -verify-quick -verify-budget 10s -baseline lint.baseline ./...
 
 # Race-enabled everywhere: the engine's pooled scan state, the
 # detector's threshold cache, and the serving pool/cache are all shared
@@ -42,15 +59,19 @@ test:
 # TestRepoIsClean gate — a short fuzz smoke over the wire codec, and
 # the bench guard, which fails the gate outright if the engine
 # regressed against the committed BENCH_engine.json.
-ci: build vet lint
+ci: build vet lint verify
 	$(GO) test -race ./...
 	$(GO) test -run NONE -fuzz FuzzWire -fuzztime 10s ./internal/server/
 	$(MAKE) bench-guard
 
 # bench-smoke runs the engine benchmark once with the JSON artifact
-# suppressed — a CI canary, not a BENCH_engine.json refresh.
+# suppressed — a CI canary, not a BENCH_engine.json refresh — and then
+# checks the exhaustive verify pass still fits its runtime budget: the
+# -verify-budget flag makes the prover itself fail (incomplete
+# enumeration is a finding) if the full space no longer fits in ~30s.
 bench-smoke:
 	$(GO) run ./cmd/melbench -exp engine -benchout ""
+	$(GO) run ./cmd/mellint -verify -verify-budget 30s -baseline lint.baseline ./...
 
 # bench-guard re-measures the engine and content-pipeline benchmarks
 # and exits nonzero if any ns/op regressed more than 20% — or any
@@ -86,5 +107,6 @@ cover:
 
 clean:
 	rm -f report.txt cover.out test_output.txt bench_output.txt lint.json lint.sarif
+	rm -f lint-timings.json lint-verify.json
 	rm -f events.jsonl events.jsonl.1
 	rm -rf bundles

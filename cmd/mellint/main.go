@@ -22,6 +22,21 @@
 // numbers); -write-baseline FILE records the current findings and
 // exits clean. Exit status is 0 when the tree is clean apart from the
 // baseline, 1 when any new finding remains, 2 on usage or load errors.
+//
+// Verification: -verify swaps the lint suite for the melverify
+// analyzer family (decodeprover, dpinvariants), which proves the
+// fused packed-record decoder equivalent to the reference decoder
+// over the bounded x86 encoding space and checks the fused DP's scan
+// invariants; run it over ./... so witnesses anchored in internal/mel
+// survive target filtering. -verify-quick shrinks the enumeration for
+// smoke tests, -verify-budget bounds its wall time (exceeding the
+// budget is itself a finding), and -verify-corpus DIR exports
+// divergence witnesses as FuzzScanDifferential corpus seeds.
+//
+// Timings: -timings embeds per-analyzer wall times in the -json
+// report and a totalTimeMS run property in SARIF output (making them
+// nondeterministic); -timings-o FILE archives the timings as a
+// separate artifact, keeping lint.json/lint.sarif byte-stable.
 package main
 
 import (
@@ -29,6 +44,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/lint"
 )
@@ -48,6 +64,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sarifFile := fs.String("sarif-o", "", "additionally write a SARIF 2.1.0 log to this file, whatever the stdout format")
 	baselinePath := fs.String("baseline", "", "suppress findings recorded in this baseline file")
 	writeBaseline := fs.String("write-baseline", "", "record current findings to this baseline file and exit clean")
+	verify := fs.Bool("verify", false, "run the melverify decoder-equivalence prover family instead of the lint suite")
+	verifyQuick := fs.Bool("verify-quick", false, "with -verify: shrink the enumeration to a smoke pass")
+	verifyBudget := fs.Duration("verify-budget", 0, "with -verify: wall-time budget; exceeding it is reported as a finding")
+	verifyCorpus := fs.String("verify-corpus", "", "with -verify: write divergence witnesses as fuzz corpus seeds into this directory")
+	timings := fs.Bool("timings", false, "embed per-analyzer wall times in -json output and totalTimeMS in SARIF (nondeterministic)")
+	timingsFile := fs.String("timings-o", "", "write per-analyzer wall times to this file as a separate artifact")
 
 	all := lint.Analyzers()
 	enabled := make(map[string]*bool, len(all))
@@ -78,9 +100,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var active []*lint.Analyzer
-	for _, a := range all {
-		if *enabled[a.Name] {
-			active = append(active, a)
+	var stats *lint.VerifyStats
+	if *verify {
+		stats = &lint.VerifyStats{}
+		active = lint.VerifyAnalyzers(lint.VerifyConfig{
+			Quick:     *verifyQuick,
+			Budget:    *verifyBudget,
+			CorpusDir: *verifyCorpus,
+			Stats:     stats,
+		})
+	} else {
+		for _, a := range all {
+			if *enabled[a.Name] {
+				active = append(active, a)
+			}
 		}
 	}
 	if len(active) == 0 {
@@ -103,7 +136,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "mellint: %v\n", err)
 		return 2
 	}
-	diags := lint.Run(mod, active)
+	start := time.Now()
+	diags, analyzerTimes := lint.RunTimed(mod, active)
+	elapsed := time.Since(start)
+
+	if *timingsFile != "" {
+		tout, err := lint.FormatTimings(analyzerTimes)
+		if err == nil {
+			err = os.WriteFile(*timingsFile, tout, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "mellint: %v\n", err)
+			return 2
+		}
+	}
+	var embedTimes []lint.AnalyzerTiming
+	if *timings {
+		embedTimes = analyzerTimes
+	}
 
 	if *writeBaseline != "" {
 		content := lint.FormatBaseline(mod.Dir, diags)
@@ -119,7 +169,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	baselined := len(diags) - len(remaining)
 
 	if *sarifFile != "" {
-		sarif, err := lint.FormatSARIF(mod, active, remaining)
+		sarif, err := lint.FormatSARIF(mod, active, remaining, embedTimes)
 		if err == nil {
 			err = os.WriteFile(*sarifFile, sarif, 0o644)
 		}
@@ -131,9 +181,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	var report []byte
 	if *jsonOut {
-		report, err = lint.FormatJSON(mod, active, remaining, baselined)
+		report, err = lint.FormatJSON(mod, active, remaining, baselined, embedTimes)
 	} else if *sarifOut {
-		report, err = lint.FormatSARIF(mod, active, remaining)
+		report, err = lint.FormatSARIF(mod, active, remaining, embedTimes)
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "mellint: %v\n", err)
@@ -151,6 +201,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stdout.Write(report)
 	default:
 		printText(stdout, remaining, baselined)
+	}
+	if stats != nil {
+		fmt.Fprintf(stdout, "melverify: %d streams, %d record comparisons, %d invariant scans, %d divergence(s) in %s\n",
+			stats.Streams, stats.RecordCmps, stats.InvariantScans, stats.Divergences,
+			elapsed.Round(time.Millisecond))
+		for _, inc := range stats.Incomplete {
+			fmt.Fprintf(stdout, "melverify: INCOMPLETE: %s\n", inc)
+		}
 	}
 	if len(remaining) > 0 {
 		return 1

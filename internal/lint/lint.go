@@ -23,6 +23,7 @@ import (
 	"go/types"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Package is one type-checked package of the module under analysis.
@@ -150,16 +151,38 @@ func Analyzers() []*Analyzer {
 // are dropped: non-target packages exist only to give module-wide
 // analyses complete visibility.
 func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunTimed(m, analyzers)
+	return diags
+}
+
+// AnalyzerTiming records one analyzer's wall time, for the lint-cost
+// archive CI keeps as the suite grows.
+type AnalyzerTiming struct {
+	Analyzer string  `json:"analyzer"`
+	Millis   float64 `json:"ms"`
+}
+
+// RunTimed is Run, additionally returning per-analyzer wall times in
+// the analyzers' given order. Timings are wall-clock and so
+// nondeterministic: callers must keep them out of byte-stable outputs
+// (see FormatJSON's timings parameter).
+func RunTimed(m *Module, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerTiming) {
 	m.CallGraph()
 	perAnalyzer := make([][]Diagnostic, len(analyzers))
+	timings := make([]AnalyzerTiming, len(analyzers))
 	var wg sync.WaitGroup
 	for i, a := range analyzers {
 		i, a := i, a
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			start := time.Now()
 			pass := &Pass{Module: m, analyzer: a, diags: &perAnalyzer[i]}
 			a.Run(pass)
+			timings[i] = AnalyzerTiming{
+				Analyzer: a.Name,
+				Millis:   float64(time.Since(start).Microseconds()) / 1000,
+			}
 		}()
 	}
 	wg.Wait()
@@ -184,7 +207,7 @@ func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
 		}
 		return di.Message < dj.Message
 	})
-	return diags
+	return diags, timings
 }
 
 // filterTargets keeps diagnostics whose file belongs to a target

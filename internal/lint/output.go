@@ -31,6 +31,10 @@ type JSONReport struct {
 	Findings []JSONFinding `json:"findings"`
 	// Baselined counts findings suppressed by the baseline file.
 	Baselined int `json:"baselined"`
+	// Timings holds per-analyzer wall times when the caller opts in
+	// (-timings). Off by default: wall times are nondeterministic and
+	// the committed lint.json must be byte-identical across re-runs.
+	Timings []AnalyzerTiming `json:"timings,omitempty"`
 }
 
 // relPath renders a diagnostic filename module-relative with forward
@@ -43,13 +47,16 @@ func relPath(moduleDir, filename string) string {
 	return filepath.ToSlash(rel)
 }
 
-// FormatJSON renders the JSON report, newline-terminated.
-func FormatJSON(m *Module, analyzers []*Analyzer, diags []Diagnostic, baselined int) ([]byte, error) {
+// FormatJSON renders the JSON report, newline-terminated. timings is
+// nil for deterministic output; non-nil embeds per-analyzer wall
+// times.
+func FormatJSON(m *Module, analyzers []*Analyzer, diags []Diagnostic, baselined int, timings []AnalyzerTiming) ([]byte, error) {
 	rep := JSONReport{
 		Module:    m.PkgPath,
 		Analyzers: make([]string, 0, len(analyzers)),
 		Findings:  make([]JSONFinding, 0, len(diags)),
 		Baselined: baselined,
+		Timings:   timings,
 	}
 	for _, a := range analyzers {
 		rep.Analyzers = append(rep.Analyzers, a.Name)
@@ -70,6 +77,30 @@ func FormatJSON(m *Module, analyzers []*Analyzer, diags []Diagnostic, baselined 
 	return append(out, '\n'), nil
 }
 
+// TimingsReport is the standalone timings archive (-timings-o): the
+// per-analyzer wall times and their sum, kept out of the byte-stable
+// reports so CI can archive lint cost without perturbing them.
+type TimingsReport struct {
+	Analyzers []AnalyzerTiming `json:"analyzers"`
+	TotalMS   float64          `json:"totalMS"`
+}
+
+// FormatTimings renders the timings archive, newline-terminated.
+func FormatTimings(timings []AnalyzerTiming) ([]byte, error) {
+	rep := TimingsReport{Analyzers: timings}
+	if rep.Analyzers == nil {
+		rep.Analyzers = []AnalyzerTiming{}
+	}
+	for _, t := range timings {
+		rep.TotalMS += t.Millis
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
 // Minimal SARIF 2.1.0 structures — only the fields code-scanning
 // consumers require.
 type sarifLog struct {
@@ -79,8 +110,16 @@ type sarifLog struct {
 }
 
 type sarifRun struct {
-	Tool    sarifTool     `json:"tool"`
-	Results []sarifResult `json:"results"`
+	Tool       sarifTool      `json:"tool"`
+	Results    []sarifResult  `json:"results"`
+	Properties *sarifRunProps `json:"properties,omitempty"`
+}
+
+// sarifRunProps carries run-level metadata in the SARIF property bag.
+type sarifRunProps struct {
+	// TotalTimeMS is the summed analyzer wall time, present only when
+	// the caller opts into timings.
+	TotalTimeMS float64 `json:"totalTimeMS"`
 }
 
 type sarifTool struct {
@@ -128,8 +167,10 @@ type sarifRegion struct {
 
 // FormatSARIF renders a SARIF 2.1.0 log, newline-terminated. Every
 // enabled analyzer appears as a rule even when it found nothing, so
-// consumers can tell "clean" from "not run".
-func FormatSARIF(m *Module, analyzers []*Analyzer, diags []Diagnostic) ([]byte, error) {
+// consumers can tell "clean" from "not run". timings, when non-nil,
+// is summed into the run property bag as totalTimeMS; nil keeps the
+// log byte-stable.
+func FormatSARIF(m *Module, analyzers []*Analyzer, diags []Diagnostic, timings []AnalyzerTiming) ([]byte, error) {
 	run := sarifRun{
 		Tool: sarifTool{Driver: sarifDriver{
 			Name:  "mellint",
@@ -153,6 +194,13 @@ func FormatSARIF(m *Module, analyzers []*Analyzer, diags []Diagnostic) ([]byte, 
 				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
 			}}},
 		})
+	}
+	if timings != nil {
+		var total float64
+		for _, t := range timings {
+			total += t.Millis
+		}
+		run.Properties = &sarifRunProps{TotalTimeMS: total}
 	}
 	log := sarifLog{
 		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
